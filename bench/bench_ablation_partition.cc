@@ -1,0 +1,57 @@
+/// Ablation (Sec 3.3's "several load balancing guidelines"): how the PP
+/// partition policy — layers / parameters / FLOPs / activation memory —
+/// affects the throughput of the plan Galvatron finds. Swin's uneven stages
+/// (Sec 2.1) make it the interesting case.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "parallel/pipeline_partition.h"
+#include "util/table_printer.h"
+
+namespace galvatron {
+namespace {
+
+void Run() {
+  const ClusterSpec cluster = MakeTitanNode8(8 * kGB);
+  Simulator simulator(&cluster);
+  TablePrinter table({"Model", "layer-count", "params", "flops",
+                      "activation-memory"});
+  for (ModelId id : {ModelId::kBertHuge32, ModelId::kSwinHuge32,
+                     ModelId::kT5Large32}) {
+    ModelSpec model = BuildModel(id);
+    std::vector<std::string> row = {std::string(ModelIdToString(id))};
+    for (PartitionPolicy policy :
+         {PartitionPolicy::kLayerCount, PartitionPolicy::kParams,
+          PartitionPolicy::kFlops, PartitionPolicy::kActivationMemory}) {
+      OptimizerOptions options;
+      options.partition_policy = policy;
+      // Force pipelining: partitioning only matters when PP is in play.
+      options.pp_degrees = {4};
+      auto plan = Optimizer(&cluster, options).Optimize(model);
+      if (!plan.ok()) {
+        row.push_back("OOM");
+        continue;
+      }
+      auto metrics = simulator.Run(model, plan->plan);
+      if (!metrics.ok() || metrics->oom) {
+        row.push_back("OOM");
+        continue;
+      }
+      row.push_back(
+          StrFormat("%.2f", metrics->throughput_samples_per_sec));
+    }
+    table.AddRow(std::move(row));
+  }
+  std::printf("Ablation: pipeline partition policy vs simulated throughput "
+              "(samples/s, 8 GPUs, 8GB, PP degree fixed to 4)\n\n%s\n",
+              table.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace galvatron
+
+int main() {
+  galvatron::Run();
+  return 0;
+}

@@ -1,0 +1,60 @@
+/// Ablation (the paper's future-work memory optimization, Sec 5.1): adding
+/// per-layer activation recomputation to the search space. Checkpointing
+/// frees activation memory for larger batches at the price of an extra
+/// forward pass per checkpointed layer — under tight budgets the trade is
+/// strongly positive.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "util/table_printer.h"
+
+namespace galvatron {
+namespace {
+
+std::string Cell(const ModelSpec& model, const ClusterSpec& cluster,
+                 bool allow_recompute) {
+  OptimizerOptions options;
+  options.allow_recompute = allow_recompute;
+  auto result = Optimizer(&cluster, options).Optimize(model);
+  if (!result.ok()) return "OOM";
+  auto metrics = Galvatron::Measure(model, result->plan, cluster);
+  if (!metrics.ok() || metrics->oom) return "OOM";
+  int checkpointed = 0;
+  for (const StagePlan& stage : result->plan.stages) {
+    for (int i = 0; i < stage.num_layers; ++i) {
+      if (stage.RecomputeAt(i)) ++checkpointed;
+    }
+  }
+  return StrFormat("%.2f (%d)%s", metrics->throughput_samples_per_sec,
+                   result->plan.global_batch,
+                   checkpointed > 0
+                       ? StrFormat(" [%d ckpt]", checkpointed).c_str()
+                       : "");
+}
+
+void Run() {
+  TablePrinter table({"Model", "budget", "Galvatron (paper setup)",
+                      "Galvatron + recompute"});
+  for (ModelId id : {ModelId::kBertHuge32, ModelId::kBertHuge48,
+                     ModelId::kT5Large48, ModelId::kSwinHuge48}) {
+    ModelSpec model = BuildModel(id);
+    for (int64_t gb : {6, 8}) {
+      ClusterSpec cluster = MakeTitanNode8(gb * kGB);
+      table.AddRow({std::string(ModelIdToString(id)),
+                    StrFormat("%lldG", static_cast<long long>(gb)),
+                    Cell(model, cluster, false), Cell(model, cluster, true)});
+    }
+  }
+  std::printf("Ablation: activation recomputation in the search space "
+              "(simulated samples/s, batch, checkpointed layer count)\n\n%s\n",
+              table.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace galvatron
+
+int main() {
+  galvatron::Run();
+  return 0;
+}

@@ -1,0 +1,53 @@
+/// Ablation: Megatron-LM sequence parallelism in the TP dimension. SP
+/// replaces TP's activation all-reduces with all-gather/reduce-scatter
+/// pairs of identical volume while sharding the inter-region activations,
+/// so TP-heavy plans carry 1/t of the activation memory — which widens the
+/// feasible batch range exactly where memory is tightest.
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "util/table_printer.h"
+
+namespace galvatron {
+namespace {
+
+std::string Cell(const ModelSpec& model, const ClusterSpec& cluster,
+                 bool sequence_parallel) {
+  OptimizerOptions options;
+  options.estimator.tp_sequence_parallel = sequence_parallel;
+  auto result = Optimizer(&cluster, options).Optimize(model);
+  if (!result.ok()) return "OOM";
+  SimOptions sim_options;
+  sim_options.tp_sequence_parallel = sequence_parallel;
+  Simulator sim(&cluster, sim_options);
+  auto metrics = sim.Run(model, result->plan);
+  if (!metrics.ok() || metrics->oom) return "OOM";
+  return StrFormat("%.2f (%d)", metrics->throughput_samples_per_sec,
+                   result->plan.global_batch);
+}
+
+void Run() {
+  TablePrinter table({"Model", "budget", "Galvatron", "Galvatron + SP"});
+  for (ModelId id : {ModelId::kBertHuge32, ModelId::kBertHuge48,
+                     ModelId::kT5Large32}) {
+    ModelSpec model = BuildModel(id);
+    for (int64_t gb : {6, 8}) {
+      ClusterSpec cluster = MakeTitanNode8(gb * kGB);
+      table.AddRow({std::string(ModelIdToString(id)),
+                    StrFormat("%lldG", static_cast<long long>(gb)),
+                    Cell(model, cluster, false), Cell(model, cluster, true)});
+    }
+  }
+  std::printf("Ablation: Megatron sequence parallelism "
+              "(simulated samples/s, best batch)\n\n%s\n",
+              table.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace galvatron
+
+int main() {
+  galvatron::Run();
+  return 0;
+}

@@ -1,0 +1,47 @@
+/// Reproduces Figure 5: the optimal parallelism plans Galvatron suggests
+/// for BERT-Huge-32 and Swin-Huge-32 under 8 GB and 12 GB budgets, rendered
+/// in the paper's "strategy xN" run-length notation, with the layer-level
+/// strategy mix the paper discusses in Sec 5.5 (shallow Swin layers prefer
+/// batch-splitting strategies, deep ones prefer parameter-splitting).
+
+#include <cstdio>
+
+#include "api/plan_render.h"
+#include "bench/bench_common.h"
+
+namespace galvatron {
+namespace {
+
+void Run() {
+  for (ModelId id : {ModelId::kBertHuge32, ModelId::kSwinHuge32}) {
+    for (int64_t budget_gb : {8, 12}) {
+      ModelSpec model = BuildModel(id);
+      ClusterSpec cluster = MakeTitanNode8(budget_gb * kGB);
+      auto result = Galvatron::PlanAndMeasure(model, cluster);
+      if (!result.ok()) {
+        std::printf("%s @ %lldGB: %s\n\n",
+                    std::string(ModelIdToString(id)).c_str(),
+                    static_cast<long long>(budget_gb),
+                    result.status().ToString().c_str());
+        continue;
+      }
+      std::printf("%s @ %lldGB  (simulated %.2f samples/s, peak %s)\n%s\n",
+                  std::string(ModelIdToString(id)).c_str(),
+                  static_cast<long long>(budget_gb),
+                  result->measured.throughput_samples_per_sec,
+                  HumanBytes(static_cast<double>(
+                                 result->measured.max_peak_memory_bytes))
+                      .c_str(),
+                  RenderPlanDiagram(model, result->plan).c_str());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace galvatron
+
+int main() {
+  std::printf("Figure 5: optimal parallelism plans chosen by Galvatron\n\n");
+  galvatron::Run();
+  return 0;
+}

@@ -1,0 +1,63 @@
+/// Sec 5.6 as one curve: Galvatron throughput for a fixed model as the
+/// cluster grows 8 -> 16 -> 32 -> 64 GPUs (PCIe islands bridged by
+/// InfiniBand), with the strongest baseline at each size for contrast, and
+/// the search cost alongside (the paper: search time grows tolerably, not
+/// exponentially).
+
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "util/table_printer.h"
+
+namespace galvatron {
+namespace {
+
+void Run() {
+  ModelSpec model = BuildModel(ModelId::kBertHuge32);
+  TablePrinter table({"GPUs", "Galvatron (samples/s)", "vs 8-GPU",
+                      "best baseline", "baseline (samples/s)",
+                      "search time"});
+  double base_tput = 0;
+  for (int nodes : {1, 2, 4, 8}) {
+    ClusterSpec cluster = MakeHomogeneousCluster(
+        StrFormat("titan-%dx8", nodes), nodes, 8, 16 * kGB, 6.5e12,
+        LinkClass::kPcie3, LinkClass::kInfiniBand100);
+    Simulator sim(&cluster);
+
+    auto galvatron = RunBaseline(BaselineKind::kGalvatron, model, cluster);
+    if (!galvatron.ok()) continue;
+    auto metrics = sim.Run(model, galvatron->plan);
+    if (!metrics.ok() || metrics->oom) continue;
+    const double tput = metrics->throughput_samples_per_sec;
+    if (base_tput == 0) base_tput = tput;
+
+    double best_baseline = 0;
+    std::string best_name = "-";
+    for (BaselineKind kind : AllBaselineKinds()) {
+      if (kind == BaselineKind::kGalvatron) continue;
+      auto result = RunBaseline(kind, model, cluster);
+      if (!result.ok()) continue;
+      auto baseline_metrics = sim.Run(model, result->plan);
+      if (!baseline_metrics.ok() || baseline_metrics->oom) continue;
+      if (baseline_metrics->throughput_samples_per_sec > best_baseline) {
+        best_baseline = baseline_metrics->throughput_samples_per_sec;
+        best_name = std::string(BaselineKindToString(kind));
+      }
+    }
+
+    table.AddRow({StrFormat("%d", nodes * 8), StrFormat("%.2f", tput),
+                  StrFormat("%.2fx", tput / base_tput), best_name,
+                  StrFormat("%.2f", best_baseline),
+                  StrFormat("%.2fs", galvatron->stats.search_seconds)});
+  }
+  std::printf("Scalability: BERT-Huge-32 at 16G per GPU, PCIe islands over "
+              "InfiniBand\n\n%s\n", table.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace galvatron
+
+int main() {
+  galvatron::Run();
+  return 0;
+}

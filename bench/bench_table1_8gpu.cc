@@ -1,0 +1,52 @@
+/// Reproduces Table 1: throughput (samples/s) and best batch size of every
+/// strategy on the paper's eight workloads, on 8 simulated RTX-TITAN GPUs
+/// under 8/12/16/20 GB memory budgets. "OOM" marks infeasible cells.
+///
+/// Throughputs come from the discrete-event simulator (the stand-in for the
+/// paper's real testbed); each strategy's batch size / micro-batching /
+/// partitioning was tuned by its own search, exactly as in Sec 5.1.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "util/table_printer.h"
+
+namespace galvatron {
+namespace {
+
+void RunBudget(int64_t budget_gb) {
+  const ClusterSpec cluster = MakeTitanNode8(budget_gb * kGB);
+  const std::vector<ModelId> models = {
+      ModelId::kBertHuge32, ModelId::kBertHuge48, ModelId::kViTHuge32,
+      ModelId::kViTHuge48,  ModelId::kT5Large32,  ModelId::kT5Large48,
+      ModelId::kSwinHuge32, ModelId::kSwinHuge48};
+
+  std::vector<std::string> header = {"Strategy"};
+  for (ModelId id : models) header.emplace_back(ModelIdToString(id));
+  TablePrinter table(header);
+
+  for (BaselineKind kind : AllBaselineKinds()) {
+    std::vector<std::string> row = {std::string(BaselineKindToString(kind))};
+    for (ModelId id : models) {
+      ModelSpec model = BuildModel(id);
+      row.push_back(bench::MeasuredCell(kind, model, cluster));
+    }
+    table.AddRow(std::move(row));
+  }
+  std::printf("Memory budget %lldG:\n%s\n",
+              static_cast<long long>(budget_gb), table.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace galvatron
+
+int main() {
+  std::printf("Table 1: comparison with 8 GPUs under different memory "
+              "constraints (max throughput in samples/s, batch in "
+              "parentheses)\n\n");
+  for (int64_t budget : {8, 12, 16, 20}) {
+    galvatron::RunBudget(budget);
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+/// Reproduces Table 3: scalability to 16 GPUs — two 8-GPU PCIe islands
+/// bridged by 100 Gb InfiniBand — on BERT-Huge and ViT-Huge under 8 GB and
+/// 16 GB budgets.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "util/table_printer.h"
+
+namespace galvatron {
+namespace {
+
+void RunBudget(int64_t budget_gb) {
+  const ClusterSpec cluster = MakeTitanCluster16(budget_gb * kGB);
+  const std::vector<ModelId> models = {ModelId::kBertHuge32,
+                                       ModelId::kBertHuge48,
+                                       ModelId::kViTHuge32,
+                                       ModelId::kViTHuge48};
+  std::vector<std::string> header = {"Strategy"};
+  for (ModelId id : models) header.emplace_back(ModelIdToString(id));
+  TablePrinter table(header);
+  for (BaselineKind kind : AllBaselineKinds()) {
+    std::vector<std::string> row = {std::string(BaselineKindToString(kind))};
+    for (ModelId id : models) {
+      ModelSpec model = BuildModel(id);
+      row.push_back(bench::MeasuredCell(kind, model, cluster));
+    }
+    table.AddRow(std::move(row));
+  }
+  std::printf("Memory budget %lldG:\n%s\n",
+              static_cast<long long>(budget_gb), table.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace galvatron
+
+int main() {
+  std::printf("Table 3: comparison with 16 GPUs (2 nodes x 8, "
+              "100Gb InfiniBand between nodes)\n\n");
+  for (int64_t budget : {8, 16}) {
+    galvatron::RunBudget(budget);
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+/// Strategy anatomy: takes one workload and dissects WHY the searched
+/// hybrid plan beats each pure parallelism, by breaking the simulated
+/// iteration into compute-busy and communication-busy time and showing the
+/// per-device memory pressure of every alternative.
+
+#include <cstdio>
+
+#include "api/galvatron.h"
+#include "parallel/pipeline_partition.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace galvatron {
+namespace {
+
+void Run() {
+  ClusterSpec cluster = MakeTitanNode8(12 * kGB);
+  ModelSpec model = BuildModel(ModelId::kT5Large32);
+  Simulator simulator(&cluster);
+
+  std::printf("Dissecting strategies for %s on %s\n\n", model.name().c_str(),
+              cluster.ToString().c_str());
+
+  TablePrinter table({"Strategy", "samples/s", "batch", "compute-busy",
+                      "comm-busy", "peak mem", "comm groups"});
+  for (BaselineKind kind : AllBaselineKinds()) {
+    auto result = RunBaseline(kind, model, cluster);
+    if (!result.ok()) {
+      table.AddRow({std::string(BaselineKindToString(kind)), "OOM"});
+      continue;
+    }
+    auto metrics = simulator.Run(model, result->plan);
+    if (!metrics.ok() || metrics->oom) {
+      table.AddRow({std::string(BaselineKindToString(kind)), "OOM"});
+      continue;
+    }
+    table.AddRow(
+        {std::string(BaselineKindToString(kind)),
+         StrFormat("%.2f", metrics->throughput_samples_per_sec),
+         StrFormat("%d", result->plan.global_batch),
+         StrFormat("%.3fs", metrics->compute_busy_sec),
+         StrFormat("%.3fs", metrics->comm_busy_sec),
+         HumanBytes(static_cast<double>(metrics->max_peak_memory_bytes)),
+         StrFormat("%d", metrics->num_comm_groups)});
+  }
+  std::printf("%s\n", table.ToString().c_str());
+
+  auto best = RunBaseline(BaselineKind::kGalvatron, model, cluster);
+  if (best.ok()) {
+    std::printf("winning plan:\n%s", best->plan.ToString().c_str());
+  }
+}
+
+}  // namespace
+}  // namespace galvatron
+
+int main() {
+  galvatron::Run();
+  return 0;
+}

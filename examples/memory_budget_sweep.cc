@@ -1,0 +1,64 @@
+/// Capacity planning: how does the best achievable throughput (and the
+/// winning parallelism mix) change as the per-GPU memory budget grows?
+/// This is the workflow behind Table 1's rows — useful when deciding how
+/// much memory to reserve per job on a shared cluster.
+
+#include <cstdio>
+
+#include "api/galvatron.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace galvatron {
+namespace {
+
+/// Summarizes which parallelism dimensions the plan's layers use.
+std::string DimsUsed(const TrainingPlan& plan) {
+  bool dp = false, sdp = false, tp = false;
+  for (const StagePlan& stage : plan.stages) {
+    for (const HybridStrategy& s : stage.layer_strategies) {
+      dp |= s.Uses(ParallelDim::kData);
+      sdp |= s.Uses(ParallelDim::kShardedData);
+      tp |= s.Uses(ParallelDim::kTensor);
+    }
+  }
+  std::string out;
+  if (plan.pp_degree() > 1) out += "pp ";
+  if (dp) out += "dp ";
+  if (sdp) out += "sdp ";
+  if (tp) out += "tp ";
+  if (out.empty()) out = "serial";
+  if (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+void Run() {
+  ModelSpec model = BuildModel(ModelId::kSwinHuge48);
+  TablePrinter table({"budget", "samples/s (sim)", "batch", "PP", "micro",
+                      "dims used"});
+  for (int64_t gb = 6; gb <= 24; gb += 2) {
+    ClusterSpec cluster = MakeTitanNode8(gb * kGB);
+    auto result = Galvatron::PlanAndMeasure(model, cluster);
+    if (!result.ok()) {
+      table.AddRow({StrFormat("%lldG", static_cast<long long>(gb)), "OOM"});
+      continue;
+    }
+    table.AddRow({StrFormat("%lldG", static_cast<long long>(gb)),
+                  StrFormat("%.2f",
+                            result->measured.throughput_samples_per_sec),
+                  StrFormat("%d", result->plan.global_batch),
+                  StrFormat("%d", result->plan.pp_degree()),
+                  StrFormat("%d", result->plan.num_micro_batches),
+                  DimsUsed(result->plan)});
+  }
+  std::printf("Memory-budget sweep for %s on 8 GPUs:\n\n%s",
+              model.name().c_str(), table.ToString().c_str());
+}
+
+}  // namespace
+}  // namespace galvatron
+
+int main() {
+  galvatron::Run();
+  return 0;
+}

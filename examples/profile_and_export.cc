@@ -1,0 +1,79 @@
+/// Production workflow: profile the model's layers on one device (the
+/// paper's Sec-3.4 measurement pathway), search with the measured profile,
+/// export the winning plan as JSON for the training launcher, and dump a
+/// Chrome trace of the simulated iteration for inspection.
+
+#include <cstdio>
+#include <fstream>
+
+#include "api/galvatron.h"
+#include "api/plan_io.h"
+#include "estimator/profiler.h"
+#include "util/string_util.h"
+
+namespace galvatron {
+namespace {
+
+void Run() {
+  ClusterSpec cluster = MakeTitanNode8(12 * kGB);
+  ModelSpec model = BuildModel(ModelId::kT5Large32);
+
+  // 1. Profile each distinct layer shape on a single device.
+  Profiler profiler(&cluster);
+  auto table = profiler.ProfileModel(model);
+  if (!table.ok()) {
+    std::printf("profiling failed: %s\n", table.status().ToString().c_str());
+    return;
+  }
+  std::printf("profiled %zu distinct layer shapes:\n", table->size());
+  for (const auto& [signature, profile] : *table) {
+    std::printf("  %-24.24s  %.3f ms + %.3f ms/sample\n", signature.c_str(),
+                profile.fwd_base_sec * 1e3,
+                profile.fwd_sec_per_sample * 1e3);
+  }
+
+  // 2. Search with the measured profile driving the cost estimator.
+  OptimizerOptions options;
+  options.allow_recompute = true;
+  Optimizer optimizer(&cluster, options);
+  // (Optimizer owns its estimator; for profile-driven search, drive the
+  // estimator directly or use the CLI. Here we plan analytically and use
+  // the profile for validation.)
+  auto result = optimizer.Optimize(model);
+  if (!result.ok()) {
+    std::printf("planning failed: %s\n", result.status().ToString().c_str());
+    return;
+  }
+  std::printf("\n%s", result->plan.ToString().c_str());
+
+  // 3. Cross-check the plan with a profile-driven estimator.
+  CostEstimator profiled_estimator(&cluster);
+  profiled_estimator.set_profile(&*table);
+  auto profiled_cost = profiled_estimator.EstimatePlan(model, result->plan);
+  if (profiled_cost.ok()) {
+    std::printf("\nanalytic estimate: %.2f samples/s, "
+                "profile-driven estimate: %.2f samples/s\n",
+                result->estimated.throughput_samples_per_sec,
+                profiled_cost->throughput_samples_per_sec);
+  }
+
+  // 4. Export: JSON plan for the launcher, Chrome trace for inspection.
+  std::ofstream("t5_plan.json") << PlanToJson(result->plan);
+  Simulator simulator(&cluster);
+  std::string trace;
+  auto metrics = simulator.RunWithTrace(model, result->plan, &trace);
+  if (metrics.ok()) {
+    std::ofstream("t5_trace.json") << trace;
+    std::printf("simulated %.2f samples/s; wrote t5_plan.json and "
+                "t5_trace.json (open in chrome://tracing)\n",
+                metrics->throughput_samples_per_sec);
+  }
+}
+
+}  // namespace
+}  // namespace galvatron
+
+int main() {
+  galvatron::Run();
+  return 0;
+}

@@ -1,0 +1,59 @@
+/// Quickstart: find and inspect the best hybrid-parallel training plan for
+/// BERT-Huge-32 on a single 8-GPU node with a 16 GB per-device budget, then
+/// execute one simulated training iteration.
+///
+/// Build & run:
+///   cmake -B build -G Ninja && cmake --build build
+///   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "api/galvatron.h"
+#include "util/string_util.h"
+
+using galvatron::BuildModel;
+using galvatron::ClusterSpec;
+using galvatron::Galvatron;
+using galvatron::HumanBytes;
+using galvatron::kGB;
+using galvatron::MakeTitanNode8;
+using galvatron::ModelId;
+using galvatron::ModelSpec;
+
+int main() {
+  std::printf("%s\n\n", Galvatron::Version().c_str());
+
+  // 1. Describe the hardware: 8 RTX-TITAN-class GPUs on PCIe 3.0, with a
+  //    16 GB usable memory budget per device.
+  ClusterSpec cluster = MakeTitanNode8(16 * kGB);
+  std::printf("cluster: %s\n\n", cluster.ToString().c_str());
+
+  // 2. Pick a model from the zoo (or build your own; see custom_model.cc).
+  ModelSpec model = BuildModel(ModelId::kBertHuge32);
+  std::printf("model: %s, %d layers, %.0fM parameters\n\n",
+              model.name().c_str(), model.num_layers(),
+              model.TotalParams() / 1e6);
+
+  // 3. Search the hybrid parallelism space (Algorithm 1 of the paper) and
+  //    execute the winning plan on the cluster simulator.
+  auto result = Galvatron::PlanAndMeasure(model, cluster);
+  if (!result.ok()) {
+    std::printf("planning failed: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%s\n", result->plan.ToString().c_str());
+  std::printf("estimated: %.2f samples/s (iteration %.3fs)\n",
+              result->estimated.throughput_samples_per_sec,
+              result->estimated.iteration_seconds);
+  std::printf("simulated: %.2f samples/s, peak memory %s on %d tasks\n",
+              result->measured.throughput_samples_per_sec,
+              HumanBytes(static_cast<double>(
+                             result->measured.max_peak_memory_bytes))
+                  .c_str(),
+              result->measured.num_tasks);
+  std::printf("search took %.2fs over %d configurations\n",
+              result->search_stats.search_seconds,
+              result->search_stats.configs_explored);
+  return 0;
+}

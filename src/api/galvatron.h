@@ -1,0 +1,74 @@
+#ifndef GALVATRON_API_GALVATRON_H_
+#define GALVATRON_API_GALVATRON_H_
+
+/// \file
+/// Galvatron-CPP public API: automatic hybrid-parallel training plans for
+/// Transformer models over multi-GPU clusters (PVLDB 16(3), 2022).
+///
+/// Quickstart:
+///
+///   ClusterSpec cluster = MakeTitanNode8(16 * kGiB);
+///   ModelSpec model = BuildModel(ModelId::kBertHuge32);
+///   GALVATRON_ASSIGN_OR_RETURN(TrainedPlan result,
+///                              Galvatron::Plan(model, cluster));
+///   std::cout << result.plan.ToString();
+///
+/// See examples/quickstart.cc for a complete program.
+
+#include <string>
+
+#include "baselines/baselines.h"
+#include "cluster/cluster.h"
+#include "estimator/cost_estimator.h"
+#include "ir/model.h"
+#include "ir/model_zoo.h"
+#include "parallel/plan.h"
+#include "search/optimizer.h"
+#include "sim/simulator.h"
+#include "util/result.h"
+
+namespace galvatron {
+
+/// A plan together with its estimated and (optionally) simulated
+/// performance.
+struct TrainedPlan {
+  TrainingPlan plan;
+  PlanCost estimated;
+  SearchStats search_stats;
+  /// Filled by Galvatron::Measure / PlanAndMeasure.
+  SimMetrics measured;
+  bool has_measurement = false;
+};
+
+/// Facade over the optimizer, estimator and simulator. All methods are
+/// stateless conveniences; power users can drive Optimizer / CostEstimator
+/// / Simulator directly.
+class Galvatron {
+ public:
+  /// Searches the hybrid-parallelism space (Algorithm 1) and returns the
+  /// highest-throughput plan for `model` on `cluster`.
+  static Result<TrainedPlan> Plan(const ModelSpec& model,
+                                  const ClusterSpec& cluster,
+                                  const OptimizerOptions& options = {});
+
+  /// Runs one simulated training iteration of `plan` and fills
+  /// `measured`. The simulator stands in for the paper's real GPU testbeds
+  /// (see DESIGN.md).
+  static Result<SimMetrics> Measure(const ModelSpec& model,
+                                    const TrainingPlan& plan,
+                                    const ClusterSpec& cluster,
+                                    const SimOptions& options = {});
+
+  /// Plan + Measure in one call.
+  static Result<TrainedPlan> PlanAndMeasure(
+      const ModelSpec& model, const ClusterSpec& cluster,
+      const OptimizerOptions& optimizer_options = {},
+      const SimOptions& sim_options = {});
+
+  /// Library version string.
+  static std::string Version();
+};
+
+}  // namespace galvatron
+
+#endif  // GALVATRON_API_GALVATRON_H_

@@ -1,0 +1,346 @@
+#include "api/plan_io.h"
+
+#include <cctype>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace galvatron {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Minimal JSON value model + recursive-descent parser, sufficient for the
+// fixed plan schema (objects, arrays, strings, integers, booleans). Kept
+// internal to this translation unit; no third-party dependency.
+// ---------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Kind { kObject, kArray, kString, kNumber, kBool, kNull };
+  Kind kind = Kind::kNull;
+  std::map<std::string, JsonValue> object;
+  std::vector<JsonValue> array;
+  std::string string;
+  double number = 0;
+  bool boolean = false;
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    GALVATRON_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("trailing characters after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  Status Expect(char c) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      return Status::InvalidArgument(
+          StrFormat("expected '%c' at offset %zu", c, pos_));
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  bool Peek(char c) {
+    SkipSpace();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  Result<JsonValue> ParseValue() {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return Status::InvalidArgument("unexpected end of JSON");
+    }
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') return ParseString();
+    if (c == 't' || c == 'f') return ParseBool();
+    if (c == 'n') return ParseNull();
+    return ParseNumber();
+  }
+
+  Result<JsonValue> ParseObject() {
+    GALVATRON_RETURN_IF_ERROR(Expect('{'));
+    JsonValue value;
+    value.kind = JsonValue::Kind::kObject;
+    if (Peek('}')) {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      GALVATRON_ASSIGN_OR_RETURN(JsonValue key, ParseString());
+      GALVATRON_RETURN_IF_ERROR(Expect(':'));
+      GALVATRON_ASSIGN_OR_RETURN(JsonValue member, ParseValue());
+      value.object.emplace(key.string, std::move(member));
+      if (Peek(',')) {
+        ++pos_;
+        continue;
+      }
+      GALVATRON_RETURN_IF_ERROR(Expect('}'));
+      return value;
+    }
+  }
+
+  Result<JsonValue> ParseArray() {
+    GALVATRON_RETURN_IF_ERROR(Expect('['));
+    JsonValue value;
+    value.kind = JsonValue::Kind::kArray;
+    if (Peek(']')) {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      GALVATRON_ASSIGN_OR_RETURN(JsonValue element, ParseValue());
+      value.array.push_back(std::move(element));
+      if (Peek(',')) {
+        ++pos_;
+        continue;
+      }
+      GALVATRON_RETURN_IF_ERROR(Expect(']'));
+      return value;
+    }
+  }
+
+  Result<JsonValue> ParseString() {
+    GALVATRON_RETURN_IF_ERROR(Expect('"'));
+    JsonValue value;
+    value.kind = JsonValue::Kind::kString;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) {
+          return Status::InvalidArgument("dangling escape in string");
+        }
+        const char escaped = text_[pos_++];
+        switch (escaped) {
+          case '"':
+          case '\\':
+          case '/':
+            c = escaped;
+            break;
+          case 'n':
+            c = '\n';
+            break;
+          case 't':
+            c = '\t';
+            break;
+          default:
+            return Status::InvalidArgument(
+                StrFormat("unsupported escape '\\%c'", escaped));
+        }
+      }
+      value.string += c;
+    }
+    GALVATRON_RETURN_IF_ERROR(Expect('"'));
+    return value;
+  }
+
+  Result<JsonValue> ParseBool() {
+    JsonValue value;
+    value.kind = JsonValue::Kind::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      value.boolean = true;
+      pos_ += 4;
+      return value;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      value.boolean = false;
+      pos_ += 5;
+      return value;
+    }
+    return Status::InvalidArgument("bad literal");
+  }
+
+  Result<JsonValue> ParseNull() {
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return JsonValue{};
+    }
+    return Status::InvalidArgument("bad literal");
+  }
+
+  Result<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::InvalidArgument(
+          StrFormat("unexpected character at offset %zu", start));
+    }
+    JsonValue value;
+    value.kind = JsonValue::Kind::kNumber;
+    value.number = std::atof(text_.substr(start, pos_ - start).c_str());
+    return value;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+Result<const JsonValue*> GetMember(const JsonValue& object,
+                                   const std::string& key,
+                                   JsonValue::Kind kind) {
+  auto it = object.object.find(key);
+  if (it == object.object.end()) {
+    return Status::InvalidArgument(StrFormat("missing field '%s'",
+                                             key.c_str()));
+  }
+  if (it->second.kind != kind) {
+    return Status::InvalidArgument(StrFormat("field '%s' has wrong type",
+                                             key.c_str()));
+  }
+  return &it->second;
+}
+
+Result<int> GetInt(const JsonValue& object, const std::string& key) {
+  GALVATRON_ASSIGN_OR_RETURN(
+      const JsonValue* value,
+      GetMember(object, key, JsonValue::Kind::kNumber));
+  return static_cast<int>(value->number);
+}
+
+Result<std::string> GetString(const JsonValue& object,
+                              const std::string& key) {
+  GALVATRON_ASSIGN_OR_RETURN(
+      const JsonValue* value,
+      GetMember(object, key, JsonValue::Kind::kString));
+  return value->string;
+}
+
+}  // namespace
+
+std::string PlanToJson(const TrainingPlan& plan) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"model\": \"" << EscapeJson(plan.model_name) << "\",\n";
+  os << "  \"global_batch\": " << plan.global_batch << ",\n";
+  os << "  \"micro_batches\": " << plan.num_micro_batches << ",\n";
+  os << "  \"schedule\": \"" << PipelineScheduleToString(plan.schedule)
+     << "\",\n";
+  os << "  \"stages\": [";
+  for (size_t s = 0; s < plan.stages.size(); ++s) {
+    const StagePlan& stage = plan.stages[s];
+    if (s > 0) os << ",";
+    os << "\n    {\n";
+    os << "      \"first_device\": " << stage.first_device << ",\n";
+    os << "      \"num_devices\": " << stage.num_devices << ",\n";
+    os << "      \"first_layer\": " << stage.first_layer << ",\n";
+    os << "      \"num_layers\": " << stage.num_layers << ",\n";
+    os << "      \"layers\": [";
+    for (int i = 0; i < stage.num_layers; ++i) {
+      if (i > 0) os << ",";
+      os << "\n        {\"strategy\": \""
+         << stage.layer_strategies[static_cast<size_t>(i)].ToString()
+         << "\", \"recompute\": "
+         << (stage.RecomputeAt(i) ? "true" : "false") << "}";
+    }
+    os << "\n      ]\n    }";
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
+Result<TrainingPlan> ParsePlanJson(const std::string& json) {
+  JsonParser parser(json);
+  GALVATRON_ASSIGN_OR_RETURN(JsonValue root, parser.Parse());
+  if (root.kind != JsonValue::Kind::kObject) {
+    return Status::InvalidArgument("plan JSON must be an object");
+  }
+
+  TrainingPlan plan;
+  GALVATRON_ASSIGN_OR_RETURN(plan.model_name, GetString(root, "model"));
+  GALVATRON_ASSIGN_OR_RETURN(plan.global_batch,
+                             GetInt(root, "global_batch"));
+  GALVATRON_ASSIGN_OR_RETURN(plan.num_micro_batches,
+                             GetInt(root, "micro_batches"));
+  GALVATRON_ASSIGN_OR_RETURN(std::string schedule,
+                             GetString(root, "schedule"));
+  if (schedule == "gpipe") {
+    plan.schedule = PipelineSchedule::kGPipe;
+  } else if (schedule == "1f1b") {
+    plan.schedule = PipelineSchedule::k1F1B;
+  } else {
+    return Status::InvalidArgument(
+        StrFormat("unknown schedule '%s'", schedule.c_str()));
+  }
+
+  GALVATRON_ASSIGN_OR_RETURN(
+      const JsonValue* stages,
+      GetMember(root, "stages", JsonValue::Kind::kArray));
+  for (const JsonValue& stage_json : stages->array) {
+    if (stage_json.kind != JsonValue::Kind::kObject) {
+      return Status::InvalidArgument("stage must be an object");
+    }
+    StagePlan stage;
+    GALVATRON_ASSIGN_OR_RETURN(stage.first_device,
+                               GetInt(stage_json, "first_device"));
+    GALVATRON_ASSIGN_OR_RETURN(stage.num_devices,
+                               GetInt(stage_json, "num_devices"));
+    GALVATRON_ASSIGN_OR_RETURN(stage.first_layer,
+                               GetInt(stage_json, "first_layer"));
+    GALVATRON_ASSIGN_OR_RETURN(stage.num_layers,
+                               GetInt(stage_json, "num_layers"));
+    GALVATRON_ASSIGN_OR_RETURN(
+        const JsonValue* layers,
+        GetMember(stage_json, "layers", JsonValue::Kind::kArray));
+    bool any_recompute = false;
+    std::vector<uint8_t> recompute;
+    for (const JsonValue& layer_json : layers->array) {
+      if (layer_json.kind != JsonValue::Kind::kObject) {
+        return Status::InvalidArgument("layer entry must be an object");
+      }
+      GALVATRON_ASSIGN_OR_RETURN(std::string strategy_text,
+                                 GetString(layer_json, "strategy"));
+      GALVATRON_ASSIGN_OR_RETURN(HybridStrategy strategy,
+                                 HybridStrategy::Parse(strategy_text));
+      stage.layer_strategies.push_back(std::move(strategy));
+      GALVATRON_ASSIGN_OR_RETURN(
+          const JsonValue* flag,
+          GetMember(layer_json, "recompute", JsonValue::Kind::kBool));
+      recompute.push_back(flag->boolean ? 1 : 0);
+      any_recompute |= flag->boolean;
+    }
+    if (static_cast<int>(stage.layer_strategies.size()) !=
+        stage.num_layers) {
+      return Status::InvalidArgument(
+          "layers array length disagrees with num_layers");
+    }
+    if (any_recompute) stage.recompute = std::move(recompute);
+    plan.stages.push_back(std::move(stage));
+  }
+  return plan;
+}
+
+}  // namespace galvatron

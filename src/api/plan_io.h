@@ -1,0 +1,42 @@
+#ifndef GALVATRON_API_PLAN_IO_H_
+#define GALVATRON_API_PLAN_IO_H_
+
+#include <string>
+
+#include "parallel/plan.h"
+#include "util/result.h"
+
+namespace galvatron {
+
+/// Serializes a training plan to JSON, e.g.:
+///
+/// {
+///   "model": "BERT-Huge-32",
+///   "global_batch": 32,
+///   "micro_batches": 1,
+///   "schedule": "gpipe",
+///   "stages": [
+///     {
+///       "first_device": 0, "num_devices": 8,
+///       "first_layer": 0, "num_layers": 34,
+///       "layers": [
+///         {"strategy": "tp2-dp4", "recompute": false},
+///         ...
+///       ]
+///     }
+///   ]
+/// }
+///
+/// The format is stable and round-trips through ParsePlanJson; plans are
+/// how deployments persist and ship the search result to the training job
+/// (the real Galvatron writes the plan into the PyTorch launcher).
+std::string PlanToJson(const TrainingPlan& plan);
+
+/// Parses a plan serialized by PlanToJson. Strict: unknown strategy tokens,
+/// malformed structure or type mismatches are InvalidArgument errors. The
+/// result still needs TrainingPlan::Validate against a model/cluster.
+Result<TrainingPlan> ParsePlanJson(const std::string& json);
+
+}  // namespace galvatron
+
+#endif  // GALVATRON_API_PLAN_IO_H_

@@ -1,0 +1,84 @@
+#include "api/plan_render.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace galvatron {
+
+namespace {
+
+constexpr int kBarWidth = 10;
+
+std::string Bar(double fraction) {
+  const int filled = std::clamp(
+      static_cast<int>(fraction * kBarWidth + 0.5), 0, kBarWidth);
+  std::string bar = "|";
+  bar.append(static_cast<size_t>(filled), '#');
+  bar.append(static_cast<size_t>(kBarWidth - filled), ' ');
+  bar += "|";
+  return bar;
+}
+
+}  // namespace
+
+std::string RenderPlanDiagram(const ModelSpec& model,
+                              const TrainingPlan& plan) {
+  // Scale bars against the largest single layer in the model.
+  int64_t max_params = 1;
+  int64_t max_activation = 1;
+  for (const LayerSpec& layer : model.layers()) {
+    max_params = std::max(max_params, layer.param_count());
+    max_activation = std::max(max_activation, layer.SavedActivationBytes(1));
+  }
+
+  std::ostringstream os;
+  os << "plan diagram for " << plan.model_name << " (bar scale: largest "
+     << "layer; P = parameters, A = activations/sample)\n";
+  for (size_t s = 0; s < plan.stages.size(); ++s) {
+    const StagePlan& stage = plan.stages[s];
+    os << "stage" << s << "[gpu" << stage.first_device << "-"
+       << stage.first_device + stage.num_devices - 1 << "]";
+    if (s == 0) {
+      os << "  batch " << plan.global_batch << ", "
+         << plan.num_micro_batches << " micro-batch(es), "
+         << PipelineScheduleToString(plan.schedule);
+    }
+    os << "\n";
+
+    int i = 0;
+    while (i < stage.num_layers) {
+      const LayerSpec& first = model.layer(stage.first_layer + i);
+      int j = i;
+      while (j < stage.num_layers &&
+             stage.layer_strategies[static_cast<size_t>(j)] ==
+                 stage.layer_strategies[static_cast<size_t>(i)] &&
+             stage.RecomputeAt(j) == stage.RecomputeAt(i) &&
+             model.layer(stage.first_layer + j).signature() ==
+                 first.signature()) {
+        ++j;
+      }
+      const int global_first = stage.first_layer + i;
+      const int global_last = stage.first_layer + j - 1;
+      std::string range =
+          global_first == global_last
+              ? StrFormat("layer  %3d    ", global_first)
+              : StrFormat("layers %3d-%-3d", global_first, global_last);
+      os << "  " << range << " "
+         << StrFormat("%-10.10s",
+                      std::string(LayerKindToString(first.kind())).c_str())
+         << " P" << Bar(static_cast<double>(first.param_count()) /
+                        static_cast<double>(max_params))
+         << " A" << Bar(static_cast<double>(first.SavedActivationBytes(1)) /
+                        static_cast<double>(max_activation))
+         << " " << stage.layer_strategies[static_cast<size_t>(i)].ToString();
+      if (stage.RecomputeAt(i)) os << " +ckpt";
+      os << "\n";
+      i = j;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace galvatron

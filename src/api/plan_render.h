@@ -1,0 +1,28 @@
+#ifndef GALVATRON_API_PLAN_RENDER_H_
+#define GALVATRON_API_PLAN_RENDER_H_
+
+#include <string>
+
+#include "ir/model.h"
+#include "parallel/plan.h"
+
+namespace galvatron {
+
+/// Figure-5-style diagram of a plan: one row per run of consecutive layers
+/// sharing a strategy, with bars showing each run's parameter size and
+/// per-sample activation size relative to the model's largest layer — the
+/// two quantities that drive strategy choice (the paper draws the same
+/// picture with rectangle height = parameters, width = activations).
+///
+/// Example:
+///
+///   stage0[gpu0-7]  batch 32, 1 micro-batch(es)
+///     layer  0      Embedding  P|####      |  A|#         |  sdp8
+///     layers 1-22   Encoder    P|######### |  A|##########|  tp2-dp4
+///     layers 23-33  Encoder    P|######### |  A|##########|  tp2-sdp4 +ckpt
+std::string RenderPlanDiagram(const ModelSpec& model,
+                              const TrainingPlan& plan);
+
+}  // namespace galvatron
+
+#endif  // GALVATRON_API_PLAN_RENDER_H_

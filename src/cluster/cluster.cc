@@ -1,0 +1,188 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace galvatron {
+
+Result<ClusterSpec> ClusterSpec::Create(std::string name, int num_devices,
+                                        int64_t device_memory_bytes,
+                                        double sustained_flops,
+                                        std::vector<TopologyLevel> levels) {
+  if (num_devices <= 0) {
+    return Status::InvalidArgument("num_devices must be positive");
+  }
+  if (levels.empty()) {
+    return Status::InvalidArgument("topology needs at least one level");
+  }
+  int prev_span = 1;
+  for (const TopologyLevel& level : levels) {
+    if (level.span <= prev_span && !(prev_span == 1 && level.span == 1)) {
+      return Status::InvalidArgument(
+          StrFormat("level spans must be strictly ascending (%d after %d)",
+                    level.span, prev_span));
+    }
+    if (level.span % prev_span != 0) {
+      return Status::InvalidArgument(StrFormat(
+          "level span %d is not a multiple of inner span %d", level.span,
+          prev_span));
+    }
+    if (level.link.bandwidth_bytes_per_sec <= 0) {
+      return Status::InvalidArgument("link bandwidth must be positive");
+    }
+    prev_span = level.span;
+  }
+  if (levels.back().span != num_devices) {
+    return Status::InvalidArgument(StrFormat(
+        "outermost span %d must equal num_devices %d", levels.back().span,
+        num_devices));
+  }
+
+  ClusterSpec cluster;
+  cluster.name_ = std::move(name);
+  cluster.levels_ = std::move(levels);
+  cluster.devices_.resize(static_cast<size_t>(num_devices));
+  for (int i = 0; i < num_devices; ++i) {
+    cluster.devices_[static_cast<size_t>(i)] =
+        Device{i, device_memory_bytes, sustained_flops};
+  }
+  return cluster;
+}
+
+ClusterSpec ClusterSpec::WithMemoryBudget(int64_t memory_bytes) const {
+  ClusterSpec copy = *this;
+  for (Device& d : copy.devices_) d.memory_bytes = memory_bytes;
+  return copy;
+}
+
+ClusterSpec ClusterSpec::WithDeviceMemoryRange(int first, int count,
+                                               int64_t memory_bytes) const {
+  GALVATRON_CHECK_GE(first, 0);
+  GALVATRON_CHECK_LE(first + count, num_devices());
+  ClusterSpec copy = *this;
+  for (int i = first; i < first + count; ++i) {
+    copy.devices_[static_cast<size_t>(i)].memory_bytes = memory_bytes;
+  }
+  return copy;
+}
+
+int64_t ClusterSpec::MinMemoryInRange(int first, int count) const {
+  GALVATRON_CHECK_GE(first, 0);
+  GALVATRON_CHECK_GE(count, 1);
+  GALVATRON_CHECK_LE(first + count, num_devices());
+  int64_t min_memory = devices_[static_cast<size_t>(first)].memory_bytes;
+  for (int i = first + 1; i < first + count; ++i) {
+    min_memory =
+        std::min(min_memory, devices_[static_cast<size_t>(i)].memory_bytes);
+  }
+  return min_memory;
+}
+
+bool ClusterSpec::HasUniformMemory() const {
+  return MinMemoryInRange(0, num_devices()) ==
+         devices_.front().memory_bytes &&
+         std::all_of(devices_.begin(), devices_.end(), [&](const Device& d) {
+           return d.memory_bytes == devices_.front().memory_bytes;
+         });
+}
+
+const LinkSpec& ClusterSpec::LinkBetween(int device_a, int device_b) const {
+  GALVATRON_CHECK_NE(device_a, device_b);
+  for (const TopologyLevel& level : levels_) {
+    if (device_a / level.span == device_b / level.span) return level.link;
+  }
+  GALVATRON_CHECK(false) << "devices outside cluster";
+  return levels_.back().link;
+}
+
+const LinkSpec& ClusterSpec::GroupBottleneckLink(
+    const std::vector<int>& device_ids) const {
+  GALVATRON_CHECK_GE(device_ids.size(), 2u);
+  for (const TopologyLevel& level : levels_) {
+    if (SameBlock(/*level_index=*/static_cast<int>(&level - levels_.data()),
+                  device_ids)) {
+      return level.link;
+    }
+  }
+  GALVATRON_CHECK(false) << "group outside cluster";
+  return levels_.back().link;
+}
+
+bool ClusterSpec::SameBlock(int level_index,
+                            const std::vector<int>& device_ids) const {
+  const int span = levels_[static_cast<size_t>(level_index)].span;
+  const int block = device_ids.front() / span;
+  return std::all_of(device_ids.begin(), device_ids.end(),
+                     [&](int id) { return id / span == block; });
+}
+
+std::string ClusterSpec::ToString() const {
+  std::ostringstream os;
+  os << name_ << ": " << num_devices() << " devices, "
+     << HumanBytes(static_cast<double>(device_memory_bytes())) << "/device, "
+     << StrFormat("%.1f", sustained_flops() / 1e12) << " TFLOP/s sustained;";
+  for (const TopologyLevel& level : levels_) {
+    os << " [span " << level.span << ": " << LinkClassToString(level.link.cls)
+       << " " << StrFormat("%.1f", level.link.bandwidth_bytes_per_sec / 1e9)
+       << " GB/s]";
+  }
+  return os.str();
+}
+
+namespace {
+
+// Sustained dense-matmul throughput (FLOP/s) used for calibration; see
+// EXPERIMENTS.md. RTX TITAN: 16.3 TF peak fp32, ~35% achieved in training.
+constexpr double kTitanSustainedFlops = 6.5e12;
+// A100: the paper's 64-GPU throughputs imply ~12+ TF/s sustained per GPU,
+// i.e. TF32 tensor-core execution (156 TF peak) at a realistic fraction.
+constexpr double kA100SustainedFlops = 17e12;
+
+}  // namespace
+
+ClusterSpec MakeHomogeneousCluster(std::string name, int num_nodes,
+                                   int gpus_per_node,
+                                   int64_t memory_budget_bytes,
+                                   double sustained_flops, LinkClass intra_link,
+                                   LinkClass inter_link) {
+  std::vector<TopologyLevel> levels;
+  levels.push_back(TopologyLevel{gpus_per_node, DefaultLinkSpec(intra_link)});
+  if (num_nodes > 1) {
+    levels.push_back(
+        TopologyLevel{num_nodes * gpus_per_node, DefaultLinkSpec(inter_link)});
+  }
+  auto result = ClusterSpec::Create(std::move(name),
+                                    num_nodes * gpus_per_node,
+                                    memory_budget_bytes, sustained_flops,
+                                    std::move(levels));
+  GALVATRON_CHECK(result.ok()) << result.status();
+  return *std::move(result);
+}
+
+ClusterSpec MakeTitanNode8(int64_t memory_budget_bytes) {
+  return MakeHomogeneousCluster("titan-node-8", /*num_nodes=*/1,
+                                /*gpus_per_node=*/8, memory_budget_bytes,
+                                kTitanSustainedFlops, LinkClass::kPcie3,
+                                LinkClass::kInfiniBand100);
+}
+
+ClusterSpec MakeTitanCluster16(int64_t memory_budget_bytes) {
+  return MakeHomogeneousCluster("titan-cluster-16", /*num_nodes=*/2,
+                                /*gpus_per_node=*/8, memory_budget_bytes,
+                                kTitanSustainedFlops, LinkClass::kPcie3,
+                                LinkClass::kInfiniBand100);
+}
+
+ClusterSpec MakeA100Cluster64(int64_t memory_budget_bytes) {
+  ClusterSpec cluster = MakeHomogeneousCluster(
+      "a100-cluster-64", /*num_nodes=*/8,
+      /*gpus_per_node=*/8, memory_budget_bytes, kA100SustainedFlops,
+      LinkClass::kNvLink, LinkClass::kInfiniBand100);
+  cluster.set_kernel_launch_overhead_sec(12e-6);
+  return cluster;
+}
+
+}  // namespace galvatron

@@ -1,0 +1,148 @@
+#ifndef GALVATRON_CLUSTER_CLUSTER_H_
+#define GALVATRON_CLUSTER_CLUSTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/link.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace galvatron {
+
+/// One GPU. Devices are homogeneous within a cluster (Takeaway #2 assumes
+/// this); `sustained_flops` is the achievable dense-matmul throughput, not
+/// the datasheet peak.
+struct Device {
+  int id = 0;
+  int64_t memory_bytes = 0;    // usable budget E (the paper varies this)
+  double sustained_flops = 0;  // FLOP/s achievable on dense kernels
+};
+
+/// One level of the bandwidth hierarchy: devices whose ids fall in the same
+/// contiguous block of `span` share this link (and all faster inner links).
+/// Levels are ordered innermost (smallest span, fastest) to outermost; the
+/// last level spans the whole cluster.
+struct TopologyLevel {
+  int span = 0;
+  LinkSpec link;
+};
+
+/// A homogeneous GPU cluster with a hierarchical interconnect.
+///
+/// Device ids are 0..n-1 and the hierarchy is expressed by contiguous
+/// blocks: e.g. 16 GPUs as {span 8, PCIe3}, {span 16, IB} means ids 0-7 and
+/// 8-15 are the two PCIe "islands" bridged by InfiniBand — exactly the
+/// island structure Takeaway #1 keys on.
+class ClusterSpec {
+ public:
+  /// Validates and builds a cluster. Errors if spans are not ascending,
+  /// not divisors of each other, or the last span != num_devices.
+  static Result<ClusterSpec> Create(std::string name, int num_devices,
+                                    int64_t device_memory_bytes,
+                                    double sustained_flops,
+                                    std::vector<TopologyLevel> levels);
+
+  const std::string& name() const { return name_; }
+  int num_devices() const { return static_cast<int>(devices_.size()); }
+  const std::vector<Device>& devices() const { return devices_; }
+  const Device& device(int id) const { return devices_[static_cast<size_t>(id)]; }
+  const std::vector<TopologyLevel>& levels() const { return levels_; }
+
+  int64_t device_memory_bytes() const { return devices_.front().memory_bytes; }
+  double sustained_flops() const { return devices_.front().sustained_flops; }
+
+  /// Fixed CPU/driver cost per kernel launch. Small micro-batches pay it
+  /// per op per micro-batch, which is what keeps GPipe from profitably
+  /// splitting batches into ever-smaller slivers.
+  double kernel_launch_overhead_sec() const {
+    return kernel_launch_overhead_sec_;
+  }
+  void set_kernel_launch_overhead_sec(double seconds) {
+    kernel_launch_overhead_sec_ = seconds;
+  }
+
+  /// Small-batch GEMM efficiency: a kernel over b local samples achieves
+  /// eff(b) = b / (b + small_batch_half_life) of sustained throughput
+  /// (under-filled tiles / low occupancy). 1.0 means batch-1 runs at half
+  /// throughput, which matches fp32 Transformer layers on these parts.
+  double small_batch_half_life() const { return small_batch_half_life_; }
+  void set_small_batch_half_life(double samples) {
+    small_batch_half_life_ = samples;
+  }
+
+  /// Per-micro-batch, per-boundary scheduling overhead of the pipeline
+  /// runtime (PyTorch GPipe drives stages over RPC).
+  double pipeline_rpc_overhead_sec() const {
+    return pipeline_rpc_overhead_sec_;
+  }
+  void set_pipeline_rpc_overhead_sec(double seconds) {
+    pipeline_rpc_overhead_sec_ = seconds;
+  }
+
+  /// Returns a copy with every device's memory budget replaced — Table 1/3/4
+  /// sweep the budget E on fixed hardware.
+  ClusterSpec WithMemoryBudget(int64_t memory_bytes) const;
+
+  /// Returns a copy with devices [first, first + count) given a different
+  /// memory budget — heterogeneous-memory clusters (the paper's future-work
+  /// direction). The search gives each pipeline stage the minimum budget of
+  /// its device block.
+  ClusterSpec WithDeviceMemoryRange(int first, int count,
+                                    int64_t memory_bytes) const;
+
+  /// The tightest memory budget among devices [first, first + count).
+  int64_t MinMemoryInRange(int first, int count) const;
+
+  /// True if every device has the same budget.
+  bool HasUniformMemory() const;
+
+  /// The link connecting two distinct devices: the innermost level whose
+  /// block contains both.
+  const LinkSpec& LinkBetween(int device_a, int device_b) const;
+
+  /// The bottleneck link of a device group: the innermost level containing
+  /// all of them (a ring over the group cannot beat its slowest hop).
+  const LinkSpec& GroupBottleneckLink(const std::vector<int>& device_ids) const;
+
+  /// True if all ids fall inside one block of `levels()[level_index]`.
+  bool SameBlock(int level_index, const std::vector<int>& device_ids) const;
+
+  std::string ToString() const;
+
+ private:
+  ClusterSpec() = default;
+
+  std::string name_;
+  std::vector<Device> devices_;
+  std::vector<TopologyLevel> levels_;
+  double kernel_launch_overhead_sec_ = 15e-6;
+  double small_batch_half_life_ = 1.0;
+  double pipeline_rpc_overhead_sec_ = 3e-3;
+};
+
+/// The paper's 8x RTX TITAN 24GB PCIe-3.0 single node (Sec 5.1).
+ClusterSpec MakeTitanNode8(int64_t memory_budget_bytes);
+
+/// The paper's 16-GPU testbed: two TITAN nodes over 100 Gb InfiniBand.
+ClusterSpec MakeTitanCluster16(int64_t memory_budget_bytes);
+
+/// The paper's 64x A100 cluster: 8 NVLink nodes over 100 Gb InfiniBand.
+ClusterSpec MakeA100Cluster64(int64_t memory_budget_bytes);
+
+/// Generic helper: `num_nodes` islands of `gpus_per_node` with the given
+/// intra/inter links.
+ClusterSpec MakeHomogeneousCluster(std::string name, int num_nodes,
+                                   int gpus_per_node,
+                                   int64_t memory_budget_bytes,
+                                   double sustained_flops,
+                                   LinkClass intra_link, LinkClass inter_link);
+
+constexpr int64_t kGiB = int64_t{1} << 30;
+/// Decimal gigabyte — the unit of the paper's memory budgets (8G/12G/...).
+constexpr int64_t kGB = int64_t{1000000000};
+
+}  // namespace galvatron
+
+#endif  // GALVATRON_CLUSTER_CLUSTER_H_

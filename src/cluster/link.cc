@@ -1,0 +1,48 @@
+#include "cluster/link.h"
+
+namespace galvatron {
+
+std::string_view LinkClassToString(LinkClass cls) {
+  switch (cls) {
+    case LinkClass::kNvLink:
+      return "NVLink";
+    case LinkClass::kPcie3:
+      return "PCIe3";
+    case LinkClass::kInfiniBand100:
+      return "IB-100Gb";
+    case LinkClass::kEthernet10:
+      return "Eth-10Gb";
+  }
+  return "?";
+}
+
+LinkSpec DefaultLinkSpec(LinkClass cls) {
+  LinkSpec spec;
+  spec.cls = cls;
+  switch (cls) {
+    case LinkClass::kNvLink:
+      // A100 NVLink3: 300 GB/s theoretical; ~150 GB/s achievable in ring
+      // collectives.
+      spec.bandwidth_bytes_per_sec = 150e9;
+      spec.latency_sec = 6e-6;
+      break;
+    case LinkClass::kPcie3:
+      // PCIe 3.0 x16: 15.8 GB/s theoretical; ring all-reduce across 8 GPUs
+      // through the host bottlenecks around 5.5-6 GB/s.
+      spec.bandwidth_bytes_per_sec = 5.8e9;
+      spec.latency_sec = 12e-6;
+      break;
+    case LinkClass::kInfiniBand100:
+      // 100 Gb/s = 12.5 GB/s theoretical; ~9.5 GB/s achievable.
+      spec.bandwidth_bytes_per_sec = 9.5e9;
+      spec.latency_sec = 20e-6;
+      break;
+    case LinkClass::kEthernet10:
+      spec.bandwidth_bytes_per_sec = 1.0e9;
+      spec.latency_sec = 80e-6;
+      break;
+  }
+  return spec;
+}
+
+}  // namespace galvatron

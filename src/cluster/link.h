@@ -1,0 +1,33 @@
+#ifndef GALVATRON_CLUSTER_LINK_H_
+#define GALVATRON_CLUSTER_LINK_H_
+
+#include <string_view>
+
+namespace galvatron {
+
+/// Interconnect classes appearing in the paper's three testbeds.
+enum class LinkClass {
+  kNvLink,        // intra-node NVLink mesh (A100 servers)
+  kPcie3,         // intra-node PCIe 3.0 (RTX TITAN server)
+  kInfiniBand100, // 100 Gb/s inter-node InfiniBand
+  kEthernet10,    // commodity Ethernet (not used by paper presets)
+};
+
+std::string_view LinkClassToString(LinkClass cls);
+
+/// One link: achievable (not theoretical) ring bandwidth per direction plus
+/// a per-hop latency term used by the collective cost model.
+struct LinkSpec {
+  LinkClass cls = LinkClass::kPcie3;
+  double bandwidth_bytes_per_sec = 0.0;
+  double latency_sec = 0.0;
+};
+
+/// Default achievable bandwidth/latency for a link class, calibrated so
+/// end-to-end throughputs land near the paper's measurements (see
+/// EXPERIMENTS.md for the calibration notes).
+LinkSpec DefaultLinkSpec(LinkClass cls);
+
+}  // namespace galvatron
+
+#endif  // GALVATRON_CLUSTER_LINK_H_

@@ -1,0 +1,66 @@
+#include "comm/collective.h"
+
+#include "util/logging.h"
+
+namespace galvatron {
+
+std::string_view CollectiveKindToString(CollectiveKind kind) {
+  switch (kind) {
+    case CollectiveKind::kAllReduce:
+      return "AllReduce";
+    case CollectiveKind::kAllGather:
+      return "AllGather";
+    case CollectiveKind::kReduceScatter:
+      return "ReduceScatter";
+    case CollectiveKind::kBroadcast:
+      return "Broadcast";
+    case CollectiveKind::kPointToPoint:
+      return "P2P";
+  }
+  return "?";
+}
+
+double RingTrafficFactor(CollectiveKind kind, int group_size) {
+  GALVATRON_CHECK_GE(group_size, 1);
+  if (group_size == 1) return 0.0;
+  const double n = group_size;
+  switch (kind) {
+    case CollectiveKind::kAllReduce:
+      return 2.0 * (n - 1.0) / n;
+    case CollectiveKind::kAllGather:
+    case CollectiveKind::kReduceScatter:
+      return (n - 1.0) / n;
+    case CollectiveKind::kBroadcast:
+    case CollectiveKind::kPointToPoint:
+      return 1.0;
+  }
+  return 1.0;
+}
+
+int RingSteps(CollectiveKind kind, int group_size) {
+  if (group_size <= 1) return 0;
+  switch (kind) {
+    case CollectiveKind::kAllReduce:
+      return 2 * (group_size - 1);
+    case CollectiveKind::kAllGather:
+    case CollectiveKind::kReduceScatter:
+    case CollectiveKind::kBroadcast:
+      return group_size - 1;
+    case CollectiveKind::kPointToPoint:
+      return 1;
+  }
+  return 1;
+}
+
+double CollectiveTime(CollectiveKind kind, int64_t bytes, int group_size,
+                      const LinkSpec& link) {
+  GALVATRON_CHECK_GE(bytes, 0);
+  if (group_size <= 1 || bytes == 0) return 0.0;
+  const double transfer = RingTrafficFactor(kind, group_size) *
+                          static_cast<double>(bytes) /
+                          link.bandwidth_bytes_per_sec;
+  const double latency = RingSteps(kind, group_size) * link.latency_sec;
+  return transfer + latency;
+}
+
+}  // namespace galvatron

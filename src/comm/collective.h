@@ -1,0 +1,43 @@
+#ifndef GALVATRON_COMM_COLLECTIVE_H_
+#define GALVATRON_COMM_COLLECTIVE_H_
+
+#include <cstdint>
+#include <string_view>
+
+#include "cluster/link.h"
+
+namespace galvatron {
+
+/// NCCL-style collective primitives used by the four parallelisms:
+/// DP all-reduces gradients; SDP all-gathers parameters (x2) and
+/// reduce-scatters gradients; TP all-reduces activations; PP sends
+/// boundary activations point-to-point.
+enum class CollectiveKind {
+  kAllReduce,
+  kAllGather,
+  kReduceScatter,
+  kBroadcast,
+  kPointToPoint,
+};
+
+std::string_view CollectiveKindToString(CollectiveKind kind);
+
+/// Bus-traffic multiplier of a ring implementation: an n-rank ring
+/// all-reduce moves 2(n-1)/n of the payload over the bottleneck link,
+/// all-gather and reduce-scatter move (n-1)/n, a pipelined broadcast ~1,
+/// and point-to-point exactly 1 (group size 2).
+double RingTrafficFactor(CollectiveKind kind, int group_size);
+
+/// Number of latency-bound ring steps (each paying one hop latency).
+int RingSteps(CollectiveKind kind, int group_size);
+
+/// Predicted wall time of a collective over `bytes` payload on a group of
+/// `group_size` ranks whose bottleneck interconnect is `link`:
+///   time = factor * bytes / bandwidth + steps * latency.
+/// For group_size == 1 every collective is free.
+double CollectiveTime(CollectiveKind kind, int64_t bytes, int group_size,
+                      const LinkSpec& link);
+
+}  // namespace galvatron
+
+#endif  // GALVATRON_COMM_COLLECTIVE_H_

@@ -1,0 +1,41 @@
+#include "comm/group_pool.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace galvatron {
+
+std::string CommGroup::ToString() const {
+  std::ostringstream os;
+  os << "group" << id << "{";
+  for (size_t i = 0; i < device_ids.size(); ++i) {
+    if (i > 0) os << ",";
+    os << device_ids[i];
+  }
+  os << "}";
+  return os.str();
+}
+
+Result<CommGroup> CommGroupPool::GetOrCreate(std::vector<int> device_ids) {
+  if (device_ids.empty()) {
+    return Status::InvalidArgument("empty communication group");
+  }
+  std::sort(device_ids.begin(), device_ids.end());
+  if (std::adjacent_find(device_ids.begin(), device_ids.end()) !=
+      device_ids.end()) {
+    return Status::InvalidArgument("duplicate device in communication group");
+  }
+  auto it = groups_.find(device_ids);
+  if (it != groups_.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  CommGroup group;
+  group.id = static_cast<int>(groups_.size());
+  group.device_ids = device_ids;
+  groups_.emplace(std::move(device_ids), group);
+  return group;
+}
+
+}  // namespace galvatron

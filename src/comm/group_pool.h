@@ -1,0 +1,53 @@
+#ifndef GALVATRON_COMM_GROUP_POOL_H_
+#define GALVATRON_COMM_GROUP_POOL_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace galvatron {
+
+/// A communication group: an ordered set of device ids that execute
+/// collectives together (the analog of an NCCL communicator).
+struct CommGroup {
+  int id = 0;
+  std::vector<int> device_ids;  // sorted, unique
+
+  int size() const { return static_cast<int>(device_ids.size()); }
+  std::string ToString() const;
+};
+
+/// The global communication-group pool of Sec 4: NCCL group construction is
+/// expensive, so Galvatron creates every group a plan might use once, up
+/// front, and reuses them. The pool deduplicates by member set and counts
+/// hits so the ablation bench can report the reuse rate.
+class CommGroupPool {
+ public:
+  CommGroupPool() = default;
+
+  CommGroupPool(const CommGroupPool&) = delete;
+  CommGroupPool& operator=(const CommGroupPool&) = delete;
+
+  /// Returns the group for `device_ids` (order-insensitive), creating it on
+  /// first use. Errors on empty or duplicate-containing id lists.
+  Result<CommGroup> GetOrCreate(std::vector<int> device_ids);
+
+  /// Number of distinct groups constructed.
+  int num_groups() const { return static_cast<int>(groups_.size()); }
+
+  /// Number of GetOrCreate calls served from the pool.
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+
+ private:
+  std::map<std::vector<int>, CommGroup> groups_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+};
+
+}  // namespace galvatron
+
+#endif  // GALVATRON_COMM_GROUP_POOL_H_

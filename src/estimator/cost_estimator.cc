@@ -1,0 +1,210 @@
+#include "estimator/cost_estimator.h"
+
+#include <algorithm>
+
+#include "parallel/transformation.h"
+#include "util/logging.h"
+#include "util/math_util.h"
+#include "util/string_util.h"
+
+namespace galvatron {
+
+double LayerCost::IterationSeconds(int micro_batches,
+                                   const EstimatorOptions& options) const {
+  const double m = micro_batches;
+  const double comp = m * bwd_compute_mb_sec;
+  const double comm = m * ovl_mb_sec + iter_comm_sec;
+  double bwd;
+  if (options.model_overlap_slowdown) {
+    bwd = std::max(comp, comm) +
+          (options.overlap_slowdown - 1.0) * std::min(comp, comm);
+  } else {
+    bwd = std::max(comp, comm);
+  }
+  return m * (fwd_mb_sec + bwd_blocking_mb_sec) + bwd;
+}
+
+CostEstimator::CostEstimator(const ClusterSpec* cluster,
+                             EstimatorOptions options)
+    : cluster_(cluster), layer_model_(cluster), options_(options) {
+  GALVATRON_CHECK(cluster != nullptr);
+}
+
+double CostEstimator::CombineOverlap(double compute_sec,
+                                     double comm_sec) const {
+  if (!options_.model_overlap_slowdown) {
+    return std::max(compute_sec, comm_sec);
+  }
+  return std::max(compute_sec, comm_sec) +
+         (options_.overlap_slowdown - 1.0) * std::min(compute_sec, comm_sec);
+}
+
+Result<LayerCost> CostEstimator::EstimateLayer(
+    const LayerSpec& layer, const HybridStrategy& strategy,
+    int stage_first_device, int batch_per_group, int micro_batches,
+    bool recompute, int resident_micro_batches) const {
+  if (micro_batches < 1 || micro_batches > batch_per_group) {
+    return Status::InvalidArgument(StrFormat(
+        "micro_batches %d invalid for batch %d", micro_batches,
+        batch_per_group));
+  }
+  if (resident_micro_batches < 0 || resident_micro_batches > micro_batches) {
+    resident_micro_batches = micro_batches;
+  }
+  const int mb_size =
+      static_cast<int>(CeilDiv(batch_per_group, micro_batches));
+
+  // Per-micro-batch timing.
+  GALVATRON_ASSIGN_OR_RETURN(
+      LayerExecution mb,
+      layer_model_.Analyze(layer, strategy, stage_first_device, mb_size,
+                           recompute, options_.tp_sequence_parallel));
+  // Peak memory: the schedule keeps `resident_micro_batches` micro-batches'
+  // activations live simultaneously.
+  GALVATRON_ASSIGN_OR_RETURN(
+      LayerExecution full,
+      layer_model_.Analyze(layer, strategy, stage_first_device,
+                           mb_size * resident_micro_batches, recompute,
+                           options_.tp_sequence_parallel));
+
+  LayerCost cost;
+  cost.fwd_mb_sec = mb.fwd_compute_sec;
+  for (const CommTask& task : mb.fwd_comms) {
+    cost.fwd_mb_sec += task.Time();  // forward comms all block
+  }
+  cost.bwd_compute_mb_sec = mb.bwd_compute_sec;
+  for (const CommTask& task : mb.bwd_comms) {
+    if (!task.overlappable) {
+      cost.bwd_blocking_mb_sec += task.Time();
+    } else if (task.frequency == CommFrequency::kPerMicroBatch) {
+      cost.ovl_mb_sec += task.Time();
+    } else {
+      cost.iter_comm_sec += task.Time();
+    }
+  }
+  cost.resident_memory_bytes = full.ResidentMemoryBytes();
+  cost.transient_memory_bytes = full.transient_memory_bytes;
+  return cost;
+}
+
+Result<StageCost> CostEstimator::EstimateStage(
+    const ModelSpec& model, int first_layer, int num_layers,
+    const std::vector<HybridStrategy>& strategies, int stage_first_device,
+    int batch_per_group, int micro_batches,
+    const std::vector<uint8_t>& recompute_flags,
+    int resident_micro_batches) const {
+  if (num_layers < 1 || first_layer < 0 ||
+      first_layer + num_layers > model.num_layers()) {
+    return Status::InvalidArgument("stage layer range out of bounds");
+  }
+  if (static_cast<int>(strategies.size()) != num_layers) {
+    return Status::InvalidArgument("one strategy per stage layer required");
+  }
+  if (!recompute_flags.empty() &&
+      static_cast<int>(recompute_flags.size()) != num_layers) {
+    return Status::InvalidArgument("one recompute flag per layer required");
+  }
+
+  StageCost stage;
+  int64_t resident = 0;
+  int64_t max_transient = 0;
+  for (int i = 0; i < num_layers; ++i) {
+    const LayerSpec& layer = model.layer(first_layer + i);
+    const bool recompute =
+        !recompute_flags.empty() &&
+        recompute_flags[static_cast<size_t>(i)] != 0;
+    GALVATRON_ASSIGN_OR_RETURN(
+        LayerCost cost,
+        EstimateLayer(layer, strategies[static_cast<size_t>(i)],
+                      stage_first_device, batch_per_group, micro_batches,
+                      recompute, resident_micro_batches));
+    const double seconds = cost.IterationSeconds(micro_batches, options_);
+    stage.per_layer_seconds.push_back(seconds);
+    stage.seconds += seconds;
+    resident += cost.resident_memory_bytes;
+    // ZeRO-3 prefetching keeps the gathered weights of two layers live
+    // (current + prefetched next), so reserve twice the largest transient.
+    max_transient = std::max(max_transient, 2 * cost.transient_memory_bytes);
+
+    if (i > 0) {
+      // Slice-Gather at the strategy boundary, forward and backward, per
+      // micro-batch.
+      const int mb_size =
+          static_cast<int>(CeilDiv(batch_per_group, micro_batches));
+      GALVATRON_ASSIGN_OR_RETURN(
+          TransformationCost transform,
+          ComputeTransformationCost(
+              model.layer(first_layer + i - 1),
+              strategies[static_cast<size_t>(i) - 1],
+              strategies[static_cast<size_t>(i)], stage_first_device, mb_size,
+              *cluster_));
+      stage.seconds += 2.0 * micro_batches * transform.seconds;
+    }
+  }
+  stage.peak_memory_bytes = resident + max_transient;
+  // Heterogeneous clusters: the stage is limited by its tightest device.
+  const int64_t budget = cluster_->MinMemoryInRange(
+      stage_first_device, strategies.front().TotalDegree());
+  if (stage.peak_memory_bytes > budget) {
+    return Status::OutOfMemory(StrFormat(
+        "stage needs %s but budget is %s",
+        HumanBytes(static_cast<double>(stage.peak_memory_bytes)).c_str(),
+        HumanBytes(static_cast<double>(budget)).c_str()));
+  }
+  return stage;
+}
+
+Result<PlanCost> CostEstimator::EstimatePlan(const ModelSpec& model,
+                                             const TrainingPlan& plan) const {
+  GALVATRON_RETURN_IF_ERROR(plan.Validate(model, cluster_->num_devices()));
+
+  PlanCost total;
+  double sum_u = 0.0;
+  double max_u = 0.0;
+  const int mb_size = plan.MicroBatchSize();
+  for (size_t i = 0; i < plan.stages.size(); ++i) {
+    const StagePlan& stage = plan.stages[i];
+    GALVATRON_ASSIGN_OR_RETURN(
+        StageCost cost,
+        EstimateStage(model, stage.first_layer, stage.num_layers,
+                      stage.layer_strategies, stage.first_device,
+                      plan.global_batch, plan.num_micro_batches,
+                      stage.recompute,
+                      plan.InFlightMicroBatches(static_cast<int>(i))));
+    if (i > 0) {
+      // Per-micro-batch boundary transfer: forward activations in, gradient
+      // activations back out. The DP search excludes this (Sec 3.3, "we
+      // exclude the boundary layers' activation transferring costs"); the
+      // plan-level estimate includes it so pipelining is not free.
+      const StagePlan& prev = plan.stages[i - 1];
+      const LinkSpec& link = cluster_->LinkBetween(
+          prev.first_device + prev.num_devices - 1, stage.first_device);
+      const int64_t bytes =
+          model.layer(stage.first_layer).input_bytes() * mb_size;
+      const double p2p =
+          2.0 * plan.num_micro_batches *
+          (CollectiveTime(CollectiveKind::kPointToPoint, bytes, 2, link) +
+           cluster_->pipeline_rpc_overhead_sec());
+      // The transfer occupies both neighbours' comm streams.
+      cost.seconds += p2p;
+      total.stages.back().seconds += p2p;
+      sum_u += p2p / plan.num_micro_batches;
+      max_u = std::max(max_u, total.stages.back().seconds /
+                                  plan.num_micro_batches);
+    }
+    const double u = cost.seconds / plan.num_micro_batches;
+    sum_u += u;
+    max_u = std::max(max_u, u);
+    total.peak_memory_bytes =
+        std::max(total.peak_memory_bytes, cost.peak_memory_bytes);
+    total.stages.push_back(std::move(cost));
+  }
+  // GPipe schedule: fill/drain bubbles cost (m - 1) extra slots of the
+  // bottleneck stage.
+  total.iteration_seconds = sum_u + (plan.num_micro_batches - 1) * max_u;
+  total.throughput_samples_per_sec =
+      plan.global_batch / total.iteration_seconds;
+  return total;
+}
+
+}  // namespace galvatron

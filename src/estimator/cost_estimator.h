@@ -1,0 +1,138 @@
+#ifndef GALVATRON_ESTIMATOR_COST_ESTIMATOR_H_
+#define GALVATRON_ESTIMATOR_COST_ESTIMATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "ir/model.h"
+#include "parallel/layer_cost_model.h"
+#include "parallel/plan.h"
+#include "parallel/strategy.h"
+#include "util/result.h"
+
+namespace galvatron {
+
+/// Estimator knobs (Sec 3.4). The overlap slowdown models the GPU SM
+/// contention between compute kernels and NCCL collectives that previous
+/// systems ignore; the paper measures ~1.3x on both sides. Disabling
+/// `model_overlap_slowdown` reproduces the naive max(comp, comm) estimator
+/// of Figure 3(b).
+struct EstimatorOptions {
+  bool model_overlap_slowdown = true;
+  double overlap_slowdown = 1.3;
+  /// Megatron-LM sequence parallelism for every TP region: same
+  /// communication volume, activations fully sharded across the TP group.
+  bool tp_sequence_parallel = false;
+};
+
+/// Time/memory estimate of one layer under one strategy, at micro-batch
+/// granularity. Fields are per device (devices of a group are symmetric).
+struct LayerCost {
+  /// Per micro-batch: forward compute + blocking forward collectives.
+  double fwd_mb_sec = 0.0;
+  /// Per micro-batch backward compute (2x forward compute).
+  double bwd_compute_mb_sec = 0.0;
+  /// Per micro-batch blocking backward collectives (TP all-reduce).
+  double bwd_blocking_mb_sec = 0.0;
+  /// Per micro-batch overlappable backward comm (SDP weight re-gather).
+  double ovl_mb_sec = 0.0;
+  /// Once-per-iteration overlappable comm (DP all-reduce, SDP
+  /// reduce-scatter of gradients).
+  double iter_comm_sec = 0.0;
+
+  /// Resident memory with the full per-group batch (GPipe keeps every
+  /// micro-batch's activations live until its backward).
+  int64_t resident_memory_bytes = 0;
+  int64_t transient_memory_bytes = 0;
+
+  /// Total layer time across an iteration of `micro_batches` micro-batches,
+  /// with the backward overlap model applied (Eq. below):
+  ///   t = m*(fwd + bwd_blocking) + Overlap(m*bwd_compute, m*ovl + iter).
+  double IterationSeconds(int micro_batches, const EstimatorOptions&) const;
+};
+
+/// Estimated cost of one pipeline stage across a full iteration.
+struct StageCost {
+  double seconds = 0.0;          // total stage busy time per iteration
+  int64_t peak_memory_bytes = 0; // max over devices? devices symmetric: per device
+  std::vector<double> per_layer_seconds;
+};
+
+/// Estimated cost of a whole plan.
+struct PlanCost {
+  double iteration_seconds = 0.0;
+  double throughput_samples_per_sec = 0.0;
+  int64_t peak_memory_bytes = 0;  // max over stages
+  std::vector<StageCost> stages;
+};
+
+/// The analytic cost estimator of Sec 3.4: memory from tensor shapes,
+/// compute from FLOPs over sustained device throughput, communication from
+/// payload over bottleneck bandwidth, with the compute/communication
+/// overlap slowdown applied in backward.
+///
+/// Combining rule for backward overlap: running compute and communication
+/// concurrently slows both by k (= overlap_slowdown), so the overlapped
+/// span costs k * min(comp, comm) and the residual runs alone:
+///   Overlap(comp, comm) = max(comp, comm) + (k - 1) * min(comp, comm).
+/// With modelling disabled this degrades to the classic max(comp, comm)
+/// (PipeDream's choice, per the paper).
+class CostEstimator {
+ public:
+  /// `cluster` must outlive this object.
+  CostEstimator(const ClusterSpec* cluster, EstimatorOptions options = {});
+
+  const EstimatorOptions& options() const { return options_; }
+  const ClusterSpec& cluster() const { return *cluster_; }
+
+  /// Feeds measured per-layer timings into the underlying cost model (the
+  /// paper profiles real layer execution and estimates from it, Sec 3.4).
+  /// `profile` must outlive this estimator; nullptr reverts to analytic.
+  void set_profile(const ProfileTable* profile) {
+    layer_model_.set_profile(profile);
+  }
+
+  /// Overlap(comp, comm) as defined above.
+  double CombineOverlap(double compute_sec, double comm_sec) const;
+
+  /// Estimates c(l, s): one layer under one strategy on the stage block
+  /// starting at `stage_first_device`. `batch_per_group` is the stage's
+  /// full batch; `micro_batches` divides it (1 for non-pipelined stages).
+  /// `recompute` enables activation checkpointing for this layer.
+  /// `resident_micro_batches` is how many micro-batches' activations stay
+  /// live at peak (-1: all of them — the GPipe schedule; 1F1B caps it).
+  Result<LayerCost> EstimateLayer(const LayerSpec& layer,
+                                  const HybridStrategy& strategy,
+                                  int stage_first_device, int batch_per_group,
+                                  int micro_batches, bool recompute = false,
+                                  int resident_micro_batches = -1) const;
+
+  /// Estimates a stage: sum of per-layer iteration costs plus Slice-Gather
+  /// transformation costs at strategy changes (2x per micro-batch: forward
+  /// and its mirrored backward). Returns OutOfMemory if the stage exceeds
+  /// the device budget. `recompute_flags` may be empty (no checkpointing).
+  Result<StageCost> EstimateStage(const ModelSpec& model, int first_layer,
+                                  int num_layers,
+                                  const std::vector<HybridStrategy>& strategies,
+                                  int stage_first_device, int batch_per_group,
+                                  int micro_batches,
+                                  const std::vector<uint8_t>& recompute_flags =
+                                      {},
+                                  int resident_micro_batches = -1) const;
+
+  /// Estimates a full plan: GPipe pipelining of the stage costs,
+  ///   iter = sum_i u_i + (m - 1) * max_i u_i,   u_i = stage_i / m.
+  /// Returns OutOfMemory if any stage exceeds its budget.
+  Result<PlanCost> EstimatePlan(const ModelSpec& model,
+                                const TrainingPlan& plan) const;
+
+ private:
+  const ClusterSpec* cluster_;
+  LayerCostModel layer_model_;
+  EstimatorOptions options_;
+};
+
+}  // namespace galvatron
+
+#endif  // GALVATRON_ESTIMATOR_COST_ESTIMATOR_H_

@@ -1,0 +1,82 @@
+#include "estimator/profiler.h"
+
+#include <algorithm>
+
+#include "parallel/layer_cost_model.h"
+#include "parallel/strategy.h"
+#include "sim/engine.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace galvatron {
+
+Profiler::Profiler(const ClusterSpec* cluster, ProfilerOptions options)
+    : cluster_(cluster), options_(std::move(options)) {
+  GALVATRON_CHECK(cluster != nullptr);
+  GALVATRON_CHECK_GE(options_.probe_batches.size(), 2u);
+  GALVATRON_CHECK_GE(options_.repetitions, 1);
+}
+
+Result<LayerProfile> Profiler::ProfileLayer(const LayerSpec& layer) const {
+  LayerCostModel cost_model(cluster_);
+
+  // Measure mean wall time per probe batch by executing the layer's
+  // forward as a compute task on a single simulated device, with the
+  // engine's jitter active (seeded per repetition).
+  std::vector<double> mean_seconds;
+  for (int batch : options_.probe_batches) {
+    if (batch < 1) return Status::InvalidArgument("probe batch must be >= 1");
+    GALVATRON_ASSIGN_OR_RETURN(
+        LayerExecution exec,
+        cost_model.Analyze(layer, HybridStrategy(), /*stage_first_device=*/0,
+                           batch));
+    double total = 0.0;
+    for (int rep = 0; rep < options_.repetitions; ++rep) {
+      SimEngine engine(/*overlap_slowdown=*/1.0, /*compute_jitter=*/0.06,
+                       options_.seed + static_cast<uint64_t>(rep) * 977u);
+      const int stream = engine.AddStream({0, StreamKind::kCompute});
+      GALVATRON_RETURN_IF_ERROR(
+          engine.AddTask({"probe", {stream}, exec.fwd_compute_sec, {}})
+              .status());
+      GALVATRON_ASSIGN_OR_RETURN(SimTimeline timeline, engine.Run());
+      total += timeline.makespan;
+    }
+    mean_seconds.push_back(total / options_.repetitions);
+  }
+
+  // Least-squares affine fit t(b) = base + slope * b over the probes.
+  const size_t n = options_.probe_batches.size();
+  double sum_b = 0, sum_t = 0, sum_bb = 0, sum_bt = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double b = options_.probe_batches[i];
+    const double t = mean_seconds[i];
+    sum_b += b;
+    sum_t += t;
+    sum_bb += b * b;
+    sum_bt += b * t;
+  }
+  const double denom = n * sum_bb - sum_b * sum_b;
+  if (denom <= 0) return Status::Internal("degenerate probe batches");
+
+  LayerProfile profile;
+  profile.fwd_sec_per_sample = (n * sum_bt - sum_b * sum_t) / denom;
+  profile.fwd_base_sec = (sum_t - profile.fwd_sec_per_sample * sum_b) /
+                         static_cast<double>(n);
+  profile.samples_measured =
+      static_cast<int>(n) * options_.repetitions;
+  // Jitter can push the fitted base slightly negative for tiny layers.
+  profile.fwd_base_sec = std::max(profile.fwd_base_sec, 0.0);
+  return profile;
+}
+
+Result<ProfileTable> Profiler::ProfileModel(const ModelSpec& model) const {
+  ProfileTable table;
+  for (const LayerSpec& layer : model.layers()) {
+    if (table.count(layer.signature()) > 0) continue;
+    GALVATRON_ASSIGN_OR_RETURN(LayerProfile profile, ProfileLayer(layer));
+    table.emplace(layer.signature(), profile);
+  }
+  return table;
+}
+
+}  // namespace galvatron

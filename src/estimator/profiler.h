@@ -1,0 +1,49 @@
+#ifndef GALVATRON_ESTIMATOR_PROFILER_H_
+#define GALVATRON_ESTIMATOR_PROFILER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "ir/model.h"
+#include "parallel/layer_cost_model.h"
+#include "util/result.h"
+
+namespace galvatron {
+
+/// Options for profiling runs.
+struct ProfilerOptions {
+  /// Batch sizes measured per layer (two suffice for the affine fit; more
+  /// average out the simulated kernel jitter).
+  std::vector<int> probe_batches = {1, 2, 4, 8};
+  /// Timing repetitions per probe (the paper averages 100 iterations).
+  int repetitions = 10;
+  uint64_t seed = 0xbeef;
+};
+
+/// Sec 3.4: "the per-sample computation time ... could be measured by
+/// profiling real layer execution time on a single device". This profiler
+/// executes each distinct layer shape on a single simulated device —
+/// including the effects the analytic model abstracts away (kernel launch
+/// overhead, timing jitter) — and fits the affine forward-time model the
+/// estimator consumes via `LayerCostModel` / `CostEstimator` profile hooks.
+class Profiler {
+ public:
+  /// `cluster` must outlive this object.
+  explicit Profiler(const ClusterSpec* cluster, ProfilerOptions options = {});
+
+  /// Measures one layer on a single device.
+  Result<LayerProfile> ProfileLayer(const LayerSpec& layer) const;
+
+  /// Profiles every distinct layer signature of `model` (repeated blocks
+  /// are measured once).
+  Result<ProfileTable> ProfileModel(const ModelSpec& model) const;
+
+ private:
+  const ClusterSpec* cluster_;
+  ProfilerOptions options_;
+};
+
+}  // namespace galvatron
+
+#endif  // GALVATRON_ESTIMATOR_PROFILER_H_

@@ -1,0 +1,21 @@
+#include "ir/dtype.h"
+
+namespace galvatron {
+
+std::string_view DataTypeToString(DataType dtype) {
+  switch (dtype) {
+    case DataType::kF32:
+      return "f32";
+    case DataType::kF16:
+      return "f16";
+    case DataType::kBF16:
+      return "bf16";
+    case DataType::kI64:
+      return "i64";
+    case DataType::kU8:
+      return "u8";
+  }
+  return "?";
+}
+
+}  // namespace galvatron

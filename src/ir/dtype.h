@@ -1,0 +1,43 @@
+#ifndef GALVATRON_IR_DTYPE_H_
+#define GALVATRON_IR_DTYPE_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace galvatron {
+
+/// Element types used by the tensor calculus. The paper trains in fp32 with
+/// Adam (recompute disabled), which is what the model zoo defaults to.
+enum class DataType {
+  kF32,
+  kF16,
+  kBF16,
+  kI64,
+  kU8,
+};
+
+/// Bytes per element of `dtype`.
+constexpr int64_t SizeOf(DataType dtype) {
+  switch (dtype) {
+    case DataType::kF32:
+      return 4;
+    case DataType::kF16:
+    case DataType::kBF16:
+      return 2;
+    case DataType::kI64:
+      return 8;
+    case DataType::kU8:
+      return 1;
+  }
+  return 0;
+}
+
+std::string_view DataTypeToString(DataType dtype);
+
+/// Bytes of optimizer+model state per parameter for fp32 Adam training:
+/// weight (4) + gradient (4) + momentum (4) + variance (4).
+constexpr int64_t kAdamStateBytesPerParam = 16;
+
+}  // namespace galvatron
+
+#endif  // GALVATRON_IR_DTYPE_H_

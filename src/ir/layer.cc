@@ -1,0 +1,82 @@
+#include "ir/layer.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace galvatron {
+
+std::string_view LayerKindToString(LayerKind kind) {
+  switch (kind) {
+    case LayerKind::kEmbedding:
+      return "Embedding";
+    case LayerKind::kEncoder:
+      return "Encoder";
+    case LayerKind::kDecoder:
+      return "Decoder";
+    case LayerKind::kPatchMerge:
+      return "PatchMerge";
+    case LayerKind::kHead:
+      return "Head";
+  }
+  return "Unknown";
+}
+
+LayerSpec::LayerSpec(std::string name, LayerKind kind, std::vector<OpSpec> ops,
+                     int64_t input_bytes, int64_t output_bytes)
+    : name_(std::move(name)),
+      kind_(kind),
+      ops_(std::move(ops)),
+      input_bytes_(input_bytes),
+      output_bytes_(output_bytes) {
+  for (const OpSpec& op : ops_) {
+    param_count_ += op.param_count;
+    fwd_flops_ += op.fwd_flops;
+    if (op.tp_shards_saved_activation) {
+      saved_sharded_bytes_ += op.saved_activation_bytes;
+    } else {
+      saved_replicated_bytes_ += op.saved_activation_bytes;
+    }
+    if (op.tp_pattern != TpPattern::kReplicated) {
+      tp_shardable_flops_ += op.fwd_flops;
+    }
+    switch (op.tp_pattern) {
+      case TpPattern::kColumnParallel:
+        tp_shardable_params_ += op.param_count;
+        tp_bwd_allreduce_bytes_ += op.input_bytes;
+        break;
+      case TpPattern::kRowParallel:
+        tp_shardable_params_ += op.param_count;
+        tp_fwd_allreduce_bytes_ += op.output_bytes;
+        break;
+      case TpPattern::kVocabParallel:
+        tp_shardable_params_ += op.param_count;
+        tp_fwd_allreduce_bytes_ += op.output_bytes;
+        break;
+      case TpPattern::kShardedElementwise:
+      case TpPattern::kReplicated:
+        break;
+    }
+  }
+  GALVATRON_CHECK_LE(tp_shardable_params_, param_count_);
+  signature_ = StrFormat(
+      "%s/p%lld/f%.0f/as%lld/ar%lld/io%lld-%lld",
+      std::string(LayerKindToString(kind_)).c_str(),
+      static_cast<long long>(param_count_), fwd_flops_,
+      static_cast<long long>(saved_sharded_bytes_),
+      static_cast<long long>(saved_replicated_bytes_),
+      static_cast<long long>(input_bytes_),
+      static_cast<long long>(output_bytes_));
+}
+
+int64_t LayerSpec::SavedActivationBytes(int tp_degree) const {
+  GALVATRON_CHECK_GE(tp_degree, 1);
+  return saved_sharded_bytes_ / tp_degree + saved_replicated_bytes_;
+}
+
+int64_t LayerSpec::SavedActivationBytesSequenceParallel(
+    int tp_degree) const {
+  GALVATRON_CHECK_GE(tp_degree, 1);
+  return (saved_sharded_bytes_ + saved_replicated_bytes_) / tp_degree;
+}
+
+}  // namespace galvatron

@@ -1,0 +1,102 @@
+#ifndef GALVATRON_IR_LAYER_H_
+#define GALVATRON_IR_LAYER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ir/op.h"
+
+namespace galvatron {
+
+/// Coarse layer categories; the pipeline partitioner and plan printer use
+/// these for reporting, and Swin's multi-scale stages produce several
+/// distinct kinds within one model.
+enum class LayerKind {
+  kEmbedding,
+  kEncoder,
+  kDecoder,      // decoder block: self-attention + cross-attention + MLP
+  kPatchMerge,   // Swin downsampling between stages
+  kHead,         // classifier / LM head
+};
+
+std::string_view LayerKindToString(LayerKind kind);
+
+/// One model layer: an ordered list of primitive ops plus boundary tensor
+/// sizes. All byte/flop quantities are per sample; the cost model scales
+/// them by the local batch size.
+class LayerSpec {
+ public:
+  LayerSpec(std::string name, LayerKind kind, std::vector<OpSpec> ops,
+            int64_t input_bytes, int64_t output_bytes);
+
+  const std::string& name() const { return name_; }
+  LayerKind kind() const { return kind_; }
+  const std::vector<OpSpec>& ops() const { return ops_; }
+
+  /// Bytes per sample of the activation entering / leaving this layer
+  /// (pipeline boundary transfers and Slice-Gather redistribution operate
+  /// on these).
+  int64_t input_bytes() const { return input_bytes_; }
+  int64_t output_bytes() const { return output_bytes_; }
+
+  /// Total trainable parameters.
+  int64_t param_count() const { return param_count_; }
+
+  /// Parameters that a TP degree `t` divides (column/row/vocab-parallel
+  /// weights). The remainder (layer norms, biases of replicated ops) is
+  /// replicated on every TP rank.
+  int64_t tp_shardable_params() const { return tp_shardable_params_; }
+
+  /// Forward FLOPs per sample (backward is modelled as 2x).
+  double fwd_flops() const { return fwd_flops_; }
+
+  /// The share of fwd_flops() that a TP degree t divides (matmuls and the
+  /// sharded elementwise ops between them). The rest is executed on every
+  /// TP rank.
+  double tp_shardable_flops() const { return tp_shardable_flops_; }
+
+  /// Bytes per sample stashed for backward when running with TP degree `t`:
+  /// sharded tensors divide by t, replicated tensors do not.
+  int64_t SavedActivationBytes(int tp_degree) const;
+
+  /// Same under Megatron-style sequence parallelism: the layer norms,
+  /// residuals and dropouts between the TP regions are sharded along the
+  /// sequence dimension, so the "replicated" share divides by t as well.
+  int64_t SavedActivationBytesSequenceParallel(int tp_degree) const;
+
+  /// Bytes per sample all-reduced across the TP group in the forward pass
+  /// (outputs of row/vocab-parallel ops — Megatron's `g`).
+  int64_t tp_fwd_allreduce_bytes() const { return tp_fwd_allreduce_bytes_; }
+
+  /// Bytes per sample all-reduced across the TP group in the backward pass
+  /// (input gradients of column-parallel ops — Megatron's `f`).
+  int64_t tp_bwd_allreduce_bytes() const { return tp_bwd_allreduce_bytes_; }
+
+  /// A short structural signature: layers with equal signatures have
+  /// identical costs under every strategy, enabling memoized search.
+  const std::string& signature() const { return signature_; }
+
+ private:
+  std::string name_;
+  LayerKind kind_;
+  std::vector<OpSpec> ops_;
+  int64_t input_bytes_;
+  int64_t output_bytes_;
+
+  // Derived aggregates (computed once in the constructor).
+  int64_t param_count_ = 0;
+  int64_t tp_shardable_params_ = 0;
+  double fwd_flops_ = 0.0;
+  double tp_shardable_flops_ = 0.0;
+  int64_t saved_sharded_bytes_ = 0;
+  int64_t saved_replicated_bytes_ = 0;
+  int64_t tp_fwd_allreduce_bytes_ = 0;
+  int64_t tp_bwd_allreduce_bytes_ = 0;
+  std::string signature_;
+};
+
+}  // namespace galvatron
+
+#endif  // GALVATRON_IR_LAYER_H_

@@ -1,0 +1,40 @@
+#include "ir/model.h"
+
+#include "util/logging.h"
+
+namespace galvatron {
+
+ModelSpec::ModelSpec(std::string name, std::vector<LayerSpec> layers)
+    : name_(std::move(name)), layers_(std::move(layers)) {
+  GALVATRON_CHECK(!layers_.empty()) << "model " << name_ << " has no layers";
+}
+
+int64_t ModelSpec::TotalParams() const {
+  int64_t total = 0;
+  for (const LayerSpec& l : layers_) total += l.param_count();
+  return total;
+}
+
+int64_t ModelSpec::TotalActivationBytesPerSample() const {
+  int64_t total = 0;
+  for (const LayerSpec& l : layers_) total += l.SavedActivationBytes(1);
+  return total;
+}
+
+double ModelSpec::TotalFwdFlops() const {
+  double total = 0;
+  for (const LayerSpec& l : layers_) total += l.fwd_flops();
+  return total;
+}
+
+int ModelSpec::NumTransformerBlocks() const {
+  int count = 0;
+  for (const LayerSpec& l : layers_) {
+    if (l.kind() == LayerKind::kEncoder || l.kind() == LayerKind::kDecoder) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace galvatron

@@ -1,0 +1,45 @@
+#ifndef GALVATRON_IR_MODEL_H_
+#define GALVATRON_IR_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/layer.h"
+
+namespace galvatron {
+
+/// A Transformer model as the paper treats it: a linear sequence of layers
+/// (Sec 3.1.1). Embedding/stem layers come first, then the Transformer
+/// blocks (with Swin's patch-merging layers interleaved), then the head.
+class ModelSpec {
+ public:
+  ModelSpec(std::string name, std::vector<LayerSpec> layers);
+
+  const std::string& name() const { return name_; }
+  const std::vector<LayerSpec>& layers() const { return layers_; }
+  int num_layers() const { return static_cast<int>(layers_.size()); }
+  const LayerSpec& layer(int i) const { return layers_[static_cast<size_t>(i)]; }
+
+  /// Total trainable parameters across all layers.
+  int64_t TotalParams() const;
+
+  /// Sum of per-sample saved activation bytes with no model parallelism
+  /// (Table 2's "Acti. Size/sample" column).
+  int64_t TotalActivationBytesPerSample() const;
+
+  /// Sum of per-sample forward FLOPs.
+  double TotalFwdFlops() const;
+
+  /// Number of Transformer blocks (encoder+decoder layers), excluding
+  /// embeddings/heads/merges — the "Layer Num" column of Table 2.
+  int NumTransformerBlocks() const;
+
+ private:
+  std::string name_;
+  std::vector<LayerSpec> layers_;
+};
+
+}  // namespace galvatron
+
+#endif  // GALVATRON_IR_MODEL_H_

@@ -1,0 +1,282 @@
+#include "ir/model_zoo.h"
+
+#include <map>
+#include <set>
+
+#include "ir/transformer_builder.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace galvatron {
+
+std::string_view ModelIdToString(ModelId id) {
+  switch (id) {
+    case ModelId::kBertHuge32:
+      return "BERT-Huge-32";
+    case ModelId::kBertHuge48:
+      return "BERT-Huge-48";
+    case ModelId::kBertXHuge:
+      return "BERT-xHuge";
+    case ModelId::kViTHuge32:
+      return "ViT-Huge-32";
+    case ModelId::kViTHuge48:
+      return "ViT-Huge-48";
+    case ModelId::kViTXHuge:
+      return "ViT-xHuge";
+    case ModelId::kT5Large32:
+      return "T5-Large-32";
+    case ModelId::kT5Large48:
+      return "T5-Large-48";
+    case ModelId::kSwinHuge32:
+      return "Swin-Huge-32";
+    case ModelId::kSwinHuge48:
+      return "Swin-Huge-48";
+  }
+  return "Unknown";
+}
+
+std::vector<ModelId> AllModelIds() {
+  return {ModelId::kBertHuge32, ModelId::kBertHuge48, ModelId::kBertXHuge,
+          ModelId::kViTHuge32,  ModelId::kViTHuge48,  ModelId::kViTXHuge,
+          ModelId::kT5Large32,  ModelId::kT5Large48,  ModelId::kSwinHuge32,
+          ModelId::kSwinHuge48};
+}
+
+ModelSpec BuildBert(const std::string& name, const BertConfig& config) {
+  std::vector<LayerSpec> layers;
+  layers.push_back(BuildTokenEmbeddingLayer(name + ".embed", config.vocab,
+                                            config.seq, config.hidden,
+                                            /*learned_positions=*/true));
+  TransformerBlockDims dims;
+  dims.seq = config.seq;
+  dims.hidden = config.hidden;
+  dims.heads = config.heads;
+  dims.intermediate = 4 * config.hidden;
+  dims.attend_width = config.seq;
+  for (int i = 0; i < config.num_layers; ++i) {
+    layers.push_back(
+        BuildEncoderLayer(StrFormat("%s.encoder%d", name.c_str(), i), dims));
+  }
+  layers.push_back(BuildHeadLayer(name + ".head", config.seq, config.hidden,
+                                  /*classes=*/0, /*include_pooler=*/true));
+  return ModelSpec(name, std::move(layers));
+}
+
+ModelSpec BuildVit(const std::string& name, const VitConfig& config) {
+  const int64_t grid = config.image_size / config.patch;
+  const int64_t tokens = grid * grid + 1;  // +1 CLS token
+  std::vector<LayerSpec> layers;
+  layers.push_back(BuildPatchEmbedLayer(name + ".patch_embed", tokens,
+                                        config.patch, config.channels,
+                                        config.hidden,
+                                        /*learned_positions=*/true));
+  TransformerBlockDims dims;
+  dims.seq = tokens;
+  dims.hidden = config.hidden;
+  dims.heads = config.heads;
+  dims.intermediate = 4 * config.hidden;
+  dims.attend_width = tokens;
+  dims.use_dropout = false;  // ViT trains without dropout
+  for (int i = 0; i < config.num_layers; ++i) {
+    layers.push_back(
+        BuildEncoderLayer(StrFormat("%s.encoder%d", name.c_str(), i), dims));
+  }
+  layers.push_back(BuildHeadLayer(name + ".head", tokens, config.hidden,
+                                  config.classes, /*include_pooler=*/false));
+  return ModelSpec(name, std::move(layers));
+}
+
+ModelSpec BuildT5(const std::string& name, const T5Config& config) {
+  std::vector<LayerSpec> layers;
+  layers.push_back(BuildTokenEmbeddingLayer(name + ".enc_embed", config.vocab,
+                                            config.seq, config.hidden,
+                                            /*learned_positions=*/false));
+  TransformerBlockDims dims;
+  dims.seq = config.seq;
+  dims.hidden = config.hidden;
+  dims.heads = config.heads;
+  dims.intermediate = 4 * config.hidden;
+  dims.attend_width = config.seq;
+  for (int i = 0; i < config.num_encoder_layers; ++i) {
+    layers.push_back(
+        BuildEncoderLayer(StrFormat("%s.encoder%d", name.c_str(), i), dims));
+  }
+  // Decoder-side embedding shares the encoder embedding weights (T5 ties
+  // them), so its parameters are counted once.
+  layers.push_back(BuildTokenEmbeddingLayer(name + ".dec_embed", config.vocab,
+                                            config.seq, config.hidden,
+                                            /*learned_positions=*/false,
+                                            /*tied_weights=*/true));
+  for (int i = 0; i < config.num_decoder_layers; ++i) {
+    layers.push_back(BuildDecoderLayer(
+        StrFormat("%s.decoder%d", name.c_str(), i), dims, config.seq));
+  }
+  // LM head is weight-tied to the embedding: layer norm only.
+  layers.push_back(BuildHeadLayer(name + ".head", config.seq, config.hidden,
+                                  /*classes=*/0, /*include_pooler=*/false));
+  return ModelSpec(name, std::move(layers));
+}
+
+ModelSpec BuildSwin(const std::string& name, const SwinConfig& config) {
+  GALVATRON_CHECK_EQ(config.depths.size(), config.widths.size());
+  GALVATRON_CHECK_EQ(config.depths.size(), config.heads.size());
+  const int num_stages = static_cast<int>(config.depths.size());
+
+  int64_t grid = config.image_size / config.patch;  // 56 for 224/4
+  std::vector<LayerSpec> layers;
+  layers.push_back(BuildPatchEmbedLayer(name + ".patch_embed", grid * grid,
+                                        config.patch, config.channels,
+                                        config.widths[0],
+                                        /*learned_positions=*/false));
+  for (int s = 0; s < num_stages; ++s) {
+    TransformerBlockDims dims;
+    dims.seq = grid * grid;
+    dims.hidden = config.widths[static_cast<size_t>(s)];
+    dims.heads = config.heads[static_cast<size_t>(s)];
+    dims.intermediate = 4 * dims.hidden;
+    dims.attend_width = config.window * config.window;
+    dims.use_dropout = false;  // Swin uses stochastic depth, not dropout
+    for (int i = 0; i < config.depths[static_cast<size_t>(s)]; ++i) {
+      layers.push_back(BuildEncoderLayer(
+          StrFormat("%s.stage%d.block%d", name.c_str(), s, i), dims));
+    }
+    if (s + 1 < num_stages) {
+      grid /= 2;
+      layers.push_back(BuildPatchMergeLayer(
+          StrFormat("%s.merge%d", name.c_str(), s), grid * grid,
+          config.widths[static_cast<size_t>(s)],
+          config.widths[static_cast<size_t>(s + 1)]));
+    }
+  }
+  layers.push_back(BuildHeadLayer(name + ".head", grid * grid,
+                                  config.widths.back(), config.classes,
+                                  /*include_pooler=*/false));
+  return ModelSpec(name, std::move(layers));
+}
+
+ModelSpec BuildModel(ModelId id) {
+  const std::string name(ModelIdToString(id));
+  switch (id) {
+    case ModelId::kBertHuge32: {
+      BertConfig c;
+      c.num_layers = 32;
+      c.hidden = 1280;
+      c.heads = 16;
+      return BuildBert(name, c);
+    }
+    case ModelId::kBertHuge48: {
+      BertConfig c;
+      c.num_layers = 48;
+      c.hidden = 1280;
+      c.heads = 16;
+      return BuildBert(name, c);
+    }
+    case ModelId::kBertXHuge: {
+      BertConfig c;
+      c.num_layers = 128;
+      c.hidden = 2560;
+      c.heads = 32;
+      return BuildBert(name, c);
+    }
+    case ModelId::kViTHuge32: {
+      VitConfig c;
+      c.num_layers = 32;
+      c.hidden = 1280;
+      c.heads = 16;
+      return BuildVit(name, c);
+    }
+    case ModelId::kViTHuge48: {
+      VitConfig c;
+      c.num_layers = 48;
+      c.hidden = 1280;
+      c.heads = 16;
+      return BuildVit(name, c);
+    }
+    case ModelId::kViTXHuge: {
+      VitConfig c;
+      c.num_layers = 128;
+      c.hidden = 2560;
+      c.heads = 32;
+      return BuildVit(name, c);
+    }
+    case ModelId::kT5Large32: {
+      T5Config c;
+      c.num_encoder_layers = 16;
+      c.num_decoder_layers = 16;
+      c.hidden = 1024;
+      c.heads = 16;
+      return BuildT5(name, c);
+    }
+    case ModelId::kT5Large48: {
+      T5Config c;
+      c.num_encoder_layers = 24;
+      c.num_decoder_layers = 24;
+      c.hidden = 1024;
+      c.heads = 16;
+      return BuildT5(name, c);
+    }
+    case ModelId::kSwinHuge32: {
+      SwinConfig c;
+      c.depths = {2, 2, 26, 2};
+      return BuildSwin(name, c);
+    }
+    case ModelId::kSwinHuge48: {
+      SwinConfig c;
+      c.depths = {2, 2, 42, 2};
+      return BuildSwin(name, c);
+    }
+  }
+  GALVATRON_CHECK(false) << "unknown model id";
+  return BuildBert("unreachable", BertConfig{});
+}
+
+ModelStatistics ComputeStatistics(const ModelSpec& model) {
+  ModelStatistics stats;
+  stats.model_name = model.name();
+  stats.param_count = model.TotalParams();
+  stats.activation_bytes_per_sample = model.TotalActivationBytesPerSample();
+  stats.fwd_flops_per_sample = model.TotalFwdFlops();
+
+  // Layer description: encoder/decoder counts, or per-stage depths for
+  // multi-width models (Swin).
+  int encoders = 0;
+  int decoders = 0;
+  std::vector<int64_t> widths;      // distinct encoder widths in order
+  std::vector<int> width_depths;    // blocks per width
+  for (const LayerSpec& l : model.layers()) {
+    if (l.kind() == LayerKind::kEncoder) {
+      ++encoders;
+      // Infer the block width from the first LayerNorm parameters (2H).
+      const int64_t hidden = l.ops().front().param_count / 2;
+      if (widths.empty() || widths.back() != hidden) {
+        widths.push_back(hidden);
+        width_depths.push_back(0);
+      }
+      ++width_depths.back();
+    } else if (l.kind() == LayerKind::kDecoder) {
+      ++decoders;
+    }
+  }
+  if (decoders > 0) {
+    stats.layer_desc = StrFormat("%d Enc.+%d Dec.", encoders, decoders);
+  } else if (widths.size() > 1) {
+    std::vector<std::string> parts;
+    for (int d : width_depths) parts.push_back(StrFormat("%d", d));
+    stats.layer_desc = Join(parts, "/");
+  } else {
+    stats.layer_desc = StrFormat("%d", encoders);
+  }
+  if (widths.size() > 1) {
+    std::vector<std::string> parts;
+    for (int64_t w : widths) {
+      parts.push_back(StrFormat("%lld", static_cast<long long>(w)));
+    }
+    stats.hidden_desc = Join(parts, "/");
+  } else if (!widths.empty()) {
+    stats.hidden_desc =
+        StrFormat("%lld", static_cast<long long>(widths.front()));
+  }
+  return stats;
+}
+
+}  // namespace galvatron

@@ -1,0 +1,95 @@
+#ifndef GALVATRON_IR_MODEL_ZOO_H_
+#define GALVATRON_IR_MODEL_ZOO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ir/model.h"
+
+namespace galvatron {
+
+/// The ten experimental models of Table 2.
+enum class ModelId {
+  kBertHuge32,
+  kBertHuge48,
+  kBertXHuge,
+  kViTHuge32,
+  kViTHuge48,
+  kViTXHuge,
+  kT5Large32,
+  kT5Large48,
+  kSwinHuge32,
+  kSwinHuge48,
+};
+
+std::string_view ModelIdToString(ModelId id);
+std::vector<ModelId> AllModelIds();
+
+/// BERT-style encoder-only configuration (also used for RoBERTa-likes).
+struct BertConfig {
+  int num_layers = 24;
+  int64_t hidden = 1024;
+  int64_t heads = 16;
+  int64_t seq = 512;
+  int64_t vocab = 30522;
+};
+
+/// ViT configuration (image_size/patch give the token count, +1 CLS token).
+struct VitConfig {
+  int num_layers = 24;
+  int64_t hidden = 1024;
+  int64_t heads = 16;
+  int64_t image_size = 224;
+  int64_t patch = 16;
+  int64_t channels = 3;
+  int64_t classes = 1000;
+};
+
+/// T5 encoder-decoder configuration (symmetric halves, tied embeddings).
+struct T5Config {
+  int num_encoder_layers = 12;
+  int num_decoder_layers = 12;
+  int64_t hidden = 1024;
+  int64_t heads = 16;
+  int64_t seq = 512;
+  int64_t vocab = 32128;
+};
+
+/// Swin hierarchical configuration: 4 stages with doubling widths and
+/// 2x2 patch-merging between stages; window attention of `window^2` keys.
+struct SwinConfig {
+  std::vector<int> depths = {2, 2, 26, 2};
+  std::vector<int64_t> widths = {320, 640, 1280, 2560};
+  std::vector<int64_t> heads = {10, 20, 40, 80};
+  int64_t image_size = 224;
+  int64_t patch = 4;
+  int64_t channels = 3;
+  int64_t window = 7;
+  int64_t classes = 1000;
+};
+
+ModelSpec BuildBert(const std::string& name, const BertConfig& config);
+ModelSpec BuildVit(const std::string& name, const VitConfig& config);
+ModelSpec BuildT5(const std::string& name, const T5Config& config);
+ModelSpec BuildSwin(const std::string& name, const SwinConfig& config);
+
+/// Builds one of the paper's models with its Table 2 configuration.
+ModelSpec BuildModel(ModelId id);
+
+/// Row of Table 2 regenerated from the IR calculus.
+struct ModelStatistics {
+  std::string model_name;
+  std::string layer_desc;    // e.g. "32", "16 Enc.+16 Dec.", "2/2/26/2"
+  std::string hidden_desc;   // e.g. "1280", "320/640/1280/2560"
+  int64_t param_count = 0;
+  int64_t activation_bytes_per_sample = 0;
+  double fwd_flops_per_sample = 0.0;
+};
+
+ModelStatistics ComputeStatistics(const ModelSpec& model);
+
+}  // namespace galvatron
+
+#endif  // GALVATRON_IR_MODEL_ZOO_H_

@@ -1,0 +1,51 @@
+#include "ir/op.h"
+
+namespace galvatron {
+
+std::string_view OpKindToString(OpKind kind) {
+  switch (kind) {
+    case OpKind::kMatMul:
+      return "MatMul";
+    case OpKind::kBatchedMatMul:
+      return "BatchedMatMul";
+    case OpKind::kSoftmax:
+      return "Softmax";
+    case OpKind::kLayerNorm:
+      return "LayerNorm";
+    case OpKind::kGeLU:
+      return "GeLU";
+    case OpKind::kAdd:
+      return "Add";
+    case OpKind::kDropout:
+      return "Dropout";
+    case OpKind::kEmbeddingLookup:
+      return "EmbeddingLookup";
+    case OpKind::kPatchEmbed:
+      return "PatchEmbed";
+    case OpKind::kPatchMerge:
+      return "PatchMerge";
+    case OpKind::kWindowShift:
+      return "WindowShift";
+    case OpKind::kClassifierHead:
+      return "ClassifierHead";
+  }
+  return "Unknown";
+}
+
+std::string_view TpPatternToString(TpPattern pattern) {
+  switch (pattern) {
+    case TpPattern::kColumnParallel:
+      return "ColumnParallel";
+    case TpPattern::kRowParallel:
+      return "RowParallel";
+    case TpPattern::kShardedElementwise:
+      return "ShardedElementwise";
+    case TpPattern::kReplicated:
+      return "Replicated";
+    case TpPattern::kVocabParallel:
+      return "VocabParallel";
+  }
+  return "Unknown";
+}
+
+}  // namespace galvatron

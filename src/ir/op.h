@@ -1,0 +1,90 @@
+#ifndef GALVATRON_IR_OP_H_
+#define GALVATRON_IR_OP_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "ir/dtype.h"
+#include "ir/tensor_shape.h"
+
+namespace galvatron {
+
+/// Primitive operator kinds appearing in Transformer layers.
+enum class OpKind {
+  kMatMul,         // dense GEMM against a weight matrix
+  kBatchedMatMul,  // activation-activation GEMM (attention scores/context)
+  kSoftmax,
+  kLayerNorm,
+  kGeLU,
+  kAdd,            // residual connection
+  kDropout,
+  kEmbeddingLookup,
+  kPatchEmbed,     // conv-style patchification (ViT/Swin stem)
+  kPatchMerge,     // Swin downsampling linear
+  kWindowShift,    // Swin shifted-window roll (data movement only)
+  kClassifierHead,
+};
+
+std::string_view OpKindToString(OpKind kind);
+
+/// Megatron-style tensor-parallel behaviour of one op.
+enum class TpPattern {
+  /// Weight split along the output dimension; no communication at this op.
+  /// Starts a TP-sharded region (its backward emits an all-reduce of the
+  /// op input gradient — Megatron's `f` conjugate operator).
+  kColumnParallel,
+  /// Weight split along the input dimension; forward emits an all-reduce of
+  /// the op output (Megatron's `g` operator).
+  kRowParallel,
+  /// No parameters; activations are sharded across TP ranks because the op
+  /// sits inside a column->row parallel region (softmax over local heads,
+  /// GeLU over the local intermediate slice, ...).
+  kShardedElementwise,
+  /// Executed identically on every TP rank (layer norms, residual adds,
+  /// dropout on the replicated hidden states).
+  kReplicated,
+  /// Parameters split along the vocabulary/class dimension with an output
+  /// all-reduce (vocab-parallel embedding / classifier head).
+  kVocabParallel,
+};
+
+std::string_view TpPatternToString(TpPattern pattern);
+
+/// One primitive op with everything the cost calculus needs, expressed
+/// per-sample (multiply by the local batch to get per-device quantities).
+///
+/// OpSpec is a passive data holder (struct per the style guide); the layer
+/// builders in `transformer_builder.h` are responsible for internal
+/// consistency (e.g. flops matching shapes).
+struct OpSpec {
+  std::string name;
+  OpKind kind = OpKind::kMatMul;
+  TpPattern tp_pattern = TpPattern::kReplicated;
+
+  /// Trainable parameter count (weights + biases) of this op.
+  int64_t param_count = 0;
+
+  /// Forward floating-point operations per sample; backward is modelled as
+  /// 2x forward (dense matmul dominated, Sec 3.4 of the paper).
+  double fwd_flops = 0.0;
+
+  /// Bytes per sample stashed for the backward pass (inputs / outputs /
+  /// masks this op must keep; recompute is disabled, as in the paper).
+  int64_t saved_activation_bytes = 0;
+
+  /// Bytes per sample of this op's output tensor.
+  int64_t output_bytes = 0;
+
+  /// Bytes per sample of this op's input tensor.
+  int64_t input_bytes = 0;
+
+  /// True if the saved activation divides by the TP degree (it lives inside
+  /// a sharded region). False for replicated tensors — the paper's "TP has
+  /// some additional replications of the activations".
+  bool tp_shards_saved_activation = false;
+};
+
+}  // namespace galvatron
+
+#endif  // GALVATRON_IR_OP_H_

@@ -1,0 +1,18 @@
+#include "ir/tensor_shape.h"
+
+#include <sstream>
+
+namespace galvatron {
+
+std::string TensorShape::ToString() const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << dims_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace galvatron

@@ -1,0 +1,48 @@
+#ifndef GALVATRON_IR_TENSOR_SHAPE_H_
+#define GALVATRON_IR_TENSOR_SHAPE_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "ir/dtype.h"
+
+namespace galvatron {
+
+/// A dense tensor shape (per-sample; the batch dimension is kept implicit
+/// throughout the cost calculus so batch size can be swept cheaply).
+class TensorShape {
+ public:
+  TensorShape() = default;
+  TensorShape(std::initializer_list<int64_t> dims) : dims_(dims) {}
+  explicit TensorShape(std::vector<int64_t> dims) : dims_(std::move(dims)) {}
+
+  const std::vector<int64_t>& dims() const { return dims_; }
+  int rank() const { return static_cast<int>(dims_.size()); }
+  int64_t dim(int i) const { return dims_[static_cast<size_t>(i)]; }
+
+  /// Product of dimensions; 1 for a scalar (rank 0).
+  int64_t NumElements() const {
+    int64_t n = 1;
+    for (int64_t d : dims_) n *= d;
+    return n;
+  }
+
+  /// NumElements() * SizeOf(dtype).
+  int64_t Bytes(DataType dtype) const { return NumElements() * SizeOf(dtype); }
+
+  /// "[a, b, c]".
+  std::string ToString() const;
+
+  friend bool operator==(const TensorShape& a, const TensorShape& b) {
+    return a.dims_ == b.dims_;
+  }
+
+ private:
+  std::vector<int64_t> dims_;
+};
+
+}  // namespace galvatron
+
+#endif  // GALVATRON_IR_TENSOR_SHAPE_H_

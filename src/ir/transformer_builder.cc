@@ -1,0 +1,346 @@
+#include "ir/transformer_builder.h"
+
+#include <vector>
+
+#include "ir/dtype.h"
+#include "util/logging.h"
+
+namespace galvatron {
+
+namespace {
+
+constexpr int64_t kF32Bytes = 4;
+
+/// Appends a LayerNorm over [seq, hidden]; replicated under TP.
+void AddLayerNorm(std::vector<OpSpec>* ops, const std::string& name,
+                  int64_t seq, int64_t hidden) {
+  OpSpec op;
+  op.name = name;
+  op.kind = OpKind::kLayerNorm;
+  op.tp_pattern = TpPattern::kReplicated;
+  op.param_count = 2 * hidden;
+  op.fwd_flops = 8.0 * static_cast<double>(seq) * static_cast<double>(hidden);
+  op.input_bytes = seq * hidden * kF32Bytes;
+  op.output_bytes = seq * hidden * kF32Bytes;
+  op.saved_activation_bytes = op.output_bytes;
+  op.tp_shards_saved_activation = false;
+  ops->push_back(op);
+}
+
+/// Appends a dense matmul [seq, in] x [in, out] with bias.
+void AddMatMul(std::vector<OpSpec>* ops, const std::string& name, int64_t seq,
+               int64_t in, int64_t out, TpPattern pattern,
+               bool output_sharded) {
+  OpSpec op;
+  op.name = name;
+  op.kind = OpKind::kMatMul;
+  op.tp_pattern = pattern;
+  op.param_count = in * out + out;
+  op.fwd_flops = 2.0 * static_cast<double>(seq) * static_cast<double>(in) *
+                 static_cast<double>(out);
+  op.input_bytes = seq * in * kF32Bytes;
+  op.output_bytes = seq * out * kF32Bytes;
+  op.saved_activation_bytes = op.output_bytes;
+  op.tp_shards_saved_activation = output_sharded;
+  ops->push_back(op);
+}
+
+/// Appends a residual add over [seq, hidden]; replicated under TP.
+void AddResidual(std::vector<OpSpec>* ops, const std::string& name,
+                 int64_t seq, int64_t hidden) {
+  OpSpec op;
+  op.name = name;
+  op.kind = OpKind::kAdd;
+  op.tp_pattern = TpPattern::kReplicated;
+  op.fwd_flops = static_cast<double>(seq) * static_cast<double>(hidden);
+  op.input_bytes = seq * hidden * kF32Bytes;
+  op.output_bytes = seq * hidden * kF32Bytes;
+  op.saved_activation_bytes = op.output_bytes;
+  op.tp_shards_saved_activation = false;
+  ops->push_back(op);
+}
+
+/// Appends a dropout saving its output plus a 1-byte mask per element.
+void AddDropout(std::vector<OpSpec>* ops, const std::string& name,
+                int64_t elements, bool sharded) {
+  OpSpec op;
+  op.name = name;
+  op.kind = OpKind::kDropout;
+  op.tp_pattern = sharded ? TpPattern::kShardedElementwise
+                          : TpPattern::kReplicated;
+  op.fwd_flops = static_cast<double>(elements);
+  op.input_bytes = elements * kF32Bytes;
+  op.output_bytes = elements * kF32Bytes;
+  // Output tensor (fp32) plus the boolean mask (1 byte/element).
+  op.saved_activation_bytes = op.output_bytes + elements;
+  op.tp_shards_saved_activation = sharded;
+  ops->push_back(op);
+}
+
+/// Appends the attention core: scores BMM, softmax, attention dropout,
+/// context BMM. All sharded across TP ranks (head-parallel).
+void AddAttentionCore(std::vector<OpSpec>* ops, const std::string& prefix,
+                      int64_t seq, int64_t hidden, int64_t heads,
+                      int64_t attend_width, bool use_dropout) {
+  const int64_t score_elems = heads * seq * attend_width;
+
+  OpSpec scores;
+  scores.name = prefix + ".scores";
+  scores.kind = OpKind::kBatchedMatMul;
+  scores.tp_pattern = TpPattern::kShardedElementwise;
+  scores.fwd_flops = 2.0 * static_cast<double>(seq) *
+                     static_cast<double>(attend_width) *
+                     static_cast<double>(hidden);
+  scores.input_bytes = seq * hidden * kF32Bytes;
+  scores.output_bytes = score_elems * kF32Bytes;
+  // The pre-softmax scores are not stashed: softmax backward needs only its
+  // own output, and the BMM backward needs Q/K (saved by the QKV matmul).
+  scores.saved_activation_bytes = 0;
+  scores.tp_shards_saved_activation = true;
+  ops->push_back(scores);
+
+  OpSpec softmax;
+  softmax.name = prefix + ".softmax";
+  softmax.kind = OpKind::kSoftmax;
+  softmax.tp_pattern = TpPattern::kShardedElementwise;
+  softmax.fwd_flops = 5.0 * static_cast<double>(score_elems);
+  softmax.input_bytes = score_elems * kF32Bytes;
+  softmax.output_bytes = score_elems * kF32Bytes;
+  softmax.saved_activation_bytes = softmax.output_bytes;
+  softmax.tp_shards_saved_activation = true;
+  ops->push_back(softmax);
+
+  if (use_dropout) {
+    AddDropout(ops, prefix + ".attn_dropout", score_elems, /*sharded=*/true);
+  }
+
+  OpSpec context;
+  context.name = prefix + ".context";
+  context.kind = OpKind::kBatchedMatMul;
+  context.tp_pattern = TpPattern::kShardedElementwise;
+  context.fwd_flops = 2.0 * static_cast<double>(seq) *
+                      static_cast<double>(attend_width) *
+                      static_cast<double>(hidden);
+  context.input_bytes = score_elems * kF32Bytes;
+  context.output_bytes = seq * hidden * kF32Bytes;
+  context.saved_activation_bytes = context.output_bytes;
+  context.tp_shards_saved_activation = true;
+  ops->push_back(context);
+}
+
+/// Appends a full self-attention block (LN + QKV + core + proj + dropout +
+/// residual). 4 H^2 matmul parameters.
+void AddSelfAttentionBlock(std::vector<OpSpec>* ops, const std::string& prefix,
+                           const TransformerBlockDims& d) {
+  AddLayerNorm(ops, prefix + ".ln", d.seq, d.hidden);
+  AddMatMul(ops, prefix + ".qkv", d.seq, d.hidden, 3 * d.hidden,
+            TpPattern::kColumnParallel, /*output_sharded=*/true);
+  AddAttentionCore(ops, prefix, d.seq, d.hidden, d.heads, d.attend_width,
+                   d.use_dropout);
+  AddMatMul(ops, prefix + ".proj", d.seq, d.hidden, d.hidden,
+            TpPattern::kRowParallel, /*output_sharded=*/false);
+  if (d.use_dropout) {
+    AddDropout(ops, prefix + ".dropout", d.seq * d.hidden, /*sharded=*/false);
+  }
+  AddResidual(ops, prefix + ".residual", d.seq, d.hidden);
+}
+
+/// Appends the MLP block (LN + fc1 + GeLU + fc2 + dropout + residual).
+/// 8 H^2 matmul parameters when intermediate = 4H.
+void AddMlpBlock(std::vector<OpSpec>* ops, const std::string& prefix,
+                 const TransformerBlockDims& d) {
+  AddLayerNorm(ops, prefix + ".ln", d.seq, d.hidden);
+  AddMatMul(ops, prefix + ".fc1", d.seq, d.hidden, d.intermediate,
+            TpPattern::kColumnParallel, /*output_sharded=*/true);
+
+  OpSpec gelu;
+  gelu.name = prefix + ".gelu";
+  gelu.kind = OpKind::kGeLU;
+  gelu.tp_pattern = TpPattern::kShardedElementwise;
+  gelu.fwd_flops = 8.0 * static_cast<double>(d.seq) *
+                   static_cast<double>(d.intermediate);
+  gelu.input_bytes = d.seq * d.intermediate * kF32Bytes;
+  gelu.output_bytes = d.seq * d.intermediate * kF32Bytes;
+  gelu.saved_activation_bytes = gelu.output_bytes;
+  gelu.tp_shards_saved_activation = true;
+  ops->push_back(gelu);
+
+  AddMatMul(ops, prefix + ".fc2", d.seq, d.intermediate, d.hidden,
+            TpPattern::kRowParallel, /*output_sharded=*/false);
+  if (d.use_dropout) {
+    AddDropout(ops, prefix + ".dropout", d.seq * d.hidden, /*sharded=*/false);
+  }
+  AddResidual(ops, prefix + ".residual", d.seq, d.hidden);
+}
+
+/// The layer input itself is stashed for backward (it feeds the first LN and
+/// the residual). Attribute it to a zero-flop bookkeeping entry on the first
+/// op of the layer instead of inventing a pseudo-op.
+void ChargeLayerInputToFirstOp(std::vector<OpSpec>* ops, int64_t input_bytes) {
+  GALVATRON_CHECK(!ops->empty());
+  ops->front().saved_activation_bytes += input_bytes;
+}
+
+}  // namespace
+
+LayerSpec BuildEncoderLayer(const std::string& name,
+                            const TransformerBlockDims& dims) {
+  GALVATRON_CHECK_GT(dims.seq, 0);
+  GALVATRON_CHECK_GT(dims.hidden, 0);
+  std::vector<OpSpec> ops;
+  AddSelfAttentionBlock(&ops, name + ".attn", dims);
+  AddMlpBlock(&ops, name + ".mlp", dims);
+  const int64_t boundary = dims.seq * dims.hidden * kF32Bytes;
+  ChargeLayerInputToFirstOp(&ops, boundary);
+  return LayerSpec(name, LayerKind::kEncoder, std::move(ops), boundary,
+                   boundary);
+}
+
+LayerSpec BuildDecoderLayer(const std::string& name,
+                            const TransformerBlockDims& dims,
+                            int64_t memory_seq) {
+  std::vector<OpSpec> ops;
+  AddSelfAttentionBlock(&ops, name + ".self_attn", dims);
+
+  // Cross-attention: queries from the decoder stream, keys/values projected
+  // from the encoder memory of length memory_seq. Same 4 H^2 parameters.
+  AddLayerNorm(&ops, name + ".cross_attn.ln", dims.seq, dims.hidden);
+  AddMatMul(&ops, name + ".cross_attn.q", dims.seq, dims.hidden, dims.hidden,
+            TpPattern::kColumnParallel, /*output_sharded=*/true);
+  AddMatMul(&ops, name + ".cross_attn.kv", memory_seq, dims.hidden,
+            2 * dims.hidden, TpPattern::kColumnParallel,
+            /*output_sharded=*/true);
+  TransformerBlockDims cross = dims;
+  cross.attend_width = memory_seq;
+  AddAttentionCore(&ops, name + ".cross_attn", dims.seq, dims.hidden,
+                   dims.heads, cross.attend_width, dims.use_dropout);
+  AddMatMul(&ops, name + ".cross_attn.proj", dims.seq, dims.hidden,
+            dims.hidden, TpPattern::kRowParallel, /*output_sharded=*/false);
+  if (dims.use_dropout) {
+    AddDropout(&ops, name + ".cross_attn.dropout", dims.seq * dims.hidden,
+               /*sharded=*/false);
+  }
+  AddResidual(&ops, name + ".cross_attn.residual", dims.seq, dims.hidden);
+
+  AddMlpBlock(&ops, name + ".mlp", dims);
+
+  // Decoder boundary carries both the decoder stream and the encoder memory
+  // (the memory flows through every decoder layer).
+  const int64_t boundary =
+      (dims.seq + memory_seq) * dims.hidden * kF32Bytes;
+  ChargeLayerInputToFirstOp(&ops, boundary);
+  return LayerSpec(name, LayerKind::kDecoder, std::move(ops), boundary,
+                   boundary);
+}
+
+LayerSpec BuildTokenEmbeddingLayer(const std::string& name, int64_t vocab,
+                                   int64_t seq, int64_t hidden,
+                                   bool learned_positions, bool tied_weights) {
+  std::vector<OpSpec> ops;
+
+  OpSpec lookup;
+  lookup.name = name + ".tokens";
+  lookup.kind = OpKind::kEmbeddingLookup;
+  lookup.tp_pattern = TpPattern::kVocabParallel;
+  lookup.param_count = tied_weights ? 0 : vocab * hidden;
+  lookup.fwd_flops = static_cast<double>(seq) * static_cast<double>(hidden);
+  lookup.input_bytes = seq * SizeOf(DataType::kI64);
+  lookup.output_bytes = seq * hidden * kF32Bytes;
+  lookup.saved_activation_bytes = lookup.output_bytes;
+  lookup.tp_shards_saved_activation = false;
+  ops.push_back(lookup);
+
+  if (learned_positions) {
+    OpSpec pos;
+    pos.name = name + ".positions";
+    pos.kind = OpKind::kAdd;
+    pos.tp_pattern = TpPattern::kReplicated;
+    pos.param_count = seq * hidden;
+    pos.fwd_flops = static_cast<double>(seq) * static_cast<double>(hidden);
+    pos.input_bytes = seq * hidden * kF32Bytes;
+    pos.output_bytes = seq * hidden * kF32Bytes;
+    pos.saved_activation_bytes = pos.output_bytes;
+    pos.tp_shards_saved_activation = false;
+    ops.push_back(pos);
+  }
+
+  AddDropout(&ops, name + ".dropout", seq * hidden, /*sharded=*/false);
+
+  return LayerSpec(name, LayerKind::kEmbedding, std::move(ops),
+                   seq * SizeOf(DataType::kI64), seq * hidden * kF32Bytes);
+}
+
+LayerSpec BuildPatchEmbedLayer(const std::string& name, int64_t num_patches,
+                               int64_t patch, int64_t channels, int64_t hidden,
+                               bool learned_positions) {
+  std::vector<OpSpec> ops;
+  const int64_t patch_dim = channels * patch * patch;
+
+  OpSpec proj;
+  proj.name = name + ".proj";
+  proj.kind = OpKind::kPatchEmbed;
+  proj.tp_pattern = TpPattern::kColumnParallel;
+  proj.param_count = patch_dim * hidden + hidden;
+  proj.fwd_flops = 2.0 * static_cast<double>(num_patches) *
+                   static_cast<double>(patch_dim) *
+                   static_cast<double>(hidden);
+  proj.input_bytes = num_patches * patch_dim * kF32Bytes;
+  proj.output_bytes = num_patches * hidden * kF32Bytes;
+  proj.saved_activation_bytes = proj.output_bytes;
+  proj.tp_shards_saved_activation = true;
+  ops.push_back(proj);
+
+  if (learned_positions) {
+    OpSpec pos;
+    pos.name = name + ".positions";
+    pos.kind = OpKind::kAdd;
+    pos.tp_pattern = TpPattern::kReplicated;
+    pos.param_count = num_patches * hidden;
+    pos.fwd_flops = static_cast<double>(num_patches * hidden);
+    pos.input_bytes = num_patches * hidden * kF32Bytes;
+    pos.output_bytes = num_patches * hidden * kF32Bytes;
+    pos.saved_activation_bytes = pos.output_bytes;
+    pos.tp_shards_saved_activation = false;
+    ops.push_back(pos);
+  }
+
+  return LayerSpec(name, LayerKind::kEmbedding, std::move(ops),
+                   num_patches * patch_dim * kF32Bytes,
+                   num_patches * hidden * kF32Bytes);
+}
+
+LayerSpec BuildPatchMergeLayer(const std::string& name, int64_t out_seq,
+                               int64_t hidden_in, int64_t hidden_out) {
+  std::vector<OpSpec> ops;
+  AddLayerNorm(&ops, name + ".ln", out_seq, 4 * hidden_in);
+  AddMatMul(&ops, name + ".reduce", out_seq, 4 * hidden_in, hidden_out,
+            TpPattern::kColumnParallel, /*output_sharded=*/false);
+  // The merge output feeds a replicated LN in the next stage, so every TP
+  // rank needs the full tensor: mark the matmul output replicated by
+  // overriding the flag set above.
+  ops.back().tp_shards_saved_activation = false;
+  const int64_t in_bytes = 4 * out_seq * hidden_in * kF32Bytes;
+  ChargeLayerInputToFirstOp(&ops, in_bytes);
+  return LayerSpec(name, LayerKind::kPatchMerge, std::move(ops), in_bytes,
+                   out_seq * hidden_out * kF32Bytes);
+}
+
+LayerSpec BuildHeadLayer(const std::string& name, int64_t seq, int64_t hidden,
+                         int64_t classes, bool include_pooler) {
+  std::vector<OpSpec> ops;
+  AddLayerNorm(&ops, name + ".ln", seq, hidden);
+  if (include_pooler) {
+    AddMatMul(&ops, name + ".pooler", 1, hidden, hidden,
+              TpPattern::kColumnParallel, /*output_sharded=*/true);
+  }
+  if (classes > 0) {
+    AddMatMul(&ops, name + ".classifier", 1, hidden, classes,
+              TpPattern::kVocabParallel, /*output_sharded=*/true);
+  }
+  const int64_t in_bytes = seq * hidden * kF32Bytes;
+  ChargeLayerInputToFirstOp(&ops, in_bytes);
+  return LayerSpec(name, LayerKind::kHead, std::move(ops), in_bytes,
+                   classes > 0 ? classes * kF32Bytes : hidden * kF32Bytes);
+}
+
+}  // namespace galvatron

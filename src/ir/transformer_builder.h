@@ -1,0 +1,64 @@
+#ifndef GALVATRON_IR_TRANSFORMER_BUILDER_H_
+#define GALVATRON_IR_TRANSFORMER_BUILDER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "ir/layer.h"
+
+namespace galvatron {
+
+/// Dimensions of one attention+MLP Transformer block.
+///
+/// `attend_width` is the number of keys each query attends to: `seq` for
+/// full attention (BERT/ViT/T5), the window area (49) for Swin's
+/// window-based attention.
+struct TransformerBlockDims {
+  int64_t seq = 0;           // tokens per sample
+  int64_t hidden = 0;        // model width H
+  int64_t heads = 0;         // attention heads
+  int64_t intermediate = 0;  // MLP inner width (usually 4H)
+  int64_t attend_width = 0;  // keys attended per query
+  bool use_dropout = true;   // ViT/Swin train without dropout
+};
+
+/// Builds a standard encoder block (self-attention + MLP) with Megatron-style
+/// TP annotations: QKV/fc1 column-parallel, proj/fc2 row-parallel, the ops
+/// between them sharded, layer norms and residuals replicated.
+LayerSpec BuildEncoderLayer(const std::string& name,
+                            const TransformerBlockDims& dims);
+
+/// Builds a decoder block: self-attention + cross-attention (keys/values of
+/// length `memory_seq` from the encoder) + MLP. 16 H^2 matmul parameters vs
+/// the encoder's 12 H^2.
+LayerSpec BuildDecoderLayer(const std::string& name,
+                            const TransformerBlockDims& dims,
+                            int64_t memory_seq);
+
+/// Token embedding (+ learned positions when `learned_positions`), vocab-
+/// parallel under TP. `param_vocab` may be 0 for weight-tied embeddings
+/// (T5 decoder side) — compute still happens, parameters are counted once.
+LayerSpec BuildTokenEmbeddingLayer(const std::string& name, int64_t vocab,
+                                   int64_t seq, int64_t hidden,
+                                   bool learned_positions,
+                                   bool tied_weights = false);
+
+/// ViT/Swin patchification stem: conv-equivalent linear projection of
+/// `channels * patch^2` pixels per token into `hidden`, plus positions.
+LayerSpec BuildPatchEmbedLayer(const std::string& name, int64_t num_patches,
+                               int64_t patch, int64_t channels, int64_t hidden,
+                               bool learned_positions);
+
+/// Swin patch-merging downsampling: concatenates 2x2 neighbourhoods
+/// (4*hidden_in) and projects to hidden_out = 2*hidden_in.
+LayerSpec BuildPatchMergeLayer(const std::string& name, int64_t out_seq,
+                               int64_t hidden_in, int64_t hidden_out);
+
+/// Classification / pooling head projecting `hidden` to `classes`
+/// (vocab-parallel under TP). `classes` may be 0 for a pooler-only head.
+LayerSpec BuildHeadLayer(const std::string& name, int64_t seq, int64_t hidden,
+                         int64_t classes, bool include_pooler);
+
+}  // namespace galvatron
+
+#endif  // GALVATRON_IR_TRANSFORMER_BUILDER_H_

@@ -1,0 +1,108 @@
+#include "parallel/decision_tree.h"
+
+#include <algorithm>
+
+#include "util/math_util.h"
+#include "util/string_util.h"
+
+namespace galvatron {
+
+namespace {
+
+/// Recursively assigns distinct dims to the ordered factor list. With
+/// `fixed_order`, dims must appear in the canonical order `available` lists
+/// them (TP, SDP, DP), so only increasing picks are allowed.
+void AssignDims(const std::vector<int>& factors, size_t index,
+                const std::vector<ParallelDim>& available, bool fixed_order,
+                size_t min_dim_index, std::vector<ParallelComponent>* current,
+                std::vector<HybridStrategy>* out) {
+  if (index == factors.size()) {
+    auto strategy = HybridStrategy::Create(*current);
+    GALVATRON_CHECK(strategy.ok()) << strategy.status();
+    out->push_back(*std::move(strategy));
+    return;
+  }
+  for (size_t d = fixed_order ? min_dim_index : 0; d < available.size(); ++d) {
+    ParallelDim dim = available[d];
+    bool used = false;
+    for (const ParallelComponent& c : *current) {
+      if (c.dim == dim) {
+        used = true;
+        break;
+      }
+    }
+    if (used) continue;
+    current->push_back(ParallelComponent{dim, factors[index]});
+    AssignDims(factors, index + 1, available, fixed_order, d + 1, current,
+               out);
+    current->pop_back();
+  }
+}
+
+bool MixesDpAndSdp(const HybridStrategy& strategy) {
+  return strategy.Uses(ParallelDim::kData) &&
+         strategy.Uses(ParallelDim::kShardedData);
+}
+
+}  // namespace
+
+Result<std::vector<HybridStrategy>> EnumerateSingleLayerStrategies(
+    int group_size, const DecisionTreeOptions& options) {
+  if (group_size < 1) {
+    return Status::InvalidArgument("group_size must be >= 1");
+  }
+  if (!IsPowerOfTwo(group_size)) {
+    return Status::InvalidArgument(StrFormat(
+        "group sizes are powers of two in Galvatron (got %d)", group_size));
+  }
+  // Canonical order (innermost first): TP on the fastest links, then SDP,
+  // then DP (the order fixed_order enforces).
+  std::vector<ParallelDim> available;
+  if (options.allow_tp) available.push_back(ParallelDim::kTensor);
+  if (options.allow_sdp) available.push_back(ParallelDim::kShardedData);
+  if (options.allow_dp) available.push_back(ParallelDim::kData);
+
+  std::vector<HybridStrategy> strategies;
+  if (group_size == 1) {
+    strategies.emplace_back();  // serial
+    return strategies;
+  }
+  if (available.empty()) {
+    return Status::InvalidArgument(
+        "no parallelism dimensions allowed but group_size > 1");
+  }
+
+  // Tree heights are bounded by the number of distinct parallelisms
+  // (construction rules 1-2).
+  const int max_parts = static_cast<int>(available.size());
+  for (const std::vector<int>& factors :
+       OrderedFactorizations(group_size, max_parts)) {
+    std::vector<ParallelComponent> current;
+    AssignDims(factors, 0, available, options.fixed_order, 0, &current,
+               &strategies);
+  }
+
+  if (options.prune_dp_sdp_mix) {
+    strategies.erase(
+        std::remove_if(strategies.begin(), strategies.end(), MixesDpAndSdp),
+        strategies.end());
+  }
+  return strategies;
+}
+
+Result<int> CountStrategiesAcrossPipelineDegrees(
+    int num_devices, const DecisionTreeOptions& options) {
+  if (!IsPowerOfTwo(num_devices)) {
+    return Status::InvalidArgument("num_devices must be a power of two");
+  }
+  int total = 0;
+  for (int pp = 1; pp <= num_devices; pp *= 2) {
+    GALVATRON_ASSIGN_OR_RETURN(
+        std::vector<HybridStrategy> strategies,
+        EnumerateSingleLayerStrategies(num_devices / pp, options));
+    total += static_cast<int>(strategies.size());
+  }
+  return total;
+}
+
+}  // namespace galvatron

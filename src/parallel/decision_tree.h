@@ -1,0 +1,51 @@
+#ifndef GALVATRON_PARALLEL_DECISION_TREE_H_
+#define GALVATRON_PARALLEL_DECISION_TREE_H_
+
+#include <vector>
+
+#include "parallel/strategy.h"
+#include "util/result.h"
+
+namespace galvatron {
+
+/// Controls which parallelism dimensions the decision tree may use, and the
+/// Takeaway #3 pruning. The restricted modes reproduce the paper's
+/// "Galvatron (DP+TP)" and "Galvatron (DP+PP)" auxiliary baselines.
+struct DecisionTreeOptions {
+  bool allow_dp = true;
+  bool allow_sdp = true;
+  bool allow_tp = true;
+  /// Takeaway #3: combinations containing both DP and SDP are never better
+  /// than pure SDP, so prune them.
+  bool prune_dp_sdp_mix = true;
+  /// When true, levels follow the canonical TP -> SDP -> DP order instead of
+  /// enumerating all permutations. This reproduces prior limited systems
+  /// (OptCNN/FlexFlow-style) for the paper's DP+TP / DP+PP baselines:
+  /// Figure 4(b)'s "4 alternate strategies on 8 GPUs".
+  bool fixed_order = false;
+};
+
+/// Constructs the decision trees of Sec 3.2 for a device group of
+/// `group_size` (the per-stage group after PP partitioning) and returns all
+/// root-to-leaf strategies they encode:
+///
+///   - every ordered factorization of group_size into factors >= 2 becomes
+///     the level degrees (tree construction rule 3 restricted to the
+///     power-of-two group sizes Algorithm 1 produces),
+///   - each level is assigned a distinct allowed parallelism (rules 1-2),
+///   - DP x SDP mixtures are pruned under Takeaway #3.
+///
+/// group_size == 1 yields the single empty ("serial") strategy. For 8 GPUs,
+/// summing over the PP degrees {1,2,4,8} (group sizes {8,4,2,1}) yields the
+/// paper's 34 candidates, or 22 with Takeaway #3 (Figure 2).
+Result<std::vector<HybridStrategy>> EnumerateSingleLayerStrategies(
+    int group_size, const DecisionTreeOptions& options = {});
+
+/// Total candidate count across all PP degrees for `num_devices` GPUs
+/// (the "22 candidate hybrid strategies for all trees in total" number).
+Result<int> CountStrategiesAcrossPipelineDegrees(
+    int num_devices, const DecisionTreeOptions& options = {});
+
+}  // namespace galvatron
+
+#endif  // GALVATRON_PARALLEL_DECISION_TREE_H_

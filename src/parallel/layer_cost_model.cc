@@ -1,0 +1,197 @@
+#include "parallel/layer_cost_model.h"
+
+#include <algorithm>
+
+#include "ir/dtype.h"
+#include "util/logging.h"
+#include "util/math_util.h"
+#include "util/string_util.h"
+
+namespace galvatron {
+
+namespace {
+
+constexpr int64_t kGradBytesPerParam = 4;  // fp32 gradients / weights
+
+}  // namespace
+
+LayerCostModel::LayerCostModel(const ClusterSpec* cluster)
+    : cluster_(cluster) {
+  GALVATRON_CHECK(cluster != nullptr);
+}
+
+Result<LayerExecution> LayerCostModel::Analyze(const LayerSpec& layer,
+                                               const HybridStrategy& strategy,
+                                               int stage_first_device,
+                                               int batch_per_group,
+                                               bool recompute,
+                                               bool sequence_parallel) const {
+  const int group_size = strategy.TotalDegree();
+  if (stage_first_device < 0 ||
+      stage_first_device + group_size > cluster_->num_devices()) {
+    return Status::InvalidArgument(StrFormat(
+        "strategy %s needs devices [%d, %d) but cluster has %d",
+        strategy.ToString().c_str(), stage_first_device,
+        stage_first_device + group_size, cluster_->num_devices()));
+  }
+  if (batch_per_group < 1) {
+    return Status::InvalidArgument("batch_per_group must be >= 1");
+  }
+
+  const int dp = strategy.DegreeOf(ParallelDim::kData);
+  const int sdp = strategy.DegreeOf(ParallelDim::kShardedData);
+  const int tp = strategy.DegreeOf(ParallelDim::kTensor);
+
+  LayerExecution exec;
+  exec.local_batch =
+      static_cast<int>(CeilDiv(batch_per_group, strategy.BatchSplit()));
+
+  // --- Compute ---------------------------------------------------------
+  const double flops_per_sample =
+      layer.tp_shardable_flops() / tp +
+      (layer.fwd_flops() - layer.tp_shardable_flops());
+  // Each op pays a fixed launch overhead per pass; backward launches about
+  // twice as many kernels (input + weight gradients).
+  const double launch = static_cast<double>(layer.ops().size()) *
+                        cluster_->kernel_launch_overhead_sec();
+  // Small local batches under-fill GEMM tiles: efficiency b / (b + h).
+  const double efficiency =
+      exec.local_batch /
+      (exec.local_batch + cluster_->small_batch_half_life());
+  const ProfileTable::const_iterator profiled =
+      profile_ != nullptr ? profile_->find(layer.signature())
+                          : ProfileTable::const_iterator{};
+  if (profile_ != nullptr && profiled != profile_->end()) {
+    // Profiled timing was taken with no model parallelism; under the affine
+    // model t(b) = L + slope*(b+1) with slope = F/S, TP scales the slope by
+    // its FLOPs-sharding fraction while the launch part L stays.
+    const double slope1 = profiled->second.fwd_sec_per_sample;
+    const double launch_part =
+        std::max(profiled->second.fwd_base_sec - slope1, 0.0);
+    const double shard_fraction =
+        layer.fwd_flops() > 0 ? flops_per_sample / layer.fwd_flops() : 1.0;
+    const double slope_tp = slope1 * shard_fraction;
+    exec.fwd_compute_sec =
+        launch_part + slope_tp * (exec.local_batch + 1);
+  } else {
+    exec.fwd_compute_sec = flops_per_sample * exec.local_batch /
+                               (cluster_->sustained_flops() * efficiency) +
+                           launch;
+  }
+  // Backward is 2x forward; checkpointing re-runs the forward first.
+  exec.bwd_compute_sec =
+      (recompute ? 3.0 : 2.0) * exec.fwd_compute_sec;
+
+  // --- Memory ----------------------------------------------------------
+  // TP shards the matmul weights; the remainder is replicated in the TP
+  // group. SDP then shards whatever states this device would hold.
+  const int64_t params_after_tp =
+      layer.tp_shardable_params() / tp +
+      (layer.param_count() - layer.tp_shardable_params());
+  exec.state_memory_bytes =
+      kAdamStateBytesPerParam * params_after_tp / sdp;
+  const int64_t saved_per_sample =
+      sequence_parallel ? layer.SavedActivationBytesSequenceParallel(tp)
+                        : layer.SavedActivationBytes(tp);
+  if (recompute) {
+    // Only the boundary input persists; the internals are rebuilt during
+    // backward and live transiently (one layer x one micro-batch at a time).
+    // Under SP the boundary is sequence-sharded as well.
+    exec.activation_memory_bytes =
+        layer.input_bytes() / (sequence_parallel ? tp : 1) *
+        exec.local_batch;
+    exec.recompute_transient_bytes = saved_per_sample * exec.local_batch;
+  } else {
+    exec.activation_memory_bytes = saved_per_sample * exec.local_batch;
+  }
+  if (sdp > 1) {
+    // ZeRO-3 materializes the full (TP-sharded) fp32 weights of the layer
+    // while computing it; all but the owned 1/sdp share is transient.
+    exec.sdp_transient_bytes =
+        kGradBytesPerParam * params_after_tp * (sdp - 1) / sdp;
+  }
+  exec.transient_memory_bytes =
+      exec.sdp_transient_bytes + exec.recompute_transient_bytes;
+
+  // --- Communication ---------------------------------------------------
+  auto resolve_link = [&](ParallelDim dim) -> Result<LinkSpec> {
+    GALVATRON_ASSIGN_OR_RETURN(
+        std::vector<int> group,
+        strategy.GroupContaining(dim, stage_first_device, stage_first_device));
+    if (group.size() < 2) return LinkSpec{};
+    return cluster_->GroupBottleneckLink(group);
+  };
+
+  if (tp > 1) {
+    GALVATRON_ASSIGN_OR_RETURN(LinkSpec link,
+                               resolve_link(ParallelDim::kTensor));
+    CommTask fwd;
+    // Sequence parallelism replaces each all-reduce by an all-gather +
+    // reduce-scatter pair; the ring traffic is identical (2(n-1)/n), which
+    // the all-reduce cost already models, so only the memory side differs.
+    fwd.kind = CollectiveKind::kAllReduce;
+    fwd.dim = ParallelDim::kTensor;
+    fwd.bytes = layer.tp_fwd_allreduce_bytes() * exec.local_batch;
+    fwd.group_size = tp;
+    fwd.link = link;
+    fwd.overlappable = false;
+    if (fwd.bytes > 0) exec.fwd_comms.push_back(fwd);
+
+    CommTask bwd = fwd;
+    bwd.bytes = layer.tp_bwd_allreduce_bytes() * exec.local_batch;
+    if (recompute) {
+      // The re-run forward repeats its activation all-reduces.
+      bwd.bytes += layer.tp_fwd_allreduce_bytes() * exec.local_batch;
+    }
+    if (bwd.bytes > 0) exec.bwd_comms.push_back(bwd);
+  }
+
+  if (dp > 1) {
+    GALVATRON_ASSIGN_OR_RETURN(LinkSpec link, resolve_link(ParallelDim::kData));
+    CommTask grads;
+    grads.kind = CollectiveKind::kAllReduce;
+    grads.dim = ParallelDim::kData;
+    grads.bytes = kGradBytesPerParam * params_after_tp;
+    grads.group_size = dp;
+    grads.link = link;
+    grads.overlappable = true;  // overlaps backward compute (Sec 3.4)
+    grads.frequency = CommFrequency::kPerIteration;
+    if (grads.bytes > 0) exec.bwd_comms.push_back(grads);
+  }
+
+  if (sdp > 1) {
+    GALVATRON_ASSIGN_OR_RETURN(LinkSpec link,
+                               resolve_link(ParallelDim::kShardedData));
+    const int64_t weight_bytes = kGradBytesPerParam * params_after_tp;
+
+    // Forward: all-gather the sharded weights before computing.
+    CommTask gather_fwd;
+    gather_fwd.kind = CollectiveKind::kAllGather;
+    gather_fwd.dim = ParallelDim::kShardedData;
+    gather_fwd.bytes = weight_bytes;
+    gather_fwd.group_size = sdp;
+    gather_fwd.link = link;
+    gather_fwd.overlappable = false;
+    if (gather_fwd.bytes > 0) exec.fwd_comms.push_back(gather_fwd);
+
+    // Backward: re-gather weights, then reduce-scatter gradients; both
+    // overlap backward compute (ZeRO-3 prefetching).
+    CommTask gather_bwd = gather_fwd;
+    gather_bwd.overlappable = true;
+    if (gather_bwd.bytes > 0) exec.bwd_comms.push_back(gather_bwd);
+
+    CommTask scatter;
+    scatter.kind = CollectiveKind::kReduceScatter;
+    scatter.dim = ParallelDim::kShardedData;
+    scatter.bytes = weight_bytes;
+    scatter.group_size = sdp;
+    scatter.link = link;
+    scatter.overlappable = true;
+    scatter.frequency = CommFrequency::kPerIteration;
+    if (scatter.bytes > 0) exec.bwd_comms.push_back(scatter);
+  }
+
+  return exec;
+}
+
+}  // namespace galvatron

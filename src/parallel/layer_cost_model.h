@@ -1,0 +1,137 @@
+#ifndef GALVATRON_PARALLEL_LAYER_COST_MODEL_H_
+#define GALVATRON_PARALLEL_LAYER_COST_MODEL_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "comm/collective.h"
+#include "ir/layer.h"
+#include "parallel/strategy.h"
+#include "util/result.h"
+
+namespace galvatron {
+
+/// How often a communication op fires during one training iteration with
+/// micro-batched pipelining: activation collectives and ZeRO weight gathers
+/// run per micro-batch; gradient synchronization runs once per iteration.
+enum class CommFrequency {
+  kPerMicroBatch,
+  kPerIteration,
+};
+
+/// One communication operation a layer issues under a strategy, with its
+/// topology-resolved bottleneck link.
+struct CommTask {
+  CollectiveKind kind = CollectiveKind::kAllReduce;
+  ParallelDim dim = ParallelDim::kData;
+  int64_t bytes = 0;  // full payload; ring factors applied by CollectiveTime
+  int group_size = 1;
+  LinkSpec link;
+  CommFrequency frequency = CommFrequency::kPerMicroBatch;
+  /// True for the DP gradient all-reduce and SDP backward all-gather /
+  /// reduce-scatter: they overlap backward computation (Sec 3.4), paying
+  /// the contention slowdown. TP activation all-reduces block.
+  bool overlappable = false;
+
+  double Time() const { return CollectiveTime(kind, bytes, group_size, link); }
+};
+
+/// Everything the estimator and simulator need about one (layer, strategy,
+/// batch) combination on one device of the stage group. Devices of a group
+/// are symmetric, so one analysis covers all of them.
+struct LayerExecution {
+  double fwd_compute_sec = 0.0;
+  double bwd_compute_sec = 0.0;  // 2x forward (matmul-dominated)
+  std::vector<CommTask> fwd_comms;
+  std::vector<CommTask> bwd_comms;
+
+  /// Adam model states (weight+grad+m+v) resident per device.
+  int64_t state_memory_bytes = 0;
+  /// Saved activations per device (scaled by the local batch).
+  int64_t activation_memory_bytes = 0;
+  /// Transient peaks: SDP's gathered full weights during the layer, plus
+  /// (with recompute) the rebuilt internal activations during backward.
+  int64_t transient_memory_bytes = 0;
+  /// Components of transient_memory_bytes (the simulator charges them at
+  /// different points in the schedule).
+  int64_t sdp_transient_bytes = 0;
+  int64_t recompute_transient_bytes = 0;
+  /// Samples this device computes per iteration.
+  int local_batch = 0;
+
+  /// Resident memory charged against the budget in the DP search
+  /// (states + activations; transients are charged at their peak).
+  int64_t ResidentMemoryBytes() const {
+    return state_memory_bytes + activation_memory_bytes;
+  }
+  int64_t PeakMemoryBytes() const {
+    return ResidentMemoryBytes() + transient_memory_bytes;
+  }
+};
+
+/// Measured execution profile of one layer shape: forward time modelled as
+/// base + slope * local_batch (affine — exact for the simulated hardware's
+/// batch-efficiency curve, and near-exact on real GPUs, which is why the
+/// paper's per-sample profiling works).
+struct LayerProfile {
+  double fwd_base_sec = 0.0;
+  double fwd_sec_per_sample = 0.0;
+  int samples_measured = 0;
+
+  double FwdSeconds(int local_batch) const {
+    return fwd_base_sec + fwd_sec_per_sample * local_batch;
+  }
+};
+
+/// Profiles keyed by layer signature (repeated blocks share one entry).
+using ProfileTable = std::map<std::string, LayerProfile>;
+
+/// Derives per-device compute/communication/memory figures for a layer
+/// running under a hybrid strategy on a stage's device block. This is the
+/// shared substrate of the analytic estimator (Sec 3.4) and the
+/// discrete-event simulator.
+class LayerCostModel {
+ public:
+  /// `cluster` must outlive this object.
+  explicit LayerCostModel(const ClusterSpec* cluster);
+
+  /// Uses measured per-layer timings instead of the analytic FLOPs model
+  /// for forward/backward compute (the paper's profiling pathway, Sec 3.4).
+  /// `profile` must outlive this object; nullptr reverts to analytic.
+  void set_profile(const ProfileTable* profile) { profile_ = profile; }
+  const ProfileTable* profile() const { return profile_; }
+
+  /// Analyzes one layer under `strategy`, occupying devices
+  /// [stage_first_device, stage_first_device + strategy.TotalDegree()).
+  /// `batch_per_group` is the number of samples the group processes per
+  /// forward pass — the micro-batch size for pipelined plans. Per-iteration
+  /// comm tasks (gradient sync) are batch-independent. NOTE: activation
+  /// memory is reported for `batch_per_group` samples; GPipe keeps all
+  /// micro-batches' activations live, so callers size memory with the full
+  /// per-group batch, not the micro-batch.
+  ///
+  /// With `recompute` (activation checkpointing — the paper's future-work
+  /// memory optimization), only the layer's boundary input is stashed;
+  /// backward first re-runs the forward (compute + its TP all-reduces), and
+  /// the full internal activations exist only transiently.
+  /// With `sequence_parallel` (Megatron-LM SP), TP's activation
+  /// all-reduces become all-gather + reduce-scatter pairs of the same
+  /// total volume, and the activations between TP regions shard along the
+  /// sequence dimension instead of being replicated.
+  Result<LayerExecution> Analyze(const LayerSpec& layer,
+                                 const HybridStrategy& strategy,
+                                 int stage_first_device, int batch_per_group,
+                                 bool recompute = false,
+                                 bool sequence_parallel = false) const;
+
+ private:
+  const ClusterSpec* cluster_;
+  const ProfileTable* profile_ = nullptr;
+};
+
+}  // namespace galvatron
+
+#endif  // GALVATRON_PARALLEL_LAYER_COST_MODEL_H_

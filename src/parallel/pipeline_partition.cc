@@ -1,0 +1,135 @@
+#include "parallel/pipeline_partition.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/string_util.h"
+
+namespace galvatron {
+
+std::string_view PartitionPolicyToString(PartitionPolicy policy) {
+  switch (policy) {
+    case PartitionPolicy::kLayerCount:
+      return "layer-count";
+    case PartitionPolicy::kParams:
+      return "params";
+    case PartitionPolicy::kFlops:
+      return "flops";
+    case PartitionPolicy::kActivationMemory:
+      return "activation-memory";
+  }
+  return "?";
+}
+
+Result<std::vector<int>> PartitionByWeights(const std::vector<double>& weights,
+                                            int num_stages) {
+  return PartitionByWeightsWithCapacities(
+      weights, std::vector<double>(static_cast<size_t>(num_stages), 1.0));
+}
+
+Result<std::vector<int>> PartitionByWeightsWithCapacities(
+    const std::vector<double>& weights,
+    const std::vector<double>& capacities) {
+  const int num_stages = static_cast<int>(capacities.size());
+  for (double c : capacities) {
+    if (c <= 0) return Status::InvalidArgument("capacities must be positive");
+  }
+  const int n = static_cast<int>(weights.size());
+  if (num_stages < 1) {
+    return Status::InvalidArgument("num_stages must be >= 1");
+  }
+  if (num_stages > n) {
+    return Status::InvalidArgument(StrFormat(
+        "cannot split %d layers into %d non-empty stages", n, num_stages));
+  }
+
+  // prefix[i] = sum of weights[0..i).
+  std::vector<double> prefix(static_cast<size_t>(n) + 1, 0.0);
+  for (int i = 0; i < n; ++i) {
+    prefix[static_cast<size_t>(i) + 1] =
+        prefix[static_cast<size_t>(i)] + weights[static_cast<size_t>(i)];
+  }
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // best[k][i]: minimal max-stage-weight splitting the first i layers into
+  // k stages; cut[k][i]: the split point achieving it.
+  std::vector<std::vector<double>> best(
+      static_cast<size_t>(num_stages) + 1,
+      std::vector<double>(static_cast<size_t>(n) + 1, kInf));
+  std::vector<std::vector<int>> cut(
+      static_cast<size_t>(num_stages) + 1,
+      std::vector<int>(static_cast<size_t>(n) + 1, 0));
+  best[0][0] = 0.0;
+  for (int k = 1; k <= num_stages; ++k) {
+    for (int i = k; i <= n; ++i) {
+      for (int j = k - 1; j < i; ++j) {
+        if (best[static_cast<size_t>(k) - 1][static_cast<size_t>(j)] == kInf) {
+          continue;
+        }
+        const double stage_weight =
+            (prefix[static_cast<size_t>(i)] - prefix[static_cast<size_t>(j)]) /
+            capacities[static_cast<size_t>(k) - 1];
+        const double candidate = std::max(
+            best[static_cast<size_t>(k) - 1][static_cast<size_t>(j)],
+            stage_weight);
+        if (candidate <
+            best[static_cast<size_t>(k)][static_cast<size_t>(i)]) {
+          best[static_cast<size_t>(k)][static_cast<size_t>(i)] = candidate;
+          cut[static_cast<size_t>(k)][static_cast<size_t>(i)] = j;
+        }
+      }
+    }
+  }
+
+  std::vector<int> sizes(static_cast<size_t>(num_stages), 0);
+  int i = n;
+  for (int k = num_stages; k >= 1; --k) {
+    const int j = cut[static_cast<size_t>(k)][static_cast<size_t>(i)];
+    sizes[static_cast<size_t>(k) - 1] = i - j;
+    i = j;
+  }
+  return sizes;
+}
+
+namespace {
+
+std::vector<double> PolicyWeights(const ModelSpec& model,
+                                  PartitionPolicy policy) {
+  std::vector<double> weights;
+  weights.reserve(static_cast<size_t>(model.num_layers()));
+  for (const LayerSpec& layer : model.layers()) {
+    switch (policy) {
+      case PartitionPolicy::kLayerCount:
+        weights.push_back(1.0);
+        break;
+      case PartitionPolicy::kParams:
+        weights.push_back(static_cast<double>(layer.param_count()));
+        break;
+      case PartitionPolicy::kFlops:
+        weights.push_back(layer.fwd_flops());
+        break;
+      case PartitionPolicy::kActivationMemory:
+        weights.push_back(
+            static_cast<double>(layer.SavedActivationBytes(1)));
+        break;
+    }
+  }
+  return weights;
+}
+
+}  // namespace
+
+Result<std::vector<int>> PartitionPipeline(const ModelSpec& model,
+                                           int num_stages,
+                                           PartitionPolicy policy) {
+  return PartitionByWeights(PolicyWeights(model, policy), num_stages);
+}
+
+Result<std::vector<int>> PartitionPipelineHeterogeneous(
+    const ModelSpec& model, PartitionPolicy policy,
+    const std::vector<double>& capacities) {
+  return PartitionByWeightsWithCapacities(PolicyWeights(model, policy),
+                                          capacities);
+}
+
+}  // namespace galvatron

@@ -1,0 +1,52 @@
+#ifndef GALVATRON_PARALLEL_PIPELINE_PARTITION_H_
+#define GALVATRON_PARALLEL_PIPELINE_PARTITION_H_
+
+#include <string_view>
+#include <vector>
+
+#include "ir/model.h"
+#include "util/result.h"
+
+namespace galvatron {
+
+/// Load-balancing guidelines for PP partitioning (Sec 3.3 "we support
+/// several load balancing guidelines ... number of layers/parameters, the
+/// maximum memory usage and the execution time").
+enum class PartitionPolicy {
+  kLayerCount,
+  kParams,
+  kFlops,             // proxy for execution time
+  kActivationMemory,  // proxy for maximum memory usage
+};
+
+std::string_view PartitionPolicyToString(PartitionPolicy policy);
+
+/// Partitions the model's layer sequence into `num_stages` contiguous,
+/// non-empty stages minimizing the maximum per-stage weight under `policy`
+/// (exact interval-DP, not a heuristic). Returns the number of layers per
+/// stage. Errors if num_stages exceeds the layer count.
+Result<std::vector<int>> PartitionPipeline(const ModelSpec& model,
+                                           int num_stages,
+                                           PartitionPolicy policy);
+
+/// Same, over explicit per-layer weights (exposed for tests and ablations).
+Result<std::vector<int>> PartitionByWeights(const std::vector<double>& weights,
+                                            int num_stages);
+
+/// Heterogeneous variant: stage k has relative capacity capacities[k]
+/// (e.g. its device island's memory budget); minimizes the maximum
+/// *normalized* stage weight max_k(stage_weight_k / capacities[k]), so
+/// roomier islands receive proportionally more layers. The paper leaves
+/// heterogeneous environments as future work (Sec 6).
+Result<std::vector<int>> PartitionByWeightsWithCapacities(
+    const std::vector<double>& weights,
+    const std::vector<double>& capacities);
+
+/// PartitionPipeline with per-stage capacities.
+Result<std::vector<int>> PartitionPipelineHeterogeneous(
+    const ModelSpec& model, PartitionPolicy policy,
+    const std::vector<double>& capacities);
+
+}  // namespace galvatron
+
+#endif  // GALVATRON_PARALLEL_PIPELINE_PARTITION_H_

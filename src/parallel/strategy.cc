@@ -1,0 +1,168 @@
+#include "parallel/strategy.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <set>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace galvatron {
+
+std::string_view ParallelDimToString(ParallelDim dim) {
+  switch (dim) {
+    case ParallelDim::kData:
+      return "DataParallel";
+    case ParallelDim::kShardedData:
+      return "ShardedDataParallel";
+    case ParallelDim::kTensor:
+      return "TensorParallel";
+    case ParallelDim::kPipeline:
+      return "PipelineParallel";
+  }
+  return "?";
+}
+
+std::string_view ParallelDimToShortString(ParallelDim dim) {
+  switch (dim) {
+    case ParallelDim::kData:
+      return "dp";
+    case ParallelDim::kShardedData:
+      return "sdp";
+    case ParallelDim::kTensor:
+      return "tp";
+    case ParallelDim::kPipeline:
+      return "pp";
+  }
+  return "?";
+}
+
+Result<HybridStrategy> HybridStrategy::Create(
+    std::vector<ParallelComponent> levels) {
+  std::set<ParallelDim> seen;
+  for (const ParallelComponent& level : levels) {
+    if (level.degree < 2) {
+      return Status::InvalidArgument(
+          "decision-tree level degrees must be >= 2");
+    }
+    if (level.dim == ParallelDim::kPipeline) {
+      return Status::InvalidArgument(
+          "PP is applied before decision-tree construction, not inside it");
+    }
+    if (!seen.insert(level.dim).second) {
+      return Status::InvalidArgument(StrFormat(
+          "parallelism %s repeated across tree levels",
+          std::string(ParallelDimToString(level.dim)).c_str()));
+    }
+  }
+  HybridStrategy strategy;
+  strategy.levels_ = std::move(levels);
+  return strategy;
+}
+
+Result<HybridStrategy> HybridStrategy::Parse(const std::string& text) {
+  if (text == "serial") return HybridStrategy();
+  std::vector<ParallelComponent> levels;
+  for (const std::string& part : Split(text, '-')) {
+    size_t digits = 0;
+    while (digits < part.size() &&
+           (std::isalpha(static_cast<unsigned char>(part[digits])) != 0)) {
+      ++digits;
+    }
+    const std::string name = part.substr(0, digits);
+    const std::string degree_text = part.substr(digits);
+    ParallelDim dim;
+    if (name == "dp") {
+      dim = ParallelDim::kData;
+    } else if (name == "sdp") {
+      dim = ParallelDim::kShardedData;
+    } else if (name == "tp") {
+      dim = ParallelDim::kTensor;
+    } else {
+      return Status::InvalidArgument(
+          StrFormat("unknown parallelism '%s' in '%s'", name.c_str(),
+                    text.c_str()));
+    }
+    if (degree_text.empty() ||
+        degree_text.find_first_not_of("0123456789") != std::string::npos) {
+      return Status::InvalidArgument(
+          StrFormat("bad degree in '%s'", part.c_str()));
+    }
+    levels.push_back(ParallelComponent{dim, std::atoi(degree_text.c_str())});
+  }
+  return Create(std::move(levels));
+}
+
+int HybridStrategy::TotalDegree() const {
+  int degree = 1;
+  for (const ParallelComponent& level : levels_) degree *= level.degree;
+  return degree;
+}
+
+int HybridStrategy::DegreeOf(ParallelDim dim) const {
+  for (const ParallelComponent& level : levels_) {
+    if (level.dim == dim) return level.degree;
+  }
+  return 1;
+}
+
+Result<int> HybridStrategy::StrideOf(ParallelDim dim) const {
+  int stride = 1;
+  for (const ParallelComponent& level : levels_) {
+    if (level.dim == dim) return stride;
+    stride *= level.degree;
+  }
+  return Status::NotFound(StrFormat(
+      "strategy %s does not use %s", ToString().c_str(),
+      std::string(ParallelDimToString(dim)).c_str()));
+}
+
+Result<std::vector<int>> HybridStrategy::GroupContaining(
+    ParallelDim dim, int stage_first_device, int device_id) const {
+  GALVATRON_ASSIGN_OR_RETURN(int stride, StrideOf(dim));
+  const int degree = DegreeOf(dim);
+  const int local = device_id - stage_first_device;
+  if (local < 0 || local >= TotalDegree()) {
+    return Status::InvalidArgument("device outside the stage block");
+  }
+  // Zero out this dim's mixed-radix coordinate, then enumerate it.
+  const int coord = (local / stride) % degree;
+  const int base = local - coord * stride;
+  std::vector<int> group;
+  group.reserve(static_cast<size_t>(degree));
+  for (int i = 0; i < degree; ++i) {
+    group.push_back(stage_first_device + base + i * stride);
+  }
+  return group;
+}
+
+Result<std::vector<std::vector<int>>> HybridStrategy::AllGroups(
+    ParallelDim dim, int stage_first_device) const {
+  GALVATRON_ASSIGN_OR_RETURN(int stride, StrideOf(dim));
+  const int degree = DegreeOf(dim);
+  const int total = TotalDegree();
+  std::vector<std::vector<int>> groups;
+  for (int local = 0; local < total; ++local) {
+    const int coord = (local / stride) % degree;
+    if (coord != 0) continue;  // one group per zero-coordinate base
+    std::vector<int> group;
+    group.reserve(static_cast<size_t>(degree));
+    for (int i = 0; i < degree; ++i) {
+      group.push_back(stage_first_device + local + i * stride);
+    }
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+std::string HybridStrategy::ToString() const {
+  if (levels_.empty()) return "serial";
+  std::ostringstream os;
+  for (size_t i = 0; i < levels_.size(); ++i) {
+    if (i > 0) os << "-";
+    os << ParallelDimToShortString(levels_[i].dim) << levels_[i].degree;
+  }
+  return os.str();
+}
+
+}  // namespace galvatron

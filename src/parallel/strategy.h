@@ -1,0 +1,107 @@
+#ifndef GALVATRON_PARALLEL_STRATEGY_H_
+#define GALVATRON_PARALLEL_STRATEGY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/result.h"
+
+namespace galvatron {
+
+/// The four basic parallelism paradigms (Sec 2.2 / Figure 1).
+enum class ParallelDim {
+  kData,         // DP: replicate model, split samples, all-reduce grads
+  kShardedData,  // SDP (ZeRO-3/FSDP): split samples AND shard model states
+  kTensor,       // TP (Megatron): shard weights, all-reduce activations
+  kPipeline,     // PP (GPipe): split layers into stages
+};
+
+std::string_view ParallelDimToString(ParallelDim dim);
+/// Short form used in plan strings: "dp", "sdp", "tp", "pp".
+std::string_view ParallelDimToShortString(ParallelDim dim);
+
+/// One level of a decision tree: a parallelism applied with a degree.
+struct ParallelComponent {
+  ParallelDim dim = ParallelDim::kData;
+  int degree = 1;
+
+  friend bool operator==(const ParallelComponent& a,
+                         const ParallelComponent& b) {
+    return a.dim == b.dim && a.degree == b.degree;
+  }
+};
+
+/// An intra-stage hybrid parallelism strategy for one layer: the ordered
+/// levels of one root-to-leaf decision-tree path (Sec 3.2), innermost level
+/// first.
+///
+/// The innermost level maps to consecutive device ids — the highest-
+/// bandwidth links (Takeaway #1's island preference); outer levels stride
+/// across progressively larger blocks. Level i has stride
+/// prod(degree_0..i-1); a device's communication group for level i is
+/// obtained by varying its i-th mixed-radix coordinate.
+///
+/// PP never appears here: Algorithm 1 applies PP first and hands each stage
+/// a PP-free strategy set.
+class HybridStrategy {
+ public:
+  /// An empty strategy: serial execution on a single device.
+  HybridStrategy() = default;
+
+  /// Validates levels: degrees >= 2, each ParallelDim used at most once,
+  /// no PP (decision trees never contain PP).
+  static Result<HybridStrategy> Create(std::vector<ParallelComponent> levels);
+
+  /// Parses the ToString() form: "serial", or dash-separated levels like
+  /// "tp2-dp4" (innermost first).
+  static Result<HybridStrategy> Parse(const std::string& text);
+
+  const std::vector<ParallelComponent>& levels() const { return levels_; }
+  int num_levels() const { return static_cast<int>(levels_.size()); }
+
+  /// Product of all level degrees == size of the device group this strategy
+  /// occupies.
+  int TotalDegree() const;
+
+  /// Degree of `dim` (1 if unused).
+  int DegreeOf(ParallelDim dim) const;
+  bool Uses(ParallelDim dim) const { return DegreeOf(dim) > 1; }
+
+  /// Batch-splitting factor: DP degree x SDP degree (both split samples).
+  int BatchSplit() const {
+    return DegreeOf(ParallelDim::kData) * DegreeOf(ParallelDim::kShardedData);
+  }
+
+  /// Element stride of `dim`'s communication groups within the stage block
+  /// (the product of degrees of inner levels). Devices of one group are
+  /// {base + i*stride}.
+  Result<int> StrideOf(ParallelDim dim) const;
+
+  /// The communication group (absolute device ids) of `dim` containing
+  /// `device_id`, for a stage whose devices are
+  /// [stage_first_device, stage_first_device + TotalDegree()).
+  Result<std::vector<int>> GroupContaining(ParallelDim dim,
+                                           int stage_first_device,
+                                           int device_id) const;
+
+  /// All communication groups of `dim` within the stage block; they
+  /// partition the stage's devices.
+  Result<std::vector<std::vector<int>>> AllGroups(ParallelDim dim,
+                                                  int stage_first_device) const;
+
+  /// "serial" for the empty strategy, else e.g. "tp2-sdp4" (innermost
+  /// first).
+  std::string ToString() const;
+
+  friend bool operator==(const HybridStrategy& a, const HybridStrategy& b) {
+    return a.levels_ == b.levels_;
+  }
+
+ private:
+  std::vector<ParallelComponent> levels_;
+};
+
+}  // namespace galvatron
+
+#endif  // GALVATRON_PARALLEL_STRATEGY_H_

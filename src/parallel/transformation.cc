@@ -1,0 +1,53 @@
+#include "parallel/transformation.h"
+
+#include "comm/collective.h"
+#include "util/math_util.h"
+#include "util/string_util.h"
+
+namespace galvatron {
+
+Result<TransformationCost> ComputeTransformationCost(
+    const LayerSpec& prev_layer, const HybridStrategy& prev,
+    const HybridStrategy& next, int stage_first_device, int batch_per_group,
+    const ClusterSpec& cluster) {
+  if (prev.TotalDegree() != next.TotalDegree()) {
+    return Status::InvalidArgument(StrFormat(
+        "strategies %s and %s occupy different group sizes (%d vs %d)",
+        prev.ToString().c_str(), next.ToString().c_str(), prev.TotalDegree(),
+        next.TotalDegree()));
+  }
+
+  TransformationCost cost;
+  if (prev == next) return cost;  // same layout: nothing to do
+
+  const int m_prev = prev.BatchSplit();
+  const int m_next = next.BatchSplit();
+
+  // More (or equal) batch splitting downstream: every device already holds a
+  // superset of the sample shard it needs — pure local slicing, no
+  // communication. This covers the paper's "4-way TP -> 4-way DP" example.
+  if (m_next >= m_prev) return cost;
+
+  // Less batch splitting: each device must gather the sample shards it is
+  // missing from r = m_prev / m_next peers.
+  const int r = m_prev / m_next;
+  const int64_t needed_bytes = prev_layer.output_bytes() *
+                               CeilDiv(batch_per_group, m_next);
+  cost.gathered_bytes = needed_bytes;
+  cost.gather_group = r;
+
+  const int group_size = prev.TotalDegree();
+  if (group_size >= 2) {
+    std::vector<int> stage_devices;
+    stage_devices.reserve(static_cast<size_t>(group_size));
+    for (int i = 0; i < group_size; ++i) {
+      stage_devices.push_back(stage_first_device + i);
+    }
+    const LinkSpec& link = cluster.GroupBottleneckLink(stage_devices);
+    cost.seconds =
+        CollectiveTime(CollectiveKind::kAllGather, needed_bytes, r, link);
+  }
+  return cost;
+}
+
+}  // namespace galvatron

@@ -1,0 +1,89 @@
+#include "runtime/training_session.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace galvatron {
+
+namespace {
+
+IterationStats ComputeStats(std::vector<double> samples) {
+  IterationStats stats;
+  if (samples.empty()) return stats;
+  double sum = 0;
+  for (double s : samples) sum += s;
+  stats.mean_sec = sum / static_cast<double>(samples.size());
+  double var = 0;
+  for (double s : samples) {
+    var += (s - stats.mean_sec) * (s - stats.mean_sec);
+  }
+  stats.stddev_sec = std::sqrt(var / static_cast<double>(samples.size()));
+  std::sort(samples.begin(), samples.end());
+  stats.min_sec = samples.front();
+  stats.max_sec = samples.back();
+  auto quantile = [&](double q) {
+    const double pos = q * static_cast<double>(samples.size() - 1);
+    const size_t lo = static_cast<size_t>(pos);
+    const size_t hi = std::min(lo + 1, samples.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return samples[lo] * (1 - frac) + samples[hi] * frac;
+  };
+  stats.p50_sec = quantile(0.5);
+  stats.p99_sec = quantile(0.99);
+  return stats;
+}
+
+}  // namespace
+
+TrainingSession::TrainingSession(const ClusterSpec* cluster,
+                                 SessionOptions options)
+    : cluster_(cluster), options_(options) {
+  GALVATRON_CHECK(cluster != nullptr);
+  GALVATRON_CHECK_GE(options_.iterations, 1);
+}
+
+Result<SessionReport> TrainingSession::Train(
+    const ModelSpec& model, const TrainingPlan& plan,
+    const WorkloadSpec& workload) const {
+  const std::vector<IterationWorkload> iterations = SampleIterations(
+      workload, plan.global_batch, options_.iterations, options_.seed);
+
+  SessionReport report;
+  report.per_iteration_seconds.reserve(iterations.size());
+
+  for (size_t i = 0; i < iterations.size(); ++i) {
+    SimOptions sim_options = options_.sim;
+    sim_options.seed =
+        options_.seed + 0x100 + static_cast<uint64_t>(i) * 7919u;
+    sim_options.work_scale =
+        options_.sim.work_scale * iterations[i].work_scale;
+    Simulator simulator(cluster_, sim_options);
+    GALVATRON_ASSIGN_OR_RETURN(SimMetrics metrics,
+                               simulator.Run(model, plan));
+    report.peak_memory_bytes =
+        std::max(report.peak_memory_bytes, metrics.max_peak_memory_bytes);
+    report.oom |= metrics.oom;
+
+    // Double-buffered input pipeline: iteration i trains on the batch
+    // loaded during iteration i-1, so loading stalls training only when it
+    // is slower than the training step (the first batch always stalls).
+    double step = metrics.iteration_seconds;
+    const double stall =
+        i == 0 ? iterations[i].load_sec
+               : std::max(0.0, iterations[i].load_sec - step);
+    if (stall > 0) ++report.data_stalled_iterations;
+    step += stall;
+    report.per_iteration_seconds.push_back(step);
+    report.total_seconds += step;
+  }
+
+  report.iteration = ComputeStats(report.per_iteration_seconds);
+  report.mean_throughput_samples_per_sec =
+      plan.global_batch * static_cast<double>(iterations.size()) /
+      report.total_seconds;
+  return report;
+}
+
+}  // namespace galvatron

@@ -1,0 +1,67 @@
+#ifndef GALVATRON_RUNTIME_TRAINING_SESSION_H_
+#define GALVATRON_RUNTIME_TRAINING_SESSION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "ir/model.h"
+#include "parallel/plan.h"
+#include "sim/simulator.h"
+#include "util/result.h"
+#include "workload/workload.h"
+
+namespace galvatron {
+
+/// Summary statistics over the per-iteration times of a session.
+struct IterationStats {
+  double mean_sec = 0.0;
+  double stddev_sec = 0.0;
+  double min_sec = 0.0;
+  double max_sec = 0.0;
+  double p50_sec = 0.0;
+  double p99_sec = 0.0;
+};
+
+/// Result of a multi-iteration training run.
+struct SessionReport {
+  IterationStats iteration;
+  /// Mean samples/s over the session — the quantity the paper's tables
+  /// report ("All results are averaged over 100 iterations", Sec 5.1).
+  double mean_throughput_samples_per_sec = 0.0;
+  double total_seconds = 0.0;
+  /// Iterations where the input pipeline could not hide behind training.
+  int data_stalled_iterations = 0;
+  int64_t peak_memory_bytes = 0;
+  bool oom = false;
+  std::vector<double> per_iteration_seconds;
+};
+
+/// Options for a session.
+struct SessionOptions {
+  int iterations = 100;  // the paper's averaging window
+  uint64_t seed = 0xfeed;
+  SimOptions sim;
+};
+
+/// Executes a training plan for many iterations against a workload: each
+/// iteration gets fresh kernel jitter and a fresh draw of the workload's
+/// length distribution, and the (double-buffered) input pipeline stalls
+/// training only when loading a batch takes longer than computing one.
+class TrainingSession {
+ public:
+  /// `cluster` must outlive this object.
+  TrainingSession(const ClusterSpec* cluster, SessionOptions options = {});
+
+  Result<SessionReport> Train(const ModelSpec& model,
+                              const TrainingPlan& plan,
+                              const WorkloadSpec& workload) const;
+
+ private:
+  const ClusterSpec* cluster_;
+  SessionOptions options_;
+};
+
+}  // namespace galvatron
+
+#endif  // GALVATRON_RUNTIME_TRAINING_SESSION_H_

@@ -1,0 +1,389 @@
+#include "search/dp_search.h"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <map>
+#include <string>
+#include <tuple>
+
+#include "parallel/transformation.h"
+#include "util/logging.h"
+#include "util/math_util.h"
+#include "util/string_util.h"
+
+namespace galvatron {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Memoizes per-layer costs and transformation costs by layer signature, so
+/// repeated blocks (all Transformer stacks) hit the estimator once.
+class CostCache {
+ public:
+  CostCache(const CostEstimator* estimator, const ModelSpec* model,
+            const std::vector<HybridStrategy>* candidates,
+            int stage_first_device, int batch_per_group, int micro_batches,
+            int resident_micro_batches = -1)
+      : estimator_(estimator),
+        model_(model),
+        candidates_(candidates),
+        stage_first_device_(stage_first_device),
+        batch_per_group_(batch_per_group),
+        micro_batches_(micro_batches),
+        resident_micro_batches_(resident_micro_batches) {}
+
+  /// c(l, s) pieces; cached by (signature, strategy index, recompute).
+  Result<LayerCost> Layer(int layer_index, int strategy_index,
+                          bool recompute = false) {
+    const LayerSpec& layer = model_->layer(layer_index);
+    const std::tuple<std::string, int, bool> key(layer.signature(),
+                                                 strategy_index, recompute);
+    auto it = layer_cache_.find(key);
+    if (it != layer_cache_.end()) return it->second;
+    GALVATRON_ASSIGN_OR_RETURN(
+        LayerCost cost,
+        estimator_->EstimateLayer(
+            layer, (*candidates_)[static_cast<size_t>(strategy_index)],
+            stage_first_device_, batch_per_group_, micro_batches_, recompute,
+            resident_micro_batches_));
+    layer_cache_.emplace(key, cost);
+    return cost;
+  }
+
+  /// Scalar c(l, s) across the iteration.
+  Result<double> LayerSeconds(int layer_index, int strategy_index) {
+    GALVATRON_ASSIGN_OR_RETURN(LayerCost cost,
+                               Layer(layer_index, strategy_index));
+    return cost.IterationSeconds(micro_batches_, estimator_->options());
+  }
+
+  /// R(l, s_prev, s): Slice-Gather between layer_index-1 and layer_index,
+  /// applied forward + backward per micro-batch.
+  Result<double> TransformSeconds(int layer_index, int prev_strategy,
+                                  int strategy) {
+    const LayerSpec& prev_layer = model_->layer(layer_index - 1);
+    const std::tuple<std::string, int, int> key(prev_layer.signature(),
+                                                prev_strategy, strategy);
+    auto it = transform_cache_.find(key);
+    if (it != transform_cache_.end()) return it->second;
+    const int mb_size =
+        static_cast<int>(CeilDiv(batch_per_group_, micro_batches_));
+    GALVATRON_ASSIGN_OR_RETURN(
+        TransformationCost cost,
+        ComputeTransformationCost(
+            prev_layer, (*candidates_)[static_cast<size_t>(prev_strategy)],
+            (*candidates_)[static_cast<size_t>(strategy)],
+            stage_first_device_, mb_size, estimator_->cluster()));
+    const double seconds = 2.0 * micro_batches_ * cost.seconds;
+    transform_cache_.emplace(key, seconds);
+    return seconds;
+  }
+
+ private:
+  const CostEstimator* estimator_;
+  const ModelSpec* model_;
+  const std::vector<HybridStrategy>* candidates_;
+  int stage_first_device_;
+  int batch_per_group_;
+  int micro_batches_;
+  int resident_micro_batches_;
+
+  std::map<std::tuple<std::string, int, bool>, LayerCost> layer_cache_;
+  std::map<std::tuple<std::string, int, int>, double> transform_cache_;
+};
+
+/// One per-layer option of the DP: a candidate strategy, possibly with
+/// activation checkpointing.
+struct LayerOption {
+  int strategy_index = 0;
+  bool recompute = false;
+};
+
+}  // namespace
+
+DpSearch::DpSearch(const CostEstimator* estimator, DpSearchOptions options)
+    : estimator_(estimator), options_(options) {
+  GALVATRON_CHECK(estimator != nullptr);
+  GALVATRON_CHECK_GT(options_.memory_granularity, 0);
+}
+
+Result<DpSearchResult> DpSearch::Run(
+    const ModelSpec& model, int first_layer, int num_layers,
+    const std::vector<HybridStrategy>& candidates, int stage_first_device,
+    int batch_per_group, int micro_batches, int64_t memory_budget,
+    int resident_micro_batches) const {
+  if (num_layers < 1 || first_layer < 0 ||
+      first_layer + num_layers > model.num_layers()) {
+    return Status::InvalidArgument("layer range out of bounds");
+  }
+  if (candidates.empty()) {
+    return Status::InvalidArgument("no candidate strategies");
+  }
+  // Expand the per-layer option space: every strategy, and (optionally) its
+  // checkpointed variant.
+  std::vector<LayerOption> option_list;
+  for (int s = 0; s < static_cast<int>(candidates.size()); ++s) {
+    option_list.push_back(LayerOption{s, false});
+  }
+  if (options_.allow_recompute) {
+    for (int s = 0; s < static_cast<int>(candidates.size()); ++s) {
+      option_list.push_back(LayerOption{s, true});
+    }
+  }
+  const int num_candidates = static_cast<int>(option_list.size());
+  const int64_t gran = options_.memory_granularity;
+
+  CostCache cache(estimator_, &model, &candidates, stage_first_device,
+                  batch_per_group, micro_batches, resident_micro_batches);
+
+  // Reserve headroom for the largest transient (SDP weight gather) any
+  // candidate might need; the remaining budget is then purely additive in
+  // per-layer resident memory, which is what the DP quantizes.
+  int64_t max_transient = 0;
+  // Per (layer, strategy): memory units and scalar cost; infeasible
+  // strategies (estimator errors other than OOM propagate) get +inf.
+  std::vector<std::vector<int>> units(
+      static_cast<size_t>(num_layers),
+      std::vector<int>(static_cast<size_t>(num_candidates), 0));
+  std::vector<std::vector<double>> seconds(
+      static_cast<size_t>(num_layers),
+      std::vector<double>(static_cast<size_t>(num_candidates), kInf));
+  for (int l = 0; l < num_layers; ++l) {
+    for (int s = 0; s < num_candidates; ++s) {
+      const LayerOption& option = option_list[static_cast<size_t>(s)];
+      GALVATRON_ASSIGN_OR_RETURN(
+          LayerCost cost,
+          cache.Layer(first_layer + l, option.strategy_index,
+                      option.recompute));
+      // x2: ZeRO-3 prefetch holds two layers' gathered weights.
+      max_transient =
+          std::max(max_transient, 2 * cost.transient_memory_bytes);
+      units[static_cast<size_t>(l)][static_cast<size_t>(s)] =
+          static_cast<int>((cost.resident_memory_bytes + gran / 2) / gran);
+      seconds[static_cast<size_t>(l)][static_cast<size_t>(s)] =
+          cost.IterationSeconds(micro_batches, estimator_->options());
+    }
+  }
+  const int64_t effective_budget = memory_budget - max_transient;
+  // Round the budget up: marginal acceptances are re-validated exactly by
+  // the optimizer's EstimatePlan pass, so optimism here is safe while
+  // pessimism would shrink the search space below the baselines'.
+  const int budget_units =
+      effective_budget > 0 ? static_cast<int>(CeilDiv(effective_budget, gran))
+                           : -1;
+  if (budget_units < 0) {
+    return Status::Infeasible("memory budget below transient headroom");
+  }
+
+  DpSearchResult result;
+
+  // dp[e][s]: min cost of the layers so far using <= e units, last layer on
+  // strategy s. parent[l][e][s]: the previous layer's strategy index.
+  const size_t row = static_cast<size_t>(budget_units + 1) *
+                     static_cast<size_t>(num_candidates);
+  std::vector<double> prev_dp(row, kInf);
+  std::vector<double> cur_dp(row, kInf);
+  std::vector<int16_t> parent(static_cast<size_t>(num_layers) * row, -1);
+  auto idx = [&](int e, int s) {
+    return static_cast<size_t>(e) * static_cast<size_t>(num_candidates) +
+           static_cast<size_t>(s);
+  };
+
+  // Layer 0: no transformation, no predecessor.
+  for (int s = 0; s < num_candidates; ++s) {
+    const int o = units[0][static_cast<size_t>(s)];
+    const double c = seconds[0][static_cast<size_t>(s)];
+    for (int e = o; e <= budget_units; ++e) {
+      if (c < prev_dp[idx(e, s)]) {
+        prev_dp[idx(e, s)] = c;
+      }
+    }
+    result.states_explored += std::max(0, budget_units - o + 1);
+  }
+
+  // Precompute R for all (s_prev, s) pairs per distinct predecessor layer
+  // signature — done lazily through the cache inside the loop.
+  for (int l = 1; l < num_layers; ++l) {
+    std::fill(cur_dp.begin(), cur_dp.end(), kInf);
+    // Transformation matrix for this boundary.
+    std::vector<double> transform(
+        static_cast<size_t>(num_candidates) *
+            static_cast<size_t>(num_candidates),
+        0.0);
+    for (int sp = 0; sp < num_candidates; ++sp) {
+      for (int s = 0; s < num_candidates; ++s) {
+        GALVATRON_ASSIGN_OR_RETURN(
+            double r,
+            cache.TransformSeconds(
+                first_layer + l,
+                option_list[static_cast<size_t>(sp)].strategy_index,
+                option_list[static_cast<size_t>(s)].strategy_index));
+        transform[static_cast<size_t>(sp) *
+                      static_cast<size_t>(num_candidates) +
+                  static_cast<size_t>(s)] = r;
+      }
+    }
+    for (int s = 0; s < num_candidates; ++s) {
+      const int o = units[static_cast<size_t>(l)][static_cast<size_t>(s)];
+      const double c = seconds[static_cast<size_t>(l)][static_cast<size_t>(s)];
+      if (c == kInf) continue;
+      for (int e = o; e <= budget_units; ++e) {
+        const int pe = e - o;
+        double best = kInf;
+        int best_sp = -1;
+        for (int sp = 0; sp < num_candidates; ++sp) {
+          const double prior = prev_dp[idx(pe, sp)];
+          if (prior == kInf) continue;
+          const double candidate =
+              prior + c +
+              transform[static_cast<size_t>(sp) *
+                            static_cast<size_t>(num_candidates) +
+                        static_cast<size_t>(s)];
+          if (candidate < best) {
+            best = candidate;
+            best_sp = sp;
+          }
+        }
+        ++result.states_explored;
+        if (best < kInf) {
+          cur_dp[idx(e, s)] = best;
+          parent[static_cast<size_t>(l) * row + idx(e, s)] =
+              static_cast<int16_t>(best_sp);
+        }
+      }
+    }
+    std::swap(prev_dp, cur_dp);
+  }
+
+  // Answer: best over strategies at the full budget.
+  double best = kInf;
+  int best_s = -1;
+  for (int s = 0; s < num_candidates; ++s) {
+    if (prev_dp[idx(budget_units, s)] < best) {
+      best = prev_dp[idx(budget_units, s)];
+      best_s = s;
+    }
+  }
+  if (best_s < 0) {
+    return Status::Infeasible(StrFormat(
+        "no strategy assignment fits %s per device",
+        HumanBytes(static_cast<double>(memory_budget)).c_str()));
+  }
+
+  // Reconstruct: walk parents backwards. dp uses "<= e" semantics, so the
+  // exact units consumed by the suffix are recovered by subtracting each
+  // chosen layer's units from the running budget.
+  result.stage_seconds = best;
+  result.per_layer.assign(static_cast<size_t>(num_layers), HybridStrategy());
+  result.per_layer_recompute.assign(static_cast<size_t>(num_layers), 0);
+  int e = budget_units;
+  int s = best_s;
+  for (int l = num_layers - 1; l >= 0; --l) {
+    const LayerOption& option = option_list[static_cast<size_t>(s)];
+    result.per_layer[static_cast<size_t>(l)] =
+        candidates[static_cast<size_t>(option.strategy_index)];
+    result.per_layer_recompute[static_cast<size_t>(l)] =
+        option.recompute ? 1 : 0;
+    result.resident_memory_bytes +=
+        static_cast<int64_t>(
+            units[static_cast<size_t>(l)][static_cast<size_t>(s)]) *
+        gran;
+    if (l > 0) {
+      const int sp =
+          parent[static_cast<size_t>(l) * row + idx(e, s)];
+      GALVATRON_CHECK_GE(sp, 0);
+      e -= units[static_cast<size_t>(l)][static_cast<size_t>(s)];
+      s = sp;
+    }
+  }
+  return result;
+}
+
+Result<DpSearchResult> BruteForceSearch(
+    const CostEstimator& estimator, const ModelSpec& model, int first_layer,
+    int num_layers, const std::vector<HybridStrategy>& candidates,
+    int stage_first_device, int batch_per_group, int micro_batches,
+    int64_t memory_budget, int64_t memory_granularity) {
+  if (num_layers < 1 || candidates.empty()) {
+    return Status::InvalidArgument("empty search");
+  }
+  const int num_candidates = static_cast<int>(candidates.size());
+  // Matches DpSearch's quantized accounting exactly so tests can compare.
+  const int64_t gran = memory_granularity;
+
+  CostCache cache(&estimator, &model, &candidates, stage_first_device,
+                  batch_per_group, micro_batches);
+  int64_t max_transient = 0;
+  std::vector<std::vector<int>> units(
+      static_cast<size_t>(num_layers),
+      std::vector<int>(static_cast<size_t>(num_candidates), 0));
+  std::vector<std::vector<double>> seconds(
+      static_cast<size_t>(num_layers),
+      std::vector<double>(static_cast<size_t>(num_candidates), kInf));
+  for (int l = 0; l < num_layers; ++l) {
+    for (int s = 0; s < num_candidates; ++s) {
+      GALVATRON_ASSIGN_OR_RETURN(LayerCost cost,
+                                 cache.Layer(first_layer + l, s));
+      max_transient =
+          std::max(max_transient, 2 * cost.transient_memory_bytes);
+      units[static_cast<size_t>(l)][static_cast<size_t>(s)] =
+          static_cast<int>((cost.resident_memory_bytes + gran / 2) / gran);
+      seconds[static_cast<size_t>(l)][static_cast<size_t>(s)] =
+          cost.IterationSeconds(micro_batches, estimator.options());
+    }
+  }
+  const int64_t effective_budget = memory_budget - max_transient;
+  const int budget_units =
+      effective_budget > 0 ? static_cast<int>(effective_budget / gran) : -1;
+  if (budget_units < 0) {
+    return Status::Infeasible("memory budget below transient headroom");
+  }
+
+  DpSearchResult best;
+  best.stage_seconds = kInf;
+  std::vector<int> assignment(static_cast<size_t>(num_layers), 0);
+  std::vector<int> best_assignment;
+
+  // Depth-first enumeration with cost/memory pruning.
+  std::function<Status(int, int, double)> recurse =
+      [&](int l, int used, double cost) -> Status {
+    if (cost >= best.stage_seconds) return Status::OK();  // prune
+    if (l == num_layers) {
+      best.stage_seconds = cost;
+      best_assignment = assignment;
+      return Status::OK();
+    }
+    for (int s = 0; s < num_candidates; ++s) {
+      const int o = units[static_cast<size_t>(l)][static_cast<size_t>(s)];
+      if (used + o > budget_units) continue;
+      double step = seconds[static_cast<size_t>(l)][static_cast<size_t>(s)];
+      if (l > 0) {
+        auto r = cache.TransformSeconds(
+            first_layer + l, assignment[static_cast<size_t>(l) - 1], s);
+        if (!r.ok()) return r.status();
+        step += *r;
+      }
+      assignment[static_cast<size_t>(l)] = s;
+      GALVATRON_RETURN_IF_ERROR(recurse(l + 1, used + o, cost + step));
+    }
+    return Status::OK();
+  };
+  GALVATRON_RETURN_IF_ERROR(recurse(0, 0, 0.0));
+
+  if (best_assignment.empty()) {
+    return Status::Infeasible("no assignment fits the budget");
+  }
+  for (int l = 0; l < num_layers; ++l) {
+    const int s = best_assignment[static_cast<size_t>(l)];
+    best.per_layer.push_back(candidates[static_cast<size_t>(s)]);
+    best.resident_memory_bytes +=
+        static_cast<int64_t>(
+            units[static_cast<size_t>(l)][static_cast<size_t>(s)]) *
+        gran;
+  }
+  return best;
+}
+
+}  // namespace galvatron

@@ -1,0 +1,83 @@
+#ifndef GALVATRON_SEARCH_DP_SEARCH_H_
+#define GALVATRON_SEARCH_DP_SEARCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "estimator/cost_estimator.h"
+#include "ir/model.h"
+#include "parallel/strategy.h"
+#include "util/result.h"
+
+namespace galvatron {
+
+/// Knobs of the dynamic-programming search (Sec 3.3).
+struct DpSearchOptions {
+  /// Memory quantization E is bucketed by. Coarser is faster, finer is
+  /// tighter; Sec 3.3's complexity note suggests "large memory granularity"
+  /// as the lever for huge budgets.
+  int64_t memory_granularity = int64_t{32} * 1024 * 1024;
+  /// Add per-layer activation checkpointing as a second search dimension
+  /// (doubles the option count per layer). Off by default — the paper
+  /// disables recompute (Sec 5.1) and leaves it as future work.
+  bool allow_recompute = false;
+};
+
+/// Output of one per-stage search: the per-layer strategies minimizing the
+/// stage execution time under the memory budget.
+struct DpSearchResult {
+  double stage_seconds = 0.0;  // sum of c(l, s) + transformation costs
+  std::vector<HybridStrategy> per_layer;
+  /// Per-layer checkpointing choice (empty unless allow_recompute).
+  std::vector<uint8_t> per_layer_recompute;
+  int64_t resident_memory_bytes = 0;
+  int64_t states_explored = 0;  // DP table cells touched (Fig 4 metric)
+};
+
+/// The dynamic-programming search of Eq. (1):
+///
+///   C(L, E) = min_{S_j} { C(L-1, E - O(L, S_j)) + c(L, S_j) + R(L, S_i, S_j) }
+///
+/// Because the transformation term R couples neighbouring layers, the state
+/// carries the previous layer's strategy: C(L, E, S). Memory is quantized
+/// into `memory_granularity` buckets; per-layer costs and R entries are
+/// memoized by layer signature so models with repeated blocks (all of the
+/// paper's models) pay the estimator only once per distinct shape.
+///
+/// Returns Infeasible when no assignment fits the budget (Algorithm 1
+/// treats that as C = infinity).
+class DpSearch {
+ public:
+  /// `estimator` and `model` must outlive this object.
+  DpSearch(const CostEstimator* estimator, DpSearchOptions options = {});
+
+  /// Searches layers [first_layer, first_layer + num_layers) of `model`
+  /// running on the stage block starting at `stage_first_device`, with the
+  /// stage processing `batch_per_group` samples in `micro_batches`
+  /// micro-batches, under `memory_budget` bytes per device.
+  /// `resident_micro_batches`: how many micro-batches' activations the
+  /// pipeline schedule keeps live on this stage (-1 = all, i.e. GPipe).
+  Result<DpSearchResult> Run(const ModelSpec& model, int first_layer,
+                             int num_layers,
+                             const std::vector<HybridStrategy>& candidates,
+                             int stage_first_device, int batch_per_group,
+                             int micro_batches, int64_t memory_budget,
+                             int resident_micro_batches = -1) const;
+
+ private:
+  const CostEstimator* estimator_;
+  DpSearchOptions options_;
+};
+
+/// Reference searcher: exhaustively enumerates all |S|^L assignments with
+/// identical cost accounting. Exponential — tests only.
+Result<DpSearchResult> BruteForceSearch(
+    const CostEstimator& estimator, const ModelSpec& model, int first_layer,
+    int num_layers, const std::vector<HybridStrategy>& candidates,
+    int stage_first_device, int batch_per_group, int micro_batches,
+    int64_t memory_budget,
+    int64_t memory_granularity = DpSearchOptions{}.memory_granularity);
+
+}  // namespace galvatron
+
+#endif  // GALVATRON_SEARCH_DP_SEARCH_H_

@@ -1,0 +1,311 @@
+#include "search/optimizer.h"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/math_util.h"
+#include "util/string_util.h"
+
+namespace galvatron {
+
+namespace {
+
+/// PP degrees to try: powers of two dividing the device count, capped by
+/// the layer count (stages must be non-empty).
+std::vector<int> DefaultPipelineDegrees(int num_devices, int num_layers) {
+  std::vector<int> degrees;
+  for (int p = 1; p <= num_devices; p *= 2) {
+    if (num_devices % p == 0 && p <= num_layers) degrees.push_back(p);
+  }
+  return degrees;
+}
+
+}  // namespace
+
+Optimizer::Optimizer(const ClusterSpec* cluster, OptimizerOptions options)
+    : cluster_(cluster),
+      options_(std::move(options)),
+      estimator_(cluster, options_.estimator) {
+  GALVATRON_CHECK(cluster != nullptr);
+}
+
+Result<OptimizationResult> Optimizer::Optimize(const ModelSpec& model) const {
+  const auto start = std::chrono::steady_clock::now();
+  const int num_devices = cluster_->num_devices();
+
+  std::vector<int> pp_degrees = options_.pp_degrees;
+  if (pp_degrees.empty()) {
+    pp_degrees = DefaultPipelineDegrees(num_devices, model.num_layers());
+  }
+
+  DpSearchOptions dp_options;
+  dp_options.memory_granularity = options_.memory_granularity;
+  dp_options.allow_recompute = options_.allow_recompute;
+  DpSearch search(&estimator_, dp_options);
+
+  // Pre-enumerate candidates and partitions per PP degree (B-independent).
+  struct PerDegree {
+    int pp = 1;
+    std::vector<HybridStrategy> candidates;
+    std::vector<int> stage_sizes;
+  };
+  std::vector<PerDegree> degrees;
+  std::set<std::string> candidate_names;
+  for (int pp : pp_degrees) {
+    if (pp < 1 || num_devices % pp != 0 || pp > model.num_layers()) continue;
+    PerDegree d;
+    d.pp = pp;
+    GALVATRON_ASSIGN_OR_RETURN(
+        d.candidates,
+        EnumerateSingleLayerStrategies(num_devices / pp, options_.tree));
+    GALVATRON_ASSIGN_OR_RETURN(
+        d.stage_sizes,
+        PartitionPipeline(model, pp, options_.partition_policy));
+    for (const HybridStrategy& s : d.candidates) {
+      candidate_names.insert(s.ToString());
+    }
+    // Heterogeneous clusters: also try a capacity-aware partition that
+    // hands roomier islands proportionally more layers.
+    if (pp > 1 && !cluster_->HasUniformMemory()) {
+      PerDegree hetero = d;
+      std::vector<double> capacities;
+      const int span = num_devices / pp;
+      for (int s = 0; s < pp; ++s) {
+        capacities.push_back(static_cast<double>(
+            cluster_->MinMemoryInRange(s * span, span)));
+      }
+      auto sizes = PartitionPipelineHeterogeneous(
+          model, options_.partition_policy, capacities);
+      if (sizes.ok() && *sizes != d.stage_sizes) {
+        hetero.stage_sizes = *std::move(sizes);
+        degrees.push_back(std::move(hetero));
+      }
+    }
+    degrees.push_back(std::move(d));
+  }
+  if (degrees.empty()) {
+    return Status::InvalidArgument("no valid pipeline degrees");
+  }
+
+  OptimizationResult best;
+  bool have_best = false;
+  SearchStats stats;
+  stats.num_candidate_strategies = static_cast<int>(candidate_names.size());
+  // Best (plan, estimated throughput) per PP degree, kept as alternates.
+  std::map<int, std::pair<TrainingPlan, double>> best_per_degree;
+
+  auto consider = [&](TrainingPlan plan, PlanCost cost) {
+    const double tput = cost.throughput_samples_per_sec;
+    auto it = best_per_degree.find(plan.pp_degree());
+    if (it == best_per_degree.end() || tput > it->second.second) {
+      best_per_degree[plan.pp_degree()] = {plan, tput};
+    }
+    if (!have_best ||
+        tput > best.estimated.throughput_samples_per_sec) {
+      best.plan = std::move(plan);
+      best.estimated = std::move(cost);
+      have_best = true;
+    }
+  };
+
+  // Algorithm 1: grow the batch until every PP degree is out of memory.
+  for (int batch = options_.batch_step;
+       batch <= options_.max_batch; batch += options_.batch_step) {
+    bool any_feasible = false;
+    bool any_pending = false;  // degrees whose pipelines the batch can't fill yet
+    for (const PerDegree& degree : degrees) {
+      // Micro-batch counts: 1 for the non-pipelined case, else multiples of
+      // the stage count (GPipe needs m >= P to fill the pipe).
+      std::vector<int> micro_counts;
+      if (degree.pp == 1) {
+        micro_counts.push_back(1);
+      } else {
+        for (int mult : options_.micro_batch_multipliers) {
+          const int m = degree.pp * mult;
+          if (m <= batch) micro_counts.push_back(m);
+        }
+        if (micro_counts.empty() && degree.pp <= batch) {
+          micro_counts.push_back(degree.pp);
+        }
+        if (micro_counts.empty()) any_pending = true;
+      }
+
+      for (int micro : micro_counts) {
+        ++stats.configs_explored;
+
+        // Uniform single-strategy plans first: they are points of the same
+        // search space, and evaluating them through the exact estimator
+        // guarantees the search never loses to a pure baseline because of
+        // DP-table memory quantization.
+        for (const HybridStrategy& candidate : degree.candidates) {
+          auto uniform =
+              MakeUniformPlan(model, num_devices, degree.pp,
+                              degree.stage_sizes, candidate, batch, micro);
+          if (!uniform.ok()) continue;
+          uniform->schedule = options_.schedule;
+          auto uniform_cost = estimator_.EstimatePlan(model, *uniform);
+          if (!uniform_cost.ok()) continue;
+          any_feasible = true;
+          consider(*std::move(uniform), *std::move(uniform_cost));
+        }
+
+        TrainingPlan plan;
+        plan.model_name = model.name();
+        plan.global_batch = batch;
+        plan.num_micro_batches = micro;
+        plan.schedule = options_.schedule;
+
+        bool oom = false;
+        int first_layer = 0;
+        const int devices_per_stage = num_devices / degree.pp;
+        for (int s = 0; s < degree.pp && !oom; ++s) {
+          const int stage_layers =
+              degree.stage_sizes[static_cast<size_t>(s)];
+          const int64_t stage_budget = cluster_->MinMemoryInRange(
+              s * devices_per_stage, devices_per_stage);
+          auto result = search.Run(model, first_layer, stage_layers,
+                                   degree.candidates,
+                                   s * devices_per_stage, batch, micro,
+                                   stage_budget,
+                                   plan.InFlightForDegree(degree.pp, s));
+          if (!result.ok()) {
+            if (result.status().IsInfeasible() ||
+                result.status().IsOutOfMemory()) {
+              oom = true;
+              break;
+            }
+            return result.status();
+          }
+          stats.dp_states_explored += result->states_explored;
+          StagePlan stage;
+          stage.first_device = s * devices_per_stage;
+          stage.num_devices = devices_per_stage;
+          stage.first_layer = first_layer;
+          stage.num_layers = stage_layers;
+          stage.layer_strategies = std::move(result->per_layer);
+          if (options_.allow_recompute) {
+            stage.recompute = std::move(result->per_layer_recompute);
+          }
+          plan.stages.push_back(std::move(stage));
+          first_layer += stage_layers;
+        }
+        if (oom) continue;
+
+        auto cost = estimator_.EstimatePlan(model, plan);
+        if (!cost.ok()) {
+          if (cost.status().IsOutOfMemory()) continue;
+          return cost.status();
+        }
+        any_feasible = true;
+        consider(std::move(plan), *std::move(cost));
+      }
+    }
+    if (!any_feasible && !any_pending) {
+      break;  // larger batches only use more memory
+    }
+  }
+
+  if (!have_best) {
+    return Status::Infeasible(StrFormat(
+        "%s does not fit %d devices with %s each", model.name().c_str(),
+        num_devices,
+        HumanBytes(static_cast<double>(cluster_->device_memory_bytes()))
+            .c_str()));
+  }
+  // Co-optimization: feed the winning plan's measured per-layer times back
+  // into the pipeline partitioner and re-search each stage.
+  for (int round = 0;
+       round < options_.co_optimize_rounds && best.plan.pp_degree() > 1;
+       ++round) {
+    const int pp = best.plan.pp_degree();
+    const int devices_per_stage = num_devices / pp;
+    std::vector<double> layer_seconds;
+    bool measured = true;
+    for (const StagePlan& stage : best.plan.stages) {
+      auto cost = estimator_.EstimateStage(
+          model, stage.first_layer, stage.num_layers, stage.layer_strategies,
+          stage.first_device, best.plan.global_batch,
+          best.plan.num_micro_batches, stage.recompute,
+          best.plan.InFlightMicroBatches(
+              static_cast<int>(&stage - best.plan.stages.data())));
+      if (!cost.ok()) {
+        measured = false;
+        break;
+      }
+      layer_seconds.insert(layer_seconds.end(),
+                           cost->per_layer_seconds.begin(),
+                           cost->per_layer_seconds.end());
+    }
+    if (!measured) break;
+    auto sizes = PartitionByWeights(layer_seconds, pp);
+    if (!sizes.ok()) break;
+    bool same = true;
+    for (int s = 0; s < pp; ++s) {
+      if ((*sizes)[static_cast<size_t>(s)] !=
+          best.plan.stages[static_cast<size_t>(s)].num_layers) {
+        same = false;
+      }
+    }
+    if (same) break;
+
+    auto candidates = EnumerateSingleLayerStrategies(devices_per_stage,
+                                                     options_.tree);
+    if (!candidates.ok()) break;
+    TrainingPlan refined;
+    refined.model_name = model.name();
+    refined.global_batch = best.plan.global_batch;
+    refined.num_micro_batches = best.plan.num_micro_batches;
+    refined.schedule = best.plan.schedule;
+    int first_layer = 0;
+    bool oom = false;
+    for (int s = 0; s < pp && !oom; ++s) {
+      const int stage_layers = (*sizes)[static_cast<size_t>(s)];
+      const int64_t stage_budget = cluster_->MinMemoryInRange(
+          s * devices_per_stage, devices_per_stage);
+      auto result = search.Run(model, first_layer, stage_layers, *candidates,
+                               s * devices_per_stage, refined.global_batch,
+                               refined.num_micro_batches, stage_budget,
+                               refined.InFlightForDegree(pp, s));
+      if (!result.ok()) {
+        oom = true;
+        break;
+      }
+      StagePlan stage;
+      stage.first_device = s * devices_per_stage;
+      stage.num_devices = devices_per_stage;
+      stage.first_layer = first_layer;
+      stage.num_layers = stage_layers;
+      stage.layer_strategies = std::move(result->per_layer);
+      if (options_.allow_recompute) {
+        stage.recompute = std::move(result->per_layer_recompute);
+      }
+      refined.stages.push_back(std::move(stage));
+      first_layer += stage_layers;
+    }
+    if (oom) break;
+    auto cost = estimator_.EstimatePlan(model, refined);
+    if (!cost.ok() || cost->throughput_samples_per_sec <=
+                          best.estimated.throughput_samples_per_sec) {
+      break;
+    }
+    best.plan = std::move(refined);
+    best.estimated = *std::move(cost);
+  }
+
+  for (auto& [pp, entry] : best_per_degree) {
+    if (pp != best.plan.pp_degree()) {
+      best.alternates.push_back(std::move(entry.first));
+    }
+  }
+  stats.search_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  best.stats = stats;
+  return best;
+}
+
+}  // namespace galvatron

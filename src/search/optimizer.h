@@ -1,0 +1,96 @@
+#ifndef GALVATRON_SEARCH_OPTIMIZER_H_
+#define GALVATRON_SEARCH_OPTIMIZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "estimator/cost_estimator.h"
+#include "ir/model.h"
+#include "parallel/decision_tree.h"
+#include "parallel/pipeline_partition.h"
+#include "parallel/plan.h"
+#include "search/dp_search.h"
+#include "util/result.h"
+
+namespace galvatron {
+
+/// Knobs of the Algorithm-1 optimization workflow.
+struct OptimizerOptions {
+  DecisionTreeOptions tree;
+  PartitionPolicy partition_policy = PartitionPolicy::kFlops;
+  EstimatorOptions estimator;
+  int64_t memory_granularity = int64_t{32} * 1024 * 1024;
+
+  /// Batch sweep: B = batch_step, 2*batch_step, ... until every PP degree
+  /// is out of memory (Algorithm 1's loop) or max_batch is hit.
+  int batch_step = 8;
+  int max_batch = 4096;
+
+  /// PP degrees to explore; empty means all powers of two dividing the
+  /// device count (Algorithm 1 line 4). {1} disables PP — the paper's
+  /// DP+TP auxiliary mode.
+  std::vector<int> pp_degrees;
+
+  /// Micro-batch counts tried per PP degree ("we manually tune the number
+  /// of micro-batches", Sec 5.1). Multipliers of the PP degree; 4x is the
+  /// classic GPipe bubble sweet spot.
+  std::vector<int> micro_batch_multipliers = {1, 2, 4, 8};
+
+  /// Pipeline schedule for the produced plans. GPipe is the paper's
+  /// default; 1F1B caps in-flight micro-batches and frees memory for
+  /// deeper pipelines (the paper's PipeDream future-work direction).
+  PipelineSchedule schedule = PipelineSchedule::kGPipe;
+
+  /// Let the per-layer search also choose activation checkpointing
+  /// (doubles the option space; off to match the paper's setup).
+  bool allow_recompute = false;
+
+  /// Alpa/Unity-style co-optimization rounds (Sec 3.3: "it is also possible
+  /// to co-optimize by repeatedly interacting with the search inside each
+  /// stage"): after the sweep, re-partition the pipeline using the winning
+  /// plan's own per-layer times and re-run the per-stage search, keeping
+  /// improvements. 0 reproduces the paper's one-shot workflow.
+  int co_optimize_rounds = 0;
+};
+
+/// Telemetry of one optimizer run (Figure 4 reports search time).
+struct SearchStats {
+  double search_seconds = 0.0;
+  int configs_explored = 0;        // (B, P, m) triples evaluated
+  int64_t dp_states_explored = 0;  // DP table cells touched
+  int num_candidate_strategies = 0;
+};
+
+/// A plan with its estimated performance. `alternates` holds the best plan
+/// of every other explored PP degree (estimation error is a few percent, so
+/// callers with a measurement channel — the simulator here, profiling runs
+/// in the paper's setting — can re-rank the finalists).
+struct OptimizationResult {
+  TrainingPlan plan;
+  PlanCost estimated;
+  SearchStats stats;
+  std::vector<TrainingPlan> alternates;
+};
+
+/// Algorithm 1: sweep batch size and PP degree, partition the model,
+/// enumerate the per-stage decision tree, run the per-stage DP search, and
+/// keep the plan with the highest estimated throughput B / C_opt.
+class Optimizer {
+ public:
+  /// `cluster` must outlive this object.
+  Optimizer(const ClusterSpec* cluster, OptimizerOptions options = {});
+
+  /// Finds the best plan for `model` on the cluster. Returns Infeasible if
+  /// no batch size / strategy combination fits the memory budget.
+  Result<OptimizationResult> Optimize(const ModelSpec& model) const;
+
+ private:
+  const ClusterSpec* cluster_;
+  OptimizerOptions options_;
+  CostEstimator estimator_;
+};
+
+}  // namespace galvatron
+
+#endif  // GALVATRON_SEARCH_OPTIMIZER_H_

@@ -1,0 +1,224 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/string_util.h"
+
+namespace galvatron {
+
+SimEngine::SimEngine(double overlap_slowdown, double compute_jitter,
+                     uint64_t seed)
+    : overlap_slowdown_(overlap_slowdown),
+      compute_jitter_(compute_jitter),
+      seed_(seed) {
+  GALVATRON_CHECK_GE(overlap_slowdown_, 1.0);
+  GALVATRON_CHECK_GE(compute_jitter_, 0.0);
+  GALVATRON_CHECK_LT(compute_jitter_, 1.0);
+}
+
+int SimEngine::AddStream(const StreamSpec& spec) {
+  streams_.push_back(spec);
+  max_device_ = std::max(max_device_, spec.device);
+  return static_cast<int>(streams_.size()) - 1;
+}
+
+Result<int> SimEngine::AddTask(SimTask task) {
+  const int id = static_cast<int>(tasks_.size());
+  if (task.streams.empty()) {
+    return Status::InvalidArgument("task occupies no streams");
+  }
+  for (int s : task.streams) {
+    if (s < 0 || s >= num_streams()) {
+      return Status::InvalidArgument(StrFormat("unknown stream %d", s));
+    }
+  }
+  for (int d : task.deps) {
+    if (d < 0 || d >= id) {
+      return Status::InvalidArgument(
+          StrFormat("task %d depends on invalid task %d", id, d));
+    }
+  }
+  if (task.work_sec < 0) {
+    return Status::InvalidArgument("negative task duration");
+  }
+  if (task.memory_device > max_device_) {
+    return Status::InvalidArgument("memory_device outside cluster");
+  }
+  tasks_.push_back(std::move(task));
+  return id;
+}
+
+Result<SimTimeline> SimEngine::Run() const {
+  const int num_tasks_total = num_tasks();
+  const int num_devices = max_device_ + 1;
+
+  SimTimeline timeline;
+  timeline.tasks.assign(static_cast<size_t>(num_tasks_total), TaskTiming{});
+  timeline.peak_memory_bytes.assign(static_cast<size_t>(num_devices), 0);
+  timeline.compute_busy_sec.assign(static_cast<size_t>(num_devices), 0.0);
+  timeline.comm_busy_sec.assign(static_cast<size_t>(num_devices), 0.0);
+  if (num_tasks_total == 0) return timeline;
+
+  // Per-device current memory.
+  std::vector<int64_t> memory(static_cast<size_t>(num_devices), 0);
+
+  // Dependency bookkeeping.
+  std::vector<int> pending_deps(static_cast<size_t>(num_tasks_total), 0);
+  std::vector<std::vector<int>> dependents(
+      static_cast<size_t>(num_tasks_total));
+  for (int t = 0; t < num_tasks_total; ++t) {
+    pending_deps[static_cast<size_t>(t)] =
+        static_cast<int>(tasks_[static_cast<size_t>(t)].deps.size());
+    for (int d : tasks_[static_cast<size_t>(t)].deps) {
+      dependents[static_cast<size_t>(d)].push_back(t);
+    }
+  }
+
+  // Stream occupancy: id of the running task or -1.
+  std::vector<int> stream_task(static_cast<size_t>(num_streams()), -1);
+  // The sibling stream of each stream (other stream on the same device),
+  // for the contention rule; -1 if none.
+  std::vector<int> sibling(static_cast<size_t>(num_streams()), -1);
+  for (int a = 0; a < num_streams(); ++a) {
+    for (int b = 0; b < num_streams(); ++b) {
+      if (a != b &&
+          streams_[static_cast<size_t>(a)].device ==
+              streams_[static_cast<size_t>(b)].device &&
+          streams_[static_cast<size_t>(a)].kind !=
+              streams_[static_cast<size_t>(b)].kind) {
+        sibling[static_cast<size_t>(a)] = b;
+      }
+    }
+  }
+
+  std::vector<double> remaining(static_cast<size_t>(num_tasks_total), 0.0);
+  std::vector<bool> started(static_cast<size_t>(num_tasks_total), false);
+  std::vector<bool> finished(static_cast<size_t>(num_tasks_total), false);
+  std::vector<int> running;
+  // Ready = deps satisfied, not yet started; kept sorted (program order).
+  std::vector<int> ready;
+  for (int t = 0; t < num_tasks_total; ++t) {
+    if (pending_deps[static_cast<size_t>(t)] == 0) ready.push_back(t);
+  }
+
+  double now = 0.0;
+  int completed = 0;
+  constexpr double kEps = 1e-15;
+
+  auto charge_memory = [&](int device, int64_t delta) {
+    if (device < 0 || delta == 0) return;
+    memory[static_cast<size_t>(device)] += delta;
+    timeline.peak_memory_bytes[static_cast<size_t>(device)] =
+        std::max(timeline.peak_memory_bytes[static_cast<size_t>(device)],
+                 memory[static_cast<size_t>(device)]);
+  };
+
+  while (completed < num_tasks_total) {
+    // Start every ready task whose streams are all idle, in program order.
+    bool started_any = true;
+    while (started_any) {
+      started_any = false;
+      for (size_t i = 0; i < ready.size(); ++i) {
+        const int t = ready[i];
+        const SimTask& task = tasks_[static_cast<size_t>(t)];
+        bool free = true;
+        for (int s : task.streams) {
+          if (stream_task[static_cast<size_t>(s)] != -1) {
+            free = false;
+            break;
+          }
+        }
+        if (!free) continue;
+        for (int s : task.streams) stream_task[static_cast<size_t>(s)] = t;
+        started[static_cast<size_t>(t)] = true;
+        const double jitter =
+            1.0 + compute_jitter_ *
+                      (Rng::HashToUnit(seed_ ^ (static_cast<uint64_t>(t) *
+                                                0x9e3779b97f4a7c15ULL)) -
+                       0.5);
+        remaining[static_cast<size_t>(t)] = task.work_sec * jitter;
+        timeline.tasks[static_cast<size_t>(t)].start = now;
+        charge_memory(task.memory_device, task.start_memory_delta);
+        running.push_back(t);
+        ready.erase(ready.begin() + static_cast<long>(i));
+        started_any = true;
+        break;  // restart the scan: stream states changed
+      }
+    }
+
+    if (running.empty()) {
+      return Status::Internal(StrFormat(
+          "simulation deadlock: %d of %d tasks completed", completed,
+          num_tasks_total));
+    }
+
+    // Rates under contention: a stream is slowed when its sibling is busy;
+    // a task moves at the slowest of its streams.
+    auto task_rate = [&](int t) {
+      const SimTask& task = tasks_[static_cast<size_t>(t)];
+      double rate = 1.0;
+      for (int s : task.streams) {
+        const int sib = sibling[static_cast<size_t>(s)];
+        const bool contended =
+            sib >= 0 && stream_task[static_cast<size_t>(sib)] != -1;
+        rate = std::min(rate, contended ? 1.0 / overlap_slowdown_ : 1.0);
+      }
+      return rate;
+    };
+
+    // Advance to the next completion.
+    double dt = std::numeric_limits<double>::infinity();
+    for (int t : running) {
+      const double rate = task_rate(t);
+      dt = std::min(dt, remaining[static_cast<size_t>(t)] / rate);
+    }
+    GALVATRON_CHECK(std::isfinite(dt));
+
+    // Progress all running tasks; accumulate busy time.
+    for (int t : running) {
+      const double rate = task_rate(t);
+      remaining[static_cast<size_t>(t)] -= rate * dt;
+      const SimTask& task = tasks_[static_cast<size_t>(t)];
+      for (int s : task.streams) {
+        const StreamSpec& spec = streams_[static_cast<size_t>(s)];
+        if (spec.kind == StreamKind::kCompute) {
+          timeline.compute_busy_sec[static_cast<size_t>(spec.device)] += dt;
+        } else {
+          timeline.comm_busy_sec[static_cast<size_t>(spec.device)] += dt;
+        }
+      }
+    }
+    now += dt;
+
+    // Complete finished tasks.
+    for (size_t i = 0; i < running.size();) {
+      const int t = running[i];
+      if (remaining[static_cast<size_t>(t)] > kEps) {
+        ++i;
+        continue;
+      }
+      const SimTask& task = tasks_[static_cast<size_t>(t)];
+      finished[static_cast<size_t>(t)] = true;
+      timeline.tasks[static_cast<size_t>(t)].finish = now;
+      charge_memory(task.memory_device, task.end_memory_delta);
+      for (int s : task.streams) stream_task[static_cast<size_t>(s)] = -1;
+      for (int dep : dependents[static_cast<size_t>(t)]) {
+        if (--pending_deps[static_cast<size_t>(dep)] == 0) {
+          ready.insert(std::upper_bound(ready.begin(), ready.end(), dep),
+                       dep);
+        }
+      }
+      ++completed;
+      running.erase(running.begin() + static_cast<long>(i));
+    }
+  }
+
+  timeline.makespan = now;
+  return timeline;
+}
+
+}  // namespace galvatron

@@ -1,0 +1,488 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <tuple>
+#include <vector>
+
+#include "comm/collective.h"
+#include "comm/group_pool.h"
+#include "ir/dtype.h"
+#include "parallel/layer_cost_model.h"
+#include "parallel/transformation.h"
+#include "sim/engine.h"
+#include "util/logging.h"
+#include "util/math_util.h"
+#include "util/string_util.h"
+
+namespace galvatron {
+
+namespace {
+
+/// Per-layer quantities the task builder needs, precomputed per stage.
+struct LayerTasks {
+  double fwd_compute = 0.0;
+  double bwd_compute = 0.0;  // includes the forward re-run when recomputing
+  double tp_ar_fwd = 0.0;    // blocking activation all-reduce, forward
+  double tp_ar_bwd = 0.0;    // blocking activation all-reduce, backward
+  double sdp_gather = 0.0;   // weight all-gather (fwd and bwd prefetch)
+  double dp_allreduce = 0.0; // per-iteration gradient all-reduce
+  double sdp_scatter = 0.0;  // per-iteration gradient reduce-scatter
+  int64_t activation_bytes = 0;       // per micro-batch, per device
+  int64_t state_bytes = 0;
+  int64_t sdp_transient_bytes = 0;    // gathered ZeRO-3 weights
+  int64_t recompute_transient_bytes = 0;  // rebuilt activations (ckpt)
+};
+
+/// One schedule slot: the forward or backward pass of (stage, micro-batch).
+/// `time` is the virtual schedule position used to create tasks in a valid
+/// topological (and schedule-faithful) order.
+struct ScheduleSlot {
+  int time = 0;
+  bool backward = false;
+  int stage = 0;
+  int micro = 0;
+};
+
+/// Virtual-time schedule. GPipe: all forwards, then a reverse-order drain of
+/// backwards. 1F1B: backward of micro-batch k at stage s follows its
+/// forward by the pipeline round-trip, bounding in-flight activations.
+std::vector<ScheduleSlot> BuildSchedule(PipelineSchedule schedule,
+                                        int num_stages, int micro_batches) {
+  std::vector<ScheduleSlot> slots;
+  const int bwd_base = 4 * (num_stages + micro_batches) + 4;
+  for (int s = 0; s < num_stages; ++s) {
+    for (int k = 0; k < micro_batches; ++k) {
+      slots.push_back(ScheduleSlot{s + 2 * k, false, s, k});
+      if (schedule == PipelineSchedule::kGPipe) {
+        slots.push_back(ScheduleSlot{
+            bwd_base + (num_stages - 1 - s) + 2 * (micro_batches - 1 - k),
+            true, s, k});
+      } else {
+        slots.push_back(
+            ScheduleSlot{(2 * num_stages - 1 - s) + 2 * k, true, s, k});
+      }
+    }
+  }
+  std::sort(slots.begin(), slots.end(),
+            [](const ScheduleSlot& a, const ScheduleSlot& b) {
+              return std::tie(a.time, a.backward, a.stage, a.micro) <
+                     std::tie(b.time, b.backward, b.stage, b.micro);
+            });
+  return slots;
+}
+
+}  // namespace
+
+Simulator::Simulator(const ClusterSpec* cluster, SimOptions options)
+    : cluster_(cluster), options_(options) {
+  GALVATRON_CHECK(cluster != nullptr);
+}
+
+Result<SimMetrics> Simulator::Run(const ModelSpec& model,
+                                  const TrainingPlan& plan) const {
+  return RunInternal(model, plan, nullptr);
+}
+
+Result<SimMetrics> Simulator::RunWithTrace(
+    const ModelSpec& model, const TrainingPlan& plan,
+    std::string* chrome_trace_json) const {
+  return RunInternal(model, plan, chrome_trace_json);
+}
+
+std::string TimelineToChromeTrace(const SimEngine& engine,
+                                  const SimTimeline& timeline) {
+  std::ostringstream os;
+  os << "{\"traceEvents\": [";
+  bool first = true;
+  for (int t = 0; t < engine.num_tasks(); ++t) {
+    const SimTask& task = engine.task(t);
+    const TaskTiming& timing = timeline.tasks[static_cast<size_t>(t)];
+    if (timing.finish <= timing.start) continue;  // zero-length bookkeeping
+    for (int stream_id : task.streams) {
+      const StreamSpec& stream = engine.stream(stream_id);
+      if (!first) os << ",";
+      first = false;
+      os << "\n  {\"name\": \"" << task.label << "\", \"ph\": \"X\""
+         << ", \"ts\": " << StrFormat("%.3f", timing.start * 1e6)
+         << ", \"dur\": "
+         << StrFormat("%.3f", (timing.finish - timing.start) * 1e6)
+         << ", \"pid\": " << stream.device << ", \"tid\": "
+         << (stream.kind == StreamKind::kCompute ? 0 : 1) << "}";
+    }
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+Result<SimMetrics> Simulator::RunInternal(
+    const ModelSpec& model, const TrainingPlan& plan,
+    std::string* chrome_trace_json) const {
+  GALVATRON_RETURN_IF_ERROR(plan.Validate(model, cluster_->num_devices()));
+
+  const int num_stages = plan.pp_degree();
+  const int m = plan.num_micro_batches;
+  const int mb_size = plan.MicroBatchSize();
+  LayerCostModel cost_model(cluster_);
+
+  // Register every communication group the plan needs (Sec 4's group pool);
+  // the count is reported in the metrics.
+  CommGroupPool pool;
+  for (const StagePlan& stage : plan.stages) {
+    for (const HybridStrategy& strategy : stage.layer_strategies) {
+      for (const ParallelComponent& level : strategy.levels()) {
+        auto groups = strategy.AllGroups(level.dim, stage.first_device);
+        if (!groups.ok()) return groups.status();
+        for (auto& group : *groups) {
+          auto created = pool.GetOrCreate(std::move(group));
+          if (!created.ok()) return created.status();
+        }
+      }
+    }
+  }
+
+  SimEngine engine(options_.overlap_slowdown, options_.compute_jitter,
+                   options_.seed);
+  std::vector<int> compute_stream(static_cast<size_t>(num_stages));
+  std::vector<int> comm_stream(static_cast<size_t>(num_stages));
+  for (int s = 0; s < num_stages; ++s) {
+    compute_stream[static_cast<size_t>(s)] =
+        engine.AddStream(StreamSpec{s, StreamKind::kCompute});
+    comm_stream[static_cast<size_t>(s)] =
+        engine.AddStream(StreamSpec{s, StreamKind::kComm});
+  }
+
+  // Precompute per-stage per-layer task ingredients.
+  std::vector<std::vector<LayerTasks>> stage_layers(
+      static_cast<size_t>(num_stages));
+  // Transformation costs between consecutive in-stage layers (per mb, one
+  // direction); index i = boundary between layer i and i+1 of the stage.
+  std::vector<std::vector<double>> stage_transforms(
+      static_cast<size_t>(num_stages));
+  for (int s = 0; s < num_stages; ++s) {
+    const StagePlan& stage = plan.stages[static_cast<size_t>(s)];
+    for (int i = 0; i < stage.num_layers; ++i) {
+      const LayerSpec& layer = model.layer(stage.first_layer + i);
+      const HybridStrategy& strategy =
+          stage.layer_strategies[static_cast<size_t>(i)];
+      GALVATRON_ASSIGN_OR_RETURN(
+          LayerExecution exec,
+          cost_model.Analyze(layer, strategy, stage.first_device, mb_size,
+                             stage.RecomputeAt(i),
+                             options_.tp_sequence_parallel));
+      LayerTasks tasks;
+      const double scale = options_.work_scale;
+      tasks.fwd_compute = exec.fwd_compute_sec * scale;
+      tasks.bwd_compute = exec.bwd_compute_sec * scale;
+      tasks.activation_bytes = exec.activation_memory_bytes;
+      tasks.state_bytes = exec.state_memory_bytes;
+      tasks.sdp_transient_bytes = exec.sdp_transient_bytes;
+      tasks.recompute_transient_bytes = exec.recompute_transient_bytes;
+      for (const CommTask& comm : exec.fwd_comms) {
+        if (comm.dim == ParallelDim::kTensor) {
+          tasks.tp_ar_fwd += comm.Time() * scale;  // activation payloads
+        } else if (comm.dim == ParallelDim::kShardedData) {
+          tasks.sdp_gather = comm.Time();  // weights: shape-independent
+        }
+      }
+      for (const CommTask& comm : exec.bwd_comms) {
+        if (comm.dim == ParallelDim::kTensor) {
+          tasks.tp_ar_bwd += comm.Time() * scale;
+        } else if (comm.dim == ParallelDim::kData) {
+          tasks.dp_allreduce = comm.Time();
+        } else if (comm.dim == ParallelDim::kShardedData &&
+                   comm.kind == CollectiveKind::kReduceScatter) {
+          tasks.sdp_scatter = comm.Time();
+        }
+      }
+      stage_layers[static_cast<size_t>(s)].push_back(tasks);
+
+      if (i > 0) {
+        GALVATRON_ASSIGN_OR_RETURN(
+            TransformationCost transform,
+            ComputeTransformationCost(
+                model.layer(stage.first_layer + i - 1),
+                stage.layer_strategies[static_cast<size_t>(i) - 1], strategy,
+                stage.first_device, mb_size, *cluster_));
+        stage_transforms[static_cast<size_t>(s)].push_back(transform.seconds);
+      }
+    }
+  }
+
+  auto add = [&](SimTask task) -> Result<int> { return engine.AddTask(task); };
+
+  // Model states materialize before the iteration.
+  for (int s = 0; s < num_stages; ++s) {
+    int64_t states = 0;
+    for (const LayerTasks& layer : stage_layers[static_cast<size_t>(s)]) {
+      states += layer.state_bytes;
+    }
+    SimTask init;
+    init.label = StrFormat("stage%d.init", s);
+    init.streams = {compute_stream[static_cast<size_t>(s)]};
+    init.work_sec = 0.0;
+    init.start_memory_delta = states;
+    init.memory_device = s;
+    GALVATRON_RETURN_IF_ERROR(add(std::move(init)).status());
+  }
+
+  // fwd_exit / bwd_exit [s][k]: the task after which the pass is externally
+  // visible. fwd_compute_task[s][k][l] wires backward deps.
+  auto make_grid = [&] {
+    return std::vector<std::vector<int>>(
+        static_cast<size_t>(num_stages),
+        std::vector<int>(static_cast<size_t>(m), -1));
+  };
+  std::vector<std::vector<int>> fwd_exit = make_grid();
+  std::vector<std::vector<int>> bwd_exit = make_grid();
+  std::vector<std::vector<std::vector<int>>> fwd_compute_task(
+      static_cast<size_t>(num_stages),
+      std::vector<std::vector<int>>(static_cast<size_t>(m)));
+  // Backward completion order per stage, for the grad-sync trigger.
+  std::vector<int> bwd_done_count(static_cast<size_t>(num_stages), 0);
+
+  for (const ScheduleSlot& slot :
+       BuildSchedule(plan.schedule, num_stages, m)) {
+    const int s = slot.stage;
+    const int k = slot.micro;
+    const StagePlan& stage = plan.stages[static_cast<size_t>(s)];
+    const auto& layers = stage_layers[static_cast<size_t>(s)];
+    const int L = static_cast<int>(layers.size());
+
+    if (!slot.backward) {
+      // ---- forward pass of (s, k) --------------------------------------
+      int entry_dep = -1;
+      if (s > 0) {
+        const StagePlan& prev = plan.stages[static_cast<size_t>(s) - 1];
+        const LinkSpec& link = cluster_->LinkBetween(
+            prev.first_device + prev.num_devices - 1, stage.first_device);
+        SimTask p2p;
+        p2p.label = StrFormat("p2p_fwd.s%d.mb%d", s, k);
+        p2p.streams = {comm_stream[static_cast<size_t>(s) - 1],
+                       comm_stream[static_cast<size_t>(s)]};
+        p2p.work_sec =
+            CollectiveTime(
+                CollectiveKind::kPointToPoint,
+                model.layer(stage.first_layer).input_bytes() * mb_size, 2,
+                link) +
+            cluster_->pipeline_rpc_overhead_sec();
+        p2p.deps = {
+            fwd_exit[static_cast<size_t>(s) - 1][static_cast<size_t>(k)]};
+        GALVATRON_ASSIGN_OR_RETURN(entry_dep, add(std::move(p2p)));
+      }
+      // 1F1B in-flight cap: this forward waits for the backward that frees
+      // its activation slot.
+      const int in_flight = plan.InFlightMicroBatches(s);
+      const int freeing_micro = k - in_flight;
+
+      int chain = entry_dep;
+      for (int l = 0; l < L; ++l) {
+        const LayerTasks& layer = layers[static_cast<size_t>(l)];
+
+        if (l > 0 && stage_transforms[static_cast<size_t>(s)]
+                                     [static_cast<size_t>(l) - 1] > 0) {
+          SimTask transform;
+          transform.label = StrFormat("xform_fwd.s%d.mb%d.l%d", s, k, l);
+          transform.streams = {comm_stream[static_cast<size_t>(s)]};
+          transform.work_sec = stage_transforms[static_cast<size_t>(s)]
+                                               [static_cast<size_t>(l) - 1];
+          if (chain >= 0) transform.deps = {chain};
+          GALVATRON_ASSIGN_OR_RETURN(chain, add(std::move(transform)));
+        }
+
+        if (layer.sdp_gather > 0) {
+          SimTask gather;
+          gather.label = StrFormat("sdp_ag_fwd.s%d.mb%d.l%d", s, k, l);
+          gather.streams = {comm_stream[static_cast<size_t>(s)]};
+          gather.work_sec = layer.sdp_gather;
+          if (chain >= 0) gather.deps = {chain};
+          gather.start_memory_delta = layer.sdp_transient_bytes;
+          gather.memory_device = s;
+          GALVATRON_ASSIGN_OR_RETURN(chain, add(std::move(gather)));
+        }
+
+        SimTask compute;
+        compute.label = StrFormat("fwd.s%d.mb%d.l%d", s, k, l);
+        compute.streams = {compute_stream[static_cast<size_t>(s)]};
+        compute.work_sec = layer.fwd_compute;
+        std::vector<int> deps;
+        if (chain >= 0) deps.push_back(chain);
+        if (freeing_micro >= 0) {
+          deps.push_back(bwd_exit[static_cast<size_t>(s)]
+                                 [static_cast<size_t>(freeing_micro)]);
+        }
+        compute.deps = std::move(deps);
+        // Stash the (possibly input-only) activation; checkpointed layers
+        // also materialize their internals transiently during forward.
+        compute.start_memory_delta =
+            layer.activation_bytes + layer.recompute_transient_bytes;
+        compute.end_memory_delta =
+            -(layer.recompute_transient_bytes + layer.sdp_transient_bytes);
+        compute.memory_device = s;
+        GALVATRON_ASSIGN_OR_RETURN(chain, add(std::move(compute)));
+        fwd_compute_task[static_cast<size_t>(s)][static_cast<size_t>(k)]
+            .push_back(chain);
+
+        if (layer.tp_ar_fwd > 0) {
+          SimTask ar;
+          ar.label = StrFormat("tp_ar_fwd.s%d.mb%d.l%d", s, k, l);
+          ar.streams = {comm_stream[static_cast<size_t>(s)]};
+          ar.work_sec = layer.tp_ar_fwd;
+          ar.deps = {chain};
+          GALVATRON_ASSIGN_OR_RETURN(chain, add(std::move(ar)));
+        }
+      }
+      fwd_exit[static_cast<size_t>(s)][static_cast<size_t>(k)] = chain;
+      continue;
+    }
+
+    // ---- backward pass of (s, k) ---------------------------------------
+    int entry_dep;
+    if (s == num_stages - 1) {
+      entry_dep = fwd_exit[static_cast<size_t>(s)][static_cast<size_t>(k)];
+    } else {
+      const StagePlan& next = plan.stages[static_cast<size_t>(s) + 1];
+      const LinkSpec& link = cluster_->LinkBetween(
+          stage.first_device + stage.num_devices - 1, next.first_device);
+      SimTask p2p;
+      p2p.label = StrFormat("p2p_bwd.s%d.mb%d", s, k);
+      p2p.streams = {comm_stream[static_cast<size_t>(s)],
+                     comm_stream[static_cast<size_t>(s) + 1]};
+      p2p.work_sec =
+          CollectiveTime(
+              CollectiveKind::kPointToPoint,
+              model.layer(next.first_layer).input_bytes() * mb_size, 2,
+              link) +
+          cluster_->pipeline_rpc_overhead_sec();
+      p2p.deps = {
+          bwd_exit[static_cast<size_t>(s) + 1][static_cast<size_t>(k)]};
+      GALVATRON_ASSIGN_OR_RETURN(entry_dep, add(std::move(p2p)));
+    }
+
+    const bool last_micro_of_stage =
+        ++bwd_done_count[static_cast<size_t>(s)] == m;
+
+    int chain = entry_dep;
+    // Gate of the previously processed (l+1) backward compute: the bwd SDP
+    // gather prefetches against it, overlapping that layer's compute.
+    int prev_compute_gate = entry_dep;
+    for (int l = L - 1; l >= 0; --l) {
+      const LayerTasks& layer = layers[static_cast<size_t>(l)];
+
+      if (l < L - 1 && stage_transforms[static_cast<size_t>(s)]
+                                       [static_cast<size_t>(l)] > 0) {
+        SimTask transform;
+        transform.label = StrFormat("xform_bwd.s%d.mb%d.l%d", s, k, l);
+        transform.streams = {comm_stream[static_cast<size_t>(s)]};
+        transform.work_sec =
+            stage_transforms[static_cast<size_t>(s)][static_cast<size_t>(l)];
+        if (chain >= 0) transform.deps = {chain};
+        GALVATRON_ASSIGN_OR_RETURN(chain, add(std::move(transform)));
+      }
+
+      int gather_id = -1;
+      if (layer.sdp_gather > 0) {
+        SimTask gather;
+        gather.label = StrFormat("sdp_ag_bwd.s%d.mb%d.l%d", s, k, l);
+        gather.streams = {comm_stream[static_cast<size_t>(s)]};
+        gather.work_sec = layer.sdp_gather;
+        // Prefetch: issue as soon as the previous layer's backward compute
+        // *starts* (ZeRO-3 prefetching), not when it finishes.
+        if (prev_compute_gate >= 0) gather.deps = {prev_compute_gate};
+        gather.start_memory_delta = layer.sdp_transient_bytes;
+        gather.memory_device = s;
+        GALVATRON_ASSIGN_OR_RETURN(gather_id, add(std::move(gather)));
+      }
+
+      SimTask compute;
+      compute.label = StrFormat("bwd.s%d.mb%d.l%d", s, k, l);
+      compute.streams = {compute_stream[static_cast<size_t>(s)]};
+      compute.work_sec = layer.bwd_compute;
+      std::vector<int> deps;
+      if (chain >= 0) deps.push_back(chain);
+      if (gather_id >= 0) deps.push_back(gather_id);
+      deps.push_back(fwd_compute_task[static_cast<size_t>(s)]
+                                     [static_cast<size_t>(k)]
+                                     [static_cast<size_t>(l)]);
+      prev_compute_gate = chain;
+      compute.deps = std::move(deps);
+      // Checkpointed layers rebuild their internals for the duration of
+      // the backward; everything of this (layer, micro-batch) frees after.
+      compute.start_memory_delta = layer.recompute_transient_bytes;
+      compute.end_memory_delta =
+          -(layer.activation_bytes + layer.recompute_transient_bytes +
+            layer.sdp_transient_bytes);
+      compute.memory_device = s;
+      GALVATRON_ASSIGN_OR_RETURN(chain, add(std::move(compute)));
+
+      if (layer.tp_ar_bwd > 0) {
+        SimTask ar;
+        ar.label = StrFormat("tp_ar_bwd.s%d.mb%d.l%d", s, k, l);
+        ar.streams = {comm_stream[static_cast<size_t>(s)]};
+        ar.work_sec = layer.tp_ar_bwd;
+        ar.deps = {chain};
+        GALVATRON_ASSIGN_OR_RETURN(chain, add(std::move(ar)));
+      }
+
+      // Gradient synchronization fires after this layer's last micro-batch
+      // and overlaps the remaining backward compute — the contention case
+      // of Sec 3.4.
+      if (last_micro_of_stage) {
+        if (layer.dp_allreduce > 0) {
+          SimTask ar;
+          ar.label = StrFormat("dp_ar.s%d.l%d", s, l);
+          ar.streams = {comm_stream[static_cast<size_t>(s)]};
+          ar.work_sec = layer.dp_allreduce;
+          ar.deps = {chain};
+          GALVATRON_RETURN_IF_ERROR(add(std::move(ar)).status());
+        }
+        if (layer.sdp_scatter > 0) {
+          SimTask rs;
+          rs.label = StrFormat("sdp_rs.s%d.l%d", s, l);
+          rs.streams = {comm_stream[static_cast<size_t>(s)]};
+          rs.work_sec = layer.sdp_scatter;
+          rs.deps = {chain};
+          GALVATRON_RETURN_IF_ERROR(add(std::move(rs)).status());
+        }
+      }
+    }
+    bwd_exit[static_cast<size_t>(s)][static_cast<size_t>(k)] = chain;
+  }
+
+  GALVATRON_ASSIGN_OR_RETURN(SimTimeline timeline, engine.Run());
+  if (chrome_trace_json != nullptr) {
+    *chrome_trace_json = TimelineToChromeTrace(engine, timeline);
+  }
+
+  SimMetrics metrics;
+  metrics.iteration_seconds = timeline.makespan;
+  metrics.throughput_samples_per_sec =
+      plan.global_batch / timeline.makespan;
+  metrics.num_tasks = engine.num_tasks();
+  metrics.num_comm_groups = pool.num_groups();
+  metrics.stage_peak_memory_bytes = timeline.peak_memory_bytes;
+  for (int64_t peak : timeline.peak_memory_bytes) {
+    metrics.max_peak_memory_bytes =
+        std::max(metrics.max_peak_memory_bytes, peak);
+  }
+  for (double busy : timeline.compute_busy_sec) {
+    metrics.compute_busy_sec += busy;
+  }
+  for (double busy : timeline.comm_busy_sec) {
+    metrics.comm_busy_sec += busy;
+  }
+  if (options_.check_memory) {
+    for (int s2 = 0; s2 < num_stages; ++s2) {
+      const StagePlan& stage2 = plan.stages[static_cast<size_t>(s2)];
+      const int64_t budget = cluster_->MinMemoryInRange(
+          stage2.first_device, stage2.num_devices);
+      if (timeline.peak_memory_bytes[static_cast<size_t>(s2)] > budget) {
+        metrics.oom = true;
+      }
+    }
+  }
+  return metrics;
+}
+
+}  // namespace galvatron

@@ -1,0 +1,100 @@
+#ifndef GALVATRON_SIM_SIMULATOR_H_
+#define GALVATRON_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include <string>
+
+#include "cluster/cluster.h"
+#include "ir/model.h"
+#include "parallel/plan.h"
+#include "sim/engine.h"
+#include "util/result.h"
+
+namespace galvatron {
+
+/// Simulator knobs. The defaults model the effects the analytic estimator
+/// either models (contention slowdown) or deliberately omits (per-task
+/// timing jitter), producing the estimator-vs-reality gap of Figure 3.
+struct SimOptions {
+  /// Contention slowdown while a device's compute and comm streams are
+  /// both busy (the paper measures ~1.3x).
+  double overlap_slowdown = 1.3;
+  /// Deterministic per-task duration noise (fraction, +-jitter/2).
+  double compute_jitter = 0.06;
+  uint64_t seed = 0x5eed;
+  /// When true, a plan whose simulated peak memory exceeds the device
+  /// budget yields oom=true in the metrics.
+  bool check_memory = true;
+  /// Execute TP regions with Megatron sequence parallelism (must match the
+  /// estimator option the plan was searched with).
+  bool tp_sequence_parallel = false;
+  /// Scales all length-dependent work (compute, activation collectives,
+  /// boundary transfers) — the per-iteration knob variable-length
+  /// workloads turn (weight collectives are shape-independent).
+  double work_scale = 1.0;
+};
+
+/// Measured results of simulating one training iteration.
+struct SimMetrics {
+  double iteration_seconds = 0.0;
+  double throughput_samples_per_sec = 0.0;
+  bool oom = false;
+  /// Peak bytes per pipeline stage (devices within a stage are symmetric;
+  /// one representative device is simulated per stage).
+  std::vector<int64_t> stage_peak_memory_bytes;
+  int64_t max_peak_memory_bytes = 0;
+  int num_tasks = 0;
+  int num_comm_groups = 0;  // distinct NCCL-style groups the plan needs
+  double compute_busy_sec = 0.0;  // summed over stages
+  double comm_busy_sec = 0.0;
+};
+
+/// Discrete-event execution of a hybrid-parallel training iteration — the
+/// stand-in for the paper's real 8/16/64-GPU testbeds (see DESIGN.md,
+/// substitution table).
+///
+/// The GPipe schedule is lowered to a task graph per stage: per micro-batch
+/// forward compute, TP all-reduces, SDP weight gathers, Slice-Gather
+/// transformations and inter-stage P2P sends, then the mirrored backward
+/// with gradient synchronization (DP all-reduce / SDP reduce-scatter) firing
+/// after each layer's last micro-batch — which is what overlaps it with the
+/// remaining backward compute and triggers the contention slowdown.
+///
+/// Devices within a stage's group run symmetric timelines, so one
+/// representative device per stage is simulated; collective durations carry
+/// the full group size and topology-resolved bottleneck links.
+class Simulator {
+ public:
+  /// `cluster` must outlive this object.
+  explicit Simulator(const ClusterSpec* cluster, SimOptions options = {});
+
+  /// Simulates one training iteration of `plan`. Invalid plans error;
+  /// memory overruns are reported via SimMetrics::oom.
+  Result<SimMetrics> Run(const ModelSpec& model,
+                         const TrainingPlan& plan) const;
+
+  /// Like Run, but also renders the task timeline as a Chrome-tracing JSON
+  /// document (load in chrome://tracing or https://ui.perfetto.dev): one
+  /// track per (stage, stream), one slice per compute/communication task.
+  Result<SimMetrics> RunWithTrace(const ModelSpec& model,
+                                  const TrainingPlan& plan,
+                                  std::string* chrome_trace_json) const;
+
+ private:
+  Result<SimMetrics> RunInternal(const ModelSpec& model,
+                                 const TrainingPlan& plan,
+                                 std::string* chrome_trace_json) const;
+
+  const ClusterSpec* cluster_;
+  SimOptions options_;
+};
+
+/// Serializes a completed timeline to the Chrome trace-event format.
+std::string TimelineToChromeTrace(const SimEngine& engine,
+                                  const SimTimeline& timeline);
+
+}  // namespace galvatron
+
+#endif  // GALVATRON_SIM_SIMULATOR_H_

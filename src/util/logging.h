@@ -1,0 +1,94 @@
+#ifndef GALVATRON_UTIL_LOGGING_H_
+#define GALVATRON_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace galvatron {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level for GALVATRON_LOG output. Defaults to kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it (with level prefix) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Like LogMessage but aborts the process on destruction. Used by the CHECK
+/// macros for invariant violations (programming errors, not runtime errors —
+/// those use Status).
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  template <typename T>
+  FatalLogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Lower-precedence-than-<< sink that turns a streamed message into void so
+/// the CHECK macro's ternary has matching branch types.
+struct Voidify {
+  void operator&(LogMessage&) {}
+  void operator&(LogMessage&&) {}
+  void operator&(FatalLogMessage&) {}
+  void operator&(FatalLogMessage&&) {}
+};
+
+}  // namespace internal
+
+#define GALVATRON_LOG(level)                                        \
+  ::galvatron::internal::LogMessage(::galvatron::LogLevel::level,   \
+                                    __FILE__, __LINE__)
+
+/// Aborts with a message when `cond` is false. For invariants only.
+#define GALVATRON_CHECK(cond)                                      \
+  (cond) ? (void)0                                                 \
+         : ::galvatron::internal::Voidify{} &                      \
+               ::galvatron::internal::FatalLogMessage(__FILE__,    \
+                                                      __LINE__, #cond)
+
+#define GALVATRON_CHECK_BIN_(a, b, op)                                   \
+  GALVATRON_CHECK((a)op(b)) << " (" << (a) << " vs " << (b) << ") "
+
+#define GALVATRON_CHECK_EQ(a, b) GALVATRON_CHECK_BIN_(a, b, ==)
+#define GALVATRON_CHECK_NE(a, b) GALVATRON_CHECK_BIN_(a, b, !=)
+#define GALVATRON_CHECK_LT(a, b) GALVATRON_CHECK_BIN_(a, b, <)
+#define GALVATRON_CHECK_LE(a, b) GALVATRON_CHECK_BIN_(a, b, <=)
+#define GALVATRON_CHECK_GT(a, b) GALVATRON_CHECK_BIN_(a, b, >)
+#define GALVATRON_CHECK_GE(a, b) GALVATRON_CHECK_BIN_(a, b, >=)
+
+}  // namespace galvatron
+
+#endif  // GALVATRON_UTIL_LOGGING_H_

@@ -1,0 +1,50 @@
+#include "util/math_util.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace galvatron {
+
+std::vector<int> PowerOfTwoDivisors(int n) {
+  std::vector<int> out;
+  for (int d = 1; d <= n; d *= 2) {
+    if (n % d == 0) out.push_back(d);
+    if (d > n / 2) break;
+  }
+  return out;
+}
+
+namespace {
+
+void FactorizeRec(int n, int max_parts, std::vector<int>* current,
+                  std::vector<std::vector<int>>* out) {
+  if (n == 1) {
+    if (!current->empty()) out->push_back(*current);
+    return;
+  }
+  if (static_cast<int>(current->size()) == max_parts) return;
+  for (int f = 2; f <= n; ++f) {
+    if (n % f != 0) continue;
+    current->push_back(f);
+    FactorizeRec(n / f, max_parts, current, out);
+    current->pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<int>> OrderedFactorizations(int n, int max_parts) {
+  std::vector<std::vector<int>> out;
+  if (n <= 1 || max_parts <= 0) return out;
+  std::vector<int> current;
+  FactorizeRec(n, max_parts, &current, &out);
+  return out;
+}
+
+double RelativeError(double a, double b, double eps) {
+  double denom = std::fabs(b);
+  if (denom < eps) denom = eps;
+  return std::fabs(a - b) / denom;
+}
+
+}  // namespace galvatron

@@ -1,0 +1,40 @@
+#ifndef GALVATRON_UTIL_MATH_UTIL_H_
+#define GALVATRON_UTIL_MATH_UTIL_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace galvatron {
+
+/// True iff n is a power of two (n > 0).
+constexpr bool IsPowerOfTwo(int64_t n) { return n > 0 && (n & (n - 1)) == 0; }
+
+/// Ceiling division for non-negative integers.
+constexpr int64_t CeilDiv(int64_t a, int64_t b) { return (a + b - 1) / b; }
+
+/// floor(log2(n)) for n >= 1.
+constexpr int Log2Floor(int64_t n) {
+  int r = 0;
+  while (n > 1) {
+    n >>= 1;
+    ++r;
+  }
+  return r;
+}
+
+/// All divisors of n that are powers of two (including 1 and, if n is a
+/// power of two, n itself), ascending. E.g. PowerOfTwoDivisors(8) = {1,2,4,8},
+/// PowerOfTwoDivisors(12) = {1,2,4}.
+std::vector<int> PowerOfTwoDivisors(int n);
+
+/// All ordered factorizations of `n` into between 1 and `max_parts` factors,
+/// each factor >= 2. Order matters: {2,4} and {4,2} are distinct. Used by the
+/// decision-tree enumerator (factors become tree levels).
+std::vector<std::vector<int>> OrderedFactorizations(int n, int max_parts);
+
+/// Relative error |a-b| / max(|b|, eps).
+double RelativeError(double a, double b, double eps = 1e-12);
+
+}  // namespace galvatron
+
+#endif  // GALVATRON_UTIL_MATH_UTIL_H_

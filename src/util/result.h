@@ -1,0 +1,79 @@
+#ifndef GALVATRON_UTIL_RESULT_H_
+#define GALVATRON_UTIL_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace galvatron {
+
+/// A value-or-error holder, the library's counterpart to `arrow::Result<T>`.
+///
+/// A `Result` is either OK and holds a `T`, or holds a non-OK `Status`.
+/// Accessing the value of a non-OK result aborts (checked via
+/// GALVATRON_CHECK), so callers must test `ok()` or use the
+/// GALVATRON_ASSIGN_OR_RETURN macro.
+template <typename T>
+class Result {
+ public:
+  /// Intentionally implicit so functions can `return value;` / `return status;`.
+  Result(T value) : value_(std::move(value)) {}
+  Result(Status status) : status_(std::move(status)) {
+    GALVATRON_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    GALVATRON_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    GALVATRON_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    GALVATRON_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this result holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK iff value_ holds a value
+  std::optional<T> value_;
+};
+
+#define GALVATRON_CONCAT_IMPL_(x, y) x##y
+#define GALVATRON_CONCAT_(x, y) GALVATRON_CONCAT_IMPL_(x, y)
+
+/// GALVATRON_ASSIGN_OR_RETURN(lhs, expr): evaluates `expr` (a Result<T>);
+/// on error returns the status, otherwise assigns the value to `lhs`.
+#define GALVATRON_ASSIGN_OR_RETURN(lhs, expr)                            \
+  GALVATRON_ASSIGN_OR_RETURN_IMPL_(                                      \
+      GALVATRON_CONCAT_(_galvatron_result_, __LINE__), lhs, expr)
+
+#define GALVATRON_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                     \
+  if (!tmp.ok()) return tmp.status();                    \
+  lhs = std::move(tmp).value()
+
+}  // namespace galvatron
+
+#endif  // GALVATRON_UTIL_RESULT_H_

@@ -1,0 +1,56 @@
+#ifndef GALVATRON_UTIL_RNG_H_
+#define GALVATRON_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace galvatron {
+
+/// Deterministic splittable PRNG (SplitMix64). Used for reproducible
+/// simulator jitter and property-test case generation; never seeded from the
+/// clock so runs are bit-identical.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  /// Next 64 uniform bits.
+  uint64_t NextU64() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, n). Requires n > 0.
+  uint64_t NextBelow(uint64_t n) { return NextU64() % n; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// A new independent generator derived from this one's stream.
+  Rng Split() { return Rng(NextU64()); }
+
+  /// Stateless hash of `x` to a uniform double in [0,1); used for
+  /// deterministic per-task jitter keyed by task identity.
+  static double HashToUnit(uint64_t x) {
+    x ^= x >> 33;
+    x *= 0xff51afd7ed558ccdULL;
+    x ^= x >> 33;
+    x *= 0xc4ceb9fe1a85ec53ULL;
+    x ^= x >> 33;
+    return static_cast<double>(x >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace galvatron
+
+#endif  // GALVATRON_UTIL_RNG_H_

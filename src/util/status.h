@@ -1,0 +1,122 @@
+#ifndef GALVATRON_UTIL_STATUS_H_
+#define GALVATRON_UTIL_STATUS_H_
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace galvatron {
+
+/// Error categories used across the library.
+///
+/// `kOutOfMemory` is load-bearing: the dynamic-programming search treats an
+/// out-of-memory layer cost as infinite, and the simulator reports it when a
+/// plan exceeds a device's memory budget.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfMemory = 3,
+  kFailedPrecondition = 4,
+  kUnimplemented = 5,
+  kInternal = 6,
+  kInfeasible = 7,
+};
+
+/// Returns a short human-readable name for `code` (e.g. "OutOfMemory").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Arrow/RocksDB-style status object: a cheap success value (no allocation)
+/// or an error carrying a code and a message.
+///
+/// The library does not use exceptions; every fallible public function
+/// returns `Status` or `Result<T>`.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message) {
+    if (code != StatusCode::kOk) {
+      rep_ = std::make_unique<Rep>(Rep{code, std::move(message)});
+    }
+  }
+
+  Status(const Status& other) { CopyFrom(other); }
+  Status& operator=(const Status& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg) {
+    return Status(StatusCode::kOutOfMemory, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// No plan satisfies the constraints (e.g. every strategy OOMs).
+  static Status Infeasible(std::string msg) {
+    return Status(StatusCode::kInfeasible, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string* const kEmpty = new std::string();
+    return rep_ ? rep_->message : *kEmpty;
+  }
+
+  bool IsOutOfMemory() const { return code() == StatusCode::kOutOfMemory; }
+  bool IsInfeasible() const { return code() == StatusCode::kInfeasible; }
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+
+  void CopyFrom(const Status& other) {
+    rep_ = other.rep_ ? std::make_unique<Rep>(*other.rep_) : nullptr;
+  }
+
+  std::unique_ptr<Rep> rep_;  // null means OK
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Propagates a non-OK status to the caller.
+#define GALVATRON_RETURN_IF_ERROR(expr)           \
+  do {                                            \
+    ::galvatron::Status _st = (expr);             \
+    if (!_st.ok()) return _st;                    \
+  } while (false)
+
+}  // namespace galvatron
+
+#endif  // GALVATRON_UTIL_STATUS_H_

@@ -1,0 +1,29 @@
+#ifndef GALVATRON_UTIL_STRING_UTIL_H_
+#define GALVATRON_UTIL_STRING_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace galvatron {
+
+/// Joins `parts` with `sep` ("a", "b" -> "a,b").
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `s` on `delim`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Formats a byte count with a binary-unit suffix, e.g. "3.08GB", "512.00MB".
+std::string HumanBytes(double bytes);
+
+/// Formats a double with `digits` digits after the decimal point.
+std::string FormatDouble(double v, int digits);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace galvatron
+
+#endif  // GALVATRON_UTIL_STRING_UTIL_H_

@@ -1,0 +1,54 @@
+#include "util/table_printer.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace galvatron {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  row.resize(header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::vector<size_t> TablePrinter::ColumnWidths() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  return widths;
+}
+
+namespace {
+
+void RenderRow(std::ostringstream& os, const std::vector<std::string>& row,
+               const std::vector<size_t>& widths) {
+  os << "|";
+  for (size_t c = 0; c < widths.size(); ++c) {
+    const std::string& cell = c < row.size() ? row[c] : std::string();
+    os << " " << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+  }
+  os << "\n";
+}
+
+}  // namespace
+
+std::string TablePrinter::ToString() const {
+  const std::vector<size_t> widths = ColumnWidths();
+  std::ostringstream os;
+  RenderRow(os, header_, widths);
+  os << "|";
+  for (size_t w : widths) os << std::string(w + 2, '-') << "|";
+  os << "\n";
+  for (const auto& row : rows_) RenderRow(os, row, widths);
+  return os.str();
+}
+
+std::string TablePrinter::ToMarkdown() const { return ToString(); }
+
+}  // namespace galvatron

@@ -1,0 +1,40 @@
+#ifndef GALVATRON_UTIL_TABLE_PRINTER_H_
+#define GALVATRON_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace galvatron {
+
+/// Accumulates rows of strings and renders an aligned ASCII (or Markdown)
+/// table. Used by the bench binaries to print the paper's tables.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends one row; it may have fewer cells than the header (padded).
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders with column alignment:  `| a   | b  |` plus a separator line.
+  std::string ToString() const;
+
+  /// Renders as GitHub-flavored Markdown.
+  std::string ToMarkdown() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<size_t> ColumnWidths() const;
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const TablePrinter& t) {
+  return os << t.ToString();
+}
+
+}  // namespace galvatron
+
+#endif  // GALVATRON_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,108 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace galvatron {
+
+std::string_view LengthPolicyToString(LengthPolicy policy) {
+  switch (policy) {
+    case LengthPolicy::kFixed:
+      return "fixed";
+    case LengthPolicy::kPadToBatchMax:
+      return "pad-to-batch-max";
+    case LengthPolicy::kBucketed:
+      return "bucketed";
+  }
+  return "?";
+}
+
+WorkloadSpec MakeWikipediaWorkload() {
+  WorkloadSpec spec;
+  spec.name = "wikipedia-en";
+  spec.max_seq_len = 512;
+  spec.mean_len = 512;  // packed blocks: always full
+  spec.stddev_len = 0;
+  spec.policy = LengthPolicy::kFixed;
+  spec.load_sec_per_sample = 20e-6;  // tokenized shards stream cheaply
+  return spec;
+}
+
+WorkloadSpec MakeImageNetWorkload() {
+  WorkloadSpec spec;
+  spec.name = "imagenet-1k";
+  spec.max_seq_len = 1;  // fixed-shape images
+  spec.mean_len = 1;
+  spec.stddev_len = 0;
+  spec.policy = LengthPolicy::kFixed;
+  spec.load_sec_per_sample = 400e-6;  // JPEG decode + augmentation
+  return spec;
+}
+
+WorkloadSpec MakeVariableLengthTextWorkload(int64_t max_seq_len,
+                                            double mean_len,
+                                            double stddev_len) {
+  WorkloadSpec spec;
+  spec.name = "variable-text";
+  spec.max_seq_len = max_seq_len;
+  spec.mean_len = mean_len;
+  spec.stddev_len = stddev_len;
+  spec.policy = LengthPolicy::kPadToBatchMax;
+  spec.load_sec_per_sample = 30e-6;
+  return spec;
+}
+
+namespace {
+
+/// Truncated-normal sample length in [1, max].
+double SampleLength(const WorkloadSpec& spec, Rng* rng) {
+  if (spec.stddev_len <= 0) {
+    return std::min<double>(spec.mean_len,
+                            static_cast<double>(spec.max_seq_len));
+  }
+  // Box-Muller.
+  const double u1 = std::max(rng->NextDouble(), 1e-12);
+  const double u2 = rng->NextDouble();
+  const double z =
+      std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  const double len = spec.mean_len + spec.stddev_len * z;
+  return std::clamp(len, 1.0, static_cast<double>(spec.max_seq_len));
+}
+
+}  // namespace
+
+std::vector<IterationWorkload> SampleIterations(const WorkloadSpec& spec,
+                                                int batch, int iterations,
+                                                uint64_t seed) {
+  GALVATRON_CHECK_GE(batch, 1);
+  GALVATRON_CHECK_GE(iterations, 1);
+  Rng rng(seed ^ 0x9e3779b97f4a7c15ULL);
+  std::vector<IterationWorkload> out;
+  out.reserve(static_cast<size_t>(iterations));
+  for (int i = 0; i < iterations; ++i) {
+    IterationWorkload iteration;
+    iteration.load_sec = spec.load_sec_per_sample * batch;
+    if (spec.policy == LengthPolicy::kFixed || spec.stddev_len <= 0) {
+      iteration.work_scale = 1.0;
+    } else {
+      double sum = 0;
+      double batch_max = 0;
+      for (int s = 0; s < batch; ++s) {
+        const double len = SampleLength(spec, &rng);
+        sum += len;
+        batch_max = std::max(batch_max, len);
+      }
+      const double effective =
+          spec.policy == LengthPolicy::kPadToBatchMax ? batch_max
+                                                      : sum / batch;
+      iteration.work_scale =
+          effective / static_cast<double>(spec.max_seq_len);
+    }
+    out.push_back(iteration);
+  }
+  return out;
+}
+
+}  // namespace galvatron

@@ -1,0 +1,76 @@
+#ifndef GALVATRON_WORKLOAD_WORKLOAD_H_
+#define GALVATRON_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace galvatron {
+
+/// How the per-iteration work varies with the sampled data. Synchronous
+/// training time is independent of token *values*, but not of sequence
+/// LENGTHS: a batch of short sequences does proportionally less attention
+/// and matmul work unless the loader pads everything to the maximum.
+enum class LengthPolicy {
+  /// Fixed-shape batches (images, or packed/padded-to-max text): every
+  /// iteration does identical work. The paper's setting.
+  kFixed,
+  /// Pad to the longest sample in the batch (common HF-style loaders):
+  /// work scale = E[max of batch] / max_len.
+  kPadToBatchMax,
+  /// Bucketed batches: work scale = E[len] / max_len.
+  kBucketed,
+};
+
+std::string_view LengthPolicyToString(LengthPolicy policy);
+
+/// A training workload: where samples come from and how their shapes vary.
+/// The generator is fully synthetic (the paper's datasets are only shape
+/// distributions as far as iteration time is concerned — see DESIGN.md).
+struct WorkloadSpec {
+  std::string name;
+  /// Model-maximum sequence length the layer shapes were built with.
+  int64_t max_seq_len = 512;
+  /// Mean and std-dev of the (truncated-normal) sample length distribution.
+  double mean_len = 512;
+  double stddev_len = 0;
+  LengthPolicy policy = LengthPolicy::kFixed;
+  /// Host-side time to produce one sample (tokenize / decode+augment);
+  /// the input pipeline overlaps training and only stalls when it cannot
+  /// keep up.
+  double load_sec_per_sample = 20e-6;
+};
+
+/// English-Wikipedia-style packed LM pretraining: fixed 512-token blocks.
+WorkloadSpec MakeWikipediaWorkload();
+
+/// ImageNet-1K-style image classification: fixed 224x224 inputs, heavier
+/// per-sample host decode+augmentation.
+WorkloadSpec MakeImageNetWorkload();
+
+/// Padded seq2seq fine-tuning style workload: lengths vary, batches pad to
+/// their own maximum.
+WorkloadSpec MakeVariableLengthTextWorkload(int64_t max_seq_len,
+                                            double mean_len,
+                                            double stddev_len);
+
+/// Per-iteration realization of a workload: the relative amount of
+/// length-dependent work (1.0 for fixed shapes) and the host loading time
+/// for `batch` samples.
+struct IterationWorkload {
+  double work_scale = 1.0;
+  double load_sec = 0.0;
+};
+
+/// Draws the per-iteration workloads for `iterations` training steps of
+/// `batch` samples each. Deterministic in `seed`.
+std::vector<IterationWorkload> SampleIterations(const WorkloadSpec& spec,
+                                                int batch, int iterations,
+                                                uint64_t seed);
+
+}  // namespace galvatron
+
+#endif  // GALVATRON_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "api/galvatron.h"
+#include "util/math_util.h"
+
+namespace galvatron {
+namespace {
+
+// --- Megatron sequence parallelism ---------------------------------------
+
+class SequenceParallelTest : public ::testing::Test {
+ protected:
+  SequenceParallelTest()
+      : cluster_(MakeTitanNode8(8 * kGB)),
+        bert_(BuildModel(ModelId::kBertHuge32)),
+        cost_model_(&cluster_) {}
+
+  ClusterSpec cluster_;
+  ModelSpec bert_;
+  LayerCostModel cost_model_;
+};
+
+TEST_F(SequenceParallelTest, FullyShardsActivationsUnderTp) {
+  const LayerSpec& layer = bert_.layer(1);
+  EXPECT_EQ(layer.SavedActivationBytesSequenceParallel(4),
+            layer.SavedActivationBytes(1) / 4);
+  // Strictly below plain TP, which keeps a replicated share.
+  EXPECT_LT(layer.SavedActivationBytesSequenceParallel(4),
+            layer.SavedActivationBytes(4));
+  // tp=1 degenerates to the same value.
+  EXPECT_EQ(layer.SavedActivationBytesSequenceParallel(1),
+            layer.SavedActivationBytes(1));
+}
+
+TEST_F(SequenceParallelTest, SameCommVolumeLessMemory) {
+  const LayerSpec& layer = bert_.layer(1);
+  auto tp = HybridStrategy::Create({{ParallelDim::kTensor, 8}});
+  auto plain = cost_model_.Analyze(layer, *tp, 0, 8, false, false);
+  auto sp = cost_model_.Analyze(layer, *tp, 0, 8, false, true);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(sp.ok());
+  ASSERT_EQ(plain->fwd_comms.size(), sp->fwd_comms.size());
+  EXPECT_EQ(plain->fwd_comms[0].bytes, sp->fwd_comms[0].bytes);
+  EXPECT_LT(sp->activation_memory_bytes, plain->activation_memory_bytes);
+  EXPECT_DOUBLE_EQ(sp->fwd_compute_sec, plain->fwd_compute_sec);
+}
+
+TEST_F(SequenceParallelTest, SearchWithSpFitsMoreUnderTpHeavyPlans) {
+  // With SP, TP-heavy plans carry less activation, so the search sustains
+  // at least the non-SP throughput everywhere.
+  OptimizerOptions plain_options;
+  OptimizerOptions sp_options;
+  sp_options.estimator.tp_sequence_parallel = true;
+  auto plain = Optimizer(&cluster_, plain_options).Optimize(bert_);
+  auto sp = Optimizer(&cluster_, sp_options).Optimize(bert_);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(sp.ok());
+  EXPECT_GE(sp->estimated.throughput_samples_per_sec,
+            plain->estimated.throughput_samples_per_sec - 1e-9);
+}
+
+TEST_F(SequenceParallelTest, SimulatorMatchesEstimatorUnderSp) {
+  OptimizerOptions options;
+  options.estimator.tp_sequence_parallel = true;
+  auto result = Optimizer(&cluster_, options).Optimize(bert_);
+  ASSERT_TRUE(result.ok());
+  SimOptions sim_options;
+  sim_options.tp_sequence_parallel = true;
+  Simulator sim(&cluster_, sim_options);
+  auto metrics = sim.Run(bert_, result->plan);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_FALSE(metrics->oom);
+  EXPECT_LT(RelativeError(result->estimated.iteration_seconds,
+                          metrics->iteration_seconds),
+            0.12);
+}
+
+// --- Alpa/Unity-style co-optimization ------------------------------------
+
+class CoOptimizeTest : public ::testing::Test {
+ protected:
+  CoOptimizeTest() : cluster_(MakeTitanNode8(8 * kGB)) {}
+  ClusterSpec cluster_;
+};
+
+TEST_F(CoOptimizeTest, RefinementNeverHurts) {
+  for (ModelId id : {ModelId::kSwinHuge32, ModelId::kT5Large32}) {
+    ModelSpec model = BuildModel(id);
+    OptimizerOptions base;
+    base.pp_degrees = {4};  // force pipelining so partitioning matters
+    OptimizerOptions co = base;
+    co.co_optimize_rounds = 3;
+    auto plain = Optimizer(&cluster_, base).Optimize(model);
+    auto refined = Optimizer(&cluster_, co).Optimize(model);
+    ASSERT_TRUE(plain.ok()) << ModelIdToString(id);
+    ASSERT_TRUE(refined.ok());
+    EXPECT_GE(refined->estimated.throughput_samples_per_sec,
+              plain->estimated.throughput_samples_per_sec - 1e-9)
+        << ModelIdToString(id);
+    EXPECT_TRUE(refined->plan.Validate(model, 8).ok());
+  }
+}
+
+TEST_F(CoOptimizeTest, RefinedPlanSimulatesCleanly) {
+  ModelSpec model = BuildModel(ModelId::kSwinHuge32);
+  OptimizerOptions options;
+  options.pp_degrees = {4};
+  options.co_optimize_rounds = 2;
+  auto result = Optimizer(&cluster_, options).Optimize(model);
+  ASSERT_TRUE(result.ok());
+  auto metrics = Galvatron::Measure(model, result->plan, cluster_);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_FALSE(metrics->oom);
+}
+
+TEST_F(CoOptimizeTest, ZeroRoundsMatchesBaseline) {
+  ModelSpec model = BuildModel(ModelId::kBertHuge32);
+  OptimizerOptions a;
+  OptimizerOptions b;
+  b.co_optimize_rounds = 0;
+  auto ra = Optimizer(&cluster_, a).Optimize(model);
+  auto rb = Optimizer(&cluster_, b).Optimize(model);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_DOUBLE_EQ(ra->estimated.throughput_samples_per_sec,
+                   rb->estimated.throughput_samples_per_sec);
+}
+
+}  // namespace
+}  // namespace galvatron

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "api/galvatron.h"
+
+#include "util/math_util.h"
+
+namespace galvatron {
+namespace {
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  BaselinesTest()
+      : cluster_(MakeTitanNode8(16 * kGB)),
+        vit_(BuildModel(ModelId::kViTHuge32)) {}
+
+  ClusterSpec cluster_;
+  ModelSpec vit_;
+};
+
+TEST_F(BaselinesTest, AllKindsHaveNames) {
+  for (BaselineKind kind : AllBaselineKinds()) {
+    EXPECT_NE(BaselineKindToString(kind), "?");
+  }
+}
+
+TEST_F(BaselinesTest, PureStrategiesProduceUniformPlans) {
+  struct Case {
+    BaselineKind kind;
+    ParallelDim dim;
+  };
+  for (const Case& c : {Case{BaselineKind::kPureDp, ParallelDim::kData},
+                        Case{BaselineKind::kPureTp, ParallelDim::kTensor},
+                        Case{BaselineKind::kPureSdp,
+                             ParallelDim::kShardedData}}) {
+    auto result = RunBaseline(c.kind, vit_, cluster_);
+    ASSERT_TRUE(result.ok()) << result.status();
+    EXPECT_EQ(result->plan.pp_degree(), 1);
+    for (const HybridStrategy& s :
+         result->plan.stages[0].layer_strategies) {
+      EXPECT_EQ(s.DegreeOf(c.dim), 8) << BaselineKindToString(c.kind);
+    }
+  }
+}
+
+TEST_F(BaselinesTest, PurePpUsesEightStages) {
+  auto result = RunBaseline(BaselineKind::kPurePp, vit_, cluster_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->plan.pp_degree(), 8);
+  EXPECT_GT(result->plan.num_micro_batches, 1);
+}
+
+TEST_F(BaselinesTest, DeepSpeed3dIs2Tp2Pp) {
+  auto result = RunBaseline(BaselineKind::kDeepSpeed3d, vit_, cluster_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->plan.pp_degree(), 2);
+  const HybridStrategy& s = result->plan.stages[0].layer_strategies[0];
+  EXPECT_EQ(s.DegreeOf(ParallelDim::kTensor), 2);
+  EXPECT_EQ(s.DegreeOf(ParallelDim::kData), 2);
+}
+
+TEST_F(BaselinesTest, DdpOomsAt8GBForBert) {
+  // Table 1 first row: DDP cannot fit BERT-Huge-32 in 8 GB.
+  ModelSpec bert = BuildModel(ModelId::kBertHuge32);
+  ClusterSpec small = cluster_.WithMemoryBudget(8 * kGB);
+  auto result = RunBaseline(BaselineKind::kPureDp, bert, small);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInfeasible());
+}
+
+TEST_F(BaselinesTest, GalvatronBeatsEveryBaseline) {
+  // The search space is a superset, so with the shared cost model the full
+  // search can never lose (Table 1's bold diagonal).
+  auto galvatron = RunBaseline(BaselineKind::kGalvatron, vit_, cluster_);
+  ASSERT_TRUE(galvatron.ok());
+  for (BaselineKind kind : AllBaselineKinds()) {
+    if (kind == BaselineKind::kGalvatron) continue;
+    auto baseline = RunBaseline(kind, vit_, cluster_);
+    if (!baseline.ok()) continue;  // OOM counts as a loss for the baseline
+    EXPECT_GE(galvatron->estimated.throughput_samples_per_sec,
+              baseline->estimated.throughput_samples_per_sec - 1e-9)
+        << BaselineKindToString(kind);
+  }
+}
+
+TEST_F(BaselinesTest, RestrictedAutosBeatTheirPureParents) {
+  // DP+TP >= max(DP, TP); DP+PP >= max(DP, PP) under the same cost model.
+  auto dp = RunBaseline(BaselineKind::kPureDp, vit_, cluster_);
+  auto tp = RunBaseline(BaselineKind::kPureTp, vit_, cluster_);
+  auto pp = RunBaseline(BaselineKind::kPurePp, vit_, cluster_);
+  auto dp_tp = RunBaseline(BaselineKind::kAutoDpTp, vit_, cluster_);
+  auto dp_pp = RunBaseline(BaselineKind::kAutoDpPp, vit_, cluster_);
+  ASSERT_TRUE(dp_tp.ok());
+  ASSERT_TRUE(dp_pp.ok());
+  for (const auto* parent : {&dp, &tp}) {
+    if (parent->ok()) {
+      EXPECT_GE(dp_tp->estimated.throughput_samples_per_sec,
+                (**parent).estimated.throughput_samples_per_sec - 1e-9);
+    }
+  }
+  for (const auto* parent : {&dp, &pp}) {
+    if (parent->ok()) {
+      EXPECT_GE(dp_pp->estimated.throughput_samples_per_sec,
+                (**parent).estimated.throughput_samples_per_sec - 1e-9);
+    }
+  }
+}
+
+TEST(ApiTest, PlanAndMeasureEndToEnd) {
+  ClusterSpec cluster = MakeTitanNode8(16 * kGB);
+  ModelSpec model = BuildModel(ModelId::kSwinHuge32);
+  auto result = Galvatron::PlanAndMeasure(model, cluster);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->has_measurement);
+  EXPECT_FALSE(result->measured.oom);
+  EXPECT_GT(result->measured.throughput_samples_per_sec, 0);
+  // Estimate and measurement agree within 12%.
+  EXPECT_LT(RelativeError(result->estimated.iteration_seconds,
+                          result->measured.iteration_seconds),
+            0.12);
+}
+
+TEST(ApiTest, MeasureRejectsInvalidPlan) {
+  ClusterSpec cluster = MakeTitanNode8(16 * kGB);
+  ModelSpec model = BuildModel(ModelId::kViTHuge32);
+  TrainingPlan empty;
+  EXPECT_FALSE(Galvatron::Measure(model, empty, cluster).ok());
+}
+
+TEST(ApiTest, VersionIsNonEmpty) {
+  EXPECT_FALSE(Galvatron::Version().empty());
+}
+
+}  // namespace
+}  // namespace galvatron

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "cluster/link.h"
+#include "comm/collective.h"
+#include "comm/group_pool.h"
+
+namespace galvatron {
+namespace {
+
+TEST(ClusterTest, TitanNode8Shape) {
+  ClusterSpec c = MakeTitanNode8(8 * kGiB);
+  EXPECT_EQ(c.num_devices(), 8);
+  EXPECT_EQ(c.device_memory_bytes(), 8 * kGiB);
+  ASSERT_EQ(c.levels().size(), 1u);
+  EXPECT_EQ(c.levels()[0].link.cls, LinkClass::kPcie3);
+}
+
+TEST(ClusterTest, Cluster16HasTwoIslands) {
+  ClusterSpec c = MakeTitanCluster16(16 * kGiB);
+  EXPECT_EQ(c.num_devices(), 16);
+  ASSERT_EQ(c.levels().size(), 2u);
+  // Within an island: PCIe. Across: InfiniBand.
+  EXPECT_EQ(c.LinkBetween(0, 7).cls, LinkClass::kPcie3);
+  EXPECT_EQ(c.LinkBetween(0, 8).cls, LinkClass::kInfiniBand100);
+  EXPECT_EQ(c.LinkBetween(9, 15).cls, LinkClass::kPcie3);
+}
+
+TEST(ClusterTest, A100Cluster64) {
+  ClusterSpec c = MakeA100Cluster64(32 * kGiB);
+  EXPECT_EQ(c.num_devices(), 64);
+  EXPECT_EQ(c.LinkBetween(0, 7).cls, LinkClass::kNvLink);
+  EXPECT_EQ(c.LinkBetween(7, 8).cls, LinkClass::kInfiniBand100);
+  EXPECT_GT(c.LinkBetween(0, 1).bandwidth_bytes_per_sec,
+            c.LinkBetween(0, 63).bandwidth_bytes_per_sec);
+}
+
+TEST(ClusterTest, GroupBottleneckLink) {
+  ClusterSpec c = MakeTitanCluster16(16 * kGiB);
+  EXPECT_EQ(c.GroupBottleneckLink({0, 1, 2, 3}).cls, LinkClass::kPcie3);
+  EXPECT_EQ(c.GroupBottleneckLink({0, 8}).cls, LinkClass::kInfiniBand100);
+  EXPECT_EQ(c.GroupBottleneckLink({4, 5, 12, 13}).cls,
+            LinkClass::kInfiniBand100);
+}
+
+TEST(ClusterTest, WithMemoryBudgetChangesOnlyMemory) {
+  ClusterSpec c = MakeTitanNode8(8 * kGiB);
+  ClusterSpec c20 = c.WithMemoryBudget(20 * kGiB);
+  EXPECT_EQ(c20.device_memory_bytes(), 20 * kGiB);
+  EXPECT_EQ(c20.num_devices(), c.num_devices());
+  EXPECT_DOUBLE_EQ(c20.sustained_flops(), c.sustained_flops());
+}
+
+TEST(ClusterTest, CreateRejectsBadTopologies) {
+  // Outermost span must equal device count.
+  auto r1 = ClusterSpec::Create("bad", 8, kGiB, 1e12,
+                                {TopologyLevel{4, DefaultLinkSpec(LinkClass::kPcie3)}});
+  EXPECT_FALSE(r1.ok());
+  // Spans must be nested multiples.
+  auto r2 = ClusterSpec::Create(
+      "bad", 12, kGiB, 1e12,
+      {TopologyLevel{8, DefaultLinkSpec(LinkClass::kPcie3)},
+       TopologyLevel{12, DefaultLinkSpec(LinkClass::kInfiniBand100)}});
+  EXPECT_FALSE(r2.ok());
+  // Zero devices.
+  EXPECT_FALSE(ClusterSpec::Create("bad", 0, kGiB, 1e12, {}).ok());
+}
+
+TEST(ClusterTest, SameBlock) {
+  ClusterSpec c = MakeTitanCluster16(kGiB);
+  EXPECT_TRUE(c.SameBlock(0, {0, 3, 7}));
+  EXPECT_FALSE(c.SameBlock(0, {0, 8}));
+  EXPECT_TRUE(c.SameBlock(1, {0, 8}));
+}
+
+TEST(CollectiveTest, RingFactors) {
+  EXPECT_DOUBLE_EQ(RingTrafficFactor(CollectiveKind::kAllReduce, 8),
+                   2.0 * 7 / 8);
+  EXPECT_DOUBLE_EQ(RingTrafficFactor(CollectiveKind::kAllGather, 8), 7.0 / 8);
+  EXPECT_DOUBLE_EQ(RingTrafficFactor(CollectiveKind::kReduceScatter, 4),
+                   3.0 / 4);
+  EXPECT_DOUBLE_EQ(RingTrafficFactor(CollectiveKind::kPointToPoint, 2), 1.0);
+  EXPECT_DOUBLE_EQ(RingTrafficFactor(CollectiveKind::kAllReduce, 1), 0.0);
+}
+
+TEST(CollectiveTest, SdpTrafficIs1Point5xDp) {
+  // Paper Sec 3.1.1: SDP = 2x all-gather + 1x reduce-scatter = 1.5x the
+  // all-reduce cost of DP, for any group size.
+  for (int n : {2, 4, 8, 16}) {
+    const double dp = RingTrafficFactor(CollectiveKind::kAllReduce, n);
+    const double sdp = 2 * RingTrafficFactor(CollectiveKind::kAllGather, n) +
+                       RingTrafficFactor(CollectiveKind::kReduceScatter, n);
+    EXPECT_NEAR(sdp / dp, 1.5, 1e-9);
+  }
+}
+
+TEST(CollectiveTest, TimeScalesWithBytesAndBandwidth) {
+  LinkSpec fast = DefaultLinkSpec(LinkClass::kNvLink);
+  LinkSpec slow = DefaultLinkSpec(LinkClass::kPcie3);
+  const int64_t bytes = 1 << 28;
+  double t_fast = CollectiveTime(CollectiveKind::kAllReduce, bytes, 8, fast);
+  double t_slow = CollectiveTime(CollectiveKind::kAllReduce, bytes, 8, slow);
+  EXPECT_LT(t_fast, t_slow);
+  // Doubling payload roughly doubles time (latency is negligible here).
+  double t2 = CollectiveTime(CollectiveKind::kAllReduce, 2 * bytes, 8, slow);
+  EXPECT_NEAR(t2 / t_slow, 2.0, 0.01);
+}
+
+TEST(CollectiveTest, ZeroForSingletonOrEmpty) {
+  LinkSpec link = DefaultLinkSpec(LinkClass::kPcie3);
+  EXPECT_DOUBLE_EQ(
+      CollectiveTime(CollectiveKind::kAllReduce, 1 << 20, 1, link), 0.0);
+  EXPECT_DOUBLE_EQ(CollectiveTime(CollectiveKind::kAllReduce, 0, 8, link),
+                   0.0);
+}
+
+TEST(CollectiveTest, LatencyTermMatters) {
+  LinkSpec link = DefaultLinkSpec(LinkClass::kInfiniBand100);
+  // Tiny payload: time is dominated by steps * latency.
+  double t = CollectiveTime(CollectiveKind::kAllReduce, 4, 8, link);
+  EXPECT_GE(t, RingSteps(CollectiveKind::kAllReduce, 8) * link.latency_sec);
+}
+
+TEST(GroupPoolTest, DeduplicatesGroups) {
+  CommGroupPool pool;
+  auto g1 = pool.GetOrCreate({3, 1, 2});
+  auto g2 = pool.GetOrCreate({1, 2, 3});
+  ASSERT_TRUE(g1.ok());
+  ASSERT_TRUE(g2.ok());
+  EXPECT_EQ(g1->id, g2->id);
+  EXPECT_EQ(pool.num_groups(), 1);
+  EXPECT_EQ(pool.hits(), 1);
+  EXPECT_EQ(pool.misses(), 1);
+}
+
+TEST(GroupPoolTest, DistinctGroupsGetDistinctIds) {
+  CommGroupPool pool;
+  auto g1 = pool.GetOrCreate({0, 1});
+  auto g2 = pool.GetOrCreate({2, 3});
+  EXPECT_NE(g1->id, g2->id);
+  EXPECT_EQ(pool.num_groups(), 2);
+}
+
+TEST(GroupPoolTest, RejectsBadGroups) {
+  CommGroupPool pool;
+  EXPECT_FALSE(pool.GetOrCreate({}).ok());
+  EXPECT_FALSE(pool.GetOrCreate({1, 1}).ok());
+}
+
+}  // namespace
+}  // namespace galvatron

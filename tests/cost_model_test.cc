@@ -1,0 +1,348 @@
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "ir/dtype.h"
+#include "ir/model_zoo.h"
+#include "ir/transformer_builder.h"
+#include "parallel/layer_cost_model.h"
+#include "parallel/pipeline_partition.h"
+#include "parallel/plan.h"
+#include "parallel/strategy.h"
+#include "parallel/transformation.h"
+
+namespace galvatron {
+namespace {
+
+HybridStrategy Make(std::vector<ParallelComponent> levels) {
+  auto r = HybridStrategy::Create(std::move(levels));
+  EXPECT_TRUE(r.ok()) << r.status();
+  return *std::move(r);
+}
+
+LayerSpec BertLayer() {
+  TransformerBlockDims d;
+  d.seq = 512;
+  d.hidden = 1280;
+  d.heads = 16;
+  d.intermediate = 4 * 1280;
+  d.attend_width = 512;
+  return BuildEncoderLayer("enc", d);
+}
+
+class LayerCostModelTest : public ::testing::Test {
+ protected:
+  LayerCostModelTest()
+      : cluster_(MakeTitanNode8(16 * kGiB)), model_(&cluster_) {}
+
+  ClusterSpec cluster_;
+  LayerCostModel model_;
+};
+
+TEST_F(LayerCostModelTest, SerialBaseline) {
+  LayerSpec layer = BertLayer();
+  auto exec = model_.Analyze(layer, HybridStrategy(), 0, 4);
+  ASSERT_TRUE(exec.ok());
+  EXPECT_EQ(exec->local_batch, 4);
+  EXPECT_TRUE(exec->fwd_comms.empty());
+  EXPECT_TRUE(exec->bwd_comms.empty());
+  EXPECT_DOUBLE_EQ(exec->bwd_compute_sec, 2 * exec->fwd_compute_sec);
+  EXPECT_EQ(exec->state_memory_bytes,
+            kAdamStateBytesPerParam * layer.param_count());
+  EXPECT_EQ(exec->activation_memory_bytes, 4 * layer.SavedActivationBytes(1));
+}
+
+TEST_F(LayerCostModelTest, DataParallelSplitsBatchKeepsStates) {
+  LayerSpec layer = BertLayer();
+  auto dp = model_.Analyze(layer, Make({{ParallelDim::kData, 8}}), 0, 32);
+  ASSERT_TRUE(dp.ok());
+  EXPECT_EQ(dp->local_batch, 4);
+  // Full model states on every device.
+  EXPECT_EQ(dp->state_memory_bytes,
+            kAdamStateBytesPerParam * layer.param_count());
+  // One overlappable gradient all-reduce in backward, nothing forward.
+  EXPECT_TRUE(dp->fwd_comms.empty());
+  ASSERT_EQ(dp->bwd_comms.size(), 1u);
+  EXPECT_EQ(dp->bwd_comms[0].kind, CollectiveKind::kAllReduce);
+  EXPECT_TRUE(dp->bwd_comms[0].overlappable);
+  EXPECT_EQ(dp->bwd_comms[0].bytes, 4 * layer.param_count());
+}
+
+TEST_F(LayerCostModelTest, ShardedDataParallelShardsStates) {
+  LayerSpec layer = BertLayer();
+  auto sdp =
+      model_.Analyze(layer, Make({{ParallelDim::kShardedData, 8}}), 0, 32);
+  ASSERT_TRUE(sdp.ok());
+  EXPECT_EQ(sdp->state_memory_bytes,
+            kAdamStateBytesPerParam * layer.param_count() / 8);
+  // Gathered weights are transient.
+  EXPECT_GT(sdp->transient_memory_bytes, 0);
+  // Forward all-gather plus backward all-gather + reduce-scatter.
+  ASSERT_EQ(sdp->fwd_comms.size(), 1u);
+  EXPECT_EQ(sdp->fwd_comms[0].kind, CollectiveKind::kAllGather);
+  ASSERT_EQ(sdp->bwd_comms.size(), 2u);
+}
+
+TEST_F(LayerCostModelTest, SdpTotalTrafficIs1Point5xDp) {
+  LayerSpec layer = BertLayer();
+  auto dp = model_.Analyze(layer, Make({{ParallelDim::kData, 8}}), 0, 32);
+  auto sdp =
+      model_.Analyze(layer, Make({{ParallelDim::kShardedData, 8}}), 0, 32);
+  double dp_time = 0, sdp_time = 0;
+  for (const CommTask& t : dp->bwd_comms) dp_time += t.Time();
+  for (const CommTask& t : sdp->fwd_comms) sdp_time += t.Time();
+  for (const CommTask& t : sdp->bwd_comms) sdp_time += t.Time();
+  EXPECT_NEAR(sdp_time / dp_time, 1.5, 0.01);
+}
+
+TEST_F(LayerCostModelTest, TensorParallelShardsComputeAndActivations) {
+  LayerSpec layer = BertLayer();
+  auto serial = model_.Analyze(layer, HybridStrategy(), 0, 4);
+  auto tp = model_.Analyze(layer, Make({{ParallelDim::kTensor, 4}}), 0, 4);
+  ASSERT_TRUE(tp.ok());
+  // TP does not split the batch.
+  EXPECT_EQ(tp->local_batch, 4);
+  // Compute shrinks close to 4x (replicated ops are small).
+  EXPECT_LT(tp->fwd_compute_sec, serial->fwd_compute_sec / 3.0);
+  EXPECT_GT(tp->fwd_compute_sec, serial->fwd_compute_sec / 4.0);
+  // Activation memory shrinks but not by the full 4x (replications).
+  EXPECT_LT(tp->activation_memory_bytes, serial->activation_memory_bytes);
+  EXPECT_GT(tp->activation_memory_bytes,
+            serial->activation_memory_bytes / 4);
+  // Blocking activation all-reduces both directions.
+  ASSERT_EQ(tp->fwd_comms.size(), 1u);
+  ASSERT_EQ(tp->bwd_comms.size(), 1u);
+  EXPECT_FALSE(tp->fwd_comms[0].overlappable);
+  EXPECT_EQ(tp->fwd_comms[0].bytes, layer.tp_fwd_allreduce_bytes() * 4);
+}
+
+TEST_F(LayerCostModelTest, HybridTpDpCombinesEffects) {
+  LayerSpec layer = BertLayer();
+  auto hybrid = model_.Analyze(
+      layer, Make({{ParallelDim::kTensor, 2}, {ParallelDim::kData, 4}}), 0,
+      32);
+  ASSERT_TRUE(hybrid.ok());
+  EXPECT_EQ(hybrid->local_batch, 8);
+  // States: TP halves the matmul weights, DP replicates.
+  const int64_t expected_params =
+      layer.tp_shardable_params() / 2 +
+      (layer.param_count() - layer.tp_shardable_params());
+  EXPECT_EQ(hybrid->state_memory_bytes,
+            kAdamStateBytesPerParam * expected_params);
+  // Two comm dims: TP all-reduce (fwd+bwd) and DP gradient all-reduce (bwd).
+  EXPECT_EQ(hybrid->fwd_comms.size(), 1u);
+  EXPECT_EQ(hybrid->bwd_comms.size(), 2u);
+}
+
+TEST_F(LayerCostModelTest, RejectsGroupOutsideCluster) {
+  LayerSpec layer = BertLayer();
+  EXPECT_FALSE(
+      model_.Analyze(layer, Make({{ParallelDim::kData, 8}}), 4, 8).ok());
+  EXPECT_FALSE(model_.Analyze(layer, HybridStrategy(), -1, 8).ok());
+  EXPECT_FALSE(model_.Analyze(layer, HybridStrategy(), 0, 0).ok());
+}
+
+TEST_F(LayerCostModelTest, InterIslandGroupUsesSlowerLink) {
+  ClusterSpec cluster16 = MakeTitanCluster16(16 * kGiB);
+  LayerCostModel model16(&cluster16);
+  LayerSpec layer = BertLayer();
+  // DP over all 16 devices spans the InfiniBand boundary.
+  auto wide = model16.Analyze(layer, Make({{ParallelDim::kData, 16}}), 0, 32);
+  ASSERT_TRUE(wide.ok());
+  EXPECT_EQ(wide->bwd_comms[0].link.cls, LinkClass::kInfiniBand100);
+  // DP over one island stays on PCIe.
+  auto narrow = model16.Analyze(layer, Make({{ParallelDim::kData, 8}}), 8, 32);
+  ASSERT_TRUE(narrow.ok());
+  EXPECT_EQ(narrow->bwd_comms[0].link.cls, LinkClass::kPcie3);
+}
+
+// --- Transformation costs (Slice-Gather) ------------------------------
+
+class TransformationTest : public ::testing::Test {
+ protected:
+  TransformationTest() : cluster_(MakeTitanNode8(16 * kGiB)) {}
+  ClusterSpec cluster_;
+};
+
+TEST_F(TransformationTest, IdenticalStrategiesAreFree) {
+  LayerSpec layer = BertLayer();
+  HybridStrategy s = Make({{ParallelDim::kTensor, 2}, {ParallelDim::kData, 2}});
+  auto cost = ComputeTransformationCost(layer, s, s, 0, 16, cluster_);
+  ASSERT_TRUE(cost.ok());
+  EXPECT_DOUBLE_EQ(cost->seconds, 0.0);
+}
+
+TEST_F(TransformationTest, PaperSpecialCaseTp4ToDp4IsFree) {
+  // Sec 4: "strategy A is 4-way TP and strategy B is 4-way DP" brings no
+  // communication cost.
+  LayerSpec layer = BertLayer();
+  auto cost = ComputeTransformationCost(
+      layer, Make({{ParallelDim::kTensor, 4}}),
+      Make({{ParallelDim::kData, 4}}), 0, 16, cluster_);
+  ASSERT_TRUE(cost.ok());
+  EXPECT_DOUBLE_EQ(cost->seconds, 0.0);
+  EXPECT_EQ(cost->gather_group, 1);
+}
+
+TEST_F(TransformationTest, Dp4ToTp4RequiresGather) {
+  // The reverse direction must gather the full batch on every device.
+  LayerSpec layer = BertLayer();
+  auto cost = ComputeTransformationCost(
+      layer, Make({{ParallelDim::kData, 4}}),
+      Make({{ParallelDim::kTensor, 4}}), 0, 16, cluster_);
+  ASSERT_TRUE(cost.ok());
+  EXPECT_GT(cost->seconds, 0.0);
+  EXPECT_EQ(cost->gather_group, 4);
+  EXPECT_EQ(cost->gathered_bytes, layer.output_bytes() * 16);
+}
+
+TEST_F(TransformationTest, PaperExampleDp2Tp2ToDp4) {
+  // Sec 3.3's example: 2-way DP x 2-way TP -> 4-way DP needs a
+  // transformation step (more batch splitting: slicing, no comm, but the
+  // model replica change is free in activation terms).
+  LayerSpec layer = BertLayer();
+  auto cost = ComputeTransformationCost(
+      layer, Make({{ParallelDim::kTensor, 2}, {ParallelDim::kData, 2}}),
+      Make({{ParallelDim::kData, 4}}), 0, 16, cluster_);
+  ASSERT_TRUE(cost.ok());
+  EXPECT_DOUBLE_EQ(cost->seconds, 0.0);  // batch split 2 -> 4: slice only
+  // And the reverse pays.
+  auto reverse = ComputeTransformationCost(
+      layer, Make({{ParallelDim::kData, 4}}),
+      Make({{ParallelDim::kTensor, 2}, {ParallelDim::kData, 2}}), 0, 16,
+      cluster_);
+  EXPECT_GT(reverse->seconds, 0.0);
+}
+
+TEST_F(TransformationTest, RejectsMismatchedGroupSizes) {
+  LayerSpec layer = BertLayer();
+  EXPECT_FALSE(ComputeTransformationCost(layer,
+                                         Make({{ParallelDim::kData, 4}}),
+                                         Make({{ParallelDim::kData, 8}}), 0,
+                                         16, cluster_)
+                   .ok());
+}
+
+// --- Pipeline partitioning --------------------------------------------
+
+TEST(PartitionTest, EqualWeightsSplitEvenly) {
+  auto sizes = PartitionByWeights(std::vector<double>(8, 1.0), 4);
+  ASSERT_TRUE(sizes.ok());
+  EXPECT_EQ(*sizes, (std::vector<int>{2, 2, 2, 2}));
+}
+
+TEST(PartitionTest, MinimizesMaxStageWeight) {
+  // Weights 5,1,1,1,5: the optimal 2-split is {5,1,1,1 | 5} or {5 | ...}
+  // with max 8; a naive half split gives max 7? prefix sums: best split is
+  // after index 2 or 3 -> max(7,6)=7 at j=3? Verify optimality generally:
+  auto sizes = PartitionByWeights({5, 1, 1, 1, 5}, 2);
+  ASSERT_TRUE(sizes.ok());
+  // Check against brute force.
+  double best = 1e18;
+  for (int cut = 1; cut < 5; ++cut) {
+    double left = 0, right = 0;
+    for (int i = 0; i < cut; ++i) left += std::vector<double>{5, 1, 1, 1, 5}[i];
+    for (int i = cut; i < 5; ++i)
+      right += std::vector<double>{5, 1, 1, 1, 5}[i];
+    best = std::min(best, std::max(left, right));
+  }
+  double left = 0, right = 0;
+  for (int i = 0; i < (*sizes)[0]; ++i)
+    left += std::vector<double>{5, 1, 1, 1, 5}[i];
+  for (int i = (*sizes)[0]; i < 5; ++i)
+    right += std::vector<double>{5, 1, 1, 1, 5}[i];
+  EXPECT_DOUBLE_EQ(std::max(left, right), best);
+}
+
+TEST(PartitionTest, AllStagesNonEmpty) {
+  ModelSpec bert = BuildModel(ModelId::kBertHuge32);
+  for (int stages : {1, 2, 4, 8}) {
+    for (PartitionPolicy policy :
+         {PartitionPolicy::kLayerCount, PartitionPolicy::kParams,
+          PartitionPolicy::kFlops, PartitionPolicy::kActivationMemory}) {
+      auto sizes = PartitionPipeline(bert, stages, policy);
+      ASSERT_TRUE(sizes.ok());
+      EXPECT_EQ(static_cast<int>(sizes->size()), stages);
+      int total = 0;
+      for (int s : *sizes) {
+        EXPECT_GE(s, 1);
+        total += s;
+      }
+      EXPECT_EQ(total, bert.num_layers());
+    }
+  }
+}
+
+TEST(PartitionTest, SwinMemoryPolicyFrontLoadsLess) {
+  // Swin's shallow layers carry more activation: a memory-balanced
+  // partition gives the first stage fewer layers than the layer-count one.
+  ModelSpec swin = BuildModel(ModelId::kSwinHuge32);
+  auto by_count = PartitionPipeline(swin, 4, PartitionPolicy::kLayerCount);
+  auto by_mem = PartitionPipeline(swin, 4, PartitionPolicy::kActivationMemory);
+  ASSERT_TRUE(by_count.ok());
+  ASSERT_TRUE(by_mem.ok());
+  EXPECT_LT((*by_mem)[0], (*by_count)[0]);
+}
+
+TEST(PartitionTest, RejectsTooManyStages) {
+  EXPECT_FALSE(PartitionByWeights({1.0, 1.0}, 3).ok());
+  EXPECT_FALSE(PartitionByWeights({1.0}, 0).ok());
+}
+
+// --- Plans --------------------------------------------------------------
+
+TEST(PlanTest, UniformPlanValidates) {
+  ModelSpec bert = BuildModel(ModelId::kBertHuge32);
+  auto sizes = PartitionPipeline(bert, 2, PartitionPolicy::kLayerCount);
+  auto plan = MakeUniformPlan(bert, 8, 2, *sizes,
+                              Make({{ParallelDim::kData, 4}}), 16, 4);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan->pp_degree(), 2);
+  EXPECT_EQ(plan->MicroBatchSize(), 4);
+  EXPECT_TRUE(plan->Validate(bert, 8).ok());
+}
+
+TEST(PlanTest, ValidateCatchesBadPlans) {
+  ModelSpec bert = BuildModel(ModelId::kBertHuge32);
+  auto sizes = PartitionPipeline(bert, 2, PartitionPolicy::kLayerCount);
+  auto plan = MakeUniformPlan(bert, 8, 2, *sizes,
+                              Make({{ParallelDim::kData, 4}}), 16, 4);
+  ASSERT_TRUE(plan.ok());
+  TrainingPlan bad = *plan;
+  bad.stages[1].first_layer += 1;  // gap in layer coverage
+  EXPECT_FALSE(bad.Validate(bert, 8).ok());
+
+  TrainingPlan bad2 = *plan;
+  bad2.stages.pop_back();
+  EXPECT_FALSE(bad2.Validate(bert, 8).ok());
+
+  TrainingPlan bad3 = *plan;
+  bad3.num_micro_batches = 100;  // more micro-batches than samples
+  bad3.global_batch = 8;
+  EXPECT_FALSE(bad3.Validate(bert, 8).ok());
+}
+
+TEST(PlanTest, MakeUniformPlanRejectsMismatches) {
+  ModelSpec bert = BuildModel(ModelId::kBertHuge32);
+  auto sizes = PartitionPipeline(bert, 2, PartitionPolicy::kLayerCount);
+  // Strategy spans 8 but stages have 4 devices.
+  EXPECT_FALSE(MakeUniformPlan(bert, 8, 2, *sizes,
+                               Make({{ParallelDim::kData, 8}}), 16, 4)
+                   .ok());
+  // PP degree does not divide devices.
+  EXPECT_FALSE(MakeUniformPlan(bert, 8, 3, {10, 10, 14},
+                               Make({{ParallelDim::kData, 2}}), 16, 4)
+                   .ok());
+}
+
+TEST(PlanTest, ToStringCompressesRuns) {
+  ModelSpec bert = BuildModel(ModelId::kBertHuge32);
+  auto sizes = PartitionPipeline(bert, 1, PartitionPolicy::kLayerCount);
+  auto plan = MakeUniformPlan(bert, 8, 1, *sizes,
+                              Make({{ParallelDim::kShardedData, 8}}), 8, 1);
+  ASSERT_TRUE(plan.ok());
+  std::string s = plan->ToString();
+  EXPECT_NE(s.find("sdp8 x34"), std::string::npos) << s;
+}
+
+}  // namespace
+}  // namespace galvatron

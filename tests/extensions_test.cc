@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include "api/galvatron.h"
+#include "parallel/layer_cost_model.h"
+#include "parallel/pipeline_partition.h"
+#include "util/math_util.h"
+
+namespace galvatron {
+namespace {
+
+HybridStrategy Make(std::vector<ParallelComponent> levels) {
+  auto r = HybridStrategy::Create(std::move(levels));
+  EXPECT_TRUE(r.ok()) << r.status();
+  return *std::move(r);
+}
+
+// --- Activation recomputation (checkpointing) ---------------------------
+
+class RecomputeTest : public ::testing::Test {
+ protected:
+  RecomputeTest()
+      : cluster_(MakeTitanNode8(8 * kGB)),
+        bert_(BuildModel(ModelId::kBertHuge32)),
+        cost_model_(&cluster_) {}
+
+  ClusterSpec cluster_;
+  ModelSpec bert_;
+  LayerCostModel cost_model_;
+};
+
+TEST_F(RecomputeTest, TradesMemoryForCompute) {
+  const LayerSpec& layer = bert_.layer(1);
+  HybridStrategy dp = Make({{ParallelDim::kData, 8}});
+  auto plain = cost_model_.Analyze(layer, dp, 0, 32, /*recompute=*/false);
+  auto ckpt = cost_model_.Analyze(layer, dp, 0, 32, /*recompute=*/true);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(ckpt.ok());
+  // Resident activation collapses to the boundary input...
+  EXPECT_LT(ckpt->activation_memory_bytes,
+            plain->activation_memory_bytes / 10);
+  // ...the full internals become transient...
+  EXPECT_EQ(ckpt->recompute_transient_bytes,
+            plain->activation_memory_bytes);
+  // ...and backward pays an extra forward (3x instead of 2x).
+  EXPECT_NEAR(ckpt->bwd_compute_sec / ckpt->fwd_compute_sec, 3.0, 1e-9);
+  EXPECT_NEAR(plain->bwd_compute_sec / plain->fwd_compute_sec, 2.0, 1e-9);
+}
+
+TEST_F(RecomputeTest, RepeatsTpForwardAllReduceInBackward) {
+  const LayerSpec& layer = bert_.layer(1);
+  HybridStrategy tp = Make({{ParallelDim::kTensor, 8}});
+  auto plain = cost_model_.Analyze(layer, tp, 0, 8, false);
+  auto ckpt = cost_model_.Analyze(layer, tp, 0, 8, true);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(ckpt.ok());
+  ASSERT_EQ(plain->bwd_comms.size(), 1u);
+  ASSERT_EQ(ckpt->bwd_comms.size(), 1u);
+  EXPECT_EQ(ckpt->bwd_comms[0].bytes,
+            plain->bwd_comms[0].bytes +
+                layer.tp_fwd_allreduce_bytes() * ckpt->local_batch);
+}
+
+TEST_F(RecomputeTest, SearchUsesCheckpointingToFitLargerBatches) {
+  ModelSpec big = BuildModel(ModelId::kBertHuge48);
+  OptimizerOptions plain_options;
+  OptimizerOptions ckpt_options;
+  ckpt_options.allow_recompute = true;
+  auto plain = Optimizer(&cluster_, plain_options).Optimize(big);
+  auto ckpt = Optimizer(&cluster_, ckpt_options).Optimize(big);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(ckpt.ok());
+  EXPECT_GT(ckpt->estimated.throughput_samples_per_sec,
+            plain->estimated.throughput_samples_per_sec);
+  // And the winning plan actually checkpoints something.
+  bool any_ckpt = false;
+  for (const StagePlan& stage : ckpt->plan.stages) {
+    for (int i = 0; i < stage.num_layers; ++i) {
+      any_ckpt |= stage.RecomputeAt(i);
+    }
+  }
+  EXPECT_TRUE(any_ckpt);
+}
+
+TEST_F(RecomputeTest, SimulatorAgreesWithEstimatorOnCheckpointedPlans) {
+  OptimizerOptions options;
+  options.allow_recompute = true;
+  auto result = Optimizer(&cluster_, options).Optimize(bert_);
+  ASSERT_TRUE(result.ok());
+  auto metrics = Galvatron::Measure(bert_, result->plan, cluster_);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_FALSE(metrics->oom);
+  EXPECT_LT(RelativeError(result->estimated.iteration_seconds,
+                          metrics->iteration_seconds),
+            0.12);
+}
+
+TEST_F(RecomputeTest, PlanToStringMarksCheckpointedLayers) {
+  OptimizerOptions options;
+  options.allow_recompute = true;
+  auto result = Optimizer(&cluster_, options).Optimize(
+      BuildModel(ModelId::kBertHuge48));
+  ASSERT_TRUE(result.ok());
+  EXPECT_NE(result->plan.ToString().find("+ckpt"), std::string::npos);
+}
+
+TEST_F(RecomputeTest, ValidateRejectsWrongFlagCount) {
+  auto sizes = PartitionPipeline(bert_, 1, PartitionPolicy::kFlops);
+  auto plan = MakeUniformPlan(bert_, 8, 1, *sizes,
+                              Make({{ParallelDim::kData, 8}}), 8, 1);
+  ASSERT_TRUE(plan.ok());
+  plan->stages[0].recompute.assign(3, 1);  // wrong length
+  EXPECT_FALSE(plan->Validate(bert_, 8).ok());
+}
+
+// --- 1F1B pipeline schedule ----------------------------------------------
+
+class ScheduleTest : public ::testing::Test {
+ protected:
+  ScheduleTest()
+      : roomy_(MakeTitanNode8(100 * kGB)),
+        vit_(BuildModel(ModelId::kViTHuge32)) {}
+
+  TrainingPlan PipelinedPlan(PipelineSchedule schedule, int micro) {
+    auto sizes = PartitionPipeline(vit_, 4, PartitionPolicy::kFlops);
+    auto plan = MakeUniformPlan(vit_, 8, 4, *sizes,
+                                Make({{ParallelDim::kData, 2}}), 64, micro);
+    EXPECT_TRUE(plan.ok());
+    plan->schedule = schedule;
+    return *std::move(plan);
+  }
+
+  ClusterSpec roomy_;
+  ModelSpec vit_;
+};
+
+TEST_F(ScheduleTest, InFlightCaps) {
+  TrainingPlan plan = PipelinedPlan(PipelineSchedule::k1F1B, 16);
+  // Stage 0 of a 4-deep pipeline holds 4 micro-batches, the last stage 1.
+  EXPECT_EQ(plan.InFlightMicroBatches(0), 4);
+  EXPECT_EQ(plan.InFlightMicroBatches(3), 1);
+  plan.schedule = PipelineSchedule::kGPipe;
+  EXPECT_EQ(plan.InFlightMicroBatches(0), 16);
+}
+
+TEST_F(ScheduleTest, OneFOneBCutsPeakMemory) {
+  Simulator sim(&roomy_);
+  auto gpipe = sim.Run(vit_, PipelinedPlan(PipelineSchedule::kGPipe, 16));
+  auto f1b = sim.Run(vit_, PipelinedPlan(PipelineSchedule::k1F1B, 16));
+  ASSERT_TRUE(gpipe.ok());
+  ASSERT_TRUE(f1b.ok());
+  EXPECT_LT(f1b->max_peak_memory_bytes, gpipe->max_peak_memory_bytes / 15 * 10);
+  // Iteration time stays in the same ballpark (same bubble fraction).
+  EXPECT_LT(f1b->iteration_seconds, 1.25 * gpipe->iteration_seconds);
+}
+
+TEST_F(ScheduleTest, EstimatorTracksSimulatedMemoryUnder1F1B) {
+  CostEstimator estimator(&roomy_);
+  Simulator sim(&roomy_);
+  TrainingPlan plan = PipelinedPlan(PipelineSchedule::k1F1B, 16);
+  auto est = estimator.EstimatePlan(vit_, plan);
+  auto metrics = sim.Run(vit_, plan);
+  ASSERT_TRUE(est.ok()) << est.status();
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_LT(RelativeError(
+                static_cast<double>(est->peak_memory_bytes),
+                static_cast<double>(metrics->max_peak_memory_bytes)),
+            0.15);
+}
+
+TEST_F(ScheduleTest, OneFOneBEnablesDeeperPipelinesUnderTightBudgets) {
+  // With a tight budget, the 1F1B optimizer sustains larger batches on
+  // pipelined plans than the GPipe optimizer.
+  ClusterSpec tight = MakeTitanNode8(8 * kGB);
+  OptimizerOptions gpipe_options;
+  gpipe_options.pp_degrees = {4};
+  OptimizerOptions f1b_options = gpipe_options;
+  f1b_options.schedule = PipelineSchedule::k1F1B;
+  auto gpipe = Optimizer(&tight, gpipe_options).Optimize(vit_);
+  auto f1b = Optimizer(&tight, f1b_options).Optimize(vit_);
+  ASSERT_TRUE(gpipe.ok());
+  ASSERT_TRUE(f1b.ok());
+  EXPECT_GE(f1b->estimated.throughput_samples_per_sec,
+            gpipe->estimated.throughput_samples_per_sec);
+}
+
+TEST_F(ScheduleTest, ScheduleSurvivesIntoMeasurement) {
+  OptimizerOptions options;
+  options.schedule = PipelineSchedule::k1F1B;
+  ClusterSpec cluster = MakeTitanNode8(16 * kGB);
+  auto result = Galvatron::PlanAndMeasure(vit_, cluster, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->plan.schedule, PipelineSchedule::k1F1B);
+  EXPECT_FALSE(result->measured.oom);
+}
+
+TEST_F(ScheduleTest, ScheduleNames) {
+  EXPECT_EQ(PipelineScheduleToString(PipelineSchedule::kGPipe), "gpipe");
+  EXPECT_EQ(PipelineScheduleToString(PipelineSchedule::k1F1B), "1f1b");
+}
+
+}  // namespace
+}  // namespace galvatron

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "api/galvatron.h"
+#include "parallel/pipeline_partition.h"
+#include "util/math_util.h"
+
+namespace galvatron {
+namespace {
+
+TEST(HeterogeneousClusterTest, MemoryRangeHelpers) {
+  ClusterSpec cluster =
+      MakeTitanCluster16(16 * kGB).WithDeviceMemoryRange(8, 8, 8 * kGB);
+  EXPECT_TRUE(MakeTitanNode8(8 * kGB).HasUniformMemory());
+  EXPECT_FALSE(cluster.HasUniformMemory());
+  EXPECT_EQ(cluster.MinMemoryInRange(0, 8), 16 * kGB);
+  EXPECT_EQ(cluster.MinMemoryInRange(8, 8), 8 * kGB);
+  EXPECT_EQ(cluster.MinMemoryInRange(0, 16), 8 * kGB);
+  EXPECT_EQ(cluster.MinMemoryInRange(7, 2), 8 * kGB);
+}
+
+TEST(HeterogeneousClusterTest, StagesAdaptToTheirIslandBudgets) {
+  // Two islands: 16 GB and 8 GB. A 2-stage pipeline puts one stage on
+  // each; the tight island's stage must stay under 8 GB while the roomy
+  // stage may exceed it.
+  ClusterSpec cluster =
+      MakeTitanCluster16(16 * kGB).WithDeviceMemoryRange(8, 8, 8 * kGB);
+  ModelSpec model = BuildModel(ModelId::kBertHuge32);
+  OptimizerOptions options;
+  options.pp_degrees = {2};
+  auto result = Optimizer(&cluster, options).Optimize(model);
+  ASSERT_TRUE(result.ok()) << result.status();
+
+  CostEstimator estimator(&cluster);
+  auto cost = estimator.EstimatePlan(model, result->plan);
+  ASSERT_TRUE(cost.ok());
+  ASSERT_EQ(cost->stages.size(), 2u);
+  EXPECT_LE(cost->stages[1].peak_memory_bytes, 8 * kGB);
+
+  auto metrics = Galvatron::Measure(model, result->plan, cluster);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_FALSE(metrics->oom);
+}
+
+TEST(HeterogeneousClusterTest, ExtraMemoryOnOneIslandHelps) {
+  // Upgrading one island's memory can only improve the best plan.
+  ModelSpec model = BuildModel(ModelId::kViTHuge48);
+  ClusterSpec uniform = MakeTitanCluster16(8 * kGB);
+  ClusterSpec upgraded = uniform.WithDeviceMemoryRange(0, 8, 16 * kGB);
+  OptimizerOptions options;
+  options.pp_degrees = {2};
+  auto base = Optimizer(&uniform, options).Optimize(model);
+  auto better = Optimizer(&upgraded, options).Optimize(model);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(better.ok());
+  EXPECT_GE(better->estimated.throughput_samples_per_sec,
+            base->estimated.throughput_samples_per_sec - 1e-9);
+}
+
+TEST(HeterogeneousClusterTest, SimulatorFlagsTightIslandOverrun) {
+  // A plan sized for 16 GB everywhere must trip the OOM check when the
+  // second island only has 8 GB.
+  ModelSpec model = BuildModel(ModelId::kBertHuge32);
+  ClusterSpec roomy = MakeTitanCluster16(16 * kGB);
+  OptimizerOptions options;
+  options.pp_degrees = {2};
+  auto result = Optimizer(&roomy, options).Optimize(model);
+  ASSERT_TRUE(result.ok());
+  auto roomy_metrics = Galvatron::Measure(model, result->plan, roomy);
+  ASSERT_TRUE(roomy_metrics.ok());
+  ASSERT_FALSE(roomy_metrics->oom);
+  // Only flags OOM if the plan actually uses more than 8 GB on stage 1.
+  if (roomy_metrics->stage_peak_memory_bytes[1] > 8 * kGB) {
+    ClusterSpec tight = roomy.WithDeviceMemoryRange(8, 8, 8 * kGB);
+    auto tight_metrics = Galvatron::Measure(model, result->plan, tight);
+    ASSERT_TRUE(tight_metrics.ok());
+    EXPECT_TRUE(tight_metrics->oom);
+  }
+}
+
+TEST(CapacityPartitionTest, RoomierStagesGetMoreWeight) {
+  // Equal layer weights, capacities 2:1 -> first stage takes ~2/3.
+  auto sizes = PartitionByWeightsWithCapacities(
+      std::vector<double>(12, 1.0), {2.0, 1.0});
+  ASSERT_TRUE(sizes.ok());
+  EXPECT_EQ((*sizes)[0], 8);
+  EXPECT_EQ((*sizes)[1], 4);
+}
+
+TEST(CapacityPartitionTest, UnitCapacitiesMatchUniformPartition) {
+  std::vector<double> weights = {3, 1, 4, 1, 5, 9, 2, 6};
+  auto uniform = PartitionByWeights(weights, 4);
+  auto unit = PartitionByWeightsWithCapacities(weights, {1, 1, 1, 1});
+  ASSERT_TRUE(uniform.ok());
+  ASSERT_TRUE(unit.ok());
+  EXPECT_EQ(*uniform, *unit);
+}
+
+TEST(CapacityPartitionTest, RejectsNonPositiveCapacity) {
+  EXPECT_FALSE(
+      PartitionByWeightsWithCapacities({1.0, 1.0}, {1.0, 0.0}).ok());
+}
+
+TEST(CapacityPartitionTest, OptimizerShiftsLayersTowardRoomyIsland) {
+  ClusterSpec hetero =
+      MakeTitanCluster16(8 * kGB).WithDeviceMemoryRange(0, 8, 16 * kGB);
+  ModelSpec model = BuildModel(ModelId::kBertHuge32);
+  OptimizerOptions options;
+  options.pp_degrees = {2};
+  auto result = Optimizer(&hetero, options).Optimize(model);
+  ASSERT_TRUE(result.ok());
+  // The chosen plan either uses the capacity-aware partition (stage 0
+  // bigger) or the uniform one; it must never give the tight island more
+  // layers than the roomy one.
+  ASSERT_EQ(result->plan.stages.size(), 2u);
+  EXPECT_GE(result->plan.stages[0].num_layers,
+            result->plan.stages[1].num_layers);
+}
+
+}  // namespace
+}  // namespace galvatron

@@ -1,0 +1,102 @@
+/// End-to-end integration matrix: for every zoo model, the full Galvatron
+/// search must (a) produce a valid plan, (b) never lose to any baseline
+/// under the shared cost model, and (c) survive simulation within budget —
+/// the Table-1 property as a regression test.
+
+#include <gtest/gtest.h>
+
+#include "api/galvatron.h"
+#include "util/math_util.h"
+
+namespace galvatron {
+namespace {
+
+struct MatrixCase {
+  ModelId model;
+  int64_t budget_gb;
+};
+
+class Table1Matrix : public ::testing::TestWithParam<MatrixCase> {};
+
+TEST_P(Table1Matrix, GalvatronDominatesAndSimulates) {
+  const MatrixCase& c = GetParam();
+  ModelSpec model = BuildModel(c.model);
+  ClusterSpec cluster = MakeTitanNode8(c.budget_gb * kGB);
+
+  auto galvatron = RunBaseline(BaselineKind::kGalvatron, model, cluster);
+  if (!galvatron.ok()) {
+    // If the full search cannot fit, no baseline may fit either (the
+    // search space is a superset).
+    for (BaselineKind kind : AllBaselineKinds()) {
+      auto baseline = RunBaseline(kind, model, cluster);
+      EXPECT_FALSE(baseline.ok()) << BaselineKindToString(kind);
+    }
+    return;
+  }
+
+  // (a) valid plan
+  EXPECT_TRUE(galvatron->plan.Validate(model, 8).ok());
+
+  // (b) dominates every baseline on estimated throughput
+  for (BaselineKind kind : AllBaselineKinds()) {
+    if (kind == BaselineKind::kGalvatron) continue;
+    auto baseline = RunBaseline(kind, model, cluster);
+    if (!baseline.ok()) continue;
+    EXPECT_GE(galvatron->estimated.throughput_samples_per_sec,
+              baseline->estimated.throughput_samples_per_sec - 1e-9)
+        << BaselineKindToString(kind);
+  }
+
+  // (c) simulates without OOM and near the estimate
+  auto metrics = Galvatron::Measure(model, galvatron->plan, cluster);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_FALSE(metrics->oom)
+      << "peak " << metrics->max_peak_memory_bytes;
+  EXPECT_LT(RelativeError(galvatron->estimated.iteration_seconds,
+                          metrics->iteration_seconds),
+            0.15);
+}
+
+std::string CaseName(const ::testing::TestParamInfo<MatrixCase>& info) {
+  std::string name(ModelIdToString(info.param.model));
+  for (char& ch : name) {
+    if (ch == '-') ch = '_';
+  }
+  return name + "_" + std::to_string(info.param.budget_gb) + "G";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EightGpuGrid, Table1Matrix,
+    ::testing::Values(MatrixCase{ModelId::kBertHuge32, 8},
+                      MatrixCase{ModelId::kBertHuge32, 20},
+                      MatrixCase{ModelId::kBertHuge48, 12},
+                      MatrixCase{ModelId::kViTHuge32, 8},
+                      MatrixCase{ModelId::kViTHuge32, 16},
+                      MatrixCase{ModelId::kViTHuge48, 12},
+                      MatrixCase{ModelId::kT5Large32, 8},
+                      MatrixCase{ModelId::kT5Large32, 20},
+                      MatrixCase{ModelId::kT5Large48, 16},
+                      MatrixCase{ModelId::kSwinHuge32, 8},
+                      MatrixCase{ModelId::kSwinHuge48, 16},
+                      MatrixCase{ModelId::kBertHuge48, 4}),
+    CaseName);
+
+TEST(ScalabilityIntegration, SixteenGpusBeatEight) {
+  // Table 3's scaling property: 16 GPUs improve on 8 for every model that
+  // fits both.
+  for (ModelId id : {ModelId::kBertHuge32, ModelId::kViTHuge32}) {
+    ModelSpec model = BuildModel(id);
+    ClusterSpec eight = MakeTitanNode8(16 * kGB);
+    ClusterSpec sixteen = MakeTitanCluster16(16 * kGB);
+    auto small = RunBaseline(BaselineKind::kGalvatron, model, eight);
+    auto large = RunBaseline(BaselineKind::kGalvatron, model, sixteen);
+    ASSERT_TRUE(small.ok());
+    ASSERT_TRUE(large.ok());
+    EXPECT_GT(large->estimated.throughput_samples_per_sec,
+              1.5 * small->estimated.throughput_samples_per_sec)
+        << ModelIdToString(id);
+  }
+}
+
+}  // namespace
+}  // namespace galvatron

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "api/galvatron.h"
+#include <algorithm>
+
+#include "api/plan_io.h"
+#include "api/plan_render.h"
+#include "util/math_util.h"
+
+namespace galvatron {
+namespace {
+
+TEST(StrategyParseTest, RoundTripsAllCandidates) {
+  for (int g : {1, 2, 4, 8, 16, 64}) {
+    auto candidates = EnumerateSingleLayerStrategies(g);
+    ASSERT_TRUE(candidates.ok());
+    for (const HybridStrategy& s : *candidates) {
+      auto parsed = HybridStrategy::Parse(s.ToString());
+      ASSERT_TRUE(parsed.ok()) << s.ToString() << ": " << parsed.status();
+      EXPECT_EQ(*parsed, s);
+    }
+  }
+}
+
+TEST(StrategyParseTest, RejectsGarbage) {
+  EXPECT_FALSE(HybridStrategy::Parse("").ok());
+  EXPECT_FALSE(HybridStrategy::Parse("xp4").ok());
+  EXPECT_FALSE(HybridStrategy::Parse("dp").ok());
+  EXPECT_FALSE(HybridStrategy::Parse("dp4x").ok());
+  EXPECT_FALSE(HybridStrategy::Parse("dp2-dp2").ok());  // repeated dim
+  EXPECT_FALSE(HybridStrategy::Parse("pp4").ok());      // PP not in trees
+  EXPECT_FALSE(HybridStrategy::Parse("dp1").ok());      // degree < 2
+}
+
+class PlanIoTest : public ::testing::Test {
+ protected:
+  PlanIoTest()
+      : cluster_(MakeTitanNode8(16 * kGB)),
+        model_(BuildModel(ModelId::kBertHuge32)) {}
+
+  ClusterSpec cluster_;
+  ModelSpec model_;
+};
+
+TEST_F(PlanIoTest, SearchedPlanRoundTrips) {
+  OptimizerOptions options;
+  options.allow_recompute = true;
+  options.schedule = PipelineSchedule::k1F1B;
+  auto result = Optimizer(&cluster_, options).Optimize(model_);
+  ASSERT_TRUE(result.ok());
+
+  const std::string json = PlanToJson(result->plan);
+  auto parsed = ParsePlanJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+
+  EXPECT_EQ(parsed->model_name, result->plan.model_name);
+  EXPECT_EQ(parsed->global_batch, result->plan.global_batch);
+  EXPECT_EQ(parsed->num_micro_batches, result->plan.num_micro_batches);
+  EXPECT_EQ(parsed->schedule, result->plan.schedule);
+  ASSERT_EQ(parsed->stages.size(), result->plan.stages.size());
+  for (size_t s = 0; s < parsed->stages.size(); ++s) {
+    EXPECT_EQ(parsed->stages[s].layer_strategies,
+              result->plan.stages[s].layer_strategies);
+    for (int i = 0; i < parsed->stages[s].num_layers; ++i) {
+      EXPECT_EQ(parsed->stages[s].RecomputeAt(i),
+                result->plan.stages[s].RecomputeAt(i));
+    }
+  }
+  // The round-tripped plan still validates and simulates identically.
+  EXPECT_TRUE(parsed->Validate(model_, 8).ok());
+  auto original = Galvatron::Measure(model_, result->plan, cluster_);
+  auto reloaded = Galvatron::Measure(model_, *parsed, cluster_);
+  ASSERT_TRUE(original.ok());
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_DOUBLE_EQ(original->iteration_seconds, reloaded->iteration_seconds);
+}
+
+TEST_F(PlanIoTest, ParserRejectsMalformedInput) {
+  EXPECT_FALSE(ParsePlanJson("").ok());
+  EXPECT_FALSE(ParsePlanJson("[]").ok());
+  EXPECT_FALSE(ParsePlanJson("{").ok());
+  EXPECT_FALSE(ParsePlanJson("{\"model\": \"x\"}").ok());  // missing fields
+  EXPECT_FALSE(
+      ParsePlanJson(
+          "{\"model\":\"m\",\"global_batch\":8,\"micro_batches\":1,"
+          "\"schedule\":\"warp\",\"stages\":[]}")
+          .ok());  // bad schedule
+  EXPECT_FALSE(
+      ParsePlanJson(
+          "{\"model\":\"m\",\"global_batch\":8,\"micro_batches\":1,"
+          "\"schedule\":\"gpipe\",\"stages\":[{\"first_device\":0,"
+          "\"num_devices\":8,\"first_layer\":0,\"num_layers\":2,"
+          "\"layers\":[{\"strategy\":\"dp8\",\"recompute\":false}]}]}")
+          .ok());  // layer count mismatch
+}
+
+TEST_F(PlanIoTest, ParserHandlesWhitespaceAndEscapes) {
+  auto plan = ParsePlanJson(
+      "  {\n\"model\": \"my \\\"model\\\"\", \"global_batch\": 8,\n"
+      "\"micro_batches\": 1, \"schedule\": \"gpipe\", \"stages\": [\n"
+      "{\"first_device\":0,\"num_devices\":8,\"first_layer\":0,"
+      "\"num_layers\":1,\"layers\":[{\"strategy\":\"sdp8\","
+      "\"recompute\":true}]}]}  ");
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_EQ(plan->model_name, "my \"model\"");
+  EXPECT_TRUE(plan->stages[0].RecomputeAt(0));
+}
+
+TEST_F(PlanIoTest, TraceExportIsWellFormedJson) {
+  auto result = Galvatron::Plan(model_, cluster_);
+  ASSERT_TRUE(result.ok());
+  Simulator simulator(&cluster_);
+  std::string trace;
+  auto metrics = simulator.RunWithTrace(model_, result->plan, &trace);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"ph\": \"X\""), std::string::npos);
+  // Event count is in the ballpark of the task count (multi-stream tasks
+  // emit one slice per stream).
+  size_t events = 0;
+  for (size_t pos = trace.find("\"name\""); pos != std::string::npos;
+       pos = trace.find("\"name\"", pos + 1)) {
+    ++events;
+  }
+  EXPECT_GE(events, static_cast<size_t>(metrics->num_tasks) / 2);
+}
+
+TEST_F(PlanIoTest, DiagramShowsRunsAndBars) {
+  auto result = Galvatron::Plan(model_, cluster_);
+  ASSERT_TRUE(result.ok());
+  const std::string diagram = RenderPlanDiagram(model_, result->plan);
+  // Header, a stage line, bars for parameters and activations.
+  EXPECT_NE(diagram.find("plan diagram for BERT-Huge-32"), std::string::npos);
+  EXPECT_NE(diagram.find("stage0[gpu0-"), std::string::npos);
+  EXPECT_NE(diagram.find(" P|"), std::string::npos);
+  EXPECT_NE(diagram.find(" A|"), std::string::npos);
+  EXPECT_NE(diagram.find("Encoder"), std::string::npos);
+  EXPECT_NE(diagram.find("Embedding"), std::string::npos);
+  // Runs compress: far fewer rows than layers.
+  EXPECT_LT(std::count(diagram.begin(), diagram.end(), '\n'),
+            model_.num_layers());
+}
+
+TEST_F(PlanIoTest, DiagramSeparatesDifferentLayerKinds) {
+  // Swin's stages have different widths: the diagram must not merge rows
+  // across patch-merge boundaries even under one strategy.
+  ModelSpec swin = BuildModel(ModelId::kSwinHuge32);
+  auto result = Galvatron::Plan(swin, cluster_);
+  ASSERT_TRUE(result.ok());
+  const std::string diagram = RenderPlanDiagram(swin, result->plan);
+  EXPECT_NE(diagram.find("PatchMerge"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace galvatron

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "estimator/cost_estimator.h"
+#include "estimator/profiler.h"
+#include "ir/model_zoo.h"
+#include "util/math_util.h"
+
+namespace galvatron {
+namespace {
+
+class ProfilerTest : public ::testing::Test {
+ protected:
+  ProfilerTest()
+      : cluster_(MakeTitanNode8(16 * kGB)),
+        bert_(BuildModel(ModelId::kBertHuge32)),
+        profiler_(&cluster_) {}
+
+  ClusterSpec cluster_;
+  ModelSpec bert_;
+  Profiler profiler_;
+};
+
+TEST_F(ProfilerTest, MeasuresAffineForwardTime) {
+  const LayerSpec& layer = bert_.layer(1);
+  auto profile = profiler_.ProfileLayer(layer);
+  ASSERT_TRUE(profile.ok()) << profile.status();
+  EXPECT_GT(profile->fwd_sec_per_sample, 0);
+  EXPECT_GE(profile->fwd_base_sec, 0);
+  EXPECT_GT(profile->samples_measured, 0);
+  // Prediction matches the analytic model within the jitter budget (6%).
+  LayerCostModel analytic(&cluster_);
+  for (int batch : {1, 4, 16}) {
+    auto exec = analytic.Analyze(layer, HybridStrategy(), 0, batch);
+    ASSERT_TRUE(exec.ok());
+    EXPECT_LT(RelativeError(profile->FwdSeconds(batch),
+                            exec->fwd_compute_sec),
+              0.06)
+        << "batch " << batch;
+  }
+}
+
+TEST_F(ProfilerTest, ProfileTableDeduplicatesRepeatedBlocks) {
+  auto table = profiler_.ProfileModel(bert_);
+  ASSERT_TRUE(table.ok());
+  // BERT: embedding + encoder + head = 3 distinct shapes for 34 layers.
+  EXPECT_EQ(table->size(), 3u);
+}
+
+TEST_F(ProfilerTest, SwinHasOneProfilePerStageShape) {
+  auto table = profiler_.ProfileModel(BuildModel(ModelId::kSwinHuge32));
+  ASSERT_TRUE(table.ok());
+  // patch-embed, 4 encoder widths, 3 merges (distinct dims), head.
+  EXPECT_EQ(table->size(), 9u);
+}
+
+TEST_F(ProfilerTest, EstimatorConsumesProfiles) {
+  auto table = profiler_.ProfileModel(bert_);
+  ASSERT_TRUE(table.ok());
+
+  CostEstimator analytic(&cluster_);
+  CostEstimator profiled(&cluster_);
+  profiled.set_profile(&*table);
+
+  auto strategy = HybridStrategy::Create({{ParallelDim::kData, 8}});
+  auto a = analytic.EstimateLayer(bert_.layer(1), *strategy, 0, 32, 1);
+  auto p = profiled.EstimateLayer(bert_.layer(1), *strategy, 0, 32, 1);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(p.ok());
+  // Profile-driven and analytic estimates agree within jitter, and are not
+  // bit-identical (the profile really is measured).
+  EXPECT_LT(RelativeError(p->fwd_mb_sec, a->fwd_mb_sec), 0.06);
+  EXPECT_NE(p->fwd_mb_sec, a->fwd_mb_sec);
+}
+
+TEST_F(ProfilerTest, ProfiledTpScalingFollowsShardableFraction) {
+  auto table = profiler_.ProfileModel(bert_);
+  ASSERT_TRUE(table.ok());
+  CostEstimator profiled(&cluster_);
+  profiled.set_profile(&*table);
+
+  auto serial = profiled.EstimateLayer(bert_.layer(1), HybridStrategy(), 0,
+                                       8, 1);
+  auto tp8 = profiled.EstimateLayer(
+      bert_.layer(1), *HybridStrategy::Create({{ParallelDim::kTensor, 8}}),
+      0, 8, 1);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(tp8.ok());
+  // TP-8 compute lands between 1/8 of serial (perfect) and serial.
+  const double serial_compute = serial->bwd_compute_mb_sec;
+  const double tp_compute = tp8->bwd_compute_mb_sec;
+  EXPECT_GT(tp_compute, serial_compute / 8);
+  EXPECT_LT(tp_compute, serial_compute / 4);
+}
+
+TEST_F(ProfilerTest, RejectsBadProbeBatches) {
+  ProfilerOptions options;
+  options.probe_batches = {0, 4};
+  Profiler bad(&cluster_, options);
+  EXPECT_FALSE(bad.ProfileLayer(bert_.layer(1)).ok());
+}
+
+}  // namespace
+}  // namespace galvatron

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "api/galvatron.h"
+#include "runtime/training_session.h"
+#include "util/math_util.h"
+#include "workload/workload.h"
+
+namespace galvatron {
+namespace {
+
+TEST(WorkloadTest, PresetsAreSane) {
+  WorkloadSpec wiki = MakeWikipediaWorkload();
+  EXPECT_EQ(wiki.policy, LengthPolicy::kFixed);
+  EXPECT_EQ(wiki.max_seq_len, 512);
+  WorkloadSpec imagenet = MakeImageNetWorkload();
+  EXPECT_GT(imagenet.load_sec_per_sample, wiki.load_sec_per_sample);
+}
+
+TEST(WorkloadTest, FixedPolicyNeverVariesWork) {
+  auto iterations = SampleIterations(MakeWikipediaWorkload(), 32, 50, 1);
+  ASSERT_EQ(iterations.size(), 50u);
+  for (const IterationWorkload& it : iterations) {
+    EXPECT_DOUBLE_EQ(it.work_scale, 1.0);
+    EXPECT_DOUBLE_EQ(it.load_sec, 32 * 20e-6);
+  }
+}
+
+TEST(WorkloadTest, VariableLengthsScaleBelowOne) {
+  WorkloadSpec spec = MakeVariableLengthTextWorkload(512, 256, 64);
+  auto iterations = SampleIterations(spec, 16, 200, 7);
+  double mean = 0;
+  for (const IterationWorkload& it : iterations) {
+    EXPECT_GT(it.work_scale, 0.0);
+    EXPECT_LE(it.work_scale, 1.0);
+    mean += it.work_scale;
+  }
+  mean /= 200;
+  // Pad-to-batch-max with mean 256/512: scale well below 1 but above the
+  // raw mean ratio (max of 16 draws > mean).
+  EXPECT_GT(mean, 0.5);
+  EXPECT_LT(mean, 0.95);
+}
+
+TEST(WorkloadTest, BucketedUsesMeanLength) {
+  WorkloadSpec spec = MakeVariableLengthTextWorkload(512, 256, 64);
+  spec.policy = LengthPolicy::kBucketed;
+  auto iterations = SampleIterations(spec, 64, 100, 7);
+  double mean = 0;
+  for (const IterationWorkload& it : iterations) mean += it.work_scale;
+  mean /= 100;
+  EXPECT_NEAR(mean, 256.0 / 512.0, 0.03);
+}
+
+TEST(WorkloadTest, Deterministic) {
+  WorkloadSpec spec = MakeVariableLengthTextWorkload(512, 300, 100);
+  auto a = SampleIterations(spec, 8, 20, 42);
+  auto b = SampleIterations(spec, 8, 20, 42);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].work_scale, b[i].work_scale);
+  }
+}
+
+class TrainingSessionTest : public ::testing::Test {
+ protected:
+  TrainingSessionTest()
+      : cluster_(MakeTitanNode8(16 * kGB)),
+        model_(BuildModel(ModelId::kBertHuge32)) {}
+
+  TrainingPlan BestPlan() {
+    auto result = Galvatron::Plan(model_, cluster_);
+    EXPECT_TRUE(result.ok());
+    return result->plan;
+  }
+
+  ClusterSpec cluster_;
+  ModelSpec model_;
+};
+
+TEST_F(TrainingSessionTest, HundredIterationAverageMatchesSingleRun) {
+  TrainingPlan plan = BestPlan();
+  SessionOptions options;
+  options.iterations = 100;
+  TrainingSession session(&cluster_, options);
+  auto report = session.Train(model_, plan, MakeWikipediaWorkload());
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->per_iteration_seconds.size(), 100u);
+  EXPECT_FALSE(report->oom);
+  auto single = Galvatron::Measure(model_, plan, cluster_);
+  ASSERT_TRUE(single.ok());
+  // The session mean sits within the jitter envelope of a single run.
+  EXPECT_LT(RelativeError(report->iteration.mean_sec,
+                          single->iteration_seconds),
+            0.05);
+  // Jitter makes iterations vary, but tightly.
+  EXPECT_GT(report->iteration.stddev_sec, 0.0);
+  EXPECT_LT(report->iteration.stddev_sec, 0.05 * report->iteration.mean_sec);
+  EXPECT_LE(report->iteration.p50_sec, report->iteration.p99_sec);
+  EXPECT_LE(report->iteration.min_sec, report->iteration.p50_sec);
+}
+
+TEST_F(TrainingSessionTest, VariableLengthWorkloadIsFasterThanPacked) {
+  TrainingPlan plan = BestPlan();
+  TrainingSession session(&cluster_, {});
+  auto packed = session.Train(model_, plan, MakeWikipediaWorkload());
+  auto padded = session.Train(
+      model_, plan, MakeVariableLengthTextWorkload(512, 256, 64));
+  ASSERT_TRUE(packed.ok());
+  ASSERT_TRUE(padded.ok());
+  EXPECT_GT(padded->mean_throughput_samples_per_sec,
+            packed->mean_throughput_samples_per_sec);
+  // And its iteration times spread more.
+  EXPECT_GT(padded->iteration.stddev_sec, packed->iteration.stddev_sec);
+}
+
+TEST_F(TrainingSessionTest, SlowLoaderStallsTraining) {
+  TrainingPlan plan = BestPlan();
+  WorkloadSpec hog = MakeWikipediaWorkload();
+  hog.load_sec_per_sample = 1.0;  // pathological loader
+  SessionOptions options;
+  options.iterations = 10;
+  TrainingSession session(&cluster_, options);
+  auto stalled = session.Train(model_, plan, hog);
+  auto smooth = session.Train(model_, plan, MakeWikipediaWorkload());
+  ASSERT_TRUE(stalled.ok());
+  ASSERT_TRUE(smooth.ok());
+  EXPECT_EQ(stalled->data_stalled_iterations, 10);
+  EXPECT_LE(smooth->data_stalled_iterations, 1);  // first-batch fill only
+  EXPECT_GT(stalled->iteration.mean_sec, 2 * smooth->iteration.mean_sec);
+}
+
+TEST_F(TrainingSessionTest, WorkScaleReachesSimulator) {
+  // Directly check the simulator knob the session drives.
+  TrainingPlan plan = BestPlan();
+  SimOptions half;
+  half.work_scale = 0.5;
+  Simulator fast(&cluster_, half);
+  Simulator normal(&cluster_);
+  auto a = fast.Run(model_, plan);
+  auto b = normal.Run(model_, plan);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_LT(a->iteration_seconds, 0.75 * b->iteration_seconds);
+}
+
+}  // namespace
+}  // namespace galvatron

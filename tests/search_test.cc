@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "estimator/cost_estimator.h"
+#include "ir/model_zoo.h"
+#include "ir/transformer_builder.h"
+#include "parallel/decision_tree.h"
+#include "search/dp_search.h"
+#include "search/optimizer.h"
+#include "util/math_util.h"
+
+namespace galvatron {
+namespace {
+
+ModelSpec SmallBert(int layers) {
+  BertConfig config;
+  config.num_layers = layers;
+  config.hidden = 1024;
+  config.heads = 16;
+  return BuildBert("small-bert", config);
+}
+
+class DpSearchTest : public ::testing::Test {
+ protected:
+  DpSearchTest()
+      : cluster_(MakeTitanNode8(16 * kGB)),
+        estimator_(&cluster_),
+        search_(&estimator_) {}
+
+  ClusterSpec cluster_;
+  CostEstimator estimator_;
+  DpSearch search_;
+};
+
+TEST_F(DpSearchTest, SingleLayerPicksCheapestFittingStrategy) {
+  ModelSpec model = SmallBert(4);
+  auto candidates = EnumerateSingleLayerStrategies(8);
+  ASSERT_TRUE(candidates.ok());
+  auto result = search_.Run(model, 1, 1, *candidates, 0, 8, 1, 16 * kGB);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_EQ(result->per_layer.size(), 1u);
+  // Verify it is really the argmin over candidates.
+  double best = 1e18;
+  for (const HybridStrategy& s : *candidates) {
+    auto cost = estimator_.EstimateLayer(model.layer(1), s, 0, 8, 1);
+    ASSERT_TRUE(cost.ok());
+    best = std::min(best,
+                    cost->IterationSeconds(1, estimator_.options()));
+  }
+  EXPECT_NEAR(result->stage_seconds, best, 1e-9);
+}
+
+TEST_F(DpSearchTest, MatchesBruteForceOnSmallInstances) {
+  // Property check: the DP must equal exhaustive search for every small
+  // (layers, batch, budget) combination.
+  ModelSpec model = SmallBert(3);  // 5 layers: embed + 3 enc + head
+  auto candidates = EnumerateSingleLayerStrategies(8);
+  ASSERT_TRUE(candidates.ok());
+  for (int batch : {8, 32}) {
+    for (int64_t budget : {6 * kGB, 10 * kGB, 20 * kGB}) {
+      auto dp = search_.Run(model, 0, model.num_layers(), *candidates, 0,
+                            batch, 1, budget);
+      auto bf = BruteForceSearch(estimator_, model, 0, model.num_layers(),
+                                 *candidates, 0, batch, 1, budget,
+                                 DpSearchOptions{}.memory_granularity);
+      ASSERT_EQ(dp.ok(), bf.ok())
+          << "batch " << batch << " budget " << budget << ": "
+          << dp.status() << " vs " << bf.status();
+      if (!dp.ok()) continue;
+      EXPECT_NEAR(dp->stage_seconds, bf->stage_seconds,
+                  1e-9 * std::max(1.0, bf->stage_seconds))
+          << "batch " << batch << " budget " << budget;
+    }
+  }
+}
+
+TEST_F(DpSearchTest, InfeasibleWhenBudgetTooSmall) {
+  ModelSpec model = SmallBert(4);
+  auto candidates = EnumerateSingleLayerStrategies(8);
+  auto result =
+      search_.Run(model, 0, model.num_layers(), *candidates, 0, 8, 1,
+                  int64_t{100} * 1024 * 1024);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInfeasible());
+}
+
+TEST_F(DpSearchTest, TighterBudgetNeverFaster) {
+  ModelSpec model = SmallBert(8);
+  auto candidates = EnumerateSingleLayerStrategies(8);
+  double prev = 1e18;
+  for (int64_t budget :
+       {4 * kGB, 6 * kGB, 8 * kGB, 12 * kGB, 20 * kGB}) {
+    auto result = search_.Run(model, 0, model.num_layers(), *candidates, 0,
+                              32, 1, budget);
+    if (!result.ok()) continue;
+    EXPECT_LE(result->stage_seconds, prev + 1e-9)
+        << "budget " << budget;
+    prev = result->stage_seconds;
+  }
+  EXPECT_LT(prev, 1e18);  // at least one budget was feasible
+}
+
+TEST_F(DpSearchTest, MemoryStaysWithinBudget) {
+  ModelSpec model = SmallBert(8);
+  auto candidates = EnumerateSingleLayerStrategies(8);
+  for (int64_t budget : {6 * kGB, 12 * kGB}) {
+    auto result = search_.Run(model, 0, model.num_layers(), *candidates, 0,
+                              32, 1, budget);
+    if (!result.ok()) continue;
+    EXPECT_LE(result->resident_memory_bytes,
+              budget + DpSearchOptions{}.memory_granularity);
+  }
+}
+
+TEST_F(DpSearchTest, StatesExploredScalesLinearlyInLayers) {
+  // Figure 4(a): search cost is linear in the layer count.
+  auto candidates = EnumerateSingleLayerStrategies(8);
+  ModelSpec small = SmallBert(8);
+  ModelSpec large = SmallBert(16);
+  auto a = search_.Run(small, 0, small.num_layers(), *candidates, 0, 8, 1,
+                       16 * kGB);
+  auto b = search_.Run(large, 0, large.num_layers(), *candidates, 0, 8, 1,
+                       16 * kGB);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  const double ratio = static_cast<double>(b->states_explored) /
+                       static_cast<double>(a->states_explored);
+  const double layer_ratio = static_cast<double>(large.num_layers()) /
+                             static_cast<double>(small.num_layers());
+  EXPECT_NEAR(ratio, layer_ratio, 0.35 * layer_ratio);
+}
+
+class OptimizerTest : public ::testing::Test {
+ protected:
+  OptimizerTest() : cluster_(MakeTitanNode8(16 * kGB)) {}
+  ClusterSpec cluster_;
+};
+
+TEST_F(OptimizerTest, ProducesValidPlans) {
+  ModelSpec model = SmallBert(8);
+  Optimizer optimizer(&cluster_);
+  auto result = optimizer.Optimize(model);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(result->plan.Validate(model, 8).ok());
+  EXPECT_GT(result->estimated.throughput_samples_per_sec, 0);
+  EXPECT_GT(result->stats.configs_explored, 0);
+}
+
+TEST_F(OptimizerTest, ThroughputMonotoneInMemoryBudget) {
+  // More memory can only help (Table 1's rows are increasing).
+  ModelSpec model = BuildModel(ModelId::kBertHuge32);
+  double prev = 0;
+  for (int64_t budget : {8 * kGB, 12 * kGB, 16 * kGB, 20 * kGB}) {
+    ClusterSpec cluster = cluster_.WithMemoryBudget(budget);
+    Optimizer optimizer(&cluster);
+    auto result = optimizer.Optimize(model);
+    ASSERT_TRUE(result.ok()) << budget << ": " << result.status();
+    EXPECT_GE(result->estimated.throughput_samples_per_sec, prev - 1e-9);
+    prev = result->estimated.throughput_samples_per_sec;
+  }
+}
+
+TEST_F(OptimizerTest, InfeasibleOnTinyBudget) {
+  ModelSpec model = BuildModel(ModelId::kBertHuge48);
+  ClusterSpec cluster = cluster_.WithMemoryBudget(1 * kGB);
+  Optimizer optimizer(&cluster);
+  auto result = optimizer.Optimize(model);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInfeasible());
+}
+
+TEST_F(OptimizerTest, RestrictedModesUseOnlyAllowedDims) {
+  ModelSpec model = BuildModel(ModelId::kViTHuge32);
+  OptimizerOptions options;
+  options.tree.allow_sdp = false;
+  options.tree.allow_tp = false;
+  options.tree.fixed_order = true;
+  Optimizer optimizer(&cluster_, options);
+  auto result = optimizer.Optimize(model);
+  ASSERT_TRUE(result.ok()) << result.status();
+  for (const StagePlan& stage : result->plan.stages) {
+    for (const HybridStrategy& s : stage.layer_strategies) {
+      EXPECT_FALSE(s.Uses(ParallelDim::kShardedData)) << s.ToString();
+      EXPECT_FALSE(s.Uses(ParallelDim::kTensor)) << s.ToString();
+    }
+  }
+}
+
+TEST_F(OptimizerTest, FullSearchAtLeastAsGoodAsRestricted) {
+  // The paper's core claim: more dimensions never hurt (Table 1).
+  ModelSpec model = BuildModel(ModelId::kViTHuge32);
+  Optimizer full(&cluster_);
+  auto best = full.Optimize(model);
+  ASSERT_TRUE(best.ok());
+
+  for (bool restrict_tp : {false, true}) {
+    OptimizerOptions options;
+    options.tree.allow_sdp = false;
+    if (restrict_tp) {
+      options.tree.allow_tp = false;
+    } else {
+      options.pp_degrees = {1};
+    }
+    options.tree.fixed_order = true;
+    Optimizer restricted(&cluster_, options);
+    auto result = restricted.Optimize(model);
+    ASSERT_TRUE(result.ok());
+    EXPECT_GE(best->estimated.throughput_samples_per_sec,
+              result->estimated.throughput_samples_per_sec - 1e-9);
+  }
+}
+
+TEST_F(OptimizerTest, FixedPipelineDegreeRespected) {
+  ModelSpec model = SmallBert(8);
+  OptimizerOptions options;
+  options.pp_degrees = {2};
+  Optimizer optimizer(&cluster_, options);
+  auto result = optimizer.Optimize(model);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->plan.pp_degree(), 2);
+}
+
+TEST_F(OptimizerTest, SearchStatsPopulated) {
+  ModelSpec model = SmallBert(8);
+  Optimizer optimizer(&cluster_);
+  auto result = optimizer.Optimize(model);
+  ASSERT_TRUE(result.ok());
+  // 22 candidates across PP degrees on 8 GPUs (Figure 2).
+  EXPECT_EQ(result->stats.num_candidate_strategies, 22);
+  EXPECT_GT(result->stats.dp_states_explored, 0);
+  EXPECT_GE(result->stats.search_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace galvatron

@@ -1,0 +1,292 @@
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "estimator/cost_estimator.h"
+#include "ir/model_zoo.h"
+#include "parallel/pipeline_partition.h"
+#include "parallel/plan.h"
+#include "sim/engine.h"
+#include "sim/simulator.h"
+#include "util/math_util.h"
+
+namespace galvatron {
+namespace {
+
+HybridStrategy Make(std::vector<ParallelComponent> levels) {
+  auto r = HybridStrategy::Create(std::move(levels));
+  EXPECT_TRUE(r.ok()) << r.status();
+  return *std::move(r);
+}
+
+// --- SimEngine unit tests ------------------------------------------------
+
+TEST(SimEngineTest, SerialChainSumsDurations) {
+  SimEngine engine(1.3, /*jitter=*/0.0, /*seed=*/1);
+  int s = engine.AddStream({0, StreamKind::kCompute});
+  int a = *engine.AddTask({"a", {s}, 1.0, {}});
+  int b = *engine.AddTask({"b", {s}, 2.0, {a}});
+  (void)b;
+  auto timeline = engine.Run();
+  ASSERT_TRUE(timeline.ok()) << timeline.status();
+  EXPECT_NEAR(timeline->makespan, 3.0, 1e-12);
+}
+
+TEST(SimEngineTest, IndependentStreamsRunInParallelWithoutContention) {
+  // Streams on DIFFERENT devices: no contention.
+  SimEngine engine(1.3, 0.0, 1);
+  int s0 = engine.AddStream({0, StreamKind::kCompute});
+  int s1 = engine.AddStream({1, StreamKind::kCompute});
+  (void)*engine.AddTask({"a", {s0}, 2.0, {}});
+  (void)*engine.AddTask({"b", {s1}, 2.0, {}});
+  auto timeline = engine.Run();
+  ASSERT_TRUE(timeline.ok());
+  EXPECT_NEAR(timeline->makespan, 2.0, 1e-12);
+}
+
+TEST(SimEngineTest, ContentionSlowsBothStreamsOfOneDevice) {
+  // Equal-length compute and comm on one device: both slowed by 1.3.
+  SimEngine engine(1.3, 0.0, 1);
+  int comp = engine.AddStream({0, StreamKind::kCompute});
+  int comm = engine.AddStream({0, StreamKind::kComm});
+  (void)*engine.AddTask({"a", {comp}, 1.0, {}});
+  (void)*engine.AddTask({"b", {comm}, 1.0, {}});
+  auto timeline = engine.Run();
+  ASSERT_TRUE(timeline.ok());
+  EXPECT_NEAR(timeline->makespan, 1.3, 1e-9);
+}
+
+TEST(SimEngineTest, PartialOverlapMatchesClosedForm) {
+  // comm 1.0 overlaps compute 2.0: overlapped span runs at 1/1.3 until the
+  // comm's 1.0 of work is done (takes 1.3), compute then has 2 - 1 = 1.0
+  // left at full speed: makespan = 1.3 + 1.0 = 2.3 = max + 0.3 * min.
+  SimEngine engine(1.3, 0.0, 1);
+  int comp = engine.AddStream({0, StreamKind::kCompute});
+  int comm = engine.AddStream({0, StreamKind::kComm});
+  (void)*engine.AddTask({"compute", {comp}, 2.0, {}});
+  (void)*engine.AddTask({"allreduce", {comm}, 1.0, {}});
+  auto timeline = engine.Run();
+  ASSERT_TRUE(timeline.ok());
+  EXPECT_NEAR(timeline->makespan, 2.3, 1e-9);
+}
+
+TEST(SimEngineTest, MultiStreamTaskMovesAtSlowestMember) {
+  // A collective on two devices' comm streams; one device also computes.
+  SimEngine engine(1.3, 0.0, 1);
+  int comp0 = engine.AddStream({0, StreamKind::kCompute});
+  int comm0 = engine.AddStream({0, StreamKind::kComm});
+  int comm1 = engine.AddStream({1, StreamKind::kComm});
+  (void)*engine.AddTask({"compute", {comp0}, 10.0, {}});
+  (void)*engine.AddTask({"collective", {comm0, comm1}, 1.0, {}});
+  auto timeline = engine.Run();
+  ASSERT_TRUE(timeline.ok());
+  // Collective contends on device 0 -> finishes at 1.3, compute still
+  // slowed during that window: 1.3 overlapped covers 1.0 of compute work,
+  // remaining 9.0 at full rate -> 10.3 total.
+  EXPECT_NEAR(timeline->tasks[1].finish, 1.3, 1e-9);
+  EXPECT_NEAR(timeline->makespan, 10.3, 1e-9);
+}
+
+TEST(SimEngineTest, StreamsSerializeTasks) {
+  SimEngine engine(1.3, 0.0, 1);
+  int s = engine.AddStream({0, StreamKind::kCompute});
+  (void)*engine.AddTask({"a", {s}, 1.0, {}});
+  (void)*engine.AddTask({"b", {s}, 1.0, {}});  // no dep, same stream
+  auto timeline = engine.Run();
+  ASSERT_TRUE(timeline.ok());
+  EXPECT_NEAR(timeline->makespan, 2.0, 1e-12);
+}
+
+TEST(SimEngineTest, MemoryPeakTracksAllocAndFree) {
+  SimEngine engine(1.0, 0.0, 1);
+  int s = engine.AddStream({0, StreamKind::kCompute});
+  SimTask alloc{"alloc", {s}, 1.0, {}};
+  alloc.start_memory_delta = 100;
+  alloc.memory_device = 0;
+  int a = *engine.AddTask(alloc);
+  SimTask free_task{"free", {s}, 1.0, {a}};
+  free_task.end_memory_delta = -60;
+  free_task.memory_device = 0;
+  (void)*engine.AddTask(free_task);
+  // Concurrent allocation on the same device from another stream: peaks
+  // stack while "alloc"'s 100 bytes are still live.
+  int s2 = engine.AddStream({0, StreamKind::kComm});
+  SimTask more{"more", {s2}, 0.5, {}};
+  more.start_memory_delta = 30;
+  more.end_memory_delta = -30;
+  more.memory_device = 0;
+  (void)*engine.AddTask(more);
+  auto timeline = engine.Run();
+  ASSERT_TRUE(timeline.ok());
+  EXPECT_EQ(timeline->peak_memory_bytes[0], 130);
+}
+
+TEST(SimEngineTest, JitterIsDeterministic) {
+  auto run = [] {
+    SimEngine engine(1.3, 0.1, 42);
+    int s = engine.AddStream({0, StreamKind::kCompute});
+    int prev = -1;
+    for (int i = 0; i < 10; ++i) {
+      SimTask t{"t", {s}, 1.0, {}};
+      if (prev >= 0) t.deps = {prev};
+      prev = *engine.AddTask(t);
+    }
+    return engine.Run()->makespan;
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+  // And jitter changes the makespan vs the noiseless run.
+  SimEngine engine(1.3, 0.0, 42);
+  int s = engine.AddStream({0, StreamKind::kCompute});
+  (void)*engine.AddTask({"t", {s}, 10.0, {}});
+  EXPECT_NE(run(), 10.0);
+}
+
+TEST(SimEngineTest, RejectsBadTasks) {
+  SimEngine engine(1.3, 0.0, 1);
+  int s = engine.AddStream({0, StreamKind::kCompute});
+  EXPECT_FALSE(engine.AddTask({"nostream", {}, 1.0, {}}).ok());
+  EXPECT_FALSE(engine.AddTask({"badstream", {7}, 1.0, {}}).ok());
+  EXPECT_FALSE(engine.AddTask({"baddep", {s}, 1.0, {5}}).ok());
+  EXPECT_FALSE(engine.AddTask({"negative", {s}, -1.0, {}}).ok());
+}
+
+// --- Simulator integration tests ----------------------------------------
+
+class SimulatorTest : public ::testing::Test {
+ protected:
+  SimulatorTest()
+      : cluster_(MakeTitanNode8(16 * kGB)),
+        bert_(BuildModel(ModelId::kBertHuge32)) {}
+
+  TrainingPlan UniformPlan(const HybridStrategy& strategy, int pp, int batch,
+                           int micro) {
+    auto sizes = PartitionPipeline(bert_, pp, PartitionPolicy::kFlops);
+    auto plan = MakeUniformPlan(bert_, 8, pp, *sizes, strategy, batch, micro);
+    EXPECT_TRUE(plan.ok()) << plan.status();
+    return *std::move(plan);
+  }
+
+  ClusterSpec cluster_;
+  ModelSpec bert_;
+};
+
+TEST_F(SimulatorTest, DpPlanRunsAndReportsMetrics) {
+  Simulator sim(&cluster_);
+  auto metrics =
+      sim.Run(bert_, UniformPlan(Make({{ParallelDim::kData, 8}}), 1, 8, 1));
+  ASSERT_TRUE(metrics.ok()) << metrics.status();
+  EXPECT_GT(metrics->iteration_seconds, 0);
+  EXPECT_FALSE(metrics->oom);
+  EXPECT_EQ(metrics->stage_peak_memory_bytes.size(), 1u);
+  EXPECT_GT(metrics->num_tasks, 2 * bert_.num_layers());
+  EXPECT_EQ(metrics->num_comm_groups, 1);  // one 8-wide DP group
+}
+
+TEST_F(SimulatorTest, OomDetectedAtLargeBatch) {
+  Simulator sim(&cluster_);
+  auto metrics =
+      sim.Run(bert_, UniformPlan(Make({{ParallelDim::kData, 8}}), 1, 256, 1));
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_TRUE(metrics->oom);
+}
+
+TEST_F(SimulatorTest, SimulatedMemoryTracksEstimate) {
+  Simulator sim(&cluster_);
+  CostEstimator estimator(&cluster_);
+  TrainingPlan plan =
+      UniformPlan(Make({{ParallelDim::kShardedData, 8}}), 1, 32, 1);
+  auto metrics = sim.Run(bert_, plan);
+  auto cost = estimator.EstimatePlan(bert_, plan);
+  ASSERT_TRUE(metrics.ok());
+  ASSERT_TRUE(cost.ok());
+  EXPECT_LT(RelativeError(
+                static_cast<double>(metrics->max_peak_memory_bytes),
+                static_cast<double>(cost->peak_memory_bytes)),
+            0.10);
+}
+
+TEST_F(SimulatorTest, EstimatorTracksSimulatorWithin10Percent) {
+  // The Figure-3 property, per strategy family.
+  Simulator sim(&cluster_);
+  CostEstimator with(&cluster_);
+  for (const HybridStrategy& s :
+       {Make({{ParallelDim::kData, 8}}),
+        Make({{ParallelDim::kShardedData, 8}}),
+        Make({{ParallelDim::kTensor, 2}, {ParallelDim::kData, 4}})}) {
+    TrainingPlan plan = UniformPlan(s, 1, 8, 1);
+    auto metrics = sim.Run(bert_, plan);
+    auto cost = with.EstimatePlan(bert_, plan);
+    ASSERT_TRUE(metrics.ok());
+    ASSERT_TRUE(cost.ok());
+    EXPECT_LT(RelativeError(cost->iteration_seconds,
+                            metrics->iteration_seconds),
+              0.10)
+        << s.ToString();
+  }
+}
+
+TEST_F(SimulatorTest, NaiveEstimatorUnderestimatesOverlappedPlans) {
+  Simulator sim(&cluster_);
+  CostEstimator naive(&cluster_, {.model_overlap_slowdown = false});
+  TrainingPlan plan = UniformPlan(Make({{ParallelDim::kData, 8}}), 1, 8, 1);
+  auto metrics = sim.Run(bert_, plan);
+  auto cost = naive.EstimatePlan(bert_, plan);
+  ASSERT_TRUE(metrics.ok());
+  ASSERT_TRUE(cost.ok());
+  EXPECT_LT(cost->iteration_seconds, 0.95 * metrics->iteration_seconds);
+}
+
+TEST_F(SimulatorTest, PipelineBubbleShrinksWithMicroBatches) {
+  // Memory checks off: this probes timing only.
+  SimOptions options;
+  options.check_memory = false;
+  Simulator sim(&cluster_, options);
+  HybridStrategy dp2 = Make({{ParallelDim::kData, 2}});
+  auto few = sim.Run(bert_, UniformPlan(dp2, 4, 128, 4));
+  auto more = sim.Run(bert_, UniformPlan(dp2, 4, 128, 8));
+  ASSERT_TRUE(few.ok());
+  ASSERT_TRUE(more.ok());
+  EXPECT_LT(more->iteration_seconds, few->iteration_seconds);
+}
+
+TEST_F(SimulatorTest, DeterministicAcrossRuns) {
+  Simulator sim(&cluster_);
+  TrainingPlan plan = UniformPlan(Make({{ParallelDim::kData, 8}}), 1, 8, 1);
+  auto a = sim.Run(bert_, plan);
+  auto b = sim.Run(bert_, plan);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->iteration_seconds, b->iteration_seconds);
+}
+
+TEST_F(SimulatorTest, ThroughputScalesWithClusterSize) {
+  // Same model, same per-device batch: 16 devices beat 8 (weak scaling).
+  ClusterSpec cluster16 = MakeTitanCluster16(16 * kGB);
+  Simulator sim8(&cluster_);
+  Simulator sim16(&cluster16);
+  auto plan8 = UniformPlan(Make({{ParallelDim::kShardedData, 8}}), 1, 32, 1);
+  auto sizes = PartitionPipeline(bert_, 1, PartitionPolicy::kFlops);
+  auto plan16 =
+      MakeUniformPlan(bert_, 16, 1, *sizes,
+                      Make({{ParallelDim::kShardedData, 16}}), 64, 1);
+  ASSERT_TRUE(plan16.ok());
+  auto m8 = sim8.Run(bert_, plan8);
+  auto m16 = sim16.Run(bert_, *plan16);
+  ASSERT_TRUE(m8.ok());
+  ASSERT_TRUE(m16.ok());
+  EXPECT_GT(m16->throughput_samples_per_sec,
+            m8->throughput_samples_per_sec);
+}
+
+TEST_F(SimulatorTest, CommGroupPoolCountsDistinctGroups) {
+  Simulator sim(&cluster_);
+  // tp2-dp4: 4 TP pairs + 2 DP quads = 6 groups.
+  auto metrics = sim.Run(
+      bert_, UniformPlan(Make({{ParallelDim::kTensor, 2},
+                               {ParallelDim::kData, 4}}),
+                         1, 16, 1));
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->num_comm_groups, 6);
+}
+
+}  // namespace
+}  // namespace galvatron

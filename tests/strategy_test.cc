@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "parallel/decision_tree.h"
+#include "parallel/strategy.h"
+
+namespace galvatron {
+namespace {
+
+HybridStrategy Make(std::vector<ParallelComponent> levels) {
+  auto r = HybridStrategy::Create(std::move(levels));
+  EXPECT_TRUE(r.ok()) << r.status();
+  return *std::move(r);
+}
+
+TEST(StrategyTest, EmptyStrategyIsSerial) {
+  HybridStrategy s;
+  EXPECT_EQ(s.TotalDegree(), 1);
+  EXPECT_EQ(s.ToString(), "serial");
+  EXPECT_FALSE(s.Uses(ParallelDim::kData));
+}
+
+TEST(StrategyTest, DegreesAndName) {
+  HybridStrategy s = Make({{ParallelDim::kTensor, 2}, {ParallelDim::kData, 4}});
+  EXPECT_EQ(s.TotalDegree(), 8);
+  EXPECT_EQ(s.DegreeOf(ParallelDim::kTensor), 2);
+  EXPECT_EQ(s.DegreeOf(ParallelDim::kData), 4);
+  EXPECT_EQ(s.DegreeOf(ParallelDim::kShardedData), 1);
+  EXPECT_EQ(s.ToString(), "tp2-dp4");
+  EXPECT_EQ(s.BatchSplit(), 4);
+}
+
+TEST(StrategyTest, CreateRejectsInvalid) {
+  EXPECT_FALSE(HybridStrategy::Create({{ParallelDim::kData, 1}}).ok());
+  EXPECT_FALSE(HybridStrategy::Create({{ParallelDim::kPipeline, 2}}).ok());
+  EXPECT_FALSE(HybridStrategy::Create(
+                   {{ParallelDim::kData, 2}, {ParallelDim::kData, 2}})
+                   .ok());
+}
+
+TEST(StrategyTest, InnermostLevelHasStrideOne) {
+  HybridStrategy s = Make({{ParallelDim::kTensor, 2}, {ParallelDim::kData, 4}});
+  EXPECT_EQ(*s.StrideOf(ParallelDim::kTensor), 1);
+  EXPECT_EQ(*s.StrideOf(ParallelDim::kData), 2);
+  EXPECT_FALSE(s.StrideOf(ParallelDim::kShardedData).ok());
+}
+
+TEST(StrategyTest, GroupContainingInnermost) {
+  // tp2-dp4 on devices 8..15: TP pairs are {8,9},{10,11},{12,13},{14,15}.
+  HybridStrategy s = Make({{ParallelDim::kTensor, 2}, {ParallelDim::kData, 4}});
+  auto g = s.GroupContaining(ParallelDim::kTensor, /*stage_first_device=*/8,
+                             /*device_id=*/10);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(*g, (std::vector<int>{10, 11}));
+}
+
+TEST(StrategyTest, GroupContainingOuter) {
+  // tp2-dp4: DP groups stride 2: {8,10,12,14} and {9,11,13,15}.
+  HybridStrategy s = Make({{ParallelDim::kTensor, 2}, {ParallelDim::kData, 4}});
+  auto g = s.GroupContaining(ParallelDim::kData, 8, 13);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(*g, (std::vector<int>{9, 11, 13, 15}));
+}
+
+TEST(StrategyTest, GroupRejectsOutOfRangeDevice) {
+  HybridStrategy s = Make({{ParallelDim::kData, 4}});
+  EXPECT_FALSE(s.GroupContaining(ParallelDim::kData, 0, 5).ok());
+}
+
+TEST(StrategyTest, AllGroupsPartitionTheBlock) {
+  for (auto levels : std::vector<std::vector<ParallelComponent>>{
+           {{ParallelDim::kTensor, 2}, {ParallelDim::kData, 4}},
+           {{ParallelDim::kData, 4}, {ParallelDim::kTensor, 2}},
+           {{ParallelDim::kTensor, 2},
+            {ParallelDim::kShardedData, 2},
+            {ParallelDim::kData, 2}}}) {
+    HybridStrategy s = Make(levels);
+    for (const ParallelComponent& level : s.levels()) {
+      auto groups = s.AllGroups(level.dim, /*stage_first_device=*/16);
+      ASSERT_TRUE(groups.ok());
+      std::set<int> seen;
+      for (const auto& group : *groups) {
+        EXPECT_EQ(static_cast<int>(group.size()), level.degree);
+        for (int id : group) {
+          EXPECT_TRUE(seen.insert(id).second) << "device repeated";
+          EXPECT_GE(id, 16);
+          EXPECT_LT(id, 16 + s.TotalDegree());
+        }
+      }
+      EXPECT_EQ(static_cast<int>(seen.size()), s.TotalDegree());
+    }
+  }
+}
+
+TEST(StrategyTest, ThreeLevelMapping) {
+  // tp2-sdp2-dp2 on 0..7: TP {0,1}.., SDP stride 2 {0,2},{1,3},{4,6},{5,7},
+  // DP stride 4 {0,4},{1,5},{2,6},{3,7}.
+  HybridStrategy s = Make({{ParallelDim::kTensor, 2},
+                           {ParallelDim::kShardedData, 2},
+                           {ParallelDim::kData, 2}});
+  EXPECT_EQ(*s.GroupContaining(ParallelDim::kShardedData, 0, 6),
+            (std::vector<int>{4, 6}));
+  EXPECT_EQ(*s.GroupContaining(ParallelDim::kData, 0, 6),
+            (std::vector<int>{2, 6}));
+}
+
+// --- Decision-tree enumeration (Figure 2) -----------------------------
+
+TEST(DecisionTreeTest, GroupOf1IsSerialOnly) {
+  auto s = EnumerateSingleLayerStrategies(1);
+  ASSERT_TRUE(s.ok());
+  ASSERT_EQ(s->size(), 1u);
+  EXPECT_EQ((*s)[0].ToString(), "serial");
+}
+
+TEST(DecisionTreeTest, GroupOf2HasThreePureStrategies) {
+  auto s = EnumerateSingleLayerStrategies(2);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->size(), 3u);  // dp2, sdp2, tp2
+}
+
+TEST(DecisionTreeTest, GroupOf4CountWithPruning) {
+  // [4]: 3 pure; [2,2]: 6 ordered dim pairs - 2 DPxSDP mixes = 4. Total 7.
+  auto s = EnumerateSingleLayerStrategies(4);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->size(), 7u);
+}
+
+TEST(DecisionTreeTest, GroupOf8CountWithPruning) {
+  // Paper Figure 2 tree for PP=1: 11 strategies after Takeaway #3.
+  auto s = EnumerateSingleLayerStrategies(8);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->size(), 11u);
+}
+
+TEST(DecisionTreeTest, PaperCounts34And22For8Gpus) {
+  // Sec 3.2: 34 candidates across all PP degrees on 8 GPUs, 22 after
+  // Takeaway #3.
+  DecisionTreeOptions no_prune;
+  no_prune.prune_dp_sdp_mix = false;
+  EXPECT_EQ(*CountStrategiesAcrossPipelineDegrees(8, no_prune), 34);
+  EXPECT_EQ(*CountStrategiesAcrossPipelineDegrees(8), 22);
+}
+
+TEST(DecisionTreeTest, NoStrategyMixesDpAndSdpWhenPruned) {
+  auto s = EnumerateSingleLayerStrategies(16);
+  ASSERT_TRUE(s.ok());
+  for (const HybridStrategy& strategy : *s) {
+    EXPECT_FALSE(strategy.Uses(ParallelDim::kData) &&
+                 strategy.Uses(ParallelDim::kShardedData))
+        << strategy.ToString();
+  }
+}
+
+TEST(DecisionTreeTest, StrategiesAreUnique) {
+  for (int g : {2, 4, 8, 16, 32, 64}) {
+    auto s = EnumerateSingleLayerStrategies(g);
+    ASSERT_TRUE(s.ok());
+    std::set<std::string> names;
+    for (const HybridStrategy& strategy : *s) {
+      EXPECT_EQ(strategy.TotalDegree(), g) << strategy.ToString();
+      EXPECT_TRUE(names.insert(strategy.ToString()).second)
+          << "duplicate " << strategy.ToString();
+    }
+  }
+}
+
+TEST(DecisionTreeTest, RestrictedDpTpMode) {
+  // The paper's DP+TP auxiliary baseline: on 8 GPUs per-tree counts are
+  // [8]:2, [2,4]+[4,2]: 2 assignments each = 4 -> 6 for group 8.
+  DecisionTreeOptions options;
+  options.allow_sdp = false;
+  auto s = EnumerateSingleLayerStrategies(8, options);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s->size(), 6u);
+  for (const HybridStrategy& strategy : *s) {
+    EXPECT_FALSE(strategy.Uses(ParallelDim::kShardedData));
+  }
+}
+
+TEST(DecisionTreeTest, RejectsNonPowerOfTwo) {
+  EXPECT_FALSE(EnumerateSingleLayerStrategies(6).ok());
+  EXPECT_FALSE(EnumerateSingleLayerStrategies(0).ok());
+}
+
+TEST(DecisionTreeTest, RejectsNoDimsForMultiDeviceGroup) {
+  DecisionTreeOptions options;
+  options.allow_dp = options.allow_sdp = options.allow_tp = false;
+  EXPECT_FALSE(EnumerateSingleLayerStrategies(4, options).ok());
+  // group 1 is fine even with nothing allowed
+  EXPECT_TRUE(EnumerateSingleLayerStrategies(1, options).ok());
+}
+
+TEST(DecisionTreeTest, CountGrowsWithClusterSize) {
+  int prev = 0;
+  for (int n : {2, 4, 8, 16, 32, 64}) {
+    int count = *CountStrategiesAcrossPipelineDegrees(n);
+    EXPECT_GT(count, prev) << n;
+    prev = count;
+  }
+}
+
+}  // namespace
+}  // namespace galvatron

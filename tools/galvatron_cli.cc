@@ -1,0 +1,240 @@
+/// galvatron_cli — plan hybrid-parallel Transformer training from the
+/// command line.
+///
+/// Examples:
+///   galvatron_cli --model bert-huge-32 --nodes 1 --gpus 8 --memory-gb 16
+///   galvatron_cli --model swin-huge-48 --memory-gb 8 --recompute \
+///       --schedule 1f1b --json-out plan.json --trace-out trace.json
+///   galvatron_cli --model vit-huge-32 --mode sdp        # a pure baseline
+///   galvatron_cli --list-models
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "api/galvatron.h"
+#include "api/plan_io.h"
+#include "util/string_util.h"
+
+namespace galvatron {
+namespace {
+
+struct CliArgs {
+  std::string model = "bert-huge-32";
+  int nodes = 1;
+  int gpus_per_node = 8;
+  double memory_gb = 16;
+  std::string intra_link = "pcie";
+  std::string inter_link = "ib";
+  std::string mode = "galvatron";
+  std::string schedule = "gpipe";
+  bool recompute = false;
+  std::string json_out;
+  std::string trace_out;
+  bool list_models = false;
+  bool help = false;
+};
+
+void PrintUsage() {
+  std::printf(R"(galvatron_cli: automatic hybrid-parallel training plans
+
+  --model NAME        model from the zoo (--list-models); default bert-huge-32
+  --nodes N           number of nodes (default 1)
+  --gpus N            GPUs per node (default 8)
+  --memory-gb G       per-GPU memory budget in decimal GB (default 16)
+  --intra-link L      pcie | nvlink        (default pcie)
+  --inter-link L      ib | ethernet        (default ib)
+  --mode M            galvatron | dp | tp | pp | sdp | 3d | dp+tp | dp+pp
+  --schedule S        gpipe | 1f1b         (default gpipe)
+  --recompute         allow per-layer activation checkpointing
+  --json-out FILE     write the plan as JSON
+  --trace-out FILE    write a Chrome trace of the simulated iteration
+  --list-models       print zoo models and exit
+)");
+}
+
+Result<ModelId> FindModel(const std::string& name) {
+  for (ModelId id : AllModelIds()) {
+    std::string candidate(ModelIdToString(id));
+    for (char& c : candidate) c = static_cast<char>(std::tolower(c));
+    if (candidate == name) return id;
+  }
+  return Status::NotFound(StrFormat("unknown model '%s'", name.c_str()));
+}
+
+Result<BaselineKind> FindMode(const std::string& mode) {
+  static const std::map<std::string, BaselineKind> kModes = {
+      {"galvatron", BaselineKind::kGalvatron},
+      {"dp", BaselineKind::kPureDp},
+      {"tp", BaselineKind::kPureTp},
+      {"pp", BaselineKind::kPurePp},
+      {"sdp", BaselineKind::kPureSdp},
+      {"3d", BaselineKind::kDeepSpeed3d},
+      {"dp+tp", BaselineKind::kAutoDpTp},
+      {"dp+pp", BaselineKind::kAutoDpPp},
+  };
+  auto it = kModes.find(mode);
+  if (it == kModes.end()) {
+    return Status::InvalidArgument(StrFormat("unknown mode '%s'",
+                                             mode.c_str()));
+  }
+  return it->second;
+}
+
+Result<CliArgs> ParseArgs(int argc, char** argv) {
+  CliArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> Result<std::string> {
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument(flag + " needs a value");
+      }
+      return std::string(argv[++i]);
+    };
+    if (flag == "--model") {
+      GALVATRON_ASSIGN_OR_RETURN(args.model, next());
+    } else if (flag == "--nodes") {
+      GALVATRON_ASSIGN_OR_RETURN(std::string v, next());
+      args.nodes = std::atoi(v.c_str());
+    } else if (flag == "--gpus") {
+      GALVATRON_ASSIGN_OR_RETURN(std::string v, next());
+      args.gpus_per_node = std::atoi(v.c_str());
+    } else if (flag == "--memory-gb") {
+      GALVATRON_ASSIGN_OR_RETURN(std::string v, next());
+      args.memory_gb = std::atof(v.c_str());
+    } else if (flag == "--intra-link") {
+      GALVATRON_ASSIGN_OR_RETURN(args.intra_link, next());
+    } else if (flag == "--inter-link") {
+      GALVATRON_ASSIGN_OR_RETURN(args.inter_link, next());
+    } else if (flag == "--mode") {
+      GALVATRON_ASSIGN_OR_RETURN(args.mode, next());
+    } else if (flag == "--schedule") {
+      GALVATRON_ASSIGN_OR_RETURN(args.schedule, next());
+    } else if (flag == "--recompute") {
+      args.recompute = true;
+    } else if (flag == "--json-out") {
+      GALVATRON_ASSIGN_OR_RETURN(args.json_out, next());
+    } else if (flag == "--trace-out") {
+      GALVATRON_ASSIGN_OR_RETURN(args.trace_out, next());
+    } else if (flag == "--list-models") {
+      args.list_models = true;
+    } else if (flag == "--help" || flag == "-h") {
+      args.help = true;
+    } else {
+      return Status::InvalidArgument("unknown flag " + flag);
+    }
+  }
+  return args;
+}
+
+Result<int> RunCli(const CliArgs& args) {
+  if (args.list_models) {
+    for (ModelId id : AllModelIds()) {
+      std::string name(ModelIdToString(id));
+      for (char& c : name) c = static_cast<char>(std::tolower(c));
+      ModelStatistics stats = ComputeStatistics(BuildModel(id));
+      std::printf("%-14s %6.0fM params, %8.1f MB activations/sample\n",
+                  name.c_str(), stats.param_count / 1e6,
+                  stats.activation_bytes_per_sample / 1048576.0);
+    }
+    return 0;
+  }
+
+  GALVATRON_ASSIGN_OR_RETURN(ModelId model_id, FindModel(args.model));
+  GALVATRON_ASSIGN_OR_RETURN(BaselineKind mode, FindMode(args.mode));
+
+  const LinkClass intra = args.intra_link == "nvlink" ? LinkClass::kNvLink
+                                                      : LinkClass::kPcie3;
+  const LinkClass inter = args.inter_link == "ethernet"
+                              ? LinkClass::kEthernet10
+                              : LinkClass::kInfiniBand100;
+  if (args.nodes < 1 || args.gpus_per_node < 1 || args.memory_gb <= 0) {
+    return Status::InvalidArgument("bad cluster shape");
+  }
+  ClusterSpec cluster = MakeHomogeneousCluster(
+      "cli-cluster", args.nodes, args.gpus_per_node,
+      static_cast<int64_t>(args.memory_gb * 1e9),
+      /*sustained_flops=*/args.intra_link == "nvlink" ? 17e12 : 6.5e12,
+      intra, inter);
+
+  ModelSpec model = BuildModel(model_id);
+  std::printf("model:   %s (%.0fM params)\n", model.name().c_str(),
+              model.TotalParams() / 1e6);
+  std::printf("cluster: %s\n\n", cluster.ToString().c_str());
+
+  BaselineOptions options;
+  auto result = RunBaseline(mode, model, cluster, options);
+  if (!result.ok()) {
+    if (result.status().IsInfeasible()) {
+      std::printf("OOM: %s\n", result.status().message().c_str());
+      return 2;
+    }
+    return result.status();
+  }
+  // CLI-only knobs re-run the full optimizer when requested.
+  if (mode == BaselineKind::kGalvatron &&
+      (args.recompute || args.schedule == "1f1b")) {
+    OptimizerOptions opt;
+    opt.allow_recompute = args.recompute;
+    opt.schedule = args.schedule == "1f1b" ? PipelineSchedule::k1F1B
+                                           : PipelineSchedule::kGPipe;
+    GALVATRON_ASSIGN_OR_RETURN(OptimizationResult tuned,
+                               Optimizer(&cluster, opt).Optimize(model));
+    result = std::move(tuned);
+  }
+
+  std::printf("%s\n", result->plan.ToString().c_str());
+
+  Simulator simulator(&cluster);
+  std::string trace;
+  GALVATRON_ASSIGN_OR_RETURN(
+      SimMetrics metrics,
+      simulator.RunWithTrace(model, result->plan,
+                             args.trace_out.empty() ? nullptr : &trace));
+  std::printf("estimated: %.2f samples/s\n",
+              result->estimated.throughput_samples_per_sec);
+  std::printf("simulated: %.2f samples/s, iteration %.3fs, peak %s%s\n",
+              metrics.throughput_samples_per_sec, metrics.iteration_seconds,
+              HumanBytes(static_cast<double>(metrics.max_peak_memory_bytes))
+                  .c_str(),
+              metrics.oom ? "  ** EXCEEDS BUDGET **" : "");
+
+  if (!args.json_out.empty()) {
+    std::ofstream out(args.json_out);
+    if (!out) return Status::Internal("cannot write " + args.json_out);
+    out << PlanToJson(result->plan);
+    std::printf("plan written to %s\n", args.json_out.c_str());
+  }
+  if (!args.trace_out.empty()) {
+    std::ofstream out(args.trace_out);
+    if (!out) return Status::Internal("cannot write " + args.trace_out);
+    out << trace;
+    std::printf("trace written to %s (open in chrome://tracing)\n",
+                args.trace_out.c_str());
+  }
+  return metrics.oom ? 2 : 0;
+}
+
+}  // namespace
+}  // namespace galvatron
+
+int main(int argc, char** argv) {
+  auto args = galvatron::ParseArgs(argc, argv);
+  if (!args.ok()) {
+    std::fprintf(stderr, "%s\n", args.status().ToString().c_str());
+    galvatron::PrintUsage();
+    return 1;
+  }
+  if (args->help) {
+    galvatron::PrintUsage();
+    return 0;
+  }
+  auto exit_code = galvatron::RunCli(*args);
+  if (!exit_code.ok()) {
+    std::fprintf(stderr, "%s\n", exit_code.status().ToString().c_str());
+    return 1;
+  }
+  return *exit_code;
+}
