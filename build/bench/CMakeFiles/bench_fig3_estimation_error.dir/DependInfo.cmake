@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig3_estimation_error.cc" "bench/CMakeFiles/bench_fig3_estimation_error.dir/bench_fig3_estimation_error.cc.o" "gcc" "bench/CMakeFiles/bench_fig3_estimation_error.dir/bench_fig3_estimation_error.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/api/CMakeFiles/galvatron.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/galvatron_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/galvatron_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/search/CMakeFiles/galvatron_search.dir/DependInfo.cmake"
+  "/root/repo/build/src/estimator/CMakeFiles/galvatron_estimator.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/galvatron_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/galvatron_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/galvatron_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/galvatron_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/galvatron_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/galvatron_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/galvatron_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scalability_curve.dir/bench_scalability_curve.cc.o"
+  "CMakeFiles/bench_scalability_curve.dir/bench_scalability_curve.cc.o.d"
+  "bench_scalability_curve"
+  "bench_scalability_curve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scalability_curve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

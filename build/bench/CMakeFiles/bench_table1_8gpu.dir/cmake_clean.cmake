@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_8gpu.dir/bench_table1_8gpu.cc.o"
+  "CMakeFiles/bench_table1_8gpu.dir/bench_table1_8gpu.cc.o.d"
+  "bench_table1_8gpu"
+  "bench_table1_8gpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_8gpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_budget_sweep.dir/memory_budget_sweep.cc.o"
+  "CMakeFiles/memory_budget_sweep.dir/memory_budget_sweep.cc.o.d"
+  "memory_budget_sweep"
+  "memory_budget_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_budget_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/galvatron.dir/galvatron.cc.o"
+  "CMakeFiles/galvatron.dir/galvatron.cc.o.d"
+  "CMakeFiles/galvatron.dir/plan_io.cc.o"
+  "CMakeFiles/galvatron.dir/plan_io.cc.o.d"
+  "CMakeFiles/galvatron.dir/plan_render.cc.o"
+  "CMakeFiles/galvatron.dir/plan_render.cc.o.d"
+  "libgalvatron.a"
+  "libgalvatron.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/galvatron.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/galvatron_baselines.dir/baselines.cc.o"
+  "CMakeFiles/galvatron_baselines.dir/baselines.cc.o.d"
+  "libgalvatron_baselines.a"
+  "libgalvatron_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/galvatron_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/galvatron_cluster.dir/cluster.cc.o"
+  "CMakeFiles/galvatron_cluster.dir/cluster.cc.o.d"
+  "CMakeFiles/galvatron_cluster.dir/link.cc.o"
+  "CMakeFiles/galvatron_cluster.dir/link.cc.o.d"
+  "libgalvatron_cluster.a"
+  "libgalvatron_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/galvatron_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/collective.cc" "src/comm/CMakeFiles/galvatron_comm.dir/collective.cc.o" "gcc" "src/comm/CMakeFiles/galvatron_comm.dir/collective.cc.o.d"
+  "/root/repo/src/comm/group_pool.cc" "src/comm/CMakeFiles/galvatron_comm.dir/group_pool.cc.o" "gcc" "src/comm/CMakeFiles/galvatron_comm.dir/group_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/galvatron_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/galvatron_cluster.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

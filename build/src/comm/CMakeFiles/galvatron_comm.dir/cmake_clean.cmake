@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/galvatron_comm.dir/collective.cc.o"
+  "CMakeFiles/galvatron_comm.dir/collective.cc.o.d"
+  "CMakeFiles/galvatron_comm.dir/group_pool.cc.o"
+  "CMakeFiles/galvatron_comm.dir/group_pool.cc.o.d"
+  "libgalvatron_comm.a"
+  "libgalvatron_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/galvatron_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

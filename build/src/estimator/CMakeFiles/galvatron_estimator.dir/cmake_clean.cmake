@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/galvatron_estimator.dir/cost_estimator.cc.o"
+  "CMakeFiles/galvatron_estimator.dir/cost_estimator.cc.o.d"
+  "CMakeFiles/galvatron_estimator.dir/profiler.cc.o"
+  "CMakeFiles/galvatron_estimator.dir/profiler.cc.o.d"
+  "libgalvatron_estimator.a"
+  "libgalvatron_estimator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/galvatron_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/dtype.cc" "src/ir/CMakeFiles/galvatron_ir.dir/dtype.cc.o" "gcc" "src/ir/CMakeFiles/galvatron_ir.dir/dtype.cc.o.d"
+  "/root/repo/src/ir/layer.cc" "src/ir/CMakeFiles/galvatron_ir.dir/layer.cc.o" "gcc" "src/ir/CMakeFiles/galvatron_ir.dir/layer.cc.o.d"
+  "/root/repo/src/ir/model.cc" "src/ir/CMakeFiles/galvatron_ir.dir/model.cc.o" "gcc" "src/ir/CMakeFiles/galvatron_ir.dir/model.cc.o.d"
+  "/root/repo/src/ir/model_zoo.cc" "src/ir/CMakeFiles/galvatron_ir.dir/model_zoo.cc.o" "gcc" "src/ir/CMakeFiles/galvatron_ir.dir/model_zoo.cc.o.d"
+  "/root/repo/src/ir/op.cc" "src/ir/CMakeFiles/galvatron_ir.dir/op.cc.o" "gcc" "src/ir/CMakeFiles/galvatron_ir.dir/op.cc.o.d"
+  "/root/repo/src/ir/tensor_shape.cc" "src/ir/CMakeFiles/galvatron_ir.dir/tensor_shape.cc.o" "gcc" "src/ir/CMakeFiles/galvatron_ir.dir/tensor_shape.cc.o.d"
+  "/root/repo/src/ir/transformer_builder.cc" "src/ir/CMakeFiles/galvatron_ir.dir/transformer_builder.cc.o" "gcc" "src/ir/CMakeFiles/galvatron_ir.dir/transformer_builder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/galvatron_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

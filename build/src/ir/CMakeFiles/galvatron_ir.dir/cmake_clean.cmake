@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/galvatron_ir.dir/dtype.cc.o"
+  "CMakeFiles/galvatron_ir.dir/dtype.cc.o.d"
+  "CMakeFiles/galvatron_ir.dir/layer.cc.o"
+  "CMakeFiles/galvatron_ir.dir/layer.cc.o.d"
+  "CMakeFiles/galvatron_ir.dir/model.cc.o"
+  "CMakeFiles/galvatron_ir.dir/model.cc.o.d"
+  "CMakeFiles/galvatron_ir.dir/model_zoo.cc.o"
+  "CMakeFiles/galvatron_ir.dir/model_zoo.cc.o.d"
+  "CMakeFiles/galvatron_ir.dir/op.cc.o"
+  "CMakeFiles/galvatron_ir.dir/op.cc.o.d"
+  "CMakeFiles/galvatron_ir.dir/tensor_shape.cc.o"
+  "CMakeFiles/galvatron_ir.dir/tensor_shape.cc.o.d"
+  "CMakeFiles/galvatron_ir.dir/transformer_builder.cc.o"
+  "CMakeFiles/galvatron_ir.dir/transformer_builder.cc.o.d"
+  "libgalvatron_ir.a"
+  "libgalvatron_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/galvatron_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parallel/decision_tree.cc" "src/parallel/CMakeFiles/galvatron_parallel.dir/decision_tree.cc.o" "gcc" "src/parallel/CMakeFiles/galvatron_parallel.dir/decision_tree.cc.o.d"
+  "/root/repo/src/parallel/layer_cost_model.cc" "src/parallel/CMakeFiles/galvatron_parallel.dir/layer_cost_model.cc.o" "gcc" "src/parallel/CMakeFiles/galvatron_parallel.dir/layer_cost_model.cc.o.d"
+  "/root/repo/src/parallel/pipeline_partition.cc" "src/parallel/CMakeFiles/galvatron_parallel.dir/pipeline_partition.cc.o" "gcc" "src/parallel/CMakeFiles/galvatron_parallel.dir/pipeline_partition.cc.o.d"
+  "/root/repo/src/parallel/plan.cc" "src/parallel/CMakeFiles/galvatron_parallel.dir/plan.cc.o" "gcc" "src/parallel/CMakeFiles/galvatron_parallel.dir/plan.cc.o.d"
+  "/root/repo/src/parallel/strategy.cc" "src/parallel/CMakeFiles/galvatron_parallel.dir/strategy.cc.o" "gcc" "src/parallel/CMakeFiles/galvatron_parallel.dir/strategy.cc.o.d"
+  "/root/repo/src/parallel/transformation.cc" "src/parallel/CMakeFiles/galvatron_parallel.dir/transformation.cc.o" "gcc" "src/parallel/CMakeFiles/galvatron_parallel.dir/transformation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/galvatron_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/galvatron_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/galvatron_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/comm/CMakeFiles/galvatron_comm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/galvatron_parallel.dir/decision_tree.cc.o"
+  "CMakeFiles/galvatron_parallel.dir/decision_tree.cc.o.d"
+  "CMakeFiles/galvatron_parallel.dir/layer_cost_model.cc.o"
+  "CMakeFiles/galvatron_parallel.dir/layer_cost_model.cc.o.d"
+  "CMakeFiles/galvatron_parallel.dir/pipeline_partition.cc.o"
+  "CMakeFiles/galvatron_parallel.dir/pipeline_partition.cc.o.d"
+  "CMakeFiles/galvatron_parallel.dir/plan.cc.o"
+  "CMakeFiles/galvatron_parallel.dir/plan.cc.o.d"
+  "CMakeFiles/galvatron_parallel.dir/strategy.cc.o"
+  "CMakeFiles/galvatron_parallel.dir/strategy.cc.o.d"
+  "CMakeFiles/galvatron_parallel.dir/transformation.cc.o"
+  "CMakeFiles/galvatron_parallel.dir/transformation.cc.o.d"
+  "libgalvatron_parallel.a"
+  "libgalvatron_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/galvatron_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

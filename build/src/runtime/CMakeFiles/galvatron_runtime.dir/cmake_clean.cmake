@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/galvatron_runtime.dir/training_session.cc.o"
+  "CMakeFiles/galvatron_runtime.dir/training_session.cc.o.d"
+  "libgalvatron_runtime.a"
+  "libgalvatron_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/galvatron_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/galvatron_search.dir/dp_search.cc.o"
+  "CMakeFiles/galvatron_search.dir/dp_search.cc.o.d"
+  "CMakeFiles/galvatron_search.dir/optimizer.cc.o"
+  "CMakeFiles/galvatron_search.dir/optimizer.cc.o.d"
+  "libgalvatron_search.a"
+  "libgalvatron_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/galvatron_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

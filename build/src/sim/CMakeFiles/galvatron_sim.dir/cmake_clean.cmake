@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/galvatron_sim.dir/engine.cc.o"
+  "CMakeFiles/galvatron_sim.dir/engine.cc.o.d"
+  "CMakeFiles/galvatron_sim.dir/simulator.cc.o"
+  "CMakeFiles/galvatron_sim.dir/simulator.cc.o.d"
+  "libgalvatron_sim.a"
+  "libgalvatron_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/galvatron_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/galvatron_util.dir/logging.cc.o"
+  "CMakeFiles/galvatron_util.dir/logging.cc.o.d"
+  "CMakeFiles/galvatron_util.dir/math_util.cc.o"
+  "CMakeFiles/galvatron_util.dir/math_util.cc.o.d"
+  "CMakeFiles/galvatron_util.dir/status.cc.o"
+  "CMakeFiles/galvatron_util.dir/status.cc.o.d"
+  "CMakeFiles/galvatron_util.dir/string_util.cc.o"
+  "CMakeFiles/galvatron_util.dir/string_util.cc.o.d"
+  "CMakeFiles/galvatron_util.dir/table_printer.cc.o"
+  "CMakeFiles/galvatron_util.dir/table_printer.cc.o.d"
+  "libgalvatron_util.a"
+  "libgalvatron_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/galvatron_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

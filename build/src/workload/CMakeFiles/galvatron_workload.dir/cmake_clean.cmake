@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/galvatron_workload.dir/workload.cc.o"
+  "CMakeFiles/galvatron_workload.dir/workload.cc.o.d"
+  "libgalvatron_workload.a"
+  "libgalvatron_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/galvatron_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

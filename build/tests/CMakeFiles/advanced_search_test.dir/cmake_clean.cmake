@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advanced_search_test.dir/advanced_search_test.cc.o"
+  "CMakeFiles/advanced_search_test.dir/advanced_search_test.cc.o.d"
+  "advanced_search_test"
+  "advanced_search_test.pdb"
+  "advanced_search_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advanced_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

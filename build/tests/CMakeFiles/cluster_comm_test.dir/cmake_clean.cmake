@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_comm_test.dir/cluster_comm_test.cc.o"
+  "CMakeFiles/cluster_comm_test.dir/cluster_comm_test.cc.o.d"
+  "cluster_comm_test"
+  "cluster_comm_test.pdb"
+  "cluster_comm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_comm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/galvatron_cli.dir/galvatron_cli.cc.o"
+  "CMakeFiles/galvatron_cli.dir/galvatron_cli.cc.o.d"
+  "galvatron_cli"
+  "galvatron_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/galvatron_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
