@@ -1,0 +1,88 @@
+/// Parallel search-engine benchmark: full Algorithm-1 sweeps on an 8-layer
+/// BERT over an 8-GPU node at increasing --search-threads, plus the effect
+/// of the sweep-wide shared cost cache. The "speedup" counter is wall time
+/// at 1 thread over wall time at N threads (>= 2x expected at N >= 4 on
+/// machines with >= 4 cores); plans are bit-identical at every N.
+
+#include <benchmark/benchmark.h>
+
+#include "cluster/cluster.h"
+#include "ir/model_zoo.h"
+#include "search/optimizer.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+
+namespace galvatron {
+namespace {
+
+ModelSpec EightLayerBert() {
+  BertConfig config;
+  config.num_layers = 8;
+  config.hidden = 1280;
+  config.heads = 16;
+  return BuildBert("bert-8", config);
+}
+
+/// One full optimizer sweep per iteration at state.range(0) threads.
+void BM_OptimizeVsThreads(benchmark::State& state) {
+  static double serial_seconds = 0.0;  // filled by the 1-thread run
+  const int threads = static_cast<int>(state.range(0));
+  ClusterSpec cluster = MakeTitanNode8(16 * kGB);
+  OptimizerOptions options;
+  options.search_threads = threads;
+  Optimizer optimizer(&cluster, options);
+  ModelSpec model = EightLayerBert();
+
+  double search_seconds = 0.0;
+  int64_t cache_hits = 0;
+  int64_t cache_misses = 0;
+  for (auto _ : state) {
+    auto result = optimizer.Optimize(model);
+    GALVATRON_CHECK(result.ok());
+    benchmark::DoNotOptimize(result);
+    search_seconds += result->stats.search_seconds;
+    cache_hits = result->stats.cost_cache_hits;
+    cache_misses = result->stats.cost_cache_misses;
+  }
+  const double mean_seconds =
+      search_seconds / static_cast<double>(state.iterations());
+  if (threads == 1) serial_seconds = mean_seconds;
+  state.counters["threads"] = threads;
+  state.counters["cache_hits"] = static_cast<double>(cache_hits);
+  state.counters["cache_misses"] = static_cast<double>(cache_misses);
+  if (threads > 1 && serial_seconds > 0.0) {
+    state.counters["speedup"] = serial_seconds / mean_seconds;
+  }
+}
+BENCHMARK(BM_OptimizeVsThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+/// Same sweep on all hardware threads — the CLI's --search-threads 0.
+void BM_OptimizeHardwareThreads(benchmark::State& state) {
+  ClusterSpec cluster = MakeTitanNode8(16 * kGB);
+  OptimizerOptions options;
+  options.search_threads = 0;
+  Optimizer optimizer(&cluster, options);
+  ModelSpec model = EightLayerBert();
+  for (auto _ : state) {
+    auto result = optimizer.Optimize(model);
+    GALVATRON_CHECK(result.ok());
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["threads"] =
+      static_cast<double>(ThreadPool::HardwareThreads());
+}
+BENCHMARK(BM_OptimizeHardwareThreads)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace galvatron
+
+BENCHMARK_MAIN();

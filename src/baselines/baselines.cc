@@ -170,6 +170,7 @@ Result<OptimizationResult> RunBaseline(BaselineKind kind,
       opt.max_batch = options.max_batch;
       opt.micro_batch_multipliers = options.micro_batch_multipliers;
       opt.memory_granularity = options.memory_granularity;
+      opt.search_threads = options.search_threads;
       return Optimizer(&cluster, opt).Optimize(model);
     }
     case BaselineKind::kAutoDpPp: {
@@ -183,6 +184,7 @@ Result<OptimizationResult> RunBaseline(BaselineKind kind,
       opt.max_batch = options.max_batch;
       opt.micro_batch_multipliers = options.micro_batch_multipliers;
       opt.memory_granularity = options.memory_granularity;
+      opt.search_threads = options.search_threads;
       return Optimizer(&cluster, opt).Optimize(model);
     }
     case BaselineKind::kGalvatron: {
@@ -193,6 +195,7 @@ Result<OptimizationResult> RunBaseline(BaselineKind kind,
       opt.max_batch = options.max_batch;
       opt.micro_batch_multipliers = options.micro_batch_multipliers;
       opt.memory_granularity = options.memory_granularity;
+      opt.search_threads = options.search_threads;
       return Optimizer(&cluster, opt).Optimize(model);
     }
   }

@@ -49,6 +49,10 @@ struct BaselineOptions {
   /// Micro-batch multipliers swept for pipelined plans.
   std::vector<int> micro_batch_multipliers = {1, 2, 4, 8};
   int64_t memory_granularity = int64_t{32} * 1024 * 1024;
+  /// Worker threads for the optimizer-backed baselines' strategy sweep
+  /// (1 = serial, 0 = hardware concurrency). Results are thread-count
+  /// independent; see OptimizerOptions::search_threads.
+  int search_threads = 1;
 };
 
 /// Finds `kind`'s best feasible configuration on (model, cluster): sweeps

@@ -134,7 +134,7 @@ Result<StageCost> CostEstimator::EstimateStage(
       GALVATRON_ASSIGN_OR_RETURN(
           TransformationCost transform,
           ComputeTransformationCost(
-              model.layer(first_layer + i - 1),
+              model.layer(first_layer + i - 1), layer,
               strategies[static_cast<size_t>(i) - 1],
               strategies[static_cast<size_t>(i)], stage_first_device, mb_size,
               *cluster_));

@@ -78,6 +78,11 @@ struct PlanCost {
 ///   Overlap(comp, comm) = max(comp, comm) + (k - 1) * min(comp, comm).
 /// With modelling disabled this degrades to the classic max(comp, comm)
 /// (PipeDream's choice, per the paper).
+///
+/// Thread-safety: all Estimate* methods are const, touch no mutable state,
+/// and may be called concurrently from the parallel search sweep — provided
+/// set_profile() is not called while estimates are in flight (configure the
+/// estimator fully, then search).
 class CostEstimator {
  public:
   /// `cluster` must outlive this object.

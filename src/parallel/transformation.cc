@@ -7,9 +7,9 @@
 namespace galvatron {
 
 Result<TransformationCost> ComputeTransformationCost(
-    const LayerSpec& prev_layer, const HybridStrategy& prev,
-    const HybridStrategy& next, int stage_first_device, int batch_per_group,
-    const ClusterSpec& cluster) {
+    const LayerSpec& /*prev_layer*/, const LayerSpec& next_layer,
+    const HybridStrategy& prev, const HybridStrategy& next,
+    int stage_first_device, int batch_per_group, const ClusterSpec& cluster) {
   if (prev.TotalDegree() != next.TotalDegree()) {
     return Status::InvalidArgument(StrFormat(
         "strategies %s and %s occupy different group sizes (%d vs %d)",
@@ -29,9 +29,10 @@ Result<TransformationCost> ComputeTransformationCost(
   if (m_next >= m_prev) return cost;
 
   // Less batch splitting: each device must gather the sample shards it is
-  // missing from r = m_prev / m_next peers.
+  // missing from r = m_prev / m_next peers. The gathered tensor is the
+  // activation the successor layer reads at the boundary.
   const int r = m_prev / m_next;
-  const int64_t needed_bytes = prev_layer.output_bytes() *
+  const int64_t needed_bytes = next_layer.input_bytes() *
                                CeilDiv(batch_per_group, m_next);
   cost.gathered_bytes = needed_bytes;
   cost.gather_group = r;

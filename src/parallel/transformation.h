@@ -30,13 +30,16 @@ struct TransformationCost {
   double seconds = 0.0;
 };
 
-/// Computes R for the boundary between `prev_layer` (running `prev`) and the
-/// next layer (running `next`) on a stage block starting at
-/// `stage_first_device`. `batch_per_group` is the stage's batch.
+/// Computes R for the boundary between `prev_layer` (running `prev`) and
+/// `next_layer` (running `next`) on a stage block starting at
+/// `stage_first_device`. `batch_per_group` is the stage's batch. The tensor
+/// being re-laid-out is the activation the successor consumes
+/// (`next_layer.input_bytes()`), so R depends on BOTH boundary layers —
+/// caches must key on both signatures.
 Result<TransformationCost> ComputeTransformationCost(
-    const LayerSpec& prev_layer, const HybridStrategy& prev,
-    const HybridStrategy& next, int stage_first_device, int batch_per_group,
-    const ClusterSpec& cluster);
+    const LayerSpec& prev_layer, const LayerSpec& next_layer,
+    const HybridStrategy& prev, const HybridStrategy& next,
+    int stage_first_device, int batch_per_group, const ClusterSpec& cluster);
 
 }  // namespace galvatron
 

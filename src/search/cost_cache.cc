@@ -1,0 +1,124 @@
+#include "search/cost_cache.h"
+
+#include <functional>
+
+#include "parallel/transformation.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace galvatron {
+
+SharedCostCache::SharedCostCache(const CostEstimator* estimator,
+                                 const ModelSpec* model)
+    : estimator_(estimator), model_(model) {
+  GALVATRON_CHECK(estimator != nullptr);
+  GALVATRON_CHECK(model != nullptr);
+}
+
+SharedCostCache::Shard& SharedCostCache::ShardFor(const std::string& key) {
+  const size_t h = std::hash<std::string>{}(key);
+  return shards_[h % static_cast<size_t>(kNumShards)];
+}
+
+std::string SharedCostCache::BlockFingerprint(const ClusterSpec& cluster,
+                                              int first_device, int span) {
+  // Per hierarchy level, the block either lies inside one level block
+  // ("u") or crosses boundaries whose in-block positions are determined by
+  // first_device mod the level span. Equal fingerprints => the blocks see
+  // the same link at every group shape a strategy can form.
+  std::string fp;
+  for (const TopologyLevel& level : cluster.levels()) {
+    const int offset = first_device % level.span;
+    if (offset + span <= level.span) {
+      fp += "u;";
+    } else {
+      fp += StrFormat("o%d;", offset);
+    }
+  }
+  return fp;
+}
+
+Result<LayerCost> SharedCostCache::Layer(int layer_index,
+                                         const HybridStrategy& strategy,
+                                         int stage_first_device,
+                                         int batch_per_group,
+                                         int micro_batches, bool recompute,
+                                         int resident_micro_batches) {
+  const LayerSpec& layer = model_->layer(layer_index);
+  const std::string key = StrFormat(
+      "%s|%s|%d|%d|%d|%d|%s", layer.signature().c_str(),
+      strategy.ToString().c_str(), recompute ? 1 : 0, batch_per_group,
+      micro_batches, resident_micro_batches,
+      BlockFingerprint(estimator_->cluster(), stage_first_device,
+                       strategy.TotalDegree() > 0 ? strategy.TotalDegree() : 1)
+          .c_str());
+  Shard& shard = ShardFor(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.layers.find(key);
+    if (it != shard.layers.end()) {
+      layer_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  layer_misses_.fetch_add(1, std::memory_order_relaxed);
+  GALVATRON_ASSIGN_OR_RETURN(
+      LayerCost cost,
+      estimator_->EstimateLayer(layer, strategy, stage_first_device,
+                                batch_per_group, micro_batches, recompute,
+                                resident_micro_batches));
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.layers.emplace(key, cost);
+  }
+  return cost;
+}
+
+Result<double> SharedCostCache::TransformSeconds(
+    int layer_index, const HybridStrategy& prev_strategy,
+    const HybridStrategy& next_strategy, int stage_first_device,
+    int mb_size) {
+  GALVATRON_CHECK_GT(layer_index, 0);
+  const LayerSpec& prev_layer = model_->layer(layer_index - 1);
+  const LayerSpec& next_layer = model_->layer(layer_index);
+  const std::string key = StrFormat(
+      "%s>%s|%s>%s|%d|%s", prev_layer.signature().c_str(),
+      next_layer.signature().c_str(), prev_strategy.ToString().c_str(),
+      next_strategy.ToString().c_str(), mb_size,
+      BlockFingerprint(estimator_->cluster(), stage_first_device,
+                       prev_strategy.TotalDegree() > 0
+                           ? prev_strategy.TotalDegree()
+                           : 1)
+          .c_str());
+  Shard& shard = ShardFor(key);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.transforms.find(key);
+    if (it != shard.transforms.end()) {
+      transform_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  transform_misses_.fetch_add(1, std::memory_order_relaxed);
+  GALVATRON_ASSIGN_OR_RETURN(
+      TransformationCost cost,
+      ComputeTransformationCost(prev_layer, next_layer, prev_strategy,
+                                next_strategy, stage_first_device, mb_size,
+                                estimator_->cluster()));
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.transforms.emplace(key, cost.seconds);
+  }
+  return cost.seconds;
+}
+
+CostCacheStats SharedCostCache::stats() const {
+  CostCacheStats stats;
+  stats.layer_hits = layer_hits_.load(std::memory_order_relaxed);
+  stats.layer_misses = layer_misses_.load(std::memory_order_relaxed);
+  stats.transform_hits = transform_hits_.load(std::memory_order_relaxed);
+  stats.transform_misses = transform_misses_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace galvatron

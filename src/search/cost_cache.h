@@ -1,0 +1,110 @@
+#ifndef GALVATRON_SEARCH_COST_CACHE_H_
+#define GALVATRON_SEARCH_COST_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "estimator/cost_estimator.h"
+#include "ir/model.h"
+#include "parallel/strategy.h"
+#include "util/result.h"
+
+namespace galvatron {
+
+/// Hit/miss counters of a SharedCostCache (SearchStats reports the sums).
+struct CostCacheStats {
+  int64_t layer_hits = 0;
+  int64_t layer_misses = 0;
+  int64_t transform_hits = 0;
+  int64_t transform_misses = 0;
+
+  int64_t hits() const { return layer_hits + transform_hits; }
+  int64_t misses() const { return layer_misses + transform_misses; }
+};
+
+/// A sweep-wide, thread-safe memoization layer over the cost estimator.
+///
+/// One instance lives for a whole Optimizer::Optimize call and is shared by
+/// every DpSearch::Run it issues (across PP degrees, batches, micro-batch
+/// counts, pipeline stages, worker threads and co-optimization rounds), so
+/// a repeated Transformer block is estimated once per distinct
+///   (layer signature, strategy, recompute, batch_per_group, micro_batches,
+///    resident_micro_batches)
+/// combination per sweep instead of once per Run. Transformation costs
+/// R(L, S_i, S_j) are keyed by BOTH boundary layers' signatures — keying on
+/// the predecessor alone aliases boundaries whose successor layers differ
+/// in input shape.
+///
+/// Keys additionally carry a topology fingerprint of the stage's device
+/// block, so stages whose blocks are topologically isomorphic (all aligned
+/// equal-span blocks of the hierarchical clusters here) share entries while
+/// blocks that straddle interconnect boundaries differently do not.
+///
+/// Thread-safety: Layer/TransformSeconds may be called concurrently; the
+/// table is sharded by key hash, each shard behind its own mutex, and the
+/// estimator is never invoked under a lock. Concurrent misses on one key
+/// may estimate it twice; the estimator is deterministic, so both writers
+/// store the same value. Estimator errors are returned uncached.
+class SharedCostCache {
+ public:
+  /// `estimator` and `model` must outlive this object, and the estimator's
+  /// configuration (options, profile table) must not change while searches
+  /// are running against this cache.
+  SharedCostCache(const CostEstimator* estimator, const ModelSpec* model);
+
+  SharedCostCache(const SharedCostCache&) = delete;
+  SharedCostCache& operator=(const SharedCostCache&) = delete;
+
+  const CostEstimator& estimator() const { return *estimator_; }
+  const ModelSpec& model() const { return *model_; }
+
+  /// Memoized c(l, s): EstimateLayer for model layer `layer_index`.
+  Result<LayerCost> Layer(int layer_index, const HybridStrategy& strategy,
+                          int stage_first_device, int batch_per_group,
+                          int micro_batches, bool recompute,
+                          int resident_micro_batches);
+
+  /// Memoized R(L, S_prev, S_next) for the boundary entering layer
+  /// `layer_index` (its predecessor is layer_index - 1), for ONE
+  /// application at micro-batch size `mb_size`. Callers scale by
+  /// 2 * micro_batches (forward + mirrored backward, per micro-batch).
+  Result<double> TransformSeconds(int layer_index,
+                                  const HybridStrategy& prev_strategy,
+                                  const HybridStrategy& next_strategy,
+                                  int stage_first_device, int mb_size);
+
+  CostCacheStats stats() const;
+
+  /// Canonical interconnect fingerprint of the device block
+  /// [first_device, first_device + span): two blocks with equal
+  /// fingerprints see identical link hierarchies, so per-layer and
+  /// transformation costs on them are identical.
+  static std::string BlockFingerprint(const ClusterSpec& cluster,
+                                      int first_device, int span);
+
+ private:
+  static constexpr int kNumShards = 16;
+
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<std::string, LayerCost> layers;
+    std::unordered_map<std::string, double> transforms;
+  };
+
+  Shard& ShardFor(const std::string& key);
+
+  const CostEstimator* estimator_;
+  const ModelSpec* model_;
+  Shard shards_[kNumShards];
+  std::atomic<int64_t> layer_hits_{0};
+  std::atomic<int64_t> layer_misses_{0};
+  std::atomic<int64_t> transform_hits_{0};
+  std::atomic<int64_t> transform_misses_{0};
+};
+
+}  // namespace galvatron
+
+#endif  // GALVATRON_SEARCH_COST_CACHE_H_

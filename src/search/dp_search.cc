@@ -4,6 +4,7 @@
 #include <functional>
 #include <limits>
 #include <map>
+#include <memory>
 #include <string>
 #include <tuple>
 
@@ -18,21 +19,29 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-/// Memoizes per-layer costs and transformation costs by layer signature, so
-/// repeated blocks (all Transformer stacks) hit the estimator once.
-class CostCache {
+/// Per-Run L1 over the sweep-wide SharedCostCache: repeated lookups inside
+/// one Run resolve through cheap signature-tuple keys without touching the
+/// shared table's locks; first touches fall through to the shared cache
+/// (which memoizes across Runs, stages, configurations and threads) and
+/// only a shared-cache miss reaches the estimator.
+class RunCostCache {
  public:
-  CostCache(const CostEstimator* estimator, const ModelSpec* model,
-            const std::vector<HybridStrategy>* candidates,
-            int stage_first_device, int batch_per_group, int micro_batches,
-            int resident_micro_batches = -1)
-      : estimator_(estimator),
-        model_(model),
+  RunCostCache(const CostEstimator* estimator, const ModelSpec* model,
+               const std::vector<HybridStrategy>* candidates,
+               int stage_first_device, int batch_per_group, int micro_batches,
+               int resident_micro_batches, SharedCostCache* shared)
+      : model_(model),
         candidates_(candidates),
         stage_first_device_(stage_first_device),
         batch_per_group_(batch_per_group),
         micro_batches_(micro_batches),
-        resident_micro_batches_(resident_micro_batches) {}
+        resident_micro_batches_(resident_micro_batches),
+        shared_(shared) {
+    if (shared_ == nullptr) {
+      owned_ = std::make_unique<SharedCostCache>(estimator, model);
+      shared_ = owned_.get();
+    }
+  }
 
   /// c(l, s) pieces; cached by (signature, strategy index, recompute).
   Result<LayerCost> Layer(int layer_index, int strategy_index,
@@ -44,45 +53,41 @@ class CostCache {
     if (it != layer_cache_.end()) return it->second;
     GALVATRON_ASSIGN_OR_RETURN(
         LayerCost cost,
-        estimator_->EstimateLayer(
-            layer, (*candidates_)[static_cast<size_t>(strategy_index)],
-            stage_first_device_, batch_per_group_, micro_batches_, recompute,
-            resident_micro_batches_));
+        shared_->Layer(layer_index,
+                       (*candidates_)[static_cast<size_t>(strategy_index)],
+                       stage_first_device_, batch_per_group_, micro_batches_,
+                       recompute, resident_micro_batches_));
     layer_cache_.emplace(key, cost);
     return cost;
   }
 
-  /// Scalar c(l, s) across the iteration.
-  Result<double> LayerSeconds(int layer_index, int strategy_index) {
-    GALVATRON_ASSIGN_OR_RETURN(LayerCost cost,
-                               Layer(layer_index, strategy_index));
-    return cost.IterationSeconds(micro_batches_, estimator_->options());
-  }
-
   /// R(l, s_prev, s): Slice-Gather between layer_index-1 and layer_index,
-  /// applied forward + backward per micro-batch.
+  /// applied forward + backward per micro-batch. Keyed by BOTH boundary
+  /// layers' signatures — the predecessor alone aliases boundaries whose
+  /// successor layers differ in input shape.
   Result<double> TransformSeconds(int layer_index, int prev_strategy,
                                   int strategy) {
-    const LayerSpec& prev_layer = model_->layer(layer_index - 1);
-    const std::tuple<std::string, int, int> key(prev_layer.signature(),
-                                                prev_strategy, strategy);
+    const std::tuple<std::string, std::string, int, int> key(
+        model_->layer(layer_index - 1).signature(),
+        model_->layer(layer_index).signature(), prev_strategy, strategy);
     auto it = transform_cache_.find(key);
     if (it != transform_cache_.end()) return it->second;
     const int mb_size =
         static_cast<int>(CeilDiv(batch_per_group_, micro_batches_));
     GALVATRON_ASSIGN_OR_RETURN(
-        TransformationCost cost,
-        ComputeTransformationCost(
-            prev_layer, (*candidates_)[static_cast<size_t>(prev_strategy)],
+        double once,
+        shared_->TransformSeconds(
+            layer_index, (*candidates_)[static_cast<size_t>(prev_strategy)],
             (*candidates_)[static_cast<size_t>(strategy)],
-            stage_first_device_, mb_size, estimator_->cluster()));
-    const double seconds = 2.0 * micro_batches_ * cost.seconds;
+            stage_first_device_, mb_size));
+    const double seconds = 2.0 * micro_batches_ * once;
     transform_cache_.emplace(key, seconds);
     return seconds;
   }
 
+  const CostEstimator& estimator() const { return shared_->estimator(); }
+
  private:
-  const CostEstimator* estimator_;
   const ModelSpec* model_;
   const std::vector<HybridStrategy>* candidates_;
   int stage_first_device_;
@@ -90,16 +95,36 @@ class CostCache {
   int micro_batches_;
   int resident_micro_batches_;
 
+  SharedCostCache* shared_;
+  std::unique_ptr<SharedCostCache> owned_;
+
   std::map<std::tuple<std::string, int, bool>, LayerCost> layer_cache_;
-  std::map<std::tuple<std::string, int, int>, double> transform_cache_;
+  std::map<std::tuple<std::string, std::string, int, int>, double>
+      transform_cache_;
 };
 
 /// One per-layer option of the DP: a candidate strategy, possibly with
-/// activation checkpointing.
+/// activation checkpointing. Plain strategies come first in option order,
+/// checkpointed variants after — ties prefer the lower option index, so a
+/// recompute variant never displaces an equal-cost plain strategy.
 struct LayerOption {
   int strategy_index = 0;
   bool recompute = false;
 };
+
+std::vector<LayerOption> ExpandOptions(int num_strategies,
+                                       bool allow_recompute) {
+  std::vector<LayerOption> option_list;
+  for (int s = 0; s < num_strategies; ++s) {
+    option_list.push_back(LayerOption{s, false});
+  }
+  if (allow_recompute) {
+    for (int s = 0; s < num_strategies; ++s) {
+      option_list.push_back(LayerOption{s, true});
+    }
+  }
+  return option_list;
+}
 
 }  // namespace
 
@@ -113,7 +138,7 @@ Result<DpSearchResult> DpSearch::Run(
     const ModelSpec& model, int first_layer, int num_layers,
     const std::vector<HybridStrategy>& candidates, int stage_first_device,
     int batch_per_group, int micro_batches, int64_t memory_budget,
-    int resident_micro_batches) const {
+    int resident_micro_batches, SharedCostCache* shared_cache) const {
   if (num_layers < 1 || first_layer < 0 ||
       first_layer + num_layers > model.num_layers()) {
     return Status::InvalidArgument("layer range out of bounds");
@@ -123,20 +148,14 @@ Result<DpSearchResult> DpSearch::Run(
   }
   // Expand the per-layer option space: every strategy, and (optionally) its
   // checkpointed variant.
-  std::vector<LayerOption> option_list;
-  for (int s = 0; s < static_cast<int>(candidates.size()); ++s) {
-    option_list.push_back(LayerOption{s, false});
-  }
-  if (options_.allow_recompute) {
-    for (int s = 0; s < static_cast<int>(candidates.size()); ++s) {
-      option_list.push_back(LayerOption{s, true});
-    }
-  }
+  const std::vector<LayerOption> option_list = ExpandOptions(
+      static_cast<int>(candidates.size()), options_.allow_recompute);
   const int num_candidates = static_cast<int>(option_list.size());
   const int64_t gran = options_.memory_granularity;
 
-  CostCache cache(estimator_, &model, &candidates, stage_first_device,
-                  batch_per_group, micro_batches, resident_micro_batches);
+  RunCostCache cache(estimator_, &model, &candidates, stage_first_device,
+                     batch_per_group, micro_batches, resident_micro_batches,
+                     shared_cache);
 
   // Reserve headroom for the largest transient (SDP weight gather) any
   // candidate might need; the remaining budget is then purely additive in
@@ -170,6 +189,8 @@ Result<DpSearchResult> DpSearch::Run(
   // Round the budget up: marginal acceptances are re-validated exactly by
   // the optimizer's EstimatePlan pass, so optimism here is safe while
   // pessimism would shrink the search space below the baselines'.
+  // BruteForceSearch applies the same CeilDiv so both searchers explore
+  // the same feasible set at granule-straddling budgets.
   const int budget_units =
       effective_budget > 0 ? static_cast<int>(CeilDiv(effective_budget, gran))
                            : -1;
@@ -233,6 +254,9 @@ Result<DpSearchResult> DpSearch::Run(
         const int pe = e - o;
         double best = kInf;
         int best_sp = -1;
+        // Strict < keeps the LOWEST predecessor option index on equal
+        // cost: deterministic tie-breaking so the reconstructed plan is
+        // byte-stable across runs and thread counts.
         for (int sp = 0; sp < num_candidates; ++sp) {
           const double prior = prev_dp[idx(pe, sp)];
           if (prior == kInf) continue;
@@ -257,7 +281,8 @@ Result<DpSearchResult> DpSearch::Run(
     std::swap(prev_dp, cur_dp);
   }
 
-  // Answer: best over strategies at the full budget.
+  // Answer: best over strategies at the full budget. Strict < again keeps
+  // the lowest option index on ties.
   double best = kInf;
   int best_s = -1;
   for (int s = 0; s < num_candidates; ++s) {
@@ -305,16 +330,25 @@ Result<DpSearchResult> BruteForceSearch(
     const CostEstimator& estimator, const ModelSpec& model, int first_layer,
     int num_layers, const std::vector<HybridStrategy>& candidates,
     int stage_first_device, int batch_per_group, int micro_batches,
-    int64_t memory_budget, int64_t memory_granularity) {
+    int64_t memory_budget, DpSearchOptions options,
+    SharedCostCache* shared_cache) {
   if (num_layers < 1 || candidates.empty()) {
     return Status::InvalidArgument("empty search");
   }
-  const int num_candidates = static_cast<int>(candidates.size());
+  if (options.memory_granularity <= 0) {
+    return Status::InvalidArgument("memory granularity must be positive");
+  }
+  // Same option expansion as DpSearch: strategies, then (optionally) their
+  // checkpointed variants.
+  const std::vector<LayerOption> option_list = ExpandOptions(
+      static_cast<int>(candidates.size()), options.allow_recompute);
+  const int num_candidates = static_cast<int>(option_list.size());
   // Matches DpSearch's quantized accounting exactly so tests can compare.
-  const int64_t gran = memory_granularity;
+  const int64_t gran = options.memory_granularity;
 
-  CostCache cache(&estimator, &model, &candidates, stage_first_device,
-                  batch_per_group, micro_batches);
+  RunCostCache cache(&estimator, &model, &candidates, stage_first_device,
+                     batch_per_group, micro_batches,
+                     /*resident_micro_batches=*/-1, shared_cache);
   int64_t max_transient = 0;
   std::vector<std::vector<int>> units(
       static_cast<size_t>(num_layers),
@@ -324,8 +358,10 @@ Result<DpSearchResult> BruteForceSearch(
       std::vector<double>(static_cast<size_t>(num_candidates), kInf));
   for (int l = 0; l < num_layers; ++l) {
     for (int s = 0; s < num_candidates; ++s) {
-      GALVATRON_ASSIGN_OR_RETURN(LayerCost cost,
-                                 cache.Layer(first_layer + l, s));
+      const LayerOption& option = option_list[static_cast<size_t>(s)];
+      GALVATRON_ASSIGN_OR_RETURN(
+          LayerCost cost, cache.Layer(first_layer + l, option.strategy_index,
+                                      option.recompute));
       max_transient =
           std::max(max_transient, 2 * cost.transient_memory_bytes);
       units[static_cast<size_t>(l)][static_cast<size_t>(s)] =
@@ -335,8 +371,12 @@ Result<DpSearchResult> BruteForceSearch(
     }
   }
   const int64_t effective_budget = memory_budget - max_transient;
+  // CeilDiv, exactly like DpSearch::Run: flooring here would admit one
+  // granule less than the DP at budgets that straddle a granule boundary,
+  // making the two searchers disagree at marginal budgets.
   const int budget_units =
-      effective_budget > 0 ? static_cast<int>(effective_budget / gran) : -1;
+      effective_budget > 0 ? static_cast<int>(CeilDiv(effective_budget, gran))
+                           : -1;
   if (budget_units < 0) {
     return Status::Infeasible("memory budget below transient headroom");
   }
@@ -346,7 +386,9 @@ Result<DpSearchResult> BruteForceSearch(
   std::vector<int> assignment(static_cast<size_t>(num_layers), 0);
   std::vector<int> best_assignment;
 
-  // Depth-first enumeration with cost/memory pruning.
+  // Depth-first enumeration with cost/memory pruning. The >= prune keeps
+  // the first optimum in option order — the lexicographically smallest
+  // assignment, mirroring the DP's lowest-index tie-breaking.
   std::function<Status(int, int, double)> recurse =
       [&](int l, int used, double cost) -> Status {
     if (cost >= best.stage_seconds) return Status::OK();  // prune
@@ -360,8 +402,11 @@ Result<DpSearchResult> BruteForceSearch(
       if (used + o > budget_units) continue;
       double step = seconds[static_cast<size_t>(l)][static_cast<size_t>(s)];
       if (l > 0) {
+        const int prev_option = assignment[static_cast<size_t>(l) - 1];
         auto r = cache.TransformSeconds(
-            first_layer + l, assignment[static_cast<size_t>(l) - 1], s);
+            first_layer + l,
+            option_list[static_cast<size_t>(prev_option)].strategy_index,
+            option_list[static_cast<size_t>(s)].strategy_index);
         if (!r.ok()) return r.status();
         step += *r;
       }
@@ -377,7 +422,10 @@ Result<DpSearchResult> BruteForceSearch(
   }
   for (int l = 0; l < num_layers; ++l) {
     const int s = best_assignment[static_cast<size_t>(l)];
-    best.per_layer.push_back(candidates[static_cast<size_t>(s)]);
+    const LayerOption& option = option_list[static_cast<size_t>(s)];
+    best.per_layer.push_back(
+        candidates[static_cast<size_t>(option.strategy_index)]);
+    best.per_layer_recompute.push_back(option.recompute ? 1 : 0);
     best.resident_memory_bytes +=
         static_cast<int64_t>(
             units[static_cast<size_t>(l)][static_cast<size_t>(s)]) *

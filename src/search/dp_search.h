@@ -7,6 +7,7 @@
 #include "estimator/cost_estimator.h"
 #include "ir/model.h"
 #include "parallel/strategy.h"
+#include "search/cost_cache.h"
 #include "util/result.h"
 
 namespace galvatron {
@@ -57,26 +58,42 @@ class DpSearch {
   /// micro-batches, under `memory_budget` bytes per device.
   /// `resident_micro_batches`: how many micro-batches' activations the
   /// pipeline schedule keeps live on this stage (-1 = all, i.e. GPipe).
+  /// `shared_cache` (optional): a sweep-wide memo over the estimator so
+  /// repeated layer signatures are estimated once per sweep instead of
+  /// once per Run; it must wrap the same estimator and model. Run is const
+  /// and thread-safe, so independent configurations may Run concurrently
+  /// against one shared cache.
+  ///
+  /// Tie-breaking is deterministic: on equal cost the DP keeps the lowest
+  /// option index (lowest strategy index, recompute variants after plain
+  /// ones), so the returned plan is byte-stable across runs and thread
+  /// counts.
   Result<DpSearchResult> Run(const ModelSpec& model, int first_layer,
                              int num_layers,
                              const std::vector<HybridStrategy>& candidates,
                              int stage_first_device, int batch_per_group,
                              int micro_batches, int64_t memory_budget,
-                             int resident_micro_batches = -1) const;
+                             int resident_micro_batches = -1,
+                             SharedCostCache* shared_cache = nullptr) const;
 
  private:
   const CostEstimator* estimator_;
   DpSearchOptions options_;
 };
 
-/// Reference searcher: exhaustively enumerates all |S|^L assignments with
-/// identical cost accounting. Exponential — tests only.
+/// Reference searcher: exhaustively enumerates all assignments over the
+/// same option space as DpSearch (every candidate strategy, plus its
+/// checkpointed variant when `options.allow_recompute`) with identical
+/// cost accounting — including the budget quantization, which rounds the
+/// effective budget up with CeilDiv exactly like DpSearch::Run, so the two
+/// searchers explore the same feasible set at marginal budgets.
+/// Exponential — tests only.
 Result<DpSearchResult> BruteForceSearch(
     const CostEstimator& estimator, const ModelSpec& model, int first_layer,
     int num_layers, const std::vector<HybridStrategy>& candidates,
     int stage_first_device, int batch_per_group, int micro_batches,
-    int64_t memory_budget,
-    int64_t memory_granularity = DpSearchOptions{}.memory_granularity);
+    int64_t memory_budget, DpSearchOptions options = {},
+    SharedCostCache* shared_cache = nullptr);
 
 }  // namespace galvatron
 

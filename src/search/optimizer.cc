@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <chrono>
 #include <map>
+#include <memory>
 #include <set>
 #include <utility>
 
+#include "search/cost_cache.h"
 #include "util/logging.h"
 #include "util/math_util.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace galvatron {
 
@@ -23,6 +26,53 @@ std::vector<int> DefaultPipelineDegrees(int num_devices, int num_layers) {
   }
   return degrees;
 }
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// A plan plus the bookkeeping that makes selection a total order.
+struct RankedPlan {
+  TrainingPlan plan;
+  PlanCost cost;
+  /// Within one configuration: uniform single-strategy candidates get their
+  /// enumeration index, the DP plan gets candidates.size() — matching the
+  /// order the serial sweep considered them in.
+  int candidate_rank = 0;
+  /// Global enumeration ordinal of the (batch, degree, micro) configuration.
+  int config_ordinal = 0;
+};
+
+/// Total order over plans: higher estimated throughput wins; exact ties
+/// resolve to the lower PP degree, then the earlier-enumerated
+/// configuration, then the earlier-considered candidate. Because no term
+/// depends on evaluation timing, the merged winner is byte-identical
+/// whether configurations were evaluated serially or by racing workers.
+bool BetterPlan(const RankedPlan& a, const RankedPlan& b) {
+  if (a.cost.throughput_samples_per_sec != b.cost.throughput_samples_per_sec) {
+    return a.cost.throughput_samples_per_sec >
+           b.cost.throughput_samples_per_sec;
+  }
+  if (a.plan.pp_degree() != b.plan.pp_degree()) {
+    return a.plan.pp_degree() < b.plan.pp_degree();
+  }
+  if (a.config_ordinal != b.config_ordinal) {
+    return a.config_ordinal < b.config_ordinal;
+  }
+  return a.candidate_rank < b.candidate_rank;
+}
+
+/// Everything one worker produces for one configuration. Merged serially in
+/// ordinal order after each wave.
+struct ConfigOutcome {
+  bool feasible = false;  // at least one plan passed EstimatePlan
+  bool has_best = false;
+  RankedPlan best;
+  int64_t dp_states = 0;
+  Status error;  // non-OK only on fatal (non-OOM, non-infeasible) errors
+};
 
 }  // namespace
 
@@ -46,6 +96,11 @@ Result<OptimizationResult> Optimizer::Optimize(const ModelSpec& model) const {
   dp_options.memory_granularity = options_.memory_granularity;
   dp_options.allow_recompute = options_.allow_recompute;
   DpSearch search(&estimator_, dp_options);
+
+  // Sweep-wide memo over the estimator: every stage search of every
+  // configuration (and every worker thread) shares it, so a repeated
+  // Transformer block is estimated once per distinct shape per sweep.
+  SharedCostCache shared_cache(&estimator_, &model);
 
   // Pre-enumerate candidates and partitions per PP degree (B-independent).
   struct PerDegree {
@@ -91,32 +146,122 @@ Result<OptimizationResult> Optimizer::Optimize(const ModelSpec& model) const {
     return Status::InvalidArgument("no valid pipeline degrees");
   }
 
-  OptimizationResult best;
-  bool have_best = false;
   SearchStats stats;
   stats.num_candidate_strategies = static_cast<int>(candidate_names.size());
-  // Best (plan, estimated throughput) per PP degree, kept as alternates.
-  std::map<int, std::pair<TrainingPlan, double>> best_per_degree;
+  stats.enumerate_seconds = SecondsSince(start);
 
-  auto consider = [&](TrainingPlan plan, PlanCost cost) {
-    const double tput = cost.throughput_samples_per_sec;
-    auto it = best_per_degree.find(plan.pp_degree());
-    if (it == best_per_degree.end() || tput > it->second.second) {
-      best_per_degree[plan.pp_degree()] = {plan, tput};
+  int threads = options_.search_threads;
+  if (threads == 0) threads = ThreadPool::HardwareThreads();
+  if (threads < 1) threads = 1;
+  stats.search_threads_used = threads;
+  std::unique_ptr<ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
+
+  // Evaluates one (batch, degree, micro) configuration. Pure function of
+  // its arguments plus the (thread-safe, const) estimator and shared cache
+  // — safe to run on any worker.
+  auto evaluate = [&](const PerDegree& degree, int batch, int micro,
+                      int config_ordinal) -> ConfigOutcome {
+    ConfigOutcome out;
+    // Uniform single-strategy plans first: they are points of the same
+    // search space, and evaluating them through the exact estimator
+    // guarantees the search never loses to a pure baseline because of
+    // DP-table memory quantization.
+    for (size_t c = 0; c < degree.candidates.size(); ++c) {
+      auto uniform =
+          MakeUniformPlan(model, num_devices, degree.pp, degree.stage_sizes,
+                          degree.candidates[c], batch, micro);
+      if (!uniform.ok()) continue;
+      uniform->schedule = options_.schedule;
+      auto uniform_cost = estimator_.EstimatePlan(model, *uniform);
+      if (!uniform_cost.ok()) continue;
+      out.feasible = true;
+      RankedPlan ranked{*std::move(uniform), *std::move(uniform_cost),
+                        static_cast<int>(c), config_ordinal};
+      if (!out.has_best || BetterPlan(ranked, out.best)) {
+        out.best = std::move(ranked);
+        out.has_best = true;
+      }
     }
-    if (!have_best ||
-        tput > best.estimated.throughput_samples_per_sec) {
-      best.plan = std::move(plan);
-      best.estimated = std::move(cost);
-      have_best = true;
+
+    TrainingPlan plan;
+    plan.model_name = model.name();
+    plan.global_batch = batch;
+    plan.num_micro_batches = micro;
+    plan.schedule = options_.schedule;
+
+    bool oom = false;
+    int first_layer = 0;
+    const int devices_per_stage = num_devices / degree.pp;
+    for (int s = 0; s < degree.pp && !oom; ++s) {
+      const int stage_layers = degree.stage_sizes[static_cast<size_t>(s)];
+      const int64_t stage_budget = cluster_->MinMemoryInRange(
+          s * devices_per_stage, devices_per_stage);
+      auto result = search.Run(model, first_layer, stage_layers,
+                               degree.candidates, s * devices_per_stage,
+                               batch, micro, stage_budget,
+                               plan.InFlightForDegree(degree.pp, s),
+                               &shared_cache);
+      if (!result.ok()) {
+        if (result.status().IsInfeasible() ||
+            result.status().IsOutOfMemory()) {
+          oom = true;
+          break;
+        }
+        out.error = result.status();
+        return out;
+      }
+      out.dp_states += result->states_explored;
+      StagePlan stage;
+      stage.first_device = s * devices_per_stage;
+      stage.num_devices = devices_per_stage;
+      stage.first_layer = first_layer;
+      stage.num_layers = stage_layers;
+      stage.layer_strategies = std::move(result->per_layer);
+      if (options_.allow_recompute) {
+        stage.recompute = std::move(result->per_layer_recompute);
+      }
+      plan.stages.push_back(std::move(stage));
+      first_layer += stage_layers;
     }
+    if (oom) return out;
+
+    auto cost = estimator_.EstimatePlan(model, plan);
+    if (!cost.ok()) {
+      if (!cost.status().IsOutOfMemory()) out.error = cost.status();
+      return out;
+    }
+    out.feasible = true;
+    RankedPlan ranked{std::move(plan), *std::move(cost),
+                      static_cast<int>(degree.candidates.size()),
+                      config_ordinal};
+    if (!out.has_best || BetterPlan(ranked, out.best)) {
+      out.best = std::move(ranked);
+      out.has_best = true;
+    }
+    return out;
   };
 
+  RankedPlan best;
+  bool have_best = false;
+  // Best plan per PP degree, kept as alternates.
+  std::map<int, RankedPlan> best_per_degree;
+  int next_ordinal = 0;
+
   // Algorithm 1: grow the batch until every PP degree is out of memory.
+  // The batch loop stays serial (its exit condition depends on this wave's
+  // feasibility); within a wave, the independent (degree, micro)
+  // configurations fan out across the pool and are merged in enumeration
+  // order below.
   for (int batch = options_.batch_step;
        batch <= options_.max_batch; batch += options_.batch_step) {
-    bool any_feasible = false;
     bool any_pending = false;  // degrees whose pipelines the batch can't fill yet
+    struct ConfigTask {
+      const PerDegree* degree;
+      int micro;
+      int ordinal;
+    };
+    std::vector<ConfigTask> tasks;
     for (const PerDegree& degree : degrees) {
       // Micro-batch counts: 1 for the non-pipelined case, else multiples of
       // the stage count (GPipe needs m >= P to fill the pipe).
@@ -133,81 +278,43 @@ Result<OptimizationResult> Optimizer::Optimize(const ModelSpec& model) const {
         }
         if (micro_counts.empty()) any_pending = true;
       }
-
       for (int micro : micro_counts) {
-        ++stats.configs_explored;
+        tasks.push_back(ConfigTask{&degree, micro, next_ordinal++});
+      }
+    }
 
-        // Uniform single-strategy plans first: they are points of the same
-        // search space, and evaluating them through the exact estimator
-        // guarantees the search never loses to a pure baseline because of
-        // DP-table memory quantization.
-        for (const HybridStrategy& candidate : degree.candidates) {
-          auto uniform =
-              MakeUniformPlan(model, num_devices, degree.pp,
-                              degree.stage_sizes, candidate, batch, micro);
-          if (!uniform.ok()) continue;
-          uniform->schedule = options_.schedule;
-          auto uniform_cost = estimator_.EstimatePlan(model, *uniform);
-          if (!uniform_cost.ok()) continue;
-          any_feasible = true;
-          consider(*std::move(uniform), *std::move(uniform_cost));
-        }
+    std::vector<ConfigOutcome> outcomes(tasks.size());
+    ParallelFor(pool.get(), static_cast<int>(tasks.size()), [&](int i) {
+      const ConfigTask& task = tasks[static_cast<size_t>(i)];
+      outcomes[static_cast<size_t>(i)] =
+          evaluate(*task.degree, batch, task.micro, task.ordinal);
+    });
 
-        TrainingPlan plan;
-        plan.model_name = model.name();
-        plan.global_batch = batch;
-        plan.num_micro_batches = micro;
-        plan.schedule = options_.schedule;
-
-        bool oom = false;
-        int first_layer = 0;
-        const int devices_per_stage = num_devices / degree.pp;
-        for (int s = 0; s < degree.pp && !oom; ++s) {
-          const int stage_layers =
-              degree.stage_sizes[static_cast<size_t>(s)];
-          const int64_t stage_budget = cluster_->MinMemoryInRange(
-              s * devices_per_stage, devices_per_stage);
-          auto result = search.Run(model, first_layer, stage_layers,
-                                   degree.candidates,
-                                   s * devices_per_stage, batch, micro,
-                                   stage_budget,
-                                   plan.InFlightForDegree(degree.pp, s));
-          if (!result.ok()) {
-            if (result.status().IsInfeasible() ||
-                result.status().IsOutOfMemory()) {
-              oom = true;
-              break;
-            }
-            return result.status();
-          }
-          stats.dp_states_explored += result->states_explored;
-          StagePlan stage;
-          stage.first_device = s * devices_per_stage;
-          stage.num_devices = devices_per_stage;
-          stage.first_layer = first_layer;
-          stage.num_layers = stage_layers;
-          stage.layer_strategies = std::move(result->per_layer);
-          if (options_.allow_recompute) {
-            stage.recompute = std::move(result->per_layer_recompute);
-          }
-          plan.stages.push_back(std::move(stage));
-          first_layer += stage_layers;
-        }
-        if (oom) continue;
-
-        auto cost = estimator_.EstimatePlan(model, plan);
-        if (!cost.ok()) {
-          if (cost.status().IsOutOfMemory()) continue;
-          return cost.status();
-        }
-        any_feasible = true;
-        consider(std::move(plan), *std::move(cost));
+    // Deterministic merge: walk outcomes in enumeration order; the first
+    // fatal error (by ordinal) is returned, exactly as the serial sweep
+    // would have surfaced it.
+    bool any_feasible = false;
+    for (ConfigOutcome& out : outcomes) {
+      if (!out.error.ok()) return out.error;
+      ++stats.configs_explored;
+      stats.dp_states_explored += out.dp_states;
+      any_feasible = any_feasible || out.feasible;
+      if (!out.has_best) continue;
+      const int pp = out.best.plan.pp_degree();
+      auto it = best_per_degree.find(pp);
+      if (it == best_per_degree.end() || BetterPlan(out.best, it->second)) {
+        best_per_degree[pp] = out.best;
+      }
+      if (!have_best || BetterPlan(out.best, best)) {
+        best = std::move(out.best);
+        have_best = true;
       }
     }
     if (!any_feasible && !any_pending) {
       break;  // larger batches only use more memory
     }
   }
+  stats.sweep_seconds = SecondsSince(start) - stats.enumerate_seconds;
 
   if (!have_best) {
     return Status::Infeasible(StrFormat(
@@ -216,22 +323,28 @@ Result<OptimizationResult> Optimizer::Optimize(const ModelSpec& model) const {
         HumanBytes(static_cast<double>(cluster_->device_memory_bytes()))
             .c_str()));
   }
+
+  OptimizationResult result;
+  result.plan = std::move(best.plan);
+  result.estimated = std::move(best.cost);
+
   // Co-optimization: feed the winning plan's measured per-layer times back
   // into the pipeline partitioner and re-search each stage.
+  const auto co_optimize_start = std::chrono::steady_clock::now();
   for (int round = 0;
-       round < options_.co_optimize_rounds && best.plan.pp_degree() > 1;
+       round < options_.co_optimize_rounds && result.plan.pp_degree() > 1;
        ++round) {
-    const int pp = best.plan.pp_degree();
+    const int pp = result.plan.pp_degree();
     const int devices_per_stage = num_devices / pp;
     std::vector<double> layer_seconds;
     bool measured = true;
-    for (const StagePlan& stage : best.plan.stages) {
+    for (const StagePlan& stage : result.plan.stages) {
       auto cost = estimator_.EstimateStage(
           model, stage.first_layer, stage.num_layers, stage.layer_strategies,
-          stage.first_device, best.plan.global_batch,
-          best.plan.num_micro_batches, stage.recompute,
-          best.plan.InFlightMicroBatches(
-              static_cast<int>(&stage - best.plan.stages.data())));
+          stage.first_device, result.plan.global_batch,
+          result.plan.num_micro_batches, stage.recompute,
+          result.plan.InFlightMicroBatches(
+              static_cast<int>(&stage - result.plan.stages.data())));
       if (!cost.ok()) {
         measured = false;
         break;
@@ -246,7 +359,7 @@ Result<OptimizationResult> Optimizer::Optimize(const ModelSpec& model) const {
     bool same = true;
     for (int s = 0; s < pp; ++s) {
       if ((*sizes)[static_cast<size_t>(s)] !=
-          best.plan.stages[static_cast<size_t>(s)].num_layers) {
+          result.plan.stages[static_cast<size_t>(s)].num_layers) {
         same = false;
       }
     }
@@ -257,20 +370,21 @@ Result<OptimizationResult> Optimizer::Optimize(const ModelSpec& model) const {
     if (!candidates.ok()) break;
     TrainingPlan refined;
     refined.model_name = model.name();
-    refined.global_batch = best.plan.global_batch;
-    refined.num_micro_batches = best.plan.num_micro_batches;
-    refined.schedule = best.plan.schedule;
+    refined.global_batch = result.plan.global_batch;
+    refined.num_micro_batches = result.plan.num_micro_batches;
+    refined.schedule = result.plan.schedule;
     int first_layer = 0;
     bool oom = false;
     for (int s = 0; s < pp && !oom; ++s) {
       const int stage_layers = (*sizes)[static_cast<size_t>(s)];
       const int64_t stage_budget = cluster_->MinMemoryInRange(
           s * devices_per_stage, devices_per_stage);
-      auto result = search.Run(model, first_layer, stage_layers, *candidates,
-                               s * devices_per_stage, refined.global_batch,
-                               refined.num_micro_batches, stage_budget,
-                               refined.InFlightForDegree(pp, s));
-      if (!result.ok()) {
+      auto stage_result =
+          search.Run(model, first_layer, stage_layers, *candidates,
+                     s * devices_per_stage, refined.global_batch,
+                     refined.num_micro_batches, stage_budget,
+                     refined.InFlightForDegree(pp, s), &shared_cache);
+      if (!stage_result.ok()) {
         oom = true;
         break;
       }
@@ -279,9 +393,9 @@ Result<OptimizationResult> Optimizer::Optimize(const ModelSpec& model) const {
       stage.num_devices = devices_per_stage;
       stage.first_layer = first_layer;
       stage.num_layers = stage_layers;
-      stage.layer_strategies = std::move(result->per_layer);
+      stage.layer_strategies = std::move(stage_result->per_layer);
       if (options_.allow_recompute) {
-        stage.recompute = std::move(result->per_layer_recompute);
+        stage.recompute = std::move(stage_result->per_layer_recompute);
       }
       refined.stages.push_back(std::move(stage));
       first_layer += stage_layers;
@@ -289,23 +403,25 @@ Result<OptimizationResult> Optimizer::Optimize(const ModelSpec& model) const {
     if (oom) break;
     auto cost = estimator_.EstimatePlan(model, refined);
     if (!cost.ok() || cost->throughput_samples_per_sec <=
-                          best.estimated.throughput_samples_per_sec) {
+                          result.estimated.throughput_samples_per_sec) {
       break;
     }
-    best.plan = std::move(refined);
-    best.estimated = *std::move(cost);
+    result.plan = std::move(refined);
+    result.estimated = *std::move(cost);
   }
+  stats.co_optimize_seconds = SecondsSince(co_optimize_start);
 
   for (auto& [pp, entry] : best_per_degree) {
-    if (pp != best.plan.pp_degree()) {
-      best.alternates.push_back(std::move(entry.first));
+    if (pp != result.plan.pp_degree()) {
+      result.alternates.push_back(std::move(entry.plan));
     }
   }
-  stats.search_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-          .count();
-  best.stats = stats;
-  return best;
+  const CostCacheStats cache_stats = shared_cache.stats();
+  stats.cost_cache_hits = cache_stats.hits();
+  stats.cost_cache_misses = cache_stats.misses();
+  stats.search_seconds = SecondsSince(start);
+  result.stats = stats;
+  return result;
 }
 
 }  // namespace galvatron

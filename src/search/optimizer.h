@@ -52,6 +52,14 @@ struct OptimizerOptions {
   /// plan's own per-layer times and re-run the per-stage search, keeping
   /// improvements. 0 reproduces the paper's one-shot workflow.
   int co_optimize_rounds = 0;
+
+  /// Worker threads for the strategy sweep. The independent (PP degree,
+  /// micro-batch count) configurations of each batch wave fan out across
+  /// this many threads; 1 keeps the sweep serial, 0 uses the machine's
+  /// hardware concurrency. The result is bit-identical for every value —
+  /// outcomes are merged in enumeration order with total-order
+  /// tie-breaking, never first-finished-wins.
+  int search_threads = 1;
 };
 
 /// Telemetry of one optimizer run (Figure 4 reports search time).
@@ -60,6 +68,20 @@ struct SearchStats {
   int configs_explored = 0;        // (B, P, m) triples evaluated
   int64_t dp_states_explored = 0;  // DP table cells touched
   int num_candidate_strategies = 0;
+
+  /// Wall time per phase: candidate/partition enumeration, the batch/degree
+  /// sweep (the parallel part), and co-optimization rounds.
+  double enumerate_seconds = 0.0;
+  double sweep_seconds = 0.0;
+  double co_optimize_seconds = 0.0;
+
+  /// Shared cost-cache counters, summed over layer and transformation
+  /// lookups. A miss is one estimator invocation.
+  int64_t cost_cache_hits = 0;
+  int64_t cost_cache_misses = 0;
+
+  /// Worker threads the sweep actually used (resolves search_threads == 0).
+  int search_threads_used = 1;
 };
 
 /// A plan with its estimated performance. `alternates` holds the best plan

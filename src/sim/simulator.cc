@@ -203,6 +203,7 @@ Result<SimMetrics> Simulator::RunInternal(
             TransformationCost transform,
             ComputeTransformationCost(
                 model.layer(stage.first_layer + i - 1),
+                model.layer(stage.first_layer + i),
                 stage.layer_strategies[static_cast<size_t>(i) - 1], strategy,
                 stage.first_device, mb_size, *cluster_));
         stage_transforms[static_cast<size_t>(s)].push_back(transform.seconds);

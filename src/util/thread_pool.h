@@ -1,0 +1,66 @@
+#ifndef GALVATRON_UTIL_THREAD_POOL_H_
+#define GALVATRON_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace galvatron {
+
+/// A small fixed-size worker pool with a shared FIFO task queue. Built for
+/// the search engine's fan-out of independent (PP degree, batch,
+/// micro-batch) configurations: tasks are submitted in waves and joined
+/// with Wait() between waves, so the pool stays warm across Algorithm 1's
+/// batch sweep instead of paying thread start-up per wave.
+///
+/// Thread-safety: Submit and Wait may be called from any thread. Tasks must
+/// not themselves call Submit/Wait on the same pool (no nested submission —
+/// the search fan-out is a flat task list per wave).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues one task.
+  void Submit(std::function<void()> fn);
+
+  /// Blocks until every submitted task has finished running.
+  void Wait();
+
+  /// The machine's hardware concurrency (>= 1 even when unknown).
+  static int HardwareThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  int in_flight_ = 0;  // queued + currently executing tasks
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs fn(0), ..., fn(count - 1), distributing the calls across `pool`.
+/// Blocks until every call has finished. With a null pool (or count <= 1)
+/// the calls run inline on the caller, in index order — the serial baseline
+/// and the parallel path share one code shape, which is what makes
+/// "identical results regardless of thread count" testable.
+void ParallelFor(ThreadPool* pool, int count,
+                 const std::function<void(int)>& fn);
+
+}  // namespace galvatron
+
+#endif  // GALVATRON_UTIL_THREAD_POOL_H_

@@ -166,7 +166,7 @@ class TransformationTest : public ::testing::Test {
 TEST_F(TransformationTest, IdenticalStrategiesAreFree) {
   LayerSpec layer = BertLayer();
   HybridStrategy s = Make({{ParallelDim::kTensor, 2}, {ParallelDim::kData, 2}});
-  auto cost = ComputeTransformationCost(layer, s, s, 0, 16, cluster_);
+  auto cost = ComputeTransformationCost(layer, layer, s, s, 0, 16, cluster_);
   ASSERT_TRUE(cost.ok());
   EXPECT_DOUBLE_EQ(cost->seconds, 0.0);
 }
@@ -176,7 +176,7 @@ TEST_F(TransformationTest, PaperSpecialCaseTp4ToDp4IsFree) {
   // communication cost.
   LayerSpec layer = BertLayer();
   auto cost = ComputeTransformationCost(
-      layer, Make({{ParallelDim::kTensor, 4}}),
+      layer, layer, Make({{ParallelDim::kTensor, 4}}),
       Make({{ParallelDim::kData, 4}}), 0, 16, cluster_);
   ASSERT_TRUE(cost.ok());
   EXPECT_DOUBLE_EQ(cost->seconds, 0.0);
@@ -187,12 +187,12 @@ TEST_F(TransformationTest, Dp4ToTp4RequiresGather) {
   // The reverse direction must gather the full batch on every device.
   LayerSpec layer = BertLayer();
   auto cost = ComputeTransformationCost(
-      layer, Make({{ParallelDim::kData, 4}}),
+      layer, layer, Make({{ParallelDim::kData, 4}}),
       Make({{ParallelDim::kTensor, 4}}), 0, 16, cluster_);
   ASSERT_TRUE(cost.ok());
   EXPECT_GT(cost->seconds, 0.0);
   EXPECT_EQ(cost->gather_group, 4);
-  EXPECT_EQ(cost->gathered_bytes, layer.output_bytes() * 16);
+  EXPECT_EQ(cost->gathered_bytes, layer.input_bytes() * 16);
 }
 
 TEST_F(TransformationTest, PaperExampleDp2Tp2ToDp4) {
@@ -201,13 +201,13 @@ TEST_F(TransformationTest, PaperExampleDp2Tp2ToDp4) {
   // model replica change is free in activation terms).
   LayerSpec layer = BertLayer();
   auto cost = ComputeTransformationCost(
-      layer, Make({{ParallelDim::kTensor, 2}, {ParallelDim::kData, 2}}),
+      layer, layer, Make({{ParallelDim::kTensor, 2}, {ParallelDim::kData, 2}}),
       Make({{ParallelDim::kData, 4}}), 0, 16, cluster_);
   ASSERT_TRUE(cost.ok());
   EXPECT_DOUBLE_EQ(cost->seconds, 0.0);  // batch split 2 -> 4: slice only
   // And the reverse pays.
   auto reverse = ComputeTransformationCost(
-      layer, Make({{ParallelDim::kData, 4}}),
+      layer, layer, Make({{ParallelDim::kData, 4}}),
       Make({{ParallelDim::kTensor, 2}, {ParallelDim::kData, 2}}), 0, 16,
       cluster_);
   EXPECT_GT(reverse->seconds, 0.0);
@@ -215,7 +215,7 @@ TEST_F(TransformationTest, PaperExampleDp2Tp2ToDp4) {
 
 TEST_F(TransformationTest, RejectsMismatchedGroupSizes) {
   LayerSpec layer = BertLayer();
-  EXPECT_FALSE(ComputeTransformationCost(layer,
+  EXPECT_FALSE(ComputeTransformationCost(layer, layer,
                                          Make({{ParallelDim::kData, 4}}),
                                          Make({{ParallelDim::kData, 8}}), 0,
                                          16, cluster_)

@@ -94,14 +94,14 @@ TEST_F(SpecialLayersTest, EqualBatchSplitDifferentOrderIsFree) {
   dims.attend_width = 128;
   LayerSpec layer = BuildEncoderLayer("x", dims);
   auto cost = ComputeTransformationCost(
-      layer, Make({{ParallelDim::kTensor, 2}, {ParallelDim::kData, 4}}),
+      layer, layer, Make({{ParallelDim::kTensor, 2}, {ParallelDim::kData, 4}}),
       Make({{ParallelDim::kData, 4}, {ParallelDim::kTensor, 2}}), 0, 16,
       cluster_);
   ASSERT_TRUE(cost.ok());
   EXPECT_DOUBLE_EQ(cost->seconds, 0.0);
   // DP <-> SDP swaps at equal degree are also free (same batch split).
   auto swap = ComputeTransformationCost(
-      layer, Make({{ParallelDim::kData, 8}}),
+      layer, layer, Make({{ParallelDim::kData, 8}}),
       Make({{ParallelDim::kShardedData, 8}}), 0, 16, cluster_);
   EXPECT_DOUBLE_EQ(swap->seconds, 0.0);
 }

@@ -1,0 +1,253 @@
+/// Tests for the parallel search machinery: the thread pool, the shared
+/// thread-safe cost cache (including the transform-cache aliasing
+/// regression), and end-to-end optimizer determinism under threading.
+/// These are the tests to run under -DGALVATRON_SANITIZE=thread (they carry
+/// the "tsan" ctest label).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "estimator/cost_estimator.h"
+#include "ir/transformer_builder.h"
+#include "parallel/decision_tree.h"
+#include "parallel/transformation.h"
+#include "search/cost_cache.h"
+#include "search/dp_search.h"
+#include "search/optimizer.h"
+#include "util/thread_pool.h"
+
+namespace galvatron {
+namespace {
+
+HybridStrategy Make(
+    const std::vector<std::pair<ParallelDim, int>>& levels) {
+  std::vector<ParallelComponent> components;
+  for (const auto& [dim, degree] : levels) {
+    components.push_back({dim, degree});
+  }
+  auto s = HybridStrategy::Create(components);
+  EXPECT_TRUE(s.ok()) << s.status();
+  return *s;
+}
+
+TEST(ThreadPoolTest, RunsEveryTaskAcrossWaves) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  std::atomic<int> count{0};
+  for (int wave = 0; wave < 3; ++wave) {
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(count.load(), (wave + 1) * 100);
+  }
+}
+
+TEST(ThreadPoolTest, WaitWithNothingSubmittedReturns) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not deadlock
+}
+
+TEST(ThreadPoolTest, HardwareThreadsAtLeastOne) {
+  EXPECT_GE(ThreadPool::HardwareThreads(), 1);
+}
+
+TEST(ParallelForTest, NullPoolRunsInlineInIndexOrder) {
+  std::vector<int> order;  // no lock needed: inline = caller's thread
+  ParallelFor(nullptr, 5, [&order](int i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForTest, PoolRunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr int kCount = 200;
+  std::vector<std::atomic<int>> hits(kCount);
+  ParallelFor(&pool, kCount, [&hits](int i) {
+    hits[static_cast<size_t>(i)].fetch_add(1);
+  });
+  for (int i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1) << i;
+  }
+}
+
+/// A 4-layer stack [A, B, A, C] where both A's share a signature but their
+/// successors B and C differ in input size. The transform cache used to key
+/// R(L, S_i, S_j) by the PREDECESSOR's signature only, so the A->B and A->C
+/// boundaries aliased to one entry.
+ModelSpec HeterogeneousStack() {
+  TransformerBlockDims a;
+  a.seq = 128;
+  a.hidden = 512;
+  a.heads = 8;
+  a.intermediate = 2048;
+  a.attend_width = 128;
+  TransformerBlockDims b = a;
+  b.seq = 256;
+  b.attend_width = 256;
+  TransformerBlockDims c = a;
+  c.seq = 512;
+  c.attend_width = 512;
+  return ModelSpec("hetero",
+                   {BuildEncoderLayer("a", a), BuildEncoderLayer("b", b),
+                    BuildEncoderLayer("a", a), BuildEncoderLayer("c", c)});
+}
+
+class CostCacheTest : public ::testing::Test {
+ protected:
+  CostCacheTest()
+      : cluster_(MakeTitanNode8(16 * kGB)),
+        estimator_(&cluster_),
+        model_(HeterogeneousStack()) {}
+
+  ClusterSpec cluster_;
+  CostEstimator estimator_;
+  ModelSpec model_;
+};
+
+TEST_F(CostCacheTest, TransformKeyDistinguishesSuccessorLayers) {
+  ASSERT_EQ(model_.layer(0).signature(), model_.layer(2).signature());
+  ASSERT_NE(model_.layer(1).signature(), model_.layer(3).signature());
+
+  SharedCostCache cache(&estimator_, &model_);
+  // dp8 -> tp8 re-gathers the full batch of the SUCCESSOR layer's input.
+  const HybridStrategy dp8 = Make({{ParallelDim::kData, 8}});
+  const HybridStrategy tp8 = Make({{ParallelDim::kTensor, 8}});
+  auto a_to_b = cache.TransformSeconds(1, dp8, tp8, 0, 16);
+  auto a_to_c = cache.TransformSeconds(3, dp8, tp8, 0, 16);
+  ASSERT_TRUE(a_to_b.ok());
+  ASSERT_TRUE(a_to_c.ok());
+  // Same predecessor signature, different successors: the costs must
+  // differ (C's input is 4x B's). A predecessor-only key returns the
+  // first-computed value for both.
+  EXPECT_NE(*a_to_b, *a_to_c);
+
+  // And each matches the uncached transformation cost exactly.
+  auto direct_b = ComputeTransformationCost(model_.layer(0), model_.layer(1),
+                                            dp8, tp8, 0, 16, cluster_);
+  auto direct_c = ComputeTransformationCost(model_.layer(2), model_.layer(3),
+                                            dp8, tp8, 0, 16, cluster_);
+  ASSERT_TRUE(direct_b.ok());
+  ASSERT_TRUE(direct_c.ok());
+  EXPECT_DOUBLE_EQ(*a_to_b, direct_b->seconds);
+  EXPECT_DOUBLE_EQ(*a_to_c, direct_c->seconds);
+}
+
+TEST_F(CostCacheTest, DpSearchMatchesEstimateStageOnHeterogeneousStack) {
+  // End-to-end regression: the DP's internal (cached) cost of its own
+  // winning assignment must equal the estimator's uncached stage cost.
+  // With the aliased transform cache the DP claimed a wrong total at the
+  // A->C boundary.
+  auto candidates = EnumerateSingleLayerStrategies(8);
+  ASSERT_TRUE(candidates.ok());
+  DpSearch search(&estimator_);
+  auto result = search.Run(model_, 0, model_.num_layers(), *candidates, 0,
+                           16, 1, 16 * kGB);
+  ASSERT_TRUE(result.ok()) << result.status();
+  auto stage = estimator_.EstimateStage(model_, 0, model_.num_layers(),
+                                        result->per_layer, 0, 16, 1);
+  ASSERT_TRUE(stage.ok()) << stage.status();
+  EXPECT_NEAR(result->stage_seconds, stage->seconds,
+              1e-9 * std::max(1.0, stage->seconds));
+}
+
+TEST_F(CostCacheTest, ConcurrentLookupsMatchSerialValues) {
+  const HybridStrategy dp8 = Make({{ParallelDim::kData, 8}});
+  const HybridStrategy tp8 = Make({{ParallelDim::kTensor, 8}});
+  const HybridStrategy mixed =
+      Make({{ParallelDim::kTensor, 2}, {ParallelDim::kData, 4}});
+  const std::vector<HybridStrategy> strategies = {dp8, tp8, mixed};
+
+  // Serial reference values.
+  SharedCostCache reference(&estimator_, &model_);
+  std::vector<double> ref_layer;
+  std::vector<double> ref_transform;
+  for (int l = 0; l < model_.num_layers(); ++l) {
+    for (const HybridStrategy& s : strategies) {
+      auto cost = reference.Layer(l, s, 0, 16, 1, false, -1);
+      ASSERT_TRUE(cost.ok());
+      ref_layer.push_back(cost->IterationSeconds(1, estimator_.options()));
+      if (l > 0) {
+        auto r = reference.TransformSeconds(l, dp8, s, 0, 16);
+        ASSERT_TRUE(r.ok());
+        ref_transform.push_back(*r);
+      }
+    }
+  }
+
+  // Hammer one shared cache from 8 threads; every thread must observe
+  // exactly the reference values.
+  SharedCostCache cache(&estimator_, &model_);
+  ThreadPool pool(8);
+  constexpr int kRounds = 32;
+  std::atomic<int> mismatches{0};
+  ParallelFor(&pool, kRounds, [&](int) {
+    size_t li = 0;
+    size_t ti = 0;
+    for (int l = 0; l < model_.num_layers(); ++l) {
+      for (const HybridStrategy& s : strategies) {
+        auto cost = cache.Layer(l, s, 0, 16, 1, false, -1);
+        if (!cost.ok() ||
+            cost->IterationSeconds(1, estimator_.options()) !=
+                ref_layer[li++]) {
+          mismatches.fetch_add(1);
+        }
+        if (l > 0) {
+          auto r = cache.TransformSeconds(l, dp8, s, 0, 16);
+          if (!r.ok() || *r != ref_transform[ti++]) {
+            mismatches.fetch_add(1);
+          }
+        }
+      }
+    }
+  });
+  EXPECT_EQ(mismatches.load(), 0);
+
+  // Counter sanity: every lookup is either a hit or a miss, and almost all
+  // of the 32 rounds were hits.
+  const CostCacheStats stats = cache.stats();
+  const int64_t lookups =
+      int64_t{kRounds} *
+      (model_.num_layers() + (model_.num_layers() - 1)) *
+      static_cast<int64_t>(strategies.size());
+  EXPECT_EQ(stats.hits() + stats.misses(), lookups);
+  EXPECT_GT(stats.hits(), stats.misses());
+}
+
+TEST(ParallelOptimizerTest, HardwareThreadsMatchSerialPlan) {
+  ClusterSpec cluster = MakeTitanNode8(16 * kGB);
+  TransformerBlockDims dims;
+  dims.seq = 128;
+  dims.hidden = 1024;
+  dims.heads = 16;
+  dims.intermediate = 4096;
+  dims.attend_width = 128;
+  std::vector<LayerSpec> layers;
+  for (int i = 0; i < 6; ++i) {
+    layers.push_back(BuildEncoderLayer("enc", dims));
+  }
+  ModelSpec model("stack", std::move(layers));
+
+  OptimizerOptions serial_options;
+  serial_options.search_threads = 1;
+  auto serial = Optimizer(&cluster, serial_options).Optimize(model);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+
+  OptimizerOptions parallel_options;
+  parallel_options.search_threads = 0;  // hardware concurrency
+  auto parallel = Optimizer(&cluster, parallel_options).Optimize(model);
+  ASSERT_TRUE(parallel.ok()) << parallel.status();
+  EXPECT_GE(parallel->stats.search_threads_used, 1);
+
+  EXPECT_EQ(parallel->plan.ToString(), serial->plan.ToString());
+  EXPECT_EQ(parallel->estimated.throughput_samples_per_sec,
+            serial->estimated.throughput_samples_per_sec);
+  EXPECT_EQ(parallel->estimated.iteration_seconds,
+            serial->estimated.iteration_seconds);
+}
+
+}  // namespace
+}  // namespace galvatron

@@ -66,6 +66,59 @@ TEST_P(RandomDpVsBruteForce, DpMatchesExhaustiveSearch) {
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomDpVsBruteForce,
                          ::testing::Range(uint64_t{1}, uint64_t{13}));
 
+/// The DP must agree with exhaustive search at every memory granularity —
+/// both searchers quantize the budget the same way (CeilDiv; the brute
+/// force used to floor, diverging at granule-straddling budgets) — and
+/// across the doubled option space when recompute is allowed.
+class RandomDpVsBruteForceOptions : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(RandomDpVsBruteForceOptions, AgreeAcrossGranularitiesAndRecompute) {
+  Rng rng(GetParam() * 104729);
+  ClusterSpec cluster = MakeTitanNode8(
+      static_cast<int64_t>(rng.NextDouble(4.0, 16.0) * 1e9));
+  CostEstimator estimator(&cluster);
+  ModelSpec model = RandomModel(&rng, /*max_layers=*/2);
+  auto candidates = EnumerateSingleLayerStrategies(8);
+  ASSERT_TRUE(candidates.ok());
+  const int batch = 8 * (1 + static_cast<int>(rng.NextBelow(4)));  // 8..32
+  // Budgets deliberately offset from granule multiples.
+  const int64_t budget =
+      cluster.device_memory_bytes() - static_cast<int64_t>(rng.NextBelow(
+                                          uint64_t{48} * 1024 * 1024));
+
+  for (const int64_t gran_mib : {8, 32, 128}) {
+    for (const bool recompute : {false, true}) {
+      DpSearchOptions options;
+      options.memory_granularity = gran_mib * int64_t{1024} * 1024;
+      options.allow_recompute = recompute;
+      DpSearch search(&estimator, options);
+      auto dp = search.Run(model, 0, model.num_layers(), *candidates, 0,
+                           batch, 1, budget);
+      auto bf = BruteForceSearch(estimator, model, 0, model.num_layers(),
+                                 *candidates, 0, batch, 1, budget, options);
+      ASSERT_EQ(dp.ok(), bf.ok())
+          << "gran " << gran_mib << "MiB recompute " << recompute << ": "
+          << dp.status() << " vs " << bf.status();
+      if (!dp.ok()) {
+        EXPECT_TRUE(dp.status().IsInfeasible());
+        continue;
+      }
+      EXPECT_NEAR(dp->stage_seconds, bf->stage_seconds,
+                  1e-9 * std::max(1.0, bf->stage_seconds))
+          << "gran " << gran_mib << "MiB recompute " << recompute;
+      ASSERT_EQ(dp->per_layer_recompute.size(),
+                bf->per_layer_recompute.size());
+      if (!recompute) {
+        for (uint8_t flag : dp->per_layer_recompute) EXPECT_EQ(flag, 0);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDpVsBruteForceOptions,
+                         ::testing::Range(uint64_t{1}, uint64_t{9}));
+
 /// Random task graphs: the engine must produce a consistent timeline
 /// regardless of structure.
 class RandomEngineGraphs : public ::testing::TestWithParam<uint64_t> {};

@@ -61,8 +61,7 @@ TEST_F(DpSearchTest, MatchesBruteForceOnSmallInstances) {
       auto dp = search_.Run(model, 0, model.num_layers(), *candidates, 0,
                             batch, 1, budget);
       auto bf = BruteForceSearch(estimator_, model, 0, model.num_layers(),
-                                 *candidates, 0, batch, 1, budget,
-                                 DpSearchOptions{}.memory_granularity);
+                                 *candidates, 0, batch, 1, budget);
       ASSERT_EQ(dp.ok(), bf.ok())
           << "batch " << batch << " budget " << budget << ": "
           << dp.status() << " vs " << bf.status();
@@ -71,6 +70,46 @@ TEST_F(DpSearchTest, MatchesBruteForceOnSmallInstances) {
                   1e-9 * std::max(1.0, bf->stage_seconds))
           << "batch " << batch << " budget " << budget;
     }
+  }
+}
+
+TEST_F(DpSearchTest, BudgetRoundingAgreesWithBruteForceAtGranuleBoundaries) {
+  // Regression: BruteForceSearch used to floor the quantized budget while
+  // the DP rounded it up with CeilDiv, so the two disagreed — about
+  // feasibility itself, or about the optimum — at any budget that is not
+  // an exact granule multiple near the feasibility frontier.
+  ModelSpec model = SmallBert(2);  // 4 layers: embed + 2 enc + head
+  auto candidates = EnumerateSingleLayerStrategies(8);
+  ASSERT_TRUE(candidates.ok());
+  const int64_t gran = DpSearchOptions{}.memory_granularity;
+  auto dp_feasible = [&](int64_t budget) {
+    return search_
+        .Run(model, 0, model.num_layers(), *candidates, 0, 8, 1, budget)
+        .ok();
+  };
+  // Bracket the DP feasibility frontier.
+  int64_t lo = gran;
+  int64_t hi = 40 * kGB;
+  ASSERT_FALSE(dp_feasible(lo));
+  ASSERT_TRUE(dp_feasible(hi));
+  while (hi - lo > gran / 8) {
+    const int64_t mid = lo + (hi - lo) / 2;
+    (dp_feasible(mid) ? hi : lo) = mid;
+  }
+  // Scan the frontier in quarter-granule steps: these budgets straddle
+  // granule boundaries, which is exactly where flooring diverged.
+  for (int64_t budget = hi - gran; budget <= hi + gran; budget += gran / 4) {
+    auto dp = search_.Run(model, 0, model.num_layers(), *candidates, 0, 8,
+                          1, budget);
+    auto bf = BruteForceSearch(estimator_, model, 0, model.num_layers(),
+                               *candidates, 0, 8, 1, budget);
+    ASSERT_EQ(dp.ok(), bf.ok())
+        << "budget " << budget << ": " << dp.status() << " vs "
+        << bf.status();
+    if (!dp.ok()) continue;
+    EXPECT_NEAR(dp->stage_seconds, bf->stage_seconds,
+                1e-9 * std::max(1.0, bf->stage_seconds))
+        << "budget " << budget;
   }
 }
 
@@ -229,6 +268,50 @@ TEST_F(OptimizerTest, SearchStatsPopulated) {
   EXPECT_EQ(result->stats.num_candidate_strategies, 22);
   EXPECT_GT(result->stats.dp_states_explored, 0);
   EXPECT_GE(result->stats.search_seconds, 0.0);
+  // The phase timers partition the run; the sweep dominates.
+  EXPECT_GE(result->stats.enumerate_seconds, 0.0);
+  EXPECT_GT(result->stats.sweep_seconds, 0.0);
+  EXPECT_GE(result->stats.co_optimize_seconds, 0.0);
+  // An 8-layer BERT repeats one encoder shape and stage blocks repeat
+  // across configurations, so cross-Run sharing must produce hits. (The
+  // per-Run L1 absorbs intra-Run repeats before they reach these
+  // counters, so misses can still outnumber hits.)
+  EXPECT_GT(result->stats.cost_cache_misses, 0);
+  EXPECT_GT(result->stats.cost_cache_hits, 0);
+  EXPECT_EQ(result->stats.search_threads_used, 1);
+}
+
+TEST_F(OptimizerTest, PlanBitStableAcrossThreadCountsAndRuns) {
+  // The parallel sweep must be invisible in the output: every thread count
+  // and every repetition yields byte-identical plans and bit-identical
+  // estimates (deterministic merge + total-order tie-breaking).
+  ModelSpec model = SmallBert(8);
+  std::string reference_plan;
+  double reference_throughput = 0.0;
+  size_t reference_alternates = 0;
+  for (int threads : {1, 4}) {
+    for (int run = 0; run < 3; ++run) {
+      OptimizerOptions options;
+      options.search_threads = threads;
+      Optimizer optimizer(&cluster_, options);
+      auto result = optimizer.Optimize(model);
+      ASSERT_TRUE(result.ok()) << result.status();
+      EXPECT_EQ(result->stats.search_threads_used, threads);
+      if (reference_plan.empty()) {
+        reference_plan = result->plan.ToString();
+        reference_throughput = result->estimated.throughput_samples_per_sec;
+        reference_alternates = result->alternates.size();
+        continue;
+      }
+      EXPECT_EQ(result->plan.ToString(), reference_plan)
+          << "threads " << threads << " run " << run;
+      // Bit-identical, not just close: same estimator calls, same merge.
+      EXPECT_EQ(result->estimated.throughput_samples_per_sec,
+                reference_throughput)
+          << "threads " << threads << " run " << run;
+      EXPECT_EQ(result->alternates.size(), reference_alternates);
+    }
+  }
 }
 
 }  // namespace

@@ -31,6 +31,7 @@ struct CliArgs {
   std::string mode = "galvatron";
   std::string schedule = "gpipe";
   bool recompute = false;
+  int search_threads = 1;
   std::string json_out;
   std::string trace_out;
   bool list_models = false;
@@ -49,6 +50,9 @@ void PrintUsage() {
   --mode M            galvatron | dp | tp | pp | sdp | 3d | dp+tp | dp+pp
   --schedule S        gpipe | 1f1b         (default gpipe)
   --recompute         allow per-layer activation checkpointing
+  --search-threads N  worker threads for the strategy sweep
+                      (default 1 = serial, 0 = all hardware threads;
+                      the resulting plan is identical for every N)
   --json-out FILE     write the plan as JSON
   --trace-out FILE    write a Chrome trace of the simulated iteration
   --list-models       print zoo models and exit
@@ -114,6 +118,12 @@ Result<CliArgs> ParseArgs(int argc, char** argv) {
       GALVATRON_ASSIGN_OR_RETURN(args.schedule, next());
     } else if (flag == "--recompute") {
       args.recompute = true;
+    } else if (flag == "--search-threads") {
+      GALVATRON_ASSIGN_OR_RETURN(std::string v, next());
+      args.search_threads = std::atoi(v.c_str());
+      if (args.search_threads < 0) {
+        return Status::InvalidArgument("--search-threads must be >= 0");
+      }
     } else if (flag == "--json-out") {
       GALVATRON_ASSIGN_OR_RETURN(args.json_out, next());
     } else if (flag == "--trace-out") {
@@ -165,6 +175,7 @@ Result<int> RunCli(const CliArgs& args) {
   std::printf("cluster: %s\n\n", cluster.ToString().c_str());
 
   BaselineOptions options;
+  options.search_threads = args.search_threads;
   auto result = RunBaseline(mode, model, cluster, options);
   if (!result.ok()) {
     if (result.status().IsInfeasible()) {
@@ -178,6 +189,7 @@ Result<int> RunCli(const CliArgs& args) {
       (args.recompute || args.schedule == "1f1b")) {
     OptimizerOptions opt;
     opt.allow_recompute = args.recompute;
+    opt.search_threads = args.search_threads;
     opt.schedule = args.schedule == "1f1b" ? PipelineSchedule::k1F1B
                                            : PipelineSchedule::kGPipe;
     GALVATRON_ASSIGN_OR_RETURN(OptimizationResult tuned,
@@ -186,6 +198,16 @@ Result<int> RunCli(const CliArgs& args) {
   }
 
   std::printf("%s\n", result->plan.ToString().c_str());
+  if (result->stats.configs_explored > 0) {
+    const SearchStats& sstats = result->stats;
+    std::printf(
+        "search: %.3fs on %d threads (%d configs; cost cache %lld hits, "
+        "%lld misses)\n",
+        sstats.search_seconds, sstats.search_threads_used,
+        sstats.configs_explored,
+        static_cast<long long>(sstats.cost_cache_hits),
+        static_cast<long long>(sstats.cost_cache_misses));
+  }
 
   Simulator simulator(&cluster);
   std::string trace;
