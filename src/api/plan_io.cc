@@ -1,6 +1,10 @@
 #include "api/plan_io.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
 #include <map>
 #include <memory>
 #include <sstream>
@@ -90,7 +94,12 @@ class JsonParser {
       GALVATRON_ASSIGN_OR_RETURN(JsonValue key, ParseString());
       GALVATRON_RETURN_IF_ERROR(Expect(':'));
       GALVATRON_ASSIGN_OR_RETURN(JsonValue member, ParseValue());
-      value.object.emplace(key.string, std::move(member));
+      // Duplicate keys are almost always a hand-editing mistake; silently
+      // keeping one of the two values would misread the plan.
+      if (!value.object.emplace(key.string, std::move(member)).second) {
+        return Status::InvalidArgument(
+            StrFormat("duplicate key '%s' in object", key.string.c_str()));
+      }
       if (Peek(',')) {
         ++pos_;
         continue;
@@ -126,6 +135,13 @@ class JsonParser {
     value.kind = JsonValue::Kind::kString;
     while (pos_ < text_.size() && text_[pos_] != '"') {
       char c = text_[pos_++];
+      if (static_cast<unsigned char>(c) < 0x20) {
+        // Raw control characters are invalid inside JSON strings; they must
+        // arrive escaped (EscapeJson emits them that way).
+        return Status::InvalidArgument(StrFormat(
+            "unescaped control character 0x%02x in string at offset %zu",
+            static_cast<unsigned char>(c), pos_ - 1));
+      }
       if (c == '\\') {
         if (pos_ >= text_.size()) {
           return Status::InvalidArgument("dangling escape in string");
@@ -143,6 +159,24 @@ class JsonParser {
           case 't':
             c = '\t';
             break;
+          case 'r':
+            c = '\r';
+            break;
+          case 'b':
+            c = '\b';
+            break;
+          case 'f':
+            c = '\f';
+            break;
+          case 'u': {
+            GALVATRON_ASSIGN_OR_RETURN(unsigned code, ParseHex4());
+            if (code >= 0xd800 && code <= 0xdfff) {
+              return Status::InvalidArgument(
+                  "surrogate \\u escapes are not supported");
+            }
+            AppendUtf8(code, &value.string);
+            continue;
+          }
           default:
             return Status::InvalidArgument(
                 StrFormat("unsupported escape '\\%c'", escaped));
@@ -152,6 +186,41 @@ class JsonParser {
     }
     GALVATRON_RETURN_IF_ERROR(Expect('"'));
     return value;
+  }
+
+  Result<unsigned> ParseHex4() {
+    if (pos_ + 4 > text_.size()) {
+      return Status::InvalidArgument("truncated \\u escape");
+    }
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') {
+        code |= static_cast<unsigned>(h - '0');
+      } else if (h >= 'a' && h <= 'f') {
+        code |= static_cast<unsigned>(h - 'a' + 10);
+      } else if (h >= 'A' && h <= 'F') {
+        code |= static_cast<unsigned>(h - 'A' + 10);
+      } else {
+        return Status::InvalidArgument(
+            StrFormat("bad hex digit '%c' in \\u escape", h));
+      }
+    }
+    return code;
+  }
+
+  static void AppendUtf8(unsigned code, std::string* out) {
+    if (code < 0x80) {
+      *out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      *out += static_cast<char>(0xc0 | (code >> 6));
+      *out += static_cast<char>(0x80 | (code & 0x3f));
+    } else {
+      *out += static_cast<char>(0xe0 | (code >> 12));
+      *out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+      *out += static_cast<char>(0x80 | (code & 0x3f));
+    }
   }
 
   Result<JsonValue> ParseBool() {
@@ -190,24 +259,42 @@ class JsonParser {
       return Status::InvalidArgument(
           StrFormat("unexpected character at offset %zu", start));
     }
+    const std::string token = text_.substr(start, pos_ - start);
+    if (token[0] == '+') {
+      return Status::InvalidArgument(
+          StrFormat("number may not start with '+' at offset %zu", start));
+    }
+    // JSON forbids leading zeros ("08"); strtod would accept them.
+    const size_t first_digit = token[0] == '-' ? 1 : 0;
+    if (token.size() > first_digit + 1 && token[first_digit] == '0' &&
+        std::isdigit(static_cast<unsigned char>(token[first_digit + 1])) !=
+            0) {
+      return Status::InvalidArgument(
+          StrFormat("number with leading zero at offset %zu", start));
+    }
+    // strtod with end-pointer validation: atof silently parses malformed
+    // numbers ("1e", "1.2.3", "--5") as 0 or a prefix.
+    errno = 0;
+    char* end = nullptr;
+    const double parsed = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      return Status::InvalidArgument(
+          StrFormat("malformed number '%s' at offset %zu", token.c_str(),
+                    start));
+    }
+    if (errno == ERANGE && !std::isfinite(parsed)) {
+      return Status::InvalidArgument(
+          StrFormat("number '%s' out of range", token.c_str()));
+    }
     JsonValue value;
     value.kind = JsonValue::Kind::kNumber;
-    value.number = std::atof(text_.substr(start, pos_ - start).c_str());
+    value.number = parsed;
     return value;
   }
 
   const std::string& text_;
   size_t pos_ = 0;
 };
-
-std::string EscapeJson(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
-  }
-  return out;
-}
 
 Result<const JsonValue*> GetMember(const JsonValue& object,
                                    const std::string& key,
@@ -224,11 +311,30 @@ Result<const JsonValue*> GetMember(const JsonValue& object,
   return &it->second;
 }
 
-Result<int> GetInt(const JsonValue& object, const std::string& key) {
+/// Reads an integral field. The plan schema has no fractional quantities,
+/// so non-integral values, values outside int range (the old unchecked
+/// static_cast was UB), and values below `min_value` are all rejected.
+Result<int> GetInt(const JsonValue& object, const std::string& key,
+                   int min_value) {
   GALVATRON_ASSIGN_OR_RETURN(
       const JsonValue* value,
       GetMember(object, key, JsonValue::Kind::kNumber));
-  return static_cast<int>(value->number);
+  const double d = value->number;
+  if (!std::isfinite(d) || d != std::trunc(d)) {
+    return Status::InvalidArgument(
+        StrFormat("field '%s' must be an integer", key.c_str()));
+  }
+  if (d < static_cast<double>(std::numeric_limits<int>::min()) ||
+      d > static_cast<double>(std::numeric_limits<int>::max())) {
+    return Status::InvalidArgument(
+        StrFormat("field '%s' is outside int range", key.c_str()));
+  }
+  const int v = static_cast<int>(d);
+  if (v < min_value) {
+    return Status::InvalidArgument(StrFormat(
+        "field '%s' must be >= %d, got %d", key.c_str(), min_value, v));
+  }
+  return v;
 }
 
 Result<std::string> GetString(const JsonValue& object,
@@ -240,6 +346,46 @@ Result<std::string> GetString(const JsonValue& object,
 }
 
 }  // namespace
+
+std::string EscapeJson(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      default:
+        // Remaining control characters (< 0x20) are invalid raw inside JSON
+        // strings; a model name containing one used to produce output the
+        // parser could not re-read.
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          out += StrFormat("\\u%04x", static_cast<unsigned char>(ch));
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
 
 std::string PlanToJson(const TrainingPlan& plan) {
   std::ostringstream os;
@@ -282,9 +428,9 @@ Result<TrainingPlan> ParsePlanJson(const std::string& json) {
   TrainingPlan plan;
   GALVATRON_ASSIGN_OR_RETURN(plan.model_name, GetString(root, "model"));
   GALVATRON_ASSIGN_OR_RETURN(plan.global_batch,
-                             GetInt(root, "global_batch"));
+                             GetInt(root, "global_batch", /*min_value=*/1));
   GALVATRON_ASSIGN_OR_RETURN(plan.num_micro_batches,
-                             GetInt(root, "micro_batches"));
+                             GetInt(root, "micro_batches", /*min_value=*/1));
   GALVATRON_ASSIGN_OR_RETURN(std::string schedule,
                              GetString(root, "schedule"));
   if (schedule == "gpipe") {
@@ -304,14 +450,14 @@ Result<TrainingPlan> ParsePlanJson(const std::string& json) {
       return Status::InvalidArgument("stage must be an object");
     }
     StagePlan stage;
-    GALVATRON_ASSIGN_OR_RETURN(stage.first_device,
-                               GetInt(stage_json, "first_device"));
-    GALVATRON_ASSIGN_OR_RETURN(stage.num_devices,
-                               GetInt(stage_json, "num_devices"));
-    GALVATRON_ASSIGN_OR_RETURN(stage.first_layer,
-                               GetInt(stage_json, "first_layer"));
-    GALVATRON_ASSIGN_OR_RETURN(stage.num_layers,
-                               GetInt(stage_json, "num_layers"));
+    GALVATRON_ASSIGN_OR_RETURN(
+        stage.first_device, GetInt(stage_json, "first_device", /*min_value=*/0));
+    GALVATRON_ASSIGN_OR_RETURN(
+        stage.num_devices, GetInt(stage_json, "num_devices", /*min_value=*/1));
+    GALVATRON_ASSIGN_OR_RETURN(
+        stage.first_layer, GetInt(stage_json, "first_layer", /*min_value=*/0));
+    GALVATRON_ASSIGN_OR_RETURN(
+        stage.num_layers, GetInt(stage_json, "num_layers", /*min_value=*/1));
     GALVATRON_ASSIGN_OR_RETURN(
         const JsonValue* layers,
         GetMember(stage_json, "layers", JsonValue::Kind::kArray));

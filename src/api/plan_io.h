@@ -32,6 +32,12 @@ namespace galvatron {
 /// (the real Galvatron writes the plan into the PyTorch launcher).
 std::string PlanToJson(const TrainingPlan& plan);
 
+/// Escapes `s` for embedding inside a JSON string literal: quotes,
+/// backslashes and every control character (< 0x20, as \uXXXX where no short
+/// escape exists). Exposed for tools that compose JSON documents around
+/// plans (e.g. the fuzz harness's repro dumps).
+std::string EscapeJson(const std::string& s);
+
 /// Parses a plan serialized by PlanToJson. Strict: unknown strategy tokens,
 /// malformed structure or type mismatches are InvalidArgument errors. The
 /// result still needs TrainingPlan::Validate against a model/cluster.

@@ -54,18 +54,18 @@ Result<LayerCost> CostEstimator::EstimateLayer(
   const int mb_size =
       static_cast<int>(CeilDiv(batch_per_group, micro_batches));
 
-  // Per-micro-batch timing.
+  // Per-micro-batch timing and memory; the schedule keeps
+  // `resident_micro_batches` micro-batches' activations live simultaneously,
+  // so resident memory scales the per-micro-batch activation stash by that
+  // count — exactly how the simulator charges it. (Analyzing once at
+  // mb_size * resident samples is NOT equivalent: it rounds the per-device
+  // batch up once instead of per micro-batch, and it scales the recompute
+  // transient by the resident count even though only one micro-batch's
+  // internals are ever rebuilt at a time.)
   GALVATRON_ASSIGN_OR_RETURN(
       LayerExecution mb,
       layer_model_.Analyze(layer, strategy, stage_first_device, mb_size,
                            recompute, options_.tp_sequence_parallel));
-  // Peak memory: the schedule keeps `resident_micro_batches` micro-batches'
-  // activations live simultaneously.
-  GALVATRON_ASSIGN_OR_RETURN(
-      LayerExecution full,
-      layer_model_.Analyze(layer, strategy, stage_first_device,
-                           mb_size * resident_micro_batches, recompute,
-                           options_.tp_sequence_parallel));
 
   LayerCost cost;
   cost.fwd_mb_sec = mb.fwd_compute_sec;
@@ -82,8 +82,11 @@ Result<LayerCost> CostEstimator::EstimateLayer(
       cost.iter_comm_sec += task.Time();
     }
   }
-  cost.resident_memory_bytes = full.ResidentMemoryBytes();
-  cost.transient_memory_bytes = full.transient_memory_bytes;
+  cost.resident_memory_bytes =
+      mb.state_memory_bytes +
+      static_cast<int64_t>(resident_micro_batches) *
+          mb.activation_memory_bytes;
+  cost.transient_memory_bytes = mb.transient_memory_bytes;
   return cost;
 }
 

@@ -242,6 +242,15 @@ Result<SimMetrics> Simulator::RunInternal(
       std::vector<std::vector<int>>(static_cast<size_t>(m)));
   // Backward completion order per stage, for the grad-sync trigger.
   std::vector<int> bwd_done_count(static_cast<size_t>(num_stages), 0);
+  // Most recent backward compute task per (stage, layer), in schedule
+  // order: gates the next micro-batch's backward SDP gather of the same
+  // layer so gathered-weight copies cannot pile up across the drain.
+  std::vector<std::vector<int>> prev_bwd_compute(
+      static_cast<size_t>(num_stages));
+  for (int s = 0; s < num_stages; ++s) {
+    prev_bwd_compute[static_cast<size_t>(s)].assign(
+        stage_layers[static_cast<size_t>(s)].size(), -1);
+  }
 
   for (const ScheduleSlot& slot :
        BuildSchedule(plan.schedule, num_stages, m)) {
@@ -297,7 +306,20 @@ Result<SimMetrics> Simulator::RunInternal(
           gather.label = StrFormat("sdp_ag_fwd.s%d.mb%d.l%d", s, k, l);
           gather.streams = {comm_stream[static_cast<size_t>(s)]};
           gather.work_sec = layer.sdp_gather;
-          if (chain >= 0) gather.deps = {chain};
+          std::vector<int> gather_deps;
+          if (chain >= 0) gather_deps.push_back(chain);
+          // ZeRO-3 holds at most the in-use gathered weights plus one
+          // prefetch: micro-batch k's gather of layer l waits for (k-1)'s
+          // compute of the same layer to release its copy. Without this
+          // gate the comm stream front-runs the pipeline and piles up one
+          // gathered copy per queued micro-batch.
+          if (k > 0) {
+            gather_deps.push_back(
+                fwd_compute_task[static_cast<size_t>(s)]
+                                [static_cast<size_t>(k) - 1]
+                                [static_cast<size_t>(l)]);
+          }
+          gather.deps = std::move(gather_deps);
           gather.start_memory_delta = layer.sdp_transient_bytes;
           gather.memory_device = s;
           GALVATRON_ASSIGN_OR_RETURN(chain, add(std::move(gather)));
@@ -389,8 +411,17 @@ Result<SimMetrics> Simulator::RunInternal(
         gather.streams = {comm_stream[static_cast<size_t>(s)]};
         gather.work_sec = layer.sdp_gather;
         // Prefetch: issue as soon as the previous layer's backward compute
-        // *starts* (ZeRO-3 prefetching), not when it finishes.
-        if (prev_compute_gate >= 0) gather.deps = {prev_compute_gate};
+        // *starts* (ZeRO-3 prefetching), not when it finishes — but never
+        // more than one micro-batch ahead of this layer's own backward, or
+        // gathered-weight copies pile up across the pipeline drain.
+        std::vector<int> gather_deps;
+        if (prev_compute_gate >= 0) gather_deps.push_back(prev_compute_gate);
+        if (prev_bwd_compute[static_cast<size_t>(s)][static_cast<size_t>(l)] >=
+            0) {
+          gather_deps.push_back(
+              prev_bwd_compute[static_cast<size_t>(s)][static_cast<size_t>(l)]);
+        }
+        gather.deps = std::move(gather_deps);
         gather.start_memory_delta = layer.sdp_transient_bytes;
         gather.memory_device = s;
         GALVATRON_ASSIGN_OR_RETURN(gather_id, add(std::move(gather)));
@@ -406,6 +437,15 @@ Result<SimMetrics> Simulator::RunInternal(
       deps.push_back(fwd_compute_task[static_cast<size_t>(s)]
                                      [static_cast<size_t>(k)]
                                      [static_cast<size_t>(l)]);
+      // GPipe flushes: no backward runs at a stage until the stage's last
+      // forward finished. BuildSchedule's virtual times express this, but
+      // only a dependency enforces it in the event graph — without it the
+      // drain starts early and the stage never holds all m activations.
+      if (plan.schedule == PipelineSchedule::kGPipe) {
+        deps.push_back(fwd_compute_task[static_cast<size_t>(s)]
+                                       [static_cast<size_t>(m) - 1]
+                                       [static_cast<size_t>(l)]);
+      }
       prev_compute_gate = chain;
       compute.deps = std::move(deps);
       // Checkpointed layers rebuild their internals for the duration of
@@ -416,6 +456,7 @@ Result<SimMetrics> Simulator::RunInternal(
             layer.sdp_transient_bytes);
       compute.memory_device = s;
       GALVATRON_ASSIGN_OR_RETURN(chain, add(std::move(compute)));
+      prev_bwd_compute[static_cast<size_t>(s)][static_cast<size_t>(l)] = chain;
 
       if (layer.tp_ar_bwd > 0) {
         SimTask ar;

@@ -1,0 +1,43 @@
+#ifndef GALVATRON_TESTING_CORPUS_H_
+#define GALVATRON_TESTING_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "testing/invariant_checks.h"
+
+namespace galvatron {
+
+/// One pinned differential-check iteration. Entries are added when a fuzz
+/// campaign finds a divergence: the seed that exposed the bug goes here so
+/// the fix is regression-locked (it failed before the fix, passes after),
+/// plus a handful of ordinary seeds per check that pin current behaviour.
+struct CorpusEntry {
+  FuzzCheck check;
+  uint64_t seed;
+  const char* note;
+};
+
+/// One pinned raw-JSON case for ParsePlanJson. These cover parser bugs a
+/// serialized well-formed plan can never reach (duplicate keys, malformed
+/// numbers, hostile literals): before the PR-2 parser fixes every
+/// `expect_ok == false` entry parsed successfully.
+struct JsonRegression {
+  std::string json;
+  bool expect_ok;
+  const char* note;
+};
+
+const std::vector<CorpusEntry>& SeedCorpus();
+const std::vector<JsonRegression>& JsonCorpus();
+
+/// Runs the whole fixed corpus: every seed entry through RunCheck, every
+/// JSON entry through ParsePlanJson (checking the expected verdict, and for
+/// accepted documents that re-serialization is stable). Returns the
+/// failures; empty means the corpus is clean.
+std::vector<CheckFailure> RunCorpus(const CheckOptions& options = {});
+
+}  // namespace galvatron
+
+#endif  // GALVATRON_TESTING_CORPUS_H_

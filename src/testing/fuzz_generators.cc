@@ -1,0 +1,227 @@
+#include "testing/fuzz_generators.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "ir/transformer_builder.h"
+#include "parallel/decision_tree.h"
+#include "util/math_util.h"
+#include "util/string_util.h"
+
+namespace galvatron {
+
+namespace {
+
+int NextIntBelow(Rng* rng, int n) {
+  return static_cast<int>(rng->NextBelow(static_cast<uint64_t>(n)));
+}
+
+/// log2 of a power of two.
+int Log2(int n) {
+  int log = 0;
+  while ((1 << log) < n) ++log;
+  return log;
+}
+
+/// A power of two in [1, cap] (cap itself a power of two), log-uniform.
+int RandomPowerOfTwo(Rng* rng, int cap) {
+  return 1 << NextIntBelow(rng, Log2(cap) + 1);
+}
+
+}  // namespace
+
+std::string GenerateName(Rng* rng, bool hostile) {
+  static const char kPlain[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-_.";
+  std::string name = "m";
+  const int len = 2 + NextIntBelow(rng, 12);
+  for (int i = 0; i < len; ++i) {
+    name += kPlain[rng->NextBelow(sizeof(kPlain) - 1)];
+  }
+  if (!hostile) return name;
+  // JSON-significant bytes: quote, backslash, the short-escape control
+  // characters, controls with no short escape (forced \uXXXX), DEL, NUL.
+  static const char kHostile[] = {'"',    '\\',   '\n', '\t', '\r',
+                                  '\b',   '\f',   '\x01', '\x0b', '\x1f',
+                                  '\x7f', '\0',   '/',  ' '};
+  const int injections = 1 + NextIntBelow(rng, 4);
+  for (int i = 0; i < injections; ++i) {
+    const size_t at = rng->NextBelow(name.size() + 1);
+    name.insert(name.begin() + static_cast<std::ptrdiff_t>(at),
+                kHostile[rng->NextBelow(sizeof(kHostile))]);
+  }
+  if (rng->NextBelow(2) == 0) {
+    name += "\xc3\xa9";  // a multi-byte UTF-8 code point (e-acute)
+  }
+  return name;
+}
+
+ModelSpec GenerateModel(Rng* rng, const GeneratorOptions& options) {
+  const int max_layers = std::max(4, options.max_layers);
+  const bool hostile = options.hostile_names && rng->NextBelow(2) == 0;
+  std::string name = GenerateName(rng, hostile);
+
+  // Dims sized so every TP degree up to 8 divides heads/hidden/seq evenly.
+  TransformerBlockDims dims;
+  dims.hidden = int64_t{128} << rng->NextBelow(3);  // 128 / 256 / 512
+  dims.seq = int64_t{64} << rng->NextBelow(3);      // 64 / 128 / 256
+  dims.heads = 8;
+  dims.intermediate = 4 * dims.hidden;
+  dims.attend_width = dims.seq;
+  dims.use_dropout = rng->NextBelow(2) == 0;
+  const int64_t vocab = 1000 * (1 + static_cast<int64_t>(rng->NextBelow(8)));
+
+  std::vector<LayerSpec> layers;
+  switch (rng->NextBelow(4)) {
+    case 0: {  // encoder-only stack (BERT-body-like)
+      const int blocks = 1 + NextIntBelow(rng, max_layers);
+      for (int i = 0; i < blocks; ++i) {
+        layers.push_back(BuildEncoderLayer(StrFormat("enc%d", i), dims));
+      }
+      break;
+    }
+    case 1: {  // embedding + encoders + head (BERT/ViT-like)
+      const int blocks = 1 + NextIntBelow(rng, max_layers - 2);
+      layers.push_back(BuildTokenEmbeddingLayer("embed", vocab, dims.seq,
+                                                dims.hidden,
+                                                /*learned_positions=*/true));
+      for (int i = 0; i < blocks; ++i) {
+        layers.push_back(BuildEncoderLayer(StrFormat("enc%d", i), dims));
+      }
+      layers.push_back(BuildHeadLayer("head", dims.seq, dims.hidden, vocab,
+                                      /*include_pooler=*/true));
+      break;
+    }
+    case 2: {  // Swin-like: blocks, patch-merge downsample, wider blocks
+      const int blocks = 2 + NextIntBelow(rng, max_layers - 2);  // + 1 merge
+      const int before = 1 + NextIntBelow(rng, blocks - 1);
+      for (int i = 0; i < before; ++i) {
+        layers.push_back(BuildEncoderLayer(StrFormat("stage0_%d", i), dims));
+      }
+      TransformerBlockDims merged = dims;
+      merged.seq = dims.seq / 4;
+      merged.hidden = dims.hidden * 2;
+      merged.intermediate = 4 * merged.hidden;
+      merged.attend_width = merged.seq;
+      layers.push_back(BuildPatchMergeLayer("merge", merged.seq, dims.hidden,
+                                            merged.hidden));
+      for (int i = 0; i < blocks - before; ++i) {
+        layers.push_back(BuildEncoderLayer(StrFormat("stage1_%d", i), merged));
+      }
+      break;
+    }
+    default: {  // T5-like: embedding + encoders + decoders + head
+      const int blocks = 2 + NextIntBelow(rng, max_layers - 3);
+      const int enc = 1 + NextIntBelow(rng, blocks - 1);
+      layers.push_back(BuildTokenEmbeddingLayer("embed", vocab, dims.seq,
+                                                dims.hidden,
+                                                /*learned_positions=*/false));
+      for (int i = 0; i < enc; ++i) {
+        layers.push_back(BuildEncoderLayer(StrFormat("enc%d", i), dims));
+      }
+      for (int i = 0; i < blocks - enc; ++i) {
+        layers.push_back(
+            BuildDecoderLayer(StrFormat("dec%d", i), dims, dims.seq));
+      }
+      layers.push_back(BuildHeadLayer("lm_head", dims.seq, dims.hidden, vocab,
+                                      /*include_pooler=*/false));
+      break;
+    }
+  }
+  return ModelSpec(std::move(name), std::move(layers));
+}
+
+ClusterSpec GenerateCluster(Rng* rng, const GeneratorOptions& options) {
+  const int num_devices = RandomPowerOfTwo(rng, std::max(1, options.max_devices));
+  const int num_nodes = RandomPowerOfTwo(rng, num_devices);
+  const int64_t memory = static_cast<int64_t>(
+      rng->NextDouble(options.min_memory_gb, options.max_memory_gb) * 1e9);
+  const double flops = rng->NextBelow(2) == 0 ? 14e12 : 60e12;
+  const LinkClass intra =
+      rng->NextBelow(2) == 0 ? LinkClass::kNvLink : LinkClass::kPcie3;
+  const LinkClass inter = rng->NextBelow(2) == 0 ? LinkClass::kInfiniBand100
+                                                 : LinkClass::kEthernet10;
+  ClusterSpec cluster =
+      MakeHomogeneousCluster("fuzz-cluster", num_nodes,
+                             num_devices / num_nodes, memory, flops, intra,
+                             inter);
+  if (options.heterogeneous_memory && num_devices > 1 &&
+      rng->NextBelow(4) == 0) {
+    // Squeeze a contiguous block so per-stage MinMemoryInRange matters.
+    const int count = 1 + NextIntBelow(rng, num_devices - 1);
+    const int first = NextIntBelow(rng, num_devices - count + 1);
+    const int64_t squeezed =
+        static_cast<int64_t>(memory * rng->NextDouble(0.5, 1.0));
+    cluster = cluster.WithDeviceMemoryRange(first, count, squeezed);
+  }
+  return cluster;
+}
+
+Result<TrainingPlan> GeneratePlan(Rng* rng, const ModelSpec& model,
+                                  const ClusterSpec& cluster) {
+  const int num_devices = cluster.num_devices();
+  const int num_layers = model.num_layers();
+
+  // PP degree: a power-of-two divisor of the device count, at most one
+  // stage per layer.
+  std::vector<int> pp_choices;
+  for (int pp : PowerOfTwoDivisors(num_devices)) {
+    if (pp <= num_layers) pp_choices.push_back(pp);
+  }
+  const int pp = pp_choices[rng->NextBelow(pp_choices.size())];
+  const int width = num_devices / pp;
+  GALVATRON_ASSIGN_OR_RETURN(std::vector<HybridStrategy> candidates,
+                             EnumerateSingleLayerStrategies(width));
+
+  // Random contiguous partition: pp - 1 distinct cut points in [1, L - 1],
+  // drawn by a partial Fisher-Yates shuffle.
+  std::vector<int> positions;
+  for (int i = 1; i < num_layers; ++i) positions.push_back(i);
+  for (int i = 0; i < pp - 1; ++i) {
+    const int j =
+        i + NextIntBelow(rng, static_cast<int>(positions.size()) - i);
+    std::swap(positions[static_cast<size_t>(i)],
+              positions[static_cast<size_t>(j)]);
+  }
+  std::vector<int> cuts(positions.begin(), positions.begin() + (pp - 1));
+  cuts.push_back(0);
+  cuts.push_back(num_layers);
+  std::sort(cuts.begin(), cuts.end());
+
+  TrainingPlan plan;
+  plan.model_name = model.name();
+  plan.schedule = rng->NextBelow(2) == 0 ? PipelineSchedule::kGPipe
+                                         : PipelineSchedule::k1F1B;
+  const int m = RandomPowerOfTwo(rng, 8);
+  plan.num_micro_batches = m;
+  plan.global_batch = m * (1 + NextIntBelow(rng, 8));
+
+  for (int s = 0; s < pp; ++s) {
+    StagePlan stage;
+    stage.first_device = s * width;
+    stage.num_devices = width;
+    stage.first_layer = cuts[static_cast<size_t>(s)];
+    stage.num_layers =
+        cuts[static_cast<size_t>(s) + 1] - cuts[static_cast<size_t>(s)];
+    const bool uniform = rng->NextBelow(2) == 0;
+    const HybridStrategy& pick =
+        candidates[rng->NextBelow(candidates.size())];
+    for (int l = 0; l < stage.num_layers; ++l) {
+      stage.layer_strategies.push_back(
+          uniform ? pick : candidates[rng->NextBelow(candidates.size())]);
+    }
+    if (rng->NextBelow(3) == 0) {
+      for (int l = 0; l < stage.num_layers; ++l) {
+        stage.recompute.push_back(rng->NextBelow(2) == 0 ? 1 : 0);
+      }
+    }
+    plan.stages.push_back(std::move(stage));
+  }
+
+  GALVATRON_RETURN_IF_ERROR(plan.Validate(model, num_devices));
+  return plan;
+}
+
+}  // namespace galvatron

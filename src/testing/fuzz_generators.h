@@ -1,0 +1,65 @@
+#ifndef GALVATRON_TESTING_FUZZ_GENERATORS_H_
+#define GALVATRON_TESTING_FUZZ_GENERATORS_H_
+
+#include <string>
+
+#include "cluster/cluster.h"
+#include "ir/model.h"
+#include "parallel/plan.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace galvatron {
+
+/// Knobs of the random instance generators. Defaults cover the repo's
+/// interesting envelope (up to 8 devices, heterogeneous layer stacks) while
+/// staying small enough that a differential check runs in milliseconds; the
+/// search-equivalence check shrinks them further because brute force is
+/// exponential in the layer count.
+struct GeneratorOptions {
+  /// Device-count cap; generated clusters have power-of-two sizes in
+  /// [1, max_devices].
+  int max_devices = 8;
+  /// Layer-count cap for generated models (>= 4 so every archetype fits).
+  int max_layers = 8;
+  /// Inject quotes, backslashes, control characters, NUL and multi-byte
+  /// UTF-8 into generated model names (half of the names when enabled).
+  bool hostile_names = true;
+  /// Per-device memory budget range, decimal GB.
+  double min_memory_gb = 4.0;
+  double max_memory_gb = 32.0;
+  /// With probability 1/4, squeeze a contiguous device range's budget so
+  /// heterogeneous-memory paths (MinMemoryInRange) get exercised.
+  bool heterogeneous_memory = true;
+};
+
+/// A random identifier. With `hostile` it is salted with JSON-significant
+/// bytes: quotes, backslashes, short-escape and \uXXXX control characters,
+/// embedded NUL and a multi-byte UTF-8 sequence — everything EscapeJson and
+/// the parser's string path must survive.
+std::string GenerateName(Rng* rng, bool hostile);
+
+/// A random heterogeneous model: one of four archetypes (encoder-only
+/// stack; embedding + encoders + head; Swin-like with a patch-merge in the
+/// middle; T5-like encoder+decoder with embedding and head), with random
+/// hidden/sequence dims sized so TP degrees up to 8 divide evenly.
+ModelSpec GenerateModel(Rng* rng, const GeneratorOptions& options = {});
+
+/// A random homogeneous-topology cluster: power-of-two device count split
+/// into power-of-two nodes, mixed intra/inter link classes, random memory
+/// budget (optionally squeezed on a device range — see GeneratorOptions).
+ClusterSpec GenerateCluster(Rng* rng, const GeneratorOptions& options = {});
+
+/// A random TrainingPlan for (model, cluster): random power-of-two PP
+/// degree capped by the layer count, random contiguous layer partition,
+/// per-layer strategies drawn from the stage width's decision trees
+/// (uniform-per-stage half the time), random schedule / micro-batch count /
+/// global batch, and occasional per-layer recompute flags. The plan always
+/// passes TrainingPlan::Validate; it may legitimately not fit in memory
+/// (the memory-model check wants both sides of the OOM verdict).
+Result<TrainingPlan> GeneratePlan(Rng* rng, const ModelSpec& model,
+                                  const ClusterSpec& cluster);
+
+}  // namespace galvatron
+
+#endif  // GALVATRON_TESTING_FUZZ_GENERATORS_H_

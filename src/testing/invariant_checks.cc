@@ -1,0 +1,495 @@
+#include "testing/invariant_checks.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <utility>
+
+#include "api/plan_io.h"
+#include "estimator/cost_estimator.h"
+#include "parallel/decision_tree.h"
+#include "search/dp_search.h"
+#include "sim/simulator.h"
+#include "util/math_util.h"
+#include "util/string_util.h"
+
+namespace galvatron {
+
+namespace {
+
+std::string BuildRepro(FuzzCheck check, uint64_t seed,
+                       const std::string& detail, const TrainingPlan* plan) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"check\": \"" << FuzzCheckToString(check) << "\",\n";
+  os << "  \"seed\": " << seed << ",\n";
+  os << "  \"detail\": \"" << EscapeJson(detail) << "\",\n";
+  os << "  \"plan\": " << (plan ? PlanToJson(*plan) : std::string("null"))
+     << "\n";
+  os << "}\n";
+  return os.str();
+}
+
+CheckFailure MakeFailure(FuzzCheck check, uint64_t seed, std::string detail,
+                         const TrainingPlan* plan = nullptr) {
+  CheckFailure failure;
+  failure.check = check;
+  failure.seed = seed;
+  failure.repro_json = BuildRepro(check, seed, detail, plan);
+  failure.detail = std::move(detail);
+  return failure;
+}
+
+/// Check (a): the generators only emit plans that Validate against their
+/// model/cluster, whose strategies survive a text round-trip, and whose
+/// schedule bookkeeping (in-flight micro-batches, micro-batch size) is
+/// internally consistent.
+std::optional<CheckFailure> CheckPlanValidity(uint64_t seed,
+                                              const CheckOptions& options) {
+  const FuzzCheck kCheck = FuzzCheck::kPlanValidity;
+  Rng rng(seed);
+  const ModelSpec model = GenerateModel(&rng, options.generator);
+  const ClusterSpec cluster = GenerateCluster(&rng, options.generator);
+  Result<TrainingPlan> plan_or = GeneratePlan(&rng, model, cluster);
+  if (!plan_or.ok()) {
+    return MakeFailure(kCheck, seed,
+                       StrFormat("generator emitted an invalid plan: %s",
+                                 plan_or.status().ToString().c_str()));
+  }
+  const TrainingPlan& plan = *plan_or;
+
+  const Status valid = plan.Validate(model, cluster.num_devices());
+  if (!valid.ok()) {
+    return MakeFailure(kCheck, seed,
+                       StrFormat("plan fails Validate: %s",
+                                 valid.ToString().c_str()),
+                       &plan);
+  }
+  if (plan.ToString().empty()) {
+    return MakeFailure(kCheck, seed, "plan renders to an empty string",
+                       &plan);
+  }
+  const int mb_size = plan.MicroBatchSize();
+  if (mb_size < 1 || mb_size * plan.num_micro_batches < plan.global_batch) {
+    return MakeFailure(
+        kCheck, seed,
+        StrFormat("micro-batch size %d x %d does not cover global batch %d",
+                  mb_size, plan.num_micro_batches, plan.global_batch),
+        &plan);
+  }
+  for (size_t s = 0; s < plan.stages.size(); ++s) {
+    const int in_flight = plan.InFlightMicroBatches(static_cast<int>(s));
+    if (in_flight < 1 || in_flight > plan.num_micro_batches) {
+      return MakeFailure(
+          kCheck, seed,
+          StrFormat("stage %d holds %d in-flight micro-batches of %d",
+                    static_cast<int>(s), in_flight, plan.num_micro_batches),
+          &plan);
+    }
+    for (const HybridStrategy& strategy : plan.stages[s].layer_strategies) {
+      Result<HybridStrategy> reparsed =
+          HybridStrategy::Parse(strategy.ToString());
+      if (!reparsed.ok() || !(*reparsed == strategy)) {
+        return MakeFailure(
+            kCheck, seed,
+            StrFormat("strategy '%s' does not survive Parse(ToString())",
+                      strategy.ToString().c_str()),
+            &plan);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+/// Check (b): DpSearch and BruteForceSearch agree on feasibility and on the
+/// optimal stage cost for small instances. Kept exponential-safe: at most
+/// 3 layers and 4 devices regardless of the configured generator sizes.
+std::optional<CheckFailure> CheckSearchEquivalence(uint64_t seed,
+                                                   const CheckOptions& options) {
+  const FuzzCheck kCheck = FuzzCheck::kSearchEquivalence;
+  Rng rng(seed);
+  GeneratorOptions gen = options.generator;
+  gen.max_devices = std::min(gen.max_devices, 4);
+  gen.max_layers = 4;
+  const ModelSpec model = GenerateModel(&rng, gen);
+  const ClusterSpec cluster = GenerateCluster(&rng, gen);
+
+  // A random stage block: power-of-two width, block-aligned first device.
+  const std::vector<int> widths = PowerOfTwoDivisors(cluster.num_devices());
+  const int width = widths[rng.NextBelow(widths.size())];
+  const int first_device =
+      width * static_cast<int>(rng.NextBelow(
+                  static_cast<uint64_t>(cluster.num_devices() / width)));
+  Result<std::vector<HybridStrategy>> candidates_or =
+      EnumerateSingleLayerStrategies(width);
+  if (!candidates_or.ok()) {
+    return MakeFailure(kCheck, seed,
+                       StrFormat("strategy enumeration failed: %s",
+                                 candidates_or.status().ToString().c_str()));
+  }
+
+  // A random layer window of at most 3 layers (brute force is
+  // options^layers).
+  const int num_layers =
+      1 + static_cast<int>(rng.NextBelow(
+              static_cast<uint64_t>(std::min(3, model.num_layers()))));
+  const int first_layer = static_cast<int>(
+      rng.NextBelow(static_cast<uint64_t>(model.num_layers() - num_layers + 1)));
+
+  const int micro_batches = 1 << rng.NextBelow(3);
+  const int batch =
+      micro_batches * (1 + static_cast<int>(rng.NextBelow(4)));
+
+  DpSearchOptions search_options;
+  static const int64_t kGranularities[] = {
+      int64_t{1} << 20, int64_t{32} << 20, int64_t{256} << 20};
+  search_options.memory_granularity = kGranularities[rng.NextBelow(3)];
+  search_options.allow_recompute = rng.NextBelow(2) == 0;
+
+  // Log-uniform budget across [64 MB, 32 GB]: small instances make that
+  // range straddle the feasibility frontier, which is where the budget
+  // quantization bugs of PR 1 lived.
+  const double log_budget = rng.NextDouble(std::log(64.0 * (1 << 20)),
+                                           std::log(32.0 * 1e9));
+  const int64_t budget = static_cast<int64_t>(std::exp(log_budget));
+
+  const CostEstimator estimator(&cluster);
+  const DpSearch dp(&estimator, search_options);
+  Result<DpSearchResult> dp_or =
+      dp.Run(model, first_layer, num_layers, *candidates_or, first_device,
+             batch, micro_batches, budget);
+  Result<DpSearchResult> bf_or = BruteForceSearch(
+      estimator, model, first_layer, num_layers, *candidates_or, first_device,
+      batch, micro_batches, budget, search_options);
+
+  const std::string instance = StrFormat(
+      "layers [%d,+%d) width %d@%d batch %d/%d budget %lld gran %lld%s",
+      first_layer, num_layers, width, first_device, batch, micro_batches,
+      static_cast<long long>(budget),
+      static_cast<long long>(search_options.memory_granularity),
+      search_options.allow_recompute ? " +recompute" : "");
+
+  if (dp_or.ok() != bf_or.ok()) {
+    return MakeFailure(
+        kCheck, seed,
+        StrFormat("feasibility verdicts diverge on %s: dp=%s bf=%s",
+                  instance.c_str(),
+                  dp_or.ok() ? "ok" : dp_or.status().ToString().c_str(),
+                  bf_or.ok() ? "ok" : bf_or.status().ToString().c_str()));
+  }
+  if (!dp_or.ok()) {
+    // Both infeasible is agreement; anything else is a harness bug.
+    if (!dp_or.status().IsInfeasible() || !bf_or.status().IsInfeasible()) {
+      return MakeFailure(
+          kCheck, seed,
+          StrFormat("unexpected search error on %s: dp=%s bf=%s",
+                    instance.c_str(), dp_or.status().ToString().c_str(),
+                    bf_or.status().ToString().c_str()));
+    }
+    return std::nullopt;
+  }
+  const double dp_cost = dp_or->stage_seconds;
+  const double bf_cost = bf_or->stage_seconds;
+  const double tolerance =
+      options.cost_rel_tolerance * std::max(1.0, std::abs(bf_cost));
+  if (std::abs(dp_cost - bf_cost) > tolerance) {
+    return MakeFailure(
+        kCheck, seed,
+        StrFormat("optimal costs diverge on %s: dp=%.12g bf=%.12g",
+                  instance.c_str(), dp_cost, bf_cost));
+  }
+  return std::nullopt;
+}
+
+/// Check (c): the estimator's per-stage peak memory tracks the simulator's
+/// stage_peak_memory_bytes, and the two subsystems issue the same OOM
+/// verdict whenever the peaks sit clear of the budget line.
+///
+/// Documented tolerance: per stage,
+///   |est_peak - sim_peak| <= memory_rel_tolerance * est_peak
+///                            + 2 * max_layer_transient
+/// The structural term exists because the estimator reserves the ZeRO-3
+/// double-buffered weight gather (2x the largest transient) for every
+/// stage unconditionally, while the simulator only charges transients its
+/// timeline actually holds live. OOM verdicts may legitimately differ only
+/// when a stage's peak (either model's) lands inside that same tolerance
+/// band around the stage budget.
+std::optional<CheckFailure> CheckMemoryModel(uint64_t seed,
+                                             const CheckOptions& options) {
+  const FuzzCheck kCheck = FuzzCheck::kMemoryModel;
+  Rng rng(seed);
+  const ModelSpec model = GenerateModel(&rng, options.generator);
+  const ClusterSpec cluster = GenerateCluster(&rng, options.generator);
+  Result<TrainingPlan> plan_or = GeneratePlan(&rng, model, cluster);
+  if (!plan_or.ok()) {
+    return MakeFailure(kCheck, seed,
+                       StrFormat("generator emitted an invalid plan: %s",
+                                 plan_or.status().ToString().c_str()));
+  }
+  const TrainingPlan& plan = *plan_or;
+
+  // Lift the budget so both models report peaks even for OOM plans; memory
+  // accounting is budget-independent in both subsystems.
+  const ClusterSpec big = cluster.WithMemoryBudget(int64_t{1} << 55);
+  const CostEstimator estimator(&big);
+  Result<PlanCost> cost_or = estimator.EstimatePlan(model, plan);
+  if (!cost_or.ok()) {
+    return MakeFailure(kCheck, seed,
+                       StrFormat("estimator failed under a 32 PiB budget: %s",
+                                 cost_or.status().ToString().c_str()),
+                       &plan);
+  }
+  const Simulator simulator(&big);
+  Result<SimMetrics> metrics_or = simulator.Run(model, plan);
+  if (!metrics_or.ok()) {
+    return MakeFailure(kCheck, seed,
+                       StrFormat("simulator failed under a 32 PiB budget: %s",
+                                 metrics_or.status().ToString().c_str()),
+                       &plan);
+  }
+  if (metrics_or->stage_peak_memory_bytes.size() != plan.stages.size()) {
+    return MakeFailure(
+        kCheck, seed,
+        StrFormat("simulator reported %d stage peaks for %d stages",
+                  static_cast<int>(metrics_or->stage_peak_memory_bytes.size()),
+                  static_cast<int>(plan.stages.size())),
+        &plan);
+  }
+
+  bool est_oom = false;
+  bool verdict_ambiguous = false;
+  for (size_t s = 0; s < plan.stages.size(); ++s) {
+    const StagePlan& stage = plan.stages[s];
+    const int64_t est_peak = cost_or->stages[s].peak_memory_bytes;
+    const int64_t sim_peak =
+        metrics_or->stage_peak_memory_bytes[s];
+
+    // The structural slack: 2x the largest layer transient in the stage.
+    int64_t max_transient = 0;
+    for (int l = 0; l < stage.num_layers; ++l) {
+      Result<LayerCost> layer_or = estimator.EstimateLayer(
+          model.layer(stage.first_layer + l),
+          stage.layer_strategies[static_cast<size_t>(l)], stage.first_device,
+          plan.global_batch, plan.num_micro_batches, stage.RecomputeAt(l),
+          plan.InFlightMicroBatches(static_cast<int>(s)));
+      if (!layer_or.ok()) {
+        return MakeFailure(kCheck, seed,
+                           StrFormat("per-layer estimate failed: %s",
+                                     layer_or.status().ToString().c_str()),
+                           &plan);
+      }
+      max_transient =
+          std::max(max_transient, layer_or->transient_memory_bytes);
+    }
+    const int64_t tolerance =
+        static_cast<int64_t>(options.memory_rel_tolerance *
+                             static_cast<double>(est_peak)) +
+        2 * max_transient;
+    if (std::llabs(est_peak - sim_peak) > tolerance) {
+      return MakeFailure(
+          kCheck, seed,
+          StrFormat("stage %d peak diverges: estimator %lld vs simulator "
+                    "%lld (tolerance %lld)",
+                    static_cast<int>(s), static_cast<long long>(est_peak),
+                    static_cast<long long>(sim_peak),
+                    static_cast<long long>(tolerance)),
+          &plan);
+    }
+
+    const int64_t budget =
+        cluster.MinMemoryInRange(stage.first_device, stage.num_devices);
+    if (est_peak > budget) est_oom = true;
+    if (std::llabs(est_peak - budget) <= tolerance ||
+        std::llabs(sim_peak - budget) <= tolerance) {
+      verdict_ambiguous = true;
+    }
+  }
+
+  // Public-API OOM verdicts on the real cluster. The estimator's status
+  // must agree exactly with its own peaks (same numbers, same budgets);
+  // estimator vs simulator must agree whenever no stage peak lands in the
+  // tolerance band around its budget.
+  const CostEstimator real_estimator(&cluster);
+  Result<PlanCost> real_cost = real_estimator.EstimatePlan(model, plan);
+  if (!real_cost.ok() && !real_cost.status().IsOutOfMemory()) {
+    return MakeFailure(kCheck, seed,
+                       StrFormat("estimator errored on the real cluster: %s",
+                                 real_cost.status().ToString().c_str()),
+                       &plan);
+  }
+  const bool est_api_oom = !real_cost.ok();
+  if (est_api_oom != est_oom) {
+    return MakeFailure(
+        kCheck, seed,
+        StrFormat("estimator OOM status (%s) contradicts its own stage "
+                  "peaks (%s)",
+                  est_api_oom ? "oom" : "fits", est_oom ? "oom" : "fits"),
+        &plan);
+  }
+  const Simulator real_simulator(&cluster);
+  Result<SimMetrics> real_metrics = real_simulator.Run(model, plan);
+  if (!real_metrics.ok()) {
+    return MakeFailure(kCheck, seed,
+                       StrFormat("simulator errored on the real cluster: %s",
+                                 real_metrics.status().ToString().c_str()),
+                       &plan);
+  }
+  if (real_metrics->oom != est_api_oom && !verdict_ambiguous) {
+    return MakeFailure(
+        kCheck, seed,
+        StrFormat("OOM verdicts diverge outside the tolerance band: "
+                  "estimator says %s, simulator says %s",
+                  est_api_oom ? "oom" : "fits",
+                  real_metrics->oom ? "oom" : "fits"),
+        &plan);
+  }
+  return std::nullopt;
+}
+
+/// Check (d): PlanToJson -> ParsePlanJson -> PlanToJson is bit-exact, and
+/// the parsed plan is field-identical to the original — with generated
+/// (often hostile) model names.
+std::optional<CheckFailure> CheckJsonRoundTrip(uint64_t seed,
+                                               const CheckOptions& options) {
+  const FuzzCheck kCheck = FuzzCheck::kJsonRoundTrip;
+  Rng rng(seed);
+  const ModelSpec model = GenerateModel(&rng, options.generator);
+  const ClusterSpec cluster = GenerateCluster(&rng, options.generator);
+  Result<TrainingPlan> plan_or = GeneratePlan(&rng, model, cluster);
+  if (!plan_or.ok()) {
+    return MakeFailure(kCheck, seed,
+                       StrFormat("generator emitted an invalid plan: %s",
+                                 plan_or.status().ToString().c_str()));
+  }
+  const TrainingPlan& plan = *plan_or;
+
+  const std::string json = PlanToJson(plan);
+  Result<TrainingPlan> parsed_or = ParsePlanJson(json);
+  if (!parsed_or.ok()) {
+    return MakeFailure(kCheck, seed,
+                       StrFormat("serialized plan does not re-parse: %s",
+                                 parsed_or.status().ToString().c_str()),
+                       &plan);
+  }
+  const TrainingPlan& parsed = *parsed_or;
+
+  auto mismatch = [&](const std::string& what) {
+    return MakeFailure(kCheck, seed,
+                       StrFormat("round-trip changed %s", what.c_str()),
+                       &plan);
+  };
+  if (parsed.model_name != plan.model_name) return mismatch("model_name");
+  if (parsed.global_batch != plan.global_batch) return mismatch("global_batch");
+  if (parsed.num_micro_batches != plan.num_micro_batches) {
+    return mismatch("num_micro_batches");
+  }
+  if (parsed.schedule != plan.schedule) return mismatch("schedule");
+  if (parsed.stages.size() != plan.stages.size()) return mismatch("stages");
+  for (size_t s = 0; s < plan.stages.size(); ++s) {
+    const StagePlan& a = plan.stages[s];
+    const StagePlan& b = parsed.stages[s];
+    const std::string where = StrFormat("stage %d", static_cast<int>(s));
+    if (a.first_device != b.first_device || a.num_devices != b.num_devices ||
+        a.first_layer != b.first_layer || a.num_layers != b.num_layers) {
+      return mismatch(where + " geometry");
+    }
+    if (a.layer_strategies != b.layer_strategies) {
+      return mismatch(where + " strategies");
+    }
+    for (int l = 0; l < a.num_layers; ++l) {
+      // Recompute compares semantically: an absent vector means all-off.
+      if (a.RecomputeAt(l) != b.RecomputeAt(l)) {
+        return mismatch(where + " recompute flags");
+      }
+    }
+  }
+
+  const std::string json2 = PlanToJson(parsed);
+  if (json2 != json) {
+    return MakeFailure(kCheck, seed,
+                       "PlanToJson(ParsePlanJson(json)) is not bit-exact",
+                       &plan);
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string_view FuzzCheckToString(FuzzCheck check) {
+  switch (check) {
+    case FuzzCheck::kPlanValidity:
+      return "plan-validity";
+    case FuzzCheck::kSearchEquivalence:
+      return "search-equivalence";
+    case FuzzCheck::kMemoryModel:
+      return "memory-model";
+    case FuzzCheck::kJsonRoundTrip:
+      return "json-roundtrip";
+  }
+  return "unknown";
+}
+
+Result<FuzzCheck> FuzzCheckFromString(const std::string& text) {
+  if (text == "plan-validity") return FuzzCheck::kPlanValidity;
+  if (text == "search-equivalence") return FuzzCheck::kSearchEquivalence;
+  if (text == "memory-model") return FuzzCheck::kMemoryModel;
+  if (text == "json-roundtrip") return FuzzCheck::kJsonRoundTrip;
+  return Status::InvalidArgument(
+      StrFormat("unknown check '%s' (expected plan-validity, "
+                "search-equivalence, memory-model or json-roundtrip)",
+                text.c_str()));
+}
+
+uint64_t MixSeed(uint64_t base_seed, uint64_t check_index,
+                 uint64_t iteration) {
+  // Stateless SplitMix64 finalization of the three coordinates, so a
+  // reported per-iteration seed replays directly through RunCheck.
+  Rng mixer(base_seed + 0x9e3779b97f4a7c15ULL * (check_index + 1) +
+            0xbf58476d1ce4e5b9ULL * (iteration + 1));
+  return mixer.NextU64();
+}
+
+std::optional<CheckFailure> RunCheck(FuzzCheck check, uint64_t seed,
+                                     const CheckOptions& options) {
+  switch (check) {
+    case FuzzCheck::kPlanValidity:
+      return CheckPlanValidity(seed, options);
+    case FuzzCheck::kSearchEquivalence:
+      return CheckSearchEquivalence(seed, options);
+    case FuzzCheck::kMemoryModel:
+      return CheckMemoryModel(seed, options);
+    case FuzzCheck::kJsonRoundTrip:
+      return CheckJsonRoundTrip(seed, options);
+  }
+  return MakeFailure(check, seed, "unknown check");
+}
+
+FuzzReport RunFuzz(const FuzzOptions& options) {
+  static const FuzzCheck kAll[] = {
+      FuzzCheck::kPlanValidity, FuzzCheck::kSearchEquivalence,
+      FuzzCheck::kMemoryModel, FuzzCheck::kJsonRoundTrip};
+  std::vector<FuzzCheck> checks = options.checks;
+  if (checks.empty()) checks.assign(kAll, kAll + kNumFuzzChecks);
+
+  FuzzReport report;
+  for (FuzzCheck check : checks) {
+    int failures_for_check = 0;
+    for (int i = 0; i < options.iterations; ++i) {
+      if (failures_for_check >= options.max_failures_per_check) break;
+      const uint64_t seed =
+          MixSeed(options.seed, static_cast<uint64_t>(check),
+                  static_cast<uint64_t>(i));
+      std::optional<CheckFailure> failure =
+          RunCheck(check, seed, options.check_options);
+      ++report.iterations_run;
+      if (failure.has_value()) {
+        report.failures.push_back(*std::move(failure));
+        ++failures_for_check;
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace galvatron

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "api/plan_io.h"
+#include "testing/corpus.h"
+#include "testing/fuzz_generators.h"
+#include "testing/invariant_checks.h"
+#include "util/rng.h"
+
+namespace galvatron {
+namespace {
+
+// The pinned corpus — every divergence a fuzz campaign ever found, plus
+// the raw-JSON parser regressions — must stay clean. This is the tier-1
+// entry point of the fuzz subsystem.
+TEST(FuzzCorpus, Clean) {
+  const std::vector<CheckFailure> failures = RunCorpus();
+  for (const CheckFailure& failure : failures) {
+    ADD_FAILURE() << FuzzCheckToString(failure.check)
+                  << " seed=" << failure.seed << ": " << failure.detail;
+  }
+  EXPECT_GE(SeedCorpus().size() + JsonCorpus().size(), 10u);
+}
+
+// A short random campaign per check rides along in tier-1; the long runs
+// (1000 iterations under ASan/UBSan) are the opt-in ctest configuration
+// `fuzz_long` and the galvatron_fuzz CLI.
+TEST(FuzzCampaign, ShortRunAllChecksClean) {
+  FuzzOptions options;
+  options.seed = 0x6a1fa7;
+  options.iterations = 25;
+  const FuzzReport report = RunFuzz(options);
+  EXPECT_EQ(report.iterations_run, 25 * kNumFuzzChecks);
+  for (const CheckFailure& failure : report.failures) {
+    ADD_FAILURE() << FuzzCheckToString(failure.check)
+                  << " seed=" << failure.seed << ": " << failure.detail;
+  }
+}
+
+TEST(FuzzGenerators, DeterministicAcrossRuns) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng_a(seed);
+    Rng rng_b(seed);
+    const ModelSpec model_a = GenerateModel(&rng_a);
+    const ModelSpec model_b = GenerateModel(&rng_b);
+    EXPECT_EQ(model_a.name(), model_b.name());
+    ASSERT_EQ(model_a.num_layers(), model_b.num_layers());
+    const ClusterSpec cluster_a = GenerateCluster(&rng_a);
+    const ClusterSpec cluster_b = GenerateCluster(&rng_b);
+    EXPECT_EQ(cluster_a.num_devices(), cluster_b.num_devices());
+    EXPECT_EQ(cluster_a.device_memory_bytes(),
+              cluster_b.device_memory_bytes());
+    const Result<TrainingPlan> plan_a =
+        GeneratePlan(&rng_a, model_a, cluster_a);
+    const Result<TrainingPlan> plan_b =
+        GeneratePlan(&rng_b, model_b, cluster_b);
+    ASSERT_TRUE(plan_a.ok()) << plan_a.status();
+    ASSERT_TRUE(plan_b.ok()) << plan_b.status();
+    EXPECT_EQ(PlanToJson(*plan_a), PlanToJson(*plan_b));
+  }
+}
+
+TEST(FuzzGenerators, PlansAlwaysValidate) {
+  for (uint64_t seed = 100; seed < 200; ++seed) {
+    Rng rng(seed);
+    const ModelSpec model = GenerateModel(&rng);
+    const ClusterSpec cluster = GenerateCluster(&rng);
+    const Result<TrainingPlan> plan = GeneratePlan(&rng, model, cluster);
+    ASSERT_TRUE(plan.ok()) << "seed " << seed << ": " << plan.status();
+    EXPECT_TRUE(plan->Validate(model, cluster.num_devices()).ok())
+        << "seed " << seed;
+  }
+}
+
+TEST(FuzzGenerators, HostileNamesAppear) {
+  // The name generator must actually emit JSON-significant bytes, or the
+  // round-trip check would silently stop covering the escaper.
+  bool saw_control = false;
+  bool saw_quote_or_backslash = false;
+  for (uint64_t seed = 0; seed < 64; ++seed) {
+    Rng rng(seed);
+    const std::string name = GenerateName(&rng, /*hostile=*/true);
+    for (char ch : name) {
+      if (static_cast<unsigned char>(ch) < 0x20) saw_control = true;
+      if (ch == '"' || ch == '\\') saw_quote_or_backslash = true;
+    }
+  }
+  EXPECT_TRUE(saw_control);
+  EXPECT_TRUE(saw_quote_or_backslash);
+}
+
+TEST(FuzzSeeds, MixSeedIsStatelessAndDisperses) {
+  EXPECT_EQ(MixSeed(1, 2, 3), MixSeed(1, 2, 3));
+  std::set<uint64_t> seen;
+  for (uint64_t check = 0; check < 4; ++check) {
+    for (uint64_t i = 0; i < 64; ++i) {
+      seen.insert(MixSeed(42, check, i));
+    }
+  }
+  EXPECT_EQ(seen.size(), 4u * 64u);
+}
+
+TEST(FuzzChecks, ReproIsDeterministic) {
+  for (uint64_t seed = 7; seed < 17; ++seed) {
+    for (int c = 0; c < kNumFuzzChecks; ++c) {
+      const FuzzCheck check = static_cast<FuzzCheck>(c);
+      const auto first = RunCheck(check, seed);
+      const auto second = RunCheck(check, seed);
+      ASSERT_EQ(first.has_value(), second.has_value());
+      if (first.has_value()) {
+        EXPECT_EQ(first->detail, second->detail);
+        EXPECT_EQ(first->repro_json, second->repro_json);
+      }
+    }
+  }
+}
+
+TEST(FuzzChecks, CheckNamesRoundTrip) {
+  for (int c = 0; c < kNumFuzzChecks; ++c) {
+    const FuzzCheck check = static_cast<FuzzCheck>(c);
+    const auto parsed =
+        FuzzCheckFromString(std::string(FuzzCheckToString(check)));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, check);
+  }
+  EXPECT_FALSE(FuzzCheckFromString("bogus").ok());
+}
+
+}  // namespace
+}  // namespace galvatron

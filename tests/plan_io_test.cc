@@ -5,7 +5,9 @@
 
 #include "api/plan_io.h"
 #include "api/plan_render.h"
+#include "testing/fuzz_generators.h"
 #include "util/math_util.h"
+#include "util/rng.h"
 
 namespace galvatron {
 namespace {
@@ -104,6 +106,112 @@ TEST_F(PlanIoTest, ParserHandlesWhitespaceAndEscapes) {
   ASSERT_TRUE(plan.ok()) << plan.status();
   EXPECT_EQ(plan->model_name, "my \"model\"");
   EXPECT_TRUE(plan->stages[0].RecomputeAt(0));
+}
+
+TEST_F(PlanIoTest, ParserRejectsDuplicateKeys) {
+  // Pre-fix, the object builder's emplace silently kept the first value.
+  EXPECT_FALSE(
+      ParsePlanJson(
+          "{\"model\":\"a\",\"model\":\"b\",\"global_batch\":8,"
+          "\"micro_batches\":1,\"schedule\":\"gpipe\",\"stages\":[{"
+          "\"first_device\":0,\"num_devices\":8,\"first_layer\":0,"
+          "\"num_layers\":1,\"layers\":[{\"strategy\":\"dp8\","
+          "\"recompute\":false}]}]}")
+          .ok());
+  EXPECT_FALSE(
+      ParsePlanJson(
+          "{\"model\":\"m\",\"global_batch\":8,\"micro_batches\":1,"
+          "\"schedule\":\"gpipe\",\"stages\":[{\"first_device\":0,"
+          "\"num_devices\":8,\"num_devices\":4,\"first_layer\":0,"
+          "\"num_layers\":1,\"layers\":[{\"strategy\":\"dp8\","
+          "\"recompute\":false}]}]}")
+          .ok());
+}
+
+TEST_F(PlanIoTest, ParserRejectsMalformedNumbers) {
+  const auto doc = [](const std::string& batch) {
+    return "{\"model\":\"m\",\"global_batch\":" + batch +
+           ",\"micro_batches\":1,\"schedule\":\"gpipe\",\"stages\":[{"
+           "\"first_device\":0,\"num_devices\":8,\"first_layer\":0,"
+           "\"num_layers\":1,\"layers\":[{\"strategy\":\"dp8\","
+           "\"recompute\":false}]}]}";
+  };
+  EXPECT_TRUE(ParsePlanJson(doc("8")).ok());
+  EXPECT_FALSE(ParsePlanJson(doc("1e")).ok());    // truncated exponent
+  EXPECT_FALSE(ParsePlanJson(doc("2.5")).ok());   // non-integral count
+  EXPECT_FALSE(ParsePlanJson(doc("1e99")).ok());  // outside int range
+  EXPECT_FALSE(ParsePlanJson(doc("+8")).ok());    // leading plus
+  EXPECT_FALSE(ParsePlanJson(doc("08")).ok());    // leading zero
+  EXPECT_FALSE(ParsePlanJson(doc("-8")).ok());    // negative count
+  EXPECT_FALSE(ParsePlanJson(doc("0")).ok());     // below minimum of 1
+  EXPECT_FALSE(ParsePlanJson(doc("\"8\"")).ok()); // string, not number
+}
+
+TEST_F(PlanIoTest, ParserRejectsNegativeStageFields) {
+  const auto doc = [](const std::string& stage_fields) {
+    return "{\"model\":\"m\",\"global_batch\":8,\"micro_batches\":1,"
+           "\"schedule\":\"gpipe\",\"stages\":[{" +
+           stage_fields +
+           "\"layers\":[{\"strategy\":\"dp8\",\"recompute\":false}]}]}";
+  };
+  EXPECT_FALSE(ParsePlanJson(doc("\"first_device\":-1,\"num_devices\":8,"
+                                 "\"first_layer\":0,\"num_layers\":1,"))
+                   .ok());
+  EXPECT_FALSE(ParsePlanJson(doc("\"first_device\":0,\"num_devices\":-8,"
+                                 "\"first_layer\":0,\"num_layers\":1,"))
+                   .ok());
+  EXPECT_FALSE(ParsePlanJson(doc("\"first_device\":0,\"num_devices\":8,"
+                                 "\"first_layer\":-2,\"num_layers\":1,"))
+                   .ok());
+  EXPECT_FALSE(ParsePlanJson(doc("\"first_device\":0,\"num_devices\":8,"
+                                 "\"first_layer\":0,\"num_layers\":0,"))
+                   .ok());
+}
+
+TEST_F(PlanIoTest, ControlCharacterNamesRoundTrip) {
+  // Regression for the escaper emitting control characters raw: every
+  // byte below 0x20 must survive serialize -> parse exactly.
+  for (int c = 1; c < 0x20; ++c) {
+    TrainingPlan plan;
+    plan.model_name = std::string("m") + static_cast<char>(c) + "x";
+    plan.global_batch = 8;
+    plan.num_micro_batches = 1;
+    plan.schedule = PipelineSchedule::kGPipe;
+    StagePlan stage;
+    stage.first_device = 0;
+    stage.num_devices = 8;
+    stage.first_layer = 0;
+    stage.num_layers = 1;
+    auto strategy = HybridStrategy::Parse("dp8");
+    ASSERT_TRUE(strategy.ok());
+    stage.layer_strategies = {*strategy};
+    plan.stages = {stage};
+
+    const std::string json = PlanToJson(plan);
+    auto parsed = ParsePlanJson(json);
+    ASSERT_TRUE(parsed.ok()) << "byte 0x" << std::hex << c << ": "
+                             << parsed.status();
+    EXPECT_EQ(parsed->model_name, plan.model_name) << "byte " << c;
+    EXPECT_EQ(PlanToJson(*parsed), json) << "byte " << c;
+  }
+}
+
+TEST_F(PlanIoTest, HostileGeneratedNamesRoundTrip) {
+  // Property test over the fuzz subsystem's hostile name generator: any
+  // name it can produce must survive a serialize -> parse round-trip.
+  for (uint64_t seed = 0; seed < 200; ++seed) {
+    Rng rng(seed);
+    const std::string name = GenerateName(&rng, /*hostile=*/true);
+    const std::string json =
+        "{\"model\":\"" + EscapeJson(name) +
+        "\",\"global_batch\":8,\"micro_batches\":1,"
+        "\"schedule\":\"gpipe\",\"stages\":[{\"first_device\":0,"
+        "\"num_devices\":8,\"first_layer\":0,\"num_layers\":1,"
+        "\"layers\":[{\"strategy\":\"dp8\",\"recompute\":false}]}]}";
+    auto parsed = ParsePlanJson(json);
+    ASSERT_TRUE(parsed.ok()) << "seed " << seed << ": " << parsed.status();
+    EXPECT_EQ(parsed->model_name, name) << "seed " << seed;
+  }
 }
 
 TEST_F(PlanIoTest, TraceExportIsWellFormedJson) {
