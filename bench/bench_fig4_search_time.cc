@@ -7,6 +7,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
+#include "bench_json.h"
 #include "cluster/cluster.h"
 #include "estimator/cost_estimator.h"
 #include "ir/model_zoo.h"
@@ -128,7 +131,113 @@ void BM_SimulatorIteration(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorIteration)->Unit(benchmark::kMillisecond);
 
+/// The acceptance configuration: full Galvatron search, BERT-Huge-32 on one
+/// 8-GPU node at 12 GB, single-threaded (so kernel wins are algorithmic,
+/// not parallelism). Runs the sweep `reps` times with the given DP kernel
+/// and records the best wall time plus the search telemetry.
+void RecordOptimizeSearch(bench::BenchJson* out, const std::string& name,
+                          bool use_sparse_dp, int reps) {
+  ClusterSpec cluster = MakeTitanNode8(12 * kGB);
+  OptimizerOptions options;
+  options.search_threads = 1;
+  options.use_sparse_dp = use_sparse_dp;
+  Optimizer optimizer(&cluster, options);
+  ModelSpec model = BuildModel(ModelId::kBertHuge32);
+  double best_ms = 0.0;
+  SearchStats stats;
+  for (int i = 0; i < reps; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    auto result = optimizer.Optimize(model);
+    const double ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    GALVATRON_CHECK(result.ok());
+    if (i == 0 || ms < best_ms) best_ms = ms;
+    stats = result->stats;
+  }
+  out->Record(name, "wall_ms", best_ms);
+  out->Record(name, "threads", stats.search_threads_used);
+  out->Record(name, "configs_explored", stats.configs_explored);
+  out->Record(name, "dp_states_explored",
+              static_cast<double>(stats.dp_states_explored));
+  out->Record(name, "dp_breakpoints_emitted",
+              static_cast<double>(stats.dp_breakpoints_emitted));
+  out->Record(name, "dp_options_pruned",
+              static_cast<double>(stats.dp_options_pruned));
+  const double lookups =
+      static_cast<double>(stats.cost_cache_hits + stats.cost_cache_misses);
+  out->Record(name, "cache_hit_rate",
+              lookups > 0 ? stats.cost_cache_hits / lookups : 0.0);
+}
+
+/// One raw DpSearch::Run (Fig 4(a)'s unit of work) per kernel: 32 layers,
+/// 8 GPUs, 16 GB.
+void RecordDpKernel(bench::BenchJson* out, const std::string& name,
+                    bool use_sparse_dp, int reps) {
+  ClusterSpec cluster = MakeTitanNode8(16 * kGB);
+  CostEstimator estimator(&cluster);
+  DpSearchOptions options;
+  options.use_sparse_dp = use_sparse_dp;
+  DpSearch search(&estimator, options);
+  ModelSpec model = LayeredBert(32);
+  auto candidates = EnumerateSingleLayerStrategies(8);
+  GALVATRON_CHECK(candidates.ok());
+  double best_ms = 0.0;
+  int64_t states = 0;
+  for (int i = 0; i < reps; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    auto result = search.Run(model, 0, model.num_layers(), *candidates, 0, 8,
+                             1, 16 * kGB);
+    const double ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    GALVATRON_CHECK(result.ok());
+    if (i == 0 || ms < best_ms) best_ms = ms;
+    states = result->states_explored;
+  }
+  out->Record(name, "wall_ms", best_ms);
+  out->Record(name, "dp_states_explored", static_cast<double>(states));
+  out->Record(name, "threads", 1);
+}
+
+void WriteBenchJson() {
+  bench::BenchJson out("BENCH_search.json");
+  RecordOptimizeSearch(&out, "fig4_optimize_bert_huge_32_sparse",
+                       /*use_sparse_dp=*/true, /*reps=*/5);
+  RecordOptimizeSearch(&out, "fig4_optimize_bert_huge_32_dense",
+                       /*use_sparse_dp=*/false, /*reps=*/5);
+  RecordDpKernel(&out, "fig4_dp_run_bert32_16gb_sparse",
+                 /*use_sparse_dp=*/true, /*reps=*/5);
+  RecordDpKernel(&out, "fig4_dp_run_bert32_16gb_dense",
+                 /*use_sparse_dp=*/false, /*reps=*/5);
+  const auto& records = out.records();
+  out.Record("fig4_sparse_over_dense", "optimize_speedup",
+             records.at("fig4_optimize_bert_huge_32_dense").at("wall_ms") /
+                 records.at("fig4_optimize_bert_huge_32_sparse")
+                     .at("wall_ms"));
+  out.Record("fig4_sparse_over_dense", "dp_run_speedup",
+             records.at("fig4_dp_run_bert32_16gb_dense").at("wall_ms") /
+                 records.at("fig4_dp_run_bert32_16gb_sparse").at("wall_ms"));
+  if (out.Save()) {
+    std::printf("wrote BENCH_search.json (optimize speedup %.2fx, "
+                "DP-kernel speedup %.2fx)\n",
+                out.records().at("fig4_sparse_over_dense")
+                    .at("optimize_speedup"),
+                out.records().at("fig4_sparse_over_dense")
+                    .at("dp_run_speedup"));
+  }
+}
+
 }  // namespace
 }  // namespace galvatron
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  galvatron::WriteBenchJson();
+  return 0;
+}

@@ -171,6 +171,7 @@ Result<OptimizationResult> RunBaseline(BaselineKind kind,
       opt.micro_batch_multipliers = options.micro_batch_multipliers;
       opt.memory_granularity = options.memory_granularity;
       opt.search_threads = options.search_threads;
+      opt.use_sparse_dp = options.use_sparse_dp;
       return Optimizer(&cluster, opt).Optimize(model);
     }
     case BaselineKind::kAutoDpPp: {
@@ -185,6 +186,7 @@ Result<OptimizationResult> RunBaseline(BaselineKind kind,
       opt.micro_batch_multipliers = options.micro_batch_multipliers;
       opt.memory_granularity = options.memory_granularity;
       opt.search_threads = options.search_threads;
+      opt.use_sparse_dp = options.use_sparse_dp;
       return Optimizer(&cluster, opt).Optimize(model);
     }
     case BaselineKind::kGalvatron: {
@@ -196,6 +198,7 @@ Result<OptimizationResult> RunBaseline(BaselineKind kind,
       opt.micro_batch_multipliers = options.micro_batch_multipliers;
       opt.memory_granularity = options.memory_granularity;
       opt.search_threads = options.search_threads;
+      opt.use_sparse_dp = options.use_sparse_dp;
       return Optimizer(&cluster, opt).Optimize(model);
     }
   }

@@ -1,23 +1,59 @@
 #include "search/cost_cache.h"
 
-#include <functional>
-
 #include "parallel/transformation.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
 namespace galvatron {
 
+namespace {
+
+/// SplitMix64-style mixing of one more word into a running hash. Cheap,
+/// well-dispersed, and deterministic across platforms.
+inline size_t HashCombine(size_t h, uint64_t v) {
+  v += 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  v = (v ^ (v >> 27)) * 0x94d049bb133111ebULL;
+  return static_cast<size_t>(v ^ (v >> 31)) ^ h;
+}
+
+}  // namespace
+
+size_t LayerCostKeyHash::operator()(const LayerCostKey& k) const {
+  size_t h = HashCombine(0, (static_cast<uint64_t>(
+                                 static_cast<uint32_t>(k.layer_sig))
+                             << 32) |
+                                static_cast<uint32_t>(k.strategy));
+  h = HashCombine(h, (static_cast<uint64_t>(
+                          static_cast<uint32_t>(k.fingerprint))
+                      << 32) |
+                         static_cast<uint32_t>(k.batch_per_group));
+  h = HashCombine(h, (static_cast<uint64_t>(
+                          static_cast<uint32_t>(k.micro_batches))
+                      << 32) |
+                         static_cast<uint32_t>(k.resident_micro_batches));
+  return HashCombine(h, static_cast<uint32_t>(k.recompute));
+}
+
+size_t TransformCostKeyHash::operator()(const TransformCostKey& k) const {
+  size_t h = HashCombine(
+      0, (static_cast<uint64_t>(static_cast<uint32_t>(k.prev_sig)) << 32) |
+             static_cast<uint32_t>(k.next_sig));
+  h = HashCombine(h, (static_cast<uint64_t>(
+                          static_cast<uint32_t>(k.prev_strategy))
+                      << 32) |
+                         static_cast<uint32_t>(k.next_strategy));
+  return HashCombine(h, (static_cast<uint64_t>(
+                             static_cast<uint32_t>(k.fingerprint))
+                         << 32) |
+                            static_cast<uint32_t>(k.mb_size));
+}
+
 SharedCostCache::SharedCostCache(const CostEstimator* estimator,
                                  const ModelSpec* model)
     : estimator_(estimator), model_(model) {
   GALVATRON_CHECK(estimator != nullptr);
   GALVATRON_CHECK(model != nullptr);
-}
-
-SharedCostCache::Shard& SharedCostCache::ShardFor(const std::string& key) {
-  const size_t h = std::hash<std::string>{}(key);
-  return shards_[h % static_cast<size_t>(kNumShards)];
 }
 
 std::string SharedCostCache::BlockFingerprint(const ClusterSpec& cluster,
@@ -38,21 +74,33 @@ std::string SharedCostCache::BlockFingerprint(const ClusterSpec& cluster,
   return fp;
 }
 
-Result<LayerCost> SharedCostCache::Layer(int layer_index,
+int32_t SharedCostCache::Intern(const std::string& text) {
+  std::lock_guard<std::mutex> lock(intern_mu_);
+  auto [it, inserted] =
+      interned_.emplace(text, static_cast<int32_t>(interned_.size()));
+  (void)inserted;
+  return it->second;
+}
+
+int32_t SharedCostCache::InternSignature(int layer_index) {
+  return Intern(model_->layer(layer_index).signature());
+}
+
+int32_t SharedCostCache::InternStrategy(const HybridStrategy& strategy) {
+  return Intern(strategy.ToString());
+}
+
+int32_t SharedCostCache::InternFingerprint(int first_device, int span) {
+  return Intern(
+      BlockFingerprint(estimator_->cluster(), first_device, span));
+}
+
+Result<LayerCost> SharedCostCache::Layer(const LayerCostKey& key,
+                                         int layer_index,
                                          const HybridStrategy& strategy,
-                                         int stage_first_device,
-                                         int batch_per_group,
-                                         int micro_batches, bool recompute,
-                                         int resident_micro_batches) {
-  const LayerSpec& layer = model_->layer(layer_index);
-  const std::string key = StrFormat(
-      "%s|%s|%d|%d|%d|%d|%s", layer.signature().c_str(),
-      strategy.ToString().c_str(), recompute ? 1 : 0, batch_per_group,
-      micro_batches, resident_micro_batches,
-      BlockFingerprint(estimator_->cluster(), stage_first_device,
-                       strategy.TotalDegree() > 0 ? strategy.TotalDegree() : 1)
-          .c_str());
-  Shard& shard = ShardFor(key);
+                                         int stage_first_device) {
+  const size_t hash = LayerCostKeyHash{}(key);
+  Shard& shard = ShardFor(hash);
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.layers.find(key);
@@ -64,9 +112,10 @@ Result<LayerCost> SharedCostCache::Layer(int layer_index,
   layer_misses_.fetch_add(1, std::memory_order_relaxed);
   GALVATRON_ASSIGN_OR_RETURN(
       LayerCost cost,
-      estimator_->EstimateLayer(layer, strategy, stage_first_device,
-                                batch_per_group, micro_batches, recompute,
-                                resident_micro_batches));
+      estimator_->EstimateLayer(model_->layer(layer_index), strategy,
+                                stage_first_device, key.batch_per_group,
+                                key.micro_batches, key.recompute != 0,
+                                key.resident_micro_batches));
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     shard.layers.emplace(key, cost);
@@ -74,23 +123,32 @@ Result<LayerCost> SharedCostCache::Layer(int layer_index,
   return cost;
 }
 
+Result<LayerCost> SharedCostCache::Layer(int layer_index,
+                                         const HybridStrategy& strategy,
+                                         int stage_first_device,
+                                         int batch_per_group,
+                                         int micro_batches, bool recompute,
+                                         int resident_micro_batches) {
+  LayerCostKey key;
+  key.layer_sig = InternSignature(layer_index);
+  key.strategy = InternStrategy(strategy);
+  key.fingerprint = InternFingerprint(
+      stage_first_device,
+      strategy.TotalDegree() > 0 ? strategy.TotalDegree() : 1);
+  key.batch_per_group = batch_per_group;
+  key.micro_batches = micro_batches;
+  key.resident_micro_batches = resident_micro_batches;
+  key.recompute = recompute ? 1 : 0;
+  return Layer(key, layer_index, strategy, stage_first_device);
+}
+
 Result<double> SharedCostCache::TransformSeconds(
-    int layer_index, const HybridStrategy& prev_strategy,
-    const HybridStrategy& next_strategy, int stage_first_device,
-    int mb_size) {
+    const TransformCostKey& key, int layer_index,
+    const HybridStrategy& prev_strategy, const HybridStrategy& next_strategy,
+    int stage_first_device) {
   GALVATRON_CHECK_GT(layer_index, 0);
-  const LayerSpec& prev_layer = model_->layer(layer_index - 1);
-  const LayerSpec& next_layer = model_->layer(layer_index);
-  const std::string key = StrFormat(
-      "%s>%s|%s>%s|%d|%s", prev_layer.signature().c_str(),
-      next_layer.signature().c_str(), prev_strategy.ToString().c_str(),
-      next_strategy.ToString().c_str(), mb_size,
-      BlockFingerprint(estimator_->cluster(), stage_first_device,
-                       prev_strategy.TotalDegree() > 0
-                           ? prev_strategy.TotalDegree()
-                           : 1)
-          .c_str());
-  Shard& shard = ShardFor(key);
+  const size_t hash = TransformCostKeyHash{}(key);
+  Shard& shard = ShardFor(hash);
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.transforms.find(key);
@@ -102,14 +160,33 @@ Result<double> SharedCostCache::TransformSeconds(
   transform_misses_.fetch_add(1, std::memory_order_relaxed);
   GALVATRON_ASSIGN_OR_RETURN(
       TransformationCost cost,
-      ComputeTransformationCost(prev_layer, next_layer, prev_strategy,
-                                next_strategy, stage_first_device, mb_size,
-                                estimator_->cluster()));
+      ComputeTransformationCost(model_->layer(layer_index - 1),
+                                model_->layer(layer_index), prev_strategy,
+                                next_strategy, stage_first_device,
+                                key.mb_size, estimator_->cluster()));
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     shard.transforms.emplace(key, cost.seconds);
   }
   return cost.seconds;
+}
+
+Result<double> SharedCostCache::TransformSeconds(
+    int layer_index, const HybridStrategy& prev_strategy,
+    const HybridStrategy& next_strategy, int stage_first_device,
+    int mb_size) {
+  GALVATRON_CHECK_GT(layer_index, 0);
+  TransformCostKey key;
+  key.prev_sig = InternSignature(layer_index - 1);
+  key.next_sig = InternSignature(layer_index);
+  key.prev_strategy = InternStrategy(prev_strategy);
+  key.next_strategy = InternStrategy(next_strategy);
+  key.fingerprint = InternFingerprint(
+      stage_first_device,
+      prev_strategy.TotalDegree() > 0 ? prev_strategy.TotalDegree() : 1);
+  key.mb_size = mb_size;
+  return TransformSeconds(key, layer_index, prev_strategy, next_strategy,
+                          stage_first_device);
 }
 
 CostCacheStats SharedCostCache::stats() const {

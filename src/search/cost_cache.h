@@ -25,6 +25,45 @@ struct CostCacheStats {
   int64_t misses() const { return layer_misses + transform_misses; }
 };
 
+/// Interned composite key of a memoized per-layer cost c(l, s). The
+/// string-valued parts (layer signature, strategy text, block fingerprint)
+/// are interned to dense ids via SharedCostCache::Intern* — once per
+/// DpSearch::Run, not once per lookup — so the hot path hashes a handful of
+/// ints instead of formatting and hashing a composite string.
+struct LayerCostKey {
+  int32_t layer_sig = -1;
+  int32_t strategy = -1;
+  int32_t fingerprint = -1;
+  int32_t batch_per_group = 0;
+  int32_t micro_batches = 0;
+  int32_t resident_micro_batches = 0;
+  int32_t recompute = 0;
+
+  friend bool operator==(const LayerCostKey&, const LayerCostKey&) = default;
+};
+
+/// Interned key of a memoized transformation cost R(L, S_prev, S_next).
+/// Carries BOTH boundary layers' signatures — the predecessor alone aliases
+/// boundaries whose successor layers differ in input shape.
+struct TransformCostKey {
+  int32_t prev_sig = -1;
+  int32_t next_sig = -1;
+  int32_t prev_strategy = -1;
+  int32_t next_strategy = -1;
+  int32_t fingerprint = -1;
+  int32_t mb_size = 0;
+
+  friend bool operator==(const TransformCostKey&,
+                         const TransformCostKey&) = default;
+};
+
+struct LayerCostKeyHash {
+  size_t operator()(const LayerCostKey& k) const;
+};
+struct TransformCostKeyHash {
+  size_t operator()(const TransformCostKey& k) const;
+};
+
 /// A sweep-wide, thread-safe memoization layer over the cost estimator.
 ///
 /// One instance lives for a whole Optimizer::Optimize call and is shared by
@@ -43,11 +82,18 @@ struct CostCacheStats {
 /// equal-span blocks of the hierarchical clusters here) share entries while
 /// blocks that straddle interconnect boundaries differently do not.
 ///
-/// Thread-safety: Layer/TransformSeconds may be called concurrently; the
-/// table is sharded by key hash, each shard behind its own mutex, and the
-/// estimator is never invoked under a lock. Concurrent misses on one key
-/// may estimate it twice; the estimator is deterministic, so both writers
-/// store the same value. Estimator errors are returned uncached.
+/// The table is keyed by interned ids (LayerCostKey / TransformCostKey) in
+/// flat unordered_maps. Callers on the hot path (RunCostCache inside
+/// DpSearch::Run) intern the string parts once per Run and pass ready-made
+/// keys; the string-based overloads below intern on every call and exist
+/// for one-off lookups and tests.
+///
+/// Thread-safety: all methods may be called concurrently; the table is
+/// sharded by key hash, each shard behind its own mutex, the interner has
+/// its own mutex, and the estimator is never invoked under a lock.
+/// Concurrent misses on one key may estimate it twice; the estimator is
+/// deterministic, so both writers store the same value. Estimator errors
+/// are returned uncached.
 class SharedCostCache {
  public:
   /// `estimator` and `model` must outlive this object, and the estimator's
@@ -61,16 +107,40 @@ class SharedCostCache {
   const CostEstimator& estimator() const { return *estimator_; }
   const ModelSpec& model() const { return *model_; }
 
-  /// Memoized c(l, s): EstimateLayer for model layer `layer_index`.
+  /// Interns an arbitrary string to a dense id, stable for this cache's
+  /// lifetime. Equal strings always receive equal ids. Thread-safe.
+  int32_t Intern(const std::string& text);
+
+  /// Convenience interners for the three string-valued key parts.
+  int32_t InternSignature(int layer_index);
+  int32_t InternStrategy(const HybridStrategy& strategy);
+  int32_t InternFingerprint(int first_device, int span);
+
+  /// Memoized c(l, s) with a caller-built interned key. The key must have
+  /// been built with this cache's Intern* ids and must describe the same
+  /// (layer, strategy, ...) tuple as the explicit arguments.
+  Result<LayerCost> Layer(const LayerCostKey& key, int layer_index,
+                          const HybridStrategy& strategy,
+                          int stage_first_device);
+
+  /// Memoized c(l, s): interns the key parts, then looks up as above.
   Result<LayerCost> Layer(int layer_index, const HybridStrategy& strategy,
                           int stage_first_device, int batch_per_group,
                           int micro_batches, bool recompute,
                           int resident_micro_batches);
 
-  /// Memoized R(L, S_prev, S_next) for the boundary entering layer
-  /// `layer_index` (its predecessor is layer_index - 1), for ONE
-  /// application at micro-batch size `mb_size`. Callers scale by
-  /// 2 * micro_batches (forward + mirrored backward, per micro-batch).
+  /// Memoized R(L, S_prev, S_next) with a caller-built interned key, for
+  /// the boundary entering layer `layer_index` (its predecessor is
+  /// layer_index - 1), for ONE application at the key's mb_size. Callers
+  /// scale by 2 * micro_batches (forward + mirrored backward, per
+  /// micro-batch).
+  Result<double> TransformSeconds(const TransformCostKey& key,
+                                  int layer_index,
+                                  const HybridStrategy& prev_strategy,
+                                  const HybridStrategy& next_strategy,
+                                  int stage_first_device);
+
+  /// Memoized R: interns the key parts, then looks up as above.
   Result<double> TransformSeconds(int layer_index,
                                   const HybridStrategy& prev_strategy,
                                   const HybridStrategy& next_strategy,
@@ -90,15 +160,22 @@ class SharedCostCache {
 
   struct Shard {
     std::mutex mu;
-    std::unordered_map<std::string, LayerCost> layers;
-    std::unordered_map<std::string, double> transforms;
+    std::unordered_map<LayerCostKey, LayerCost, LayerCostKeyHash> layers;
+    std::unordered_map<TransformCostKey, double, TransformCostKeyHash>
+        transforms;
   };
 
-  Shard& ShardFor(const std::string& key);
+  Shard& ShardFor(size_t hash) {
+    return shards_[hash % static_cast<size_t>(kNumShards)];
+  }
 
   const CostEstimator* estimator_;
   const ModelSpec* model_;
   Shard shards_[kNumShards];
+
+  std::mutex intern_mu_;
+  std::unordered_map<std::string, int32_t> interned_;
+
   std::atomic<int64_t> layer_hits_{0};
   std::atomic<int64_t> layer_misses_{0};
   std::atomic<int64_t> transform_hits_{0};

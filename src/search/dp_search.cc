@@ -1,12 +1,16 @@
 #include "search/dp_search.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <functional>
 #include <limits>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
-#include <tuple>
+#include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "parallel/transformation.h"
 #include "util/logging.h"
@@ -19,19 +23,31 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-/// Per-Run L1 over the sweep-wide SharedCostCache: repeated lookups inside
-/// one Run resolve through cheap signature-tuple keys without touching the
-/// shared table's locks; first touches fall through to the shared cache
-/// (which memoizes across Runs, stages, configurations and threads) and
-/// only a shared-cache miss reaches the estimator.
+/// Per-Run L1 over the sweep-wide SharedCostCache. At construction it
+/// interns the run's layer signatures, candidate strategy texts and block
+/// fingerprints (once per Run, not once per lookup), dedupes the layer
+/// range to its distinct signatures, and then serves:
+///
+/// - per-layer costs from a flat slot array indexed by
+///   (distinct signature, strategy, recompute) — repeated identical
+///   Transformer blocks resolve without hashing anything;
+/// - transformation matrices built once per distinct
+///   (predecessor-signature, successor-signature) boundary and shared by
+///   every repeated identical block boundary of the run.
+///
+/// First touches fall through to the shared cache (which memoizes across
+/// Runs, stages, configurations and threads) with pre-interned integer
+/// keys; only a shared-cache miss reaches the estimator.
 class RunCostCache {
  public:
   RunCostCache(const CostEstimator* estimator, const ModelSpec* model,
-               const std::vector<HybridStrategy>* candidates,
-               int stage_first_device, int batch_per_group, int micro_batches,
-               int resident_micro_batches, SharedCostCache* shared)
+               const std::vector<HybridStrategy>* candidates, int first_layer,
+               int num_layers, int stage_first_device, int batch_per_group,
+               int micro_batches, int resident_micro_batches,
+               SharedCostCache* shared)
       : model_(model),
         candidates_(candidates),
+        first_layer_(first_layer),
         stage_first_device_(stage_first_device),
         batch_per_group_(batch_per_group),
         micro_batches_(micro_batches),
@@ -41,66 +57,173 @@ class RunCostCache {
       owned_ = std::make_unique<SharedCostCache>(estimator, model);
       shared_ = owned_.get();
     }
+    mb_size_ = static_cast<int>(CeilDiv(batch_per_group_, micro_batches_));
+    num_strategies_ = static_cast<int>(candidates_->size());
+    strategy_ids_.reserve(candidates_->size());
+    fp_ids_.reserve(candidates_->size());
+    for (const HybridStrategy& s : *candidates_) {
+      strategy_ids_.push_back(shared_->InternStrategy(s));
+      fp_ids_.push_back(shared_->InternFingerprint(
+          stage_first_device_, s.TotalDegree() > 0 ? s.TotalDegree() : 1));
+    }
+    // Dedupe the layer range to distinct signatures: a 24-layer model with
+    // one repeated block shape costs one slot row, not 24.
+    local_sig_.resize(static_cast<size_t>(num_layers));
+    std::unordered_map<std::string, int> sig_to_local;
+    for (int l = 0; l < num_layers; ++l) {
+      const std::string& sig = model_->layer(first_layer + l).signature();
+      auto [it, inserted] = sig_to_local.emplace(
+          sig, static_cast<int>(shared_sig_ids_.size()));
+      if (inserted) shared_sig_ids_.push_back(shared_->Intern(sig));
+      local_sig_[static_cast<size_t>(l)] = it->second;
+    }
+    layer_slots_.resize(shared_sig_ids_.size() *
+                        static_cast<size_t>(num_strategies_) * 2);
   }
 
-  /// c(l, s) pieces; cached by (signature, strategy index, recompute).
+  /// c(l, s) pieces; slotted by (distinct signature, strategy, recompute).
   Result<LayerCost> Layer(int layer_index, int strategy_index,
                           bool recompute = false) {
-    const LayerSpec& layer = model_->layer(layer_index);
-    const std::tuple<std::string, int, bool> key(layer.signature(),
-                                                 strategy_index, recompute);
-    auto it = layer_cache_.find(key);
-    if (it != layer_cache_.end()) return it->second;
+    const int sig = local_sig_[static_cast<size_t>(layer_index - first_layer_)];
+    const size_t slot =
+        (static_cast<size_t>(sig) * static_cast<size_t>(num_strategies_) +
+         static_cast<size_t>(strategy_index)) *
+            2 +
+        (recompute ? 1 : 0);
+    if (layer_slots_[slot].has_value()) return *layer_slots_[slot];
+    LayerCostKey key;
+    key.layer_sig = shared_sig_ids_[static_cast<size_t>(sig)];
+    key.strategy = strategy_ids_[static_cast<size_t>(strategy_index)];
+    key.fingerprint = fp_ids_[static_cast<size_t>(strategy_index)];
+    key.batch_per_group = batch_per_group_;
+    key.micro_batches = micro_batches_;
+    key.resident_micro_batches = resident_micro_batches_;
+    key.recompute = recompute ? 1 : 0;
     GALVATRON_ASSIGN_OR_RETURN(
         LayerCost cost,
-        shared_->Layer(layer_index,
+        shared_->Layer(key, layer_index,
                        (*candidates_)[static_cast<size_t>(strategy_index)],
-                       stage_first_device_, batch_per_group_, micro_batches_,
-                       recompute, resident_micro_batches_));
-    layer_cache_.emplace(key, cost);
+                       stage_first_device_));
+    layer_slots_[slot] = cost;
     return cost;
   }
 
   /// R(l, s_prev, s): Slice-Gather between layer_index-1 and layer_index,
-  /// applied forward + backward per micro-batch. Keyed by BOTH boundary
-  /// layers' signatures — the predecessor alone aliases boundaries whose
-  /// successor layers differ in input shape.
+  /// applied forward + backward per micro-batch, for candidate STRATEGY
+  /// indices. One element of the boundary's matrix, filled lazily (the
+  /// brute-force searcher probes single elements).
   Result<double> TransformSeconds(int layer_index, int prev_strategy,
                                   int strategy) {
-    const std::tuple<std::string, std::string, int, int> key(
-        model_->layer(layer_index - 1).signature(),
-        model_->layer(layer_index).signature(), prev_strategy, strategy);
-    auto it = transform_cache_.find(key);
-    if (it != transform_cache_.end()) return it->second;
-    const int mb_size =
-        static_cast<int>(CeilDiv(batch_per_group_, micro_batches_));
-    GALVATRON_ASSIGN_OR_RETURN(
-        double once,
-        shared_->TransformSeconds(
-            layer_index, (*candidates_)[static_cast<size_t>(prev_strategy)],
-            (*candidates_)[static_cast<size_t>(strategy)],
-            stage_first_device_, mb_size));
-    const double seconds = 2.0 * micro_batches_ * once;
-    transform_cache_.emplace(key, seconds);
-    return seconds;
+    Boundary& boundary = BoundaryFor(layer_index);
+    const size_t e = static_cast<size_t>(prev_strategy) *
+                         static_cast<size_t>(num_strategies_) +
+                     static_cast<size_t>(strategy);
+    if (!boundary.filled[e]) {
+      GALVATRON_RETURN_IF_ERROR(
+          FillElement(boundary, layer_index, prev_strategy, strategy));
+    }
+    return boundary.r[e];
+  }
+
+  /// The full R matrix of the boundary entering `layer_index`, indexed by
+  /// (prev strategy * num_strategies + strategy). Built once per distinct
+  /// (predecessor, successor) signature pair per Run — the repeated
+  /// identical block boundaries of a Transformer stack all share one
+  /// matrix. The pointer stays valid for this cache's lifetime.
+  Result<const std::vector<double>*> BoundaryMatrix(int layer_index) {
+    Boundary& boundary = BoundaryFor(layer_index);
+    if (!boundary.complete) {
+      for (int sp = 0; sp < num_strategies_; ++sp) {
+        for (int s = 0; s < num_strategies_; ++s) {
+          if (!boundary.filled[static_cast<size_t>(sp) *
+                                   static_cast<size_t>(num_strategies_) +
+                               static_cast<size_t>(s)]) {
+            GALVATRON_RETURN_IF_ERROR(
+                FillElement(boundary, layer_index, sp, s));
+          }
+        }
+      }
+      boundary.complete = true;
+    }
+    return &boundary.r;
   }
 
   const CostEstimator& estimator() const { return shared_->estimator(); }
 
  private:
+  struct Boundary {
+    std::vector<double> r;        // scaled seconds, strategy-pair indexed
+    std::vector<uint8_t> filled;  // per-element fill flags
+    bool complete = false;
+  };
+
+  Boundary& BoundaryFor(int layer_index) {
+    const int l = layer_index - first_layer_;
+    const std::pair<int, int> key(local_sig_[static_cast<size_t>(l - 1)],
+                                  local_sig_[static_cast<size_t>(l)]);
+    auto [it, inserted] =
+        boundary_index_.emplace(key, static_cast<int>(boundaries_.size()));
+    if (inserted) {
+      // Deque-like stability is not needed: no Boundary reference is held
+      // across a BoundaryFor call.
+      boundaries_.emplace_back(std::make_unique<Boundary>());
+      Boundary& b = *boundaries_.back();
+      const size_t n = static_cast<size_t>(num_strategies_) *
+                       static_cast<size_t>(num_strategies_);
+      b.r.assign(n, 0.0);
+      b.filled.assign(n, 0);
+    }
+    return *boundaries_[static_cast<size_t>(it->second)];
+  }
+
+  Status FillElement(Boundary& boundary, int layer_index, int prev_strategy,
+                     int strategy) {
+    const int l = layer_index - first_layer_;
+    TransformCostKey key;
+    key.prev_sig = shared_sig_ids_[static_cast<size_t>(
+        local_sig_[static_cast<size_t>(l - 1)])];
+    key.next_sig =
+        shared_sig_ids_[static_cast<size_t>(local_sig_[static_cast<size_t>(l)])];
+    key.prev_strategy = strategy_ids_[static_cast<size_t>(prev_strategy)];
+    key.next_strategy = strategy_ids_[static_cast<size_t>(strategy)];
+    key.fingerprint = fp_ids_[static_cast<size_t>(prev_strategy)];
+    key.mb_size = mb_size_;
+    GALVATRON_ASSIGN_OR_RETURN(
+        double once,
+        shared_->TransformSeconds(
+            key, layer_index,
+            (*candidates_)[static_cast<size_t>(prev_strategy)],
+            (*candidates_)[static_cast<size_t>(strategy)],
+            stage_first_device_));
+    const size_t e = static_cast<size_t>(prev_strategy) *
+                         static_cast<size_t>(num_strategies_) +
+                     static_cast<size_t>(strategy);
+    boundary.r[e] = 2.0 * micro_batches_ * once;
+    boundary.filled[e] = 1;
+    return Status::OK();
+  }
+
   const ModelSpec* model_;
   const std::vector<HybridStrategy>* candidates_;
+  int first_layer_;
   int stage_first_device_;
   int batch_per_group_;
   int micro_batches_;
   int resident_micro_batches_;
+  int mb_size_ = 1;
+  int num_strategies_ = 0;
 
   SharedCostCache* shared_;
   std::unique_ptr<SharedCostCache> owned_;
 
-  std::map<std::tuple<std::string, int, bool>, LayerCost> layer_cache_;
-  std::map<std::tuple<std::string, std::string, int, int>, double>
-      transform_cache_;
+  std::vector<int32_t> strategy_ids_;   // per candidate
+  std::vector<int32_t> fp_ids_;         // per candidate
+  std::vector<int> local_sig_;          // per layer in range -> distinct id
+  std::vector<int32_t> shared_sig_ids_; // distinct id -> shared intern id
+
+  std::vector<std::optional<LayerCost>> layer_slots_;
+  std::map<std::pair<int, int>, int> boundary_index_;
+  std::vector<std::unique_ptr<Boundary>> boundaries_;
 };
 
 /// One per-layer option of the DP: a candidate strategy, possibly with
@@ -126,82 +249,37 @@ std::vector<LayerOption> ExpandOptions(int num_strategies,
   return option_list;
 }
 
-}  // namespace
+/// Everything both kernels need, precomputed identically so they explore
+/// the same quantized feasible set.
+struct DpWork {
+  std::vector<LayerOption> option_list;
+  std::vector<int> strat_of_option;  // option index -> strategy index
+  int num_candidates = 0;
+  int num_strategies = 0;
+  int num_layers = 0;
+  int first_layer = 0;
+  int budget_units = 0;
+  int64_t gran = 0;
+  int micro_batches = 0;
+  // Per (layer, option): quantized resident memory and scalar cost;
+  // infeasible options (estimator errors other than OOM propagate) get
+  // +inf seconds.
+  std::vector<std::vector<int>> units;
+  std::vector<std::vector<double>> seconds;
+};
 
-DpSearch::DpSearch(const CostEstimator* estimator, DpSearchOptions options)
-    : estimator_(estimator), options_(options) {
-  GALVATRON_CHECK(estimator != nullptr);
-  GALVATRON_CHECK_GT(options_.memory_granularity, 0);
-}
-
-Result<DpSearchResult> DpSearch::Run(
-    const ModelSpec& model, int first_layer, int num_layers,
-    const std::vector<HybridStrategy>& candidates, int stage_first_device,
-    int batch_per_group, int micro_batches, int64_t memory_budget,
-    int resident_micro_batches, SharedCostCache* shared_cache) const {
-  if (num_layers < 1 || first_layer < 0 ||
-      first_layer + num_layers > model.num_layers()) {
-    return Status::InvalidArgument("layer range out of bounds");
-  }
-  if (candidates.empty()) {
-    return Status::InvalidArgument("no candidate strategies");
-  }
-  // Expand the per-layer option space: every strategy, and (optionally) its
-  // checkpointed variant.
-  const std::vector<LayerOption> option_list = ExpandOptions(
-      static_cast<int>(candidates.size()), options_.allow_recompute);
-  const int num_candidates = static_cast<int>(option_list.size());
-  const int64_t gran = options_.memory_granularity;
-
-  RunCostCache cache(estimator_, &model, &candidates, stage_first_device,
-                     batch_per_group, micro_batches, resident_micro_batches,
-                     shared_cache);
-
-  // Reserve headroom for the largest transient (SDP weight gather) any
-  // candidate might need; the remaining budget is then purely additive in
-  // per-layer resident memory, which is what the DP quantizes.
-  int64_t max_transient = 0;
-  // Per (layer, strategy): memory units and scalar cost; infeasible
-  // strategies (estimator errors other than OOM propagate) get +inf.
-  std::vector<std::vector<int>> units(
-      static_cast<size_t>(num_layers),
-      std::vector<int>(static_cast<size_t>(num_candidates), 0));
-  std::vector<std::vector<double>> seconds(
-      static_cast<size_t>(num_layers),
-      std::vector<double>(static_cast<size_t>(num_candidates), kInf));
-  for (int l = 0; l < num_layers; ++l) {
-    for (int s = 0; s < num_candidates; ++s) {
-      const LayerOption& option = option_list[static_cast<size_t>(s)];
-      GALVATRON_ASSIGN_OR_RETURN(
-          LayerCost cost,
-          cache.Layer(first_layer + l, option.strategy_index,
-                      option.recompute));
-      // x2: ZeRO-3 prefetch holds two layers' gathered weights.
-      max_transient =
-          std::max(max_transient, 2 * cost.transient_memory_bytes);
-      units[static_cast<size_t>(l)][static_cast<size_t>(s)] =
-          static_cast<int>((cost.resident_memory_bytes + gran / 2) / gran);
-      seconds[static_cast<size_t>(l)][static_cast<size_t>(s)] =
-          cost.IterationSeconds(micro_batches, estimator_->options());
-    }
-  }
-  const int64_t effective_budget = memory_budget - max_transient;
-  // Round the budget up: marginal acceptances are re-validated exactly by
-  // the optimizer's EstimatePlan pass, so optimism here is safe while
-  // pessimism would shrink the search space below the baselines'.
-  // BruteForceSearch applies the same CeilDiv so both searchers explore
-  // the same feasible set at granule-straddling budgets.
-  const int budget_units =
-      effective_budget > 0 ? static_cast<int>(CeilDiv(effective_budget, gran))
-                           : -1;
-  if (budget_units < 0) {
-    return Status::Infeasible("memory budget below transient headroom");
-  }
-
+/// The dense reference kernel: sweeps every (budget granule, option) cell.
+/// dp[e][s]: min cost of the layers so far using <= e units, last layer on
+/// strategy s. parent[l][e][s]: the previous layer's option index.
+Result<DpSearchResult> RunDenseKernel(const DpWork& w, RunCostCache& cache,
+                                      const std::vector<HybridStrategy>&
+                                          candidates,
+                                      int64_t memory_budget) {
+  const int num_candidates = w.num_candidates;
+  const int num_layers = w.num_layers;
+  const int budget_units = w.budget_units;
   DpSearchResult result;
 
-  // dp[e][s]: min cost of the layers so far using <= e units, last layer on
-  // strategy s. parent[l][e][s]: the previous layer's strategy index.
   const size_t row = static_cast<size_t>(budget_units + 1) *
                      static_cast<size_t>(num_candidates);
   std::vector<double> prev_dp(row, kInf);
@@ -212,10 +290,13 @@ Result<DpSearchResult> DpSearch::Run(
            static_cast<size_t>(s);
   };
 
-  // Layer 0: no transformation, no predecessor.
+  // Layer 0: no transformation, no predecessor. Options whose seconds are
+  // +inf never seed a state (and are not counted) — matching the skip the
+  // l>=1 loop applies.
   for (int s = 0; s < num_candidates; ++s) {
-    const int o = units[0][static_cast<size_t>(s)];
-    const double c = seconds[0][static_cast<size_t>(s)];
+    const double c = w.seconds[0][static_cast<size_t>(s)];
+    if (c == kInf) continue;
+    const int o = w.units[0][static_cast<size_t>(s)];
     for (int e = o; e <= budget_units; ++e) {
       if (c < prev_dp[idx(e, s)]) {
         prev_dp[idx(e, s)] = c;
@@ -224,32 +305,19 @@ Result<DpSearchResult> DpSearch::Run(
     result.states_explored += std::max(0, budget_units - o + 1);
   }
 
-  // Precompute R for all (s_prev, s) pairs per distinct predecessor layer
-  // signature — done lazily through the cache inside the loop.
   for (int l = 1; l < num_layers; ++l) {
     std::fill(cur_dp.begin(), cur_dp.end(), kInf);
-    // Transformation matrix for this boundary.
-    std::vector<double> transform(
-        static_cast<size_t>(num_candidates) *
-            static_cast<size_t>(num_candidates),
-        0.0);
-    for (int sp = 0; sp < num_candidates; ++sp) {
-      for (int s = 0; s < num_candidates; ++s) {
-        GALVATRON_ASSIGN_OR_RETURN(
-            double r,
-            cache.TransformSeconds(
-                first_layer + l,
-                option_list[static_cast<size_t>(sp)].strategy_index,
-                option_list[static_cast<size_t>(s)].strategy_index));
-        transform[static_cast<size_t>(sp) *
-                      static_cast<size_t>(num_candidates) +
-                  static_cast<size_t>(s)] = r;
-      }
-    }
+    // The boundary's transformation matrix, shared across the run's
+    // repeated identical boundaries; indexed by strategy pair (recompute
+    // variants share their plain twin's entries).
+    GALVATRON_ASSIGN_OR_RETURN(const std::vector<double>* transform,
+                               cache.BoundaryMatrix(w.first_layer + l));
     for (int s = 0; s < num_candidates; ++s) {
-      const int o = units[static_cast<size_t>(l)][static_cast<size_t>(s)];
-      const double c = seconds[static_cast<size_t>(l)][static_cast<size_t>(s)];
+      const int o = w.units[static_cast<size_t>(l)][static_cast<size_t>(s)];
+      const double c =
+          w.seconds[static_cast<size_t>(l)][static_cast<size_t>(s)];
       if (c == kInf) continue;
+      const int cs = w.strat_of_option[static_cast<size_t>(s)];
       for (int e = o; e <= budget_units; ++e) {
         const int pe = e - o;
         double best = kInf;
@@ -262,9 +330,10 @@ Result<DpSearchResult> DpSearch::Run(
           if (prior == kInf) continue;
           const double candidate =
               prior + c +
-              transform[static_cast<size_t>(sp) *
-                            static_cast<size_t>(num_candidates) +
-                        static_cast<size_t>(s)];
+              (*transform)[static_cast<size_t>(
+                               w.strat_of_option[static_cast<size_t>(sp)]) *
+                               static_cast<size_t>(w.num_strategies) +
+                           static_cast<size_t>(cs)];
           if (candidate < best) {
             best = candidate;
             best_sp = sp;
@@ -306,24 +375,319 @@ Result<DpSearchResult> DpSearch::Run(
   int e = budget_units;
   int s = best_s;
   for (int l = num_layers - 1; l >= 0; --l) {
-    const LayerOption& option = option_list[static_cast<size_t>(s)];
+    const LayerOption& option = w.option_list[static_cast<size_t>(s)];
     result.per_layer[static_cast<size_t>(l)] =
         candidates[static_cast<size_t>(option.strategy_index)];
     result.per_layer_recompute[static_cast<size_t>(l)] =
         option.recompute ? 1 : 0;
     result.resident_memory_bytes +=
         static_cast<int64_t>(
-            units[static_cast<size_t>(l)][static_cast<size_t>(s)]) *
-        gran;
+            w.units[static_cast<size_t>(l)][static_cast<size_t>(s)]) *
+        w.gran;
     if (l > 0) {
-      const int sp =
-          parent[static_cast<size_t>(l) * row + idx(e, s)];
+      const int sp = parent[static_cast<size_t>(l) * row + idx(e, s)];
       GALVATRON_CHECK_GE(sp, 0);
-      e -= units[static_cast<size_t>(l)][static_cast<size_t>(s)];
+      e -= w.units[static_cast<size_t>(l)][static_cast<size_t>(s)];
       s = sp;
     }
   }
   return result;
+}
+
+/// One step of a (layer, option) column's cost-vs-budget function: for
+/// budgets in [units, next breakpoint's units), the best achievable cost is
+/// `cost`, reached through predecessor option `parent` (-1 at layer 0).
+/// Within a frontier, units strictly increase and cost never increases;
+/// equal-cost entries record a handoff to a LOWER predecessor option index
+/// (the dense kernel's tie-break), so reconstruction at any budget returns
+/// exactly the dense parent.
+struct Breakpoint {
+  int units = 0;
+  double cost = 0.0;
+  int32_t parent = -1;
+};
+
+/// The sparse Pareto-frontier kernel. Exploits that dp[e][s] is a
+/// non-increasing step function of the budget e: each column keeps only its
+/// breakpoints, and layer l is computed by merging layer l-1's frontiers
+/// shifted by the option's units and biased by c(l, s) + R(sp, s). Work
+/// scales with the number of DISTINCT cost levels instead of the granule
+/// count. Returns plans byte-identical to RunDenseKernel.
+Result<DpSearchResult> RunSparseKernel(const DpWork& w, RunCostCache& cache,
+                                       const std::vector<HybridStrategy>&
+                                           candidates,
+                                       int64_t memory_budget) {
+  const int num_candidates = w.num_candidates;
+  const int num_strategies = w.num_strategies;
+  const int num_layers = w.num_layers;
+  const int budget_units = w.budget_units;
+  DpSearchResult result;
+
+  // A recompute variant dominated by its plain twin in BOTH quantized
+  // units and seconds can never appear in an optimal assignment: the twin
+  // has the same strategy index (so identical R rows and columns), a lower
+  // option index (so it wins every exact tie), and a pointwise no-worse
+  // column. Dropping the variant preserves byte-identical plans.
+  auto dominated = [&](int l, int s) {
+    if (s < num_strategies) return false;  // plain options are never pruned
+    const int plain = s - num_strategies;
+    return w.units[static_cast<size_t>(l)][static_cast<size_t>(s)] >=
+               w.units[static_cast<size_t>(l)][static_cast<size_t>(plain)] &&
+           w.seconds[static_cast<size_t>(l)][static_cast<size_t>(s)] >=
+               w.seconds[static_cast<size_t>(l)][static_cast<size_t>(plain)];
+  };
+
+  // frontiers[l][s]: the column's breakpoints, ascending in units.
+  std::vector<std::vector<std::vector<Breakpoint>>> frontiers(
+      static_cast<size_t>(num_layers));
+  for (auto& layer : frontiers) {
+    layer.resize(static_cast<size_t>(num_candidates));
+  }
+
+  // Layer 0: one breakpoint per feasible option — the cost is constant in
+  // the budget, so the dense row [o, budget] collapses to a single step.
+  for (int s = 0; s < num_candidates; ++s) {
+    const double c = w.seconds[0][static_cast<size_t>(s)];
+    if (c == kInf) continue;
+    if (dominated(0, s)) {
+      ++result.options_pruned;
+      continue;
+    }
+    const int o = w.units[0][static_cast<size_t>(s)];
+    if (o > budget_units) continue;
+    frontiers[0][static_cast<size_t>(s)].push_back(Breakpoint{o, c, -1});
+    ++result.breakpoints_emitted;
+  }
+
+  // Merge scratch, shared by every column: per-units best candidate,
+  // lazily reset via generation stamps so clearing costs nothing. A column
+  // never emits more than one breakpoint per distinct units value, and the
+  // one it emits is the (cost, parent)-lexicographic minimum among that
+  // units level's candidates — so bucketing candidates by units and
+  // keeping the per-bucket minimum replaces a comparison sort of (units,
+  // cost, parent) structs with one integer sort of the touched units.
+  std::vector<double> slot_cost(static_cast<size_t>(budget_units) + 1);
+  std::vector<int32_t> slot_parent(static_cast<size_t>(budget_units) + 1);
+  std::vector<int32_t> slot_gen(static_cast<size_t>(budget_units) + 1, 0);
+  std::vector<int> touched;
+  int32_t generation = 0;
+
+  for (int l = 1; l < num_layers; ++l) {
+    GALVATRON_ASSIGN_OR_RETURN(const std::vector<double>* transform,
+                               cache.BoundaryMatrix(w.first_layer + l));
+    for (int s = 0; s < num_candidates; ++s) {
+      const double c =
+          w.seconds[static_cast<size_t>(l)][static_cast<size_t>(s)];
+      if (c == kInf) continue;
+      if (dominated(l, s)) {
+        ++result.options_pruned;
+        continue;
+      }
+      const int o = w.units[static_cast<size_t>(l)][static_cast<size_t>(s)];
+      if (o > budget_units) continue;
+      const int cs = w.strat_of_option[static_cast<size_t>(s)];
+
+      ++generation;
+      touched.clear();
+      for (int sp = 0; sp < num_candidates; ++sp) {
+        const std::vector<Breakpoint>& prev =
+            frontiers[static_cast<size_t>(l) - 1][static_cast<size_t>(sp)];
+        if (prev.empty()) continue;
+        const double r =
+            (*transform)[static_cast<size_t>(
+                             w.strat_of_option[static_cast<size_t>(sp)]) *
+                             static_cast<size_t>(num_strategies) +
+                         static_cast<size_t>(cs)];
+        for (const Breakpoint& bp : prev) {
+          const size_t u = static_cast<size_t>(bp.units + o);
+          if (bp.units + o > budget_units) break;  // units ascend in a frontier
+          // Same association as the dense kernel's prior + c + R, so the
+          // costs are bit-identical, not merely equal in exact arithmetic.
+          const double cost = (bp.cost + c) + r;
+          ++result.breakpoints_scanned;
+          if (slot_gen[u] != generation) {
+            slot_gen[u] = generation;
+            slot_cost[u] = cost;
+            slot_parent[u] = static_cast<int32_t>(sp);
+            touched.push_back(bp.units + o);
+          } else if (cost < slot_cost[u] ||
+                     (cost == slot_cost[u] &&
+                      sp < slot_parent[u])) {
+            slot_cost[u] = cost;
+            slot_parent[u] = static_cast<int32_t>(sp);
+          }
+        }
+      }
+
+      // Lower envelope over ascending units: a units level extends the
+      // frontier iff its best candidate strictly improves the running best
+      // cost, or matches it through a lower predecessor option index — the
+      // latter reproduces the dense kernel's lowest-index tie-break at
+      // every budget, not just where the cost changes.
+      std::sort(touched.begin(), touched.end());
+      std::vector<Breakpoint>& out =
+          frontiers[static_cast<size_t>(l)][static_cast<size_t>(s)];
+      double best_cost = kInf;
+      int32_t best_parent = std::numeric_limits<int32_t>::max();
+      for (const int u : touched) {
+        const double cost = slot_cost[static_cast<size_t>(u)];
+        const int32_t parent = slot_parent[static_cast<size_t>(u)];
+        if (cost < best_cost ||
+            (cost == best_cost && parent < best_parent)) {
+          best_cost = cost;
+          best_parent = parent;
+          out.push_back(Breakpoint{u, cost, parent});
+        }
+      }
+      result.breakpoints_emitted += static_cast<int64_t>(out.size());
+    }
+  }
+  result.states_explored = result.breakpoints_emitted;
+
+  // Answer at the full budget: every breakpoint fits the budget by
+  // construction, so a column's value is its last (cheapest) step. Strict
+  // < keeps the lowest option index on ties, like the dense kernel.
+  double best = kInf;
+  int best_s = -1;
+  for (int s = 0; s < num_candidates; ++s) {
+    const std::vector<Breakpoint>& f =
+        frontiers[static_cast<size_t>(num_layers) - 1][static_cast<size_t>(s)];
+    if (f.empty()) continue;
+    if (f.back().cost < best) {
+      best = f.back().cost;
+      best_s = s;
+    }
+  }
+  if (best_s < 0) {
+    return Status::Infeasible(StrFormat(
+        "no strategy assignment fits %s per device",
+        HumanBytes(static_cast<double>(memory_budget)).c_str()));
+  }
+
+  // Reconstruct: at each layer, the breakpoint active at the remaining
+  // budget names the predecessor option; subtracting the layer's units
+  // recovers the exact budget the prefix ran under ("<= e" semantics).
+  result.stage_seconds = best;
+  result.per_layer.assign(static_cast<size_t>(num_layers), HybridStrategy());
+  result.per_layer_recompute.assign(static_cast<size_t>(num_layers), 0);
+  int e = budget_units;
+  int s = best_s;
+  for (int l = num_layers - 1; l >= 0; --l) {
+    const LayerOption& option = w.option_list[static_cast<size_t>(s)];
+    result.per_layer[static_cast<size_t>(l)] =
+        candidates[static_cast<size_t>(option.strategy_index)];
+    result.per_layer_recompute[static_cast<size_t>(l)] =
+        option.recompute ? 1 : 0;
+    result.resident_memory_bytes +=
+        static_cast<int64_t>(
+            w.units[static_cast<size_t>(l)][static_cast<size_t>(s)]) *
+        w.gran;
+    if (l > 0) {
+      const std::vector<Breakpoint>& f =
+          frontiers[static_cast<size_t>(l)][static_cast<size_t>(s)];
+      // Last breakpoint with units <= e.
+      auto it = std::upper_bound(
+          f.begin(), f.end(), e,
+          [](int value, const Breakpoint& bp) { return value < bp.units; });
+      GALVATRON_CHECK(it != f.begin());
+      const Breakpoint& bp = *(it - 1);
+      e -= w.units[static_cast<size_t>(l)][static_cast<size_t>(s)];
+      s = bp.parent;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+DpSearch::DpSearch(const CostEstimator* estimator, DpSearchOptions options)
+    : estimator_(estimator), options_(options) {
+  GALVATRON_CHECK(estimator != nullptr);
+  GALVATRON_CHECK_GT(options_.memory_granularity, 0);
+}
+
+Result<DpSearchResult> DpSearch::Run(
+    const ModelSpec& model, int first_layer, int num_layers,
+    const std::vector<HybridStrategy>& candidates, int stage_first_device,
+    int batch_per_group, int micro_batches, int64_t memory_budget,
+    int resident_micro_batches, SharedCostCache* shared_cache) const {
+  if (num_layers < 1 || first_layer < 0 ||
+      first_layer + num_layers > model.num_layers()) {
+    return Status::InvalidArgument("layer range out of bounds");
+  }
+  if (candidates.empty()) {
+    return Status::InvalidArgument("no candidate strategies");
+  }
+  DpWork w;
+  // Expand the per-layer option space: every strategy, and (optionally) its
+  // checkpointed variant.
+  w.option_list = ExpandOptions(static_cast<int>(candidates.size()),
+                                options_.allow_recompute);
+  w.num_candidates = static_cast<int>(w.option_list.size());
+  w.num_strategies = static_cast<int>(candidates.size());
+  // The dense kernel's parent table stores int16 option indices; both
+  // kernels share the limit so their feasibility envelopes stay identical.
+  if (w.num_candidates > std::numeric_limits<int16_t>::max()) {
+    return Status::InvalidArgument(StrFormat(
+        "%d expanded options exceed the DP parent table's int16 range (%d)",
+        w.num_candidates,
+        static_cast<int>(std::numeric_limits<int16_t>::max())));
+  }
+  w.strat_of_option.reserve(static_cast<size_t>(w.num_candidates));
+  for (const LayerOption& option : w.option_list) {
+    w.strat_of_option.push_back(option.strategy_index);
+  }
+  w.num_layers = num_layers;
+  w.first_layer = first_layer;
+  w.gran = options_.memory_granularity;
+  w.micro_batches = micro_batches;
+
+  RunCostCache cache(estimator_, &model, &candidates, first_layer, num_layers,
+                     stage_first_device, batch_per_group, micro_batches,
+                     resident_micro_batches, shared_cache);
+
+  // Reserve headroom for the largest transient (SDP weight gather) any
+  // candidate might need; the remaining budget is then purely additive in
+  // per-layer resident memory, which is what the DP quantizes.
+  int64_t max_transient = 0;
+  w.units.assign(static_cast<size_t>(num_layers),
+                 std::vector<int>(static_cast<size_t>(w.num_candidates), 0));
+  w.seconds.assign(
+      static_cast<size_t>(num_layers),
+      std::vector<double>(static_cast<size_t>(w.num_candidates), kInf));
+  for (int l = 0; l < num_layers; ++l) {
+    for (int s = 0; s < w.num_candidates; ++s) {
+      const LayerOption& option = w.option_list[static_cast<size_t>(s)];
+      GALVATRON_ASSIGN_OR_RETURN(
+          LayerCost cost, cache.Layer(first_layer + l, option.strategy_index,
+                                      option.recompute));
+      // x2: ZeRO-3 prefetch holds two layers' gathered weights.
+      max_transient = std::max(max_transient, 2 * cost.transient_memory_bytes);
+      w.units[static_cast<size_t>(l)][static_cast<size_t>(s)] =
+          static_cast<int>((cost.resident_memory_bytes + w.gran / 2) /
+                           w.gran);
+      w.seconds[static_cast<size_t>(l)][static_cast<size_t>(s)] =
+          cost.IterationSeconds(micro_batches, estimator_->options());
+    }
+  }
+  const int64_t effective_budget = memory_budget - max_transient;
+  // Round the budget up: marginal acceptances are re-validated exactly by
+  // the optimizer's EstimatePlan pass, so optimism here is safe while
+  // pessimism would shrink the search space below the baselines'.
+  // BruteForceSearch applies the same CeilDiv so both searchers explore
+  // the same feasible set at granule-straddling budgets.
+  w.budget_units =
+      effective_budget > 0
+          ? static_cast<int>(CeilDiv(effective_budget, w.gran))
+          : -1;
+  if (w.budget_units < 0) {
+    return Status::Infeasible("memory budget below transient headroom");
+  }
+
+  if (options_.use_sparse_dp) {
+    return RunSparseKernel(w, cache, candidates, memory_budget);
+  }
+  return RunDenseKernel(w, cache, candidates, memory_budget);
 }
 
 Result<DpSearchResult> BruteForceSearch(
@@ -338,6 +702,9 @@ Result<DpSearchResult> BruteForceSearch(
   if (options.memory_granularity <= 0) {
     return Status::InvalidArgument("memory granularity must be positive");
   }
+  if (first_layer < 0 || first_layer + num_layers > model.num_layers()) {
+    return Status::InvalidArgument("layer range out of bounds");
+  }
   // Same option expansion as DpSearch: strategies, then (optionally) their
   // checkpointed variants.
   const std::vector<LayerOption> option_list = ExpandOptions(
@@ -346,8 +713,8 @@ Result<DpSearchResult> BruteForceSearch(
   // Matches DpSearch's quantized accounting exactly so tests can compare.
   const int64_t gran = options.memory_granularity;
 
-  RunCostCache cache(&estimator, &model, &candidates, stage_first_device,
-                     batch_per_group, micro_batches,
+  RunCostCache cache(&estimator, &model, &candidates, first_layer, num_layers,
+                     stage_first_device, batch_per_group, micro_batches,
                      /*resident_micro_batches=*/-1, shared_cache);
   int64_t max_transient = 0;
   std::vector<std::vector<int>> units(

@@ -71,6 +71,8 @@ struct ConfigOutcome {
   bool has_best = false;
   RankedPlan best;
   int64_t dp_states = 0;
+  int64_t dp_breakpoints = 0;
+  int64_t dp_pruned = 0;
   Status error;  // non-OK only on fatal (non-OOM, non-infeasible) errors
 };
 
@@ -95,6 +97,7 @@ Result<OptimizationResult> Optimizer::Optimize(const ModelSpec& model) const {
   DpSearchOptions dp_options;
   dp_options.memory_granularity = options_.memory_granularity;
   dp_options.allow_recompute = options_.allow_recompute;
+  dp_options.use_sparse_dp = options_.use_sparse_dp;
   DpSearch search(&estimator_, dp_options);
 
   // Sweep-wide memo over the estimator: every stage search of every
@@ -212,6 +215,8 @@ Result<OptimizationResult> Optimizer::Optimize(const ModelSpec& model) const {
         return out;
       }
       out.dp_states += result->states_explored;
+      out.dp_breakpoints += result->breakpoints_emitted;
+      out.dp_pruned += result->options_pruned;
       StagePlan stage;
       stage.first_device = s * devices_per_stage;
       stage.num_devices = devices_per_stage;
@@ -298,6 +303,8 @@ Result<OptimizationResult> Optimizer::Optimize(const ModelSpec& model) const {
       if (!out.error.ok()) return out.error;
       ++stats.configs_explored;
       stats.dp_states_explored += out.dp_states;
+      stats.dp_breakpoints_emitted += out.dp_breakpoints;
+      stats.dp_options_pruned += out.dp_pruned;
       any_feasible = any_feasible || out.feasible;
       if (!out.has_best) continue;
       const int pp = out.best.plan.pp_degree();

@@ -46,6 +46,11 @@ struct OptimizerOptions {
   /// (doubles the option space; off to match the paper's setup).
   bool allow_recompute = false;
 
+  /// Per-stage DP kernel selection (see DpSearchOptions::use_sparse_dp):
+  /// sparse Pareto-frontier kernel by default, dense table sweep when
+  /// false. Plans are byte-identical either way.
+  bool use_sparse_dp = true;
+
   /// Alpa/Unity-style co-optimization rounds (Sec 3.3: "it is also possible
   /// to co-optimize by repeatedly interacting with the search inside each
   /// stage"): after the sweep, re-partition the pipeline using the winning
@@ -66,7 +71,14 @@ struct OptimizerOptions {
 struct SearchStats {
   double search_seconds = 0.0;
   int configs_explored = 0;        // (B, P, m) triples evaluated
-  int64_t dp_states_explored = 0;  // DP table cells touched
+  /// DP states materialized across all per-stage searches: dense-kernel
+  /// table cells, or sparse-kernel Pareto breakpoints (see DpSearchResult).
+  int64_t dp_states_explored = 0;
+  /// Sparse-kernel telemetry, summed over per-stage searches: breakpoints
+  /// emitted onto frontiers and per-layer options dropped by the
+  /// same-strategy domination prune. Zero when use_sparse_dp is false.
+  int64_t dp_breakpoints_emitted = 0;
+  int64_t dp_options_pruned = 0;
   int num_candidate_strategies = 0;
 
   /// Wall time per phase: candidate/partition enumeration, the batch/degree

@@ -155,10 +155,17 @@ std::optional<CheckFailure> CheckSearchEquivalence(uint64_t seed,
   const int64_t budget = static_cast<int64_t>(std::exp(log_budget));
 
   const CostEstimator estimator(&cluster);
+  search_options.use_sparse_dp = true;
   const DpSearch dp(&estimator, search_options);
+  DpSearchOptions dense_options = search_options;
+  dense_options.use_sparse_dp = false;
+  const DpSearch dense_dp(&estimator, dense_options);
   Result<DpSearchResult> dp_or =
       dp.Run(model, first_layer, num_layers, *candidates_or, first_device,
              batch, micro_batches, budget);
+  Result<DpSearchResult> dense_or =
+      dense_dp.Run(model, first_layer, num_layers, *candidates_or,
+                   first_device, batch, micro_batches, budget);
   Result<DpSearchResult> bf_or = BruteForceSearch(
       estimator, model, first_layer, num_layers, *candidates_or, first_device,
       batch, micro_batches, budget, search_options);
@@ -170,6 +177,39 @@ std::optional<CheckFailure> CheckSearchEquivalence(uint64_t seed,
       static_cast<long long>(search_options.memory_granularity),
       search_options.allow_recompute ? " +recompute" : "");
 
+  // The sparse and dense kernels claim BYTE-identical results, not merely
+  // tolerance-equal ones: same feasibility verdict, bitwise-equal
+  // stage_seconds, and identical per-layer strategy/recompute assignments.
+  if (dp_or.ok() != dense_or.ok()) {
+    return MakeFailure(
+        kCheck, seed,
+        StrFormat("sparse/dense feasibility diverges on %s: sparse=%s "
+                  "dense=%s",
+                  instance.c_str(),
+                  dp_or.ok() ? "ok" : dp_or.status().ToString().c_str(),
+                  dense_or.ok() ? "ok"
+                                : dense_or.status().ToString().c_str()));
+  }
+  if (dp_or.ok()) {
+    const bool identical =
+        dp_or->stage_seconds == dense_or->stage_seconds &&
+        dp_or->resident_memory_bytes == dense_or->resident_memory_bytes &&
+        dp_or->per_layer.size() == dense_or->per_layer.size() &&
+        std::equal(dp_or->per_layer.begin(), dp_or->per_layer.end(),
+                   dense_or->per_layer.begin(),
+                   [](const HybridStrategy& a, const HybridStrategy& b) {
+                     return a.ToString() == b.ToString();
+                   }) &&
+        dp_or->per_layer_recompute == dense_or->per_layer_recompute;
+    if (!identical) {
+      return MakeFailure(
+          kCheck, seed,
+          StrFormat("sparse and dense plans differ on %s: sparse=%.17g "
+                    "dense=%.17g",
+                    instance.c_str(), dp_or->stage_seconds,
+                    dense_or->stage_seconds));
+    }
+  }
   if (dp_or.ok() != bf_or.ok()) {
     return MakeFailure(
         kCheck, seed,

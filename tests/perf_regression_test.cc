@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cluster/cluster.h"
+#include "ir/model_zoo.h"
+#include "search/optimizer.h"
+
+namespace galvatron {
+namespace {
+
+/// Timer-free perf tripwire (runs under the `perf` ctest label): on a
+/// miniature end-to-end sweep, the sparse kernel must (a) return the exact
+/// plan the dense kernel returns and (b) materialize no more DP states —
+/// each sparse breakpoint is a distinct budget level of one dense column,
+/// so sparse > dense means the frontier representation regressed.
+TEST(PerfRegressionTest, SparseExploresNoMoreStatesThanDense) {
+  BertConfig config;
+  config.num_layers = 8;
+  config.hidden = 1024;
+  config.heads = 16;
+  const ModelSpec model = BuildBert("perf-bert", config);
+  const ClusterSpec cluster = MakeTitanNode8(12 * kGB);
+
+  OptimizerOptions sparse_options;
+  sparse_options.use_sparse_dp = true;
+  OptimizerOptions dense_options;
+  dense_options.use_sparse_dp = false;
+
+  auto sparse = Optimizer(&cluster, sparse_options).Optimize(model);
+  auto dense = Optimizer(&cluster, dense_options).Optimize(model);
+  ASSERT_TRUE(sparse.ok()) << sparse.status();
+  ASSERT_TRUE(dense.ok()) << dense.status();
+
+  // Byte-identical winning plans (same serialized form and same estimate).
+  EXPECT_EQ(sparse->plan.ToString(), dense->plan.ToString());
+  EXPECT_EQ(sparse->estimated.throughput_samples_per_sec,
+            dense->estimated.throughput_samples_per_sec);
+
+  // Identical sweeps: same configurations, same candidate sets.
+  EXPECT_EQ(sparse->stats.configs_explored, dense->stats.configs_explored);
+
+  // The tripwire. Strict < in practice (the ratio is ~10-100x); <= is the
+  // invariant that can never legitimately break.
+  EXPECT_LE(sparse->stats.dp_states_explored,
+            dense->stats.dp_states_explored);
+  EXPECT_GT(sparse->stats.dp_states_explored, 0);
+  EXPECT_EQ(sparse->stats.dp_states_explored,
+            sparse->stats.dp_breakpoints_emitted);
+  EXPECT_EQ(dense->stats.dp_breakpoints_emitted, 0);
+}
+
+}  // namespace
+}  // namespace galvatron

@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "estimator/cost_estimator.h"
+#include "ir/model_zoo.h"
+#include "ir/transformer_builder.h"
+#include "parallel/decision_tree.h"
+#include "search/dp_search.h"
+#include "testing/fuzz_generators.h"
+#include "util/math_util.h"
+#include "util/rng.h"
+
+namespace galvatron {
+namespace {
+
+ModelSpec SmallBert(int layers) {
+  BertConfig config;
+  config.num_layers = layers;
+  config.hidden = 1024;
+  config.heads = 16;
+  return BuildBert("small-bert", config);
+}
+
+/// Requires the two results to be byte-identical: bitwise-equal cost,
+/// identical memory accounting, identical per-layer assignments.
+void ExpectIdentical(const DpSearchResult& sparse, const DpSearchResult& dense,
+                     const std::string& context) {
+  EXPECT_EQ(sparse.stage_seconds, dense.stage_seconds) << context;
+  EXPECT_EQ(sparse.resident_memory_bytes, dense.resident_memory_bytes)
+      << context;
+  ASSERT_EQ(sparse.per_layer.size(), dense.per_layer.size()) << context;
+  for (size_t l = 0; l < sparse.per_layer.size(); ++l) {
+    EXPECT_EQ(sparse.per_layer[l].ToString(), dense.per_layer[l].ToString())
+        << context << " layer " << l;
+  }
+  EXPECT_EQ(sparse.per_layer_recompute, dense.per_layer_recompute) << context;
+}
+
+/// Runs both kernels on one instance; checks agreement on feasibility and,
+/// when feasible, byte-identical plans plus the sparse <= dense state-count
+/// bound. Returns true when the instance was feasible.
+bool CheckInstance(const CostEstimator& estimator, const ModelSpec& model,
+                   int first_layer, int num_layers,
+                   const std::vector<HybridStrategy>& candidates,
+                   int first_device, int batch, int micro_batches,
+                   int64_t budget, DpSearchOptions options,
+                   const std::string& context) {
+  options.use_sparse_dp = true;
+  const DpSearch sparse(&estimator, options);
+  options.use_sparse_dp = false;
+  const DpSearch dense(&estimator, options);
+  auto a = sparse.Run(model, first_layer, num_layers, candidates,
+                      first_device, batch, micro_batches, budget);
+  auto b = dense.Run(model, first_layer, num_layers, candidates, first_device,
+                     batch, micro_batches, budget);
+  EXPECT_EQ(a.ok(), b.ok()) << context << ": sparse=" << a.status()
+                            << " dense=" << b.status();
+  if (!a.ok() || !b.ok()) {
+    if (!a.ok() && !b.ok()) {
+      EXPECT_EQ(a.status().ToString(), b.status().ToString()) << context;
+    }
+    return false;
+  }
+  ExpectIdentical(*a, *b, context);
+  // The anti-regression bound: every sparse breakpoint is a distinct budget
+  // level of one dense column, so the sparse kernel can never materialize
+  // more states than the dense sweep on the same inputs.
+  EXPECT_LE(a->states_explored, b->states_explored) << context;
+  EXPECT_EQ(a->states_explored, a->breakpoints_emitted) << context;
+  EXPECT_EQ(b->breakpoints_emitted, 0) << context;
+  EXPECT_EQ(b->options_pruned, 0) << context;
+  return true;
+}
+
+TEST(SparseDpPropertyTest, ByteIdenticalToDenseOnRandomInstances) {
+  // >= 200 random draws over models, clusters, stage blocks, batches,
+  // granularities and budgets (log-uniform so the feasibility frontier is
+  // well sampled). Every feasible draw must produce byte-identical plans.
+  GeneratorOptions gen;
+  gen.hostile_names = false;
+  int feasible = 0;
+  for (uint64_t seed = 1; seed <= 200; ++seed) {
+    Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+    const ModelSpec model = GenerateModel(&rng, gen);
+    const ClusterSpec cluster = GenerateCluster(&rng, gen);
+    const std::vector<int> widths = PowerOfTwoDivisors(cluster.num_devices());
+    const int width = widths[rng.NextBelow(widths.size())];
+    const int first_device =
+        width * static_cast<int>(rng.NextBelow(
+                    static_cast<uint64_t>(cluster.num_devices() / width)));
+    auto candidates = EnumerateSingleLayerStrategies(width);
+    ASSERT_TRUE(candidates.ok()) << candidates.status();
+
+    const int num_layers =
+        1 + static_cast<int>(
+                rng.NextBelow(static_cast<uint64_t>(model.num_layers())));
+    const int first_layer = static_cast<int>(rng.NextBelow(
+        static_cast<uint64_t>(model.num_layers() - num_layers + 1)));
+    const int micro_batches = 1 << rng.NextBelow(3);
+    const int batch =
+        micro_batches * (1 + static_cast<int>(rng.NextBelow(4)));
+
+    DpSearchOptions options;
+    static const int64_t kGranularities[] = {
+        int64_t{1} << 20, int64_t{32} << 20, int64_t{256} << 20};
+    options.memory_granularity = kGranularities[rng.NextBelow(3)];
+    options.allow_recompute = rng.NextBelow(2) == 0;
+    const double log_budget = rng.NextDouble(std::log(64.0 * (1 << 20)),
+                                             std::log(32.0 * 1e9));
+    const int64_t budget = static_cast<int64_t>(std::exp(log_budget));
+
+    const CostEstimator estimator(&cluster);
+    const std::string context =
+        "seed " + std::to_string(seed) + " model " + model.name();
+    if (CheckInstance(estimator, model, first_layer, num_layers, *candidates,
+                      first_device, batch, micro_batches, budget, options,
+                      context)) {
+      ++feasible;
+    }
+  }
+  // The draw distribution straddles the frontier; make sure both sides were
+  // actually exercised.
+  EXPECT_GT(feasible, 20);
+  EXPECT_LT(feasible, 200);
+}
+
+TEST(SparseDpEdgeCaseTest, GranuleBoundaryBudgets) {
+  // Budgets that straddle a granule boundary are where quantization bugs
+  // live (PR 1's CeilDiv fix): scan the feasibility frontier in
+  // quarter-granule steps and require byte-identical kernels at each.
+  const ClusterSpec cluster = MakeTitanNode8(16 * kGB);
+  const CostEstimator estimator(&cluster);
+  const ModelSpec model = SmallBert(2);  // 4 layers: embed + 2 enc + head
+  auto candidates = EnumerateSingleLayerStrategies(8);
+  ASSERT_TRUE(candidates.ok());
+  const DpSearchOptions options;
+  const int64_t gran = options.memory_granularity;
+
+  const DpSearch sparse(&estimator, options);
+  auto feasible = [&](int64_t budget) {
+    return sparse
+        .Run(model, 0, model.num_layers(), *candidates, 0, 8, 1, budget)
+        .ok();
+  };
+  int64_t lo = gran;
+  int64_t hi = 40 * kGB;
+  ASSERT_FALSE(feasible(lo));
+  ASSERT_TRUE(feasible(hi));
+  while (hi - lo > gran / 8) {
+    const int64_t mid = lo + (hi - lo) / 2;
+    (feasible(mid) ? hi : lo) = mid;
+  }
+  int checked = 0;
+  for (int64_t budget = hi - gran; budget <= hi + gran; budget += gran / 4) {
+    CheckInstance(estimator, model, 0, model.num_layers(), *candidates, 0, 8,
+                  1, budget, options, "budget " + std::to_string(budget));
+    ++checked;
+  }
+  EXPECT_GE(checked, 8);
+}
+
+TEST(SparseDpEdgeCaseTest, BudgetAtTransientHeadroom) {
+  // When the budget minus the transient headroom lands at (or just below)
+  // zero, both kernels must return the same Infeasible verdict rather than
+  // diverging or crashing. Find the headroom by bisecting the budget at
+  // which the error message flips.
+  const ClusterSpec cluster = MakeTitanNode8(16 * kGB);
+  const CostEstimator estimator(&cluster);
+  const ModelSpec model = SmallBert(4);
+  auto candidates = EnumerateSingleLayerStrategies(8);
+  ASSERT_TRUE(candidates.ok());
+  DpSearchOptions options;
+
+  // Bisect the smallest budget whose failure is NOT "below transient
+  // headroom" (i.e. the DP actually ran).
+  const DpSearch sparse(&estimator, options);
+  auto below_headroom = [&](int64_t budget) {
+    auto r = sparse.Run(model, 0, model.num_layers(), *candidates, 0, 8, 1,
+                        budget);
+    return !r.ok() && r.status().ToString().find("transient headroom") !=
+                          std::string::npos;
+  };
+  ASSERT_TRUE(below_headroom(1));
+  int64_t lo = 1;          // below headroom
+  int64_t hi = 16 * kGB;   // comfortably above
+  ASSERT_FALSE(below_headroom(hi));
+  while (hi - lo > 1) {
+    const int64_t mid = lo + (hi - lo) / 2;
+    (below_headroom(mid) ? lo : hi) = mid;
+  }
+  // Probe a window around the exact headroom boundary, both sides.
+  for (int64_t delta = -2; delta <= 2; ++delta) {
+    const int64_t budget = hi + delta;
+    if (budget < 1) continue;
+    CheckInstance(estimator, model, 0, model.num_layers(), *candidates, 0, 8,
+                  1, budget, options,
+                  "headroom budget " + std::to_string(budget));
+  }
+}
+
+TEST(SparseDpGuardTest, RejectsOptionCountsBeyondInt16) {
+  // Regression for the int16_t parent table: an expanded option count above
+  // INT16_MAX must be rejected with InvalidArgument by BOTH kernels, not
+  // silently truncated.
+  const ClusterSpec cluster = MakeTitanNode8(16 * kGB);
+  const CostEstimator estimator(&cluster);
+  const ModelSpec model = SmallBert(2);
+  auto base = EnumerateSingleLayerStrategies(8);
+  ASSERT_TRUE(base.ok());
+  // 40000 candidates (> INT16_MAX = 32767) by repeating the real list.
+  std::vector<HybridStrategy> many;
+  while (many.size() < 40000) {
+    many.insert(many.end(), base->begin(), base->end());
+  }
+  many.resize(40000);
+  for (const bool use_sparse : {true, false}) {
+    DpSearchOptions options;
+    options.use_sparse_dp = use_sparse;
+    const DpSearch search(&estimator, options);
+    auto result =
+        search.Run(model, 0, model.num_layers(), many, 0, 8, 1, 16 * kGB);
+    ASSERT_FALSE(result.ok()) << "use_sparse=" << use_sparse;
+    EXPECT_TRUE(result.status().IsInvalidArgument())
+        << "use_sparse=" << use_sparse << ": " << result.status();
+  }
+  // With recompute doubling the options, half as many candidates must also
+  // be rejected.
+  std::vector<HybridStrategy> half(many.begin(), many.begin() + 20000);
+  DpSearchOptions options;
+  options.allow_recompute = true;
+  const DpSearch search(&estimator, options);
+  auto result =
+      search.Run(model, 0, model.num_layers(), half, 0, 8, 1, 16 * kGB);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace galvatron

@@ -31,6 +31,7 @@ struct CliArgs {
   std::string mode = "galvatron";
   std::string schedule = "gpipe";
   bool recompute = false;
+  bool dense_dp = false;
   int search_threads = 1;
   std::string json_out;
   std::string trace_out;
@@ -50,6 +51,8 @@ void PrintUsage() {
   --mode M            galvatron | dp | tp | pp | sdp | 3d | dp+tp | dp+pp
   --schedule S        gpipe | 1f1b         (default gpipe)
   --recompute         allow per-layer activation checkpointing
+  --dense-dp          use the dense DP kernel instead of the sparse
+                      Pareto-frontier one (same plan, more work; debugging)
   --search-threads N  worker threads for the strategy sweep
                       (default 1 = serial, 0 = all hardware threads;
                       the resulting plan is identical for every N)
@@ -118,6 +121,8 @@ Result<CliArgs> ParseArgs(int argc, char** argv) {
       GALVATRON_ASSIGN_OR_RETURN(args.schedule, next());
     } else if (flag == "--recompute") {
       args.recompute = true;
+    } else if (flag == "--dense-dp") {
+      args.dense_dp = true;
     } else if (flag == "--search-threads") {
       GALVATRON_ASSIGN_OR_RETURN(std::string v, next());
       args.search_threads = std::atoi(v.c_str());
@@ -176,6 +181,7 @@ Result<int> RunCli(const CliArgs& args) {
 
   BaselineOptions options;
   options.search_threads = args.search_threads;
+  options.use_sparse_dp = !args.dense_dp;
   auto result = RunBaseline(mode, model, cluster, options);
   if (!result.ok()) {
     if (result.status().IsInfeasible()) {
@@ -190,6 +196,7 @@ Result<int> RunCli(const CliArgs& args) {
     OptimizerOptions opt;
     opt.allow_recompute = args.recompute;
     opt.search_threads = args.search_threads;
+    opt.use_sparse_dp = !args.dense_dp;
     opt.schedule = args.schedule == "1f1b" ? PipelineSchedule::k1F1B
                                            : PipelineSchedule::kGPipe;
     GALVATRON_ASSIGN_OR_RETURN(OptimizationResult tuned,
