@@ -1,0 +1,185 @@
+/// Serving throughput: requests/sec of POST /v1/plan over a loopback
+/// HttpServer for the three cache temperatures —
+///
+///   serve_cold            fresh service per request: full sweep, empty
+///                         cost cache (the first-request experience)
+///   serve_cost_cache_warm plan cache disabled, one warm PlanningContext:
+///                         every request runs the sweep against a hot
+///                         SharedCostCache (distinct-but-similar tenants)
+///   serve_plan_cache_hit  repeated identical request: response replayed
+///                         from the PlanCache (steady-state dashboards)
+///
+/// Writes BENCH_serve.json (merge-on-write, see bench_json.h). The
+/// plan-cache hit path must come out >= 10x faster than cold — that ratio
+/// is an acceptance criterion, recorded as serve_speedups.
+///
+/// The instance is the acceptance-criteria one: BERT-Huge-32 on the 8-GPU
+/// 16 GB Titan node, default optimizer options.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "api/galvatron.h"
+#include "api/plan_io.h"
+#include "bench/bench_json.h"
+#include "serve/handlers.h"
+#include "serve/http.h"
+#include "serve/http_server.h"
+#include "util/math_util.h"
+
+namespace galvatron {
+namespace {
+
+using serve::HttpFetch;
+using serve::HttpRequest;
+using serve::HttpServer;
+using serve::HttpServerOptions;
+using serve::PlanService;
+using serve::PlanServiceOptions;
+
+constexpr int kColdRuns = 5;
+constexpr int kWarmRuns = 20;
+constexpr int kHitRuns = 200;
+
+double NowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string PlanBody() {
+  const ClusterSpec cluster = MakeTitanNode8(16 * kGB);
+  return "{\"model\": \"" +
+         std::string(ModelIdToString(ModelId::kBertHuge32)) +
+         "\", \"cluster\": " + ClusterSpecToJson(cluster) + "}";
+}
+
+/// One timed POST /v1/plan against `port`; aborts the bench on any failure
+/// (a broken server must not silently record garbage).
+double TimedPlanRequest(int port, const std::string& body) {
+  const double start = NowSeconds();
+  auto response = HttpFetch("127.0.0.1", port, "POST", "/v1/plan", body,
+                            /*timeout_ms=*/120000);
+  const double elapsed = NowSeconds() - start;
+  if (!response.ok() || response->status != 200) {
+    std::fprintf(stderr, "plan request failed: %s\n",
+                 response.ok() ? response->body.c_str()
+                               : response.status().ToString().c_str());
+    std::exit(1);
+  }
+  return elapsed;
+}
+
+struct Timing {
+  double total_seconds = 0;
+  int requests = 0;
+  double requests_per_sec() const { return requests / total_seconds; }
+  double ms_per_request() const { return 1e3 * total_seconds / requests; }
+};
+
+/// Cold: a fresh PlanService (empty plan cache, empty cost caches) serves
+/// exactly one request, repeated kColdRuns times.
+Timing BenchCold(const std::string& body) {
+  Timing timing;
+  for (int i = 0; i < kColdRuns; ++i) {
+    PlanService service;
+    auto server = HttpServer::Start(
+        HttpServerOptions{},
+        [&](const HttpRequest& r) { return service.Handle(r); });
+    if (!server.ok()) std::exit(1);
+    timing.total_seconds += TimedPlanRequest((*server)->port(), body);
+    ++timing.requests;
+    (*server)->Shutdown();
+  }
+  return timing;
+}
+
+/// Cost-cache warm: the plan cache is disabled, so every request runs the
+/// full sweep, but all of them share one PlanningContext whose
+/// SharedCostCache the warmup request filled.
+Timing BenchCostCacheWarm(const std::string& body) {
+  PlanServiceOptions options;
+  options.plan_cache_entries = 0;  // force the sweep every time
+  PlanService service(options);
+  auto server = HttpServer::Start(
+      HttpServerOptions{},
+      [&](const HttpRequest& r) { return service.Handle(r); });
+  if (!server.ok()) std::exit(1);
+  TimedPlanRequest((*server)->port(), body);  // warm the cost cache
+  Timing timing;
+  for (int i = 0; i < kWarmRuns; ++i) {
+    timing.total_seconds += TimedPlanRequest((*server)->port(), body);
+    ++timing.requests;
+  }
+  (*server)->Shutdown();
+  return timing;
+}
+
+/// Plan-cache hit: repeated identical request against a default service.
+Timing BenchPlanCacheHit(const std::string& body) {
+  PlanService service;
+  auto server = HttpServer::Start(
+      HttpServerOptions{},
+      [&](const HttpRequest& r) { return service.Handle(r); });
+  if (!server.ok()) std::exit(1);
+  TimedPlanRequest((*server)->port(), body);  // populate the plan cache
+  Timing timing;
+  for (int i = 0; i < kHitRuns; ++i) {
+    timing.total_seconds += TimedPlanRequest((*server)->port(), body);
+    ++timing.requests;
+  }
+  (*server)->Shutdown();
+  return timing;
+}
+
+int Run() {
+  const std::string body = PlanBody();
+  const Timing cold = BenchCold(body);
+  const Timing warm = BenchCostCacheWarm(body);
+  const Timing hit = BenchPlanCacheHit(body);
+
+  bench::BenchJson out("BENCH_serve.json");
+  out.Record("serve_cold", "requests_per_sec", cold.requests_per_sec());
+  out.Record("serve_cold", "ms_per_request", cold.ms_per_request());
+  out.Record("serve_cold", "requests", cold.requests);
+  out.Record("serve_cost_cache_warm", "requests_per_sec",
+             warm.requests_per_sec());
+  out.Record("serve_cost_cache_warm", "ms_per_request", warm.ms_per_request());
+  out.Record("serve_cost_cache_warm", "requests", warm.requests);
+  out.Record("serve_plan_cache_hit", "requests_per_sec",
+             hit.requests_per_sec());
+  out.Record("serve_plan_cache_hit", "ms_per_request", hit.ms_per_request());
+  out.Record("serve_plan_cache_hit", "requests", hit.requests);
+  const double hit_speedup = hit.requests_per_sec() / cold.requests_per_sec();
+  const double warm_speedup =
+      warm.requests_per_sec() / cold.requests_per_sec();
+  out.Record("serve_speedups", "plan_cache_hit_over_cold", hit_speedup);
+  out.Record("serve_speedups", "cost_cache_warm_over_cold", warm_speedup);
+  if (!out.Save()) {
+    std::fprintf(stderr, "could not write BENCH_serve.json\n");
+    return 1;
+  }
+
+  std::printf(
+      "wrote BENCH_serve.json\n"
+      "  cold:            %8.1f req/s  (%.2f ms/req, n=%d)\n"
+      "  cost-cache warm: %8.1f req/s  (%.2f ms/req, %.2fx cold)\n"
+      "  plan-cache hit:  %8.1f req/s  (%.3f ms/req, %.0fx cold)\n",
+      cold.requests_per_sec(), cold.ms_per_request(), cold.requests,
+      warm.requests_per_sec(), warm.ms_per_request(), warm_speedup,
+      hit.requests_per_sec(), hit.ms_per_request(), hit_speedup);
+  if (hit_speedup < 10.0) {
+    std::fprintf(stderr,
+                 "FAIL: plan-cache hit speedup %.2fx is below the required "
+                 "10x\n",
+                 hit_speedup);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace galvatron
+
+int main() { return galvatron::Run(); }

@@ -1,6 +1,15 @@
 #include "api/galvatron.h"
 
+#include <utility>
+
 namespace galvatron {
+
+PlanningContext::PlanningContext(ModelSpec model, ClusterSpec cluster,
+                                 EstimatorOptions estimator_options)
+    : model_(std::move(model)),
+      cluster_(std::move(cluster)),
+      estimator_(&cluster_, estimator_options),
+      cache_(&estimator_, &model_) {}
 
 Result<TrainedPlan> Galvatron::Plan(const ModelSpec& model,
                                     const ClusterSpec& cluster,
@@ -8,6 +17,20 @@ Result<TrainedPlan> Galvatron::Plan(const ModelSpec& model,
   Optimizer optimizer(&cluster, options);
   GALVATRON_ASSIGN_OR_RETURN(OptimizationResult result,
                              optimizer.Optimize(model));
+  TrainedPlan out;
+  out.plan = std::move(result.plan);
+  out.estimated = std::move(result.estimated);
+  out.search_stats = result.stats;
+  return out;
+}
+
+Result<TrainedPlan> Galvatron::Plan(
+    PlanningContext& context, const OptimizerOptions& options,
+    const std::function<bool()>& cancel_check) {
+  Optimizer optimizer(&context.cluster(), options);
+  GALVATRON_ASSIGN_OR_RETURN(
+      OptimizationResult result,
+      optimizer.Optimize(context.model(), context.cache(), cancel_check));
   TrainedPlan out;
   out.plan = std::move(result.plan);
   out.estimated = std::move(result.estimated);

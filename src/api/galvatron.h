@@ -15,6 +15,7 @@
 ///
 /// See examples/quickstart.cc for a complete program.
 
+#include <functional>
 #include <string>
 
 #include "baselines/baselines.h"
@@ -23,6 +24,7 @@
 #include "ir/model.h"
 #include "ir/model_zoo.h"
 #include "parallel/plan.h"
+#include "search/cost_cache.h"
 #include "search/optimizer.h"
 #include "sim/simulator.h"
 #include "util/result.h"
@@ -40,6 +42,35 @@ struct TrainedPlan {
   bool has_measurement = false;
 };
 
+/// Long-lived planning state for callers that issue many Plan calls over
+/// one (model, cluster, estimator-options) triple — the serving daemon
+/// keeps one per distinct request signature. Owns stable copies of the
+/// specs plus a SharedCostCache whose entries persist across calls, so a
+/// repeat request with, say, a different memory budget re-prices nothing
+/// the cache already holds. Thread-safe for concurrent Plan calls (the
+/// cache is internally sharded and the estimator is const).
+class PlanningContext {
+ public:
+  PlanningContext(ModelSpec model, ClusterSpec cluster,
+                  EstimatorOptions estimator_options = {});
+
+  PlanningContext(const PlanningContext&) = delete;
+  PlanningContext& operator=(const PlanningContext&) = delete;
+
+  const ModelSpec& model() const { return model_; }
+  const ClusterSpec& cluster() const { return cluster_; }
+  const CostEstimator& estimator() const { return estimator_; }
+  SharedCostCache* cache() { return &cache_; }
+
+ private:
+  // Declaration order is load-bearing: estimator_ points at cluster_,
+  // cache_ points at estimator_ and model_.
+  ModelSpec model_;
+  ClusterSpec cluster_;
+  CostEstimator estimator_;
+  SharedCostCache cache_;
+};
+
 /// Facade over the optimizer, estimator and simulator. All methods are
 /// stateless conveniences; power users can drive Optimizer / CostEstimator
 /// / Simulator directly.
@@ -50,6 +81,16 @@ class Galvatron {
   static Result<TrainedPlan> Plan(const ModelSpec& model,
                                   const ClusterSpec& cluster,
                                   const OptimizerOptions& options = {});
+
+  /// Same, reusing `context`'s cross-call SharedCostCache (see
+  /// PlanningContext). `options.estimator` must equal the context's
+  /// estimator options and the model/cluster must match the context's —
+  /// cache entries are priced by the context's estimator. `cancel_check`
+  /// (optional) aborts the sweep with Status::Cancelled once it returns
+  /// true; serving uses it for per-request deadlines.
+  static Result<TrainedPlan> Plan(
+      PlanningContext& context, const OptimizerOptions& options = {},
+      const std::function<bool()>& cancel_check = {});
 
   /// Runs one simulated training iteration of `plan` and fills
   /// `measured`. The simulator stands in for the paper's real GPU testbeds

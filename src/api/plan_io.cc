@@ -1,391 +1,22 @@
 #include "api/plan_io.h"
 
-#include <cctype>
-#include <cerrno>
 #include <cmath>
-#include <cstdlib>
-#include <limits>
-#include <map>
-#include <memory>
 #include <sstream>
+#include <utility>
 #include <vector>
 
+#include "cluster/link.h"
+#include "ir/layer.h"
+#include "ir/op.h"
 #include "util/string_util.h"
 
 namespace galvatron {
 
-namespace {
+std::string EscapeJson(const std::string& s) { return JsonEscape(s); }
 
 // ---------------------------------------------------------------------
-// Minimal JSON value model + recursive-descent parser, sufficient for the
-// fixed plan schema (objects, arrays, strings, integers, booleans). Kept
-// internal to this translation unit; no third-party dependency.
+// TrainingPlan
 // ---------------------------------------------------------------------
-
-struct JsonValue {
-  enum class Kind { kObject, kArray, kString, kNumber, kBool, kNull };
-  Kind kind = Kind::kNull;
-  std::map<std::string, JsonValue> object;
-  std::vector<JsonValue> array;
-  std::string string;
-  double number = 0;
-  bool boolean = false;
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : text_(text) {}
-
-  Result<JsonValue> Parse() {
-    GALVATRON_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
-    SkipSpace();
-    if (pos_ != text_.size()) {
-      return Status::InvalidArgument("trailing characters after JSON value");
-    }
-    return value;
-  }
-
- private:
-  void SkipSpace() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
-      ++pos_;
-    }
-  }
-
-  Status Expect(char c) {
-    SkipSpace();
-    if (pos_ >= text_.size() || text_[pos_] != c) {
-      return Status::InvalidArgument(
-          StrFormat("expected '%c' at offset %zu", c, pos_));
-    }
-    ++pos_;
-    return Status::OK();
-  }
-
-  bool Peek(char c) {
-    SkipSpace();
-    return pos_ < text_.size() && text_[pos_] == c;
-  }
-
-  Result<JsonValue> ParseValue() {
-    SkipSpace();
-    if (pos_ >= text_.size()) {
-      return Status::InvalidArgument("unexpected end of JSON");
-    }
-    const char c = text_[pos_];
-    if (c == '{') return ParseObject();
-    if (c == '[') return ParseArray();
-    if (c == '"') return ParseString();
-    if (c == 't' || c == 'f') return ParseBool();
-    if (c == 'n') return ParseNull();
-    return ParseNumber();
-  }
-
-  Result<JsonValue> ParseObject() {
-    GALVATRON_RETURN_IF_ERROR(Expect('{'));
-    JsonValue value;
-    value.kind = JsonValue::Kind::kObject;
-    if (Peek('}')) {
-      ++pos_;
-      return value;
-    }
-    while (true) {
-      GALVATRON_ASSIGN_OR_RETURN(JsonValue key, ParseString());
-      GALVATRON_RETURN_IF_ERROR(Expect(':'));
-      GALVATRON_ASSIGN_OR_RETURN(JsonValue member, ParseValue());
-      // Duplicate keys are almost always a hand-editing mistake; silently
-      // keeping one of the two values would misread the plan.
-      if (!value.object.emplace(key.string, std::move(member)).second) {
-        return Status::InvalidArgument(
-            StrFormat("duplicate key '%s' in object", key.string.c_str()));
-      }
-      if (Peek(',')) {
-        ++pos_;
-        continue;
-      }
-      GALVATRON_RETURN_IF_ERROR(Expect('}'));
-      return value;
-    }
-  }
-
-  Result<JsonValue> ParseArray() {
-    GALVATRON_RETURN_IF_ERROR(Expect('['));
-    JsonValue value;
-    value.kind = JsonValue::Kind::kArray;
-    if (Peek(']')) {
-      ++pos_;
-      return value;
-    }
-    while (true) {
-      GALVATRON_ASSIGN_OR_RETURN(JsonValue element, ParseValue());
-      value.array.push_back(std::move(element));
-      if (Peek(',')) {
-        ++pos_;
-        continue;
-      }
-      GALVATRON_RETURN_IF_ERROR(Expect(']'));
-      return value;
-    }
-  }
-
-  Result<JsonValue> ParseString() {
-    GALVATRON_RETURN_IF_ERROR(Expect('"'));
-    JsonValue value;
-    value.kind = JsonValue::Kind::kString;
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      char c = text_[pos_++];
-      if (static_cast<unsigned char>(c) < 0x20) {
-        // Raw control characters are invalid inside JSON strings; they must
-        // arrive escaped (EscapeJson emits them that way).
-        return Status::InvalidArgument(StrFormat(
-            "unescaped control character 0x%02x in string at offset %zu",
-            static_cast<unsigned char>(c), pos_ - 1));
-      }
-      if (c == '\\') {
-        if (pos_ >= text_.size()) {
-          return Status::InvalidArgument("dangling escape in string");
-        }
-        const char escaped = text_[pos_++];
-        switch (escaped) {
-          case '"':
-          case '\\':
-          case '/':
-            c = escaped;
-            break;
-          case 'n':
-            c = '\n';
-            break;
-          case 't':
-            c = '\t';
-            break;
-          case 'r':
-            c = '\r';
-            break;
-          case 'b':
-            c = '\b';
-            break;
-          case 'f':
-            c = '\f';
-            break;
-          case 'u': {
-            GALVATRON_ASSIGN_OR_RETURN(unsigned code, ParseHex4());
-            if (code >= 0xd800 && code <= 0xdfff) {
-              return Status::InvalidArgument(
-                  "surrogate \\u escapes are not supported");
-            }
-            AppendUtf8(code, &value.string);
-            continue;
-          }
-          default:
-            return Status::InvalidArgument(
-                StrFormat("unsupported escape '\\%c'", escaped));
-        }
-      }
-      value.string += c;
-    }
-    GALVATRON_RETURN_IF_ERROR(Expect('"'));
-    return value;
-  }
-
-  Result<unsigned> ParseHex4() {
-    if (pos_ + 4 > text_.size()) {
-      return Status::InvalidArgument("truncated \\u escape");
-    }
-    unsigned code = 0;
-    for (int i = 0; i < 4; ++i) {
-      const char h = text_[pos_++];
-      code <<= 4;
-      if (h >= '0' && h <= '9') {
-        code |= static_cast<unsigned>(h - '0');
-      } else if (h >= 'a' && h <= 'f') {
-        code |= static_cast<unsigned>(h - 'a' + 10);
-      } else if (h >= 'A' && h <= 'F') {
-        code |= static_cast<unsigned>(h - 'A' + 10);
-      } else {
-        return Status::InvalidArgument(
-            StrFormat("bad hex digit '%c' in \\u escape", h));
-      }
-    }
-    return code;
-  }
-
-  static void AppendUtf8(unsigned code, std::string* out) {
-    if (code < 0x80) {
-      *out += static_cast<char>(code);
-    } else if (code < 0x800) {
-      *out += static_cast<char>(0xc0 | (code >> 6));
-      *out += static_cast<char>(0x80 | (code & 0x3f));
-    } else {
-      *out += static_cast<char>(0xe0 | (code >> 12));
-      *out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
-      *out += static_cast<char>(0x80 | (code & 0x3f));
-    }
-  }
-
-  Result<JsonValue> ParseBool() {
-    JsonValue value;
-    value.kind = JsonValue::Kind::kBool;
-    if (text_.compare(pos_, 4, "true") == 0) {
-      value.boolean = true;
-      pos_ += 4;
-      return value;
-    }
-    if (text_.compare(pos_, 5, "false") == 0) {
-      value.boolean = false;
-      pos_ += 5;
-      return value;
-    }
-    return Status::InvalidArgument("bad literal");
-  }
-
-  Result<JsonValue> ParseNull() {
-    if (text_.compare(pos_, 4, "null") == 0) {
-      pos_ += 4;
-      return JsonValue{};
-    }
-    return Status::InvalidArgument("bad literal");
-  }
-
-  Result<JsonValue> ParseNumber() {
-    const size_t start = pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
-            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
-            text_[pos_] == 'e' || text_[pos_] == 'E')) {
-      ++pos_;
-    }
-    if (pos_ == start) {
-      return Status::InvalidArgument(
-          StrFormat("unexpected character at offset %zu", start));
-    }
-    const std::string token = text_.substr(start, pos_ - start);
-    if (token[0] == '+') {
-      return Status::InvalidArgument(
-          StrFormat("number may not start with '+' at offset %zu", start));
-    }
-    // JSON forbids leading zeros ("08"); strtod would accept them.
-    const size_t first_digit = token[0] == '-' ? 1 : 0;
-    if (token.size() > first_digit + 1 && token[first_digit] == '0' &&
-        std::isdigit(static_cast<unsigned char>(token[first_digit + 1])) !=
-            0) {
-      return Status::InvalidArgument(
-          StrFormat("number with leading zero at offset %zu", start));
-    }
-    // strtod with end-pointer validation: atof silently parses malformed
-    // numbers ("1e", "1.2.3", "--5") as 0 or a prefix.
-    errno = 0;
-    char* end = nullptr;
-    const double parsed = std::strtod(token.c_str(), &end);
-    if (end != token.c_str() + token.size()) {
-      return Status::InvalidArgument(
-          StrFormat("malformed number '%s' at offset %zu", token.c_str(),
-                    start));
-    }
-    if (errno == ERANGE && !std::isfinite(parsed)) {
-      return Status::InvalidArgument(
-          StrFormat("number '%s' out of range", token.c_str()));
-    }
-    JsonValue value;
-    value.kind = JsonValue::Kind::kNumber;
-    value.number = parsed;
-    return value;
-  }
-
-  const std::string& text_;
-  size_t pos_ = 0;
-};
-
-Result<const JsonValue*> GetMember(const JsonValue& object,
-                                   const std::string& key,
-                                   JsonValue::Kind kind) {
-  auto it = object.object.find(key);
-  if (it == object.object.end()) {
-    return Status::InvalidArgument(StrFormat("missing field '%s'",
-                                             key.c_str()));
-  }
-  if (it->second.kind != kind) {
-    return Status::InvalidArgument(StrFormat("field '%s' has wrong type",
-                                             key.c_str()));
-  }
-  return &it->second;
-}
-
-/// Reads an integral field. The plan schema has no fractional quantities,
-/// so non-integral values, values outside int range (the old unchecked
-/// static_cast was UB), and values below `min_value` are all rejected.
-Result<int> GetInt(const JsonValue& object, const std::string& key,
-                   int min_value) {
-  GALVATRON_ASSIGN_OR_RETURN(
-      const JsonValue* value,
-      GetMember(object, key, JsonValue::Kind::kNumber));
-  const double d = value->number;
-  if (!std::isfinite(d) || d != std::trunc(d)) {
-    return Status::InvalidArgument(
-        StrFormat("field '%s' must be an integer", key.c_str()));
-  }
-  if (d < static_cast<double>(std::numeric_limits<int>::min()) ||
-      d > static_cast<double>(std::numeric_limits<int>::max())) {
-    return Status::InvalidArgument(
-        StrFormat("field '%s' is outside int range", key.c_str()));
-  }
-  const int v = static_cast<int>(d);
-  if (v < min_value) {
-    return Status::InvalidArgument(StrFormat(
-        "field '%s' must be >= %d, got %d", key.c_str(), min_value, v));
-  }
-  return v;
-}
-
-Result<std::string> GetString(const JsonValue& object,
-                              const std::string& key) {
-  GALVATRON_ASSIGN_OR_RETURN(
-      const JsonValue* value,
-      GetMember(object, key, JsonValue::Kind::kString));
-  return value->string;
-}
-
-}  // namespace
-
-std::string EscapeJson(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char ch : s) {
-    switch (ch) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      case '\b':
-        out += "\\b";
-        break;
-      case '\f':
-        out += "\\f";
-        break;
-      default:
-        // Remaining control characters (< 0x20) are invalid raw inside JSON
-        // strings; a model name containing one used to produce output the
-        // parser could not re-read.
-        if (static_cast<unsigned char>(ch) < 0x20) {
-          out += StrFormat("\\u%04x", static_cast<unsigned char>(ch));
-        } else {
-          out += ch;
-        }
-    }
-  }
-  return out;
-}
 
 std::string PlanToJson(const TrainingPlan& plan) {
   std::ostringstream os;
@@ -418,9 +49,7 @@ std::string PlanToJson(const TrainingPlan& plan) {
   return os.str();
 }
 
-Result<TrainingPlan> ParsePlanJson(const std::string& json) {
-  JsonParser parser(json);
-  GALVATRON_ASSIGN_OR_RETURN(JsonValue root, parser.Parse());
+Result<TrainingPlan> PlanFromJsonValue(const JsonValue& root) {
   if (root.kind != JsonValue::Kind::kObject) {
     return Status::InvalidArgument("plan JSON must be an object");
   }
@@ -472,11 +101,9 @@ Result<TrainingPlan> ParsePlanJson(const std::string& json) {
       GALVATRON_ASSIGN_OR_RETURN(HybridStrategy strategy,
                                  HybridStrategy::Parse(strategy_text));
       stage.layer_strategies.push_back(std::move(strategy));
-      GALVATRON_ASSIGN_OR_RETURN(
-          const JsonValue* flag,
-          GetMember(layer_json, "recompute", JsonValue::Kind::kBool));
-      recompute.push_back(flag->boolean ? 1 : 0);
-      any_recompute |= flag->boolean;
+      GALVATRON_ASSIGN_OR_RETURN(bool flag, GetBool(layer_json, "recompute"));
+      recompute.push_back(flag ? 1 : 0);
+      any_recompute |= flag;
     }
     if (static_cast<int>(stage.layer_strategies.size()) !=
         stage.num_layers) {
@@ -487,6 +114,263 @@ Result<TrainingPlan> ParsePlanJson(const std::string& json) {
     plan.stages.push_back(std::move(stage));
   }
   return plan;
+}
+
+Result<TrainingPlan> ParsePlanJson(const std::string& json) {
+  GALVATRON_ASSIGN_OR_RETURN(JsonValue root, ParseJson(json));
+  return PlanFromJsonValue(root);
+}
+
+// ---------------------------------------------------------------------
+// ModelSpec
+// ---------------------------------------------------------------------
+
+std::string ModelSpecToJson(const ModelSpec& model) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"name\": \"" << JsonEscape(model.name()) << "\",\n";
+  os << "  \"layers\": [";
+  for (size_t l = 0; l < model.layers().size(); ++l) {
+    const LayerSpec& layer = model.layers()[l];
+    if (l > 0) os << ",";
+    os << "\n    {\n";
+    os << "      \"name\": \"" << JsonEscape(layer.name()) << "\",\n";
+    os << "      \"kind\": \"" << LayerKindToString(layer.kind()) << "\",\n";
+    os << "      \"input_bytes\": " << layer.input_bytes() << ",\n";
+    os << "      \"output_bytes\": " << layer.output_bytes() << ",\n";
+    os << "      \"ops\": [";
+    for (size_t o = 0; o < layer.ops().size(); ++o) {
+      const OpSpec& op = layer.ops()[o];
+      if (o > 0) os << ",";
+      os << "\n        {\"name\": \"" << JsonEscape(op.name)
+         << "\", \"kind\": \"" << OpKindToString(op.kind)
+         << "\", \"tp_pattern\": \"" << TpPatternToString(op.tp_pattern)
+         << "\", \"param_count\": " << op.param_count
+         << ", \"fwd_flops\": " << JsonNumber(op.fwd_flops)
+         << ", \"saved_activation_bytes\": " << op.saved_activation_bytes
+         << ", \"output_bytes\": " << op.output_bytes
+         << ", \"input_bytes\": " << op.input_bytes
+         << ", \"tp_shards_saved_activation\": "
+         << (op.tp_shards_saved_activation ? "true" : "false") << "}";
+    }
+    os << "\n      ]\n    }";
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
+Result<ModelSpec> ModelSpecFromJsonValue(const JsonValue& root) {
+  if (root.kind != JsonValue::Kind::kObject) {
+    return Status::InvalidArgument("model JSON must be an object");
+  }
+  GALVATRON_ASSIGN_OR_RETURN(std::string name, GetString(root, "name"));
+  GALVATRON_ASSIGN_OR_RETURN(
+      const JsonValue* layers,
+      GetMember(root, "layers", JsonValue::Kind::kArray));
+  if (layers->array.empty()) {
+    return Status::InvalidArgument("model must have at least one layer");
+  }
+  std::vector<LayerSpec> specs;
+  specs.reserve(layers->array.size());
+  for (const JsonValue& layer_json : layers->array) {
+    if (layer_json.kind != JsonValue::Kind::kObject) {
+      return Status::InvalidArgument("layer must be an object");
+    }
+    GALVATRON_ASSIGN_OR_RETURN(std::string layer_name,
+                               GetString(layer_json, "name"));
+    GALVATRON_ASSIGN_OR_RETURN(std::string kind_name,
+                               GetString(layer_json, "kind"));
+    GALVATRON_ASSIGN_OR_RETURN(LayerKind kind,
+                               LayerKindFromString(kind_name));
+    GALVATRON_ASSIGN_OR_RETURN(
+        int64_t input_bytes,
+        GetInt64(layer_json, "input_bytes", /*min_value=*/0));
+    GALVATRON_ASSIGN_OR_RETURN(
+        int64_t output_bytes,
+        GetInt64(layer_json, "output_bytes", /*min_value=*/0));
+    GALVATRON_ASSIGN_OR_RETURN(
+        const JsonValue* ops,
+        GetMember(layer_json, "ops", JsonValue::Kind::kArray));
+    std::vector<OpSpec> op_specs;
+    op_specs.reserve(ops->array.size());
+    for (const JsonValue& op_json : ops->array) {
+      if (op_json.kind != JsonValue::Kind::kObject) {
+        return Status::InvalidArgument("op must be an object");
+      }
+      OpSpec op;
+      GALVATRON_ASSIGN_OR_RETURN(op.name, GetString(op_json, "name"));
+      GALVATRON_ASSIGN_OR_RETURN(std::string op_kind,
+                                 GetString(op_json, "kind"));
+      GALVATRON_ASSIGN_OR_RETURN(op.kind, OpKindFromString(op_kind));
+      GALVATRON_ASSIGN_OR_RETURN(std::string tp_pattern,
+                                 GetString(op_json, "tp_pattern"));
+      GALVATRON_ASSIGN_OR_RETURN(op.tp_pattern,
+                                 TpPatternFromString(tp_pattern));
+      GALVATRON_ASSIGN_OR_RETURN(
+          op.param_count, GetInt64(op_json, "param_count", /*min_value=*/0));
+      GALVATRON_ASSIGN_OR_RETURN(op.fwd_flops,
+                                 GetDouble(op_json, "fwd_flops"));
+      if (op.fwd_flops < 0) {
+        return Status::InvalidArgument("op fwd_flops must be >= 0");
+      }
+      GALVATRON_ASSIGN_OR_RETURN(
+          op.saved_activation_bytes,
+          GetInt64(op_json, "saved_activation_bytes", /*min_value=*/0));
+      GALVATRON_ASSIGN_OR_RETURN(
+          op.output_bytes, GetInt64(op_json, "output_bytes", /*min_value=*/0));
+      GALVATRON_ASSIGN_OR_RETURN(
+          op.input_bytes, GetInt64(op_json, "input_bytes", /*min_value=*/0));
+      GALVATRON_ASSIGN_OR_RETURN(
+          op.tp_shards_saved_activation,
+          GetBool(op_json, "tp_shards_saved_activation"));
+      op_specs.push_back(std::move(op));
+    }
+    specs.emplace_back(std::move(layer_name), kind, std::move(op_specs),
+                       input_bytes, output_bytes);
+  }
+  return ModelSpec(std::move(name), std::move(specs));
+}
+
+Result<ModelSpec> ParseModelSpecJson(const std::string& json) {
+  GALVATRON_ASSIGN_OR_RETURN(JsonValue root, ParseJson(json));
+  return ModelSpecFromJsonValue(root);
+}
+
+// ---------------------------------------------------------------------
+// ClusterSpec
+// ---------------------------------------------------------------------
+
+std::string ClusterSpecToJson(const ClusterSpec& cluster) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"name\": \"" << JsonEscape(cluster.name()) << "\",\n";
+  os << "  \"sustained_flops\": " << JsonNumber(cluster.sustained_flops())
+     << ",\n";
+  os << "  \"device_memory_bytes\": [";
+  for (int d = 0; d < cluster.num_devices(); ++d) {
+    if (d > 0) os << ", ";
+    os << cluster.device(d).memory_bytes;
+  }
+  os << "],\n";
+  os << "  \"levels\": [";
+  for (size_t i = 0; i < cluster.levels().size(); ++i) {
+    const TopologyLevel& level = cluster.levels()[i];
+    if (i > 0) os << ",";
+    os << "\n    {\"span\": " << level.span << ", \"link\": {\"class\": \""
+       << LinkClassToString(level.link.cls)
+       << "\", \"bandwidth_bytes_per_sec\": "
+       << JsonNumber(level.link.bandwidth_bytes_per_sec)
+       << ", \"latency_sec\": " << JsonNumber(level.link.latency_sec)
+       << "}}";
+  }
+  os << "\n  ],\n";
+  os << "  \"kernel_launch_overhead_sec\": "
+     << JsonNumber(cluster.kernel_launch_overhead_sec()) << ",\n";
+  os << "  \"small_batch_half_life\": "
+     << JsonNumber(cluster.small_batch_half_life()) << ",\n";
+  os << "  \"pipeline_rpc_overhead_sec\": "
+     << JsonNumber(cluster.pipeline_rpc_overhead_sec()) << "\n";
+  os << "}\n";
+  return os.str();
+}
+
+Result<ClusterSpec> ClusterSpecFromJsonValue(const JsonValue& root) {
+  if (root.kind != JsonValue::Kind::kObject) {
+    return Status::InvalidArgument("cluster JSON must be an object");
+  }
+  GALVATRON_ASSIGN_OR_RETURN(std::string name, GetString(root, "name"));
+  GALVATRON_ASSIGN_OR_RETURN(double sustained_flops,
+                             GetDouble(root, "sustained_flops"));
+  if (sustained_flops <= 0) {
+    return Status::InvalidArgument("sustained_flops must be positive");
+  }
+  GALVATRON_ASSIGN_OR_RETURN(
+      const JsonValue* memory,
+      GetMember(root, "device_memory_bytes", JsonValue::Kind::kArray));
+  if (memory->array.empty()) {
+    return Status::InvalidArgument("cluster must have at least one device");
+  }
+  std::vector<int64_t> memory_bytes;
+  memory_bytes.reserve(memory->array.size());
+  for (const JsonValue& entry : memory->array) {
+    GALVATRON_ASSIGN_OR_RETURN(
+        int64_t bytes,
+        JsonToInt64(entry, "device_memory_bytes entry", /*min_value=*/1));
+    memory_bytes.push_back(bytes);
+  }
+
+  GALVATRON_ASSIGN_OR_RETURN(
+      const JsonValue* levels_json,
+      GetMember(root, "levels", JsonValue::Kind::kArray));
+  std::vector<TopologyLevel> levels;
+  for (const JsonValue& level_json : levels_json->array) {
+    if (level_json.kind != JsonValue::Kind::kObject) {
+      return Status::InvalidArgument("topology level must be an object");
+    }
+    TopologyLevel level;
+    GALVATRON_ASSIGN_OR_RETURN(level.span,
+                               GetInt(level_json, "span", /*min_value=*/1));
+    GALVATRON_ASSIGN_OR_RETURN(
+        const JsonValue* link_json,
+        GetMember(level_json, "link", JsonValue::Kind::kObject));
+    GALVATRON_ASSIGN_OR_RETURN(std::string cls_name,
+                               GetString(*link_json, "class"));
+    GALVATRON_ASSIGN_OR_RETURN(level.link.cls,
+                               LinkClassFromString(cls_name));
+    GALVATRON_ASSIGN_OR_RETURN(
+        level.link.bandwidth_bytes_per_sec,
+        GetDouble(*link_json, "bandwidth_bytes_per_sec"));
+    GALVATRON_ASSIGN_OR_RETURN(level.link.latency_sec,
+                               GetDouble(*link_json, "latency_sec"));
+    if (level.link.latency_sec < 0) {
+      return Status::InvalidArgument("link latency_sec must be >= 0");
+    }
+    levels.push_back(level);
+  }
+
+  GALVATRON_ASSIGN_OR_RETURN(
+      ClusterSpec cluster,
+      ClusterSpec::Create(std::move(name),
+                          static_cast<int>(memory_bytes.size()),
+                          memory_bytes[0], sustained_flops,
+                          std::move(levels)));
+
+  // Re-apply heterogeneous budgets as maximal runs of equal budget (each
+  // WithDeviceMemoryRange copies the cluster, so batching runs keeps the
+  // rebuild linear-ish for the cluster sizes here).
+  for (size_t first = 0; first < memory_bytes.size();) {
+    size_t past = first + 1;
+    while (past < memory_bytes.size() &&
+           memory_bytes[past] == memory_bytes[first]) {
+      ++past;
+    }
+    if (memory_bytes[first] != memory_bytes[0]) {
+      cluster = cluster.WithDeviceMemoryRange(
+          static_cast<int>(first), static_cast<int>(past - first),
+          memory_bytes[first]);
+    }
+    first = past;
+  }
+
+  GALVATRON_ASSIGN_OR_RETURN(
+      double launch_overhead,
+      GetDouble(root, "kernel_launch_overhead_sec"));
+  GALVATRON_ASSIGN_OR_RETURN(double half_life,
+                             GetDouble(root, "small_batch_half_life"));
+  GALVATRON_ASSIGN_OR_RETURN(double rpc_overhead,
+                             GetDouble(root, "pipeline_rpc_overhead_sec"));
+  if (launch_overhead < 0 || half_life < 0 || rpc_overhead < 0) {
+    return Status::InvalidArgument("cluster overheads must be >= 0");
+  }
+  cluster.set_kernel_launch_overhead_sec(launch_overhead);
+  cluster.set_small_batch_half_life(half_life);
+  cluster.set_pipeline_rpc_overhead_sec(rpc_overhead);
+  return cluster;
+}
+
+Result<ClusterSpec> ParseClusterSpecJson(const std::string& json) {
+  GALVATRON_ASSIGN_OR_RETURN(JsonValue root, ParseJson(json));
+  return ClusterSpecFromJsonValue(root);
 }
 
 }  // namespace galvatron

@@ -3,7 +3,10 @@
 
 #include <string>
 
+#include "cluster/cluster.h"
+#include "ir/model.h"
 #include "parallel/plan.h"
+#include "util/json.h"
 #include "util/result.h"
 
 namespace galvatron {
@@ -35,13 +38,36 @@ std::string PlanToJson(const TrainingPlan& plan);
 /// Escapes `s` for embedding inside a JSON string literal: quotes,
 /// backslashes and every control character (< 0x20, as \uXXXX where no short
 /// escape exists). Exposed for tools that compose JSON documents around
-/// plans (e.g. the fuzz harness's repro dumps).
+/// plans (e.g. the fuzz harness's repro dumps). Alias of util's JsonEscape.
 std::string EscapeJson(const std::string& s);
 
 /// Parses a plan serialized by PlanToJson. Strict: unknown strategy tokens,
 /// malformed structure or type mismatches are InvalidArgument errors. The
 /// result still needs TrainingPlan::Validate against a model/cluster.
 Result<TrainingPlan> ParsePlanJson(const std::string& json);
+
+/// Same, from an already-parsed document — for embedding plans inside
+/// larger JSON messages (the /v1/measure wire format carries one).
+Result<TrainingPlan> PlanFromJsonValue(const JsonValue& root);
+
+/// Serializes a model spec to JSON. Only the primary quantities are
+/// written (per-layer name, kind, boundary bytes, and every op field); the
+/// LayerSpec constructor deterministically recomputes all derived
+/// aggregates on parse, so the round trip is exact:
+///   ModelSpecToJson(ParseModelSpecJson(j)) == j  for j = ModelSpecToJson(m).
+std::string ModelSpecToJson(const ModelSpec& model);
+
+Result<ModelSpec> ParseModelSpecJson(const std::string& json);
+Result<ModelSpec> ModelSpecFromJsonValue(const JsonValue& root);
+
+/// Serializes a cluster spec to JSON: name, per-device memory budgets
+/// (heterogeneous budgets survive), sustained FLOPs, the topology-level
+/// list with full link parameters, and the three calibration overheads.
+/// Round-trips bit-exactly through ParseClusterSpecJson.
+std::string ClusterSpecToJson(const ClusterSpec& cluster);
+
+Result<ClusterSpec> ParseClusterSpecJson(const std::string& json);
+Result<ClusterSpec> ClusterSpecFromJsonValue(const JsonValue& root);
 
 }  // namespace galvatron
 

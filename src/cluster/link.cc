@@ -16,6 +16,20 @@ std::string_view LinkClassToString(LinkClass cls) {
   return "?";
 }
 
+Result<LinkClass> LinkClassFromString(std::string_view name) {
+  static constexpr LinkClass kAll[] = {
+      LinkClass::kNvLink,
+      LinkClass::kPcie3,
+      LinkClass::kInfiniBand100,
+      LinkClass::kEthernet10,
+  };
+  for (LinkClass cls : kAll) {
+    if (LinkClassToString(cls) == name) return cls;
+  }
+  return Status::InvalidArgument("unknown link class '" + std::string(name) +
+                                 "'");
+}
+
 LinkSpec DefaultLinkSpec(LinkClass cls) {
   LinkSpec spec;
   spec.cls = cls;

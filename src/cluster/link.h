@@ -3,6 +3,8 @@
 
 #include <string_view>
 
+#include "util/result.h"
+
 namespace galvatron {
 
 /// Interconnect classes appearing in the paper's three testbeds.
@@ -14,6 +16,9 @@ enum class LinkClass {
 };
 
 std::string_view LinkClassToString(LinkClass cls);
+
+/// Inverse of LinkClassToString; unknown names are InvalidArgument.
+Result<LinkClass> LinkClassFromString(std::string_view name);
 
 /// One link: achievable (not theoretical) ring bandwidth per direction plus
 /// a per-hop latency term used by the collective cost model.

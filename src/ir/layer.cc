@@ -21,6 +21,18 @@ std::string_view LayerKindToString(LayerKind kind) {
   return "Unknown";
 }
 
+Result<LayerKind> LayerKindFromString(std::string_view name) {
+  static constexpr LayerKind kAll[] = {
+      LayerKind::kEmbedding, LayerKind::kEncoder, LayerKind::kDecoder,
+      LayerKind::kPatchMerge, LayerKind::kHead,
+  };
+  for (LayerKind kind : kAll) {
+    if (LayerKindToString(kind) == name) return kind;
+  }
+  return Status::InvalidArgument("unknown layer kind '" + std::string(name) +
+                                 "'");
+}
+
 LayerSpec::LayerSpec(std::string name, LayerKind kind, std::vector<OpSpec> ops,
                      int64_t input_bytes, int64_t output_bytes)
     : name_(std::move(name)),

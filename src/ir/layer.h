@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "ir/op.h"
+#include "util/result.h"
 
 namespace galvatron {
 
@@ -22,6 +23,9 @@ enum class LayerKind {
 };
 
 std::string_view LayerKindToString(LayerKind kind);
+
+/// Inverse of LayerKindToString; unknown names are InvalidArgument.
+Result<LayerKind> LayerKindFromString(std::string_view name);
 
 /// One model layer: an ordered list of primitive ops plus boundary tensor
 /// sizes. All byte/flop quantities are per sample; the cost model scales

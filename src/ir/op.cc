@@ -32,6 +32,21 @@ std::string_view OpKindToString(OpKind kind) {
   return "Unknown";
 }
 
+Result<OpKind> OpKindFromString(std::string_view name) {
+  static constexpr OpKind kAll[] = {
+      OpKind::kMatMul,        OpKind::kBatchedMatMul, OpKind::kSoftmax,
+      OpKind::kLayerNorm,     OpKind::kGeLU,          OpKind::kAdd,
+      OpKind::kDropout,       OpKind::kEmbeddingLookup,
+      OpKind::kPatchEmbed,    OpKind::kPatchMerge,    OpKind::kWindowShift,
+      OpKind::kClassifierHead,
+  };
+  for (OpKind kind : kAll) {
+    if (OpKindToString(kind) == name) return kind;
+  }
+  return Status::InvalidArgument("unknown op kind '" + std::string(name) +
+                                 "'");
+}
+
 std::string_view TpPatternToString(TpPattern pattern) {
   switch (pattern) {
     case TpPattern::kColumnParallel:
@@ -46,6 +61,19 @@ std::string_view TpPatternToString(TpPattern pattern) {
       return "VocabParallel";
   }
   return "Unknown";
+}
+
+Result<TpPattern> TpPatternFromString(std::string_view name) {
+  static constexpr TpPattern kAll[] = {
+      TpPattern::kColumnParallel,     TpPattern::kRowParallel,
+      TpPattern::kShardedElementwise, TpPattern::kReplicated,
+      TpPattern::kVocabParallel,
+  };
+  for (TpPattern pattern : kAll) {
+    if (TpPatternToString(pattern) == name) return pattern;
+  }
+  return Status::InvalidArgument("unknown TP pattern '" + std::string(name) +
+                                 "'");
 }
 
 }  // namespace galvatron

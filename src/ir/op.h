@@ -7,6 +7,7 @@
 
 #include "ir/dtype.h"
 #include "ir/tensor_shape.h"
+#include "util/result.h"
 
 namespace galvatron {
 
@@ -27,6 +28,10 @@ enum class OpKind {
 };
 
 std::string_view OpKindToString(OpKind kind);
+
+/// Inverse of OpKindToString; unknown names are InvalidArgument (the spec
+/// JSON deserializer depends on the pair being exact inverses).
+Result<OpKind> OpKindFromString(std::string_view name);
 
 /// Megatron-style tensor-parallel behaviour of one op.
 enum class TpPattern {
@@ -50,6 +55,9 @@ enum class TpPattern {
 };
 
 std::string_view TpPatternToString(TpPattern pattern);
+
+/// Inverse of TpPatternToString; unknown names are InvalidArgument.
+Result<TpPattern> TpPatternFromString(std::string_view name);
 
 /// One primitive op with everything the cost calculus needs, expressed
 /// per-sample (multiply by the local batch to get per-device quantities).

@@ -86,8 +86,17 @@ Optimizer::Optimizer(const ClusterSpec* cluster, OptimizerOptions options)
 }
 
 Result<OptimizationResult> Optimizer::Optimize(const ModelSpec& model) const {
+  return Optimize(model, /*shared_cache=*/nullptr);
+}
+
+Result<OptimizationResult> Optimizer::Optimize(
+    const ModelSpec& model, SharedCostCache* shared_cache,
+    const std::function<bool()>& cancel_check) const {
   const auto start = std::chrono::steady_clock::now();
   const int num_devices = cluster_->num_devices();
+  const auto cancelled = [&cancel_check] {
+    return cancel_check && cancel_check();
+  };
 
   std::vector<int> pp_degrees = options_.pp_degrees;
   if (pp_degrees.empty()) {
@@ -102,8 +111,14 @@ Result<OptimizationResult> Optimizer::Optimize(const ModelSpec& model) const {
 
   // Sweep-wide memo over the estimator: every stage search of every
   // configuration (and every worker thread) shares it, so a repeated
-  // Transformer block is estimated once per distinct shape per sweep.
-  SharedCostCache shared_cache(&estimator_, &model);
+  // Transformer block is estimated once per distinct shape per sweep. A
+  // caller-provided cache extends the sharing across runs (the serving
+  // daemon's warm path); its entries carry no memory budget, so reuse
+  // across budget variants is sound.
+  SharedCostCache local_cache(&estimator_, &model);
+  SharedCostCache* cache = shared_cache != nullptr ? shared_cache
+                                                   : &local_cache;
+  const CostCacheStats cache_stats_before = cache->stats();
 
   // Pre-enumerate candidates and partitions per PP degree (B-independent).
   struct PerDegree {
@@ -166,6 +181,10 @@ Result<OptimizationResult> Optimizer::Optimize(const ModelSpec& model) const {
   auto evaluate = [&](const PerDegree& degree, int batch, int micro,
                       int config_ordinal) -> ConfigOutcome {
     ConfigOutcome out;
+    if (cancelled()) {
+      out.error = Status::Cancelled("strategy sweep cancelled");
+      return out;
+    }
     // Uniform single-strategy plans first: they are points of the same
     // search space, and evaluating them through the exact estimator
     // guarantees the search never loses to a pure baseline because of
@@ -197,6 +216,10 @@ Result<OptimizationResult> Optimizer::Optimize(const ModelSpec& model) const {
     int first_layer = 0;
     const int devices_per_stage = num_devices / degree.pp;
     for (int s = 0; s < degree.pp && !oom; ++s) {
+      if (cancelled()) {
+        out.error = Status::Cancelled("strategy sweep cancelled");
+        return out;
+      }
       const int stage_layers = degree.stage_sizes[static_cast<size_t>(s)];
       const int64_t stage_budget = cluster_->MinMemoryInRange(
           s * devices_per_stage, devices_per_stage);
@@ -204,7 +227,7 @@ Result<OptimizationResult> Optimizer::Optimize(const ModelSpec& model) const {
                                degree.candidates, s * devices_per_stage,
                                batch, micro, stage_budget,
                                plan.InFlightForDegree(degree.pp, s),
-                               &shared_cache);
+                               cache);
       if (!result.ok()) {
         if (result.status().IsInfeasible() ||
             result.status().IsOutOfMemory()) {
@@ -260,6 +283,7 @@ Result<OptimizationResult> Optimizer::Optimize(const ModelSpec& model) const {
   // order below.
   for (int batch = options_.batch_step;
        batch <= options_.max_batch; batch += options_.batch_step) {
+    if (cancelled()) return Status::Cancelled("strategy sweep cancelled");
     bool any_pending = false;  // degrees whose pipelines the batch can't fill yet
     struct ConfigTask {
       const PerDegree* degree;
@@ -339,7 +363,8 @@ Result<OptimizationResult> Optimizer::Optimize(const ModelSpec& model) const {
   // into the pipeline partitioner and re-search each stage.
   const auto co_optimize_start = std::chrono::steady_clock::now();
   for (int round = 0;
-       round < options_.co_optimize_rounds && result.plan.pp_degree() > 1;
+       round < options_.co_optimize_rounds && result.plan.pp_degree() > 1 &&
+       !cancelled();
        ++round) {
     const int pp = result.plan.pp_degree();
     const int devices_per_stage = num_devices / pp;
@@ -390,7 +415,7 @@ Result<OptimizationResult> Optimizer::Optimize(const ModelSpec& model) const {
           search.Run(model, first_layer, stage_layers, *candidates,
                      s * devices_per_stage, refined.global_batch,
                      refined.num_micro_batches, stage_budget,
-                     refined.InFlightForDegree(pp, s), &shared_cache);
+                     refined.InFlightForDegree(pp, s), cache);
       if (!stage_result.ok()) {
         oom = true;
         break;
@@ -423,9 +448,13 @@ Result<OptimizationResult> Optimizer::Optimize(const ModelSpec& model) const {
       result.alternates.push_back(std::move(entry.plan));
     }
   }
-  const CostCacheStats cache_stats = shared_cache.stats();
-  stats.cost_cache_hits = cache_stats.hits();
-  stats.cost_cache_misses = cache_stats.misses();
+  const CostCacheStats cache_stats = cache->stats();
+  stats.cost_cache_hits = cache_stats.hits() - cache_stats_before.hits();
+  stats.cost_cache_misses =
+      cache_stats.misses() - cache_stats_before.misses();
+  stats.cost_cache_lifetime_hits = cache_stats.hits();
+  stats.cost_cache_lifetime_misses = cache_stats.misses();
+  stats.used_external_cost_cache = shared_cache != nullptr;
   stats.search_seconds = SecondsSince(start);
   result.stats = stats;
   return result;

@@ -2,6 +2,7 @@
 #define GALVATRON_SEARCH_OPTIMIZER_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "cluster/cluster.h"
@@ -88,9 +89,21 @@ struct SearchStats {
   double co_optimize_seconds = 0.0;
 
   /// Shared cost-cache counters, summed over layer and transformation
-  /// lookups. A miss is one estimator invocation.
+  /// lookups. A miss is one estimator invocation. These are per-call deltas:
+  /// with an external cache (see Optimizer::Optimize below) they count only
+  /// this run's lookups, so a fully warm cache shows misses == 0.
   int64_t cost_cache_hits = 0;
   int64_t cost_cache_misses = 0;
+
+  /// Cumulative counters of the cost cache at the end of this run. Equal to
+  /// the per-call deltas for the run-local cache; monotone across runs for
+  /// an external cache (the serving /metrics endpoint exports them).
+  int64_t cost_cache_lifetime_hits = 0;
+  int64_t cost_cache_lifetime_misses = 0;
+
+  /// True when the run reused a caller-provided SharedCostCache instead of
+  /// building its own.
+  bool used_external_cost_cache = false;
 
   /// Worker threads the sweep actually used (resolves search_threads == 0).
   int search_threads_used = 1;
@@ -118,6 +131,23 @@ class Optimizer {
   /// Finds the best plan for `model` on the cluster. Returns Infeasible if
   /// no batch size / strategy combination fits the memory budget.
   Result<OptimizationResult> Optimize(const ModelSpec& model) const;
+
+  /// Same, with serving hooks.
+  ///
+  /// `shared_cache` (optional) is a caller-owned cost cache reused across
+  /// runs — the cross-request warm path of the plan-serving daemon. The
+  /// cache's estimator/model must describe the same model, cluster topology
+  /// and estimator options as this optimizer's; cached entries are keyed by
+  /// batch/micro/strategy/topology but NOT by memory budget, so budget-only
+  /// variations share entries by design. Thread-safe: concurrent Optimize
+  /// runs may share one cache.
+  ///
+  /// `cancel_check` (optional) is polled between configuration evaluations
+  /// and pipeline stages; once it returns true the sweep stops and the run
+  /// returns Status::Cancelled. Used for per-request deadlines.
+  Result<OptimizationResult> Optimize(
+      const ModelSpec& model, SharedCostCache* shared_cache,
+      const std::function<bool()>& cancel_check = {}) const;
 
  private:
   const ClusterSpec* cluster_;

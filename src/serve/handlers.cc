@@ -1,0 +1,562 @@
+#include "serve/handlers.h"
+
+#include <chrono>
+#include <vector>
+
+#include "api/plan_io.h"
+#include "util/string_util.h"
+
+namespace galvatron {
+namespace serve {
+
+namespace {
+
+/// Strict schemas: a request carrying a key the server does not understand
+/// is rejected instead of silently ignored, so a typo'd option ("batchstep")
+/// cannot masquerade as a default-valued search.
+Status CheckKeys(const JsonValue& object,
+                 const std::vector<std::string>& allowed, const char* what) {
+  for (const auto& [key, unused] : object.object) {
+    bool known = false;
+    for (const std::string& candidate : allowed) {
+      if (key == candidate) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      return Status::InvalidArgument(
+          StrFormat("unknown key '%s' in %s", key.c_str(), what));
+    }
+  }
+  return Status::OK();
+}
+
+/// Resolves the "model" member: a string is a model-zoo name, an object is a
+/// full spec. `canonical` gets the cache-key form (zoo:<name>, or the
+/// WriteJson normalization, so formatting differences don't split cache
+/// entries).
+Result<ModelSpec> ResolveModel(const JsonValue& value,
+                               std::string* canonical) {
+  if (value.kind == JsonValue::Kind::kString) {
+    for (ModelId id : AllModelIds()) {
+      if (value.string == ModelIdToString(id)) {
+        *canonical = "zoo:" + value.string;
+        return BuildModel(id);
+      }
+    }
+    std::string known;
+    for (ModelId id : AllModelIds()) {
+      if (!known.empty()) known += ", ";
+      known += ModelIdToString(id);
+    }
+    return Status::InvalidArgument(StrFormat(
+        "unknown zoo model '%s'; known models: %s", value.string.c_str(),
+        known.c_str()));
+  }
+  if (value.kind == JsonValue::Kind::kObject) {
+    *canonical = WriteJson(value);
+    return ModelSpecFromJsonValue(value);
+  }
+  return Status::InvalidArgument(
+      "'model' must be a zoo model name or a model-spec object");
+}
+
+Status ParseEstimatorOptions(const JsonValue& value,
+                             EstimatorOptions* estimator) {
+  GALVATRON_RETURN_IF_ERROR(CheckKeys(
+      value,
+      {"model_overlap_slowdown", "overlap_slowdown", "tp_sequence_parallel"},
+      "'options.estimator'"));
+  if (FindMember(value, "model_overlap_slowdown") != nullptr) {
+    GALVATRON_ASSIGN_OR_RETURN(estimator->model_overlap_slowdown,
+                               GetBool(value, "model_overlap_slowdown"));
+  }
+  if (FindMember(value, "overlap_slowdown") != nullptr) {
+    GALVATRON_ASSIGN_OR_RETURN(estimator->overlap_slowdown,
+                               GetDouble(value, "overlap_slowdown"));
+    if (estimator->overlap_slowdown < 1.0) {
+      return Status::InvalidArgument(
+          "'options.estimator.overlap_slowdown' must be >= 1.0");
+    }
+  }
+  if (FindMember(value, "tp_sequence_parallel") != nullptr) {
+    GALVATRON_ASSIGN_OR_RETURN(estimator->tp_sequence_parallel,
+                               GetBool(value, "tp_sequence_parallel"));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<int>> ParseIntArray(const JsonValue& object,
+                                       const std::string& key, int min_value) {
+  GALVATRON_ASSIGN_OR_RETURN(const JsonValue* member,
+                             GetMember(object, key, JsonValue::Kind::kArray));
+  std::vector<int> values;
+  for (size_t i = 0; i < member->array.size(); ++i) {
+    GALVATRON_ASSIGN_OR_RETURN(
+        int64_t v, JsonToInt64(member->array[i],
+                               StrFormat("'%s[%zu]'", key.c_str(), i),
+                               min_value));
+    if (v > 1 << 20) {
+      return Status::InvalidArgument(
+          StrFormat("'%s[%zu]' is implausibly large", key.c_str(), i));
+    }
+    values.push_back(static_cast<int>(v));
+  }
+  if (values.empty()) {
+    return Status::InvalidArgument(
+        StrFormat("'%s' must not be empty", key.c_str()));
+  }
+  return values;
+}
+
+/// Parses the wire-settable subset of OptimizerOptions (absent fields keep
+/// their library defaults) and produces the deterministic signature of the
+/// RESOLVED values, so `{"batch_step": 8}` and `{}` share one cache entry.
+Status ParseOptimizerOptions(const JsonValue* value, OptimizerOptions* options,
+                             std::string* signature) {
+  if (value != nullptr) {
+    if (value->kind != JsonValue::Kind::kObject) {
+      return Status::InvalidArgument("'options' must be an object");
+    }
+    GALVATRON_RETURN_IF_ERROR(CheckKeys(
+        *value,
+        {"schedule", "allow_recompute", "use_sparse_dp", "search_threads",
+         "batch_step", "max_batch", "pp_degrees", "micro_batch_multipliers",
+         "co_optimize_rounds", "memory_granularity", "estimator"},
+        "'options'"));
+    if (FindMember(*value, "schedule") != nullptr) {
+      GALVATRON_ASSIGN_OR_RETURN(const std::string schedule,
+                                 GetString(*value, "schedule"));
+      if (schedule == "gpipe") {
+        options->schedule = PipelineSchedule::kGPipe;
+      } else if (schedule == "1f1b") {
+        options->schedule = PipelineSchedule::k1F1B;
+      } else {
+        return Status::InvalidArgument(StrFormat(
+            "'options.schedule' must be \"gpipe\" or \"1f1b\", got \"%s\"",
+            schedule.c_str()));
+      }
+    }
+    if (FindMember(*value, "allow_recompute") != nullptr) {
+      GALVATRON_ASSIGN_OR_RETURN(options->allow_recompute,
+                                 GetBool(*value, "allow_recompute"));
+    }
+    if (FindMember(*value, "use_sparse_dp") != nullptr) {
+      GALVATRON_ASSIGN_OR_RETURN(options->use_sparse_dp,
+                                 GetBool(*value, "use_sparse_dp"));
+    }
+    if (FindMember(*value, "search_threads") != nullptr) {
+      GALVATRON_ASSIGN_OR_RETURN(options->search_threads,
+                                 GetInt(*value, "search_threads", 0));
+    }
+    if (FindMember(*value, "batch_step") != nullptr) {
+      GALVATRON_ASSIGN_OR_RETURN(options->batch_step,
+                                 GetInt(*value, "batch_step", 1));
+    }
+    if (FindMember(*value, "max_batch") != nullptr) {
+      GALVATRON_ASSIGN_OR_RETURN(options->max_batch,
+                                 GetInt(*value, "max_batch", 1));
+    }
+    if (FindMember(*value, "pp_degrees") != nullptr) {
+      GALVATRON_ASSIGN_OR_RETURN(options->pp_degrees,
+                                 ParseIntArray(*value, "pp_degrees", 1));
+    }
+    if (FindMember(*value, "micro_batch_multipliers") != nullptr) {
+      GALVATRON_ASSIGN_OR_RETURN(
+          options->micro_batch_multipliers,
+          ParseIntArray(*value, "micro_batch_multipliers", 1));
+    }
+    if (FindMember(*value, "co_optimize_rounds") != nullptr) {
+      GALVATRON_ASSIGN_OR_RETURN(options->co_optimize_rounds,
+                                 GetInt(*value, "co_optimize_rounds", 0));
+    }
+    if (FindMember(*value, "memory_granularity") != nullptr) {
+      GALVATRON_ASSIGN_OR_RETURN(options->memory_granularity,
+                                 GetInt64(*value, "memory_granularity", 1));
+    }
+    if (const JsonValue* estimator = FindMember(*value, "estimator")) {
+      if (estimator->kind != JsonValue::Kind::kObject) {
+        return Status::InvalidArgument("'options.estimator' must be an object");
+      }
+      GALVATRON_RETURN_IF_ERROR(
+          ParseEstimatorOptions(*estimator, &options->estimator));
+    }
+  }
+
+  std::string degrees;
+  for (int d : options->pp_degrees) degrees += StrFormat("%d,", d);
+  std::string multipliers;
+  for (int m : options->micro_batch_multipliers) {
+    multipliers += StrFormat("%d,", m);
+  }
+  *signature = StrFormat(
+      "schedule=%s;recompute=%d;sparse=%d;threads=%d;step=%d;max=%d;"
+      "pp=[%s];mbm=[%s];coopt=%d;gran=%lld;est=%d:%s:%d",
+      std::string(PipelineScheduleToString(options->schedule)).c_str(),
+      options->allow_recompute ? 1 : 0, options->use_sparse_dp ? 1 : 0,
+      options->search_threads, options->batch_step, options->max_batch,
+      degrees.c_str(), multipliers.c_str(), options->co_optimize_rounds,
+      static_cast<long long>(options->memory_granularity),
+      options->estimator.model_overlap_slowdown ? 1 : 0,
+      JsonNumber(options->estimator.overlap_slowdown).c_str(),
+      options->estimator.tp_sequence_parallel ? 1 : 0);
+  return Status::OK();
+}
+
+Status ParseSimOptions(const JsonValue* value, SimOptions* sim) {
+  if (value == nullptr) return Status::OK();
+  if (value->kind != JsonValue::Kind::kObject) {
+    return Status::InvalidArgument("'sim' must be an object");
+  }
+  GALVATRON_RETURN_IF_ERROR(CheckKeys(
+      *value,
+      {"overlap_slowdown", "compute_jitter", "seed", "check_memory",
+       "tp_sequence_parallel", "work_scale"},
+      "'sim'"));
+  if (FindMember(*value, "overlap_slowdown") != nullptr) {
+    GALVATRON_ASSIGN_OR_RETURN(sim->overlap_slowdown,
+                               GetDouble(*value, "overlap_slowdown"));
+    if (sim->overlap_slowdown < 1.0) {
+      return Status::InvalidArgument("'sim.overlap_slowdown' must be >= 1.0");
+    }
+  }
+  if (FindMember(*value, "compute_jitter") != nullptr) {
+    GALVATRON_ASSIGN_OR_RETURN(sim->compute_jitter,
+                               GetDouble(*value, "compute_jitter"));
+    if (sim->compute_jitter < 0.0 || sim->compute_jitter >= 1.0) {
+      return Status::InvalidArgument(
+          "'sim.compute_jitter' must be in [0, 1)");
+    }
+  }
+  if (FindMember(*value, "seed") != nullptr) {
+    GALVATRON_ASSIGN_OR_RETURN(const int64_t seed,
+                               GetInt64(*value, "seed", 0));
+    sim->seed = static_cast<uint64_t>(seed);
+  }
+  if (FindMember(*value, "check_memory") != nullptr) {
+    GALVATRON_ASSIGN_OR_RETURN(sim->check_memory,
+                               GetBool(*value, "check_memory"));
+  }
+  if (FindMember(*value, "tp_sequence_parallel") != nullptr) {
+    GALVATRON_ASSIGN_OR_RETURN(sim->tp_sequence_parallel,
+                               GetBool(*value, "tp_sequence_parallel"));
+  }
+  if (FindMember(*value, "work_scale") != nullptr) {
+    GALVATRON_ASSIGN_OR_RETURN(sim->work_scale,
+                               GetDouble(*value, "work_scale"));
+    if (sim->work_scale <= 0.0) {
+      return Status::InvalidArgument("'sim.work_scale' must be > 0");
+    }
+  }
+  return Status::OK();
+}
+
+std::string Int64Json(int64_t v) {
+  return StrFormat("%lld", static_cast<long long>(v));
+}
+
+/// Canonical (WriteJson) form of a plan — the byte layout the serving tests
+/// compare against a direct Galvatron::Plan result.
+std::string CanonicalPlanJson(const TrainingPlan& plan) {
+  Result<JsonValue> parsed = ParseJson(PlanToJson(plan));
+  return WriteJson(*parsed);  // our own serializer's output always parses
+}
+
+std::string SearchStatsJson(const SearchStats& stats) {
+  std::string out = "{";
+  out += "\"configs_explored\": " + Int64Json(stats.configs_explored);
+  out += ", \"cost_cache_hits\": " + Int64Json(stats.cost_cache_hits);
+  out += ", \"cost_cache_lifetime_hits\": " +
+         Int64Json(stats.cost_cache_lifetime_hits);
+  out += ", \"cost_cache_lifetime_misses\": " +
+         Int64Json(stats.cost_cache_lifetime_misses);
+  out += ", \"cost_cache_misses\": " + Int64Json(stats.cost_cache_misses);
+  out += ", \"dp_states_explored\": " + Int64Json(stats.dp_states_explored);
+  out += ", \"num_candidate_strategies\": " +
+         Int64Json(stats.num_candidate_strategies);
+  out += ", \"search_seconds\": " + JsonNumber(stats.search_seconds);
+  out += ", \"search_threads_used\": " + Int64Json(stats.search_threads_used);
+  out += std::string(", \"used_external_cost_cache\": ") +
+         (stats.used_external_cost_cache ? "true" : "false");
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+PlanService::PlanService(PlanServiceOptions options)
+    : options_(options), plan_cache_(options.plan_cache_entries) {
+  if (options_.context_cache_entries == 0) options_.context_cache_entries = 1;
+}
+
+HttpResponse PlanService::Handle(const HttpRequest& request) {
+  std::string route = request.target;
+  const size_t query = route.find('?');
+  if (query != std::string::npos) route.resize(query);
+
+  const bool is_get = request.method == "GET";
+  const bool is_post = request.method == "POST";
+  if (route == "/healthz") {
+    if (!is_get) {
+      return MakeJsonErrorResponse(
+          Status::InvalidArgument("/healthz only answers GET"), 405);
+    }
+    return HandleHealthz();
+  }
+  if (route == "/metrics") {
+    if (!is_get) {
+      return MakeJsonErrorResponse(
+          Status::InvalidArgument("/metrics only answers GET"), 405);
+    }
+    return HandleMetrics();
+  }
+  if (route == "/v1/plan") {
+    if (!is_post) {
+      return MakeJsonErrorResponse(
+          Status::InvalidArgument("/v1/plan only answers POST"), 405);
+    }
+    return HandlePlan(request);
+  }
+  if (route == "/v1/measure") {
+    if (!is_post) {
+      return MakeJsonErrorResponse(
+          Status::InvalidArgument("/v1/measure only answers POST"), 405);
+    }
+    return HandleMeasure(request);
+  }
+  return MakeJsonErrorResponse(
+      Status::NotFound(StrFormat("no route '%s'", route.c_str())));
+}
+
+std::shared_ptr<PlanningContext> PlanService::GetOrCreateContext(
+    const std::string& key, const ModelSpec& model, const ClusterSpec& cluster,
+    const EstimatorOptions& estimator_options) {
+  std::lock_guard<std::mutex> lock(contexts_mu_);
+  auto it = contexts_index_.find(key);
+  if (it != contexts_index_.end()) {
+    contexts_.splice(contexts_.begin(), contexts_, it->second);
+    return it->second->second;
+  }
+  auto context =
+      std::make_shared<PlanningContext>(model, cluster, estimator_options);
+  contexts_.emplace_front(key, context);
+  contexts_index_[key] = contexts_.begin();
+  if (contexts_.size() > options_.context_cache_entries) {
+    // Requests running on the evicted context keep it alive via shared_ptr.
+    contexts_index_.erase(contexts_.back().first);
+    contexts_.pop_back();
+  }
+  return context;
+}
+
+HttpResponse PlanService::HandlePlan(const HttpRequest& request) {
+  Result<JsonValue> root = ParseJson(request.body);
+  if (!root.ok()) return MakeJsonErrorResponse(root.status());
+  if (root->kind != JsonValue::Kind::kObject) {
+    return MakeJsonErrorResponse(
+        Status::InvalidArgument("request body must be a JSON object"));
+  }
+  Status keys = CheckKeys(*root, {"model", "cluster", "options", "deadline_ms"},
+                          "the request");
+  if (!keys.ok()) return MakeJsonErrorResponse(keys);
+
+  const JsonValue* model_value = FindMember(*root, "model");
+  if (model_value == nullptr) {
+    return MakeJsonErrorResponse(
+        Status::InvalidArgument("missing required key 'model'"));
+  }
+  Result<const JsonValue*> cluster_value =
+      GetMember(*root, "cluster", JsonValue::Kind::kObject);
+  if (!cluster_value.ok()) return MakeJsonErrorResponse(cluster_value.status());
+
+  OptimizerOptions options;
+  std::string options_signature;
+  Status options_status = ParseOptimizerOptions(
+      FindMember(*root, "options"), &options, &options_signature);
+  if (!options_status.ok()) return MakeJsonErrorResponse(options_status);
+
+  double deadline_ms = options_.default_deadline_ms;
+  if (FindMember(*root, "deadline_ms") != nullptr) {
+    Result<double> deadline = GetDouble(*root, "deadline_ms");
+    if (!deadline.ok()) return MakeJsonErrorResponse(deadline.status());
+    if (*deadline <= 0.0) {
+      return MakeJsonErrorResponse(
+          Status::InvalidArgument("'deadline_ms' must be > 0"));
+    }
+    deadline_ms = *deadline;
+  }
+
+  // The cache key is built from canonical forms before any heavy work, so a
+  // hit never parses specs or touches the optimizer. The deadline is
+  // excluded: it changes whether a result arrives, never which result.
+  std::string model_canonical;
+  if (model_value->kind == JsonValue::Kind::kString) {
+    model_canonical = "zoo:" + model_value->string;
+  } else if (model_value->kind == JsonValue::Kind::kObject) {
+    model_canonical = WriteJson(*model_value);
+  } else {
+    return MakeJsonErrorResponse(Status::InvalidArgument(
+        "'model' must be a zoo model name or a model-spec object"));
+  }
+  const std::string cluster_canonical = WriteJson(**cluster_value);
+  const std::string cache_key =
+      model_canonical + "\n" + cluster_canonical + "\n" + options_signature;
+
+  std::string core;
+  if (plan_cache_.Get(cache_key, &core)) {
+    if (options_.metrics != nullptr) options_.metrics->RecordPlanCache(true);
+    HttpResponse response;
+    response.body = "{" + core + ", \"plan_cache_hit\": true}\n";
+    return response;
+  }
+
+  Result<ModelSpec> model = ResolveModel(*model_value, &model_canonical);
+  if (!model.ok()) return MakeJsonErrorResponse(model.status());
+  Result<ClusterSpec> cluster = ClusterSpecFromJsonValue(**cluster_value);
+  if (!cluster.ok()) return MakeJsonErrorResponse(cluster.status());
+
+  const std::string context_key = model_canonical + "\n" + cluster_canonical +
+                                  "\n" +
+                                  StrFormat("est=%d:%s:%d",
+                                            options.estimator
+                                                    .model_overlap_slowdown
+                                                ? 1
+                                                : 0,
+                                            JsonNumber(
+                                                options.estimator
+                                                    .overlap_slowdown)
+                                                .c_str(),
+                                            options.estimator
+                                                    .tp_sequence_parallel
+                                                ? 1
+                                                : 0);
+  std::shared_ptr<PlanningContext> context =
+      GetOrCreateContext(context_key, *model, *cluster, options.estimator);
+
+  std::function<bool()> cancel_check;
+  if (deadline_ms > 0.0) {
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double, std::milli>(deadline_ms));
+    cancel_check = [deadline] {
+      return std::chrono::steady_clock::now() >= deadline;
+    };
+  }
+
+  Result<TrainedPlan> result = Galvatron::Plan(*context, options, cancel_check);
+  if (!result.ok()) return MakeJsonErrorResponse(result.status());
+
+  if (options_.metrics != nullptr) {
+    options_.metrics->RecordPlanCache(false);
+    options_.metrics->RecordCostCache(result->search_stats.cost_cache_hits,
+                                      result->search_stats.cost_cache_misses);
+  }
+
+  core = "\"estimated\": {\"iteration_seconds\": " +
+         JsonNumber(result->estimated.iteration_seconds) +
+         ", \"peak_memory_bytes\": " +
+         Int64Json(result->estimated.peak_memory_bytes) +
+         ", \"throughput_samples_per_sec\": " +
+         JsonNumber(result->estimated.throughput_samples_per_sec) + "}";
+  core += ", \"plan\": " + CanonicalPlanJson(result->plan);
+  core += ", \"search_stats\": " + SearchStatsJson(result->search_stats);
+  plan_cache_.Put(cache_key, core);
+
+  HttpResponse response;
+  response.body = "{" + core + ", \"plan_cache_hit\": false}\n";
+  return response;
+}
+
+HttpResponse PlanService::HandleMeasure(const HttpRequest& request) {
+  Result<JsonValue> root = ParseJson(request.body);
+  if (!root.ok()) return MakeJsonErrorResponse(root.status());
+  if (root->kind != JsonValue::Kind::kObject) {
+    return MakeJsonErrorResponse(
+        Status::InvalidArgument("request body must be a JSON object"));
+  }
+  Status keys =
+      CheckKeys(*root, {"model", "cluster", "plan", "sim"}, "the request");
+  if (!keys.ok()) return MakeJsonErrorResponse(keys);
+
+  const JsonValue* model_value = FindMember(*root, "model");
+  if (model_value == nullptr) {
+    return MakeJsonErrorResponse(
+        Status::InvalidArgument("missing required key 'model'"));
+  }
+  std::string unused_canonical;
+  Result<ModelSpec> model = ResolveModel(*model_value, &unused_canonical);
+  if (!model.ok()) return MakeJsonErrorResponse(model.status());
+
+  Result<const JsonValue*> cluster_value =
+      GetMember(*root, "cluster", JsonValue::Kind::kObject);
+  if (!cluster_value.ok()) return MakeJsonErrorResponse(cluster_value.status());
+  Result<ClusterSpec> cluster = ClusterSpecFromJsonValue(**cluster_value);
+  if (!cluster.ok()) return MakeJsonErrorResponse(cluster.status());
+
+  Result<const JsonValue*> plan_value =
+      GetMember(*root, "plan", JsonValue::Kind::kObject);
+  if (!plan_value.ok()) return MakeJsonErrorResponse(plan_value.status());
+  Result<TrainingPlan> plan = PlanFromJsonValue(**plan_value);
+  if (!plan.ok()) return MakeJsonErrorResponse(plan.status());
+
+  SimOptions sim;
+  Status sim_status = ParseSimOptions(FindMember(*root, "sim"), &sim);
+  if (!sim_status.ok()) return MakeJsonErrorResponse(sim_status);
+
+  Result<SimMetrics> metrics = Galvatron::Measure(*model, *plan, *cluster, sim);
+  if (!metrics.ok()) return MakeJsonErrorResponse(metrics.status());
+
+  std::string stages;
+  for (int64_t bytes : metrics->stage_peak_memory_bytes) {
+    if (!stages.empty()) stages += ", ";
+    stages += Int64Json(bytes);
+  }
+  HttpResponse response;
+  response.body = StrFormat(
+      "{\"metrics\": {\"comm_busy_sec\": %s, \"compute_busy_sec\": %s, "
+      "\"iteration_seconds\": %s, \"max_peak_memory_bytes\": %s, "
+      "\"num_comm_groups\": %d, \"num_tasks\": %d, \"oom\": %s, "
+      "\"stage_peak_memory_bytes\": [%s], "
+      "\"throughput_samples_per_sec\": %s}}\n",
+      JsonNumber(metrics->comm_busy_sec).c_str(),
+      JsonNumber(metrics->compute_busy_sec).c_str(),
+      JsonNumber(metrics->iteration_seconds).c_str(),
+      Int64Json(metrics->max_peak_memory_bytes).c_str(),
+      metrics->num_comm_groups, metrics->num_tasks,
+      metrics->oom ? "true" : "false", stages.c_str(),
+      JsonNumber(metrics->throughput_samples_per_sec).c_str());
+  return response;
+}
+
+HttpResponse PlanService::HandleHealthz() const {
+  HttpResponse response;
+  response.body = StrFormat("{\"status\": \"ok\", \"version\": \"%s\"}\n",
+                            Galvatron::Version().c_str());
+  return response;
+}
+
+HttpResponse PlanService::HandleMetrics() const {
+  HttpResponse response;
+  response.content_type = "text/plain; version=0.0.4";
+  if (options_.metrics != nullptr) response.body = options_.metrics->Render();
+  const PlanCache::Stats stats = plan_cache_.stats();
+  response.body += StrFormat(
+      "# HELP galvatron_serve_plan_cache_size Entries in the plan cache.\n"
+      "# TYPE galvatron_serve_plan_cache_size gauge\n"
+      "galvatron_serve_plan_cache_size %lld\n"
+      "# HELP galvatron_serve_plan_cache_capacity Plan cache capacity.\n"
+      "# TYPE galvatron_serve_plan_cache_capacity gauge\n"
+      "galvatron_serve_plan_cache_capacity %lld\n"
+      "# HELP galvatron_serve_plan_cache_evictions_total LRU evictions.\n"
+      "# TYPE galvatron_serve_plan_cache_evictions_total counter\n"
+      "galvatron_serve_plan_cache_evictions_total %lld\n",
+      static_cast<long long>(stats.size),
+      static_cast<long long>(stats.capacity),
+      static_cast<long long>(stats.evictions));
+  return response;
+}
+
+}  // namespace serve
+}  // namespace galvatron

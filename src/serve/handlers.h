@@ -1,0 +1,96 @@
+#ifndef GALVATRON_SERVE_HANDLERS_H_
+#define GALVATRON_SERVE_HANDLERS_H_
+
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "api/galvatron.h"
+#include "serve/http.h"
+#include "serve/metrics.h"
+#include "serve/plan_cache.h"
+
+namespace galvatron {
+namespace serve {
+
+struct PlanServiceOptions {
+  /// Entries in the response-level plan cache (0 disables it).
+  size_t plan_cache_entries = 128;
+  /// Distinct (model, cluster, estimator-options) PlanningContexts kept
+  /// warm. Each holds a SharedCostCache that persists across requests.
+  size_t context_cache_entries = 8;
+  /// Default per-request wall-clock deadline for /v1/plan in milliseconds;
+  /// 0 means unlimited. A request's own "deadline_ms" field overrides it.
+  double default_deadline_ms = 0.0;
+  /// Optional telemetry sink shared with the HttpServer.
+  ServeMetrics* metrics = nullptr;
+};
+
+/// The planning service behind galvatron_serve. Routes:
+///
+///   POST /v1/plan     {"model": "<zoo name>" | {...spec...},
+///                      "cluster": {...spec...},
+///                      "options": {...optimizer knobs...},   (optional)
+///                      "deadline_ms": 250}                    (optional)
+///     -> {"plan": {...}, "estimated": {...}, "search_stats": {...},
+///         "plan_cache_hit": false}
+///
+///   POST /v1/measure  {"model": ..., "cluster": ..., "plan": {...},
+///                      "sim": {...simulator knobs...}}        (optional)
+///     -> {"metrics": {...SimMetrics...}}
+///
+///   GET /healthz      -> {"status": "ok", "version": "..."}
+///   GET /metrics      -> Prometheus text exposition
+///
+/// The search is deterministic, so /v1/plan responses are cacheable: the
+/// request's canonical signature (WriteJson-normalized model/cluster plus
+/// the resolved option values) keys an LRU PlanCache, and a hit replays the
+/// cold run's plan/estimated/search_stats byte-identically with
+/// "plan_cache_hit": true. Distinct option variants of one (model, cluster,
+/// estimator-options) triple share a PlanningContext, i.e. one
+/// SharedCostCache — the cross-request warm path.
+///
+/// Every error is a structured JSON body (MakeJsonErrorResponse) with the
+/// Status-mapped HTTP code; hostile input never crashes the process.
+/// Thread-safe; Handle may run on many workers at once.
+class PlanService {
+ public:
+  explicit PlanService(PlanServiceOptions options = {});
+
+  PlanService(const PlanService&) = delete;
+  PlanService& operator=(const PlanService&) = delete;
+
+  /// The HttpServer::Handler entry point.
+  HttpResponse Handle(const HttpRequest& request);
+
+  PlanCache::Stats plan_cache_stats() const { return plan_cache_.stats(); }
+
+ private:
+  std::shared_ptr<PlanningContext> GetOrCreateContext(
+      const std::string& key, const ModelSpec& model,
+      const ClusterSpec& cluster, const EstimatorOptions& estimator_options);
+
+  HttpResponse HandlePlan(const HttpRequest& request);
+  HttpResponse HandleMeasure(const HttpRequest& request);
+  HttpResponse HandleHealthz() const;
+  HttpResponse HandleMetrics() const;
+
+  PlanServiceOptions options_;
+  PlanCache plan_cache_;
+
+  // Tiny LRU of warm PlanningContexts (front = most recently used).
+  mutable std::mutex contexts_mu_;
+  std::list<std::pair<std::string, std::shared_ptr<PlanningContext>>>
+      contexts_;
+  std::unordered_map<std::string, decltype(contexts_)::iterator>
+      contexts_index_;
+};
+
+}  // namespace serve
+}  // namespace galvatron
+
+#endif  // GALVATRON_SERVE_HANDLERS_H_

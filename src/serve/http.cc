@@ -1,0 +1,368 @@
+#include "serve/http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+
+#include "util/json.h"
+#include "util/string_util.h"
+
+namespace galvatron {
+namespace serve {
+
+namespace {
+
+/// Request line + headers must fit here; a planning request's headers are a
+/// few hundred bytes, so 64 KiB only ever stops hostile input.
+constexpr size_t kMaxHeaderBytes = 64 * 1024;
+
+std::string TrimWhitespace(const std::string& s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(s[begin])) != 0) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(s[end - 1])) != 0) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+std::string ToLower(std::string s) {
+  for (char& c : s) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return s;
+}
+
+/// recv with EINTR retry. Returns bytes read, 0 on EOF, -1 with a Status
+/// classification left to the caller via errno.
+ssize_t RecvSome(int fd, char* buffer, size_t size) {
+  while (true) {
+    const ssize_t n = ::recv(fd, buffer, size, 0);
+    if (n >= 0) return n;
+    if (errno == EINTR) continue;
+    return -1;
+  }
+}
+
+Status ParseHeaderBlock(const std::string& head, HttpRequest* request) {
+  size_t line_start = 0;
+  bool first = true;
+  while (line_start < head.size()) {
+    size_t line_end = head.find("\r\n", line_start);
+    if (line_end == std::string::npos) line_end = head.size();
+    const std::string line = head.substr(line_start, line_end - line_start);
+    line_start = line_end + 2;
+    if (line.empty()) continue;
+    if (first) {
+      first = false;
+      const size_t sp1 = line.find(' ');
+      const size_t sp2 = sp1 == std::string::npos
+                             ? std::string::npos
+                             : line.find(' ', sp1 + 1);
+      if (sp1 == std::string::npos || sp2 == std::string::npos) {
+        return Status::InvalidArgument("malformed HTTP request line");
+      }
+      request->method = line.substr(0, sp1);
+      request->target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+      const std::string version = line.substr(sp2 + 1);
+      if (version.rfind("HTTP/1.", 0) != 0) {
+        return Status::InvalidArgument(
+            StrFormat("unsupported protocol '%s'", version.c_str()));
+      }
+      if (request->method.empty() || request->target.empty() ||
+          request->target[0] != '/') {
+        return Status::InvalidArgument("malformed HTTP request line");
+      }
+      continue;
+    }
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) {
+      return Status::InvalidArgument("malformed HTTP header line");
+    }
+    request->headers[ToLower(line.substr(0, colon))] =
+        TrimWhitespace(line.substr(colon + 1));
+  }
+  if (first) return Status::InvalidArgument("empty HTTP request");
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string_view HttpReasonPhrase(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 408:
+      return "Request Timeout";
+    case 413:
+      return "Payload Too Large";
+    case 422:
+      return "Unprocessable Entity";
+    case 429:
+      return "Too Many Requests";
+    case 500:
+      return "Internal Server Error";
+    case 501:
+      return "Not Implemented";
+    case 503:
+      return "Service Unavailable";
+    case 504:
+      return "Gateway Timeout";
+    default:
+      return "Unknown";
+  }
+}
+
+int HttpStatusFromStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return 200;
+    case StatusCode::kInvalidArgument:
+      return 400;
+    case StatusCode::kNotFound:
+      return 404;
+    case StatusCode::kOutOfMemory:
+      return 413;
+    case StatusCode::kFailedPrecondition:
+    case StatusCode::kInfeasible:
+      return 422;
+    case StatusCode::kUnimplemented:
+      return 501;
+    case StatusCode::kCancelled:
+      return 504;
+    case StatusCode::kInternal:
+      return 500;
+  }
+  return 500;
+}
+
+std::string SerializeHttpResponse(const HttpResponse& response) {
+  std::string out = StrFormat(
+      "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
+      "Connection: close\r\n\r\n",
+      response.status,
+      std::string(HttpReasonPhrase(response.status)).c_str(),
+      response.content_type.c_str(), response.body.size());
+  out += response.body;
+  return out;
+}
+
+HttpResponse MakeJsonErrorResponse(const Status& status, int http_status) {
+  HttpResponse response;
+  response.status = http_status != 0 ? http_status : HttpStatusFromStatus(status);
+  response.body = StrFormat(
+      "{\"error\": {\"code\": \"%s\", \"message\": \"%s\"}}\n",
+      std::string(StatusCodeToString(status.code())).c_str(),
+      JsonEscape(status.message()).c_str());
+  return response;
+}
+
+Result<HttpRequest> ReadHttpRequest(int fd, size_t max_body_bytes) {
+  std::string data;
+  char buffer[8192];
+  size_t header_end = std::string::npos;
+  while (true) {
+    const size_t scan_from = data.size() < 3 ? 0 : data.size() - 3;
+    const ssize_t n = RecvSome(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::Cancelled("timed out reading request");
+      }
+      return Status::Internal(
+          StrFormat("recv failed: %s", std::strerror(errno)));
+    }
+    if (n == 0) {
+      return data.empty()
+                 ? Status::InvalidArgument("empty HTTP request")
+                 : Status::Cancelled("connection closed mid-request");
+    }
+    data.append(buffer, static_cast<size_t>(n));
+    header_end = data.find("\r\n\r\n", scan_from);
+    if (header_end != std::string::npos) break;
+    if (data.size() > kMaxHeaderBytes) {
+      return Status::InvalidArgument("HTTP headers exceed 64 KiB");
+    }
+  }
+
+  HttpRequest request;
+  GALVATRON_RETURN_IF_ERROR(
+      ParseHeaderBlock(data.substr(0, header_end), &request));
+
+  if (request.headers.count("transfer-encoding") != 0) {
+    return Status::Unimplemented(
+        "chunked transfer encoding is not supported; send Content-Length");
+  }
+
+  size_t content_length = 0;
+  auto it = request.headers.find("content-length");
+  if (it != request.headers.end()) {
+    const std::string& text = it->second;
+    if (text.empty() || text.size() > 15) {
+      return Status::InvalidArgument("malformed Content-Length");
+    }
+    for (char c : text) {
+      if (std::isdigit(static_cast<unsigned char>(c)) == 0) {
+        return Status::InvalidArgument("malformed Content-Length");
+      }
+    }
+    content_length = static_cast<size_t>(std::strtoull(
+        text.c_str(), nullptr, 10));
+  }
+  if (content_length > max_body_bytes) {
+    // Reject before reading: a hostile client cannot make the server buffer
+    // an arbitrarily large body.
+    return Status::OutOfMemory(
+        StrFormat("request body of %zu bytes exceeds the %zu-byte limit",
+                  content_length, max_body_bytes));
+  }
+
+  request.body = data.substr(header_end + 4);
+  if (request.body.size() > content_length) {
+    return Status::InvalidArgument("request body longer than Content-Length");
+  }
+  while (request.body.size() < content_length) {
+    const ssize_t n = RecvSome(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::Cancelled("timed out reading request body");
+      }
+      return Status::Internal(
+          StrFormat("recv failed: %s", std::strerror(errno)));
+    }
+    if (n == 0) {
+      return Status::Cancelled("connection closed mid-body");
+    }
+    const size_t want = content_length - request.body.size();
+    if (static_cast<size_t>(n) > want) {
+      return Status::InvalidArgument(
+          "request body longer than Content-Length");
+    }
+    request.body.append(buffer, static_cast<size_t>(n));
+  }
+  return request;
+}
+
+bool WriteFully(int fd, const std::string& data) {
+  size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+Result<HttpResponse> HttpFetch(const std::string& host, int port,
+                               const std::string& method,
+                               const std::string& target,
+                               const std::string& body, int timeout_ms) {
+  const std::string address = host == "localhost" ? "127.0.0.1" : host;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, address.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument(
+        StrFormat("'%s' is not an IPv4 address (DNS is out of scope for "
+                  "this client)",
+                  host.c_str()));
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::Internal(
+        StrFormat("socket failed: %s", std::strerror(errno)));
+  }
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status status = Status::Internal(StrFormat(
+        "connect to %s:%d failed: %s", address.c_str(), port,
+        std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+
+  std::string request = StrFormat(
+      "%s %s HTTP/1.1\r\nHost: %s:%d\r\nContent-Type: application/json\r\n"
+      "Content-Length: %zu\r\nConnection: close\r\n\r\n",
+      method.c_str(), target.c_str(), address.c_str(), port, body.size());
+  request += body;
+  if (!WriteFully(fd, request)) {
+    const Status status = Status::Internal(
+        StrFormat("send failed: %s", std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+
+  std::string data;
+  char buffer[8192];
+  while (true) {
+    const ssize_t n = RecvSome(fd, buffer, sizeof(buffer));
+    if (n < 0) {
+      const Status status =
+          (errno == EAGAIN || errno == EWOULDBLOCK)
+              ? Status::Cancelled("timed out reading response")
+              : Status::Internal(
+                    StrFormat("recv failed: %s", std::strerror(errno)));
+      ::close(fd);
+      return status;
+    }
+    if (n == 0) break;
+    data.append(buffer, static_cast<size_t>(n));
+  }
+  ::close(fd);
+
+  const size_t header_end = data.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    return Status::InvalidArgument("malformed HTTP response");
+  }
+  const size_t line_end = data.find("\r\n");
+  const std::string status_line = data.substr(0, line_end);
+  // "HTTP/1.1 200 OK"
+  const size_t sp1 = status_line.find(' ');
+  if (sp1 == std::string::npos || status_line.rfind("HTTP/1.", 0) != 0) {
+    return Status::InvalidArgument("malformed HTTP status line");
+  }
+  HttpResponse response;
+  response.status = std::atoi(status_line.c_str() + sp1 + 1);
+  if (response.status < 100 || response.status > 599) {
+    return Status::InvalidArgument("malformed HTTP status code");
+  }
+  // Pull Content-Type out of the headers; everything else is ignored.
+  const std::string head = ToLower(data.substr(0, header_end));
+  const size_t ct = head.find("content-type:");
+  if (ct != std::string::npos) {
+    size_t ct_end = head.find("\r\n", ct);
+    if (ct_end == std::string::npos) ct_end = head.size();
+    response.content_type = TrimWhitespace(
+        data.substr(ct + 13, ct_end - ct - 13));
+  }
+  response.body = data.substr(header_end + 4);
+  return response;
+}
+
+}  // namespace serve
+}  // namespace galvatron

@@ -1,0 +1,78 @@
+#ifndef GALVATRON_SERVE_HTTP_H_
+#define GALVATRON_SERVE_HTTP_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+
+namespace galvatron {
+namespace serve {
+
+/// One parsed HTTP/1.1 request. Header names are lower-cased; values are
+/// whitespace-trimmed. The server speaks one request per connection
+/// (responses carry "Connection: close"), which keeps the state machine
+/// trivial and is plenty for a planning service whose unit of work is a
+/// full strategy sweep.
+struct HttpRequest {
+  std::string method;  // "GET", "POST", ...
+  std::string target;  // "/v1/plan"
+  std::map<std::string, std::string> headers;
+  std::string body;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+/// Canonical reason phrase for the handful of status codes the service
+/// emits; "Unknown" otherwise.
+std::string_view HttpReasonPhrase(int status);
+
+/// Maps a library Status to the HTTP status code of a structured error
+/// response: InvalidArgument 400, NotFound 404, OutOfMemory 413 (bodies and
+/// memory budgets both arrive as byte limits), FailedPrecondition and
+/// Infeasible 422, Cancelled 504 (server-side deadline), Unimplemented 501,
+/// everything else 500.
+int HttpStatusFromStatus(const Status& status);
+
+/// Serializes a response with Content-Length and Connection: close.
+std::string SerializeHttpResponse(const HttpResponse& response);
+
+/// Builds the structured JSON error body every non-2xx response carries:
+/// `{"error": {"code": "<StatusCodeName>", "message": "..."}}`. The HTTP
+/// status defaults to HttpStatusFromStatus(status); pass `http_status` to
+/// override (the server maps a read-side Cancelled to 408, not 504).
+HttpResponse MakeJsonErrorResponse(const Status& status, int http_status = 0);
+
+/// Reads and parses one request from a connected socket. The caller is
+/// expected to have set SO_RCVTIMEO; a timeout or mid-request EOF returns
+/// Cancelled (the server answers 408), a Content-Length above
+/// `max_body_bytes` returns OutOfMemory WITHOUT reading the body (the
+/// server answers 413 immediately), Transfer-Encoding returns
+/// Unimplemented, and any malformed framing returns InvalidArgument.
+Result<HttpRequest> ReadHttpRequest(int fd, size_t max_body_bytes);
+
+/// Writes the whole buffer, retrying on partial writes and EINTR. Returns
+/// false on error (peer gone); the caller just closes the connection.
+bool WriteFully(int fd, const std::string& data);
+
+/// Minimal blocking HTTP/1.1 client for the CLI's --server mode, the
+/// integration tests and the throughput bench: connects to `host` (an IPv4
+/// literal or "localhost"), sends one request with Connection: close, and
+/// reads the response until EOF. `timeout_ms` bounds connect/read/write
+/// individually.
+Result<HttpResponse> HttpFetch(const std::string& host, int port,
+                               const std::string& method,
+                               const std::string& target,
+                               const std::string& body,
+                               int timeout_ms = 30000);
+
+}  // namespace serve
+}  // namespace galvatron
+
+#endif  // GALVATRON_SERVE_HTTP_H_

@@ -1,0 +1,196 @@
+#include "serve/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace galvatron {
+namespace serve {
+
+namespace {
+
+void SetSocketTimeouts(int fd, int timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+/// The route label used in metrics: the target without any query string.
+std::string RouteOf(const HttpRequest& request) {
+  const size_t q = request.target.find('?');
+  return q == std::string::npos ? request.target : request.target.substr(0, q);
+}
+
+/// Closes a connection whose request may not have been read to completion
+/// (429 rejections, 413 bodies the server refused to read). A plain close()
+/// with unread bytes in the receive buffer makes the kernel send RST, which
+/// can destroy the already-written response before the client reads it; so:
+/// half-close the write side, drain (bounded) until the peer finishes or
+/// the SO_RCVTIMEO expires, then close.
+void DrainAndClose(int fd) {
+  ::shutdown(fd, SHUT_WR);
+  char buffer[4096];
+  size_t drained = 0;
+  while (drained < (1u << 20)) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    drained += static_cast<size_t>(n);
+  }
+  ::close(fd);
+}
+
+}  // namespace
+
+Result<std::unique_ptr<HttpServer>> HttpServer::Start(HttpServerOptions options,
+                                                      Handler handler) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options.port));
+  if (::inet_pton(AF_INET, options.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    return Status::InvalidArgument(StrFormat(
+        "bind address '%s' is not an IPv4 literal", options.bind_address.c_str()));
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::Internal(
+        StrFormat("socket failed: %s", std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Status status = Status::Internal(
+        StrFormat("bind to %s:%d failed: %s", options.bind_address.c_str(),
+                  options.port, std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 128) != 0) {
+    const Status status =
+        Status::Internal(StrFormat("listen failed: %s", std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) !=
+      0) {
+    const Status status = Status::Internal(
+        StrFormat("getsockname failed: %s", std::strerror(errno)));
+    ::close(fd);
+    return status;
+  }
+  // A receive timeout on the listen socket bounds accept() so the accept
+  // loop can observe the stop flag even if shutdown()'s wakeup were missed.
+  SetSocketTimeouts(fd, 100);
+
+  return std::unique_ptr<HttpServer>(new HttpServer(
+      std::move(options), std::move(handler), fd, ntohs(bound.sin_port)));
+}
+
+HttpServer::HttpServer(HttpServerOptions options, Handler handler,
+                       int listen_fd, int port)
+    : options_(std::move(options)),
+      handler_(std::move(handler)),
+      listen_fd_(listen_fd),
+      port_(port),
+      pool_(std::make_unique<ThreadPool>(options_.num_threads)) {
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+}
+
+HttpServer::~HttpServer() { Shutdown(); }
+
+void HttpServer::Shutdown() {
+  if (shut_down_.exchange(true)) return;
+  stopping_.store(true);
+  // Wake a blocked accept() immediately instead of waiting out its timeout.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  pool_->Wait();  // drain every admitted request before the socket goes away
+  ::close(listen_fd_);
+}
+
+void HttpServer::AcceptLoop() {
+  while (!stopping_.load()) {
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR ||
+          errno == ECONNABORTED) {
+        continue;
+      }
+      // EINVAL/EBADF after shutdown(); anything else also ends the loop —
+      // the listen socket is gone, there is nothing to accept from.
+      break;
+    }
+    SetSocketTimeouts(fd, options_.io_timeout_ms);
+
+    const int admitted = in_flight_.fetch_add(1) + 1;
+    if (admitted > options_.max_in_flight) {
+      in_flight_.fetch_sub(1);
+      // Reject on the accept thread: the canned response costs microseconds
+      // and keeps workers free for admitted sweeps.
+      const HttpResponse response = MakeJsonErrorResponse(
+          Status(StatusCode::kFailedPrecondition,
+                 StrFormat("server is at its %d-request limit; retry later",
+                           options_.max_in_flight)),
+          429);
+      WriteFully(fd, SerializeHttpResponse(response));
+      // Re-bound the drain tightly: this runs on the accept thread, and a
+      // slow-loris rejected client must not stall admission for io_timeout.
+      SetSocketTimeouts(fd, 100);
+      DrainAndClose(fd);
+      if (options_.metrics != nullptr) options_.metrics->RecordRejected();
+      continue;
+    }
+    if (options_.metrics != nullptr) options_.metrics->IncInFlight();
+    pool_->Submit([this, fd] {
+      HandleConnection(fd);
+      if (options_.metrics != nullptr) options_.metrics->DecInFlight();
+      in_flight_.fetch_sub(1);
+    });
+  }
+}
+
+void HttpServer::HandleConnection(int fd) {
+  const auto start = std::chrono::steady_clock::now();
+  Result<HttpRequest> request = ReadHttpRequest(fd, options_.max_body_bytes);
+  HttpResponse response;
+  std::string route = "(unparsed)";
+  if (request.ok()) {
+    route = RouteOf(*request);
+    response = handler_(*request);
+  } else {
+    // A read-side Cancelled is the client stalling or hanging up, which is
+    // 408 Request Timeout, not the handler-side 504 deadline.
+    const int http_status = request.status().IsCancelled()
+                                ? 408
+                                : HttpStatusFromStatus(request.status());
+    response = MakeJsonErrorResponse(request.status(), http_status);
+  }
+  WriteFully(fd, SerializeHttpResponse(response));
+  if (request.ok()) {
+    ::close(fd);
+  } else {
+    DrainAndClose(fd);  // the request may have unread bytes; avoid an RST
+  }
+  if (options_.metrics != nullptr) {
+    const double latency =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    options_.metrics->RecordRequest(route, response.status, latency);
+  }
+}
+
+}  // namespace serve
+}  // namespace galvatron

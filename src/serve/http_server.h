@@ -1,0 +1,90 @@
+#ifndef GALVATRON_SERVE_HTTP_SERVER_H_
+#define GALVATRON_SERVE_HTTP_SERVER_H_
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "serve/http.h"
+#include "serve/metrics.h"
+#include "util/result.h"
+#include "util/thread_pool.h"
+
+namespace galvatron {
+namespace serve {
+
+struct HttpServerOptions {
+  std::string bind_address = "127.0.0.1";
+  /// 0 asks the kernel for an ephemeral port; port() reports the actual one.
+  int port = 0;
+  /// Worker threads handling requests. The accept thread is extra.
+  int num_threads = 4;
+  /// Admission control: connections beyond this many queued-or-executing
+  /// requests are answered with a canned 429 from the accept thread and
+  /// closed, so a burst cannot queue unbounded strategy sweeps.
+  int max_in_flight = 64;
+  /// Content-Length ceiling; larger bodies are rejected with 413 before the
+  /// body is read.
+  size_t max_body_bytes = 8 * 1024 * 1024;
+  /// Socket read/write timeout per connection. A client that stalls
+  /// mid-request gets 408 instead of pinning a worker forever.
+  int io_timeout_ms = 5000;
+  /// Optional sink for request/rejection/in-flight telemetry.
+  ServeMetrics* metrics = nullptr;
+};
+
+/// A minimal blocking HTTP/1.1 server: one accept thread feeding a fixed
+/// ThreadPool, one request per connection. Request framing errors are
+/// answered with structured JSON 4xx bodies here; everything that parses is
+/// passed to the handler. Shutdown() (also run by the destructor) stops
+/// accepting and drains in-flight requests before returning, which is what
+/// makes SIGTERM graceful in the daemon.
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  /// Binds, listens and starts the accept thread. Fails with
+  /// InvalidArgument/Internal if the address cannot be bound.
+  static Result<std::unique_ptr<HttpServer>> Start(HttpServerOptions options,
+                                                   Handler handler);
+
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// The bound port (resolves option port 0 to the kernel's choice).
+  int port() const { return port_; }
+
+  /// Stops accepting, waits for every in-flight request to finish, then
+  /// closes the listen socket. Idempotent and safe to call from a signal
+  /// drain path (it only uses regular synchronization, no allocation-free
+  /// guarantee is needed because it runs on the main thread, not in the
+  /// handler itself).
+  void Shutdown();
+
+ private:
+  HttpServer(HttpServerOptions options, Handler handler, int listen_fd,
+             int port);
+
+  void AcceptLoop();
+  void HandleConnection(int fd);
+
+  HttpServerOptions options_;
+  Handler handler_;
+  int listen_fd_;
+  int port_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> shut_down_{false};
+  std::atomic<int> in_flight_{0};
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread accept_thread_;
+};
+
+}  // namespace serve
+}  // namespace galvatron
+
+#endif  // GALVATRON_SERVE_HTTP_SERVER_H_

@@ -1,0 +1,75 @@
+#ifndef GALVATRON_SERVE_METRICS_H_
+#define GALVATRON_SERVE_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace galvatron {
+namespace serve {
+
+/// Process-lifetime serving telemetry, rendered in the Prometheus text
+/// exposition format by GET /metrics. Thread-safe: counters are updated
+/// from the accept thread and every worker.
+class ServeMetrics {
+ public:
+  ServeMetrics() = default;
+  ServeMetrics(const ServeMetrics&) = delete;
+  ServeMetrics& operator=(const ServeMetrics&) = delete;
+
+  /// One completed request on `endpoint` (the route, not the raw target)
+  /// answered with `http_status` after `latency_seconds` of handling.
+  void RecordRequest(const std::string& endpoint, int http_status,
+                     double latency_seconds);
+
+  /// One connection dropped by admission control (429 before handling).
+  void RecordRejected() { rejected_.fetch_add(1, std::memory_order_relaxed); }
+
+  /// Plan-cache lookup outcome of one /v1/plan request.
+  void RecordPlanCache(bool hit);
+
+  /// Adds one request's cost-cache lookup deltas (SearchStats'
+  /// cost_cache_hits/misses). Deltas, not lifetime counters, so the totals
+  /// aggregate correctly across many PlanningContexts, each with its own
+  /// cache.
+  void RecordCostCache(int64_t delta_hits, int64_t delta_misses);
+
+  void IncInFlight() { in_flight_.fetch_add(1, std::memory_order_relaxed); }
+  void DecInFlight() { in_flight_.fetch_sub(1, std::memory_order_relaxed); }
+
+  int64_t plan_cache_hits() const;
+  int64_t rejected() const {
+    return rejected_.load(std::memory_order_relaxed);
+  }
+
+  /// Prometheus text exposition (version 0.0.4) of every metric:
+  /// request counts by endpoint/status, latency histograms per endpoint,
+  /// plan-cache and cost-cache hit/miss counters, in-flight gauge and the
+  /// admission-rejected counter.
+  std::string Render() const;
+
+ private:
+  struct Histogram {
+    std::vector<int64_t> buckets;  // cumulative counts, one per bound + +Inf
+    double sum = 0.0;
+    int64_t count = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::pair<std::string, int>, int64_t> requests_;  // (endpoint, status)
+  std::map<std::string, Histogram> latency_;                 // endpoint
+  int64_t plan_cache_hits_ = 0;
+  int64_t plan_cache_misses_ = 0;
+  int64_t cost_cache_hits_ = 0;
+  int64_t cost_cache_misses_ = 0;
+  std::atomic<int64_t> in_flight_{0};
+  std::atomic<int64_t> rejected_{0};
+};
+
+}  // namespace serve
+}  // namespace galvatron
+
+#endif  // GALVATRON_SERVE_METRICS_H_

@@ -1,0 +1,60 @@
+#ifndef GALVATRON_SERVE_PLAN_CACHE_H_
+#define GALVATRON_SERVE_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace galvatron {
+namespace serve {
+
+/// Thread-safe LRU cache from a canonical request signature to the
+/// serialized plan-response fragment it produced. The search is
+/// deterministic for a fixed (model, cluster, options) triple, so a cached
+/// response is byte-identical to what a fresh search would serialize — the
+/// cache trades memory for the full sweep latency.
+class PlanCache {
+ public:
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t evictions = 0;
+    size_t size = 0;
+    size_t capacity = 0;
+  };
+
+  /// `capacity` == 0 disables caching (every Get misses, Put is a no-op).
+  explicit PlanCache(size_t capacity) : capacity_(capacity) {}
+
+  PlanCache(const PlanCache&) = delete;
+  PlanCache& operator=(const PlanCache&) = delete;
+
+  /// Looks up `key`; on hit copies the value into `*value`, refreshes
+  /// recency and returns true.
+  bool Get(const std::string& key, std::string* value);
+
+  /// Inserts or refreshes `key`, evicting the least-recently-used entry
+  /// beyond capacity.
+  void Put(const std::string& key, std::string value);
+
+  Stats stats() const;
+
+ private:
+  using Entry = std::pair<std::string, std::string>;  // key, value
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  int64_t evictions_ = 0;
+};
+
+}  // namespace serve
+}  // namespace galvatron
+
+#endif  // GALVATRON_SERVE_PLAN_CACHE_H_

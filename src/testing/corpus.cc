@@ -72,6 +72,12 @@ const std::vector<CorpusEntry>& SeedCorpus() {
           {FuzzCheck::kSearchEquivalence, 0x22ULL, "pinning seed"},
           {FuzzCheck::kMemoryModel, 0x31ULL, "pinning seed"},
           {FuzzCheck::kJsonRoundTrip, 0x41ULL, "pinning seed"},
+          // Spec round-trip pins: hostile model names through the spec
+          // serializers plus heterogeneous-memory clusters, whose budget
+          // runs exercise the WithDeviceMemoryRange rebuild on parse.
+          {FuzzCheck::kSpecJsonRoundTrip, 0x51ULL, "pinning seed"},
+          {FuzzCheck::kSpecJsonRoundTrip, 0x52ULL, "pinning seed"},
+          {FuzzCheck::kSpecJsonRoundTrip, 0x53ULL, "pinning seed"},
       };
   return *kCorpus;
 }

@@ -454,6 +454,128 @@ std::optional<CheckFailure> CheckJsonRoundTrip(uint64_t seed,
   return std::nullopt;
 }
 
+/// Check (e): the spec serializers behind the serving wire format are an
+/// exact bijection on generator output — hostile names included. Model and
+/// cluster specs must re-parse field-identically (the LayerSpec constructor
+/// re-derives every aggregate, so derived quantities are compared too) and
+/// re-serialize bit-exactly.
+std::optional<CheckFailure> CheckSpecJsonRoundTrip(uint64_t seed,
+                                                   const CheckOptions& options) {
+  const FuzzCheck kCheck = FuzzCheck::kSpecJsonRoundTrip;
+  Rng rng(seed);
+  const ModelSpec model = GenerateModel(&rng, options.generator);
+  const ClusterSpec cluster = GenerateCluster(&rng, options.generator);
+
+  const std::string model_json = ModelSpecToJson(model);
+  Result<ModelSpec> model_or = ParseModelSpecJson(model_json);
+  if (!model_or.ok()) {
+    return MakeFailure(kCheck, seed,
+                       StrFormat("serialized model does not re-parse: %s",
+                                 model_or.status().ToString().c_str()));
+  }
+  const ModelSpec& parsed_model = *model_or;
+  if (parsed_model.name() != model.name()) {
+    return MakeFailure(kCheck, seed, "model round-trip changed the name");
+  }
+  if (parsed_model.num_layers() != model.num_layers()) {
+    return MakeFailure(kCheck, seed,
+                       "model round-trip changed the layer count");
+  }
+  if (parsed_model.TotalParams() != model.TotalParams()) {
+    return MakeFailure(
+        kCheck, seed,
+        StrFormat("model round-trip changed TotalParams: %lld vs %lld",
+                  static_cast<long long>(model.TotalParams()),
+                  static_cast<long long>(parsed_model.TotalParams())));
+  }
+  for (int l = 0; l < model.num_layers(); ++l) {
+    const LayerSpec& a = model.layer(l);
+    const LayerSpec& b = parsed_model.layer(l);
+    if (a.name() != b.name() || a.kind() != b.kind() ||
+        a.input_bytes() != b.input_bytes() ||
+        a.output_bytes() != b.output_bytes() ||
+        a.ops().size() != b.ops().size()) {
+      return MakeFailure(
+          kCheck, seed,
+          StrFormat("model round-trip changed layer %d primaries", l));
+    }
+    for (size_t o = 0; o < a.ops().size(); ++o) {
+      const OpSpec& x = a.ops()[o];
+      const OpSpec& y = b.ops()[o];
+      if (x.name != y.name || x.kind != y.kind ||
+          x.tp_pattern != y.tp_pattern || x.param_count != y.param_count ||
+          x.fwd_flops != y.fwd_flops ||
+          x.saved_activation_bytes != y.saved_activation_bytes ||
+          x.output_bytes != y.output_bytes ||
+          x.input_bytes != y.input_bytes ||
+          x.tp_shards_saved_activation != y.tp_shards_saved_activation) {
+        return MakeFailure(
+            kCheck, seed,
+            StrFormat("model round-trip changed layer %d op %d", l,
+                      static_cast<int>(o)));
+      }
+    }
+  }
+  if (ModelSpecToJson(parsed_model) != model_json) {
+    return MakeFailure(
+        kCheck, seed,
+        "ModelSpecToJson(ParseModelSpecJson(json)) is not bit-exact");
+  }
+
+  const std::string cluster_json = ClusterSpecToJson(cluster);
+  Result<ClusterSpec> cluster_or = ParseClusterSpecJson(cluster_json);
+  if (!cluster_or.ok()) {
+    return MakeFailure(kCheck, seed,
+                       StrFormat("serialized cluster does not re-parse: %s",
+                                 cluster_or.status().ToString().c_str()));
+  }
+  const ClusterSpec& parsed_cluster = *cluster_or;
+  if (parsed_cluster.name() != cluster.name() ||
+      parsed_cluster.num_devices() != cluster.num_devices() ||
+      parsed_cluster.sustained_flops() != cluster.sustained_flops() ||
+      parsed_cluster.kernel_launch_overhead_sec() !=
+          cluster.kernel_launch_overhead_sec() ||
+      parsed_cluster.small_batch_half_life() !=
+          cluster.small_batch_half_life() ||
+      parsed_cluster.pipeline_rpc_overhead_sec() !=
+          cluster.pipeline_rpc_overhead_sec()) {
+    return MakeFailure(kCheck, seed,
+                       "cluster round-trip changed a scalar field");
+  }
+  for (int d = 0; d < cluster.num_devices(); ++d) {
+    if (parsed_cluster.device(d).memory_bytes !=
+        cluster.device(d).memory_bytes) {
+      return MakeFailure(
+          kCheck, seed,
+          StrFormat("cluster round-trip changed device %d's budget "
+                    "(heterogeneous-memory path)",
+                    d));
+    }
+  }
+  if (parsed_cluster.levels().size() != cluster.levels().size()) {
+    return MakeFailure(kCheck, seed,
+                       "cluster round-trip changed the level count");
+  }
+  for (size_t i = 0; i < cluster.levels().size(); ++i) {
+    const TopologyLevel& a = cluster.levels()[i];
+    const TopologyLevel& b = parsed_cluster.levels()[i];
+    if (a.span != b.span || a.link.cls != b.link.cls ||
+        a.link.bandwidth_bytes_per_sec != b.link.bandwidth_bytes_per_sec ||
+        a.link.latency_sec != b.link.latency_sec) {
+      return MakeFailure(
+          kCheck, seed,
+          StrFormat("cluster round-trip changed level %d",
+                    static_cast<int>(i)));
+    }
+  }
+  if (ClusterSpecToJson(parsed_cluster) != cluster_json) {
+    return MakeFailure(
+        kCheck, seed,
+        "ClusterSpecToJson(ParseClusterSpecJson(json)) is not bit-exact");
+  }
+  return std::nullopt;
+}
+
 }  // namespace
 
 std::string_view FuzzCheckToString(FuzzCheck check) {
@@ -466,6 +588,8 @@ std::string_view FuzzCheckToString(FuzzCheck check) {
       return "memory-model";
     case FuzzCheck::kJsonRoundTrip:
       return "json-roundtrip";
+    case FuzzCheck::kSpecJsonRoundTrip:
+      return "spec-json-roundtrip";
   }
   return "unknown";
 }
@@ -475,9 +599,11 @@ Result<FuzzCheck> FuzzCheckFromString(const std::string& text) {
   if (text == "search-equivalence") return FuzzCheck::kSearchEquivalence;
   if (text == "memory-model") return FuzzCheck::kMemoryModel;
   if (text == "json-roundtrip") return FuzzCheck::kJsonRoundTrip;
+  if (text == "spec-json-roundtrip") return FuzzCheck::kSpecJsonRoundTrip;
   return Status::InvalidArgument(
       StrFormat("unknown check '%s' (expected plan-validity, "
-                "search-equivalence, memory-model or json-roundtrip)",
+                "search-equivalence, memory-model, json-roundtrip or "
+                "spec-json-roundtrip)",
                 text.c_str()));
 }
 
@@ -501,6 +627,8 @@ std::optional<CheckFailure> RunCheck(FuzzCheck check, uint64_t seed,
       return CheckMemoryModel(seed, options);
     case FuzzCheck::kJsonRoundTrip:
       return CheckJsonRoundTrip(seed, options);
+    case FuzzCheck::kSpecJsonRoundTrip:
+      return CheckSpecJsonRoundTrip(seed, options);
   }
   return MakeFailure(check, seed, "unknown check");
 }
@@ -508,7 +636,8 @@ std::optional<CheckFailure> RunCheck(FuzzCheck check, uint64_t seed,
 FuzzReport RunFuzz(const FuzzOptions& options) {
   static const FuzzCheck kAll[] = {
       FuzzCheck::kPlanValidity, FuzzCheck::kSearchEquivalence,
-      FuzzCheck::kMemoryModel, FuzzCheck::kJsonRoundTrip};
+      FuzzCheck::kMemoryModel, FuzzCheck::kJsonRoundTrip,
+      FuzzCheck::kSpecJsonRoundTrip};
   std::vector<FuzzCheck> checks = options.checks;
   if (checks.empty()) checks.assign(kAll, kAll + kNumFuzzChecks);
 

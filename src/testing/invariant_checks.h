@@ -12,7 +12,7 @@
 
 namespace galvatron {
 
-/// The four differential checks (see docs/fuzzing.md):
+/// The five differential checks (see docs/fuzzing.md):
 ///   kPlanValidity      — generated plans Validate, render, and their
 ///                        strategies parse back (generator + plan layer).
 ///   kSearchEquivalence — DP search == brute force on small instances:
@@ -23,14 +23,19 @@ namespace galvatron {
 ///                        whenever the peaks sit clear of the budget line.
 ///   kJsonRoundTrip     — PlanToJson -> ParsePlanJson -> PlanToJson is
 ///                        bit-exact and field-exact, hostile names included.
+///   kSpecJsonRoundTrip — ModelSpecToJson / ClusterSpecToJson ->
+///                        Parse*SpecJson -> *ToJson is bit-exact and
+///                        field-exact over the hostile generators; the
+///                        serving wire format rides on these serializers.
 enum class FuzzCheck {
   kPlanValidity,
   kSearchEquivalence,
   kMemoryModel,
   kJsonRoundTrip,
+  kSpecJsonRoundTrip,
 };
 
-inline constexpr int kNumFuzzChecks = 4;
+inline constexpr int kNumFuzzChecks = 5;
 
 std::string_view FuzzCheckToString(FuzzCheck check);
 Result<FuzzCheck> FuzzCheckFromString(const std::string& text);
@@ -75,7 +80,7 @@ std::optional<CheckFailure> RunCheck(FuzzCheck check, uint64_t seed,
 struct FuzzOptions {
   uint64_t seed = 1;
   int iterations = 100;
-  /// Empty = all four checks.
+  /// Empty = all five checks.
   std::vector<FuzzCheck> checks;
   /// Stop collecting per check after this many failures (the campaign
   /// still finishes the other checks).

@@ -1,0 +1,527 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace galvatron {
+
+namespace {
+
+/// Nesting guard: hostile input like "[[[[..." would otherwise recurse once
+/// per byte. 64 levels is an order of magnitude beyond any schema here.
+constexpr int kMaxJsonDepth = 64;
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    GALVATRON_ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument("trailing characters after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  Status Expect(char c) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      return Status::InvalidArgument(
+          StrFormat("expected '%c' at offset %zu", c, pos_));
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  bool Peek(char c) {
+    SkipSpace();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  Result<JsonValue> ParseValue() {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return Status::InvalidArgument("unexpected end of JSON");
+    }
+    if (depth_ >= kMaxJsonDepth) {
+      return Status::InvalidArgument(
+          StrFormat("JSON nested deeper than %d levels", kMaxJsonDepth));
+    }
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject();
+    if (c == '[') return ParseArray();
+    if (c == '"') return ParseString();
+    if (c == 't' || c == 'f') return ParseBool();
+    if (c == 'n') return ParseNull();
+    return ParseNumber();
+  }
+
+  Result<JsonValue> ParseObject() {
+    GALVATRON_RETURN_IF_ERROR(Expect('{'));
+    ++depth_;
+    JsonValue value;
+    value.kind = JsonValue::Kind::kObject;
+    if (Peek('}')) {
+      ++pos_;
+      --depth_;
+      return value;
+    }
+    while (true) {
+      GALVATRON_ASSIGN_OR_RETURN(JsonValue key, ParseString());
+      GALVATRON_RETURN_IF_ERROR(Expect(':'));
+      GALVATRON_ASSIGN_OR_RETURN(JsonValue member, ParseValue());
+      // Duplicate keys are almost always a hand-editing mistake; silently
+      // keeping one of the two values would misread the document.
+      if (!value.object.emplace(key.string, std::move(member)).second) {
+        return Status::InvalidArgument(
+            StrFormat("duplicate key '%s' in object", key.string.c_str()));
+      }
+      if (Peek(',')) {
+        ++pos_;
+        continue;
+      }
+      GALVATRON_RETURN_IF_ERROR(Expect('}'));
+      --depth_;
+      return value;
+    }
+  }
+
+  Result<JsonValue> ParseArray() {
+    GALVATRON_RETURN_IF_ERROR(Expect('['));
+    ++depth_;
+    JsonValue value;
+    value.kind = JsonValue::Kind::kArray;
+    if (Peek(']')) {
+      ++pos_;
+      --depth_;
+      return value;
+    }
+    while (true) {
+      GALVATRON_ASSIGN_OR_RETURN(JsonValue element, ParseValue());
+      value.array.push_back(std::move(element));
+      if (Peek(',')) {
+        ++pos_;
+        continue;
+      }
+      GALVATRON_RETURN_IF_ERROR(Expect(']'));
+      --depth_;
+      return value;
+    }
+  }
+
+  Result<JsonValue> ParseString() {
+    GALVATRON_RETURN_IF_ERROR(Expect('"'));
+    JsonValue value;
+    value.kind = JsonValue::Kind::kString;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (static_cast<unsigned char>(c) < 0x20) {
+        // Raw control characters are invalid inside JSON strings; they must
+        // arrive escaped (JsonEscape emits them that way).
+        return Status::InvalidArgument(StrFormat(
+            "unescaped control character 0x%02x in string at offset %zu",
+            static_cast<unsigned char>(c), pos_ - 1));
+      }
+      if (c == '\\') {
+        if (pos_ >= text_.size()) {
+          return Status::InvalidArgument("dangling escape in string");
+        }
+        const char escaped = text_[pos_++];
+        switch (escaped) {
+          case '"':
+          case '\\':
+          case '/':
+            c = escaped;
+            break;
+          case 'n':
+            c = '\n';
+            break;
+          case 't':
+            c = '\t';
+            break;
+          case 'r':
+            c = '\r';
+            break;
+          case 'b':
+            c = '\b';
+            break;
+          case 'f':
+            c = '\f';
+            break;
+          case 'u': {
+            GALVATRON_ASSIGN_OR_RETURN(unsigned code, ParseHex4());
+            if (code >= 0xd800 && code <= 0xdfff) {
+              return Status::InvalidArgument(
+                  "surrogate \\u escapes are not supported");
+            }
+            AppendUtf8(code, &value.string);
+            continue;
+          }
+          default:
+            return Status::InvalidArgument(
+                StrFormat("unsupported escape '\\%c'", escaped));
+        }
+      }
+      value.string += c;
+    }
+    GALVATRON_RETURN_IF_ERROR(Expect('"'));
+    return value;
+  }
+
+  Result<unsigned> ParseHex4() {
+    if (pos_ + 4 > text_.size()) {
+      return Status::InvalidArgument("truncated \\u escape");
+    }
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') {
+        code |= static_cast<unsigned>(h - '0');
+      } else if (h >= 'a' && h <= 'f') {
+        code |= static_cast<unsigned>(h - 'a' + 10);
+      } else if (h >= 'A' && h <= 'F') {
+        code |= static_cast<unsigned>(h - 'A' + 10);
+      } else {
+        return Status::InvalidArgument(
+            StrFormat("bad hex digit '%c' in \\u escape", h));
+      }
+    }
+    return code;
+  }
+
+  static void AppendUtf8(unsigned code, std::string* out) {
+    if (code < 0x80) {
+      *out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      *out += static_cast<char>(0xc0 | (code >> 6));
+      *out += static_cast<char>(0x80 | (code & 0x3f));
+    } else {
+      *out += static_cast<char>(0xe0 | (code >> 12));
+      *out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+      *out += static_cast<char>(0x80 | (code & 0x3f));
+    }
+  }
+
+  Result<JsonValue> ParseBool() {
+    JsonValue value;
+    value.kind = JsonValue::Kind::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      value.boolean = true;
+      pos_ += 4;
+      return value;
+    }
+    if (text_.compare(pos_, 5, "false") == 0) {
+      value.boolean = false;
+      pos_ += 5;
+      return value;
+    }
+    return Status::InvalidArgument("bad literal");
+  }
+
+  Result<JsonValue> ParseNull() {
+    if (text_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      return JsonValue{};
+    }
+    return Status::InvalidArgument("bad literal");
+  }
+
+  Result<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::InvalidArgument(
+          StrFormat("unexpected character at offset %zu", start));
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    if (token[0] == '+') {
+      return Status::InvalidArgument(
+          StrFormat("number may not start with '+' at offset %zu", start));
+    }
+    // JSON forbids leading zeros ("08"); strtod would accept them.
+    const size_t first_digit = token[0] == '-' ? 1 : 0;
+    if (token.size() > first_digit + 1 && token[first_digit] == '0' &&
+        std::isdigit(static_cast<unsigned char>(token[first_digit + 1])) !=
+            0) {
+      return Status::InvalidArgument(
+          StrFormat("number with leading zero at offset %zu", start));
+    }
+    // strtod with end-pointer validation: atof silently parses malformed
+    // numbers ("1e", "1.2.3", "--5") as 0 or a prefix.
+    errno = 0;
+    char* end = nullptr;
+    const double parsed = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      return Status::InvalidArgument(
+          StrFormat("malformed number '%s' at offset %zu", token.c_str(),
+                    start));
+    }
+    if (errno == ERANGE && !std::isfinite(parsed)) {
+      return Status::InvalidArgument(
+          StrFormat("number '%s' out of range", token.c_str()));
+    }
+    JsonValue value;
+    value.kind = JsonValue::Kind::kNumber;
+    value.number = parsed;
+    value.number_token = token;
+    return value;
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+/// True if `token` is a pure integer literal (optional minus, digits only),
+/// i.e. safe for strtoll without fractional/exponent handling.
+bool IsIntegerToken(const std::string& token) {
+  if (token.empty()) return false;
+  size_t i = token[0] == '-' ? 1 : 0;
+  if (i == token.size()) return false;
+  for (; i < token.size(); ++i) {
+    if (std::isdigit(static_cast<unsigned char>(token[i])) == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<JsonValue> ParseJson(const std::string& text) {
+  JsonParser parser(text);
+  return parser.Parse();
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      default:
+        // Remaining control characters (< 0x20) are invalid raw inside JSON
+        // strings; a model name containing one used to produce output the
+        // parser could not re-read.
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          out += StrFormat("\\u%04x", static_cast<unsigned char>(ch));
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "0";
+  return StrFormat("%.17g", value);
+}
+
+namespace {
+
+void WriteJsonTo(const JsonValue& value, std::string* out) {
+  switch (value.kind) {
+    case JsonValue::Kind::kObject: {
+      *out += '{';
+      bool first = true;
+      for (const auto& [key, member] : value.object) {
+        if (!first) *out += ',';
+        first = false;
+        *out += '"';
+        *out += JsonEscape(key);
+        *out += "\":";
+        WriteJsonTo(member, out);
+      }
+      *out += '}';
+      return;
+    }
+    case JsonValue::Kind::kArray: {
+      *out += '[';
+      for (size_t i = 0; i < value.array.size(); ++i) {
+        if (i > 0) *out += ',';
+        WriteJsonTo(value.array[i], out);
+      }
+      *out += ']';
+      return;
+    }
+    case JsonValue::Kind::kString:
+      *out += '"';
+      *out += JsonEscape(value.string);
+      *out += '"';
+      return;
+    case JsonValue::Kind::kNumber:
+      *out += value.number_token.empty() ? JsonNumber(value.number)
+                                         : value.number_token;
+      return;
+    case JsonValue::Kind::kBool:
+      *out += value.boolean ? "true" : "false";
+      return;
+    case JsonValue::Kind::kNull:
+      *out += "null";
+      return;
+  }
+}
+
+}  // namespace
+
+std::string WriteJson(const JsonValue& value) {
+  std::string out;
+  WriteJsonTo(value, &out);
+  return out;
+}
+
+const JsonValue* FindMember(const JsonValue& object, const std::string& key) {
+  if (object.kind != JsonValue::Kind::kObject) return nullptr;
+  auto it = object.object.find(key);
+  return it == object.object.end() ? nullptr : &it->second;
+}
+
+Result<const JsonValue*> GetMember(const JsonValue& object,
+                                   const std::string& key,
+                                   JsonValue::Kind kind) {
+  auto it = object.object.find(key);
+  if (it == object.object.end()) {
+    return Status::InvalidArgument(
+        StrFormat("missing field '%s'", key.c_str()));
+  }
+  if (it->second.kind != kind) {
+    return Status::InvalidArgument(
+        StrFormat("field '%s' has wrong type", key.c_str()));
+  }
+  return &it->second;
+}
+
+Result<int> GetInt(const JsonValue& object, const std::string& key,
+                   int min_value) {
+  GALVATRON_ASSIGN_OR_RETURN(const JsonValue* value,
+                             GetMember(object, key, JsonValue::Kind::kNumber));
+  const double d = value->number;
+  if (!std::isfinite(d) || d != std::trunc(d)) {
+    return Status::InvalidArgument(
+        StrFormat("field '%s' must be an integer", key.c_str()));
+  }
+  if (d < static_cast<double>(std::numeric_limits<int>::min()) ||
+      d > static_cast<double>(std::numeric_limits<int>::max())) {
+    return Status::InvalidArgument(
+        StrFormat("field '%s' is outside int range", key.c_str()));
+  }
+  const int v = static_cast<int>(d);
+  if (v < min_value) {
+    return Status::InvalidArgument(StrFormat(
+        "field '%s' must be >= %d, got %d", key.c_str(), min_value, v));
+  }
+  return v;
+}
+
+Result<int64_t> JsonToInt64(const JsonValue& value, const std::string& what,
+                            int64_t min_value) {
+  if (value.kind != JsonValue::Kind::kNumber) {
+    return Status::InvalidArgument(
+        StrFormat("%s has wrong type", what.c_str()));
+  }
+  int64_t v = 0;
+  if (IsIntegerToken(value.number_token)) {
+    // Through strtoll, not the double: tokens above 2^53 ("9007199254740993")
+    // are not representable in a double and would round silently.
+    errno = 0;
+    char* end = nullptr;
+    v = std::strtoll(value.number_token.c_str(), &end, 10);
+    if (errno == ERANGE) {
+      return Status::InvalidArgument(
+          StrFormat("%s is outside int64 range", what.c_str()));
+    }
+  } else {
+    const double d = value.number;
+    if (!std::isfinite(d) || d != std::trunc(d)) {
+      return Status::InvalidArgument(
+          StrFormat("%s must be an integer", what.c_str()));
+    }
+    // 2^63 is exactly representable as a double; anything at or above it
+    // (or below the symmetric bound) does not fit int64.
+    if (d < -9223372036854775808.0 || d >= 9223372036854775808.0) {
+      return Status::InvalidArgument(
+          StrFormat("%s is outside int64 range", what.c_str()));
+    }
+    v = static_cast<int64_t>(d);
+  }
+  if (v < min_value) {
+    return Status::InvalidArgument(
+        StrFormat("%s must be >= %lld, got %lld", what.c_str(),
+                  static_cast<long long>(min_value),
+                  static_cast<long long>(v)));
+  }
+  return v;
+}
+
+Result<int64_t> GetInt64(const JsonValue& object, const std::string& key,
+                         int64_t min_value) {
+  GALVATRON_ASSIGN_OR_RETURN(const JsonValue* value,
+                             GetMember(object, key, JsonValue::Kind::kNumber));
+  return JsonToInt64(*value, StrFormat("field '%s'", key.c_str()), min_value);
+}
+
+Result<double> GetDouble(const JsonValue& object, const std::string& key) {
+  GALVATRON_ASSIGN_OR_RETURN(const JsonValue* value,
+                             GetMember(object, key, JsonValue::Kind::kNumber));
+  if (!std::isfinite(value->number)) {
+    return Status::InvalidArgument(
+        StrFormat("field '%s' must be finite", key.c_str()));
+  }
+  return value->number;
+}
+
+Result<bool> GetBool(const JsonValue& object, const std::string& key) {
+  GALVATRON_ASSIGN_OR_RETURN(const JsonValue* value,
+                             GetMember(object, key, JsonValue::Kind::kBool));
+  return value->boolean;
+}
+
+Result<std::string> GetString(const JsonValue& object,
+                              const std::string& key) {
+  GALVATRON_ASSIGN_OR_RETURN(const JsonValue* value,
+                             GetMember(object, key, JsonValue::Kind::kString));
+  return value->string;
+}
+
+}  // namespace galvatron

@@ -1,0 +1,95 @@
+#ifndef GALVATRON_UTIL_JSON_H_
+#define GALVATRON_UTIL_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace galvatron {
+
+/// Minimal JSON document model shared by the plan/spec (de)serializers in
+/// src/api/plan_io.* and the wire handlers in src/serve/. No third-party
+/// dependency; the parser is the hardened recursive-descent one that grew
+/// inside plan_io.cc (duplicate-key rejection, strtod end-pointer number
+/// validation, control-character and surrogate rejection), hoisted here so
+/// every consumer gets the same strictness.
+struct JsonValue {
+  enum class Kind { kObject, kArray, kString, kNumber, kBool, kNull };
+  Kind kind = Kind::kNull;
+  std::map<std::string, JsonValue> object;
+  std::vector<JsonValue> array;
+  std::string string;
+  double number = 0;
+  /// The verbatim number token from the input ("9007199254740993"), kept
+  /// alongside the double: int64 quantities above 2^53 would silently lose
+  /// precision through the double, so GetInt64 re-parses the token with
+  /// strtoll and WriteJson echoes it back bit-exactly.
+  std::string number_token;
+  bool boolean = false;
+};
+
+/// Parses one JSON document. Strict: trailing characters, duplicate object
+/// keys, malformed numbers (leading zeros/plus, bad exponents), raw control
+/// characters or unpaired \u surrogates in strings, and nesting deeper than
+/// 64 levels (a stack-overflow guard for hostile network input) are all
+/// InvalidArgument errors.
+Result<JsonValue> ParseJson(const std::string& text);
+
+/// Escapes `s` for embedding inside a JSON string literal: quotes,
+/// backslashes and every control character (< 0x20, as \uXXXX where no
+/// short escape exists).
+std::string JsonEscape(const std::string& s);
+
+/// Formats a double so that ParseJson reads back the identical value
+/// (%.17g round-trips every finite double). Non-finite values — which JSON
+/// cannot represent — are clamped to 0; callers validate beforehand.
+std::string JsonNumber(double value);
+
+/// Canonical compact serialization: object keys in sorted order (JsonValue
+/// stores them in a std::map), no whitespace, numbers echoed from their
+/// parsed token when one exists (else JsonNumber), strings via JsonEscape.
+/// Two structurally equal documents serialize byte-identically, so
+/// WriteJson(ParseJson(a)) == WriteJson(ParseJson(b)) is a canonical
+/// equality test — the serving tests compare plans this way, and the plan
+/// cache keys requests on it.
+std::string WriteJson(const JsonValue& value);
+
+/// Returns the member of `object` named `key`, or nullptr when absent.
+/// For optional fields; use GetMember for required ones.
+const JsonValue* FindMember(const JsonValue& object, const std::string& key);
+
+/// Returns the member named `key`, requiring it to exist with kind `kind`.
+Result<const JsonValue*> GetMember(const JsonValue& object,
+                                   const std::string& key,
+                                   JsonValue::Kind kind);
+
+/// Reads an integral field: non-integral values, values outside int range
+/// and values below `min_value` are InvalidArgument.
+Result<int> GetInt(const JsonValue& object, const std::string& key,
+                   int min_value);
+
+/// Reads an integral field into int64. Integral tokens are re-parsed with
+/// strtoll so values above 2^53 survive exactly; fractional or exponent
+/// forms must still denote an integer representable in int64.
+Result<int64_t> GetInt64(const JsonValue& object, const std::string& key,
+                         int64_t min_value);
+
+/// Value-level form of GetInt64, for array elements; `what` names the value
+/// in error messages.
+Result<int64_t> JsonToInt64(const JsonValue& value, const std::string& what,
+                            int64_t min_value);
+
+/// Reads a finite number field.
+Result<double> GetDouble(const JsonValue& object, const std::string& key);
+
+Result<bool> GetBool(const JsonValue& object, const std::string& key);
+
+Result<std::string> GetString(const JsonValue& object,
+                              const std::string& key);
+
+}  // namespace galvatron
+
+#endif  // GALVATRON_UTIL_JSON_H_

@@ -20,6 +20,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kInfeasible:
       return "Infeasible";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

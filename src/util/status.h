@@ -23,6 +23,7 @@ enum class StatusCode {
   kUnimplemented = 5,
   kInternal = 6,
   kInfeasible = 7,
+  kCancelled = 8,
 };
 
 /// Returns a short human-readable name for `code` (e.g. "OutOfMemory").
@@ -75,6 +76,12 @@ class Status {
   static Status Infeasible(std::string msg) {
     return Status(StatusCode::kInfeasible, std::move(msg));
   }
+  /// The caller abandoned the operation before it finished (e.g. a serving
+  /// deadline expired mid-sweep). Distinct from Infeasible: the search was
+  /// cut short, so absence of a plan says nothing about the search space.
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -89,6 +96,7 @@ class Status {
     return code() == StatusCode::kInvalidArgument;
   }
   bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -94,12 +94,12 @@ TEST(FuzzGenerators, HostileNamesAppear) {
 TEST(FuzzSeeds, MixSeedIsStatelessAndDisperses) {
   EXPECT_EQ(MixSeed(1, 2, 3), MixSeed(1, 2, 3));
   std::set<uint64_t> seen;
-  for (uint64_t check = 0; check < 4; ++check) {
+  for (uint64_t check = 0; check < kNumFuzzChecks; ++check) {
     for (uint64_t i = 0; i < 64; ++i) {
       seen.insert(MixSeed(42, check, i));
     }
   }
-  EXPECT_EQ(seen.size(), 4u * 64u);
+  EXPECT_EQ(seen.size(), static_cast<uint64_t>(kNumFuzzChecks) * 64u);
 }
 
 TEST(FuzzChecks, ReproIsDeterministic) {

@@ -214,6 +214,64 @@ TEST_F(PlanIoTest, HostileGeneratedNamesRoundTrip) {
   }
 }
 
+TEST_F(PlanIoTest, ModelSpecRoundTrips) {
+  // The serving wire format ships ModelSpec documents; every zoo model
+  // must survive serialize -> parse -> serialize bit-exactly.
+  for (ModelId id : AllModelIds()) {
+    const ModelSpec model = BuildModel(id);
+    const std::string json = ModelSpecToJson(model);
+    auto parsed = ParseModelSpecJson(json);
+    ASSERT_TRUE(parsed.ok()) << ModelIdToString(id) << ": " << parsed.status();
+    EXPECT_EQ(parsed->name(), model.name());
+    ASSERT_EQ(parsed->num_layers(), model.num_layers());
+    EXPECT_EQ(parsed->TotalParams(), model.TotalParams());
+    EXPECT_EQ(ModelSpecToJson(*parsed), json) << ModelIdToString(id);
+  }
+}
+
+TEST_F(PlanIoTest, ClusterSpecRoundTrips) {
+  const std::string json = ClusterSpecToJson(cluster_);
+  auto parsed = ParseClusterSpecJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->name(), cluster_.name());
+  EXPECT_EQ(parsed->num_devices(), cluster_.num_devices());
+  EXPECT_EQ(parsed->device_memory_bytes(), cluster_.device_memory_bytes());
+  EXPECT_EQ(parsed->sustained_flops(), cluster_.sustained_flops());
+  ASSERT_EQ(parsed->levels().size(), cluster_.levels().size());
+  EXPECT_EQ(ClusterSpecToJson(*parsed), json);
+}
+
+TEST_F(PlanIoTest, SpecParsersRejectMalformedInput) {
+  EXPECT_FALSE(ParseModelSpecJson("").ok());
+  EXPECT_FALSE(ParseModelSpecJson("[]").ok());
+  EXPECT_FALSE(ParseModelSpecJson("{\"name\":\"m\"}").ok());
+  EXPECT_FALSE(ParseClusterSpecJson("").ok());
+  EXPECT_FALSE(ParseClusterSpecJson("42").ok());
+  EXPECT_FALSE(ParseClusterSpecJson("{\"name\":\"c\"}").ok());
+}
+
+TEST_F(PlanIoTest, HostileGeneratedSpecsRoundTrip) {
+  // Property test mirroring the spec-json-roundtrip fuzz check: generator
+  // output (hostile names, heterogeneous memory) must round-trip.
+  for (uint64_t seed = 300; seed < 350; ++seed) {
+    Rng rng(seed);
+    const ModelSpec model = GenerateModel(&rng);
+    const std::string model_json = ModelSpecToJson(model);
+    auto parsed_model = ParseModelSpecJson(model_json);
+    ASSERT_TRUE(parsed_model.ok())
+        << "seed " << seed << ": " << parsed_model.status();
+    EXPECT_EQ(ModelSpecToJson(*parsed_model), model_json) << "seed " << seed;
+
+    const ClusterSpec cluster = GenerateCluster(&rng);
+    const std::string cluster_json = ClusterSpecToJson(cluster);
+    auto parsed_cluster = ParseClusterSpecJson(cluster_json);
+    ASSERT_TRUE(parsed_cluster.ok())
+        << "seed " << seed << ": " << parsed_cluster.status();
+    EXPECT_EQ(ClusterSpecToJson(*parsed_cluster), cluster_json)
+        << "seed " << seed;
+  }
+}
+
 TEST_F(PlanIoTest, TraceExportIsWellFormedJson) {
   auto result = Galvatron::Plan(model_, cluster_);
   ASSERT_TRUE(result.ok());

@@ -1,0 +1,132 @@
+/// End-to-end smoke of the galvatron_serve daemon binary: fork/exec it on an
+/// ephemeral port, parse the "listening on" line, hit /healthz and /v1/plan
+/// over the wire, then SIGTERM and verify the graceful-drain exit. The binary
+/// path comes in through the GALVATRON_SERVE_BIN compile definition
+/// ($<TARGET_FILE:galvatron_serve>); the suite carries the "serve" ctest
+/// label.
+
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+#include "api/galvatron.h"
+#include "api/plan_io.h"
+#include "serve/http.h"
+#include "util/json.h"
+#include "util/math_util.h"
+
+namespace galvatron {
+namespace serve {
+namespace {
+
+struct Daemon {
+  pid_t pid = -1;
+  FILE* out = nullptr;  // daemon stdout
+  int port = 0;
+};
+
+/// Starts the daemon with --port 0 and blocks until it prints its resolved
+/// port. Returns pid -1 on failure.
+Daemon StartDaemon() {
+  Daemon daemon;
+  int fds[2];
+  if (::pipe(fds) != 0) return daemon;
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return daemon;
+  }
+  if (pid == 0) {
+    ::dup2(fds[1], STDOUT_FILENO);
+    ::close(fds[0]);
+    ::close(fds[1]);
+    ::execl(GALVATRON_SERVE_BIN, GALVATRON_SERVE_BIN, "--port", "0",
+            "--threads", "2", static_cast<char*>(nullptr));
+    _exit(127);  // exec failed
+  }
+  ::close(fds[1]);
+  daemon.pid = pid;
+  daemon.out = ::fdopen(fds[0], "r");
+  if (daemon.out == nullptr) return daemon;
+  char line[256];
+  if (::fgets(line, sizeof(line), daemon.out) != nullptr) {
+    const std::string text(line);
+    const size_t colon = text.rfind(':');
+    if (text.find("listening on") != std::string::npos &&
+        colon != std::string::npos) {
+      daemon.port = std::atoi(text.c_str() + colon + 1);
+    }
+  }
+  return daemon;
+}
+
+/// SIGTERMs the daemon and asserts the graceful-drain exit; leaves the
+/// stdout pipe open so the caller can read the drain messages.
+void StopDaemon(Daemon* daemon) {
+  if (daemon->pid > 0) {
+    ::kill(daemon->pid, SIGTERM);
+    int status = 0;
+    ::waitpid(daemon->pid, &status, 0);
+    EXPECT_TRUE(WIFEXITED(status));
+    EXPECT_EQ(WEXITSTATUS(status), 0);
+    daemon->pid = -1;
+  }
+}
+
+TEST(ServeDaemonTest, HealthzPlanAndGracefulShutdown) {
+  Daemon daemon = StartDaemon();
+  ASSERT_GT(daemon.pid, 0);
+  ASSERT_GT(daemon.port, 0) << "daemon never reported its port";
+
+  auto health =
+      HttpFetch("127.0.0.1", daemon.port, "GET", "/healthz", "", 10000);
+  ASSERT_TRUE(health.ok()) << health.status();
+  EXPECT_EQ(health->status, 200);
+  EXPECT_NE(health->body.find("\"status\": \"ok\""), std::string::npos);
+
+  // One real planning request over the wire.
+  const ClusterSpec cluster = MakeTitanNode8(16 * kGB);
+  const std::string body =
+      "{\"model\": \"BERT-Huge-32\", \"cluster\": " +
+      ClusterSpecToJson(cluster) + "}";
+  auto plan =
+      HttpFetch("127.0.0.1", daemon.port, "POST", "/v1/plan", body, 120000);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  ASSERT_EQ(plan->status, 200) << plan->body;
+  auto parsed = ParseJson(plan->body);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const JsonValue* plan_member = FindMember(*parsed, "plan");
+  ASSERT_NE(plan_member, nullptr);
+  auto training_plan = PlanFromJsonValue(*plan_member);
+  ASSERT_TRUE(training_plan.ok()) << training_plan.status();
+  EXPECT_TRUE(
+      training_plan->Validate(BuildModel(ModelId::kBertHuge32), 8).ok());
+
+  // Malformed input over the wire never kills the process.
+  auto bad = HttpFetch("127.0.0.1", daemon.port, "POST", "/v1/plan",
+                       "{\"model\":", 10000);
+  ASSERT_TRUE(bad.ok()) << bad.status();
+  EXPECT_EQ(bad->status, 400);
+
+  StopDaemon(&daemon);  // SIGTERM -> drain -> exit 0, asserted inside
+
+  // The drain messages land on the pipe after the listening line.
+  ASSERT_NE(daemon.out, nullptr);
+  std::string rest;
+  char chunk[256];
+  while (::fgets(chunk, sizeof(chunk), daemon.out) != nullptr) rest += chunk;
+  EXPECT_NE(rest.find("draining"), std::string::npos);
+  EXPECT_NE(rest.find("stopped"), std::string::npos);
+  ::fclose(daemon.out);
+  daemon.out = nullptr;
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace galvatron

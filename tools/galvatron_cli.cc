@@ -16,6 +16,8 @@
 
 #include "api/galvatron.h"
 #include "api/plan_io.h"
+#include "serve/http.h"
+#include "util/json.h"
 #include "util/string_util.h"
 
 namespace galvatron {
@@ -35,6 +37,8 @@ struct CliArgs {
   int search_threads = 1;
   std::string json_out;
   std::string trace_out;
+  std::string server;       // host:port of a galvatron_serve daemon
+  double deadline_ms = 0;   // per-request server deadline (0 = none)
   bool list_models = false;
   bool help = false;
 };
@@ -58,6 +62,9 @@ void PrintUsage() {
                       the resulting plan is identical for every N)
   --json-out FILE     write the plan as JSON
   --trace-out FILE    write a Chrome trace of the simulated iteration
+  --server HOST:PORT  don't search locally; POST the request to a running
+                      galvatron_serve daemon and print its answer
+  --deadline-ms X     per-request search deadline in server mode
   --list-models       print zoo models and exit
 )");
 }
@@ -133,6 +140,14 @@ Result<CliArgs> ParseArgs(int argc, char** argv) {
       GALVATRON_ASSIGN_OR_RETURN(args.json_out, next());
     } else if (flag == "--trace-out") {
       GALVATRON_ASSIGN_OR_RETURN(args.trace_out, next());
+    } else if (flag == "--server") {
+      GALVATRON_ASSIGN_OR_RETURN(args.server, next());
+    } else if (flag == "--deadline-ms") {
+      GALVATRON_ASSIGN_OR_RETURN(std::string v, next());
+      args.deadline_ms = std::atof(v.c_str());
+      if (args.deadline_ms <= 0) {
+        return Status::InvalidArgument("--deadline-ms must be > 0");
+      }
     } else if (flag == "--list-models") {
       args.list_models = true;
     } else if (flag == "--help" || flag == "-h") {
@@ -142,6 +157,106 @@ Result<CliArgs> ParseArgs(int argc, char** argv) {
     }
   }
   return args;
+}
+
+ClusterSpec BuildCliCluster(const CliArgs& args) {
+  const LinkClass intra = args.intra_link == "nvlink" ? LinkClass::kNvLink
+                                                      : LinkClass::kPcie3;
+  const LinkClass inter = args.inter_link == "ethernet"
+                              ? LinkClass::kEthernet10
+                              : LinkClass::kInfiniBand100;
+  return MakeHomogeneousCluster(
+      "cli-cluster", args.nodes, args.gpus_per_node,
+      static_cast<int64_t>(args.memory_gb * 1e9),
+      /*sustained_flops=*/args.intra_link == "nvlink" ? 17e12 : 6.5e12, intra,
+      inter);
+}
+
+/// --server mode: ship the same planning request to a galvatron_serve
+/// daemon over HTTP and render its answer like a local run would be.
+Result<int> RunRemote(const CliArgs& args) {
+  if (args.mode != "galvatron") {
+    return Status::InvalidArgument(
+        "--mode baselines run locally; the server always answers with the "
+        "full Galvatron search");
+  }
+  if (!args.trace_out.empty()) {
+    return Status::InvalidArgument("--trace-out is local-only");
+  }
+  const size_t colon = args.server.rfind(':');
+  if (colon == std::string::npos) {
+    return Status::InvalidArgument("--server expects HOST:PORT");
+  }
+  const std::string host = args.server.substr(0, colon);
+  const int port = std::atoi(args.server.c_str() + colon + 1);
+  if (port <= 0 || port > 65535) {
+    return Status::InvalidArgument("--server expects HOST:PORT");
+  }
+
+  GALVATRON_ASSIGN_OR_RETURN(ModelId model_id, FindModel(args.model));
+  if (args.nodes < 1 || args.gpus_per_node < 1 || args.memory_gb <= 0) {
+    return Status::InvalidArgument("bad cluster shape");
+  }
+  const ClusterSpec cluster = BuildCliCluster(args);
+
+  std::string body = StrFormat(
+      "{\"model\": \"%s\", \"cluster\": %s, \"options\": "
+      "{\"schedule\": \"%s\", \"allow_recompute\": %s, "
+      "\"use_sparse_dp\": %s, \"search_threads\": %d}",
+      std::string(ModelIdToString(model_id)).c_str(),
+      ClusterSpecToJson(cluster).c_str(),
+      args.schedule == "1f1b" ? "1f1b" : "gpipe",
+      args.recompute ? "true" : "false", args.dense_dp ? "false" : "true",
+      args.search_threads);
+  if (args.deadline_ms > 0) {
+    body += StrFormat(", \"deadline_ms\": %s",
+                      JsonNumber(args.deadline_ms).c_str());
+  }
+  body += "}";
+
+  GALVATRON_ASSIGN_OR_RETURN(
+      serve::HttpResponse response,
+      serve::HttpFetch(host, port, "POST", "/v1/plan", body));
+  if (response.status != 200) {
+    std::fprintf(stderr, "server answered HTTP %d: %s\n", response.status,
+                 response.body.c_str());
+    return 1;
+  }
+  GALVATRON_ASSIGN_OR_RETURN(JsonValue root, ParseJson(response.body));
+  GALVATRON_ASSIGN_OR_RETURN(
+      const JsonValue* plan_value,
+      GetMember(root, "plan", JsonValue::Kind::kObject));
+  GALVATRON_ASSIGN_OR_RETURN(TrainingPlan plan,
+                             PlanFromJsonValue(*plan_value));
+  GALVATRON_ASSIGN_OR_RETURN(bool cache_hit, GetBool(root, "plan_cache_hit"));
+
+  std::printf("%s\n", plan.ToString().c_str());
+  if (const JsonValue* stats = FindMember(root, "search_stats")) {
+    GALVATRON_ASSIGN_OR_RETURN(int configs,
+                               GetInt(*stats, "configs_explored", 0));
+    GALVATRON_ASSIGN_OR_RETURN(int64_t hits,
+                               GetInt64(*stats, "cost_cache_hits", 0));
+    GALVATRON_ASSIGN_OR_RETURN(int64_t misses,
+                               GetInt64(*stats, "cost_cache_misses", 0));
+    std::printf("server search: %d configs; cost cache %lld hits, %lld "
+                "misses%s\n",
+                configs, static_cast<long long>(hits),
+                static_cast<long long>(misses),
+                cache_hit ? "  [served from plan cache]" : "");
+  }
+  if (const JsonValue* estimated = FindMember(root, "estimated")) {
+    GALVATRON_ASSIGN_OR_RETURN(
+        double throughput,
+        GetDouble(*estimated, "throughput_samples_per_sec"));
+    std::printf("estimated: %.2f samples/s\n", throughput);
+  }
+  if (!args.json_out.empty()) {
+    std::ofstream out(args.json_out);
+    if (!out) return Status::Internal("cannot write " + args.json_out);
+    out << PlanToJson(plan);
+    std::printf("plan written to %s\n", args.json_out.c_str());
+  }
+  return 0;
 }
 
 Result<int> RunCli(const CliArgs& args) {
@@ -157,22 +272,15 @@ Result<int> RunCli(const CliArgs& args) {
     return 0;
   }
 
+  if (!args.server.empty()) return RunRemote(args);
+
   GALVATRON_ASSIGN_OR_RETURN(ModelId model_id, FindModel(args.model));
   GALVATRON_ASSIGN_OR_RETURN(BaselineKind mode, FindMode(args.mode));
 
-  const LinkClass intra = args.intra_link == "nvlink" ? LinkClass::kNvLink
-                                                      : LinkClass::kPcie3;
-  const LinkClass inter = args.inter_link == "ethernet"
-                              ? LinkClass::kEthernet10
-                              : LinkClass::kInfiniBand100;
   if (args.nodes < 1 || args.gpus_per_node < 1 || args.memory_gb <= 0) {
     return Status::InvalidArgument("bad cluster shape");
   }
-  ClusterSpec cluster = MakeHomogeneousCluster(
-      "cli-cluster", args.nodes, args.gpus_per_node,
-      static_cast<int64_t>(args.memory_gb * 1e9),
-      /*sustained_flops=*/args.intra_link == "nvlink" ? 17e12 : 6.5e12,
-      intra, inter);
+  ClusterSpec cluster = BuildCliCluster(args);
 
   ModelSpec model = BuildModel(model_id);
   std::printf("model:   %s (%.0fM params)\n", model.name().c_str(),

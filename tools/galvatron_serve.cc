@@ -1,0 +1,199 @@
+/// galvatron_serve — the plan-serving daemon: an HTTP/1.1 + JSON service
+/// that answers hybrid-parallelism planning requests from a process-lifetime
+/// cache hierarchy (response-level PlanCache above per-signature
+/// SharedCostCaches).
+///
+///   galvatron_serve --port 8080 --threads 4
+///   curl -s localhost:8080/healthz
+///   curl -s -d @request.json localhost:8080/v1/plan
+///   curl -s localhost:8080/metrics       # Prometheus text exposition
+///
+/// See docs/serving.md for the wire format. SIGINT/SIGTERM drain in-flight
+/// requests before exiting.
+
+#include <poll.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "serve/handlers.h"
+#include "serve/http_server.h"
+#include "serve/metrics.h"
+
+namespace galvatron {
+namespace serve {
+namespace {
+
+struct ServeArgs {
+  std::string host = "127.0.0.1";
+  int port = 8080;
+  int threads = 4;
+  int max_in_flight = 64;
+  int plan_cache_entries = 128;
+  int context_cache_entries = 8;
+  int max_body_kb = 8192;
+  int io_timeout_ms = 5000;
+  double deadline_ms = 0.0;  // default per-request deadline; 0 = unlimited
+  bool help = false;
+};
+
+void PrintUsage() {
+  std::printf(R"(galvatron_serve: HTTP/JSON planning service
+
+  --host ADDR              bind address (default 127.0.0.1)
+  --port N                 port; 0 asks the kernel for an ephemeral one
+                           (default 8080)
+  --threads N              worker threads (default 4)
+  --max-in-flight N        admission limit; excess requests get 429
+                           (default 64)
+  --plan-cache-entries N   response-level LRU entries, 0 disables
+                           (default 128)
+  --context-cache-entries N  warm (model, cluster) contexts, each holding a
+                           shared cost cache (default 8)
+  --max-body-kb N          request body limit; larger bodies get 413
+                           (default 8192)
+  --io-timeout-ms N        per-connection socket timeout; stalled clients
+                           get 408 (default 5000)
+  --deadline-ms X          default per-request search deadline; an expired
+                           sweep gets 504 (default 0 = unlimited)
+
+Endpoints: POST /v1/plan, POST /v1/measure, GET /healthz, GET /metrics.
+)");
+}
+
+Result<ServeArgs> ParseArgs(int argc, char** argv) {
+  ServeArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&]() -> Result<std::string> {
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument(flag + " needs a value");
+      }
+      return std::string(argv[++i]);
+    };
+    auto next_int = [&](int min_value) -> Result<int> {
+      GALVATRON_ASSIGN_OR_RETURN(std::string v, next());
+      const int parsed = std::atoi(v.c_str());
+      if (parsed < min_value) {
+        return Status::InvalidArgument(
+            flag + " must be >= " + std::to_string(min_value));
+      }
+      return parsed;
+    };
+    if (flag == "--host") {
+      GALVATRON_ASSIGN_OR_RETURN(args.host, next());
+    } else if (flag == "--port") {
+      GALVATRON_ASSIGN_OR_RETURN(args.port, next_int(0));
+    } else if (flag == "--threads") {
+      GALVATRON_ASSIGN_OR_RETURN(args.threads, next_int(1));
+    } else if (flag == "--max-in-flight") {
+      GALVATRON_ASSIGN_OR_RETURN(args.max_in_flight, next_int(1));
+    } else if (flag == "--plan-cache-entries") {
+      GALVATRON_ASSIGN_OR_RETURN(args.plan_cache_entries, next_int(0));
+    } else if (flag == "--context-cache-entries") {
+      GALVATRON_ASSIGN_OR_RETURN(args.context_cache_entries, next_int(1));
+    } else if (flag == "--max-body-kb") {
+      GALVATRON_ASSIGN_OR_RETURN(args.max_body_kb, next_int(1));
+    } else if (flag == "--io-timeout-ms") {
+      GALVATRON_ASSIGN_OR_RETURN(args.io_timeout_ms, next_int(100));
+    } else if (flag == "--deadline-ms") {
+      GALVATRON_ASSIGN_OR_RETURN(std::string v, next());
+      args.deadline_ms = std::atof(v.c_str());
+      if (args.deadline_ms < 0) {
+        return Status::InvalidArgument("--deadline-ms must be >= 0");
+      }
+    } else if (flag == "--help" || flag == "-h") {
+      args.help = true;
+    } else {
+      return Status::InvalidArgument("unknown flag " + flag);
+    }
+  }
+  return args;
+}
+
+// Self-pipe: the signal handler only writes one byte; the main thread
+// blocks on the read end and runs the (non-async-signal-safe) drain there.
+int g_signal_pipe[2] = {-1, -1};
+
+void OnSignal(int) {
+  const char byte = 1;
+  [[maybe_unused]] ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+}
+
+Result<int> RunServe(const ServeArgs& args) {
+  if (::pipe(g_signal_pipe) != 0) {
+    return Status::Internal(
+        std::string("pipe failed: ") + std::strerror(errno));
+  }
+  struct sigaction action{};
+  action.sa_handler = OnSignal;
+  ::sigemptyset(&action.sa_mask);
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+
+  ServeMetrics metrics;
+  PlanServiceOptions service_options;
+  service_options.plan_cache_entries =
+      static_cast<size_t>(args.plan_cache_entries);
+  service_options.context_cache_entries =
+      static_cast<size_t>(args.context_cache_entries);
+  service_options.default_deadline_ms = args.deadline_ms;
+  service_options.metrics = &metrics;
+  PlanService service(service_options);
+
+  HttpServerOptions server_options;
+  server_options.bind_address = args.host;
+  server_options.port = args.port;
+  server_options.num_threads = args.threads;
+  server_options.max_in_flight = args.max_in_flight;
+  server_options.max_body_bytes = static_cast<size_t>(args.max_body_kb) * 1024;
+  server_options.io_timeout_ms = args.io_timeout_ms;
+  server_options.metrics = &metrics;
+  GALVATRON_ASSIGN_OR_RETURN(
+      std::unique_ptr<HttpServer> server,
+      HttpServer::Start(server_options, [&service](const HttpRequest& request) {
+        return service.Handle(request);
+      }));
+
+  // The parent (tests, scripts) parses this line for the resolved port.
+  std::printf("galvatron_serve listening on %s:%d\n", args.host.c_str(),
+              server->port());
+  std::fflush(stdout);
+
+  char byte;
+  while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+  }
+  std::printf("galvatron_serve draining...\n");
+  std::fflush(stdout);
+  server->Shutdown();  // stops accepting, waits for in-flight requests
+  std::printf("galvatron_serve stopped\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace galvatron
+
+int main(int argc, char** argv) {
+  auto args = galvatron::serve::ParseArgs(argc, argv);
+  if (!args.ok()) {
+    std::fprintf(stderr, "%s\n", args.status().ToString().c_str());
+    galvatron::serve::PrintUsage();
+    return 1;
+  }
+  if (args->help) {
+    galvatron::serve::PrintUsage();
+    return 0;
+  }
+  auto exit_code = galvatron::serve::RunServe(*args);
+  if (!exit_code.ok()) {
+    std::fprintf(stderr, "%s\n", exit_code.status().ToString().c_str());
+    return 1;
+  }
+  return *exit_code;
+}
