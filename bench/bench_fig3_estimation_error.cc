@@ -4,28 +4,65 @@
 /// time with both estimator variants, execute it on the simulator, and
 /// report the mean absolute relative error. The paper reports <5% with the
 /// slowdown modelled and >15% without.
+///
+/// A second pass splits the error along the paper's Eq. 1 axes via the
+/// trace subsystem: per category (compute / communication / Slice-Gather
+/// transformation), predicted = the nominal full-rate work the cost model
+/// scheduled, measured = the traced wall time (jitter + contention
+/// stretch included). The per-category relative errors land in
+/// BENCH_search.json so the estimator's blind spots are tracked per PR.
 
 #include <cmath>
 #include <cstdio>
 #include <vector>
 
 #include "bench/bench_common.h"
+#include "bench/bench_json.h"
+#include "trace/trace.h"
 #include "util/math_util.h"
 #include "util/table_printer.h"
 
 namespace galvatron {
 namespace {
 
+/// Eq.-1 bucket of a task category: 0 compute, 1 communication,
+/// 2 transformation, -1 excluded (stage init / other bookkeeping).
+int CategoryBucket(TaskCategory category) {
+  switch (category) {
+    case TaskCategory::kForwardCompute:
+    case TaskCategory::kBackwardCompute:
+      return 0;
+    case TaskCategory::kTpAllReduce:
+    case TaskCategory::kDpAllReduce:
+    case TaskCategory::kSdpGather:
+    case TaskCategory::kSdpReduceScatter:
+    case TaskCategory::kP2P:
+      return 1;
+    case TaskCategory::kTransformation:
+      return 2;
+    case TaskCategory::kStageInit:
+    case TaskCategory::kOther:
+      return -1;
+  }
+  return -1;
+}
+
 void Run() {
   const ClusterSpec cluster = MakeTitanNode8(16 * kGB);
   CostEstimator with(&cluster, {.model_overlap_slowdown = true});
   CostEstimator without(&cluster, {.model_overlap_slowdown = false});
-  Simulator simulator(&cluster);
+  SimOptions sim_options;
+  sim_options.record_trace = true;
+  Simulator simulator(&cluster, sim_options);
 
   TablePrinter table({"Model", "plans", "avg err w. slowdown",
                       "avg err w.o. slowdown"});
   double total_with = 0, total_without = 0;
   int total_plans = 0;
+  // Per Eq.-1 bucket (compute / comm / transformation), summed over every
+  // measured plan: nominal scheduled work vs traced wall time.
+  double predicted_sec[3] = {0, 0, 0};
+  double measured_sec[3] = {0, 0, 0};
   for (ModelId id : {ModelId::kBertHuge32, ModelId::kViTHuge32,
                      ModelId::kT5Large32, ModelId::kSwinHuge32}) {
     ModelSpec model = BuildModel(id);
@@ -34,7 +71,8 @@ void Run() {
     for (BaselineKind kind : AllBaselineKinds()) {
       auto result = RunBaseline(kind, model, cluster);
       if (!result.ok()) continue;
-      auto metrics = simulator.Run(model, result->plan);
+      SimTrace sim_trace;
+      auto metrics = simulator.Run(model, result->plan, &sim_trace);
       if (!metrics.ok() || metrics->oom) continue;
       auto est_with = with.EstimatePlan(model, result->plan);
       auto est_without = without.EstimatePlan(model, result->plan);
@@ -44,6 +82,17 @@ void Run() {
       err_without += RelativeError(est_without->iteration_seconds,
                                    metrics->iteration_seconds);
       ++plans;
+      auto exec = trace::RecordTrace(sim_trace);
+      if (!exec.ok()) continue;
+      for (const trace::TraceEvent& event : exec->events) {
+        const int bucket = CategoryBucket(event.category);
+        if (bucket < 0) continue;
+        // Predicted: the un-jittered work the cost model scheduled (the
+        // Eq.-1 term); measured: the event's wall time on the timeline.
+        predicted_sec[bucket] +=
+            sim_trace.tasks[static_cast<size_t>(event.task_id)].work_sec;
+        measured_sec[bucket] += event.elapsed_sec();
+      }
     }
     if (plans == 0) continue;
     total_with += err_with;
@@ -58,6 +107,29 @@ void Run() {
                 StrFormat("%.1f%%", 100 * total_without / total_plans)});
   std::printf("Figure 3: estimation errors vs simulated execution\n\n%s\n",
               table.ToString().c_str());
+
+  static const char* kBucketNames[3] = {"compute", "comm", "transformation"};
+  TablePrinter split({"category", "predicted (s)", "measured (s)", "error"});
+  bench::BenchJson out("BENCH_search.json");
+  out.Record("fig3_category_error", "plans", total_plans);
+  for (int b = 0; b < 3; ++b) {
+    const double error =
+        measured_sec[b] > 0
+            ? RelativeError(predicted_sec[b], measured_sec[b])
+            : 0.0;
+    split.AddRow({kBucketNames[b], StrFormat("%.4f", predicted_sec[b]),
+                  StrFormat("%.4f", measured_sec[b]),
+                  StrFormat("%.1f%%", 100 * error)});
+    out.Record("fig3_category_error",
+               StrFormat("%s_rel_err", kBucketNames[b]), error);
+    out.Record("fig3_category_error",
+               StrFormat("%s_measured_sec", kBucketNames[b]),
+               measured_sec[b]);
+  }
+  std::printf("Per-category split (traced): nominal scheduled work vs "
+              "simulated wall time\n\n%s\n",
+              split.ToString().c_str());
+  if (out.Save()) std::printf("wrote BENCH_search.json\n");
 }
 
 }  // namespace

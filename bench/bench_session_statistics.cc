@@ -17,7 +17,8 @@ namespace {
 
 void Run() {
   TablePrinter table({"Model", "workload", "mean samples/s", "iter p50",
-                      "iter p99", "stddev", "loader stalls"});
+                      "iter p99", "stddev", "loader stalls",
+                      "stage compute util"});
   struct Case {
     ModelId model;
     WorkloadSpec workload;
@@ -43,6 +44,13 @@ void Run() {
     TrainingSession session(&cluster, {});
     auto report = session.Train(model, plan->plan, c.workload);
     if (!report.ok()) continue;
+    // Per-stage utilization of the representative device, one cell entry
+    // per pipeline stage — the per-stage vectors, not the summed scalar.
+    std::string util;
+    for (double u : report->stage_compute_utilization) {
+      if (!util.empty()) util += "/";
+      util += StrFormat("%.0f%%", 100 * u);
+    }
     table.AddRow(
         {std::string(ModelIdToString(c.model)), c.workload.name,
          StrFormat("%.2f", report->mean_throughput_samples_per_sec),
@@ -50,7 +58,7 @@ void Run() {
          StrFormat("%.3fs", report->iteration.p99_sec),
          StrFormat("%.1f%%", 100 * report->iteration.stddev_sec /
                                  report->iteration.mean_sec),
-         StrFormat("%d", report->data_stalled_iterations)});
+         StrFormat("%d", report->data_stalled_iterations), util});
   }
   std::printf("100-iteration training sessions (plans searched per model, "
               "8 GPUs, 16G)\n\n%s\n", table.ToString().c_str());

@@ -9,6 +9,9 @@
 #include "api/galvatron.h"
 #include "api/plan_io.h"
 #include "estimator/profiler.h"
+#include "trace/analyzer.h"
+#include "trace/export.h"
+#include "trace/trace.h"
 #include "util/string_util.h"
 
 namespace galvatron {
@@ -57,15 +60,27 @@ void Run() {
                 profiled_cost->throughput_samples_per_sec);
   }
 
-  // 4. Export: JSON plan for the launcher, Chrome trace for inspection.
+  // 4. Export: JSON plan for the launcher, Chrome trace + attribution
+  //    report for inspection (see docs/tracing.md).
   std::ofstream("t5_plan.json") << PlanToJson(result->plan);
-  Simulator simulator(&cluster);
-  std::string trace;
-  auto metrics = simulator.RunWithTrace(model, result->plan, &trace);
+  SimOptions sim_options;
+  sim_options.record_trace = true;
+  Simulator simulator(&cluster, sim_options);
+  SimTrace sim_trace;
+  auto metrics = simulator.Run(model, result->plan, &sim_trace);
   if (metrics.ok()) {
-    std::ofstream("t5_trace.json") << trace;
+    auto exec_trace = trace::RecordTrace(sim_trace);
+    if (exec_trace.ok()) {
+      std::ofstream("t5_trace.json") << trace::ToChromeTraceJson(*exec_trace);
+      auto report = trace::Analyze(*exec_trace);
+      if (report.ok()) {
+        std::printf("\n%s",
+                    trace::RenderAttributionTable(*exec_trace, *report)
+                        .c_str());
+      }
+    }
     std::printf("simulated %.2f samples/s; wrote t5_plan.json and "
-                "t5_trace.json (open in chrome://tracing)\n",
+                "t5_trace.json (open in https://ui.perfetto.dev)\n",
                 metrics->throughput_samples_per_sec);
   }
 }

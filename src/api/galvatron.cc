@@ -46,6 +46,15 @@ Result<SimMetrics> Galvatron::Measure(const ModelSpec& model,
   return simulator.Run(model, plan);
 }
 
+Result<SimMetrics> Galvatron::Measure(const ModelSpec& model,
+                                      const TrainingPlan& plan,
+                                      const ClusterSpec& cluster,
+                                      const SimOptions& options,
+                                      SimTrace* sim_trace) {
+  Simulator simulator(&cluster, options);
+  return simulator.Run(model, plan, sim_trace);
+}
+
 Result<TrainedPlan> Galvatron::PlanAndMeasure(
     const ModelSpec& model, const ClusterSpec& cluster,
     const OptimizerOptions& optimizer_options, const SimOptions& sim_options) {

@@ -100,6 +100,15 @@ class Galvatron {
                                     const ClusterSpec& cluster,
                                     const SimOptions& options = {});
 
+  /// Like Measure, but also captures the execution trace when
+  /// `options.record_trace` is set (see SimOptions::record_trace and
+  /// src/trace/ for the recorder/analyzer/exporters that consume it).
+  static Result<SimMetrics> Measure(const ModelSpec& model,
+                                    const TrainingPlan& plan,
+                                    const ClusterSpec& cluster,
+                                    const SimOptions& options,
+                                    SimTrace* sim_trace);
+
   /// Plan + Measure in one call.
   static Result<TrainedPlan> PlanAndMeasure(
       const ModelSpec& model, const ClusterSpec& cluster,

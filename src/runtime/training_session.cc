@@ -65,6 +65,18 @@ Result<SessionReport> TrainingSession::Train(
     report.peak_memory_bytes =
         std::max(report.peak_memory_bytes, metrics.max_peak_memory_bytes);
     report.oom |= metrics.oom;
+    if (report.stage_compute_utilization.empty()) {
+      report.stage_compute_utilization.assign(
+          metrics.stage_compute_busy_sec.size(), 0.0);
+      report.stage_comm_utilization.assign(
+          metrics.stage_comm_busy_sec.size(), 0.0);
+    }
+    for (size_t s = 0; s < metrics.stage_compute_busy_sec.size(); ++s) {
+      report.stage_compute_utilization[s] +=
+          metrics.stage_compute_busy_sec[s] / metrics.iteration_seconds;
+      report.stage_comm_utilization[s] +=
+          metrics.stage_comm_busy_sec[s] / metrics.iteration_seconds;
+    }
 
     // Double-buffered input pipeline: iteration i trains on the batch
     // loaded during iteration i-1, so loading stalls training only when it
@@ -83,6 +95,12 @@ Result<SessionReport> TrainingSession::Train(
   report.mean_throughput_samples_per_sec =
       plan.global_batch * static_cast<double>(iterations.size()) /
       report.total_seconds;
+  for (double& u : report.stage_compute_utilization) {
+    u /= static_cast<double>(iterations.size());
+  }
+  for (double& u : report.stage_comm_utilization) {
+    u /= static_cast<double>(iterations.size());
+  }
   return report;
 }
 

@@ -35,6 +35,12 @@ struct SessionReport {
   int64_t peak_memory_bytes = 0;
   bool oom = false;
   std::vector<double> per_iteration_seconds;
+  /// Session-mean utilization of each pipeline stage's representative
+  /// device (SimMetrics::stage_compute_busy_sec / iteration_seconds,
+  /// averaged over iterations), indexed by stage. Surfaces per-stage
+  /// imbalance the summed scalars hide.
+  std::vector<double> stage_compute_utilization;
+  std::vector<double> stage_comm_utilization;
 };
 
 /// Options for a session.

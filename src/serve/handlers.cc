@@ -4,6 +4,9 @@
 #include <vector>
 
 #include "api/plan_io.h"
+#include "trace/analyzer.h"
+#include "trace/export.h"
+#include "trace/trace.h"
 #include "util/string_util.h"
 
 namespace galvatron {
@@ -476,9 +479,18 @@ HttpResponse PlanService::HandleMeasure(const HttpRequest& request) {
     return MakeJsonErrorResponse(
         Status::InvalidArgument("request body must be a JSON object"));
   }
-  Status keys =
-      CheckKeys(*root, {"model", "cluster", "plan", "sim"}, "the request");
+  Status keys = CheckKeys(*root, {"model", "cluster", "plan", "sim", "explain"},
+                          "the request");
   if (!keys.ok()) return MakeJsonErrorResponse(keys);
+
+  bool explain = false;
+  if (FindMember(*root, "explain") != nullptr) {
+    Result<bool> explain_value = GetBool(*root, "explain");
+    if (!explain_value.ok()) {
+      return MakeJsonErrorResponse(explain_value.status());
+    }
+    explain = *explain_value;
+  }
 
   const JsonValue* model_value = FindMember(*root, "model");
   if (model_value == nullptr) {
@@ -505,28 +517,63 @@ HttpResponse PlanService::HandleMeasure(const HttpRequest& request) {
   Status sim_status = ParseSimOptions(FindMember(*root, "sim"), &sim);
   if (!sim_status.ok()) return MakeJsonErrorResponse(sim_status);
 
-  Result<SimMetrics> metrics = Galvatron::Measure(*model, *plan, *cluster, sim);
+  sim.record_trace = explain;
+  SimTrace sim_trace;
+  Result<SimMetrics> metrics =
+      Galvatron::Measure(*model, *plan, *cluster, sim,
+                         explain ? &sim_trace : nullptr);
   if (!metrics.ok()) return MakeJsonErrorResponse(metrics.status());
+
+  std::string attribution;
+  if (explain) {
+    Result<trace::ExecutionTrace> exec_trace = trace::RecordTrace(sim_trace);
+    if (!exec_trace.ok()) return MakeJsonErrorResponse(exec_trace.status());
+    Result<trace::AttributionReport> report = trace::Analyze(*exec_trace);
+    if (!report.ok()) return MakeJsonErrorResponse(report.status());
+    // Size cap: the critical path of a big plan can run to thousands of
+    // tasks; the summary keeps per-category totals exact and truncates the
+    // task-by-task chain.
+    trace::AttributionJsonOptions attribution_options;
+    attribution_options.max_critical_path_entries = 128;
+    attribution =
+        trace::ToAttributionJson(*exec_trace, *report, attribution_options);
+    if (options_.metrics != nullptr) options_.metrics->RecordExplain();
+  }
 
   std::string stages;
   for (int64_t bytes : metrics->stage_peak_memory_bytes) {
     if (!stages.empty()) stages += ", ";
     stages += Int64Json(bytes);
   }
+  auto double_array = [](const std::vector<double>& values) {
+    std::string out;
+    for (double value : values) {
+      if (!out.empty()) out += ", ";
+      out += JsonNumber(value);
+    }
+    return out;
+  };
   HttpResponse response;
   response.body = StrFormat(
       "{\"metrics\": {\"comm_busy_sec\": %s, \"compute_busy_sec\": %s, "
       "\"iteration_seconds\": %s, \"max_peak_memory_bytes\": %s, "
       "\"num_comm_groups\": %d, \"num_tasks\": %d, \"oom\": %s, "
+      "\"stage_comm_busy_sec\": [%s], \"stage_compute_busy_sec\": [%s], "
       "\"stage_peak_memory_bytes\": [%s], "
-      "\"throughput_samples_per_sec\": %s}}\n",
+      "\"throughput_samples_per_sec\": %s}",
       JsonNumber(metrics->comm_busy_sec).c_str(),
       JsonNumber(metrics->compute_busy_sec).c_str(),
       JsonNumber(metrics->iteration_seconds).c_str(),
       Int64Json(metrics->max_peak_memory_bytes).c_str(),
       metrics->num_comm_groups, metrics->num_tasks,
-      metrics->oom ? "true" : "false", stages.c_str(),
+      metrics->oom ? "true" : "false",
+      double_array(metrics->stage_comm_busy_sec).c_str(),
+      double_array(metrics->stage_compute_busy_sec).c_str(), stages.c_str(),
       JsonNumber(metrics->throughput_samples_per_sec).c_str());
+  if (!attribution.empty()) {
+    response.body += ", \"attribution\": " + attribution;
+  }
+  response.body += "}\n";
   return response;
 }
 

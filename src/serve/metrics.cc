@@ -123,6 +123,12 @@ std::string ServeMetrics::Render() const {
       "galvatron_serve_rejected_total %lld\n",
       static_cast<long long>(in_flight_.load(std::memory_order_relaxed)),
       static_cast<long long>(rejected_.load(std::memory_order_relaxed)));
+  out += StrFormat(
+      "# HELP galvatron_serve_measure_explain_total /v1/measure requests "
+      "that returned the traced attribution summary.\n"
+      "# TYPE galvatron_serve_measure_explain_total counter\n"
+      "galvatron_serve_measure_explain_total %lld\n",
+      static_cast<long long>(explain_.load(std::memory_order_relaxed)));
   return out;
 }
 

@@ -28,6 +28,10 @@ class ServeMetrics {
   /// One connection dropped by admission control (429 before handling).
   void RecordRejected() { rejected_.fetch_add(1, std::memory_order_relaxed); }
 
+  /// One /v1/measure request that asked for (and received) the traced
+  /// attribution summary via "explain": true.
+  void RecordExplain() { explain_.fetch_add(1, std::memory_order_relaxed); }
+
   /// Plan-cache lookup outcome of one /v1/plan request.
   void RecordPlanCache(bool hit);
 
@@ -43,6 +47,9 @@ class ServeMetrics {
   int64_t plan_cache_hits() const;
   int64_t rejected() const {
     return rejected_.load(std::memory_order_relaxed);
+  }
+  int64_t explain() const {
+    return explain_.load(std::memory_order_relaxed);
   }
 
   /// Prometheus text exposition (version 0.0.4) of every metric:
@@ -67,6 +74,7 @@ class ServeMetrics {
   int64_t cost_cache_misses_ = 0;
   std::atomic<int64_t> in_flight_{0};
   std::atomic<int64_t> rejected_{0};
+  std::atomic<int64_t> explain_{0};
 };
 
 }  // namespace serve

@@ -10,6 +10,22 @@
 
 namespace galvatron {
 
+std::string_view TaskCategoryToString(TaskCategory category) {
+  switch (category) {
+    case TaskCategory::kForwardCompute: return "forward-compute";
+    case TaskCategory::kBackwardCompute: return "backward-compute";
+    case TaskCategory::kTpAllReduce: return "tp-allreduce";
+    case TaskCategory::kDpAllReduce: return "dp-allreduce";
+    case TaskCategory::kSdpGather: return "sdp-gather";
+    case TaskCategory::kSdpReduceScatter: return "sdp-reduce-scatter";
+    case TaskCategory::kTransformation: return "transformation";
+    case TaskCategory::kP2P: return "p2p";
+    case TaskCategory::kStageInit: return "stage-init";
+    case TaskCategory::kOther: return "other";
+  }
+  return "other";
+}
+
 SimEngine::SimEngine(double overlap_slowdown, double compute_jitter,
                      uint64_t seed)
     : overlap_slowdown_(overlap_slowdown),
@@ -52,7 +68,7 @@ Result<int> SimEngine::AddTask(SimTask task) {
   return id;
 }
 
-Result<SimTimeline> SimEngine::Run() const {
+Result<SimTimeline> SimEngine::Run(bool record_lost_time) const {
   const int num_tasks_total = num_tasks();
   const int num_devices = max_device_ + 1;
 
@@ -61,6 +77,10 @@ Result<SimTimeline> SimEngine::Run() const {
   timeline.peak_memory_bytes.assign(static_cast<size_t>(num_devices), 0);
   timeline.compute_busy_sec.assign(static_cast<size_t>(num_devices), 0.0);
   timeline.comm_busy_sec.assign(static_cast<size_t>(num_devices), 0.0);
+  if (record_lost_time) {
+    timeline.task_work_sec.assign(static_cast<size_t>(num_tasks_total), 0.0);
+    timeline.task_lost_sec.assign(static_cast<size_t>(num_tasks_total), 0.0);
+  }
   if (num_tasks_total == 0) return timeline;
 
   // Per-device current memory.
@@ -141,6 +161,10 @@ Result<SimTimeline> SimEngine::Run() const {
                                                 0x9e3779b97f4a7c15ULL)) -
                        0.5);
         remaining[static_cast<size_t>(t)] = task.work_sec * jitter;
+        if (record_lost_time) {
+          timeline.task_work_sec[static_cast<size_t>(t)] =
+              remaining[static_cast<size_t>(t)];
+        }
         timeline.tasks[static_cast<size_t>(t)].start = now;
         charge_memory(task.memory_device, task.start_memory_delta);
         running.push_back(t);
@@ -182,6 +206,9 @@ Result<SimTimeline> SimEngine::Run() const {
     for (int t : running) {
       const double rate = task_rate(t);
       remaining[static_cast<size_t>(t)] -= rate * dt;
+      if (record_lost_time) {
+        timeline.task_lost_sec[static_cast<size_t>(t)] += (1.0 - rate) * dt;
+      }
       const SimTask& task = tasks_[static_cast<size_t>(t)];
       for (int s : task.streams) {
         const StreamSpec& spec = streams_[static_cast<size_t>(s)];

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/result.h"
@@ -19,6 +20,32 @@ struct StreamSpec {
   StreamKind kind = StreamKind::kCompute;
 };
 
+/// Cost taxonomy of the paper's Eq. 1 decomposition plus pipeline plumbing:
+/// per-layer compute (forward/backward), intra-layer communication (TP
+/// activation all-reduce, DP gradient all-reduce, ZeRO-3 weight gather /
+/// gradient reduce-scatter), cross-layer Slice-Gather transformation, and
+/// the inter-stage P2P / bookkeeping tasks the schedule adds around them.
+/// Every simulator-built task carries one of these so the trace subsystem
+/// (src/trace/) can attribute wall time per category.
+enum class TaskCategory {
+  kForwardCompute,
+  kBackwardCompute,
+  kTpAllReduce,
+  kDpAllReduce,
+  kSdpGather,
+  kSdpReduceScatter,
+  kTransformation,
+  kP2P,
+  kStageInit,
+  kOther,
+};
+
+inline constexpr int kNumTaskCategories = 10;
+
+/// Stable kebab-case name ("forward-compute", ...), used as the Chrome
+/// trace "cat" field and as attribution-report keys.
+std::string_view TaskCategoryToString(TaskCategory category);
+
 /// One unit of simulated work. A task occupies one or more streams for its
 /// duration (collectives occupy the comm streams of every participant) and
 /// starts only when all dependencies completed and all its streams are idle.
@@ -33,6 +60,14 @@ struct SimTask {
   int64_t start_memory_delta = 0;
   int64_t end_memory_delta = 0;
   int memory_device = -1;  // device charged; -1 = none
+
+  /// Attribution metadata (ignored by the engine; consumed by src/trace/).
+  /// Coordinates are -1 where the dimension does not apply (e.g. gradient
+  /// sync has no micro-batch; stage init has no layer).
+  TaskCategory category = TaskCategory::kOther;
+  int stage = -1;
+  int micro_batch = -1;
+  int layer = -1;
 };
 
 /// Completed-run timing for one task.
@@ -48,6 +83,15 @@ struct SimTimeline {
   std::vector<int64_t> peak_memory_bytes;   // per device
   std::vector<double> compute_busy_sec;     // per device
   std::vector<double> comm_busy_sec;        // per device
+
+  /// Filled only by Run(/*record_lost_time=*/true); empty otherwise.
+  /// task_work_sec[t] is the jitter-scaled duration task t performed at
+  /// full rate; task_lost_sec[t] integrates the seconds the task spent
+  /// waiting on the contention slowdown, i.e. sum over its piecewise-
+  /// constant rate intervals of (1 - rate) * dt. By construction
+  /// finish - start = task_work_sec + task_lost_sec for every task.
+  std::vector<double> task_work_sec;        // indexed by task id
+  std::vector<double> task_lost_sec;        // indexed by task id
 };
 
 /// Discrete-event engine with compute/communication contention: while both
@@ -82,8 +126,12 @@ class SimEngine {
   }
 
   /// Runs the whole task graph to completion. Errors on dependency cycles
-  /// (reported as Internal: deadlock).
-  Result<SimTimeline> Run() const;
+  /// (reported as Internal: deadlock). When `record_lost_time` is set the
+  /// timeline additionally carries per-task work/contention-lost seconds
+  /// (SimTimeline::task_work_sec / task_lost_sec) for the trace subsystem;
+  /// the scheduling arithmetic is identical either way, so a recording run
+  /// produces bit-identical timings to a non-recording one.
+  Result<SimTimeline> Run(bool record_lost_time = false) const;
 
  private:
   double overlap_slowdown_;

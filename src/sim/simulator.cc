@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <map>
-#include <sstream>
 #include <tuple>
 #include <vector>
 
@@ -85,40 +84,17 @@ Result<SimMetrics> Simulator::Run(const ModelSpec& model,
   return RunInternal(model, plan, nullptr);
 }
 
-Result<SimMetrics> Simulator::RunWithTrace(
-    const ModelSpec& model, const TrainingPlan& plan,
-    std::string* chrome_trace_json) const {
-  return RunInternal(model, plan, chrome_trace_json);
-}
-
-std::string TimelineToChromeTrace(const SimEngine& engine,
-                                  const SimTimeline& timeline) {
-  std::ostringstream os;
-  os << "{\"traceEvents\": [";
-  bool first = true;
-  for (int t = 0; t < engine.num_tasks(); ++t) {
-    const SimTask& task = engine.task(t);
-    const TaskTiming& timing = timeline.tasks[static_cast<size_t>(t)];
-    if (timing.finish <= timing.start) continue;  // zero-length bookkeeping
-    for (int stream_id : task.streams) {
-      const StreamSpec& stream = engine.stream(stream_id);
-      if (!first) os << ",";
-      first = false;
-      os << "\n  {\"name\": \"" << task.label << "\", \"ph\": \"X\""
-         << ", \"ts\": " << StrFormat("%.3f", timing.start * 1e6)
-         << ", \"dur\": "
-         << StrFormat("%.3f", (timing.finish - timing.start) * 1e6)
-         << ", \"pid\": " << stream.device << ", \"tid\": "
-         << (stream.kind == StreamKind::kCompute ? 0 : 1) << "}";
-    }
-  }
-  os << "\n]}\n";
-  return os.str();
+Result<SimMetrics> Simulator::Run(const ModelSpec& model,
+                                  const TrainingPlan& plan,
+                                  SimTrace* trace) const {
+  if (trace != nullptr) *trace = SimTrace{};
+  return RunInternal(model, plan,
+                     options_.record_trace ? trace : nullptr);
 }
 
 Result<SimMetrics> Simulator::RunInternal(
     const ModelSpec& model, const TrainingPlan& plan,
-    std::string* chrome_trace_json) const {
+    SimTrace* trace) const {
   GALVATRON_RETURN_IF_ERROR(plan.Validate(model, cluster_->num_devices()));
 
   const int num_stages = plan.pp_degree();
@@ -225,6 +201,8 @@ Result<SimMetrics> Simulator::RunInternal(
     init.work_sec = 0.0;
     init.start_memory_delta = states;
     init.memory_device = s;
+    init.category = TaskCategory::kStageInit;
+    init.stage = s;
     GALVATRON_RETURN_IF_ERROR(add(std::move(init)).status());
   }
 
@@ -279,6 +257,9 @@ Result<SimMetrics> Simulator::RunInternal(
             cluster_->pipeline_rpc_overhead_sec();
         p2p.deps = {
             fwd_exit[static_cast<size_t>(s) - 1][static_cast<size_t>(k)]};
+        p2p.category = TaskCategory::kP2P;
+        p2p.stage = s;
+        p2p.micro_batch = k;
         GALVATRON_ASSIGN_OR_RETURN(entry_dep, add(std::move(p2p)));
       }
       // 1F1B in-flight cap: this forward waits for the backward that frees
@@ -298,6 +279,10 @@ Result<SimMetrics> Simulator::RunInternal(
           transform.work_sec = stage_transforms[static_cast<size_t>(s)]
                                                [static_cast<size_t>(l) - 1];
           if (chain >= 0) transform.deps = {chain};
+          transform.category = TaskCategory::kTransformation;
+          transform.stage = s;
+          transform.micro_batch = k;
+          transform.layer = stage.first_layer + l;
           GALVATRON_ASSIGN_OR_RETURN(chain, add(std::move(transform)));
         }
 
@@ -322,6 +307,10 @@ Result<SimMetrics> Simulator::RunInternal(
           gather.deps = std::move(gather_deps);
           gather.start_memory_delta = layer.sdp_transient_bytes;
           gather.memory_device = s;
+          gather.category = TaskCategory::kSdpGather;
+          gather.stage = s;
+          gather.micro_batch = k;
+          gather.layer = stage.first_layer + l;
           GALVATRON_ASSIGN_OR_RETURN(chain, add(std::move(gather)));
         }
 
@@ -343,6 +332,10 @@ Result<SimMetrics> Simulator::RunInternal(
         compute.end_memory_delta =
             -(layer.recompute_transient_bytes + layer.sdp_transient_bytes);
         compute.memory_device = s;
+        compute.category = TaskCategory::kForwardCompute;
+        compute.stage = s;
+        compute.micro_batch = k;
+        compute.layer = stage.first_layer + l;
         GALVATRON_ASSIGN_OR_RETURN(chain, add(std::move(compute)));
         fwd_compute_task[static_cast<size_t>(s)][static_cast<size_t>(k)]
             .push_back(chain);
@@ -353,6 +346,10 @@ Result<SimMetrics> Simulator::RunInternal(
           ar.streams = {comm_stream[static_cast<size_t>(s)]};
           ar.work_sec = layer.tp_ar_fwd;
           ar.deps = {chain};
+          ar.category = TaskCategory::kTpAllReduce;
+          ar.stage = s;
+          ar.micro_batch = k;
+          ar.layer = stage.first_layer + l;
           GALVATRON_ASSIGN_OR_RETURN(chain, add(std::move(ar)));
         }
       }
@@ -380,6 +377,9 @@ Result<SimMetrics> Simulator::RunInternal(
           cluster_->pipeline_rpc_overhead_sec();
       p2p.deps = {
           bwd_exit[static_cast<size_t>(s) + 1][static_cast<size_t>(k)]};
+      p2p.category = TaskCategory::kP2P;
+      p2p.stage = s;
+      p2p.micro_batch = k;
       GALVATRON_ASSIGN_OR_RETURN(entry_dep, add(std::move(p2p)));
     }
 
@@ -401,6 +401,10 @@ Result<SimMetrics> Simulator::RunInternal(
         transform.work_sec =
             stage_transforms[static_cast<size_t>(s)][static_cast<size_t>(l)];
         if (chain >= 0) transform.deps = {chain};
+        transform.category = TaskCategory::kTransformation;
+        transform.stage = s;
+        transform.micro_batch = k;
+        transform.layer = stage.first_layer + l + 1;
         GALVATRON_ASSIGN_OR_RETURN(chain, add(std::move(transform)));
       }
 
@@ -424,6 +428,10 @@ Result<SimMetrics> Simulator::RunInternal(
         gather.deps = std::move(gather_deps);
         gather.start_memory_delta = layer.sdp_transient_bytes;
         gather.memory_device = s;
+        gather.category = TaskCategory::kSdpGather;
+        gather.stage = s;
+        gather.micro_batch = k;
+        gather.layer = stage.first_layer + l;
         GALVATRON_ASSIGN_OR_RETURN(gather_id, add(std::move(gather)));
       }
 
@@ -455,6 +463,10 @@ Result<SimMetrics> Simulator::RunInternal(
           -(layer.activation_bytes + layer.recompute_transient_bytes +
             layer.sdp_transient_bytes);
       compute.memory_device = s;
+      compute.category = TaskCategory::kBackwardCompute;
+      compute.stage = s;
+      compute.micro_batch = k;
+      compute.layer = stage.first_layer + l;
       GALVATRON_ASSIGN_OR_RETURN(chain, add(std::move(compute)));
       prev_bwd_compute[static_cast<size_t>(s)][static_cast<size_t>(l)] = chain;
 
@@ -464,6 +476,10 @@ Result<SimMetrics> Simulator::RunInternal(
         ar.streams = {comm_stream[static_cast<size_t>(s)]};
         ar.work_sec = layer.tp_ar_bwd;
         ar.deps = {chain};
+        ar.category = TaskCategory::kTpAllReduce;
+        ar.stage = s;
+        ar.micro_batch = k;
+        ar.layer = stage.first_layer + l;
         GALVATRON_ASSIGN_OR_RETURN(chain, add(std::move(ar)));
       }
 
@@ -477,6 +493,9 @@ Result<SimMetrics> Simulator::RunInternal(
           ar.streams = {comm_stream[static_cast<size_t>(s)]};
           ar.work_sec = layer.dp_allreduce;
           ar.deps = {chain};
+          ar.category = TaskCategory::kDpAllReduce;
+          ar.stage = s;
+          ar.layer = stage.first_layer + l;
           GALVATRON_RETURN_IF_ERROR(add(std::move(ar)).status());
         }
         if (layer.sdp_scatter > 0) {
@@ -485,6 +504,9 @@ Result<SimMetrics> Simulator::RunInternal(
           rs.streams = {comm_stream[static_cast<size_t>(s)]};
           rs.work_sec = layer.sdp_scatter;
           rs.deps = {chain};
+          rs.category = TaskCategory::kSdpReduceScatter;
+          rs.stage = s;
+          rs.layer = stage.first_layer + l;
           GALVATRON_RETURN_IF_ERROR(add(std::move(rs)).status());
         }
       }
@@ -492,9 +514,21 @@ Result<SimMetrics> Simulator::RunInternal(
     bwd_exit[static_cast<size_t>(s)][static_cast<size_t>(k)] = chain;
   }
 
-  GALVATRON_ASSIGN_OR_RETURN(SimTimeline timeline, engine.Run());
-  if (chrome_trace_json != nullptr) {
-    *chrome_trace_json = TimelineToChromeTrace(engine, timeline);
+  GALVATRON_ASSIGN_OR_RETURN(
+      SimTimeline timeline, engine.Run(/*record_lost_time=*/trace != nullptr));
+  if (trace != nullptr) {
+    trace->overlap_slowdown = options_.overlap_slowdown;
+    trace->compute_jitter = options_.compute_jitter;
+    trace->seed = options_.seed;
+    trace->streams.reserve(static_cast<size_t>(engine.num_streams()));
+    for (int s = 0; s < engine.num_streams(); ++s) {
+      trace->streams.push_back(engine.stream(s));
+    }
+    trace->tasks.reserve(static_cast<size_t>(engine.num_tasks()));
+    for (int t = 0; t < engine.num_tasks(); ++t) {
+      trace->tasks.push_back(engine.task(t));
+    }
+    trace->timeline = timeline;
   }
 
   SimMetrics metrics;
@@ -508,6 +542,8 @@ Result<SimMetrics> Simulator::RunInternal(
     metrics.max_peak_memory_bytes =
         std::max(metrics.max_peak_memory_bytes, peak);
   }
+  metrics.stage_compute_busy_sec = timeline.compute_busy_sec;
+  metrics.stage_comm_busy_sec = timeline.comm_busy_sec;
   for (double busy : timeline.compute_busy_sec) {
     metrics.compute_busy_sec += busy;
   }

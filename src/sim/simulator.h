@@ -34,6 +34,12 @@ struct SimOptions {
   /// boundary transfers) — the per-iteration knob variable-length
   /// workloads turn (weight collectives are shape-independent).
   double work_scale = 1.0;
+  /// When true, Run(model, plan, &trace) captures the full execution trace
+  /// (every task with category/coordinates/timing plus per-task contention-
+  /// lost seconds) for the src/trace/ subsystem. Off by default: the
+  /// non-recording path performs identical scheduling arithmetic, so
+  /// SimMetrics are byte-identical with the flag on or off.
+  bool record_trace = false;
 };
 
 /// Measured results of simulating one training iteration.
@@ -47,8 +53,34 @@ struct SimMetrics {
   int64_t max_peak_memory_bytes = 0;
   int num_tasks = 0;
   int num_comm_groups = 0;  // distinct NCCL-style groups the plan needs
-  double compute_busy_sec = 0.0;  // summed over stages
-  double comm_busy_sec = 0.0;
+  /// Busy-time convention: one REPRESENTATIVE device is simulated per
+  /// pipeline stage, so these scalars are sums over the per-stage
+  /// representatives — NOT cluster-wide totals. A stage whose group spans
+  /// g devices contributes the busy time of one of them; scale each
+  /// stage's entry of the vectors below by its group width if you want a
+  /// cluster aggregate. Utilization of stage s is
+  /// stage_*_busy_sec[s] / iteration_seconds.
+  double compute_busy_sec = 0.0;  // sum of stage_compute_busy_sec
+  double comm_busy_sec = 0.0;     // sum of stage_comm_busy_sec
+  /// Per-stage busy seconds of the representative device's compute / comm
+  /// stream (same convention as above), indexed by pipeline stage.
+  std::vector<double> stage_compute_busy_sec;
+  std::vector<double> stage_comm_busy_sec;
+};
+
+/// The raw material of one traced simulation: the task graph exactly as the
+/// simulator built it (labels, categories, stage/micro-batch/layer
+/// coordinates, streams, memory deltas) plus the engine's completed
+/// timeline with per-task work/contention-lost seconds. Consumed by
+/// src/trace/ (recorder, analyzer, exporters); the sim layer itself only
+/// captures it.
+struct SimTrace {
+  double overlap_slowdown = 0.0;
+  double compute_jitter = 0.0;
+  uint64_t seed = 0;
+  std::vector<StreamSpec> streams;  // indexed by stream id
+  std::vector<SimTask> tasks;       // indexed by task id
+  SimTimeline timeline;             // includes task_work_sec/task_lost_sec
 };
 
 /// Discrete-event execution of a hybrid-parallel training iteration — the
@@ -75,25 +107,22 @@ class Simulator {
   Result<SimMetrics> Run(const ModelSpec& model,
                          const TrainingPlan& plan) const;
 
-  /// Like Run, but also renders the task timeline as a Chrome-tracing JSON
-  /// document (load in chrome://tracing or https://ui.perfetto.dev): one
-  /// track per (stage, stream), one slice per compute/communication task.
-  Result<SimMetrics> RunWithTrace(const ModelSpec& model,
-                                  const TrainingPlan& plan,
-                                  std::string* chrome_trace_json) const;
+  /// Like Run, but when SimOptions::record_trace is set and `trace` is
+  /// non-null, additionally fills `trace` with the full execution record
+  /// for src/trace/ (TraceRecorder / analyzer / exporters). With the flag
+  /// off, `trace` is cleared and the run is indistinguishable from the
+  /// two-argument overload.
+  Result<SimMetrics> Run(const ModelSpec& model, const TrainingPlan& plan,
+                         SimTrace* trace) const;
 
  private:
   Result<SimMetrics> RunInternal(const ModelSpec& model,
                                  const TrainingPlan& plan,
-                                 std::string* chrome_trace_json) const;
+                                 SimTrace* trace) const;
 
   const ClusterSpec* cluster_;
   SimOptions options_;
 };
-
-/// Serializes a completed timeline to the Chrome trace-event format.
-std::string TimelineToChromeTrace(const SimEngine& engine,
-                                  const SimTimeline& timeline);
 
 }  // namespace galvatron
 

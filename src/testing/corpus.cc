@@ -78,6 +78,13 @@ const std::vector<CorpusEntry>& SeedCorpus() {
           {FuzzCheck::kSpecJsonRoundTrip, 0x51ULL, "pinning seed"},
           {FuzzCheck::kSpecJsonRoundTrip, 0x52ULL, "pinning seed"},
           {FuzzCheck::kSpecJsonRoundTrip, 0x53ULL, "pinning seed"},
+          // Trace-conservation pins: traced runs over generated plans must
+          // keep per-stream attribution, per-task work+lost decomposition
+          // and the back-chained critical path conservation-exact, and the
+          // capture must not perturb SimMetrics.
+          {FuzzCheck::kTraceConservation, 0x61ULL, "pinning seed"},
+          {FuzzCheck::kTraceConservation, 0x62ULL, "pinning seed"},
+          {FuzzCheck::kTraceConservation, 0x63ULL, "pinning seed"},
       };
   return *kCorpus;
 }

@@ -11,6 +11,8 @@
 #include "parallel/decision_tree.h"
 #include "search/dp_search.h"
 #include "sim/simulator.h"
+#include "trace/analyzer.h"
+#include "trace/trace.h"
 #include "util/math_util.h"
 #include "util/string_util.h"
 
@@ -576,6 +578,123 @@ std::optional<CheckFailure> CheckSpecJsonRoundTrip(uint64_t seed,
   return std::nullopt;
 }
 
+/// Check (f): the trace subsystem's time attribution conserves. A traced
+/// simulation of a generated plan must satisfy, within 1e-9 x makespan:
+/// per stream Σ(elapsed) + idle == makespan; per task work + lost ==
+/// elapsed; the engine's integrated busy seconds reconcile with the summed
+/// trace events; and the back-chained critical path tiles [0, makespan]
+/// exactly. Recording the trace must also leave SimMetrics byte-identical
+/// to the untraced run (the capture is pure observation).
+std::optional<CheckFailure> CheckTraceConservation(uint64_t seed,
+                                                   const CheckOptions& options) {
+  const FuzzCheck kCheck = FuzzCheck::kTraceConservation;
+  Rng rng(seed);
+  const ModelSpec model = GenerateModel(&rng, options.generator);
+  const ClusterSpec cluster = GenerateCluster(&rng, options.generator);
+  Result<TrainingPlan> plan_or = GeneratePlan(&rng, model, cluster);
+  if (!plan_or.ok()) {
+    return MakeFailure(kCheck, seed,
+                       StrFormat("generator emitted an invalid plan: %s",
+                                 plan_or.status().ToString().c_str()));
+  }
+  const TrainingPlan& plan = *plan_or;
+
+  SimOptions traced_options;
+  traced_options.record_trace = true;
+  const Simulator traced_sim(&cluster, traced_options);
+  SimTrace sim_trace;
+  Result<SimMetrics> traced_or = traced_sim.Run(model, plan, &sim_trace);
+  if (!traced_or.ok()) {
+    return MakeFailure(kCheck, seed,
+                       StrFormat("traced simulation failed: %s",
+                                 traced_or.status().ToString().c_str()),
+                       &plan);
+  }
+  Result<trace::ExecutionTrace> exec_or = trace::RecordTrace(sim_trace);
+  if (!exec_or.ok()) {
+    return MakeFailure(kCheck, seed,
+                       StrFormat("RecordTrace rejected the capture: %s",
+                                 exec_or.status().ToString().c_str()),
+                       &plan);
+  }
+  Result<trace::AttributionReport> report_or = trace::Analyze(*exec_or);
+  if (!report_or.ok()) {
+    return MakeFailure(kCheck, seed,
+                       StrFormat("Analyze failed: %s",
+                                 report_or.status().ToString().c_str()),
+                       &plan);
+  }
+  const trace::AttributionReport& report = *report_or;
+  const double tolerance = 1e-9 * std::max(exec_or->makespan_sec, 1e-12);
+  if (report.max_stream_conservation_error_sec > tolerance) {
+    return MakeFailure(
+        kCheck, seed,
+        StrFormat("stream conservation violated: residual %.17g over "
+                  "makespan %.17g",
+                  report.max_stream_conservation_error_sec,
+                  exec_or->makespan_sec),
+        &plan);
+  }
+  if (report.max_task_decomposition_error_sec > tolerance) {
+    return MakeFailure(
+        kCheck, seed,
+        StrFormat("work + lost != elapsed: residual %.17g over makespan "
+                  "%.17g",
+                  report.max_task_decomposition_error_sec,
+                  exec_or->makespan_sec),
+        &plan);
+  }
+  if (report.max_busy_reconciliation_error_sec > tolerance) {
+    return MakeFailure(
+        kCheck, seed,
+        StrFormat("engine busy seconds disagree with summed trace events: "
+                  "residual %.17g over makespan %.17g",
+                  report.max_busy_reconciliation_error_sec,
+                  exec_or->makespan_sec),
+        &plan);
+  }
+  if (std::abs(report.critical_path_sec - exec_or->makespan_sec) >
+      tolerance) {
+    return MakeFailure(
+        kCheck, seed,
+        StrFormat("critical path %.17g does not tile the makespan %.17g",
+                  report.critical_path_sec, exec_or->makespan_sec),
+        &plan);
+  }
+
+  // Pure observation: the untraced run must yield byte-identical metrics.
+  const Simulator plain_sim(&cluster);
+  Result<SimMetrics> plain_or = plain_sim.Run(model, plan);
+  if (!plain_or.ok()) {
+    return MakeFailure(kCheck, seed,
+                       StrFormat("untraced simulation failed: %s",
+                                 plain_or.status().ToString().c_str()),
+                       &plan);
+  }
+  const SimMetrics& a = *traced_or;
+  const SimMetrics& b = *plain_or;
+  const bool identical =
+      a.iteration_seconds == b.iteration_seconds &&
+      a.throughput_samples_per_sec == b.throughput_samples_per_sec &&
+      a.oom == b.oom &&
+      a.stage_peak_memory_bytes == b.stage_peak_memory_bytes &&
+      a.max_peak_memory_bytes == b.max_peak_memory_bytes &&
+      a.num_tasks == b.num_tasks && a.num_comm_groups == b.num_comm_groups &&
+      a.compute_busy_sec == b.compute_busy_sec &&
+      a.comm_busy_sec == b.comm_busy_sec &&
+      a.stage_compute_busy_sec == b.stage_compute_busy_sec &&
+      a.stage_comm_busy_sec == b.stage_comm_busy_sec;
+  if (!identical) {
+    return MakeFailure(
+        kCheck, seed,
+        StrFormat("recording the trace perturbed SimMetrics: traced "
+                  "iteration %.17g vs untraced %.17g",
+                  a.iteration_seconds, b.iteration_seconds),
+        &plan);
+  }
+  return std::nullopt;
+}
+
 }  // namespace
 
 std::string_view FuzzCheckToString(FuzzCheck check) {
@@ -590,6 +709,8 @@ std::string_view FuzzCheckToString(FuzzCheck check) {
       return "json-roundtrip";
     case FuzzCheck::kSpecJsonRoundTrip:
       return "spec-json-roundtrip";
+    case FuzzCheck::kTraceConservation:
+      return "trace-conservation";
   }
   return "unknown";
 }
@@ -600,10 +721,11 @@ Result<FuzzCheck> FuzzCheckFromString(const std::string& text) {
   if (text == "memory-model") return FuzzCheck::kMemoryModel;
   if (text == "json-roundtrip") return FuzzCheck::kJsonRoundTrip;
   if (text == "spec-json-roundtrip") return FuzzCheck::kSpecJsonRoundTrip;
+  if (text == "trace-conservation") return FuzzCheck::kTraceConservation;
   return Status::InvalidArgument(
       StrFormat("unknown check '%s' (expected plan-validity, "
-                "search-equivalence, memory-model, json-roundtrip or "
-                "spec-json-roundtrip)",
+                "search-equivalence, memory-model, json-roundtrip, "
+                "spec-json-roundtrip or trace-conservation)",
                 text.c_str()));
 }
 
@@ -629,15 +751,17 @@ std::optional<CheckFailure> RunCheck(FuzzCheck check, uint64_t seed,
       return CheckJsonRoundTrip(seed, options);
     case FuzzCheck::kSpecJsonRoundTrip:
       return CheckSpecJsonRoundTrip(seed, options);
+    case FuzzCheck::kTraceConservation:
+      return CheckTraceConservation(seed, options);
   }
   return MakeFailure(check, seed, "unknown check");
 }
 
 FuzzReport RunFuzz(const FuzzOptions& options) {
   static const FuzzCheck kAll[] = {
-      FuzzCheck::kPlanValidity, FuzzCheck::kSearchEquivalence,
-      FuzzCheck::kMemoryModel, FuzzCheck::kJsonRoundTrip,
-      FuzzCheck::kSpecJsonRoundTrip};
+      FuzzCheck::kPlanValidity,      FuzzCheck::kSearchEquivalence,
+      FuzzCheck::kMemoryModel,       FuzzCheck::kJsonRoundTrip,
+      FuzzCheck::kSpecJsonRoundTrip, FuzzCheck::kTraceConservation};
   std::vector<FuzzCheck> checks = options.checks;
   if (checks.empty()) checks.assign(kAll, kAll + kNumFuzzChecks);
 

@@ -12,7 +12,7 @@
 
 namespace galvatron {
 
-/// The five differential checks (see docs/fuzzing.md):
+/// The six differential checks (see docs/fuzzing.md):
 ///   kPlanValidity      — generated plans Validate, render, and their
 ///                        strategies parse back (generator + plan layer).
 ///   kSearchEquivalence — DP search == brute force on small instances:
@@ -27,15 +27,23 @@ namespace galvatron {
 ///                        Parse*SpecJson -> *ToJson is bit-exact and
 ///                        field-exact over the hostile generators; the
 ///                        serving wire format rides on these serializers.
+///   kTraceConservation — a traced simulation's time attribution conserves:
+///                        per stream, Σ(category busy) + idle == makespan
+///                        and work + lost == elapsed per task (within
+///                        1e-9 x makespan); the critical path tiles
+///                        [0, makespan] exactly; and recording the trace
+///                        leaves SimMetrics byte-identical to the untraced
+///                        run.
 enum class FuzzCheck {
   kPlanValidity,
   kSearchEquivalence,
   kMemoryModel,
   kJsonRoundTrip,
   kSpecJsonRoundTrip,
+  kTraceConservation,
 };
 
-inline constexpr int kNumFuzzChecks = 5;
+inline constexpr int kNumFuzzChecks = 6;
 
 std::string_view FuzzCheckToString(FuzzCheck check);
 Result<FuzzCheck> FuzzCheckFromString(const std::string& text);
@@ -80,7 +88,7 @@ std::optional<CheckFailure> RunCheck(FuzzCheck check, uint64_t seed,
 struct FuzzOptions {
   uint64_t seed = 1;
   int iterations = 100;
-  /// Empty = all five checks.
+  /// Empty = all six checks.
   std::vector<FuzzCheck> checks;
   /// Stop collecting per check after this many failures (the campaign
   /// still finishes the other checks).

@@ -1,0 +1,214 @@
+#include "trace/analyzer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace galvatron {
+namespace trace {
+
+namespace {
+
+/// Length of the union of the (already start-ordered) event intervals on
+/// one stream. Events on a stream never overlap in a legal schedule, so
+/// this equals the plain sum of elapsed times; computing the union anyway
+/// turns any illegal overlap into a visible conservation error.
+double UnionBusySeconds(const ExecutionTrace& trace,
+                        const std::vector<int>& on_stream) {
+  double covered = 0.0;
+  bool open = false;
+  double cur_start = 0.0;
+  double cur_end = 0.0;
+  for (int id : on_stream) {
+    const TraceEvent& event = trace.events[static_cast<size_t>(id)];
+    if (!open) {
+      open = true;
+      cur_start = event.start_sec;
+      cur_end = event.finish_sec;
+    } else if (event.start_sec > cur_end) {
+      covered += cur_end - cur_start;
+      cur_start = event.start_sec;
+      cur_end = event.finish_sec;
+    } else {
+      cur_end = std::max(cur_end, event.finish_sec);
+    }
+  }
+  if (open) covered += cur_end - cur_start;
+  return covered;
+}
+
+}  // namespace
+
+Result<AttributionReport> Analyze(const ExecutionTrace& trace) {
+  AttributionReport report;
+  report.makespan_sec = trace.makespan_sec;
+  const size_t n = trace.events.size();
+  const int num_devices = trace.num_devices();
+
+  // ---- per-stream attribution and the conservation identity -------------
+  report.streams.reserve(trace.streams.size());
+  // Trace-side busy (work + lost sums) per (device, kind) for the engine
+  // reconciliation below.
+  std::vector<double> trace_compute_busy(static_cast<size_t>(num_devices),
+                                         0.0);
+  std::vector<double> trace_comm_busy(static_cast<size_t>(num_devices), 0.0);
+  std::vector<double> compute_union(static_cast<size_t>(num_devices), 0.0);
+  for (size_t s = 0; s < trace.streams.size(); ++s) {
+    const StreamSpec& spec = trace.streams[s];
+    StreamAttribution stream;
+    stream.stream_id = static_cast<int>(s);
+    stream.device = spec.device;
+    stream.kind = spec.kind;
+    double elapsed_sum = 0.0;
+    for (int id : trace.stream_events[s]) {
+      const TraceEvent& event = trace.events[static_cast<size_t>(id)];
+      stream.category_sec[static_cast<size_t>(event.category)] +=
+          event.elapsed_sec();
+      elapsed_sum += event.elapsed_sec();
+      stream.work_sec += event.work_sec;
+      stream.lost_sec += event.lost_sec;
+    }
+    stream.busy_sec = UnionBusySeconds(trace, trace.stream_events[s]);
+    stream.idle_sec = trace.makespan_sec - stream.busy_sec;
+    stream.conservation_error_sec =
+        std::abs(elapsed_sum + stream.idle_sec - trace.makespan_sec);
+    report.max_stream_conservation_error_sec =
+        std::max(report.max_stream_conservation_error_sec,
+                 stream.conservation_error_sec);
+    if (spec.device >= 0 && spec.device < num_devices) {
+      if (spec.kind == StreamKind::kCompute) {
+        trace_compute_busy[static_cast<size_t>(spec.device)] +=
+            stream.work_sec + stream.lost_sec;
+        compute_union[static_cast<size_t>(spec.device)] += stream.busy_sec;
+      } else {
+        trace_comm_busy[static_cast<size_t>(spec.device)] +=
+            stream.work_sec + stream.lost_sec;
+      }
+    }
+    report.streams.push_back(std::move(stream));
+  }
+
+  // ---- global per-category totals (once per task) -----------------------
+  for (const TraceEvent& event : trace.events) {
+    const size_t c = static_cast<size_t>(event.category);
+    report.category_elapsed_sec[c] += event.elapsed_sec();
+    report.category_work_sec[c] += event.work_sec;
+    report.category_lost_sec[c] += event.lost_sec;
+    report.total_lost_sec += event.lost_sec;
+    report.max_task_decomposition_error_sec =
+        std::max(report.max_task_decomposition_error_sec,
+                 std::abs(event.elapsed_sec() - event.work_sec -
+                          event.lost_sec));
+  }
+
+  // ---- engine-vs-trace busy reconciliation ------------------------------
+  // The engine integrated busy seconds per device while scheduling; the
+  // trace's work + lost sums must reproduce them (elapsed == work + lost
+  // per task, and a stream's busy time is the sum of its events' elapsed).
+  for (int d = 0; d < num_devices; ++d) {
+    report.max_busy_reconciliation_error_sec = std::max(
+        report.max_busy_reconciliation_error_sec,
+        std::abs(trace.compute_busy_sec[static_cast<size_t>(d)] -
+                 trace_compute_busy[static_cast<size_t>(d)]));
+    report.max_busy_reconciliation_error_sec = std::max(
+        report.max_busy_reconciliation_error_sec,
+        std::abs(trace.comm_busy_sec[static_cast<size_t>(d)] -
+                 trace_comm_busy[static_cast<size_t>(d)]));
+  }
+
+  // ---- utilization and the pipeline bubble ------------------------------
+  report.device_compute_utilization.assign(static_cast<size_t>(num_devices),
+                                           0.0);
+  report.device_comm_utilization.assign(static_cast<size_t>(num_devices),
+                                        0.0);
+  if (trace.makespan_sec > 0 && num_devices > 0) {
+    double idle_fraction_sum = 0.0;
+    std::vector<double> comm_union(static_cast<size_t>(num_devices), 0.0);
+    for (const StreamAttribution& stream : report.streams) {
+      if (stream.kind == StreamKind::kComm && stream.device >= 0 &&
+          stream.device < num_devices) {
+        comm_union[static_cast<size_t>(stream.device)] += stream.busy_sec;
+      }
+    }
+    for (int d = 0; d < num_devices; ++d) {
+      const double compute_util =
+          compute_union[static_cast<size_t>(d)] / trace.makespan_sec;
+      report.device_compute_utilization[static_cast<size_t>(d)] =
+          compute_util;
+      report.device_comm_utilization[static_cast<size_t>(d)] =
+          comm_union[static_cast<size_t>(d)] / trace.makespan_sec;
+      idle_fraction_sum += 1.0 - compute_util;
+    }
+    report.pipeline_bubble_fraction = idle_fraction_sum / num_devices;
+  }
+
+  // ---- critical path ----------------------------------------------------
+  // The engine starts a task only at t=0 or at the instant a completion
+  // event fires, and the completion that unblocked it is either one of its
+  // dependencies or the previous occupant of one of its streams. So walking
+  // back from the last-finishing event through the max-finish predecessor
+  // yields a chain whose links abut exactly — it tiles [0, makespan] and
+  // its summed elapsed time equals the makespan.
+  if (n > 0) {
+    // Previous occupant per (event, stream).
+    std::vector<std::vector<int>> stream_preds(n);
+    for (const std::vector<int>& on_stream : trace.stream_events) {
+      for (size_t i = 1; i < on_stream.size(); ++i) {
+        stream_preds[static_cast<size_t>(on_stream[i])].push_back(
+            on_stream[i - 1]);
+      }
+    }
+    int current = 0;
+    for (size_t t = 1; t < n; ++t) {
+      if (trace.events[t].finish_sec >
+          trace.events[static_cast<size_t>(current)].finish_sec) {
+        current = static_cast<int>(t);
+      }
+    }
+    const double tol = 1e-9 * std::max(trace.makespan_sec, 1e-300);
+    std::vector<int> path;
+    while (true) {
+      path.push_back(current);
+      const TraceEvent& event = trace.events[static_cast<size_t>(current)];
+      if (event.start_sec <= 0.0) break;
+      if (path.size() > n) {
+        return Status::Internal("critical-path walk did not terminate");
+      }
+      int best = -1;
+      double best_finish = -1.0;
+      auto consider = [&](int candidate) {
+        const double finish =
+            trace.events[static_cast<size_t>(candidate)].finish_sec;
+        if (finish > best_finish) {
+          best_finish = finish;
+          best = candidate;
+        }
+      };
+      for (int dep : event.deps) consider(dep);
+      for (int pred : stream_preds[static_cast<size_t>(current)]) {
+        consider(pred);
+      }
+      if (best < 0 || best_finish < event.start_sec - tol) {
+        return Status::Internal(StrFormat(
+            "critical-path walk stuck at task %d ('%s'): starts at %g but "
+            "no predecessor finishes then",
+            current, event.label.c_str(), event.start_sec));
+      }
+      current = best;
+    }
+    std::reverse(path.begin(), path.end());
+    for (int id : path) {
+      const TraceEvent& event = trace.events[static_cast<size_t>(id)];
+      report.critical_category_sec[static_cast<size_t>(event.category)] +=
+          event.elapsed_sec();
+      report.critical_path_sec += event.elapsed_sec();
+    }
+    report.critical_path = std::move(path);
+  }
+
+  return report;
+}
+
+}  // namespace trace
+}  // namespace galvatron

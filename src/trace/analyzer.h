@@ -1,0 +1,87 @@
+#ifndef GALVATRON_TRACE_ANALYZER_H_
+#define GALVATRON_TRACE_ANALYZER_H_
+
+#include <array>
+#include <vector>
+
+#include "trace/trace.h"
+#include "util/result.h"
+
+namespace galvatron {
+namespace trace {
+
+/// Per-category seconds, indexed by static_cast<int>(TaskCategory).
+using CategorySeconds = std::array<double, kNumTaskCategories>;
+
+/// Wall-time attribution of one stream (a serial lane: one compute or comm
+/// stream of one simulated device). The conservation identity the fuzz
+/// invariant pins down:
+///   sum over categories of category_sec[c] + idle_sec == makespan
+/// holds to floating-point rounding because a stream's events never overlap
+/// — busy_sec is computed from the union of event intervals, so any
+/// (illegal) overlap shows up as conservation_error_sec instead of being
+/// silently absorbed.
+struct StreamAttribution {
+  int stream_id = -1;
+  int device = 0;
+  StreamKind kind = StreamKind::kCompute;
+  CategorySeconds category_sec{};  // elapsed wall time per category
+  double busy_sec = 0.0;           // union of event intervals
+  double idle_sec = 0.0;           // makespan - busy_sec
+  double work_sec = 0.0;           // sum of full-rate work
+  double lost_sec = 0.0;           // sum of contention-lost seconds
+  /// |sum(category_sec) + idle_sec - makespan| == overlap within the
+  /// stream's events (zero for a legal schedule).
+  double conservation_error_sec = 0.0;
+};
+
+/// The analyzer's full report: per-stream attribution, global per-category
+/// totals, the critical path, utilization/bubble statistics, and the
+/// residuals of the conservation identities (all ~1e-16-scale for a legal
+/// trace; the kTraceConservation fuzz invariant asserts them below
+/// 1e-9 * makespan).
+struct AttributionReport {
+  double makespan_sec = 0.0;
+  std::vector<StreamAttribution> streams;
+
+  /// Global totals counted once per task (multi-stream collectives such as
+  /// P2P appear on every stream's attribution but only once here).
+  CategorySeconds category_elapsed_sec{};
+  CategorySeconds category_work_sec{};
+  CategorySeconds category_lost_sec{};
+  double total_lost_sec = 0.0;
+
+  /// The critical path: a chain of events, chronological, that tiles
+  /// [0, makespan] — each link starts exactly when its predecessor
+  /// finishes, because the engine starts tasks only at completion events.
+  /// Hence critical_path_sec == makespan for a legal trace.
+  std::vector<int> critical_path;  // event (task) ids
+  CategorySeconds critical_category_sec{};
+  double critical_path_sec = 0.0;
+
+  /// Fraction of compute-stream time spent idle, averaged over stages —
+  /// the pipeline-bubble metric.
+  double pipeline_bubble_fraction = 0.0;
+  std::vector<double> device_compute_utilization;  // busy / makespan
+  std::vector<double> device_comm_utilization;
+
+  /// Residuals of the cross-checks (max over streams / devices / tasks):
+  /// the stream conservation identity above; the engine's integrated
+  /// busy seconds vs the trace's per-event work + lost sums; and the
+  /// per-task decomposition elapsed == work + lost.
+  double max_stream_conservation_error_sec = 0.0;
+  double max_busy_reconciliation_error_sec = 0.0;
+  double max_task_decomposition_error_sec = 0.0;
+};
+
+/// Analyzes a recorded trace. Errors only on structural impossibilities
+/// (an event referencing an unknown stream, a critical-path walk that
+/// cannot find the predecessor the scheduler must have had); numerical
+/// violations are reported through the residual fields so callers (tests,
+/// the fuzz invariant) choose their own tolerance.
+Result<AttributionReport> Analyze(const ExecutionTrace& trace);
+
+}  // namespace trace
+}  // namespace galvatron
+
+#endif  // GALVATRON_TRACE_ANALYZER_H_

@@ -1,0 +1,308 @@
+#include "trace/export.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+
+namespace galvatron {
+namespace trace {
+
+namespace {
+
+JsonValue JsonOf(double value) {
+  JsonValue v;
+  v.kind = JsonValue::Kind::kNumber;
+  v.number = value;
+  return v;
+}
+
+JsonValue JsonOf(int64_t value) {
+  JsonValue v;
+  v.kind = JsonValue::Kind::kNumber;
+  v.number = static_cast<double>(value);
+  v.number_token = StrFormat("%lld", static_cast<long long>(value));
+  return v;
+}
+
+JsonValue JsonOf(int value) { return JsonOf(static_cast<int64_t>(value)); }
+
+JsonValue JsonOf(const std::string& value) {
+  JsonValue v;
+  v.kind = JsonValue::Kind::kString;
+  v.string = value;
+  return v;
+}
+
+JsonValue JsonOf(bool value) {
+  JsonValue v;
+  v.kind = JsonValue::Kind::kBool;
+  v.boolean = value;
+  return v;
+}
+
+JsonValue JsonObject() {
+  JsonValue v;
+  v.kind = JsonValue::Kind::kObject;
+  return v;
+}
+
+JsonValue JsonArray() {
+  JsonValue v;
+  v.kind = JsonValue::Kind::kArray;
+  return v;
+}
+
+std::string CategoryName(TaskCategory category) {
+  return std::string(TaskCategoryToString(category));
+}
+
+/// Chrome-tracing reserved color names, one per category, so the timeline
+/// is readable without configuration.
+const char* CategoryColor(TaskCategory category) {
+  switch (category) {
+    case TaskCategory::kForwardCompute: return "good";
+    case TaskCategory::kBackwardCompute: return "rail_animation";
+    case TaskCategory::kTpAllReduce: return "thread_state_runnable";
+    case TaskCategory::kDpAllReduce: return "terrible";
+    case TaskCategory::kSdpGather: return "rail_load";
+    case TaskCategory::kSdpReduceScatter: return "bad";
+    case TaskCategory::kTransformation: return "yellow";
+    case TaskCategory::kP2P: return "thread_state_iowait";
+    case TaskCategory::kStageInit: return "grey";
+    case TaskCategory::kOther: return "generic_work";
+  }
+  return "generic_work";
+}
+
+int StreamTid(StreamKind kind) {
+  return kind == StreamKind::kCompute ? 0 : 1;
+}
+
+}  // namespace
+
+std::string ToChromeTraceJson(const ExecutionTrace& trace) {
+  JsonValue doc = JsonObject();
+  doc.object["displayTimeUnit"] = JsonOf(std::string("ms"));
+  JsonValue events = JsonArray();
+
+  // Track metadata: one process per device (== pipeline stage), one thread
+  // per stream kind.
+  for (int d = 0; d < trace.num_devices(); ++d) {
+    JsonValue meta = JsonObject();
+    meta.object["ph"] = JsonOf(std::string("M"));
+    meta.object["name"] = JsonOf(std::string("process_name"));
+    meta.object["pid"] = JsonOf(d);
+    JsonValue args = JsonObject();
+    args.object["name"] = JsonOf(StrFormat("stage %d", d));
+    meta.object["args"] = std::move(args);
+    events.array.push_back(std::move(meta));
+  }
+  for (const StreamSpec& stream : trace.streams) {
+    JsonValue meta = JsonObject();
+    meta.object["ph"] = JsonOf(std::string("M"));
+    meta.object["name"] = JsonOf(std::string("thread_name"));
+    meta.object["pid"] = JsonOf(stream.device);
+    meta.object["tid"] = JsonOf(StreamTid(stream.kind));
+    JsonValue args = JsonObject();
+    args.object["name"] = JsonOf(std::string(
+        stream.kind == StreamKind::kCompute ? "compute" : "comm"));
+    meta.object["args"] = std::move(args);
+    events.array.push_back(std::move(meta));
+  }
+
+  // One "X" complete-event per (task, occupied stream); zero-duration
+  // bookkeeping tasks (stage init) are skipped like any zero-width slice.
+  for (const TraceEvent& event : trace.events) {
+    if (event.finish_sec <= event.start_sec) continue;
+    for (int stream_id : event.streams) {
+      const StreamSpec& stream =
+          trace.streams[static_cast<size_t>(stream_id)];
+      JsonValue slice = JsonObject();
+      slice.object["name"] = JsonOf(event.label);
+      slice.object["cat"] = JsonOf(CategoryName(event.category));
+      slice.object["ph"] = JsonOf(std::string("X"));
+      slice.object["ts"] = JsonOf(event.start_sec * 1e6);
+      slice.object["dur"] = JsonOf(event.elapsed_sec() * 1e6);
+      slice.object["pid"] = JsonOf(stream.device);
+      slice.object["tid"] = JsonOf(StreamTid(stream.kind));
+      slice.object["cname"] = JsonOf(std::string(
+          CategoryColor(event.category)));
+      JsonValue args = JsonObject();
+      args.object["task_id"] = JsonOf(event.task_id);
+      args.object["stage"] = JsonOf(event.stage);
+      args.object["micro_batch"] = JsonOf(event.micro_batch);
+      args.object["layer"] = JsonOf(event.layer);
+      args.object["work_sec"] = JsonOf(event.work_sec);
+      args.object["lost_sec"] = JsonOf(event.lost_sec);
+      slice.object["args"] = std::move(args);
+      events.array.push_back(std::move(slice));
+    }
+  }
+
+  // Per-device memory counter tracks.
+  for (int d = 0; d < trace.num_devices(); ++d) {
+    for (const MemorySample& sample :
+         trace.memory_timeline[static_cast<size_t>(d)]) {
+      JsonValue counter = JsonObject();
+      counter.object["ph"] = JsonOf(std::string("C"));
+      counter.object["name"] = JsonOf(std::string("memory"));
+      counter.object["pid"] = JsonOf(d);
+      counter.object["ts"] = JsonOf(sample.time_sec * 1e6);
+      JsonValue args = JsonObject();
+      args.object["bytes"] = JsonOf(sample.bytes);
+      counter.object["args"] = std::move(args);
+      events.array.push_back(std::move(counter));
+    }
+  }
+
+  doc.object["traceEvents"] = std::move(events);
+  return WriteJson(doc);
+}
+
+std::string ToAttributionJson(const ExecutionTrace& trace,
+                              const AttributionReport& report,
+                              const AttributionJsonOptions& options) {
+  JsonValue doc = JsonObject();
+  doc.object["makespan_sec"] = JsonOf(report.makespan_sec);
+  doc.object["overlap_slowdown"] = JsonOf(trace.overlap_slowdown);
+  doc.object["compute_jitter"] = JsonOf(trace.compute_jitter);
+  doc.object["total_lost_sec"] = JsonOf(report.total_lost_sec);
+  doc.object["pipeline_bubble_fraction"] =
+      JsonOf(report.pipeline_bubble_fraction);
+  doc.object["critical_path_sec"] = JsonOf(report.critical_path_sec);
+
+  JsonValue categories = JsonObject();
+  for (int c = 0; c < kNumTaskCategories; ++c) {
+    const size_t i = static_cast<size_t>(c);
+    if (report.category_elapsed_sec[i] == 0.0 &&
+        report.critical_category_sec[i] == 0.0) {
+      continue;
+    }
+    JsonValue entry = JsonObject();
+    entry.object["elapsed_sec"] = JsonOf(report.category_elapsed_sec[i]);
+    entry.object["work_sec"] = JsonOf(report.category_work_sec[i]);
+    entry.object["lost_sec"] = JsonOf(report.category_lost_sec[i]);
+    entry.object["critical_path_sec"] =
+        JsonOf(report.critical_category_sec[i]);
+    categories.object[CategoryName(static_cast<TaskCategory>(c))] =
+        std::move(entry);
+  }
+  doc.object["categories"] = std::move(categories);
+
+  JsonValue streams = JsonArray();
+  for (const StreamAttribution& stream : report.streams) {
+    JsonValue entry = JsonObject();
+    entry.object["device"] = JsonOf(stream.device);
+    entry.object["kind"] = JsonOf(std::string(
+        stream.kind == StreamKind::kCompute ? "compute" : "comm"));
+    entry.object["busy_sec"] = JsonOf(stream.busy_sec);
+    entry.object["idle_sec"] = JsonOf(stream.idle_sec);
+    entry.object["lost_sec"] = JsonOf(stream.lost_sec);
+    JsonValue per_category = JsonObject();
+    for (int c = 0; c < kNumTaskCategories; ++c) {
+      const size_t i = static_cast<size_t>(c);
+      if (stream.category_sec[i] == 0.0) continue;
+      per_category.object[CategoryName(static_cast<TaskCategory>(c))] =
+          JsonOf(stream.category_sec[i]);
+    }
+    entry.object["categories"] = std::move(per_category);
+    streams.array.push_back(std::move(entry));
+  }
+  doc.object["streams"] = std::move(streams);
+
+  JsonValue utilization = JsonObject();
+  JsonValue compute_util = JsonArray();
+  for (double u : report.device_compute_utilization) {
+    compute_util.array.push_back(JsonOf(u));
+  }
+  JsonValue comm_util = JsonArray();
+  for (double u : report.device_comm_utilization) {
+    comm_util.array.push_back(JsonOf(u));
+  }
+  utilization.object["compute"] = std::move(compute_util);
+  utilization.object["comm"] = std::move(comm_util);
+  doc.object["device_utilization"] = std::move(utilization);
+
+  JsonValue conservation = JsonObject();
+  conservation.object["max_stream_error_sec"] =
+      JsonOf(report.max_stream_conservation_error_sec);
+  conservation.object["max_busy_reconciliation_error_sec"] =
+      JsonOf(report.max_busy_reconciliation_error_sec);
+  conservation.object["max_task_decomposition_error_sec"] =
+      JsonOf(report.max_task_decomposition_error_sec);
+  doc.object["conservation"] = std::move(conservation);
+
+  const size_t path_entries =
+      std::min(options.max_critical_path_entries,
+               report.critical_path.size());
+  JsonValue path = JsonArray();
+  for (size_t i = 0; i < path_entries; ++i) {
+    const TraceEvent& event =
+        trace.events[static_cast<size_t>(report.critical_path[i])];
+    JsonValue entry = JsonObject();
+    entry.object["task_id"] = JsonOf(event.task_id);
+    entry.object["label"] = JsonOf(event.label);
+    entry.object["category"] = JsonOf(CategoryName(event.category));
+    entry.object["start_sec"] = JsonOf(event.start_sec);
+    entry.object["finish_sec"] = JsonOf(event.finish_sec);
+    entry.object["lost_sec"] = JsonOf(event.lost_sec);
+    path.array.push_back(std::move(entry));
+  }
+  doc.object["critical_path"] = std::move(path);
+  doc.object["critical_path_total_tasks"] =
+      JsonOf(static_cast<int64_t>(report.critical_path.size()));
+  doc.object["critical_path_truncated"] =
+      JsonOf(path_entries < report.critical_path.size());
+
+  return WriteJson(doc);
+}
+
+std::string RenderAttributionTable(const ExecutionTrace& trace,
+                                   const AttributionReport& report) {
+  TablePrinter table({"category", "critical path (ms)", "% of iteration",
+                      "busy (ms)", "lost (ms)"});
+  auto ms = [](double sec) { return StrFormat("%.4f", sec * 1e3); };
+  const double makespan = report.makespan_sec;
+  for (int c = 0; c < kNumTaskCategories; ++c) {
+    const size_t i = static_cast<size_t>(c);
+    if (report.category_elapsed_sec[i] == 0.0 &&
+        report.critical_category_sec[i] == 0.0) {
+      continue;
+    }
+    table.AddRow({CategoryName(static_cast<TaskCategory>(c)),
+                  ms(report.critical_category_sec[i]),
+                  StrFormat("%.1f%%",
+                            makespan > 0
+                                ? 100.0 * report.critical_category_sec[i] /
+                                      makespan
+                                : 0.0),
+                  ms(report.category_elapsed_sec[i]),
+                  ms(report.category_lost_sec[i])});
+  }
+  double total_busy = 0.0;
+  for (double b : report.category_elapsed_sec) total_busy += b;
+  table.AddRow({"total", ms(report.critical_path_sec),
+                StrFormat("%.1f%%", makespan > 0
+                                        ? 100.0 * report.critical_path_sec /
+                                              makespan
+                                        : 0.0),
+                ms(total_busy), ms(report.total_lost_sec)});
+
+  std::string out = table.ToString();
+  out += StrFormat(
+      "iteration %.4f ms | critical path %.4f ms over %d tasks | "
+      "pipeline bubble %.1f%% | contention-lost %.4f ms "
+      "(overlap slowdown %.2fx)\n",
+      makespan * 1e3, report.critical_path_sec * 1e3,
+      static_cast<int>(report.critical_path.size()),
+      100.0 * report.pipeline_bubble_fraction, report.total_lost_sec * 1e3,
+      trace.overlap_slowdown);
+  return out;
+}
+
+}  // namespace trace
+}  // namespace galvatron

@@ -1,0 +1,44 @@
+#ifndef GALVATRON_TRACE_EXPORT_H_
+#define GALVATRON_TRACE_EXPORT_H_
+
+#include <cstddef>
+#include <string>
+
+#include "trace/analyzer.h"
+#include "trace/trace.h"
+
+namespace galvatron {
+namespace trace {
+
+/// Renders the trace in the Chrome trace-event JSON format — load the file
+/// in https://ui.perfetto.dev or chrome://tracing. One process per
+/// simulated device (pid = device = pipeline stage), one thread per stream
+/// (tid 0 = compute, tid 1 = comm), "X" complete-events colored by category
+/// via "cname", and a "C" counter track per device charting the memory
+/// timeline. Built as a util/json document, so the output always parses
+/// back through ParseJson.
+std::string ToChromeTraceJson(const ExecutionTrace& trace);
+
+struct AttributionJsonOptions {
+  /// Critical-path entries beyond this are dropped from the JSON (the
+  /// serving handler caps response sizes); "critical_path_truncated"
+  /// records that it happened and the per-category totals stay exact.
+  size_t max_critical_path_entries = static_cast<size_t>(-1);
+};
+
+/// Compact machine-readable attribution report (schema in docs/tracing.md).
+std::string ToAttributionJson(const ExecutionTrace& trace,
+                              const AttributionReport& report,
+                              const AttributionJsonOptions& options = {});
+
+/// Human-readable attribution table (galvatron_cli --explain): one row per
+/// category with its critical-path share, total busy and contention-lost
+/// seconds. The critical-path column sums to the iteration time exactly —
+/// the critical path tiles [0, makespan].
+std::string RenderAttributionTable(const ExecutionTrace& trace,
+                                   const AttributionReport& report);
+
+}  // namespace trace
+}  // namespace galvatron
+
+#endif  // GALVATRON_TRACE_EXPORT_H_

@@ -1,0 +1,121 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+#include <tuple>
+
+#include "util/string_util.h"
+
+namespace galvatron {
+namespace trace {
+
+namespace {
+
+/// One memory delta at an instant, before per-device accumulation.
+struct MemoryDelta {
+  double time_sec = 0.0;
+  int64_t delta = 0;
+};
+
+}  // namespace
+
+Result<ExecutionTrace> RecordTrace(const SimTrace& sim_trace) {
+  const SimTimeline& timeline = sim_trace.timeline;
+  const size_t n = sim_trace.tasks.size();
+  if (timeline.tasks.size() != n) {
+    return Status::InvalidArgument(StrFormat(
+        "trace capture inconsistent: %d tasks, %d timings",
+        static_cast<int>(n), static_cast<int>(timeline.tasks.size())));
+  }
+  if (timeline.task_work_sec.size() != n ||
+      timeline.task_lost_sec.size() != n) {
+    return Status::InvalidArgument(
+        "trace capture has no per-task work/lost record — run the "
+        "simulator with SimOptions::record_trace");
+  }
+
+  ExecutionTrace trace;
+  trace.makespan_sec = timeline.makespan;
+  trace.overlap_slowdown = sim_trace.overlap_slowdown;
+  trace.compute_jitter = sim_trace.compute_jitter;
+  trace.seed = sim_trace.seed;
+  trace.streams = sim_trace.streams;
+  trace.compute_busy_sec = timeline.compute_busy_sec;
+  trace.comm_busy_sec = timeline.comm_busy_sec;
+  trace.peak_memory_bytes = timeline.peak_memory_bytes;
+
+  const int num_devices = static_cast<int>(timeline.compute_busy_sec.size());
+  std::vector<std::vector<MemoryDelta>> deltas(
+      static_cast<size_t>(num_devices));
+
+  trace.events.reserve(n);
+  trace.stream_events.assign(sim_trace.streams.size(), {});
+  for (size_t t = 0; t < n; ++t) {
+    const SimTask& task = sim_trace.tasks[t];
+    const TaskTiming& timing = timeline.tasks[t];
+    TraceEvent event;
+    event.task_id = static_cast<int>(t);
+    event.label = task.label;
+    event.category = task.category;
+    event.stage = task.stage;
+    event.micro_batch = task.micro_batch;
+    event.layer = task.layer;
+    event.streams = task.streams;
+    event.deps = task.deps;
+    event.start_sec = timing.start;
+    event.finish_sec = timing.finish;
+    event.work_sec = timeline.task_work_sec[t];
+    event.lost_sec = timeline.task_lost_sec[t];
+    for (int s : task.streams) {
+      if (s < 0 || s >= static_cast<int>(trace.stream_events.size())) {
+        return Status::InvalidArgument(
+            StrFormat("task %d occupies unknown stream %d",
+                      static_cast<int>(t), s));
+      }
+      trace.stream_events[static_cast<size_t>(s)].push_back(
+          static_cast<int>(t));
+    }
+    if (task.memory_device >= 0 && task.memory_device < num_devices) {
+      if (task.start_memory_delta != 0) {
+        deltas[static_cast<size_t>(task.memory_device)].push_back(
+            MemoryDelta{timing.start, task.start_memory_delta});
+      }
+      if (task.end_memory_delta != 0) {
+        deltas[static_cast<size_t>(task.memory_device)].push_back(
+            MemoryDelta{timing.finish, task.end_memory_delta});
+      }
+    }
+    trace.events.push_back(std::move(event));
+  }
+
+  for (std::vector<int>& on_stream : trace.stream_events) {
+    std::sort(on_stream.begin(), on_stream.end(), [&](int a, int b) {
+      return std::tie(trace.events[static_cast<size_t>(a)].start_sec, a) <
+             std::tie(trace.events[static_cast<size_t>(b)].start_sec, b);
+    });
+  }
+
+  trace.memory_timeline.assign(static_cast<size_t>(num_devices), {});
+  for (int d = 0; d < num_devices; ++d) {
+    std::vector<MemoryDelta>& device = deltas[static_cast<size_t>(d)];
+    std::stable_sort(device.begin(), device.end(),
+                     [](const MemoryDelta& a, const MemoryDelta& b) {
+                       return a.time_sec < b.time_sec;
+                     });
+    int64_t bytes = 0;
+    std::vector<MemorySample>& samples =
+        trace.memory_timeline[static_cast<size_t>(d)];
+    for (const MemoryDelta& delta : device) {
+      bytes += delta.delta;
+      if (!samples.empty() && samples.back().time_sec == delta.time_sec) {
+        samples.back().bytes = bytes;
+      } else {
+        samples.push_back(MemorySample{delta.time_sec, bytes});
+      }
+    }
+  }
+
+  return trace;
+}
+
+}  // namespace trace
+}  // namespace galvatron

@@ -1,0 +1,86 @@
+#ifndef GALVATRON_TRACE_TRACE_H_
+#define GALVATRON_TRACE_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/simulator.h"
+#include "util/result.h"
+
+namespace galvatron {
+namespace trace {
+
+/// One simulated task as the trace subsystem sees it: attribution metadata
+/// (category, stage/micro-batch/layer coordinates), the streams it occupied,
+/// its timing, and the decomposition of its wall time into full-rate work
+/// and contention-lost seconds. By construction
+///   finish_sec - start_sec = work_sec + lost_sec
+/// (within floating-point rounding): `work_sec` is the jitter-scaled
+/// duration the task would take alone, `lost_sec` integrates the
+/// (1 - rate) * dt stretch over the engine's piecewise-constant rate
+/// intervals while the task contended with its sibling stream (the paper's
+/// 1.3x compute/comm overlap slowdown, Sec 3.4).
+struct TraceEvent {
+  int task_id = -1;
+  std::string label;
+  TaskCategory category = TaskCategory::kOther;
+  int stage = -1;
+  int micro_batch = -1;
+  int layer = -1;
+  std::vector<int> streams;  // stream ids the task occupied
+  std::vector<int> deps;     // task ids it waited on
+  double start_sec = 0.0;
+  double finish_sec = 0.0;
+  double work_sec = 0.0;
+  double lost_sec = 0.0;
+
+  double elapsed_sec() const { return finish_sec - start_sec; }
+};
+
+/// A point in a per-device memory timeline: cumulative allocated bytes
+/// after all deltas at `time_sec` applied.
+struct MemorySample {
+  double time_sec = 0.0;
+  int64_t bytes = 0;
+};
+
+/// A recorded simulation: every task with timing and attribution, per-stream
+/// event orderings, and per-device memory timelines reconstructed from the
+/// tasks' start/end memory deltas. Produced by RecordTrace from the raw
+/// SimTrace the simulator captures; consumed by the analyzer and exporters.
+struct ExecutionTrace {
+  double makespan_sec = 0.0;
+  double overlap_slowdown = 0.0;
+  double compute_jitter = 0.0;
+  uint64_t seed = 0;
+  std::vector<StreamSpec> streams;      // indexed by stream id
+  std::vector<TraceEvent> events;       // indexed by task id
+  /// Per stream: event (task) ids in (start, task-id) order. Streams are
+  /// serial lanes, so consecutive entries never overlap in time.
+  std::vector<std::vector<int>> stream_events;
+  /// Per device: cumulative allocated bytes over time (one sample per
+  /// instant at which any delta applied, deltas at equal times merged).
+  std::vector<std::vector<MemorySample>> memory_timeline;
+  /// Engine-integrated busy seconds per device (one representative device
+  /// per pipeline stage; device id == stage id).
+  std::vector<double> compute_busy_sec;
+  std::vector<double> comm_busy_sec;
+  std::vector<int64_t> peak_memory_bytes;  // per device
+
+  int num_devices() const {
+    return static_cast<int>(compute_busy_sec.size());
+  }
+};
+
+/// Builds the execution trace from a simulator capture. Errors if the
+/// capture was made without per-task lost-time recording (i.e. the
+/// simulator ran without SimOptions::record_trace) or is internally
+/// inconsistent (sizes out of agreement).
+Result<ExecutionTrace> RecordTrace(const SimTrace& sim_trace);
+
+}  // namespace trace
+}  // namespace galvatron
+
+#endif  // GALVATRON_TRACE_TRACE_H_

@@ -5,6 +5,7 @@
 #include "cluster/cluster.h"
 #include "ir/model_zoo.h"
 #include "search/optimizer.h"
+#include "sim/simulator.h"
 
 namespace galvatron {
 namespace {
@@ -48,6 +49,47 @@ TEST(PerfRegressionTest, SparseExploresNoMoreStatesThanDense) {
   EXPECT_EQ(sparse->stats.dp_states_explored,
             sparse->stats.dp_breakpoints_emitted);
   EXPECT_EQ(dense->stats.dp_breakpoints_emitted, 0);
+}
+
+/// Timer-free tracing-off tripwire: with SimOptions::record_trace at its
+/// default (off), the simulator must do no tracing work at all — the
+/// two-argument Run and a Run handed a trace pointer must produce bitwise-
+/// identical metrics, and the capture structures must stay empty (no
+/// per-task vectors allocated, no tasks copied out). Any allocation or
+/// arithmetic sneaking into the untraced path shows up here as a filled
+/// structure or a perturbed double.
+TEST(PerfRegressionTest, TracingOffDoesNoRecordingWork) {
+  BertConfig config;
+  config.num_layers = 8;
+  config.hidden = 1024;
+  config.heads = 16;
+  const ModelSpec model = BuildBert("perf-bert", config);
+  const ClusterSpec cluster = MakeTitanNode8(12 * kGB);
+  auto plan = Optimizer(&cluster).Optimize(model);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+
+  const Simulator sim(&cluster);  // record_trace defaults to off
+  auto base = sim.Run(model, plan->plan);
+  ASSERT_TRUE(base.ok()) << base.status();
+
+  SimTrace capture;
+  auto with_pointer = sim.Run(model, plan->plan, &capture);
+  ASSERT_TRUE(with_pointer.ok());
+
+  EXPECT_EQ(base->iteration_seconds, with_pointer->iteration_seconds);
+  EXPECT_EQ(base->throughput_samples_per_sec,
+            with_pointer->throughput_samples_per_sec);
+  EXPECT_EQ(base->compute_busy_sec, with_pointer->compute_busy_sec);
+  EXPECT_EQ(base->comm_busy_sec, with_pointer->comm_busy_sec);
+  EXPECT_EQ(base->stage_peak_memory_bytes,
+            with_pointer->stage_peak_memory_bytes);
+
+  // The capture stayed empty: no task copies, no per-task timing vectors.
+  EXPECT_TRUE(capture.tasks.empty());
+  EXPECT_TRUE(capture.streams.empty());
+  EXPECT_TRUE(capture.timeline.tasks.empty());
+  EXPECT_TRUE(capture.timeline.task_work_sec.empty());
+  EXPECT_TRUE(capture.timeline.task_lost_sec.empty());
 }
 
 }  // namespace

@@ -6,6 +6,9 @@
 #include "api/plan_io.h"
 #include "api/plan_render.h"
 #include "testing/fuzz_generators.h"
+#include "trace/export.h"
+#include "trace/trace.h"
+#include "util/json.h"
 #include "util/math_util.h"
 #include "util/rng.h"
 
@@ -275,20 +278,28 @@ TEST_F(PlanIoTest, HostileGeneratedSpecsRoundTrip) {
 TEST_F(PlanIoTest, TraceExportIsWellFormedJson) {
   auto result = Galvatron::Plan(model_, cluster_);
   ASSERT_TRUE(result.ok());
-  Simulator simulator(&cluster_);
-  std::string trace;
-  auto metrics = simulator.RunWithTrace(model_, result->plan, &trace);
+  SimOptions sim_options;
+  sim_options.record_trace = true;
+  Simulator simulator(&cluster_, sim_options);
+  SimTrace sim_trace;
+  auto metrics = simulator.Run(model_, result->plan, &sim_trace);
   ASSERT_TRUE(metrics.ok());
-  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
-  EXPECT_NE(trace.find("\"ph\": \"X\""), std::string::npos);
-  // Event count is in the ballpark of the task count (multi-stream tasks
-  // emit one slice per stream).
-  size_t events = 0;
-  for (size_t pos = trace.find("\"name\""); pos != std::string::npos;
-       pos = trace.find("\"name\"", pos + 1)) {
-    ++events;
+  auto exec_trace = trace::RecordTrace(sim_trace);
+  ASSERT_TRUE(exec_trace.ok()) << exec_trace.status();
+  const std::string chrome = trace::ToChromeTraceJson(*exec_trace);
+  auto parsed = ParseJson(chrome);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  auto events = GetMember(*parsed, "traceEvents", JsonValue::Kind::kArray);
+  ASSERT_TRUE(events.ok());
+  // Slice count is in the ballpark of the task count (multi-stream tasks
+  // emit one slice per stream; zero-duration bookkeeping is skipped).
+  size_t slices = 0;
+  for (const JsonValue& event : (*events)->array) {
+    auto ph = GetString(event, "ph");
+    ASSERT_TRUE(ph.ok());
+    if (*ph == "X") ++slices;
   }
-  EXPECT_GE(events, static_cast<size_t>(metrics->num_tasks) / 2);
+  EXPECT_GE(slices, static_cast<size_t>(metrics->num_tasks) / 2);
 }
 
 TEST_F(PlanIoTest, DiagramShowsRunsAndBars) {

@@ -204,6 +204,66 @@ TEST_F(ServeTest, MeasureRunsTheSimulatorOnAServedPlan) {
   EXPECT_FALSE(*oom);
 }
 
+TEST_F(ServeTest, MeasureExplainReturnsAttributionAndCountsInMetrics) {
+  ServeMetrics serve_metrics;
+  PlanServiceOptions options;
+  options.metrics = &serve_metrics;
+  PlanService service(options);
+  auto direct = Galvatron::Plan(model_, cluster_);
+  ASSERT_TRUE(direct.ok());
+  const std::string common =
+      "\"model\": \"BERT-Huge-32\", \"cluster\": " +
+      ClusterSpecToJson(cluster_) + ", \"plan\": " + PlanToJson(direct->plan);
+
+  // Without explain, no attribution key and no counter increment.
+  const HttpResponse plain =
+      service.Handle(Post("/v1/measure", "{" + common + "}"));
+  ASSERT_EQ(plain.status, 200) << plain.body;
+  auto plain_json = ParseJson(plain.body);
+  ASSERT_TRUE(plain_json.ok());
+  EXPECT_EQ(FindMember(*plain_json, "attribution"), nullptr);
+  EXPECT_EQ(serve_metrics.explain(), 0);
+
+  const HttpResponse response = service.Handle(
+      Post("/v1/measure", "{" + common + ", \"explain\": true}"));
+  ASSERT_EQ(response.status, 200) << response.body;
+  auto parsed = ParseJson(response.body);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+
+  // Metrics are unchanged by the traced run (same simulator arithmetic).
+  const JsonValue* metrics = FindMember(*parsed, "metrics");
+  ASSERT_NE(metrics, nullptr);
+  auto iteration = GetDouble(*metrics, "iteration_seconds");
+  ASSERT_TRUE(iteration.ok());
+  auto sim = Galvatron::Measure(model_, direct->plan, cluster_);
+  ASSERT_TRUE(sim.ok());
+  EXPECT_DOUBLE_EQ(*iteration, sim->iteration_seconds);
+
+  // The attribution summary conserves: critical path == makespan ==
+  // iteration time, and the per-stream residuals are reported (tiny).
+  const JsonValue* attribution = FindMember(*parsed, "attribution");
+  ASSERT_NE(attribution, nullptr);
+  auto makespan = GetDouble(*attribution, "makespan_sec");
+  auto critical = GetDouble(*attribution, "critical_path_sec");
+  ASSERT_TRUE(makespan.ok() && critical.ok());
+  EXPECT_DOUBLE_EQ(*makespan, sim->iteration_seconds);
+  EXPECT_NEAR(*critical, *makespan, 1e-9 * *makespan);
+  ASSERT_NE(FindMember(*attribution, "categories"), nullptr);
+  ASSERT_NE(FindMember(*attribution, "conservation"), nullptr);
+  auto path = GetMember(*attribution, "critical_path",
+                        JsonValue::Kind::kArray);
+  ASSERT_TRUE(path.ok());
+  EXPECT_LE((*path)->array.size(), 128u);  // the serving size cap
+
+  // Counted in /metrics.
+  EXPECT_EQ(serve_metrics.explain(), 1);
+  const HttpResponse exposition = service.Handle(Get("/metrics"));
+  EXPECT_NE(
+      exposition.body.find("galvatron_serve_measure_explain_total 1"),
+      std::string::npos)
+      << exposition.body;
+}
+
 TEST_F(ServeTest, MetricsExpositionCountsRequestsAndCacheOutcomes) {
   ServeMetrics metrics;
   PlanServiceOptions options;

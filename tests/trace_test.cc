@@ -1,0 +1,278 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "ir/model_zoo.h"
+#include "parallel/pipeline_partition.h"
+#include "parallel/plan.h"
+#include "sim/engine.h"
+#include "sim/simulator.h"
+#include "trace/analyzer.h"
+#include "trace/export.h"
+#include "trace/trace.h"
+#include "util/json.h"
+#include "util/math_util.h"
+
+namespace galvatron {
+namespace {
+
+HybridStrategy Make(std::vector<ParallelComponent> levels) {
+  auto r = HybridStrategy::Create(std::move(levels));
+  EXPECT_TRUE(r.ok()) << r.status();
+  return *std::move(r);
+}
+
+class TraceTest : public ::testing::Test {
+ protected:
+  TraceTest()
+      : cluster_(MakeTitanNode8(16 * kGB)),
+        bert_(BuildModel(ModelId::kBertHuge32)) {}
+
+  /// A 2-stage pipeline over 8 devices, TP=2 x DP=2 within each stage —
+  /// exercises every task category at once (compute, TP all-reduce, DP
+  /// gradient all-reduce, transformation, P2P, stage init).
+  TrainingPlan TwoStageTpDpPlan() {
+    auto sizes = PartitionPipeline(bert_, 2, PartitionPolicy::kFlops);
+    auto plan = MakeUniformPlan(
+        bert_, 8, 2, *sizes,
+        Make({{ParallelDim::kTensor, 2}, {ParallelDim::kData, 2}}), 16, 4);
+    EXPECT_TRUE(plan.ok()) << plan.status();
+    return *std::move(plan);
+  }
+
+  trace::ExecutionTrace Traced(const TrainingPlan& plan) {
+    SimOptions options;
+    options.record_trace = true;
+    Simulator sim(&cluster_, options);
+    SimTrace sim_trace;
+    auto metrics = sim.Run(bert_, plan, &sim_trace);
+    EXPECT_TRUE(metrics.ok()) << metrics.status();
+    auto exec = trace::RecordTrace(sim_trace);
+    EXPECT_TRUE(exec.ok()) << exec.status();
+    return *std::move(exec);
+  }
+
+  ClusterSpec cluster_;
+  ModelSpec bert_;
+};
+
+TEST_F(TraceTest, ConservationHoldsOnTwoStageTpDpPlan) {
+  trace::ExecutionTrace exec = Traced(TwoStageTpDpPlan());
+  auto report = trace::Analyze(exec);
+  ASSERT_TRUE(report.ok()) << report.status();
+
+  const double tolerance = 1e-9 * exec.makespan_sec;
+  EXPECT_LE(report->max_stream_conservation_error_sec, tolerance);
+  EXPECT_LE(report->max_task_decomposition_error_sec, tolerance);
+  EXPECT_LE(report->max_busy_reconciliation_error_sec, tolerance);
+
+  // Per stream: sum over categories + idle == makespan, recomputed here
+  // from the report's own numbers rather than trusting the residual field.
+  for (const trace::StreamAttribution& stream : report->streams) {
+    double attributed = stream.idle_sec;
+    for (double sec : stream.category_sec) attributed += sec;
+    EXPECT_NEAR(attributed, exec.makespan_sec, tolerance)
+        << "stream " << stream.stream_id;
+    EXPECT_NEAR(stream.busy_sec + stream.idle_sec, exec.makespan_sec,
+                tolerance);
+  }
+
+  // Global category totals: every task counted once, so the elapsed total
+  // decomposes into work + lost per category.
+  for (int c = 0; c < kNumTaskCategories; ++c) {
+    EXPECT_NEAR(report->category_elapsed_sec[static_cast<size_t>(c)],
+                report->category_work_sec[static_cast<size_t>(c)] +
+                    report->category_lost_sec[static_cast<size_t>(c)],
+                tolerance);
+  }
+  // A TP x DP pipeline plan exercises compute, TP and DP collectives, and
+  // the pipeline plumbing.
+  using C = TaskCategory;
+  for (C c : {C::kForwardCompute, C::kBackwardCompute, C::kTpAllReduce,
+              C::kDpAllReduce, C::kP2P}) {
+    EXPECT_GT(report->category_elapsed_sec[static_cast<size_t>(
+                  static_cast<int>(c))],
+              0.0)
+        << TaskCategoryToString(c);
+  }
+}
+
+TEST_F(TraceTest, CriticalPathTilesTheMakespan) {
+  trace::ExecutionTrace exec = Traced(TwoStageTpDpPlan());
+  auto report = trace::Analyze(exec);
+  ASSERT_TRUE(report.ok()) << report.status();
+
+  const double tolerance = 1e-9 * exec.makespan_sec;
+  EXPECT_NEAR(report->critical_path_sec, exec.makespan_sec, tolerance);
+  ASSERT_FALSE(report->critical_path.empty());
+
+  // Chronological, abutting links from t=0 to the makespan.
+  const trace::TraceEvent& first =
+      exec.events[static_cast<size_t>(report->critical_path.front())];
+  const trace::TraceEvent& last =
+      exec.events[static_cast<size_t>(report->critical_path.back())];
+  EXPECT_NEAR(first.start_sec, 0.0, tolerance);
+  EXPECT_NEAR(last.finish_sec, exec.makespan_sec, tolerance);
+  for (size_t i = 1; i < report->critical_path.size(); ++i) {
+    const trace::TraceEvent& prev =
+        exec.events[static_cast<size_t>(report->critical_path[i - 1])];
+    const trace::TraceEvent& next =
+        exec.events[static_cast<size_t>(report->critical_path[i])];
+    EXPECT_NEAR(prev.finish_sec, next.start_sec, tolerance) << "link " << i;
+  }
+
+  // The per-category split of the path sums back to the makespan.
+  double split = 0.0;
+  for (double sec : report->critical_category_sec) split += sec;
+  EXPECT_NEAR(split, exec.makespan_sec, tolerance);
+}
+
+TEST(TraceOverlapTest, TwoTaskContentionCostsExactlyPointThreeOfMin) {
+  // The Sec-3.4 closed form: compute 2.0 overlapping comm 1.0 on one
+  // device runs the overlapped span at 1/1.3, so the makespan is
+  // max + 0.3 * min = 2.3 and EACH task loses 0.3 * min = 0.3 to
+  // contention. Jitter off so the numbers are exact.
+  SimEngine engine(1.3, /*compute_jitter=*/0.0, /*seed=*/1);
+  const int comp = engine.AddStream({0, StreamKind::kCompute});
+  const int comm = engine.AddStream({0, StreamKind::kComm});
+  SimTask compute_task;
+  compute_task.label = "fwd";
+  compute_task.streams = {comp};
+  compute_task.work_sec = 2.0;
+  compute_task.category = TaskCategory::kForwardCompute;
+  SimTask comm_task;
+  comm_task.label = "allreduce";
+  comm_task.streams = {comm};
+  comm_task.work_sec = 1.0;
+  comm_task.category = TaskCategory::kTpAllReduce;
+  ASSERT_TRUE(engine.AddTask(compute_task).ok());
+  ASSERT_TRUE(engine.AddTask(comm_task).ok());
+
+  auto timeline = engine.Run(/*record_lost_time=*/true);
+  ASSERT_TRUE(timeline.ok()) << timeline.status();
+
+  SimTrace sim_trace;
+  sim_trace.overlap_slowdown = 1.3;
+  sim_trace.compute_jitter = 0.0;
+  sim_trace.seed = 1;
+  sim_trace.streams = {engine.stream(comp), engine.stream(comm)};
+  sim_trace.tasks = {compute_task, comm_task};
+  sim_trace.timeline = *timeline;
+  auto exec = trace::RecordTrace(sim_trace);
+  ASSERT_TRUE(exec.ok()) << exec.status();
+  auto report = trace::Analyze(*exec);
+  ASSERT_TRUE(report.ok()) << report.status();
+
+  EXPECT_NEAR(exec->makespan_sec, 2.3, 1e-12);
+  ASSERT_EQ(exec->events.size(), 2u);
+  EXPECT_NEAR(exec->events[0].work_sec, 2.0, 1e-12);
+  EXPECT_NEAR(exec->events[0].lost_sec, 0.3, 1e-12);
+  EXPECT_NEAR(exec->events[1].work_sec, 1.0, 1e-12);
+  EXPECT_NEAR(exec->events[1].lost_sec, 0.3, 1e-12);
+  EXPECT_NEAR(report->total_lost_sec, 0.6, 1e-12);
+
+  // The whole makespan is compute-critical: the compute task alone spans
+  // [0, 2.3].
+  ASSERT_EQ(report->critical_path.size(), 1u);
+  EXPECT_EQ(report->critical_path[0], 0);
+  const auto fwd = static_cast<size_t>(
+      static_cast<int>(TaskCategory::kForwardCompute));
+  EXPECT_NEAR(report->critical_category_sec[fwd], 2.3, 1e-12);
+}
+
+TEST_F(TraceTest, ChromeTraceRoundTripsThroughJsonParser) {
+  trace::ExecutionTrace exec = Traced(TwoStageTpDpPlan());
+  const std::string chrome = trace::ToChromeTraceJson(exec);
+  auto parsed = ParseJson(chrome);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+
+  auto events = GetMember(*parsed, "traceEvents", JsonValue::Kind::kArray);
+  ASSERT_TRUE(events.ok()) << events.status();
+  size_t slices = 0;
+  size_t counters = 0;
+  std::vector<std::pair<int, int>> tracks;  // (pid, tid) seen on slices
+  for (const JsonValue& event : (*events)->array) {
+    auto ph = GetString(event, "ph");
+    ASSERT_TRUE(ph.ok()) << ph.status();
+    if (*ph == "C") ++counters;
+    if (*ph != "X") continue;
+    ++slices;
+    // Every slice carries the full Chrome schema: timestamp + duration in
+    // microseconds and the (pid, tid) track coordinates.
+    auto ts = GetDouble(event, "ts");
+    auto dur = GetDouble(event, "dur");
+    auto pid = GetInt(event, "pid", 0);
+    auto tid = GetInt(event, "tid", 0);
+    ASSERT_TRUE(ts.ok() && dur.ok() && pid.ok() && tid.ok());
+    EXPECT_GE(*ts, 0.0);
+    EXPECT_GT(*dur, 0.0);
+    EXPECT_LE(*ts + *dur, exec.makespan_sec * 1e6 * (1 + 1e-9));
+    EXPECT_TRUE(*tid == 0 || *tid == 1) << "tid " << *tid;
+    ASSERT_TRUE(GetString(event, "cat").ok());
+    ASSERT_TRUE(GetString(event, "name").ok());
+    tracks.emplace_back(*pid, *tid);
+  }
+  EXPECT_GT(slices, 0u);
+  EXPECT_GT(counters, 0u);
+
+  // One track per stream: every stream with at least one nonzero-duration
+  // event appears as a distinct (pid=device, tid=kind) pair.
+  std::sort(tracks.begin(), tracks.end());
+  tracks.erase(std::unique(tracks.begin(), tracks.end()), tracks.end());
+  size_t active_streams = 0;
+  for (size_t s = 0; s < exec.stream_events.size(); ++s) {
+    for (int id : exec.stream_events[s]) {
+      if (exec.events[static_cast<size_t>(id)].elapsed_sec() > 0.0) {
+        ++active_streams;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(tracks.size(), active_streams);
+}
+
+TEST_F(TraceTest, RecordingOffLeavesMetricsByteIdentical) {
+  TrainingPlan plan = TwoStageTpDpPlan();
+  Simulator plain(&cluster_);
+  auto base = plain.Run(bert_, plan);
+  ASSERT_TRUE(base.ok());
+
+  SimOptions options;
+  options.record_trace = true;
+  Simulator traced(&cluster_, options);
+  SimTrace sim_trace;
+  auto recorded = traced.Run(bert_, plan, &sim_trace);
+  ASSERT_TRUE(recorded.ok());
+
+  // Bitwise equality, not tolerance: the capture is pure observation.
+  EXPECT_EQ(base->iteration_seconds, recorded->iteration_seconds);
+  EXPECT_EQ(base->throughput_samples_per_sec,
+            recorded->throughput_samples_per_sec);
+  EXPECT_EQ(base->oom, recorded->oom);
+  EXPECT_EQ(base->stage_peak_memory_bytes, recorded->stage_peak_memory_bytes);
+  EXPECT_EQ(base->max_peak_memory_bytes, recorded->max_peak_memory_bytes);
+  EXPECT_EQ(base->num_tasks, recorded->num_tasks);
+  EXPECT_EQ(base->num_comm_groups, recorded->num_comm_groups);
+  EXPECT_EQ(base->compute_busy_sec, recorded->compute_busy_sec);
+  EXPECT_EQ(base->comm_busy_sec, recorded->comm_busy_sec);
+  EXPECT_EQ(base->stage_compute_busy_sec, recorded->stage_compute_busy_sec);
+  EXPECT_EQ(base->stage_comm_busy_sec, recorded->stage_comm_busy_sec);
+
+  // With the flag off, a passed trace pointer is cleared, not filled.
+  Simulator off(&cluster_);
+  SimTrace untouched;
+  untouched.seed = 0xdead;  // must be reset by the cleared capture
+  auto metrics = off.Run(bert_, plan, &untouched);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_TRUE(untouched.tasks.empty());
+  EXPECT_TRUE(untouched.timeline.task_work_sec.empty());
+  EXPECT_TRUE(untouched.timeline.task_lost_sec.empty());
+  EXPECT_EQ(untouched.seed, 0u);
+}
+
+}  // namespace
+}  // namespace galvatron

@@ -17,6 +17,9 @@
 #include "api/galvatron.h"
 #include "api/plan_io.h"
 #include "serve/http.h"
+#include "trace/analyzer.h"
+#include "trace/export.h"
+#include "trace/trace.h"
 #include "util/json.h"
 #include "util/string_util.h"
 
@@ -37,6 +40,8 @@ struct CliArgs {
   int search_threads = 1;
   std::string json_out;
   std::string trace_out;
+  std::string explain_json;  // attribution report as JSON
+  bool explain = false;      // print the attribution table
   std::string server;       // host:port of a galvatron_serve daemon
   double deadline_ms = 0;   // per-request server deadline (0 = none)
   bool list_models = false;
@@ -61,7 +66,14 @@ void PrintUsage() {
                       (default 1 = serial, 0 = all hardware threads;
                       the resulting plan is identical for every N)
   --json-out FILE     write the plan as JSON
-  --trace-out FILE    write a Chrome trace of the simulated iteration
+  --trace FILE        write a Chrome trace of the simulated iteration
+                      (load in https://ui.perfetto.dev; --trace-out is an
+                      alias). One track per simulated stream, slices
+                      colored by cost category, per-device memory counters
+  --explain           print the per-category time-attribution table:
+                      critical-path breakdown, busy and contention-lost
+                      seconds (rows sum to the iteration time)
+  --explain-json FILE write the machine-readable attribution report
   --server HOST:PORT  don't search locally; POST the request to a running
                       galvatron_serve daemon and print its answer
   --deadline-ms X     per-request search deadline in server mode
@@ -138,8 +150,12 @@ Result<CliArgs> ParseArgs(int argc, char** argv) {
       }
     } else if (flag == "--json-out") {
       GALVATRON_ASSIGN_OR_RETURN(args.json_out, next());
-    } else if (flag == "--trace-out") {
+    } else if (flag == "--trace" || flag == "--trace-out") {
       GALVATRON_ASSIGN_OR_RETURN(args.trace_out, next());
+    } else if (flag == "--explain") {
+      args.explain = true;
+    } else if (flag == "--explain-json") {
+      GALVATRON_ASSIGN_OR_RETURN(args.explain_json, next());
     } else if (flag == "--server") {
       GALVATRON_ASSIGN_OR_RETURN(args.server, next());
     } else if (flag == "--deadline-ms") {
@@ -180,8 +196,10 @@ Result<int> RunRemote(const CliArgs& args) {
         "--mode baselines run locally; the server always answers with the "
         "full Galvatron search");
   }
-  if (!args.trace_out.empty()) {
-    return Status::InvalidArgument("--trace-out is local-only");
+  if (!args.trace_out.empty() || args.explain || !args.explain_json.empty()) {
+    return Status::InvalidArgument(
+        "--trace/--explain are local-only (POST /v1/measure with "
+        "\"explain\": true for a served attribution summary)");
   }
   const size_t colon = args.server.rfind(':');
   if (colon == std::string::npos) {
@@ -324,12 +342,16 @@ Result<int> RunCli(const CliArgs& args) {
         static_cast<long long>(sstats.cost_cache_misses));
   }
 
-  Simulator simulator(&cluster);
-  std::string trace;
+  const bool want_trace =
+      !args.trace_out.empty() || args.explain || !args.explain_json.empty();
+  SimOptions sim_options;
+  sim_options.record_trace = want_trace;
+  Simulator simulator(&cluster, sim_options);
+  SimTrace sim_trace;
   GALVATRON_ASSIGN_OR_RETURN(
       SimMetrics metrics,
-      simulator.RunWithTrace(model, result->plan,
-                             args.trace_out.empty() ? nullptr : &trace));
+      want_trace ? simulator.Run(model, result->plan, &sim_trace)
+                 : simulator.Run(model, result->plan));
   std::printf("estimated: %.2f samples/s\n",
               result->estimated.throughput_samples_per_sec);
   std::printf("simulated: %.2f samples/s, iteration %.3fs, peak %s%s\n",
@@ -344,12 +366,28 @@ Result<int> RunCli(const CliArgs& args) {
     out << PlanToJson(result->plan);
     std::printf("plan written to %s\n", args.json_out.c_str());
   }
-  if (!args.trace_out.empty()) {
-    std::ofstream out(args.trace_out);
-    if (!out) return Status::Internal("cannot write " + args.trace_out);
-    out << trace;
-    std::printf("trace written to %s (open in chrome://tracing)\n",
-                args.trace_out.c_str());
+  if (want_trace) {
+    GALVATRON_ASSIGN_OR_RETURN(trace::ExecutionTrace exec_trace,
+                               trace::RecordTrace(sim_trace));
+    GALVATRON_ASSIGN_OR_RETURN(trace::AttributionReport report,
+                               trace::Analyze(exec_trace));
+    if (args.explain) {
+      std::printf("\n%s",
+                  trace::RenderAttributionTable(exec_trace, report).c_str());
+    }
+    if (!args.trace_out.empty()) {
+      std::ofstream out(args.trace_out);
+      if (!out) return Status::Internal("cannot write " + args.trace_out);
+      out << trace::ToChromeTraceJson(exec_trace) << "\n";
+      std::printf("trace written to %s (open in https://ui.perfetto.dev)\n",
+                  args.trace_out.c_str());
+    }
+    if (!args.explain_json.empty()) {
+      std::ofstream out(args.explain_json);
+      if (!out) return Status::Internal("cannot write " + args.explain_json);
+      out << trace::ToAttributionJson(exec_trace, report) << "\n";
+      std::printf("attribution written to %s\n", args.explain_json.c_str());
+    }
   }
   return metrics.oom ? 2 : 0;
 }
