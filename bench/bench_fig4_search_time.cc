@@ -143,20 +143,14 @@ void RecordOptimizeSearch(bench::BenchJson* out, const std::string& name,
   options.use_sparse_dp = use_sparse_dp;
   Optimizer optimizer(&cluster, options);
   ModelSpec model = BuildModel(ModelId::kBertHuge32);
-  double best_ms = 0.0;
   SearchStats stats;
-  for (int i = 0; i < reps; ++i) {
-    const auto start = std::chrono::steady_clock::now();
+  const double best_ms = bench::BestOfMs(reps, [&] {
     auto result = optimizer.Optimize(model);
-    const double ms =
-        std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - start)
-            .count();
     GALVATRON_CHECK(result.ok());
-    if (i == 0 || ms < best_ms) best_ms = ms;
     stats = result->stats;
-  }
+  });
   out->Record(name, "wall_ms", best_ms);
+  out->Record(name, "repetitions", reps);
   out->Record(name, "threads", stats.search_threads_used);
   out->Record(name, "configs_explored", stats.configs_explored);
   out->Record(name, "dp_states_explored",
@@ -183,21 +177,15 @@ void RecordDpKernel(bench::BenchJson* out, const std::string& name,
   ModelSpec model = LayeredBert(32);
   auto candidates = EnumerateSingleLayerStrategies(8);
   GALVATRON_CHECK(candidates.ok());
-  double best_ms = 0.0;
   int64_t states = 0;
-  for (int i = 0; i < reps; ++i) {
-    const auto start = std::chrono::steady_clock::now();
+  const double best_ms = bench::BestOfMs(reps, [&] {
     auto result = search.Run(model, 0, model.num_layers(), *candidates, 0, 8,
                              1, 16 * kGB);
-    const double ms =
-        std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - start)
-            .count();
     GALVATRON_CHECK(result.ok());
-    if (i == 0 || ms < best_ms) best_ms = ms;
     states = result->states_explored;
-  }
+  });
   out->Record(name, "wall_ms", best_ms);
+  out->Record(name, "repetitions", reps);
   out->Record(name, "dp_states_explored", static_cast<double>(states));
   out->Record(name, "threads", 1);
 }

@@ -20,6 +20,7 @@
 #define GALVATRON_BENCH_BENCH_JSON_H_
 
 #include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -27,6 +28,26 @@
 
 namespace galvatron {
 namespace bench {
+
+/// Best-of-N timing: runs `fn` `repetitions` times and returns the fastest
+/// wall-clock milliseconds. Single-shot wall_ms entries are noisy (first
+/// runs pay allocator and cache warm-up; any run can be preempted), and a
+/// perf tripwire diffing a best-of-5 against a single shot compares
+/// apples to oranges — so every wall_ms in BENCH_search.json is recorded
+/// through this helper together with an explicit "repetitions" metric.
+template <typename Fn>
+double BestOfMs(int repetitions, Fn&& fn) {
+  double best_ms = 0.0;
+  for (int i = 0; i < repetitions; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    if (i == 0 || ms < best_ms) best_ms = ms;
+  }
+  return best_ms;
+}
 
 class BenchJson {
  public:

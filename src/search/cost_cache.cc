@@ -1,5 +1,8 @@
 #include "search/cost_cache.h"
 
+#include <functional>
+#include <vector>
+
 #include "parallel/transformation.h"
 #include "util/logging.h"
 #include "util/string_util.h"
@@ -15,6 +18,50 @@ inline size_t HashCombine(size_t h, uint64_t v) {
   v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ULL;
   v = (v ^ (v >> 27)) * 0x94d049bb133111ebULL;
   return static_cast<size_t>(v ^ (v >> 31)) ^ h;
+}
+
+/// Thread-local read-through L1 in front of the shared shards. Direct-
+/// mapped (one slot per hash bucket, newest wins): no probing, no
+/// eviction bookkeeping, and a warm sweep hits the same few hundred keys
+/// over and over. Entries are validated against the full key, so a
+/// collision costs one shard lookup, never a wrong value.
+constexpr size_t kThreadCacheSlots = 1024;  // power of two
+
+struct ThreadCache {
+  uint64_t serial = 0;  // which SharedCostCache these entries belong to
+
+  std::vector<LayerCostKey> layer_keys;
+  std::vector<LayerCost> layer_values;
+  std::vector<uint8_t> layer_valid;
+
+  std::vector<TransformCostKey> transform_keys;
+  std::vector<double> transform_values;
+  std::vector<uint8_t> transform_valid;
+
+  std::unordered_map<std::string, int32_t> interned;
+};
+
+/// The calling thread's L1 for the cache with this serial. Serials are
+/// process-unique, so a mismatch (first use, or the thread moved to a
+/// different cache) resets the L1 instead of ever serving stale entries.
+ThreadCache& LocalCacheFor(uint64_t serial) {
+  thread_local ThreadCache cache;
+  if (cache.serial != serial) {
+    cache.serial = serial;
+    cache.layer_keys.assign(kThreadCacheSlots, LayerCostKey());
+    cache.layer_values.assign(kThreadCacheSlots, LayerCost());
+    cache.layer_valid.assign(kThreadCacheSlots, 0);
+    cache.transform_keys.assign(kThreadCacheSlots, TransformCostKey());
+    cache.transform_values.assign(kThreadCacheSlots, 0.0);
+    cache.transform_valid.assign(kThreadCacheSlots, 0);
+    cache.interned.clear();
+  }
+  return cache;
+}
+
+uint64_t NextCacheSerial() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
 }
 
 }  // namespace
@@ -51,7 +98,7 @@ size_t TransformCostKeyHash::operator()(const TransformCostKey& k) const {
 
 SharedCostCache::SharedCostCache(const CostEstimator* estimator,
                                  const ModelSpec* model)
-    : estimator_(estimator), model_(model) {
+    : estimator_(estimator), model_(model), serial_(NextCacheSerial()) {
   GALVATRON_CHECK(estimator != nullptr);
   GALVATRON_CHECK(model != nullptr);
 }
@@ -75,11 +122,24 @@ std::string SharedCostCache::BlockFingerprint(const ClusterSpec& cluster,
 }
 
 int32_t SharedCostCache::Intern(const std::string& text) {
-  std::lock_guard<std::mutex> lock(intern_mu_);
-  auto [it, inserted] =
-      interned_.emplace(text, static_cast<int32_t>(interned_.size()));
-  (void)inserted;
-  return it->second;
+  ThreadCache& local = LocalCacheFor(serial_);
+  auto cached = local.interned.find(text);
+  if (cached != local.interned.end()) return cached->second;
+
+  InternShard& shard =
+      intern_shards_[std::hash<std::string>{}(text) %
+                     static_cast<size_t>(kNumInternShards)];
+  int32_t id;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto [it, inserted] = shard.ids.emplace(text, 0);
+    if (inserted) {
+      it->second = next_intern_id_.fetch_add(1, std::memory_order_relaxed);
+    }
+    id = it->second;
+  }
+  local.interned.emplace(text, id);
+  return id;
 }
 
 int32_t SharedCostCache::InternSignature(int layer_index) {
@@ -100,12 +160,21 @@ Result<LayerCost> SharedCostCache::Layer(const LayerCostKey& key,
                                          const HybridStrategy& strategy,
                                          int stage_first_device) {
   const size_t hash = LayerCostKeyHash{}(key);
+  ThreadCache& local = LocalCacheFor(serial_);
+  const size_t slot = hash & (kThreadCacheSlots - 1);
+  if (local.layer_valid[slot] && local.layer_keys[slot] == key) {
+    layer_hits_.fetch_add(1, std::memory_order_relaxed);
+    return local.layer_values[slot];
+  }
   Shard& shard = ShardFor(hash);
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.layers.find(key);
     if (it != shard.layers.end()) {
       layer_hits_.fetch_add(1, std::memory_order_relaxed);
+      local.layer_keys[slot] = key;
+      local.layer_values[slot] = it->second;
+      local.layer_valid[slot] = 1;
       return it->second;
     }
   }
@@ -120,6 +189,9 @@ Result<LayerCost> SharedCostCache::Layer(const LayerCostKey& key,
     std::lock_guard<std::mutex> lock(shard.mu);
     shard.layers.emplace(key, cost);
   }
+  local.layer_keys[slot] = key;
+  local.layer_values[slot] = cost;
+  local.layer_valid[slot] = 1;
   return cost;
 }
 
@@ -148,12 +220,21 @@ Result<double> SharedCostCache::TransformSeconds(
     int stage_first_device) {
   GALVATRON_CHECK_GT(layer_index, 0);
   const size_t hash = TransformCostKeyHash{}(key);
+  ThreadCache& local = LocalCacheFor(serial_);
+  const size_t slot = hash & (kThreadCacheSlots - 1);
+  if (local.transform_valid[slot] && local.transform_keys[slot] == key) {
+    transform_hits_.fetch_add(1, std::memory_order_relaxed);
+    return local.transform_values[slot];
+  }
   Shard& shard = ShardFor(hash);
   {
     std::lock_guard<std::mutex> lock(shard.mu);
     auto it = shard.transforms.find(key);
     if (it != shard.transforms.end()) {
       transform_hits_.fetch_add(1, std::memory_order_relaxed);
+      local.transform_keys[slot] = key;
+      local.transform_values[slot] = it->second;
+      local.transform_valid[slot] = 1;
       return it->second;
     }
   }
@@ -168,6 +249,9 @@ Result<double> SharedCostCache::TransformSeconds(
     std::lock_guard<std::mutex> lock(shard.mu);
     shard.transforms.emplace(key, cost.seconds);
   }
+  local.transform_keys[slot] = key;
+  local.transform_values[slot] = cost.seconds;
+  local.transform_valid[slot] = 1;
   return cost.seconds;
 }
 

@@ -89,11 +89,21 @@ struct TransformCostKeyHash {
 /// for one-off lookups and tests.
 ///
 /// Thread-safety: all methods may be called concurrently; the table is
-/// sharded by key hash, each shard behind its own mutex, the interner has
-/// its own mutex, and the estimator is never invoked under a lock.
+/// sharded by key hash, each shard behind its own mutex, the interner is
+/// sharded the same way (ids come off a global atomic counter, so equal
+/// strings always intern to equal ids but no single mutex serializes every
+/// sweep thread), and the estimator is never invoked under a lock.
 /// Concurrent misses on one key may estimate it twice; the estimator is
 /// deterministic, so both writers store the same value. Estimator errors
 /// are returned uncached.
+///
+/// Hot-path locking: every thread additionally keeps a small thread-local
+/// read-through L1 (direct-mapped, keyed by this cache's unique serial) in
+/// front of the shards, for both cost lookups and interning. Repeat
+/// lookups of warm keys — the overwhelming majority once a sweep is under
+/// way — touch no mutex at all; only L1 misses reach a shard, and only
+/// shard misses reach the estimator. Hit/miss counters stay exact (every
+/// lookup is counted exactly once, via relaxed atomics).
 class SharedCostCache {
  public:
   /// `estimator` and `model` must outlive this object, and the estimator's
@@ -107,8 +117,11 @@ class SharedCostCache {
   const CostEstimator& estimator() const { return *estimator_; }
   const ModelSpec& model() const { return *model_; }
 
-  /// Interns an arbitrary string to a dense id, stable for this cache's
-  /// lifetime. Equal strings always receive equal ids. Thread-safe.
+  /// Interns an arbitrary string to a small integer id, stable for this
+  /// cache's lifetime. Equal strings always receive equal ids (distinct
+  /// strings distinct ids); the id VALUES depend on interleaving and must
+  /// only be compared for equality. Thread-safe and lock-free for strings
+  /// this thread has interned before.
   int32_t Intern(const std::string& text);
 
   /// Convenience interners for the three string-valued key parts.
@@ -157,6 +170,7 @@ class SharedCostCache {
 
  private:
   static constexpr int kNumShards = 16;
+  static constexpr int kNumInternShards = 8;
 
   struct Shard {
     std::mutex mu;
@@ -165,16 +179,27 @@ class SharedCostCache {
         transforms;
   };
 
+  /// The interner, sharded by string hash like the cost tables. Ids are
+  /// drawn from next_intern_id_ under the owning shard's mutex, so equal
+  /// strings race to one shard and always resolve to one id.
+  struct InternShard {
+    std::mutex mu;
+    std::unordered_map<std::string, int32_t> ids;
+  };
+
   Shard& ShardFor(size_t hash) {
     return shards_[hash % static_cast<size_t>(kNumShards)];
   }
 
   const CostEstimator* estimator_;
   const ModelSpec* model_;
+  /// Process-unique id of this instance; keys the thread-local L1s so an
+  /// entry cached against a destroyed cache can never serve a new one.
+  const uint64_t serial_;
   Shard shards_[kNumShards];
 
-  std::mutex intern_mu_;
-  std::unordered_map<std::string, int32_t> interned_;
+  InternShard intern_shards_[kNumInternShards];
+  std::atomic<int32_t> next_intern_id_{0};
 
   std::atomic<int64_t> layer_hits_{0};
   std::atomic<int64_t> layer_misses_{0};

@@ -437,12 +437,25 @@ Result<DpSearchResult> RunSparseKernel(const DpWork& w, RunCostCache& cache,
                w.seconds[static_cast<size_t>(l)][static_cast<size_t>(plain)];
   };
 
-  // frontiers[l][s]: the column's breakpoints, ascending in units.
-  std::vector<std::vector<std::vector<Breakpoint>>> frontiers(
-      static_cast<size_t>(num_layers));
-  for (auto& layer : frontiers) {
-    layer.resize(static_cast<size_t>(num_candidates));
-  }
+  // Breakpoint columns live in one contiguous arena, addressed by
+  // (begin, size) spans per (layer, option): columns are built strictly
+  // one at a time, so appends are always at the arena's end, and the
+  // thousands of per-column vector allocations the nested-vector layout
+  // paid (plus their cache-hostile scatter) collapse into one
+  // geometrically-grown buffer that reads sequentially during merges.
+  std::vector<Breakpoint> arena;
+  arena.reserve(static_cast<size_t>(num_candidates) *
+                static_cast<size_t>(std::min(num_layers, 8)));
+  struct Span {
+    int64_t begin = 0;
+    int64_t size = 0;
+  };
+  std::vector<Span> spans(static_cast<size_t>(num_layers) *
+                          static_cast<size_t>(num_candidates));
+  auto span_of = [&](int l, int s) -> Span& {
+    return spans[static_cast<size_t>(l) * static_cast<size_t>(num_candidates) +
+                 static_cast<size_t>(s)];
+  };
 
   // Layer 0: one breakpoint per feasible option — the cost is constant in
   // the budget, so the dense row [o, budget] collapses to a single step.
@@ -455,7 +468,10 @@ Result<DpSearchResult> RunSparseKernel(const DpWork& w, RunCostCache& cache,
     }
     const int o = w.units[0][static_cast<size_t>(s)];
     if (o > budget_units) continue;
-    frontiers[0][static_cast<size_t>(s)].push_back(Breakpoint{o, c, -1});
+    Span& span = span_of(0, s);
+    span.begin = static_cast<int64_t>(arena.size());
+    span.size = 1;
+    arena.push_back(Breakpoint{o, c, -1});
     ++result.breakpoints_emitted;
   }
 
@@ -490,26 +506,29 @@ Result<DpSearchResult> RunSparseKernel(const DpWork& w, RunCostCache& cache,
       ++generation;
       touched.clear();
       for (int sp = 0; sp < num_candidates; ++sp) {
-        const std::vector<Breakpoint>& prev =
-            frontiers[static_cast<size_t>(l) - 1][static_cast<size_t>(sp)];
-        if (prev.empty()) continue;
+        const Span prev = span_of(l - 1, sp);
+        if (prev.size == 0) continue;
         const double r =
             (*transform)[static_cast<size_t>(
                              w.strat_of_option[static_cast<size_t>(sp)]) *
                              static_cast<size_t>(num_strategies) +
                          static_cast<size_t>(cs)];
-        for (const Breakpoint& bp : prev) {
-          const size_t u = static_cast<size_t>(bp.units + o);
-          if (bp.units + o > budget_units) break;  // units ascend in a frontier
+        // No appends happen during this scan phase, so raw pointers into
+        // the arena are stable here.
+        const Breakpoint* begin = arena.data() + prev.begin;
+        const Breakpoint* end = begin + prev.size;
+        for (const Breakpoint* bp = begin; bp != end; ++bp) {
+          const size_t u = static_cast<size_t>(bp->units + o);
+          if (bp->units + o > budget_units) break;  // units ascend in a frontier
           // Same association as the dense kernel's prior + c + R, so the
           // costs are bit-identical, not merely equal in exact arithmetic.
-          const double cost = (bp.cost + c) + r;
+          const double cost = (bp->cost + c) + r;
           ++result.breakpoints_scanned;
           if (slot_gen[u] != generation) {
             slot_gen[u] = generation;
             slot_cost[u] = cost;
             slot_parent[u] = static_cast<int32_t>(sp);
-            touched.push_back(bp.units + o);
+            touched.push_back(bp->units + o);
           } else if (cost < slot_cost[u] ||
                      (cost == slot_cost[u] &&
                       sp < slot_parent[u])) {
@@ -525,8 +544,8 @@ Result<DpSearchResult> RunSparseKernel(const DpWork& w, RunCostCache& cache,
       // latter reproduces the dense kernel's lowest-index tie-break at
       // every budget, not just where the cost changes.
       std::sort(touched.begin(), touched.end());
-      std::vector<Breakpoint>& out =
-          frontiers[static_cast<size_t>(l)][static_cast<size_t>(s)];
+      Span& out = span_of(l, s);
+      out.begin = static_cast<int64_t>(arena.size());
       double best_cost = kInf;
       int32_t best_parent = std::numeric_limits<int32_t>::max();
       for (const int u : touched) {
@@ -536,10 +555,11 @@ Result<DpSearchResult> RunSparseKernel(const DpWork& w, RunCostCache& cache,
             (cost == best_cost && parent < best_parent)) {
           best_cost = cost;
           best_parent = parent;
-          out.push_back(Breakpoint{u, cost, parent});
+          arena.push_back(Breakpoint{u, cost, parent});
         }
       }
-      result.breakpoints_emitted += static_cast<int64_t>(out.size());
+      out.size = static_cast<int64_t>(arena.size()) - out.begin;
+      result.breakpoints_emitted += out.size;
     }
   }
   result.states_explored = result.breakpoints_emitted;
@@ -550,11 +570,12 @@ Result<DpSearchResult> RunSparseKernel(const DpWork& w, RunCostCache& cache,
   double best = kInf;
   int best_s = -1;
   for (int s = 0; s < num_candidates; ++s) {
-    const std::vector<Breakpoint>& f =
-        frontiers[static_cast<size_t>(num_layers) - 1][static_cast<size_t>(s)];
-    if (f.empty()) continue;
-    if (f.back().cost < best) {
-      best = f.back().cost;
+    const Span f = span_of(num_layers - 1, s);
+    if (f.size == 0) continue;
+    const Breakpoint& last =
+        arena[static_cast<size_t>(f.begin + f.size - 1)];
+    if (last.cost < best) {
+      best = last.cost;
       best_s = s;
     }
   }
@@ -583,13 +604,14 @@ Result<DpSearchResult> RunSparseKernel(const DpWork& w, RunCostCache& cache,
             w.units[static_cast<size_t>(l)][static_cast<size_t>(s)]) *
         w.gran;
     if (l > 0) {
-      const std::vector<Breakpoint>& f =
-          frontiers[static_cast<size_t>(l)][static_cast<size_t>(s)];
+      const Span f = span_of(l, s);
+      const Breakpoint* begin = arena.data() + f.begin;
+      const Breakpoint* end = begin + f.size;
       // Last breakpoint with units <= e.
-      auto it = std::upper_bound(
-          f.begin(), f.end(), e,
+      const Breakpoint* it = std::upper_bound(
+          begin, end, e,
           [](int value, const Breakpoint& bp) { return value < bp.units; });
-      GALVATRON_CHECK(it != f.begin());
+      GALVATRON_CHECK(it != begin);
       const Breakpoint& bp = *(it - 1);
       e -= w.units[static_cast<size_t>(l)][static_cast<size_t>(s)];
       s = bp.parent;

@@ -92,6 +92,14 @@ Result<OptimizationResult> Optimizer::Optimize(const ModelSpec& model) const {
 Result<OptimizationResult> Optimizer::Optimize(
     const ModelSpec& model, SharedCostCache* shared_cache,
     const std::function<bool()>& cancel_check) const {
+  // Options validation. A negative thread count is a caller bug, not a
+  // request for serial search — clamping it silently used to mask e.g.
+  // sign errors in CLI/serve plumbing.
+  if (options_.search_threads < 0) {
+    return Status::InvalidArgument(StrFormat(
+        "search_threads must be >= 0 (0 = all hardware threads), got %d",
+        options_.search_threads));
+  }
   const auto start = std::chrono::steady_clock::now();
   const int num_devices = cluster_->num_devices();
   const auto cancelled = [&cancel_check] {
@@ -170,7 +178,10 @@ Result<OptimizationResult> Optimizer::Optimize(
 
   int threads = options_.search_threads;
   if (threads == 0) threads = ThreadPool::HardwareThreads();
-  if (threads < 1) threads = 1;
+  // The sweep is CPU-bound, so a pool wider than the physical core count
+  // only buys thread start-up and context-switch cost; cap it so asking
+  // for 4 threads on a smaller host is never slower than asking for 1.
+  threads = std::min(threads, ThreadPool::HardwareThreads());
   stats.search_threads_used = threads;
   std::unique_ptr<ThreadPool> pool;
   if (threads > 1) pool = std::make_unique<ThreadPool>(threads);

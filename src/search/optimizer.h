@@ -62,9 +62,11 @@ struct OptimizerOptions {
   /// Worker threads for the strategy sweep. The independent (PP degree,
   /// micro-batch count) configurations of each batch wave fan out across
   /// this many threads; 1 keeps the sweep serial, 0 uses the machine's
-  /// hardware concurrency. The result is bit-identical for every value —
-  /// outcomes are merged in enumeration order with total-order
-  /// tie-breaking, never first-finished-wins.
+  /// hardware concurrency, and a negative value makes Optimize return
+  /// InvalidArgument (it is a caller bug, not a request for serial
+  /// search). The result is bit-identical for every valid value — outcomes
+  /// are merged in enumeration order with total-order tie-breaking, never
+  /// first-finished-wins.
   int search_threads = 1;
 };
 
@@ -105,7 +107,9 @@ struct SearchStats {
   /// building its own.
   bool used_external_cost_cache = false;
 
-  /// Worker threads the sweep actually used (resolves search_threads == 0).
+  /// Worker threads the sweep actually used: search_threads with 0
+  /// resolved to the hardware concurrency, then capped at the hardware
+  /// concurrency (an oversized pool cannot help a CPU-bound sweep).
   int search_threads_used = 1;
 };
 

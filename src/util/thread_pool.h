@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -19,12 +20,19 @@ namespace galvatron {
 /// Thread-safety: Submit and Wait may be called from any thread. Tasks must
 /// not themselves call Submit/Wait on the same pool (no nested submission —
 /// the search fan-out is a flat task list per wave).
+///
+/// Exceptions: a task that throws does NOT poison the pool. The worker
+/// catches the exception, records the first one seen, and keeps draining;
+/// the next Wait() rethrows that first exception after the wave has fully
+/// finished (so in-flight accounting is always exact and later waves never
+/// deadlock). Subsequent Wait() calls start clean.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (clamped to >= 1).
   explicit ThreadPool(int num_threads);
 
-  /// Drains outstanding tasks, then joins the workers.
+  /// Drains outstanding tasks, then joins the workers. A pending task
+  /// exception nobody Wait()ed for is dropped.
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -35,7 +43,8 @@ class ThreadPool {
   /// Enqueues one task.
   void Submit(std::function<void()> fn);
 
-  /// Blocks until every submitted task has finished running.
+  /// Blocks until every submitted task has finished running, then rethrows
+  /// the first exception any of them raised (if any), clearing it.
   void Wait();
 
   /// The machine's hardware concurrency (>= 1 even when unknown).
@@ -50,16 +59,38 @@ class ThreadPool {
   std::deque<std::function<void()>> queue_;
   int in_flight_ = 0;  // queued + currently executing tasks
   bool shutting_down_ = false;
+  std::exception_ptr first_error_;  // first task exception since last Wait
   std::vector<std::thread> workers_;
 };
 
 /// Runs fn(0), ..., fn(count - 1), distributing the calls across `pool`.
-/// Blocks until every call has finished. With a null pool (or count <= 1)
-/// the calls run inline on the caller, in index order — the serial baseline
-/// and the parallel path share one code shape, which is what makes
-/// "identical results regardless of thread count" testable.
+/// Blocks until every call has finished. With a null pool (or a
+/// single-thread pool, or count <= min_grain) the calls run inline on the
+/// caller, in index order — the serial baseline and the parallel path share
+/// one code shape, which is what makes "identical results regardless of
+/// thread count" testable.
+///
+/// Scheduling: exactly min(num_threads, hardware cores,
+/// ceil(count / min_grain)) worker tasks are submitted; each pulls index
+/// ranges off a shared atomic cursor (chunked self-scheduling). Dispatch
+/// cost is therefore paid once per WORKER, not once per index — the fix
+/// for fine-grained waves where per-index queue traffic used to swamp the
+/// work itself. The hardware-core cap means oversized pools degrade to
+/// however much parallelism the host actually has (down to inline serial
+/// on one core) instead of paying context-switch overhead for it.
+///
+/// `min_grain` is the smallest number of indices worth shipping to a
+/// worker: waves with count <= min_grain run inline, and no worker ever
+/// pulls a chunk smaller than min_grain (except the final partial chunk).
+/// Use 1 (the default) when each index is substantial work (the
+/// optimizer's per-configuration evaluations); raise it for cheap
+/// per-index bodies.
+///
+/// An exception thrown by `fn` stops that worker's chunk; the other
+/// workers finish the remaining chunks and the first exception is rethrown
+/// here (see ThreadPool::Wait). Inline execution propagates it directly.
 void ParallelFor(ThreadPool* pool, int count,
-                 const std::function<void(int)>& fn);
+                 const std::function<void(int)>& fn, int min_grain = 1);
 
 }  // namespace galvatron
 

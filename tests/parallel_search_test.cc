@@ -7,7 +7,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <set>
+#include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "cluster/cluster.h"
@@ -56,6 +59,43 @@ TEST(ThreadPoolTest, HardwareThreadsAtLeastOne) {
   EXPECT_GE(ThreadPool::HardwareThreads(), 1);
 }
 
+TEST(ThreadPoolTest, TaskExceptionDoesNotDeadlockWait) {
+  // Regression: a throwing task used to skip the in-flight decrement, so
+  // the first exception left Wait() blocked forever on a count that could
+  // never reach zero.
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&ran, i] {
+      ran.fetch_add(1);
+      if (i % 10 == 3) throw std::runtime_error("boom");
+    });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  EXPECT_EQ(ran.load(), 50);  // the wave drained despite the throwers
+
+  // The pool is not poisoned: the next wave runs and its Wait() neither
+  // deadlocks nor rethrows a stale exception.
+  std::atomic<int> second{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.Submit([&second] { second.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(second.load(), 20);
+}
+
+TEST(ThreadPoolTest, WaitRethrowsTheTaskExceptionThenClearsIt) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("task failure"); });
+  try {
+    pool.Wait();
+    FAIL() << "Wait() must rethrow the task's exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task failure");
+  }
+  pool.Wait();  // cleared by the rethrow: second Wait() is clean
+}
+
 TEST(ParallelForTest, NullPoolRunsInlineInIndexOrder) {
   std::vector<int> order;  // no lock needed: inline = caller's thread
   ParallelFor(nullptr, 5, [&order](int i) { order.push_back(i); });
@@ -65,6 +105,49 @@ TEST(ParallelForTest, NullPoolRunsInlineInIndexOrder) {
 TEST(ParallelForTest, PoolRunsEveryIndexExactlyOnce) {
   ThreadPool pool(4);
   constexpr int kCount = 200;
+  std::vector<std::atomic<int>> hits(kCount);
+  ParallelFor(&pool, kCount, [&hits](int i) {
+    hits[static_cast<size_t>(i)].fetch_add(1);
+  });
+  for (int i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1) << i;
+  }
+}
+
+TEST(ParallelForTest, CountAtMostMinGrainRunsInlineInIndexOrder) {
+  // Tiny waves are not worth shipping to workers: with count <= min_grain
+  // the loop runs on the caller, in order (no lock needed on `order`).
+  ThreadPool pool(4);
+  std::vector<int> order;
+  ParallelFor(
+      &pool, 8, [&order](int i) { order.push_back(i); }, /*min_grain=*/8);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(ParallelForTest, MinGrainChunksCoverEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  constexpr int kCount = 1000;  // not a multiple of the chunk size
+  std::vector<std::atomic<int>> hits(kCount);
+  ParallelFor(
+      &pool, kCount,
+      [&hits](int i) { hits[static_cast<size_t>(i)].fetch_add(1); },
+      /*min_grain=*/64);
+  for (int i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1) << i;
+  }
+}
+
+TEST(ParallelForTest, BodyExceptionPropagatesAndPoolSurvives) {
+  ThreadPool pool(4);
+  EXPECT_THROW(ParallelFor(&pool, 64,
+                           [](int i) {
+                             if (i == 17) {
+                               throw std::runtime_error("bad index");
+                             }
+                           }),
+               std::runtime_error);
+  // The same pool still completes a follow-up wave in full.
+  constexpr int kCount = 64;
   std::vector<std::atomic<int>> hits(kCount);
   ParallelFor(&pool, kCount, [&hits](int i) {
     hits[static_cast<size_t>(i)].fetch_add(1);
@@ -215,6 +298,77 @@ TEST_F(CostCacheTest, ConcurrentLookupsMatchSerialValues) {
       static_cast<int64_t>(strategies.size());
   EXPECT_EQ(stats.hits() + stats.misses(), lookups);
   EXPECT_GT(stats.hits(), stats.misses());
+}
+
+TEST_F(CostCacheTest, InternEqualStringsEqualIdsAcrossThreads) {
+  // The interner is sharded (no single global mutex), with ids drawn off a
+  // shared atomic counter: equal strings must resolve to one id no matter
+  // which thread interned them first, and distinct strings must never
+  // collide. Each round walks the string set in a different order so
+  // first-interning is spread across threads and shards.
+  SharedCostCache cache(&estimator_, &model_);
+  constexpr int kStrings = 64;
+  constexpr int kRounds = 16;
+  std::vector<std::vector<int32_t>> ids(
+      kRounds, std::vector<int32_t>(kStrings, -1));
+  ThreadPool pool(8);
+  ParallelFor(&pool, kRounds, [&](int r) {
+    for (int k = 0; k < kStrings; ++k) {
+      const int j = (k + r * 7) % kStrings;
+      ids[static_cast<size_t>(r)][static_cast<size_t>(j)] =
+          cache.Intern("strategy-" + std::to_string(j));
+    }
+  });
+  std::set<int32_t> distinct;
+  for (int j = 0; j < kStrings; ++j) {
+    distinct.insert(ids[0][static_cast<size_t>(j)]);
+    for (int r = 1; r < kRounds; ++r) {
+      EXPECT_EQ(ids[static_cast<size_t>(r)][static_cast<size_t>(j)],
+                ids[0][static_cast<size_t>(j)])
+          << "string " << j << " round " << r;
+    }
+  }
+  EXPECT_EQ(distinct.size(), static_cast<size_t>(kStrings));
+}
+
+TEST_F(CostCacheTest, FreshCacheNeverServesAPriorCachesEntries) {
+  // Thread-local L1 regression guard: L1 entries are keyed by the owning
+  // cache's process-unique serial. A new cache over a DIFFERENT model
+  // interns the same dense ids (both counters start at 0) and hashes to
+  // the same L1 slots, so without the serial check this thread would be
+  // served the dead cache's costs.
+  const HybridStrategy dp8 = Make({{ParallelDim::kData, 8}});
+  TransformerBlockDims dims;
+  dims.seq = 64;
+  dims.hidden = 256;
+  dims.heads = 4;
+  dims.intermediate = 1024;
+  dims.attend_width = 64;
+  ModelSpec other("other", {BuildEncoderLayer("x", dims),
+                            BuildEncoderLayer("x", dims)});
+
+  double stale = 0.0;
+  {
+    SharedCostCache first(&estimator_, &model_);
+    auto cost = first.Layer(0, dp8, 0, 16, 1, false, -1);
+    ASSERT_TRUE(cost.ok());
+    stale = cost->IterationSeconds(1, estimator_.options());
+  }
+
+  // Reference value computed on a thread whose L1 never saw `first`.
+  double expected = 0.0;
+  std::thread([&] {
+    SharedCostCache ref(&estimator_, &other);
+    auto cost = ref.Layer(0, dp8, 0, 16, 1, false, -1);
+    ASSERT_TRUE(cost.ok());
+    expected = cost->IterationSeconds(1, estimator_.options());
+  }).join();
+  ASSERT_NE(expected, stale);  // the two models genuinely differ
+
+  SharedCostCache second(&estimator_, &other);
+  auto cost = second.Layer(0, dp8, 0, 16, 1, false, -1);
+  ASSERT_TRUE(cost.ok());
+  EXPECT_EQ(cost->IterationSeconds(1, estimator_.options()), expected);
 }
 
 TEST(ParallelOptimizerTest, HardwareThreadsMatchSerialPlan) {

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <string>
 
 #include "cluster/cluster.h"
@@ -90,6 +91,88 @@ TEST(PerfRegressionTest, TracingOffDoesNoRecordingWork) {
   EXPECT_TRUE(capture.timeline.tasks.empty());
   EXPECT_TRUE(capture.timeline.task_work_sec.empty());
   EXPECT_TRUE(capture.timeline.task_lost_sec.empty());
+}
+
+/// The parallel-sweep tripwire: asking for 4 threads must never be
+/// meaningfully slower than asking for 1. This was a real regression —
+/// per-index task dispatch plus a single global interner mutex made the
+/// 4-thread sweep ~5% SLOWER than serial; the chunked self-scheduler, the
+/// core-capped pool, and the sharded interner fixed it. Wall times are
+/// best-of-N on both sides (single shots are noisy), and the threshold
+/// leaves generous headroom: the tripwire fires on a structural regression
+/// (dispatch overhead scaling with work again), not on scheduler jitter.
+/// On a 1-core host the two runs degrade to the same serial execution, so
+/// the bound holds there too; on multicore it additionally catches a
+/// broken (slower-than-serial) parallel path.
+TEST(PerfRegressionTest, FourThreadSweepNotSlowerThanSerial) {
+  BertConfig config;
+  config.num_layers = 8;
+  config.hidden = 1024;
+  config.heads = 16;
+  const ModelSpec model = BuildBert("perf-bert", config);
+  const ClusterSpec cluster = MakeTitanNode8(12 * kGB);
+
+  auto best_of = [&](int threads) {
+    OptimizerOptions options;
+    options.search_threads = threads;
+    const Optimizer optimizer(&cluster, options);
+    double best_sec = 0.0;
+    for (int rep = 0; rep < 5; ++rep) {
+      const auto start = std::chrono::steady_clock::now();
+      auto result = optimizer.Optimize(model);
+      const double sec =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      EXPECT_TRUE(result.ok()) << result.status();
+      if (rep == 0 || sec < best_sec) best_sec = sec;
+    }
+    return best_sec;
+  };
+
+  const double serial_sec = best_of(1);
+  const double four_sec = best_of(4);
+  EXPECT_LT(four_sec, serial_sec * 1.5)
+      << "4-thread sweep took " << four_sec << "s vs " << serial_sec
+      << "s serial — parallel dispatch overhead has regressed";
+}
+
+/// Determinism tripwire: the sweep's outcome must be bit-identical at
+/// every thread count — same serialized plan, same throughput double,
+/// same configuration count. The parallel merge is enumeration-ordered
+/// with total-order tie-breaking, so any divergence means a
+/// first-finished-wins bug crept back in.
+TEST(PerfRegressionTest, PlanBitIdenticalAcrossThreadCounts) {
+  BertConfig config;
+  config.num_layers = 8;
+  config.hidden = 1024;
+  config.heads = 16;
+  const ModelSpec model = BuildBert("perf-bert", config);
+  const ClusterSpec cluster = MakeTitanNode8(12 * kGB);
+
+  std::string reference_plan;
+  double reference_throughput = 0.0;
+  int reference_configs = 0;
+  for (const int threads : {1, 2, 4, 8}) {
+    OptimizerOptions options;
+    options.search_threads = threads;
+    auto result = Optimizer(&cluster, options).Optimize(model);
+    ASSERT_TRUE(result.ok()) << result.status();
+    if (threads == 1) {
+      reference_plan = result->plan.ToString();
+      reference_throughput = result->estimated.throughput_samples_per_sec;
+      reference_configs = result->stats.configs_explored;
+      ASSERT_FALSE(reference_plan.empty());
+      continue;
+    }
+    EXPECT_EQ(result->plan.ToString(), reference_plan)
+        << "threads " << threads;
+    EXPECT_EQ(result->estimated.throughput_samples_per_sec,
+              reference_throughput)
+        << "threads " << threads;
+    EXPECT_EQ(result->stats.configs_explored, reference_configs)
+        << "threads " << threads;
+  }
 }
 
 }  // namespace

@@ -144,10 +144,10 @@ Result<CliArgs> ParseArgs(int argc, char** argv) {
       args.dense_dp = true;
     } else if (flag == "--search-threads") {
       GALVATRON_ASSIGN_OR_RETURN(std::string v, next());
+      // Negative values are rejected by the optimizer's options validation
+      // (one authority for every entry point: CLI, API, serve); the
+      // InvalidArgument it returns is reported on stderr like any other.
       args.search_threads = std::atoi(v.c_str());
-      if (args.search_threads < 0) {
-        return Status::InvalidArgument("--search-threads must be >= 0");
-      }
     } else if (flag == "--json-out") {
       GALVATRON_ASSIGN_OR_RETURN(args.json_out, next());
     } else if (flag == "--trace" || flag == "--trace-out") {
