@@ -27,10 +27,18 @@ Result<TrainedPlan> Galvatron::Plan(const ModelSpec& model,
 Result<TrainedPlan> Galvatron::Plan(
     PlanningContext& context, const OptimizerOptions& options,
     const std::function<bool()>& cancel_check) {
-  Optimizer optimizer(&context.cluster(), options);
+  return Plan(context, context.cluster(), options, cancel_check);
+}
+
+Result<TrainedPlan> Galvatron::Plan(
+    PlanningContext& context, const ClusterSpec& cluster,
+    const OptimizerOptions& options,
+    const std::function<bool()>& cancel_check) {
+  Optimizer optimizer(&cluster, options);
   GALVATRON_ASSIGN_OR_RETURN(
       OptimizationResult result,
-      optimizer.Optimize(context.model(), context.cache(), cancel_check));
+      optimizer.Optimize(context.model(), context.cache(),
+                         context.frontier_cache(), cancel_check));
   TrainedPlan out;
   out.plan = std::move(result.plan);
   out.estimated = std::move(result.estimated);

@@ -61,6 +61,7 @@ class PlanningContext {
   const ClusterSpec& cluster() const { return cluster_; }
   const CostEstimator& estimator() const { return estimator_; }
   SharedCostCache* cache() { return &cache_; }
+  DpFrontierCache* frontier_cache() { return &frontier_cache_; }
 
  private:
   // Declaration order is load-bearing: estimator_ points at cluster_,
@@ -69,6 +70,10 @@ class PlanningContext {
   ClusterSpec cluster_;
   CostEstimator estimator_;
   SharedCostCache cache_;
+  // Completed per-stage Pareto frontiers, reused across Plan calls so a
+  // repeat request that differs only in memory budget (or batch envelope)
+  // warm-starts the DP instead of re-running it (see DpFrontierCache).
+  DpFrontierCache frontier_cache_;
 };
 
 /// Facade over the optimizer, estimator and simulator. All methods are
@@ -90,6 +95,18 @@ class Galvatron {
   /// true; serving uses it for per-request deadlines.
   static Result<TrainedPlan> Plan(
       PlanningContext& context, const OptimizerOptions& options = {},
+      const std::function<bool()>& cancel_check = {});
+
+  /// Same, but optimizes against `cluster` instead of the context's own —
+  /// the serving daemon's path for budget variants: requests whose cluster
+  /// differs from the context's ONLY in per-device memory share one
+  /// context (and its cost + frontier caches), because per-layer costs
+  /// never depend on the memory budget; feasibility is re-checked against
+  /// `cluster` exactly. `cluster` must match the context's cluster in
+  /// every other respect (device count, islands, bandwidths).
+  static Result<TrainedPlan> Plan(
+      PlanningContext& context, const ClusterSpec& cluster,
+      const OptimizerOptions& options = {},
       const std::function<bool()>& cancel_check = {});
 
   /// Runs one simulated training iteration of `plan` and fills

@@ -95,7 +95,7 @@ Result<StageCost> CostEstimator::EstimateStage(
     const std::vector<HybridStrategy>& strategies, int stage_first_device,
     int batch_per_group, int micro_batches,
     const std::vector<uint8_t>& recompute_flags,
-    int resident_micro_batches) const {
+    int resident_micro_batches, bool check_memory) const {
   if (num_layers < 1 || first_layer < 0 ||
       first_layer + num_layers > model.num_layers()) {
     return Status::InvalidArgument("stage layer range out of bounds");
@@ -145,20 +145,23 @@ Result<StageCost> CostEstimator::EstimateStage(
     }
   }
   stage.peak_memory_bytes = resident + max_transient;
-  // Heterogeneous clusters: the stage is limited by its tightest device.
-  const int64_t budget = cluster_->MinMemoryInRange(
-      stage_first_device, strategies.front().TotalDegree());
-  if (stage.peak_memory_bytes > budget) {
-    return Status::OutOfMemory(StrFormat(
-        "stage needs %s but budget is %s",
-        HumanBytes(static_cast<double>(stage.peak_memory_bytes)).c_str(),
-        HumanBytes(static_cast<double>(budget)).c_str()));
+  if (check_memory) {
+    // Heterogeneous clusters: the stage is limited by its tightest device.
+    const int64_t budget = cluster_->MinMemoryInRange(
+        stage_first_device, strategies.front().TotalDegree());
+    if (stage.peak_memory_bytes > budget) {
+      return Status::OutOfMemory(StrFormat(
+          "stage needs %s but budget is %s",
+          HumanBytes(static_cast<double>(stage.peak_memory_bytes)).c_str(),
+          HumanBytes(static_cast<double>(budget)).c_str()));
+    }
   }
   return stage;
 }
 
 Result<PlanCost> CostEstimator::EstimatePlan(const ModelSpec& model,
-                                             const TrainingPlan& plan) const {
+                                             const TrainingPlan& plan,
+                                             bool check_memory) const {
   GALVATRON_RETURN_IF_ERROR(plan.Validate(model, cluster_->num_devices()));
 
   PlanCost total;
@@ -173,7 +176,8 @@ Result<PlanCost> CostEstimator::EstimatePlan(const ModelSpec& model,
                       stage.layer_strategies, stage.first_device,
                       plan.global_batch, plan.num_micro_batches,
                       stage.recompute,
-                      plan.InFlightMicroBatches(static_cast<int>(i))));
+                      plan.InFlightMicroBatches(static_cast<int>(i)),
+                      check_memory));
     if (i > 0) {
       // Per-micro-batch boundary transfer: forward activations in, gradient
       // activations back out. The DP search excludes this (Sec 3.3, "we

@@ -117,6 +117,10 @@ class CostEstimator {
   /// transformation costs at strategy changes (2x per micro-batch: forward
   /// and its mirrored backward). Returns OutOfMemory if the stage exceeds
   /// the device budget. `recompute_flags` may be empty (no checkpointing).
+  /// `check_memory` = false skips ONLY the budget comparison — the peak is
+  /// still computed and recorded — so callers caching results across
+  /// memory-budget variants (the costs never depend on the budget) can
+  /// re-apply the check against their own cluster.
   Result<StageCost> EstimateStage(const ModelSpec& model, int first_layer,
                                   int num_layers,
                                   const std::vector<HybridStrategy>& strategies,
@@ -124,13 +128,16 @@ class CostEstimator {
                                   int micro_batches,
                                   const std::vector<uint8_t>& recompute_flags =
                                       {},
-                                  int resident_micro_batches = -1) const;
+                                  int resident_micro_batches = -1,
+                                  bool check_memory = true) const;
 
   /// Estimates a full plan: GPipe pipelining of the stage costs,
   ///   iter = sum_i u_i + (m - 1) * max_i u_i,   u_i = stage_i / m.
-  /// Returns OutOfMemory if any stage exceeds its budget.
+  /// Returns OutOfMemory if any stage exceeds its budget. `check_memory` =
+  /// false defers the per-stage budget checks exactly as in EstimateStage.
   Result<PlanCost> EstimatePlan(const ModelSpec& model,
-                                const TrainingPlan& plan) const;
+                                const TrainingPlan& plan,
+                                bool check_memory = true) const;
 
  private:
   const ClusterSpec* cluster_;

@@ -157,12 +157,17 @@ Result<std::vector<std::vector<int>>> HybridStrategy::AllGroups(
 
 std::string HybridStrategy::ToString() const {
   if (levels_.empty()) return "serial";
-  std::ostringstream os;
+  // Plain concatenation, not ostringstream: stream construction (locale
+  // caching, facet dynamic_casts) costs more than the whole string, and
+  // cache-key builders call this on search hot paths.
+  std::string text;
+  text.reserve(8 * levels_.size());
   for (size_t i = 0; i < levels_.size(); ++i) {
-    if (i > 0) os << "-";
-    os << ParallelDimToShortString(levels_[i].dim) << levels_[i].degree;
+    if (i > 0) text += '-';
+    text += ParallelDimToShortString(levels_[i].dim);
+    text += std::to_string(levels_[i].degree);
   }
-  return os.str();
+  return text;
 }
 
 }  // namespace galvatron

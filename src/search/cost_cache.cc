@@ -82,6 +82,22 @@ size_t LayerCostKeyHash::operator()(const LayerCostKey& k) const {
   return HashCombine(h, static_cast<uint32_t>(k.recompute));
 }
 
+void PlanCostKey::Finalize() {
+  // Two words per mixing round: plan keys run ~100 words and every sweep
+  // evaluation builds one, so the hash is on the warm-serving hot path.
+  size_t h = HashCombine(0, words.size());
+  size_t i = 0;
+  for (; i + 1 < words.size(); i += 2) {
+    h = HashCombine(
+        h, (static_cast<uint64_t>(static_cast<uint32_t>(words[i])) << 32) |
+               static_cast<uint32_t>(words[i + 1]));
+  }
+  if (i < words.size()) {
+    h = HashCombine(h, static_cast<uint32_t>(words[i]));
+  }
+  hash = h;
+}
+
 size_t TransformCostKeyHash::operator()(const TransformCostKey& k) const {
   size_t h = HashCombine(
       0, (static_cast<uint64_t>(static_cast<uint32_t>(k.prev_sig)) << 32) |
@@ -273,12 +289,40 @@ Result<double> SharedCostCache::TransformSeconds(
                           stage_first_device);
 }
 
+std::shared_ptr<const PlanCost> SharedCostCache::LookupPlan(
+    const PlanCostKey& key) {
+  Shard& shard = ShardFor(key.hash);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.plans.find(key);
+    if (it != shard.plans.end()) {
+      plan_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  plan_misses_.fetch_add(1, std::memory_order_relaxed);
+  return nullptr;
+}
+
+std::shared_ptr<const PlanCost> SharedCostCache::InsertPlan(PlanCostKey key,
+                                                            PlanCost cost) {
+  Shard& shard = ShardFor(key.hash);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto [it, inserted] = shard.plans.try_emplace(std::move(key), nullptr);
+  if (inserted) {
+    it->second = std::make_shared<const PlanCost>(std::move(cost));
+  }
+  return it->second;
+}
+
 CostCacheStats SharedCostCache::stats() const {
   CostCacheStats stats;
   stats.layer_hits = layer_hits_.load(std::memory_order_relaxed);
   stats.layer_misses = layer_misses_.load(std::memory_order_relaxed);
   stats.transform_hits = transform_hits_.load(std::memory_order_relaxed);
   stats.transform_misses = transform_misses_.load(std::memory_order_relaxed);
+  stats.plan_hits = plan_hits_.load(std::memory_order_relaxed);
+  stats.plan_misses = plan_misses_.load(std::memory_order_relaxed);
   return stats;
 }
 

@@ -3,9 +3,11 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "estimator/cost_estimator.h"
 #include "ir/model.h"
@@ -20,6 +22,10 @@ struct CostCacheStats {
   int64_t layer_misses = 0;
   int64_t transform_hits = 0;
   int64_t transform_misses = 0;
+  /// Whole-plan memo counters (LookupPlan/InsertPlan). Kept out of
+  /// hits()/misses(), which count per-layer estimator lookups only.
+  int64_t plan_hits = 0;
+  int64_t plan_misses = 0;
 
   int64_t hits() const { return layer_hits + transform_hits; }
   int64_t misses() const { return layer_misses + transform_misses; }
@@ -62,6 +68,37 @@ struct LayerCostKeyHash {
 };
 struct TransformCostKeyHash {
   size_t operator()(const TransformCostKey& k) const;
+};
+
+/// Key of a memoized whole-plan cost (CostEstimator::EstimatePlan with the
+/// memory check deferred — see LookupPlan). A flat word vector: schedule,
+/// batch, micro-batch count, then per stage its device/layer extent and
+/// its layer strategies as maximal runs of (run length, level count +
+/// recompute bit, one (dim, degree) word per level) — encoded
+/// STRUCTURALLY rather than as interned string ids: formatting the
+/// strategy string per layer per plan dominated the warm sweep when
+/// profiled. The model and cluster topology
+/// are fixed per cache, so they are not part of the key; the memory budget
+/// is deliberately NOT part of the key either — plan costs never depend
+/// on it.
+struct PlanCostKey {
+  std::vector<int32_t> words;
+  /// Hash of `words`, filled by Finalize(). Stored so a lookup hashes the
+  /// key once (at build) instead of once per probe, and mismatched keys
+  /// reject on one integer compare.
+  size_t hash = 0;
+
+  /// Computes `hash` from `words`. Call after the last word is pushed and
+  /// before the key is used.
+  void Finalize();
+
+  friend bool operator==(const PlanCostKey& a, const PlanCostKey& b) {
+    return a.hash == b.hash && a.words == b.words;
+  }
+};
+
+struct PlanCostKeyHash {
+  size_t operator()(const PlanCostKey& k) const { return k.hash; }
 };
 
 /// A sweep-wide, thread-safe memoization layer over the cost estimator.
@@ -159,6 +196,19 @@ class SharedCostCache {
                                   const HybridStrategy& next_strategy,
                                   int stage_first_device, int mb_size);
 
+  /// Memoized whole-plan cost, computed with EstimatePlan's per-stage
+  /// memory checks DEFERRED (check_memory = false): peaks are recorded but
+  /// never compared, so one entry is valid for every memory budget and the
+  /// caller re-applies the comparison against its own cluster. Returns the
+  /// immutable shared entry on a hit (no deep copy — hot sweeps hit
+  /// hundreds of times per run), nullptr on a miss.
+  std::shared_ptr<const PlanCost> LookupPlan(const PlanCostKey& key);
+
+  /// Publishes an unchecked plan cost for `key` and returns the stored
+  /// entry. Concurrent inserts of one key store the same deterministic
+  /// value; the first insert wins and later callers get its entry.
+  std::shared_ptr<const PlanCost> InsertPlan(PlanCostKey key, PlanCost cost);
+
   CostCacheStats stats() const;
 
   /// Canonical interconnect fingerprint of the device block
@@ -177,6 +227,9 @@ class SharedCostCache {
     std::unordered_map<LayerCostKey, LayerCost, LayerCostKeyHash> layers;
     std::unordered_map<TransformCostKey, double, TransformCostKeyHash>
         transforms;
+    std::unordered_map<PlanCostKey, std::shared_ptr<const PlanCost>,
+                       PlanCostKeyHash>
+        plans;
   };
 
   /// The interner, sharded by string hash like the cost tables. Ids are
@@ -205,6 +258,8 @@ class SharedCostCache {
   std::atomic<int64_t> layer_misses_{0};
   std::atomic<int64_t> transform_hits_{0};
   std::atomic<int64_t> transform_misses_{0};
+  std::atomic<int64_t> plan_hits_{0};
+  std::atomic<int64_t> plan_misses_{0};
 };
 
 }  // namespace galvatron

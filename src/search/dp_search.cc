@@ -268,13 +268,20 @@ struct DpWork {
   std::vector<std::vector<double>> seconds;
 };
 
+/// Polled between layer columns: a serving deadline that expires mid-DP
+/// stops the kernel within one column instead of finishing the table.
+bool CancelRequested(const std::function<bool()>* cancel) {
+  return cancel != nullptr && *cancel && (*cancel)();
+}
+
 /// The dense reference kernel: sweeps every (budget granule, option) cell.
 /// dp[e][s]: min cost of the layers so far using <= e units, last layer on
 /// strategy s. parent[l][e][s]: the previous layer's option index.
 Result<DpSearchResult> RunDenseKernel(const DpWork& w, RunCostCache& cache,
                                       const std::vector<HybridStrategy>&
                                           candidates,
-                                      int64_t memory_budget) {
+                                      int64_t memory_budget,
+                                      const std::function<bool()>* cancel) {
   const int num_candidates = w.num_candidates;
   const int num_layers = w.num_layers;
   const int budget_units = w.budget_units;
@@ -306,6 +313,9 @@ Result<DpSearchResult> RunDenseKernel(const DpWork& w, RunCostCache& cache,
   }
 
   for (int l = 1; l < num_layers; ++l) {
+    if (CancelRequested(cancel)) {
+      return Status::Cancelled("per-stage DP cancelled");
+    }
     std::fill(cur_dp.begin(), cur_dp.end(), kInf);
     // The boundary's transformation matrix, shared across the run's
     // repeated identical boundaries; indexed by strategy pair (recompute
@@ -394,34 +404,37 @@ Result<DpSearchResult> RunDenseKernel(const DpWork& w, RunCostCache& cache,
   return result;
 }
 
-/// One step of a (layer, option) column's cost-vs-budget function: for
-/// budgets in [units, next breakpoint's units), the best achievable cost is
-/// `cost`, reached through predecessor option `parent` (-1 at layer 0).
-/// Within a frontier, units strictly increase and cost never increases;
-/// equal-cost entries record a handoff to a LOWER predecessor option index
-/// (the dense kernel's tie-break), so reconstruction at any budget returns
-/// exactly the dense parent.
-struct Breakpoint {
-  int units = 0;
-  double cost = 0.0;
-  int32_t parent = -1;
+// Breakpoint/span types live in frontier_cache.h so completed frontiers
+// can be cached and replayed across Runs.
+using Breakpoint = DpBreakpoint;
+using Span = DpColumnSpan;
+
+/// The frontier columns of one sparse run, before any answer is extracted:
+/// exactly what DpFrontierCache stores.
+struct SparseFrontiers {
+  std::vector<Breakpoint> arena;
+  std::vector<Span> spans;
+  int64_t breakpoints_emitted = 0;
+  int64_t breakpoints_scanned = 0;
+  int64_t options_pruned = 0;
 };
 
-/// The sparse Pareto-frontier kernel. Exploits that dp[e][s] is a
-/// non-increasing step function of the budget e: each column keeps only its
-/// breakpoints, and layer l is computed by merging layer l-1's frontiers
-/// shifted by the option's units and biased by c(l, s) + R(sp, s). Work
-/// scales with the number of DISTINCT cost levels instead of the granule
-/// count. Returns plans byte-identical to RunDenseKernel.
-Result<DpSearchResult> RunSparseKernel(const DpWork& w, RunCostCache& cache,
-                                       const std::vector<HybridStrategy>&
-                                           candidates,
-                                       int64_t memory_budget) {
+/// The sparse Pareto-frontier kernel's build phase. Exploits that dp[e][s]
+/// is a non-increasing step function of the budget e: each column keeps
+/// only its breakpoints, and layer l is computed by merging layer l-1's
+/// frontiers shifted by the option's units and biased by c(l, s) + R(sp,
+/// s). Work scales with the number of DISTINCT cost levels instead of the
+/// granule count. The produced columns yield plans byte-identical to
+/// RunDenseKernel — at w.budget_units AND at every smaller budget (the
+/// prefix property AnswerFromFrontiers and the frontier cache rely on).
+Result<SparseFrontiers> BuildSparseFrontiers(
+    const DpWork& w, RunCostCache& cache,
+    const std::function<bool()>* cancel) {
   const int num_candidates = w.num_candidates;
   const int num_strategies = w.num_strategies;
   const int num_layers = w.num_layers;
   const int budget_units = w.budget_units;
-  DpSearchResult result;
+  SparseFrontiers result;
 
   // A recompute variant dominated by its plain twin in BOTH quantized
   // units and seconds can never appear in an optimal assignment: the twin
@@ -443,15 +456,13 @@ Result<DpSearchResult> RunSparseKernel(const DpWork& w, RunCostCache& cache,
   // thousands of per-column vector allocations the nested-vector layout
   // paid (plus their cache-hostile scatter) collapse into one
   // geometrically-grown buffer that reads sequentially during merges.
-  std::vector<Breakpoint> arena;
+  std::vector<Breakpoint>& arena = result.arena;
   arena.reserve(static_cast<size_t>(num_candidates) *
                 static_cast<size_t>(std::min(num_layers, 8)));
-  struct Span {
-    int64_t begin = 0;
-    int64_t size = 0;
-  };
-  std::vector<Span> spans(static_cast<size_t>(num_layers) *
-                          static_cast<size_t>(num_candidates));
+  result.spans.assign(static_cast<size_t>(num_layers) *
+                          static_cast<size_t>(num_candidates),
+                      Span{});
+  std::vector<Span>& spans = result.spans;
   auto span_of = [&](int l, int s) -> Span& {
     return spans[static_cast<size_t>(l) * static_cast<size_t>(num_candidates) +
                  static_cast<size_t>(s)];
@@ -489,6 +500,9 @@ Result<DpSearchResult> RunSparseKernel(const DpWork& w, RunCostCache& cache,
   int32_t generation = 0;
 
   for (int l = 1; l < num_layers; ++l) {
+    if (CancelRequested(cancel)) {
+      return Status::Cancelled("per-stage DP cancelled");
+    }
     GALVATRON_ASSIGN_OR_RETURN(const std::vector<double>* transform,
                                cache.BoundaryMatrix(w.first_layer + l));
     for (int s = 0; s < num_candidates; ++s) {
@@ -562,20 +576,52 @@ Result<DpSearchResult> RunSparseKernel(const DpWork& w, RunCostCache& cache,
       result.breakpoints_emitted += out.size;
     }
   }
-  result.states_explored = result.breakpoints_emitted;
+  return result;
+}
 
-  // Answer at the full budget: every breakpoint fits the budget by
-  // construction, so a column's value is its last (cheapest) step. Strict
-  // < keeps the lowest option index on ties, like the dense kernel.
+/// Extracts the optimal assignment at `budget_units` from built frontier
+/// columns. `budget_units` may be SMALLER than the budget the columns were
+/// built at: truncating a Pareto column to units <= U is identical to
+/// building it at U directly (no merge decision at a level ever depends on
+/// a higher level), so the answer — costs, parents, tie-breaks — is
+/// byte-identical to a cold run at `budget_units`. This one routine serves
+/// both the cold path (budget == build budget, where upper_bound lands on
+/// the last breakpoint) and frontier-cache warm hits at near-miss budgets.
+Result<DpSearchResult> AnswerFromFrontiers(
+    const std::vector<Breakpoint>& arena, const std::vector<Span>& spans,
+    int num_layers, int num_candidates,
+    const std::vector<std::vector<int>>& units,
+    const std::vector<int>& strat_of_option,
+    const std::vector<uint8_t>& recompute_of_option, int64_t gran,
+    const std::vector<HybridStrategy>& candidates, int budget_units,
+    int64_t memory_budget) {
+  auto span_of = [&](int l, int s) -> const Span& {
+    return spans[static_cast<size_t>(l) * static_cast<size_t>(num_candidates) +
+                 static_cast<size_t>(s)];
+  };
+  // Last breakpoint with units <= e, or nullptr when even the column's
+  // cheapest step is over budget.
+  auto active_breakpoint = [&](const Span& f, int e) -> const Breakpoint* {
+    const Breakpoint* begin = arena.data() + f.begin;
+    const Breakpoint* end = begin + f.size;
+    const Breakpoint* it = std::upper_bound(
+        begin, end, e,
+        [](int value, const Breakpoint& bp) { return value < bp.units; });
+    return it == begin ? nullptr : it - 1;
+  };
+
+  // Answer: best final-layer column at the budget. Strict < keeps the
+  // lowest option index on ties, like the dense kernel.
+  DpSearchResult result;
   double best = kInf;
   int best_s = -1;
   for (int s = 0; s < num_candidates; ++s) {
     const Span f = span_of(num_layers - 1, s);
     if (f.size == 0) continue;
-    const Breakpoint& last =
-        arena[static_cast<size_t>(f.begin + f.size - 1)];
-    if (last.cost < best) {
-      best = last.cost;
+    const Breakpoint* bp = active_breakpoint(f, budget_units);
+    if (bp == nullptr) continue;
+    if (bp->cost < best) {
+      best = bp->cost;
       best_s = s;
     }
   }
@@ -594,30 +640,61 @@ Result<DpSearchResult> RunSparseKernel(const DpWork& w, RunCostCache& cache,
   int e = budget_units;
   int s = best_s;
   for (int l = num_layers - 1; l >= 0; --l) {
-    const LayerOption& option = w.option_list[static_cast<size_t>(s)];
     result.per_layer[static_cast<size_t>(l)] =
-        candidates[static_cast<size_t>(option.strategy_index)];
+        candidates[static_cast<size_t>(strat_of_option[static_cast<size_t>(s)])];
     result.per_layer_recompute[static_cast<size_t>(l)] =
-        option.recompute ? 1 : 0;
+        recompute_of_option[static_cast<size_t>(s)];
     result.resident_memory_bytes +=
         static_cast<int64_t>(
-            w.units[static_cast<size_t>(l)][static_cast<size_t>(s)]) *
-        w.gran;
+            units[static_cast<size_t>(l)][static_cast<size_t>(s)]) *
+        gran;
     if (l > 0) {
-      const Span f = span_of(l, s);
-      const Breakpoint* begin = arena.data() + f.begin;
-      const Breakpoint* end = begin + f.size;
-      // Last breakpoint with units <= e.
-      const Breakpoint* it = std::upper_bound(
-          begin, end, e,
-          [](int value, const Breakpoint& bp) { return value < bp.units; });
-      GALVATRON_CHECK(it != begin);
-      const Breakpoint& bp = *(it - 1);
-      e -= w.units[static_cast<size_t>(l)][static_cast<size_t>(s)];
-      s = bp.parent;
+      // The chosen breakpoint was generated from a predecessor breakpoint
+      // at exactly (units - this layer's units), so the walk never falls
+      // off a column's front even at truncated budgets.
+      const Breakpoint* bp = active_breakpoint(span_of(l, s), e);
+      GALVATRON_CHECK(bp != nullptr);
+      e -= units[static_cast<size_t>(l)][static_cast<size_t>(s)];
+      s = bp->parent;
     }
   }
   return result;
+}
+
+/// The cache key of one sparse Run: everything that shapes the frontiers
+/// except the memory budget (model/cluster/estimator identity is the cache
+/// owner's contract — see DpFrontierCache).
+std::string FrontierKey(const std::vector<HybridStrategy>& candidates,
+                        int first_layer, int num_layers,
+                        int stage_first_device, int batch_per_group,
+                        int micro_batches, int resident_micro_batches,
+                        int64_t gran, bool allow_recompute) {
+  // Built by hand, not StrFormat: the key is remade on every Run, and on a
+  // fully warm sweep the vsnprintf round-trips outweighed the lookups they
+  // fed. Candidates append structurally for the same reason — their
+  // ToString() strings are equal iff the level lists are.
+  std::string key;
+  key.reserve(16 + 8 * candidates.size());
+  auto append_int = [&key](int64_t v) {
+    key += std::to_string(v);
+    key += '|';
+  };
+  append_int(first_layer);
+  append_int(num_layers);
+  append_int(stage_first_device);
+  append_int(batch_per_group);
+  append_int(micro_batches);
+  append_int(resident_micro_batches);
+  append_int(gran);
+  append_int(allow_recompute ? 1 : 0);
+  for (const HybridStrategy& s : candidates) {
+    for (const ParallelComponent& level : s.levels()) {
+      key += static_cast<char>('a' + static_cast<int>(level.dim));
+      key += std::to_string(level.degree);
+    }
+    key += ';';
+  }
+  return key;
 }
 
 }  // namespace
@@ -632,7 +709,9 @@ Result<DpSearchResult> DpSearch::Run(
     const ModelSpec& model, int first_layer, int num_layers,
     const std::vector<HybridStrategy>& candidates, int stage_first_device,
     int batch_per_group, int micro_batches, int64_t memory_budget,
-    int resident_micro_batches, SharedCostCache* shared_cache) const {
+    int resident_micro_batches, SharedCostCache* shared_cache,
+    DpFrontierCache* frontier_cache,
+    const std::function<bool()>* cancel_check) const {
   if (num_layers < 1 || first_layer < 0 ||
       first_layer + num_layers > model.num_layers()) {
     return Status::InvalidArgument("layer range out of bounds");
@@ -656,13 +735,54 @@ Result<DpSearchResult> DpSearch::Run(
         static_cast<int>(std::numeric_limits<int16_t>::max())));
   }
   w.strat_of_option.reserve(static_cast<size_t>(w.num_candidates));
+  std::vector<uint8_t> recompute_of_option;
+  recompute_of_option.reserve(static_cast<size_t>(w.num_candidates));
   for (const LayerOption& option : w.option_list) {
     w.strat_of_option.push_back(option.strategy_index);
+    recompute_of_option.push_back(option.recompute ? 1 : 0);
   }
   w.num_layers = num_layers;
   w.first_layer = first_layer;
   w.gran = options_.memory_granularity;
   w.micro_batches = micro_batches;
+
+  // Warm path: a cached frontier for this signature at a budget >= the
+  // requested one answers without touching the estimator or the kernel —
+  // the repeated-near-miss serving workload (identical request, different
+  // memory budget) skips the entire cold pipeline.
+  std::string frontier_key;
+  const bool cacheable = frontier_cache != nullptr && options_.use_sparse_dp;
+  if (cacheable) {
+    frontier_key = FrontierKey(candidates, first_layer, num_layers,
+                               stage_first_device, batch_per_group,
+                               micro_batches, resident_micro_batches, w.gran,
+                               options_.allow_recompute);
+    std::shared_ptr<const DpFrontierEntry> entry =
+        frontier_cache->Lookup(frontier_key);
+    if (entry != nullptr) {
+      GALVATRON_CHECK_EQ(entry->num_candidates, w.num_candidates);
+      const int64_t effective = memory_budget - entry->max_transient;
+      const int budget_units =
+          effective > 0 ? static_cast<int>(CeilDiv(effective, w.gran)) : -1;
+      if (budget_units < 0) {
+        frontier_cache->CountHit();
+        return Status::Infeasible("memory budget below transient headroom");
+      }
+      if (budget_units <= entry->budget_units) {
+        frontier_cache->CountHit();
+        Result<DpSearchResult> out = AnswerFromFrontiers(
+            entry->arena, entry->spans, entry->num_layers,
+            entry->num_candidates, entry->units, entry->option_strategy,
+            entry->option_recompute, w.gran, candidates, budget_units,
+            memory_budget);
+        if (out.ok()) out->frontier_hit = true;
+        return out;
+      }
+      // Budget grew past the cached frontier: fall through to a cold run,
+      // which republishes the wider entry.
+    }
+    frontier_cache->CountMiss();
+  }
 
   RunCostCache cache(estimator_, &model, &candidates, first_layer, num_layers,
                      stage_first_device, batch_per_group, micro_batches,
@@ -678,6 +798,9 @@ Result<DpSearchResult> DpSearch::Run(
       static_cast<size_t>(num_layers),
       std::vector<double>(static_cast<size_t>(w.num_candidates), kInf));
   for (int l = 0; l < num_layers; ++l) {
+    if (CancelRequested(cancel_check)) {
+      return Status::Cancelled("per-stage search cancelled");
+    }
     for (int s = 0; s < w.num_candidates; ++s) {
       const LayerOption& option = w.option_list[static_cast<size_t>(s)];
       GALVATRON_ASSIGN_OR_RETURN(
@@ -706,10 +829,40 @@ Result<DpSearchResult> DpSearch::Run(
     return Status::Infeasible("memory budget below transient headroom");
   }
 
-  if (options_.use_sparse_dp) {
-    return RunSparseKernel(w, cache, candidates, memory_budget);
+  if (!options_.use_sparse_dp) {
+    return RunDenseKernel(w, cache, candidates, memory_budget, cancel_check);
   }
-  return RunDenseKernel(w, cache, candidates, memory_budget);
+
+  GALVATRON_ASSIGN_OR_RETURN(SparseFrontiers frontiers,
+                             BuildSparseFrontiers(w, cache, cancel_check));
+  if (cacheable) {
+    // Publish even when the answer below is Infeasible: the frontiers are
+    // valid for every budget up to w.budget_units, and a warm infeasible
+    // replay is as cheap as a warm feasible one.
+    auto entry = std::make_shared<DpFrontierEntry>();
+    entry->budget_units = w.budget_units;
+    entry->max_transient = max_transient;
+    entry->num_layers = num_layers;
+    entry->num_candidates = w.num_candidates;
+    entry->option_strategy = w.strat_of_option;
+    entry->option_recompute = recompute_of_option;
+    entry->units = w.units;
+    entry->arena = frontiers.arena;
+    entry->spans = frontiers.spans;
+    entry->options_pruned = frontiers.options_pruned;
+    frontier_cache->Insert(frontier_key, std::move(entry));
+  }
+  Result<DpSearchResult> out = AnswerFromFrontiers(
+      frontiers.arena, frontiers.spans, num_layers, w.num_candidates, w.units,
+      w.strat_of_option, recompute_of_option, w.gran, candidates,
+      w.budget_units, memory_budget);
+  if (out.ok()) {
+    out->states_explored = frontiers.breakpoints_emitted;
+    out->breakpoints_emitted = frontiers.breakpoints_emitted;
+    out->breakpoints_scanned = frontiers.breakpoints_scanned;
+    out->options_pruned = frontiers.options_pruned;
+  }
+  return out;
 }
 
 Result<DpSearchResult> BruteForceSearch(

@@ -2,12 +2,14 @@
 #define GALVATRON_SEARCH_DP_SEARCH_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "estimator/cost_estimator.h"
 #include "ir/model.h"
 #include "parallel/strategy.h"
 #include "search/cost_cache.h"
+#include "search/frontier_cache.h"
 #include "util/result.h"
 
 namespace galvatron {
@@ -53,6 +55,10 @@ struct DpSearchResult {
   int64_t breakpoints_emitted = 0;
   int64_t breakpoints_scanned = 0;
   int64_t options_pruned = 0;
+  /// True when the answer was reconstructed from a cached frontier (see
+  /// DpFrontierCache) instead of a fresh kernel run. Warm answers report
+  /// zero new states/breakpoints: nothing was materialized.
+  bool frontier_hit = false;
 };
 
 /// The dynamic-programming search of Eq. (1):
@@ -110,13 +116,31 @@ class DpSearch {
   /// INT16_MAX — the dense kernel's parent table stores int16 indices, and
   /// both kernels share the limit so their feasibility envelopes stay
   /// identical.
+  ///
+  /// `frontier_cache` (optional, sparse kernel only): a caller-owned cache
+  /// of completed Pareto frontiers. When it holds this Run's signature at a
+  /// budget >= the requested one, the answer is reconstructed directly from
+  /// the cached columns — no estimator calls, no merging — and is
+  /// byte-identical to a cold run (the frontier prefix property; see
+  /// frontier_cache.h). Cold runs publish their frontiers back. The cache
+  /// must only be shared across Runs whose model, cluster topology and
+  /// estimator agree (the PlanningContext contract).
+  ///
+  /// `cancel_check` (optional) is polled between layer columns in both
+  /// kernels and between layers of the cost-estimation pass; once it
+  /// returns true the Run stops with Status::Cancelled. Serving threads a
+  /// per-request deadline through it so an expired request stops burning a
+  /// worker mid-DP instead of completing the full table.
   Result<DpSearchResult> Run(const ModelSpec& model, int first_layer,
                              int num_layers,
                              const std::vector<HybridStrategy>& candidates,
                              int stage_first_device, int batch_per_group,
                              int micro_batches, int64_t memory_budget,
                              int resident_micro_batches = -1,
-                             SharedCostCache* shared_cache = nullptr) const;
+                             SharedCostCache* shared_cache = nullptr,
+                             DpFrontierCache* frontier_cache = nullptr,
+                             const std::function<bool()>* cancel_check =
+                                 nullptr) const;
 
  private:
   const CostEstimator* estimator_;

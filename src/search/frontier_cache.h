@@ -1,0 +1,130 @@
+#ifndef GALVATRON_SEARCH_FRONTIER_CACHE_H_
+#define GALVATRON_SEARCH_FRONTIER_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace galvatron {
+
+/// One step of a (layer, option) column's cost-vs-budget function: for
+/// budgets in [units, next breakpoint's units), the best achievable cost is
+/// `cost`, reached through predecessor option `parent` (-1 at layer 0).
+/// Within a frontier, units strictly increase and cost never increases;
+/// equal-cost entries record a handoff to a LOWER predecessor option index
+/// (the dense kernel's tie-break), so reconstruction at any budget returns
+/// exactly the dense parent.
+struct DpBreakpoint {
+  int units = 0;
+  double cost = 0.0;
+  int32_t parent = -1;
+};
+
+/// Addresses one (layer, option) column inside a shared breakpoint arena.
+struct DpColumnSpan {
+  int64_t begin = 0;
+  int64_t size = 0;
+};
+
+/// The complete frontier state of one sparse DpSearch::Run, cached so a
+/// later Run over the same (layer range, candidates, batch, micro) signature
+/// can answer directly from the frontiers instead of re-estimating costs and
+/// re-merging columns.
+///
+/// The prefix property makes this exact: a Pareto column built at budget B
+/// truncated to units <= U is identical — costs, parents, tie-breaks — to
+/// the column built directly at any budget U <= B, because the merge never
+/// lets a higher budget level influence a lower one. So one entry, stored at
+/// the largest budget ever searched, serves every smaller budget with a
+/// byte-identical plan (the serving daemon's near-miss workload: identical
+/// requests except for the per-device memory budget).
+struct DpFrontierEntry {
+  /// Budget (in granules, after transient headroom) the frontiers were
+  /// built at. Lookups at most this many units reconstruct exactly.
+  int budget_units = 0;
+  /// Budget-independent transient headroom (2x the largest transient any
+  /// option needs); re-derives budget_units for a new memory budget.
+  int64_t max_transient = 0;
+  int num_layers = 0;
+  int num_candidates = 0;  // expanded options, recompute variants included
+  /// Per expanded option: the candidate strategy index and whether the
+  /// option checkpoints activations.
+  std::vector<int> option_strategy;
+  std::vector<uint8_t> option_recompute;
+  /// Per (layer, option): quantized resident memory granules.
+  std::vector<std::vector<int>> units;
+  /// All frontier columns, addressed by spans[layer * num_candidates + s].
+  std::vector<DpBreakpoint> arena;
+  std::vector<DpColumnSpan> spans;
+  /// Telemetry carried over from the cold run that built the entry.
+  int64_t options_pruned = 0;
+};
+
+struct DpFrontierCacheStats {
+  int64_t hits = 0;        // lookups answered from a cached frontier
+  int64_t misses = 0;      // lookups that ran (or re-ran) the cold kernel
+  int64_t insertions = 0;  // entries stored or widened to a larger budget
+  int64_t evictions = 0;
+  size_t size = 0;
+  size_t capacity = 0;
+};
+
+/// Thread-safe LRU cache of DpFrontierEntry keyed by the Run signature
+/// (layer range, candidate set, batch/micro shape, granularity — everything
+/// EXCEPT the memory budget; see DpFrontierEntry). Entries are immutable
+/// once published, handed out as shared_ptr so concurrent Runs read them
+/// lock-free after the map lookup.
+///
+/// The cache knows nothing about models or clusters: the caller (a
+/// PlanningContext) must only share one cache across Runs whose model,
+/// cluster topology and estimator agree — the same contract SharedCostCache
+/// documents. Only budget-like cluster differences (per-device memory) are
+/// safe to vary, because per-layer costs never depend on the budget.
+class DpFrontierCache {
+ public:
+  /// Default sized for a full Algorithm-1 sweep: one sweep issues a few
+  /// hundred to ~2000 distinct Run signatures (per batch wave, PP degree,
+  /// micro count and stage), and a near-miss request replays the same set.
+  explicit DpFrontierCache(size_t capacity = 4096) : capacity_(capacity) {}
+
+  DpFrontierCache(const DpFrontierCache&) = delete;
+  DpFrontierCache& operator=(const DpFrontierCache&) = delete;
+
+  /// Returns the entry for `key`, or nullptr. Does not count hit/miss —
+  /// whether the entry is usable depends on the requested budget, which
+  /// only the caller can check; it reports back via CountHit/CountMiss.
+  std::shared_ptr<const DpFrontierEntry> Lookup(const std::string& key);
+
+  /// Publishes `entry` under `key`. Keeps whichever of the existing and the
+  /// new entry covers the larger budget (frontiers only ever widen).
+  void Insert(const std::string& key,
+              std::shared_ptr<const DpFrontierEntry> entry);
+
+  void CountHit() { hits_.fetch_add(1, std::memory_order_relaxed); }
+  void CountMiss() { misses_.fetch_add(1, std::memory_order_relaxed); }
+
+  DpFrontierCacheStats stats() const;
+
+ private:
+  using Entry =
+      std::pair<std::string, std::shared_ptr<const DpFrontierEntry>>;
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
+  int64_t insertions_ = 0;
+  int64_t evictions_ = 0;
+};
+
+}  // namespace galvatron
+
+#endif  // GALVATRON_SEARCH_FRONTIER_CACHE_H_

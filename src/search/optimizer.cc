@@ -73,6 +73,8 @@ struct ConfigOutcome {
   int64_t dp_states = 0;
   int64_t dp_breakpoints = 0;
   int64_t dp_pruned = 0;
+  int64_t dp_frontier_hits = 0;    // stage searches replayed from cache
+  int64_t dp_frontier_misses = 0;  // stage searches that ran cold
   Status error;  // non-OK only on fatal (non-OOM, non-infeasible) errors
 };
 
@@ -91,6 +93,14 @@ Result<OptimizationResult> Optimizer::Optimize(const ModelSpec& model) const {
 
 Result<OptimizationResult> Optimizer::Optimize(
     const ModelSpec& model, SharedCostCache* shared_cache,
+    const std::function<bool()>& cancel_check) const {
+  return Optimize(model, shared_cache, /*frontier_cache=*/nullptr,
+                  cancel_check);
+}
+
+Result<OptimizationResult> Optimizer::Optimize(
+    const ModelSpec& model, SharedCostCache* shared_cache,
+    DpFrontierCache* frontier_cache,
     const std::function<bool()>& cancel_check) const {
   // Options validation. A negative thread count is a caller bug, not a
   // request for serial search — clamping it silently used to mask e.g.
@@ -133,8 +143,26 @@ Result<OptimizationResult> Optimizer::Optimize(
     int pp = 1;
     std::vector<HybridStrategy> candidates;
     std::vector<int> stage_sizes;
+    /// (candidate index, fully-built uniform plan) per structurally valid
+    /// candidate. Built once per degree; the per-configuration loop patches
+    /// the batch fields into a thread-local scratch copy instead of
+    /// re-allocating every stage's strategy vector for every configuration.
+    std::vector<std::pair<int, TrainingPlan>> uniform_templates;
   };
   std::vector<PerDegree> degrees;
+  // batch=1/micro=1 satisfies every batch-dependent Validate check, so a
+  // template failure here is structural and holds for every configuration.
+  auto build_uniform_templates = [&](PerDegree& d) {
+    for (size_t c = 0; c < d.candidates.size(); ++c) {
+      auto uniform = MakeUniformPlan(model, num_devices, d.pp, d.stage_sizes,
+                                     d.candidates[c], /*global_batch=*/1,
+                                     /*num_micro_batches=*/1);
+      if (!uniform.ok()) continue;
+      uniform->schedule = options_.schedule;
+      d.uniform_templates.emplace_back(static_cast<int>(c),
+                                       *std::move(uniform));
+    }
+  };
   std::set<std::string> candidate_names;
   for (int pp : pp_degrees) {
     if (pp < 1 || num_devices % pp != 0 || pp > model.num_layers()) continue;
@@ -163,9 +191,11 @@ Result<OptimizationResult> Optimizer::Optimize(
           model, options_.partition_policy, capacities);
       if (sizes.ok() && *sizes != d.stage_sizes) {
         hetero.stage_sizes = *std::move(sizes);
+        build_uniform_templates(hetero);
         degrees.push_back(std::move(hetero));
       }
     }
+    build_uniform_templates(d);
     degrees.push_back(std::move(d));
   }
   if (degrees.empty()) {
@@ -186,6 +216,94 @@ Result<OptimizationResult> Optimizer::Optimize(
   std::unique_ptr<ThreadPool> pool;
   if (threads > 1) pool = std::make_unique<ThreadPool>(threads);
 
+  // Whole-plan cost memo. EstimatePlan is budget-independent except for
+  // the per-stage peak-vs-budget comparison, so the cost is computed once
+  // with the check deferred, published to the (possibly cross-request)
+  // cache, and the comparison re-applied here per call — with the same
+  // stage order, short-circuiting, and error text as the checked call.
+  // Builds the memo key into a thread-local scratch (one sweep issues
+  // hundreds of lookups, mostly hits, which need no owned copy). Strategy
+  // levels encode structurally — NOT via InternStrategy: interning formats
+  // the strategy string first, and that formatting dominated the whole
+  // warm sweep when profiled. Consecutive layers with one (strategy,
+  // recompute) pair compress to a single run — uniform plans, the bulk of
+  // the sweep's evaluations, shrink from O(layers) to O(1) words. Maximal
+  // runs partition a stage's layers deterministically, so the encoding
+  // stays injective.
+  auto plan_cost_key =
+      [&](const TrainingPlan& plan) -> const PlanCostKey& {
+    thread_local PlanCostKey key;
+    key.words.clear();
+    key.words.push_back(static_cast<int32_t>(plan.schedule));
+    key.words.push_back(plan.global_batch);
+    key.words.push_back(plan.num_micro_batches);
+    for (const StagePlan& stage : plan.stages) {
+      key.words.push_back(stage.first_device);
+      key.words.push_back(stage.num_devices);
+      key.words.push_back(stage.first_layer);
+      key.words.push_back(stage.num_layers);
+      const size_t n = stage.layer_strategies.size();
+      for (size_t l = 0; l < n;) {
+        const HybridStrategy& strat = stage.layer_strategies[l];
+        const int32_t recompute =
+            !stage.recompute.empty() && stage.recompute[l] != 0 ? 1 : 0;
+        size_t run = l + 1;
+        while (run < n && stage.layer_strategies[run] == strat &&
+               (!stage.recompute.empty() && stage.recompute[run] != 0 ? 1
+                                                                      : 0) ==
+                   recompute) {
+          ++run;
+        }
+        key.words.push_back(static_cast<int32_t>(run - l));
+        key.words.push_back((strat.num_levels() << 1) | recompute);
+        for (const ParallelComponent& level : strat.levels()) {
+          key.words.push_back((static_cast<int32_t>(level.dim) << 16) |
+                              level.degree);
+        }
+        l = run;
+      }
+    }
+    key.Finalize();
+    return key;
+  };
+  auto check_plan_memory = [&](const TrainingPlan& plan,
+                               const PlanCost& cost) -> Status {
+    for (size_t i = 0; i < plan.stages.size(); ++i) {
+      const StagePlan& stage = plan.stages[i];
+      const int64_t budget = cluster_->MinMemoryInRange(
+          stage.first_device, stage.layer_strategies.front().TotalDegree());
+      const int64_t peak = cost.stages[i].peak_memory_bytes;
+      if (peak > budget) {
+        return Status::OutOfMemory(StrFormat(
+            "stage needs %s but budget is %s",
+            HumanBytes(static_cast<double>(peak)).c_str(),
+            HumanBytes(static_cast<double>(budget)).c_str()));
+      }
+    }
+    return Status::OK();
+  };
+  auto estimate_plan =
+      [&](const TrainingPlan& plan)
+      -> Result<std::shared_ptr<const PlanCost>> {
+    const PlanCostKey& key = plan_cost_key(plan);
+    std::shared_ptr<const PlanCost> cost = cache->LookupPlan(key);
+    if (cost == nullptr) {
+      auto unchecked =
+          estimator_.EstimatePlan(model, plan, /*check_memory=*/false);
+      // Estimation errors stay uncached and are re-raised through the
+      // checked call, so failure semantics match the unmemoized path.
+      if (!unchecked.ok()) {
+        auto checked = estimator_.EstimatePlan(model, plan);
+        if (!checked.ok()) return checked.status();
+        return std::shared_ptr<const PlanCost>(
+            std::make_shared<PlanCost>(*std::move(checked)));
+      }
+      cost = cache->InsertPlan(key, *std::move(unchecked));
+    }
+    GALVATRON_RETURN_IF_ERROR(check_plan_memory(plan, *cost));
+    return cost;
+  };
+
   // Evaluates one (batch, degree, micro) configuration. Pure function of
   // its arguments plus the (thread-safe, const) estimator and shared cache
   // — safe to run on any worker.
@@ -196,24 +314,44 @@ Result<OptimizationResult> Optimizer::Optimize(
       out.error = Status::Cancelled("strategy sweep cancelled");
       return out;
     }
+    // Best plan of THIS configuration, tracked without materializing a
+    // RankedPlan per feasible candidate: within one configuration the PP
+    // degree and ordinal are fixed, so BetterPlan reduces to strictly
+    // higher throughput (earlier candidates keep ties), and the shared
+    // cost entry is only deep-copied once on commit below.
+    TrainingPlan best_plan;
+    std::shared_ptr<const PlanCost> best_cost;
+    int best_rank = 0;
+    auto commit_best = [&] {
+      if (best_cost == nullptr) return;
+      out.best = RankedPlan{std::move(best_plan), PlanCost(*best_cost),
+                            best_rank, config_ordinal};
+      out.has_best = true;
+    };
     // Uniform single-strategy plans first: they are points of the same
     // search space, and evaluating them through the exact estimator
     // guarantees the search never loses to a pure baseline because of
-    // DP-table memory quantization.
-    for (size_t c = 0; c < degree.candidates.size(); ++c) {
-      auto uniform =
-          MakeUniformPlan(model, num_devices, degree.pp, degree.stage_sizes,
-                          degree.candidates[c], batch, micro);
-      if (!uniform.ok()) continue;
-      uniform->schedule = options_.schedule;
-      auto uniform_cost = estimator_.EstimatePlan(model, *uniform);
-      if (!uniform_cost.ok()) continue;
-      out.feasible = true;
-      RankedPlan ranked{*std::move(uniform), *std::move(uniform_cost),
-                        static_cast<int>(c), config_ordinal};
-      if (!out.has_best || BetterPlan(ranked, out.best)) {
-        out.best = std::move(ranked);
-        out.has_best = true;
+    // DP-table memory quantization. The structure comes from the pre-built
+    // per-degree template; only the batch fields differ per configuration,
+    // patched into a thread-local scratch whose nested vectors are reused
+    // across configurations. The guard reproduces exactly the
+    // batch-dependent Validate failures MakeUniformPlan would hit.
+    if (batch >= 1 && micro >= 1 && micro <= batch) {
+      static thread_local TrainingPlan uniform_scratch;
+      for (const auto& [c, tmpl] : degree.uniform_templates) {
+        uniform_scratch = tmpl;
+        uniform_scratch.global_batch = batch;
+        uniform_scratch.num_micro_batches = micro;
+        auto uniform_cost = estimate_plan(uniform_scratch);
+        if (!uniform_cost.ok()) continue;
+        out.feasible = true;
+        if (best_cost == nullptr ||
+            (*uniform_cost)->throughput_samples_per_sec >
+                best_cost->throughput_samples_per_sec) {
+          best_plan = uniform_scratch;
+          best_cost = *std::move(uniform_cost);
+          best_rank = c;
+        }
       }
     }
 
@@ -238,7 +376,17 @@ Result<OptimizationResult> Optimizer::Optimize(
                                degree.candidates, s * devices_per_stage,
                                batch, micro, stage_budget,
                                plan.InFlightForDegree(degree.pp, s),
-                               cache);
+                               cache, frontier_cache, &cancel_check);
+      if (frontier_cache != nullptr) {
+        // Warm infeasible answers are invisible here (no DpSearchResult to
+        // carry the flag) and count as misses; the cache's own stats()
+        // still record them as hits.
+        if (result.ok() && result->frontier_hit) {
+          ++out.dp_frontier_hits;
+        } else {
+          ++out.dp_frontier_misses;
+        }
+      }
       if (!result.ok()) {
         if (result.status().IsInfeasible() ||
             result.status().IsOutOfMemory()) {
@@ -263,21 +411,28 @@ Result<OptimizationResult> Optimizer::Optimize(
       plan.stages.push_back(std::move(stage));
       first_layer += stage_layers;
     }
-    if (oom) return out;
+    if (oom) {
+      commit_best();
+      return out;
+    }
 
-    auto cost = estimator_.EstimatePlan(model, plan);
+    auto cost = estimate_plan(plan);
     if (!cost.ok()) {
       if (!cost.status().IsOutOfMemory()) out.error = cost.status();
+      commit_best();
       return out;
     }
     out.feasible = true;
-    RankedPlan ranked{std::move(plan), *std::move(cost),
-                      static_cast<int>(degree.candidates.size()),
-                      config_ordinal};
-    if (!out.has_best || BetterPlan(ranked, out.best)) {
-      out.best = std::move(ranked);
-      out.has_best = true;
+    // The DP plan carries the highest candidate rank, so it too replaces
+    // only on strictly higher throughput.
+    if (best_cost == nullptr ||
+        (*cost)->throughput_samples_per_sec >
+            best_cost->throughput_samples_per_sec) {
+      best_plan = std::move(plan);
+      best_cost = *std::move(cost);
+      best_rank = static_cast<int>(degree.candidates.size());
     }
+    commit_best();
     return out;
   };
 
@@ -286,6 +441,15 @@ Result<OptimizationResult> Optimizer::Optimize(
   // Best plan per PP degree, kept as alternates.
   std::map<int, RankedPlan> best_per_degree;
   int next_ordinal = 0;
+
+  // Wave dispatch is adaptive: handing a wave to the pool costs futex
+  // round-trips that dwarf a fully warm wave's compute (frontier + plan
+  // memos make it microseconds), so a wave that finishes under the
+  // threshold runs the NEXT wave inline, and a slow inline wave switches
+  // back. Only latency changes — the ordinal-ordered merge below makes the
+  // result identical however a wave was executed.
+  constexpr double kInlineWaveSeconds = 250e-6;
+  bool wave_inline = false;
 
   // Algorithm 1: grow the batch until every PP degree is out of memory.
   // The batch loop stays serial (its exit condition depends on this wave's
@@ -324,11 +488,14 @@ Result<OptimizationResult> Optimizer::Optimize(
     }
 
     std::vector<ConfigOutcome> outcomes(tasks.size());
-    ParallelFor(pool.get(), static_cast<int>(tasks.size()), [&](int i) {
+    const auto wave_start = std::chrono::steady_clock::now();
+    ParallelFor(wave_inline ? nullptr : pool.get(),
+                static_cast<int>(tasks.size()), [&](int i) {
       const ConfigTask& task = tasks[static_cast<size_t>(i)];
       outcomes[static_cast<size_t>(i)] =
           evaluate(*task.degree, batch, task.micro, task.ordinal);
     });
+    wave_inline = SecondsSince(wave_start) < kInlineWaveSeconds;
 
     // Deterministic merge: walk outcomes in enumeration order; the first
     // fatal error (by ordinal) is returned, exactly as the serial sweep
@@ -340,6 +507,8 @@ Result<OptimizationResult> Optimizer::Optimize(
       stats.dp_states_explored += out.dp_states;
       stats.dp_breakpoints_emitted += out.dp_breakpoints;
       stats.dp_options_pruned += out.dp_pruned;
+      stats.dp_frontier_hits += out.dp_frontier_hits;
+      stats.dp_frontier_misses += out.dp_frontier_misses;
       any_feasible = any_feasible || out.feasible;
       if (!out.has_best) continue;
       const int pp = out.best.plan.pp_degree();
@@ -426,7 +595,8 @@ Result<OptimizationResult> Optimizer::Optimize(
           search.Run(model, first_layer, stage_layers, *candidates,
                      s * devices_per_stage, refined.global_batch,
                      refined.num_micro_batches, stage_budget,
-                     refined.InFlightForDegree(pp, s), cache);
+                     refined.InFlightForDegree(pp, s), cache, frontier_cache,
+                     &cancel_check);
       if (!stage_result.ok()) {
         oom = true;
         break;

@@ -103,6 +103,13 @@ struct SearchStats {
   int64_t cost_cache_lifetime_hits = 0;
   int64_t cost_cache_lifetime_misses = 0;
 
+  /// DP frontier-cache counters for this run (zero without an external
+  /// frontier cache): per-stage searches answered by replaying a cached
+  /// Pareto frontier vs. searches that ran the cold kernel. A warm-start
+  /// serving request shows hits ~= the per-stage search count.
+  int64_t dp_frontier_hits = 0;
+  int64_t dp_frontier_misses = 0;
+
   /// True when the run reused a caller-provided SharedCostCache instead of
   /// building its own.
   bool used_external_cost_cache = false;
@@ -151,6 +158,18 @@ class Optimizer {
   /// returns Status::Cancelled. Used for per-request deadlines.
   Result<OptimizationResult> Optimize(
       const ModelSpec& model, SharedCostCache* shared_cache,
+      const std::function<bool()>& cancel_check = {}) const;
+
+  /// Same, plus a caller-owned DP frontier cache (see DpFrontierCache):
+  /// per-stage searches whose signature already has a cached Pareto
+  /// frontier at a covering budget replay the answer instead of running
+  /// the kernel — the serving daemon's warm-start path for requests that
+  /// differ only in memory budget or batch envelope. The frontier cache
+  /// must be scoped with the cost cache (same model / cluster topology /
+  /// estimator). Thread-safe like `shared_cache`.
+  Result<OptimizationResult> Optimize(
+      const ModelSpec& model, SharedCostCache* shared_cache,
+      DpFrontierCache* frontier_cache,
       const std::function<bool()>& cancel_check = {}) const;
 
  private:

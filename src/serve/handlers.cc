@@ -275,6 +275,8 @@ std::string SearchStatsJson(const SearchStats& stats) {
   out += ", \"cost_cache_lifetime_misses\": " +
          Int64Json(stats.cost_cache_lifetime_misses);
   out += ", \"cost_cache_misses\": " + Int64Json(stats.cost_cache_misses);
+  out += ", \"dp_frontier_hits\": " + Int64Json(stats.dp_frontier_hits);
+  out += ", \"dp_frontier_misses\": " + Int64Json(stats.dp_frontier_misses);
   out += ", \"dp_states_explored\": " + Int64Json(stats.dp_states_explored);
   out += ", \"num_candidate_strategies\": " +
          Int64Json(stats.num_candidate_strategies);
@@ -286,11 +288,43 @@ std::string SearchStatsJson(const SearchStats& stats) {
   return out;
 }
 
+/// The context key's cluster component with every per-device memory budget
+/// zeroed, so requests whose clusters differ ONLY in memory share one
+/// PlanningContext — and with it one SharedCostCache and one
+/// DpFrontierCache. Per-layer costs never depend on the budget (the caches'
+/// documented contract), and feasibility is always re-checked against the
+/// request's real cluster, so the sharing is exact. Before this
+/// normalization each budget variant got its own cold context and the
+/// "warm" LRU bought almost nothing.
+std::string NormalizedClusterKey(const JsonValue& cluster_value) {
+  JsonValue normalized = cluster_value;
+  auto it = normalized.object.find("device_memory_bytes");
+  if (it != normalized.object.end() &&
+      it->second.kind == JsonValue::Kind::kArray) {
+    for (JsonValue& entry : it->second.array) {
+      entry.number = 0;
+      entry.number_token = "0";
+    }
+  }
+  return WriteJson(normalized);
+}
+
 }  // namespace
 
 PlanService::PlanService(PlanServiceOptions options)
-    : options_(options), plan_cache_(options.plan_cache_entries) {
+    : options_(options),
+      plan_cache_(PlanCacheOptions{options.plan_cache_entries,
+                                   options.plan_cache_journal}) {
   if (options_.context_cache_entries == 0) options_.context_cache_entries = 1;
+  if (options_.async_workers < 1) options_.async_workers = 1;
+  if (options_.async_jobs < 1) options_.async_jobs = 1;
+  async_pool_ = std::make_unique<ThreadPool>(options_.async_workers);
+}
+
+PlanService::~PlanService() {
+  // Drain queued async plans before any member they touch goes away; the
+  // plan cache then compacts its journal in its own destructor.
+  async_pool_.reset();
 }
 
 HttpResponse PlanService::Handle(const HttpRequest& request) {
@@ -320,6 +354,14 @@ HttpResponse PlanService::Handle(const HttpRequest& request) {
           Status::InvalidArgument("/v1/plan only answers POST"), 405);
     }
     return HandlePlan(request);
+  }
+  const std::string poll_prefix = "/v1/plan/";
+  if (route.compare(0, poll_prefix.size(), poll_prefix) == 0) {
+    if (!is_get) {
+      return MakeJsonErrorResponse(
+          Status::InvalidArgument("/v1/plan/<id> only answers GET"), 405);
+    }
+    return HandlePlanPoll(route.substr(poll_prefix.size()));
   }
   if (route == "/v1/measure") {
     if (!is_post) {
@@ -360,9 +402,19 @@ HttpResponse PlanService::HandlePlan(const HttpRequest& request) {
     return MakeJsonErrorResponse(
         Status::InvalidArgument("request body must be a JSON object"));
   }
-  Status keys = CheckKeys(*root, {"model", "cluster", "options", "deadline_ms"},
-                          "the request");
+  Status keys = CheckKeys(
+      *root, {"model", "cluster", "options", "deadline_ms", "async"},
+      "the request");
   if (!keys.ok()) return MakeJsonErrorResponse(keys);
+
+  if (const JsonValue* async_value = FindMember(*root, "async")) {
+    if (async_value->kind != JsonValue::Kind::kBool) {
+      return MakeJsonErrorResponse(
+          Status::InvalidArgument("'async' must be a boolean"));
+    }
+    if (async_value->boolean) return SubmitAsyncPlan(*root);
+    // "async": false is just the synchronous path, spelled out.
+  }
 
   const JsonValue* model_value = FindMember(*root, "model");
   if (model_value == nullptr) {
@@ -406,34 +458,107 @@ HttpResponse PlanService::HandlePlan(const HttpRequest& request) {
   const std::string cache_key =
       model_canonical + "\n" + cluster_canonical + "\n" + options_signature;
 
-  std::string core;
-  if (plan_cache_.Get(cache_key, &core)) {
-    if (options_.metrics != nullptr) options_.metrics->RecordPlanCache(true);
-    HttpResponse response;
-    response.body = "{" + core + ", \"plan_cache_hit\": true}\n";
-    return response;
-  }
+  const auto wait_deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(
+              deadline_ms > 0.0 ? deadline_ms : 0.0));
 
-  Result<ModelSpec> model = ResolveModel(*model_value, &model_canonical);
+  // Singleflight loop. Each pass: serve from the plan cache, else join an
+  // identical in-flight search as a follower, else lead one. Followers
+  // normally return the leader's response verbatim; they loop again only
+  // when the leader timed out against ITS deadline (theirs may be longer).
+  for (;;) {
+    if (std::shared_ptr<const std::string> hit = plan_cache_.Get(cache_key)) {
+      if (options_.metrics != nullptr) options_.metrics->RecordPlanCache(true);
+      HttpResponse response;
+      response.body = "{" + *hit + ", \"plan_cache_hit\": true}\n";
+      return response;
+    }
+
+    std::shared_ptr<InFlight> flight;
+    bool leader = false;
+    {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      auto it = inflight_.find(cache_key);
+      if (it != inflight_.end()) {
+        flight = it->second;
+      } else {
+        flight = std::make_shared<InFlight>();
+        inflight_[cache_key] = flight;
+        leader = true;
+      }
+    }
+
+    if (leader) {
+      HttpResponse response =
+          ComputePlan(*root, *model_value, **cluster_value, model_canonical,
+                      cache_key, deadline_ms);
+      {
+        // Unpublish BEFORE waking followers: a new request must either see
+        // the plan-cache entry (filled inside ComputePlan on success) or
+        // lead a fresh search — never join this finished flight.
+        std::lock_guard<std::mutex> lock(inflight_mu_);
+        inflight_.erase(cache_key);
+      }
+      {
+        std::lock_guard<std::mutex> lock(flight->mu);
+        flight->done = true;
+        flight->retry = response.status == 504;
+        flight->response = response;
+      }
+      flight->cv.notify_all();
+      return response;
+    }
+
+    // Follower: wait for the leader, bounded by our own deadline.
+    HttpResponse replay;
+    {
+      std::unique_lock<std::mutex> lock(flight->mu);
+      const auto ready = [&flight] { return flight->done; };
+      if (deadline_ms > 0.0) {
+        if (!flight->cv.wait_until(lock, wait_deadline, ready)) {
+          return MakeJsonErrorResponse(Status::Cancelled(
+              "deadline expired while waiting for an identical in-flight "
+              "search"));
+        }
+      } else {
+        flight->cv.wait(lock, ready);
+      }
+      if (flight->retry) continue;
+      replay = flight->response;
+    }
+    if (options_.metrics != nullptr) options_.metrics->RecordCoalesced();
+    return replay;
+  }
+}
+
+HttpResponse PlanService::ComputePlan(const JsonValue& root,
+                                      const JsonValue& model_value,
+                                      const JsonValue& cluster_value,
+                                      const std::string& model_canonical,
+                                      const std::string& cache_key,
+                                      double deadline_ms) {
+  OptimizerOptions options;
+  std::string options_signature;  // already validated by HandlePlan
+  Status options_status = ParseOptimizerOptions(FindMember(root, "options"),
+                                                &options, &options_signature);
+  if (!options_status.ok()) return MakeJsonErrorResponse(options_status);
+
+  std::string resolved_canonical = model_canonical;
+  Result<ModelSpec> model = ResolveModel(model_value, &resolved_canonical);
   if (!model.ok()) return MakeJsonErrorResponse(model.status());
-  Result<ClusterSpec> cluster = ClusterSpecFromJsonValue(**cluster_value);
+  Result<ClusterSpec> cluster = ClusterSpecFromJsonValue(cluster_value);
   if (!cluster.ok()) return MakeJsonErrorResponse(cluster.status());
 
-  const std::string context_key = model_canonical + "\n" + cluster_canonical +
-                                  "\n" +
-                                  StrFormat("est=%d:%s:%d",
-                                            options.estimator
-                                                    .model_overlap_slowdown
-                                                ? 1
-                                                : 0,
-                                            JsonNumber(
-                                                options.estimator
-                                                    .overlap_slowdown)
-                                                .c_str(),
-                                            options.estimator
-                                                    .tp_sequence_parallel
-                                                ? 1
-                                                : 0);
+  // Budget-normalized context key: budget-only cluster variants share one
+  // context (one cost cache + one frontier cache); see NormalizedClusterKey.
+  const std::string context_key =
+      model_canonical + "\n" + NormalizedClusterKey(cluster_value) + "\n" +
+      StrFormat("est=%d:%s:%d",
+                options.estimator.model_overlap_slowdown ? 1 : 0,
+                JsonNumber(options.estimator.overlap_slowdown).c_str(),
+                options.estimator.tp_sequence_parallel ? 1 : 0);
   std::shared_ptr<PlanningContext> context =
       GetOrCreateContext(context_key, *model, *cluster, options.estimator);
 
@@ -448,21 +573,28 @@ HttpResponse PlanService::HandlePlan(const HttpRequest& request) {
     };
   }
 
-  Result<TrainedPlan> result = Galvatron::Plan(*context, options, cancel_check);
+  // Optimize against the REQUEST's cluster (its real memory budgets) while
+  // borrowing the context's caches — the warm-start near-miss path.
+  Result<TrainedPlan> result =
+      Galvatron::Plan(*context, *cluster, options, cancel_check);
   if (!result.ok()) return MakeJsonErrorResponse(result.status());
 
   if (options_.metrics != nullptr) {
     options_.metrics->RecordPlanCache(false);
     options_.metrics->RecordCostCache(result->search_stats.cost_cache_hits,
                                       result->search_stats.cost_cache_misses);
+    if (result->search_stats.dp_frontier_hits > 0) {
+      options_.metrics->RecordWarmStart();
+    }
   }
 
-  core = "\"estimated\": {\"iteration_seconds\": " +
-         JsonNumber(result->estimated.iteration_seconds) +
-         ", \"peak_memory_bytes\": " +
-         Int64Json(result->estimated.peak_memory_bytes) +
-         ", \"throughput_samples_per_sec\": " +
-         JsonNumber(result->estimated.throughput_samples_per_sec) + "}";
+  std::string core = "\"estimated\": {\"iteration_seconds\": " +
+                     JsonNumber(result->estimated.iteration_seconds) +
+                     ", \"peak_memory_bytes\": " +
+                     Int64Json(result->estimated.peak_memory_bytes) +
+                     ", \"throughput_samples_per_sec\": " +
+                     JsonNumber(result->estimated.throughput_samples_per_sec) +
+                     "}";
   core += ", \"plan\": " + CanonicalPlanJson(result->plan);
   core += ", \"search_stats\": " + SearchStatsJson(result->search_stats);
   plan_cache_.Put(cache_key, core);
@@ -470,6 +602,83 @@ HttpResponse PlanService::HandlePlan(const HttpRequest& request) {
   HttpResponse response;
   response.body = "{" + core + ", \"plan_cache_hit\": false}\n";
   return response;
+}
+
+HttpResponse PlanService::SubmitAsyncPlan(const JsonValue& root) {
+  // The job re-enters HandlePlan with "async" stripped, so its response —
+  // and the plan-cache entry it fills — is byte-identical to a synchronous
+  // request's.
+  JsonValue stripped = root;
+  stripped.object.erase("async");
+  const std::string body = WriteJson(stripped);
+
+  auto job = std::make_shared<AsyncJob>();
+  job->id = StrFormat(
+      "plan-%lld",
+      static_cast<long long>(
+          next_job_id_.fetch_add(1, std::memory_order_relaxed) + 1));
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    if (jobs_.size() >= options_.async_jobs) {
+      // Evict the oldest COMPLETED job; pending jobs are never dropped
+      // (their submitters hold a poll handle that must stay answerable
+      // until it resolves).
+      bool evicted = false;
+      for (auto it = jobs_.rbegin(); it != jobs_.rend(); ++it) {
+        if ((*it)->done) {
+          jobs_index_.erase((*it)->id);
+          jobs_.erase(std::next(it).base());
+          evicted = true;
+          break;
+        }
+      }
+      if (!evicted) {
+        return MakeJsonErrorResponse(
+            Status::FailedPrecondition(
+                "async job table is full of pending jobs; retry later"),
+            429);
+      }
+    }
+    jobs_.push_front(job);
+    jobs_index_[job->id] = job;
+  }
+  if (options_.metrics != nullptr) options_.metrics->RecordAsyncSubmit();
+
+  async_pool_->Submit([this, job, body] {
+    HttpRequest inner;
+    inner.method = "POST";
+    inner.target = "/v1/plan";
+    inner.body = body;
+    HttpResponse response = HandlePlan(inner);
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    job->response = std::move(response);
+    job->done = true;
+  });
+
+  HttpResponse response;
+  response.status = 202;
+  response.body = StrFormat(
+      "{\"plan_id\": \"%s\", \"poll\": \"/v1/plan/%s\", "
+      "\"status\": \"pending\"}\n",
+      job->id.c_str(), job->id.c_str());
+  return response;
+}
+
+HttpResponse PlanService::HandlePlanPoll(const std::string& id) {
+  std::lock_guard<std::mutex> lock(jobs_mu_);
+  auto it = jobs_index_.find(id);
+  if (it == jobs_index_.end()) {
+    return MakeJsonErrorResponse(Status::NotFound(
+        StrFormat("no async plan job '%s' (unknown or evicted)", id.c_str())));
+  }
+  if (!it->second->done) {
+    HttpResponse response;
+    response.status = 202;
+    response.body = StrFormat(
+        "{\"plan_id\": \"%s\", \"status\": \"pending\"}\n", id.c_str());
+    return response;
+  }
+  return it->second->response;  // verbatim: byte-identical to synchronous
 }
 
 HttpResponse PlanService::HandleMeasure(const HttpRequest& request) {
@@ -602,6 +811,18 @@ HttpResponse PlanService::HandleMetrics() const {
       static_cast<long long>(stats.size),
       static_cast<long long>(stats.capacity),
       static_cast<long long>(stats.evictions));
+  response.body += StrFormat(
+      "# HELP galvatron_serve_plan_cache_persisted_entries Plan-cache "
+      "entries durable in the journal (0 when persistence is off or "
+      "disabled).\n"
+      "# TYPE galvatron_serve_plan_cache_persisted_entries gauge\n"
+      "galvatron_serve_plan_cache_persisted_entries %lld\n"
+      "# HELP galvatron_serve_plan_cache_journal_restored Entries restored "
+      "from the journal at startup.\n"
+      "# TYPE galvatron_serve_plan_cache_journal_restored gauge\n"
+      "galvatron_serve_plan_cache_journal_restored %lld\n",
+      static_cast<long long>(stats.journal_enabled ? stats.size : 0),
+      static_cast<long long>(stats.journal_restored));
   return response;
 }
 

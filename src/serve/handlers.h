@@ -1,6 +1,8 @@
 #ifndef GALVATRON_SERVE_HANDLERS_H_
 #define GALVATRON_SERVE_HANDLERS_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <list>
 #include <memory>
@@ -13,6 +15,8 @@
 #include "serve/http.h"
 #include "serve/metrics.h"
 #include "serve/plan_cache.h"
+#include "util/json.h"
+#include "util/thread_pool.h"
 
 namespace galvatron {
 namespace serve {
@@ -20,12 +24,22 @@ namespace serve {
 struct PlanServiceOptions {
   /// Entries in the response-level plan cache (0 disables it).
   size_t plan_cache_entries = 128;
-  /// Distinct (model, cluster, estimator-options) PlanningContexts kept
-  /// warm. Each holds a SharedCostCache that persists across requests.
+  /// Distinct (model, cluster-topology, estimator-options) PlanningContexts
+  /// kept warm. Each holds a SharedCostCache and a DpFrontierCache that
+  /// persist across requests; budget-only cluster variants share one
+  /// context (per-layer costs never depend on the memory budget).
   size_t context_cache_entries = 8;
   /// Default per-request wall-clock deadline for /v1/plan in milliseconds;
   /// 0 means unlimited. A request's own "deadline_ms" field overrides it.
   double default_deadline_ms = 0.0;
+  /// Path of the persistent plan-cache journal (see PlanCacheOptions);
+  /// empty keeps the plan cache in-memory only.
+  std::string plan_cache_journal;
+  /// Worker threads executing async ("async": true) plan requests.
+  int async_workers = 2;
+  /// Completed/pending async jobs retained for polling. When full and no
+  /// completed job can be evicted, new submissions are rejected with 429.
+  size_t async_jobs = 128;
   /// Optional telemetry sink shared with the HttpServer.
   ServeMetrics* metrics = nullptr;
 };
@@ -35,9 +49,17 @@ struct PlanServiceOptions {
 ///   POST /v1/plan     {"model": "<zoo name>" | {...spec...},
 ///                      "cluster": {...spec...},
 ///                      "options": {...optimizer knobs...},   (optional)
-///                      "deadline_ms": 250}                    (optional)
+///                      "deadline_ms": 250,                   (optional)
+///                      "async": true}                        (optional)
 ///     -> {"plan": {...}, "estimated": {...}, "search_stats": {...},
 ///         "plan_cache_hit": false}
+///     async form -> 202 {"plan_id": "plan-7", "poll": "/v1/plan/plan-7",
+///                        "status": "pending"}
+///
+///   GET /v1/plan/<id> -> 202 {"status": "pending", ...} while running,
+///                        then the finished plan response verbatim
+///                        (byte-identical to the synchronous answer);
+///                        404 for unknown or evicted ids.
 ///
 ///   POST /v1/measure  {"model": ..., "cluster": ..., "plan": {...},
 ///                      "sim": {...simulator knobs...}}        (optional)
@@ -50,9 +72,18 @@ struct PlanServiceOptions {
 /// request's canonical signature (WriteJson-normalized model/cluster plus
 /// the resolved option values) keys an LRU PlanCache, and a hit replays the
 /// cold run's plan/estimated/search_stats byte-identically with
-/// "plan_cache_hit": true. Distinct option variants of one (model, cluster,
-/// estimator-options) triple share a PlanningContext, i.e. one
-/// SharedCostCache — the cross-request warm path.
+/// "plan_cache_hit": true. The cache can persist across restarts through an
+/// append-only journal (PlanServiceOptions::plan_cache_journal).
+///
+/// Cold-path machinery (the repeated-request fast paths, in lookup order):
+///  1. plan cache — exact repeats replay the serialized response.
+///  2. singleflight — concurrent identical requests share ONE search: the
+///     first becomes the leader, the rest block and replay the leader's
+///     byte-identical response (metric: galvatron_serve_coalesced_total).
+///  3. warm-start — near-miss requests (same model/options, cluster
+///     differing only in per-device memory) share a PlanningContext whose
+///     DpFrontierCache replays completed DP frontiers instead of re-running
+///     the kernel (metric: galvatron_serve_warm_start_total).
 ///
 /// Every error is a structured JSON body (MakeJsonErrorResponse) with the
 /// Status-mapped HTTP code; hostile input never crashes the process.
@@ -60,6 +91,10 @@ struct PlanServiceOptions {
 class PlanService {
  public:
   explicit PlanService(PlanServiceOptions options = {});
+
+  /// Drains async workers, then compacts the plan-cache journal (via
+  /// PlanCache's destructor), so a SIGTERM'd daemon restarts warm.
+  ~PlanService();
 
   PlanService(const PlanService&) = delete;
   PlanService& operator=(const PlanService&) = delete;
@@ -70,11 +105,38 @@ class PlanService {
   PlanCache::Stats plan_cache_stats() const { return plan_cache_.stats(); }
 
  private:
+  /// One in-flight /v1/plan computation, shared leader-to-followers.
+  struct InFlight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    /// Leader timed out against ITS deadline; followers (whose deadlines
+    /// may be longer) loop back to re-check the cache or lead themselves.
+    bool retry = false;
+    HttpResponse response;
+  };
+
+  /// One async plan submission, held until polled or evicted.
+  struct AsyncJob {
+    std::string id;
+    bool done = false;
+    HttpResponse response;
+  };
+
   std::shared_ptr<PlanningContext> GetOrCreateContext(
       const std::string& key, const ModelSpec& model,
       const ClusterSpec& cluster, const EstimatorOptions& estimator_options);
 
   HttpResponse HandlePlan(const HttpRequest& request);
+  /// The post-singleflight search path: parse specs, find the warm
+  /// context, run the optimizer, serialize, fill the plan cache.
+  HttpResponse ComputePlan(const JsonValue& root,
+                           const JsonValue& model_value,
+                           const JsonValue& cluster_value,
+                           const std::string& model_canonical,
+                           const std::string& cache_key, double deadline_ms);
+  HttpResponse SubmitAsyncPlan(const JsonValue& root);
+  HttpResponse HandlePlanPoll(const std::string& id);
   HttpResponse HandleMeasure(const HttpRequest& request);
   HttpResponse HandleHealthz() const;
   HttpResponse HandleMetrics() const;
@@ -88,6 +150,20 @@ class PlanService {
       contexts_;
   std::unordered_map<std::string, decltype(contexts_)::iterator>
       contexts_index_;
+
+  // Singleflight table: cache key -> the in-flight computation.
+  std::mutex inflight_mu_;
+  std::unordered_map<std::string, std::shared_ptr<InFlight>> inflight_;
+
+  // Async job table (front = newest).
+  std::mutex jobs_mu_;
+  std::list<std::shared_ptr<AsyncJob>> jobs_;
+  std::unordered_map<std::string, std::shared_ptr<AsyncJob>> jobs_index_;
+  std::atomic<int64_t> next_job_id_{0};
+
+  // Declared last so it is destroyed FIRST: its destructor drains queued
+  // async plans, which touch every member above.
+  std::unique_ptr<ThreadPool> async_pool_;
 };
 
 }  // namespace serve

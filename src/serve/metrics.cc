@@ -129,6 +129,23 @@ std::string ServeMetrics::Render() const {
       "# TYPE galvatron_serve_measure_explain_total counter\n"
       "galvatron_serve_measure_explain_total %lld\n",
       static_cast<long long>(explain_.load(std::memory_order_relaxed)));
+  out += StrFormat(
+      "# HELP galvatron_serve_coalesced_total /v1/plan requests that "
+      "joined an identical in-flight search and replayed its response.\n"
+      "# TYPE galvatron_serve_coalesced_total counter\n"
+      "galvatron_serve_coalesced_total %lld\n"
+      "# HELP galvatron_serve_warm_start_total /v1/plan searches "
+      "warm-started from cached DP frontiers.\n"
+      "# TYPE galvatron_serve_warm_start_total counter\n"
+      "galvatron_serve_warm_start_total %lld\n"
+      "# HELP galvatron_serve_async_submitted_total Async /v1/plan "
+      "submissions accepted (HTTP 202).\n"
+      "# TYPE galvatron_serve_async_submitted_total counter\n"
+      "galvatron_serve_async_submitted_total %lld\n",
+      static_cast<long long>(coalesced_.load(std::memory_order_relaxed)),
+      static_cast<long long>(warm_start_.load(std::memory_order_relaxed)),
+      static_cast<long long>(
+          async_submitted_.load(std::memory_order_relaxed)));
   return out;
 }
 

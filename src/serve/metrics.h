@@ -35,6 +35,23 @@ class ServeMetrics {
   /// Plan-cache lookup outcome of one /v1/plan request.
   void RecordPlanCache(bool hit);
 
+  /// One /v1/plan request that joined an identical in-flight search and
+  /// replayed the leader's response instead of searching itself.
+  void RecordCoalesced() {
+    coalesced_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// One /v1/plan search that warm-started from cached DP frontiers
+  /// (SearchStats::dp_frontier_hits > 0) instead of running fully cold.
+  void RecordWarmStart() {
+    warm_start_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// One async /v1/plan submission (HTTP 202 with a poll handle).
+  void RecordAsyncSubmit() {
+    async_submitted_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   /// Adds one request's cost-cache lookup deltas (SearchStats'
   /// cost_cache_hits/misses). Deltas, not lifetime counters, so the totals
   /// aggregate correctly across many PlanningContexts, each with its own
@@ -50,6 +67,12 @@ class ServeMetrics {
   }
   int64_t explain() const {
     return explain_.load(std::memory_order_relaxed);
+  }
+  int64_t coalesced() const {
+    return coalesced_.load(std::memory_order_relaxed);
+  }
+  int64_t warm_start() const {
+    return warm_start_.load(std::memory_order_relaxed);
   }
 
   /// Prometheus text exposition (version 0.0.4) of every metric:
@@ -75,6 +98,9 @@ class ServeMetrics {
   std::atomic<int64_t> in_flight_{0};
   std::atomic<int64_t> rejected_{0};
   std::atomic<int64_t> explain_{0};
+  std::atomic<int64_t> coalesced_{0};
+  std::atomic<int64_t> warm_start_{0};
+  std::atomic<int64_t> async_submitted_{0};
 };
 
 }  // namespace serve

@@ -1,24 +1,67 @@
 #include "serve/plan_cache.h"
 
+#include <cstdio>
+#include <fstream>
+#include <vector>
+
+#include "util/json.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
 namespace galvatron {
 namespace serve {
+namespace {
 
-bool PlanCache::Get(const std::string& key, std::string* value) {
+constexpr int kJournalVersion = 1;
+constexpr char kJournalFormat[] = "galvatron-plan-cache";
+
+std::string HeaderLine() {
+  return StrFormat("{\"format\":\"%s\",\"version\":%d}\n", kJournalFormat,
+                   kJournalVersion);
+}
+
+std::string EntryLine(const std::string& key, const std::string& value) {
+  return "{\"key\":\"" + JsonEscape(key) + "\",\"value\":\"" +
+         JsonEscape(value) + "\"}\n";
+}
+
+/// Validates the journal's first line. Any mismatch — wrong format tag,
+/// future version, not JSON at all — means the file is not ours to trust.
+bool ValidHeader(const std::string& line) {
+  auto parsed = ParseJson(line);
+  if (!parsed.ok() || parsed->kind != JsonValue::Kind::kObject) return false;
+  auto format = GetString(*parsed, "format");
+  auto version = GetInt(*parsed, "version", 0);
+  return format.ok() && *format == kJournalFormat && version.ok() &&
+         *version == kJournalVersion;
+}
+
+}  // namespace
+
+PlanCache::PlanCache(const PlanCacheOptions& options)
+    : capacity_(options.capacity), journal_path_(options.journal_path) {
+  if (!journal_path_.empty() && capacity_ > 0) {
+    journal_enabled_ = true;
+    LoadJournal();
+  }
+}
+
+PlanCache::~PlanCache() { Compact(); }
+
+std::shared_ptr<const std::string> PlanCache::Get(const std::string& key) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++misses_;
-    return false;
+    return nullptr;
   }
   lru_.splice(lru_.begin(), lru_, it->second);
-  *value = it->second->second;
   ++hits_;
-  return true;
+  return it->second->second;
 }
 
-void PlanCache::Put(const std::string& key, std::string value) {
-  if (capacity_ == 0) return;
-  std::lock_guard<std::mutex> lock(mu_);
+void PlanCache::PutLocked(const std::string& key,
+                          std::shared_ptr<const std::string> value) {
   auto it = index_.find(key);
   if (it != index_.end()) {
     it->second->second = std::move(value);
@@ -34,14 +77,135 @@ void PlanCache::Put(const std::string& key, std::string value) {
   }
 }
 
+void PlanCache::Put(const std::string& key, std::string value) {
+  if (capacity_ == 0) return;
+  auto shared = std::make_shared<const std::string>(std::move(value));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PutLocked(key, shared);
+  }
+  std::lock_guard<std::mutex> journal_lock(journal_mu_);
+  if (journal_enabled_) AppendLocked(key, *shared);
+}
+
+void PlanCache::AppendLocked(const std::string& key,
+                             const std::string& value) {
+  std::ofstream out(journal_path_, std::ios::app | std::ios::binary);
+  out << EntryLine(key, value);
+  out.flush();
+  if (!out) {
+    GALVATRON_LOG(kWarning)
+        << "plan-cache journal " << journal_path_
+        << " is not writable; persistence disabled";
+    journal_enabled_ = false;
+  }
+}
+
+void PlanCache::LoadJournal() {
+  // No locks needed: only the constructor calls this.
+  std::ifstream in(journal_path_, std::ios::binary);
+  bool corrupt = false;
+  std::vector<std::pair<std::string, std::string>> restored;
+  if (in) {
+    std::string line;
+    if (!std::getline(in, line) || !ValidHeader(line)) {
+      GALVATRON_LOG(kWarning)
+          << "plan-cache journal " << journal_path_
+          << " has a missing or unrecognized version header; starting with "
+             "an empty cache";
+      corrupt = true;
+    }
+    int line_number = 1;
+    while (!corrupt && std::getline(in, line)) {
+      ++line_number;
+      // A bare trailing newline is normal; anything else must parse. A
+      // truncated final line (no trailing newline, e.g. a crash mid-append)
+      // also lands here and fails to parse.
+      if (line.empty()) continue;
+      auto parsed = ParseJson(line);
+      if (!parsed.ok() || parsed->kind != JsonValue::Kind::kObject) {
+        corrupt = true;
+      } else {
+        auto key = GetString(*parsed, "key");
+        auto value = GetString(*parsed, "value");
+        if (!key.ok() || !value.ok()) {
+          corrupt = true;
+        } else {
+          restored.emplace_back(*std::move(key), *std::move(value));
+        }
+      }
+      if (corrupt) {
+        GALVATRON_LOG(kWarning)
+            << "plan-cache journal " << journal_path_ << " line "
+            << line_number
+            << " is corrupt or truncated; starting with an empty cache";
+      }
+    }
+  }
+  if (corrupt) restored.clear();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Replay in file order: a later append supersedes (and out-recents) an
+    // earlier one, reproducing the writing process's final LRU order.
+    for (auto& [key, value] : restored) {
+      PutLocked(key, std::make_shared<const std::string>(std::move(value)));
+    }
+    journal_restored_ = static_cast<int64_t>(lru_.size());
+  }
+  // Rewrite immediately: drops corrupt tails and superseded appends, and —
+  // for a fresh path — creates the file with its header. A failure here is
+  // the unwritable-path case: warn once and run in-memory only.
+  Compact();
+}
+
+void PlanCache::Compact() {
+  std::vector<std::pair<std::string, std::string>> entries;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Oldest first, so replaying the compacted file restores this recency.
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      entries.emplace_back(it->first, *it->second);
+    }
+  }
+  std::lock_guard<std::mutex> journal_lock(journal_mu_);
+  if (!journal_enabled_) return;
+  const std::string tmp_path = journal_path_ + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::trunc | std::ios::binary);
+    out << HeaderLine();
+    for (const auto& [key, value] : entries) out << EntryLine(key, value);
+    out.flush();
+    if (!out) {
+      GALVATRON_LOG(kWarning)
+          << "plan-cache journal " << journal_path_
+          << " is not writable; persistence disabled";
+      journal_enabled_ = false;
+      std::remove(tmp_path.c_str());
+      return;
+    }
+  }
+  if (std::rename(tmp_path.c_str(), journal_path_.c_str()) != 0) {
+    GALVATRON_LOG(kWarning)
+        << "plan-cache journal rename to " << journal_path_
+        << " failed; persistence disabled";
+    journal_enabled_ = false;
+    std::remove(tmp_path.c_str());
+  }
+}
+
 PlanCache::Stats PlanCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
   Stats s;
-  s.hits = hits_;
-  s.misses = misses_;
-  s.evictions = evictions_;
-  s.size = lru_.size();
-  s.capacity = capacity_;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.hits = hits_;
+    s.misses = misses_;
+    s.evictions = evictions_;
+    s.size = lru_.size();
+    s.capacity = capacity_;
+    s.journal_restored = journal_restored_;
+  }
+  std::lock_guard<std::mutex> journal_lock(journal_mu_);
+  s.journal_enabled = journal_enabled_;
   return s;
 }
 

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -11,11 +12,30 @@
 namespace galvatron {
 namespace serve {
 
+struct PlanCacheOptions {
+  /// 0 disables caching (every Get misses, Put is a no-op).
+  size_t capacity = 128;
+  /// Append-only JSONL journal the cache persists to; empty keeps the
+  /// cache purely in-memory. Line 1 is a version header
+  /// ({"format":"galvatron-plan-cache","version":1}); every later line is
+  /// one {"key":...,"value":...} entry, appended on Put and replayed on
+  /// startup so a restarted daemon serves its old plans as cache hits.
+  /// Robustness contract: a truncated, corrupt or wrong-version journal is
+  /// WARNED about and the cache starts empty — it never crashes and never
+  /// serves a partially-restored journal. An unwritable path disables
+  /// persistence with one warning.
+  std::string journal_path;
+};
+
 /// Thread-safe LRU cache from a canonical request signature to the
 /// serialized plan-response fragment it produced. The search is
 /// deterministic for a fixed (model, cluster, options) triple, so a cached
 /// response is byte-identical to what a fresh search would serialize — the
 /// cache trades memory for the full sweep latency.
+///
+/// Values are handed out as shared_ptr to immutable strings: Get only
+/// copies a pointer under the lock, so a multi-KB response body is never
+/// copied inside the critical section while other requests wait.
 class PlanCache {
  public:
   struct Stats {
@@ -24,26 +44,57 @@ class PlanCache {
     int64_t evictions = 0;
     size_t size = 0;
     size_t capacity = 0;
+    /// Persistence telemetry: whether a journal is attached and still
+    /// writable, and how many entries the startup replay restored.
+    bool journal_enabled = false;
+    int64_t journal_restored = 0;
   };
 
-  /// `capacity` == 0 disables caching (every Get misses, Put is a no-op).
-  explicit PlanCache(size_t capacity) : capacity_(capacity) {}
+  /// In-memory-only cache; `capacity` == 0 disables caching.
+  explicit PlanCache(size_t capacity)
+      : PlanCache(PlanCacheOptions{capacity, std::string()}) {}
+
+  /// Loads `options.journal_path` (when set) before returning, so entries
+  /// persisted by a previous process are immediately servable.
+  explicit PlanCache(const PlanCacheOptions& options);
+
+  /// Compacts the journal on destruction (see Compact), so a drained
+  /// daemon leaves a minimal, current journal behind.
+  ~PlanCache();
 
   PlanCache(const PlanCache&) = delete;
   PlanCache& operator=(const PlanCache&) = delete;
 
-  /// Looks up `key`; on hit copies the value into `*value`, refreshes
-  /// recency and returns true.
-  bool Get(const std::string& key, std::string* value);
+  /// Looks up `key`; on hit refreshes recency and returns the immutable
+  /// value (a pointer copy — the body itself is not copied under the
+  /// lock). Returns nullptr on miss.
+  std::shared_ptr<const std::string> Get(const std::string& key);
 
   /// Inserts or refreshes `key`, evicting the least-recently-used entry
-  /// beyond capacity.
+  /// beyond capacity, and appends the entry to the journal when one is
+  /// attached.
   void Put(const std::string& key, std::string value);
+
+  /// Rewrites the journal to exactly the live entries in oldest-first
+  /// order (so a replay reproduces today's recency), via a temp file +
+  /// atomic rename. Dropped: evicted entries and superseded appends. No-op
+  /// without a writable journal.
+  void Compact();
 
   Stats stats() const;
 
  private:
-  using Entry = std::pair<std::string, std::string>;  // key, value
+  // key, value (immutable once inserted)
+  using Entry = std::pair<std::string, std::shared_ptr<const std::string>>;
+
+  // Inserts without journaling; shared by Put and the startup replay.
+  // Caller holds mu_.
+  void PutLocked(const std::string& key,
+                 std::shared_ptr<const std::string> value);
+  void LoadJournal();
+  // Appends one entry line; disables the journal with one warning on
+  // failure. Caller holds journal_mu_ and not mu_.
+  void AppendLocked(const std::string& key, const std::string& value);
 
   mutable std::mutex mu_;
   size_t capacity_;
@@ -52,6 +103,14 @@ class PlanCache {
   int64_t hits_ = 0;
   int64_t misses_ = 0;
   int64_t evictions_ = 0;
+  int64_t journal_restored_ = 0;
+
+  // Journal state. Lock discipline: mu_ and journal_mu_ are never held
+  // together — Put/Compact snapshot under mu_, release, then touch the
+  // file under journal_mu_.
+  mutable std::mutex journal_mu_;
+  std::string journal_path_;
+  bool journal_enabled_ = false;
 };
 
 }  // namespace serve

@@ -13,6 +13,7 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "api/galvatron.h"
 #include "api/plan_io.h"
@@ -30,9 +31,9 @@ struct Daemon {
   int port = 0;
 };
 
-/// Starts the daemon with --port 0 and blocks until it prints its resolved
-/// port. Returns pid -1 on failure.
-Daemon StartDaemon() {
+/// Starts the daemon with --port 0 (plus `extra_args`) and blocks until it
+/// prints its resolved port. Returns pid -1 on failure.
+Daemon StartDaemon(const std::vector<std::string>& extra_args = {}) {
   Daemon daemon;
   int fds[2];
   if (::pipe(fds) != 0) return daemon;
@@ -46,8 +47,14 @@ Daemon StartDaemon() {
     ::dup2(fds[1], STDOUT_FILENO);
     ::close(fds[0]);
     ::close(fds[1]);
-    ::execl(GALVATRON_SERVE_BIN, GALVATRON_SERVE_BIN, "--port", "0",
-            "--threads", "2", static_cast<char*>(nullptr));
+    std::vector<std::string> args = {GALVATRON_SERVE_BIN, "--port", "0",
+                                     "--threads", "2"};
+    args.insert(args.end(), extra_args.begin(), extra_args.end());
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& arg : args) argv.push_back(arg.data());
+    argv.push_back(nullptr);
+    ::execv(GALVATRON_SERVE_BIN, argv.data());
     _exit(127);  // exec failed
   }
   ::close(fds[1]);
@@ -125,6 +132,56 @@ TEST(ServeDaemonTest, HealthzPlanAndGracefulShutdown) {
   EXPECT_NE(rest.find("stopped"), std::string::npos);
   ::fclose(daemon.out);
   daemon.out = nullptr;
+}
+
+TEST(ServeDaemonTest, PlanCacheJournalSurvivesRestart) {
+  const std::string journal =
+      ::testing::TempDir() + "serve_daemon_plan_cache.jsonl";
+  std::remove(journal.c_str());
+  const ClusterSpec cluster = MakeTitanNode8(16 * kGB);
+  const std::string body =
+      "{\"model\": \"BERT-Huge-32\", \"cluster\": " +
+      ClusterSpecToJson(cluster) + "}";
+
+  // First life: plan cold, then drain on SIGTERM (which compacts the
+  // journal through the PlanCache destructor).
+  Daemon first = StartDaemon({"--plan-cache-file", journal});
+  ASSERT_GT(first.pid, 0);
+  ASSERT_GT(first.port, 0) << "daemon never reported its port";
+  auto cold =
+      HttpFetch("127.0.0.1", first.port, "POST", "/v1/plan", body, 120000);
+  ASSERT_TRUE(cold.ok()) << cold.status();
+  ASSERT_EQ(cold->status, 200) << cold->body;
+  EXPECT_NE(cold->body.find("\"plan_cache_hit\": false"), std::string::npos);
+  StopDaemon(&first);
+  if (first.out != nullptr) ::fclose(first.out);
+
+  // Second life: the identical request must be a plan-cache hit restored
+  // from the journal, with the restore visible on /metrics.
+  Daemon second = StartDaemon({"--plan-cache-file", journal});
+  ASSERT_GT(second.pid, 0);
+  ASSERT_GT(second.port, 0) << "restarted daemon never reported its port";
+  auto warm =
+      HttpFetch("127.0.0.1", second.port, "POST", "/v1/plan", body, 120000);
+  ASSERT_TRUE(warm.ok()) << warm.status();
+  ASSERT_EQ(warm->status, 200) << warm->body;
+  EXPECT_NE(warm->body.find("\"plan_cache_hit\": true"), std::string::npos)
+      << warm->body;
+  // Byte-identical across the restart, modulo the hit marker.
+  const auto payload = [](const std::string& text) {
+    return text.substr(0, text.rfind(", \"plan_cache_hit\""));
+  };
+  EXPECT_EQ(payload(warm->body), payload(cold->body));
+  auto metrics =
+      HttpFetch("127.0.0.1", second.port, "GET", "/metrics", "", 10000);
+  ASSERT_TRUE(metrics.ok()) << metrics.status();
+  EXPECT_NE(
+      metrics->body.find("galvatron_serve_plan_cache_journal_restored 1"),
+      std::string::npos)
+      << metrics->body;
+  StopDaemon(&second);
+  if (second.out != nullptr) ::fclose(second.out);
+  std::remove(journal.c_str());
 }
 
 }  // namespace

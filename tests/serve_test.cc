@@ -5,6 +5,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <string>
@@ -13,6 +14,7 @@
 
 #include "api/galvatron.h"
 #include "api/plan_io.h"
+#include "ir/transformer_builder.h"
 #include "serve/handlers.h"
 #include "serve/http.h"
 #include "serve/http_server.h"
@@ -528,6 +530,173 @@ TEST(ServeStressTest, ConcurrentMixedTrafficStaysConsistent) {
   EXPECT_EQ(failures.load(), 0);
   EXPECT_GE(metrics.plan_cache_hits(), kThreads * kIterations / 4 - 1);
   (*server)->Shutdown();
+}
+
+/// Strips the trailing plan_cache_hit marker so responses can be compared
+/// for payload byte-identity regardless of which fast path answered them.
+std::string PlanPayload(const std::string& body) {
+  const size_t cut = body.rfind(", \"plan_cache_hit\"");
+  return cut == std::string::npos ? body : body.substr(0, cut);
+}
+
+TEST_F(ServeTest, ConcurrentIdenticalRequestsCoalesceIntoOneSearch) {
+  ServeMetrics metrics;
+  PlanServiceOptions options;
+  options.metrics = &metrics;
+  PlanService service(options);
+
+  // Six clients fire the same cold request at once. Singleflight must run
+  // ONE search: the first arrival leads, the rest block on it and replay
+  // its response byte-for-byte (a straggler that arrives after the leader
+  // finished hits the plan cache instead — either way, no second search).
+  constexpr int kClients = 6;
+  std::vector<HttpResponse> responses(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int t = 0; t < kClients; ++t) {
+    clients.emplace_back([&, t] {
+      responses[t] = service.Handle(Post("/v1/plan", PlanRequestBody()));
+    });
+  }
+  for (std::thread& client : clients) client.join();
+
+  for (int t = 0; t < kClients; ++t) {
+    ASSERT_EQ(responses[t].status, 200) << responses[t].body;
+    EXPECT_EQ(PlanPayload(responses[t].body), PlanPayload(responses[0].body))
+        << "client " << t;
+  }
+  // Exactly one search ran: every other client either coalesced onto the
+  // in-flight leader or replayed the already-cached response.
+  EXPECT_EQ(metrics.coalesced() + metrics.plan_cache_hits(), kClients - 1);
+  EXPECT_GE(metrics.coalesced(), 1);
+  EXPECT_EQ(service.plan_cache_stats().size, 1u);
+}
+
+TEST_F(ServeTest, AsyncPlanPollsToAByteIdenticalResponse) {
+  PlanService service;
+
+  const HttpResponse accepted =
+      service.Handle(Post("/v1/plan", PlanRequestBody(", \"async\": true")));
+  ASSERT_EQ(accepted.status, 202) << accepted.body;
+  auto ticket = ParseJson(accepted.body);
+  ASSERT_TRUE(ticket.ok()) << ticket.status();
+  auto id = GetString(*ticket, "plan_id");
+  auto poll = GetString(*ticket, "poll");
+  ASSERT_TRUE(id.ok() && poll.ok()) << accepted.body;
+  EXPECT_EQ(*poll, "/v1/plan/" + *id);
+
+  HttpResponse finished;
+  for (int i = 0; i < 2400; ++i) {
+    finished = service.Handle(Get(*poll));
+    if (finished.status != 202) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  ASSERT_EQ(finished.status, 200) << finished.body;
+
+  // The async answer IS the cold search result: a synchronous repeat on
+  // the same service replays it from the plan cache with an identical
+  // payload, and the served plan matches a direct library call.
+  const HttpResponse replay =
+      service.Handle(Post("/v1/plan", PlanRequestBody()));
+  ASSERT_EQ(replay.status, 200) << replay.body;
+  auto replay_json = ParseJson(replay.body);
+  ASSERT_TRUE(replay_json.ok());
+  auto replay_hit = GetBool(*replay_json, "plan_cache_hit");
+  ASSERT_TRUE(replay_hit.ok());
+  EXPECT_TRUE(*replay_hit);
+  EXPECT_EQ(PlanPayload(finished.body), PlanPayload(replay.body));
+
+  auto finished_json = ParseJson(finished.body);
+  ASSERT_TRUE(finished_json.ok()) << finished_json.status();
+  const JsonValue* served_plan = FindMember(*finished_json, "plan");
+  ASSERT_NE(served_plan, nullptr);
+  auto direct = Galvatron::Plan(model_, cluster_);
+  ASSERT_TRUE(direct.ok()) << direct.status();
+  auto direct_json = ParseJson(PlanToJson(direct->plan));
+  ASSERT_TRUE(direct_json.ok());
+  EXPECT_EQ(WriteJson(*served_plan), WriteJson(*direct_json));
+
+  // Unknown and evicted ids are structured 404s, and polling is GET-only.
+  EXPECT_EQ(service.Handle(Get("/v1/plan/no-such-job")).status, 404);
+  EXPECT_EQ(service.Handle(Post("/v1/plan/" + *id, "")).status, 405);
+}
+
+TEST_F(ServeTest, NearMissBudgetWarmStartsFromCachedFrontiers) {
+  ServeMetrics metrics;
+  PlanServiceOptions options;
+  options.metrics = &metrics;
+  PlanService service(options);
+
+  // Prime at a larger per-device budget; the request differs from the
+  // acceptance instance only in device memory, so it shares the same
+  // PlanningContext (and its DpFrontierCache) but not the plan-cache key.
+  const ClusterSpec big = MakeTitanNode8(24 * kGB);
+  const std::string prime_body = "{\"model\": \"" +
+                                 std::string(ModelIdToString(ModelId::kBertHuge32)) +
+                                 "\", \"cluster\": " + ClusterSpecToJson(big) + "}";
+  const HttpResponse prime = service.Handle(Post("/v1/plan", prime_body));
+  ASSERT_EQ(prime.status, 200) << prime.body;
+
+  // The 16 GB request is a near miss: a real search (not a replay), but
+  // one whose DP columns come back from the frontier cache.
+  const HttpResponse warm = service.Handle(Post("/v1/plan", PlanRequestBody()));
+  ASSERT_EQ(warm.status, 200) << warm.body;
+  auto warm_json = ParseJson(warm.body);
+  ASSERT_TRUE(warm_json.ok());
+  auto hit = GetBool(*warm_json, "plan_cache_hit");
+  ASSERT_TRUE(hit.ok());
+  EXPECT_FALSE(*hit);
+  const JsonValue* stats = FindMember(*warm_json, "search_stats");
+  ASSERT_NE(stats, nullptr);
+  auto frontier_hits = GetInt64(*stats, "dp_frontier_hits", 0);
+  ASSERT_TRUE(frontier_hits.ok()) << warm.body;
+  EXPECT_GT(*frontier_hits, 0);
+  auto external = GetBool(*stats, "used_external_cost_cache");
+  ASSERT_TRUE(external.ok());
+  EXPECT_TRUE(*external);
+  EXPECT_GE(metrics.warm_start(), 1);
+
+  // Warm-started answers are byte-identical to a fully cold service's.
+  PlanService cold_service;
+  const HttpResponse cold =
+      cold_service.Handle(Post("/v1/plan", PlanRequestBody()));
+  ASSERT_EQ(cold.status, 200) << cold.body;
+  auto cold_json = ParseJson(cold.body);
+  ASSERT_TRUE(cold_json.ok());
+  for (const char* field : {"plan", "estimated"}) {
+    const JsonValue* warm_member = FindMember(*warm_json, field);
+    const JsonValue* cold_member = FindMember(*cold_json, field);
+    ASSERT_NE(warm_member, nullptr) << field;
+    ASSERT_NE(cold_member, nullptr) << field;
+    EXPECT_EQ(WriteJson(*warm_member), WriteJson(*cold_member)) << field;
+  }
+}
+
+TEST_F(ServeTest, DeadlineCancelsMidSearchOnA256LayerModel) {
+  // Regression: the deadline used to be enforced only around request
+  // framing, so a request whose search was already running burned a worker
+  // for the full sweep. Cancellation is now polled between DP layer
+  // columns: a 256-layer model with a deadline far below its cold-search
+  // time must come back 504 promptly, not after the table completes.
+  BertConfig config;
+  config.num_layers = 256;
+  const ModelSpec big = BuildBert("bert-256-deadline", config);
+  const std::string body =
+      "{\"model\": " + ModelSpecToJson(big) +
+      ", \"cluster\": " + ClusterSpecToJson(cluster_) +
+      ", \"deadline_ms\": 10}";
+
+  PlanService service;
+  const auto start = std::chrono::steady_clock::now();
+  const HttpResponse response = service.Handle(Post("/v1/plan", body));
+  const double elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  EXPECT_EQ(response.status, 504) << response.body;
+  EXPECT_NE(response.body.find("\"error\""), std::string::npos);
+  EXPECT_NE(response.body.find("Cancelled"), std::string::npos);
+  // Generous CI bound, still orders of magnitude below the full sweep.
+  EXPECT_LT(elapsed_seconds, 10.0);
 }
 
 }  // namespace

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -200,6 +201,111 @@ TEST(SparseDpEdgeCaseTest, BudgetAtTransientHeadroom) {
     CheckInstance(estimator, model, 0, model.num_layers(), *candidates, 0, 8,
                   1, budget, options,
                   "headroom budget " + std::to_string(budget));
+  }
+}
+
+TEST(SparseDpFrontierCacheTest, WarmAnswersAreByteIdenticalToColdRuns) {
+  // The frontier prefix property: a Pareto column built at budget B and
+  // truncated to units <= U is identical to the column built directly at
+  // U <= B. So one cached entry at the widest budget seen must answer
+  // EVERY smaller budget byte-identically — plans, costs, tie-breaks and
+  // infeasible verdicts — without materializing a single new state.
+  const ClusterSpec cluster = MakeTitanNode8(16 * kGB);
+  const CostEstimator estimator(&cluster);
+  const ModelSpec model = SmallBert(4);
+  auto candidates = EnumerateSingleLayerStrategies(8);
+  ASSERT_TRUE(candidates.ok()) << candidates.status();
+  DpSearchOptions options;
+  options.use_sparse_dp = true;
+  options.allow_recompute = true;
+  const DpSearch search(&estimator, options);
+
+  DpFrontierCache cache;
+  auto prime = search.Run(model, 0, model.num_layers(), *candidates, 0, 8, 1,
+                          48 * kGB, -1, nullptr, &cache);
+  ASSERT_TRUE(prime.ok()) << prime.status();
+  EXPECT_FALSE(prime->frontier_hit);
+  EXPECT_EQ(cache.stats().misses, 1);
+
+  int feasible = 0;
+  int infeasible = 0;
+  for (int64_t budget = 32 * (int64_t{1} << 20); budget <= 48 * kGB;
+       budget *= 2) {
+    const std::string context = "budget " + std::to_string(budget);
+    auto warm = search.Run(model, 0, model.num_layers(), *candidates, 0, 8, 1,
+                           budget, -1, nullptr, &cache);
+    auto cold =
+        search.Run(model, 0, model.num_layers(), *candidates, 0, 8, 1, budget);
+    ASSERT_EQ(warm.ok(), cold.ok())
+        << context << ": warm=" << warm.status() << " cold=" << cold.status();
+    if (!warm.ok()) {
+      EXPECT_EQ(warm.status().ToString(), cold.status().ToString()) << context;
+      ++infeasible;
+      continue;
+    }
+    EXPECT_TRUE(warm->frontier_hit) << context;
+    EXPECT_EQ(warm->states_explored, 0) << context;
+    EXPECT_EQ(warm->breakpoints_emitted, 0) << context;
+    ExpectIdentical(*warm, *cold, context);
+    ++feasible;
+  }
+  // The multiplicative scan straddles the feasibility frontier; both sides
+  // must have replayed from the cache (only the prime missed).
+  EXPECT_GT(feasible, 0);
+  EXPECT_GT(infeasible, 0);
+  EXPECT_EQ(cache.stats().misses, 1);
+  EXPECT_EQ(cache.stats().hits, feasible + infeasible);
+
+  // A budget ABOVE the cached one cannot reuse a truncated frontier: it
+  // must fall through to a fresh kernel run and republish wider.
+  auto wider = search.Run(model, 0, model.num_layers(), *candidates, 0, 8, 1,
+                          96 * kGB, -1, nullptr, &cache);
+  ASSERT_TRUE(wider.ok()) << wider.status();
+  EXPECT_FALSE(wider->frontier_hit);
+  EXPECT_EQ(cache.stats().misses, 2);
+}
+
+TEST(SparseDpCancellationTest, CancelCheckStopsBothKernels) {
+  const ClusterSpec cluster = MakeTitanNode8(16 * kGB);
+  const CostEstimator estimator(&cluster);
+  const ModelSpec model = SmallBert(4);
+  auto candidates = EnumerateSingleLayerStrategies(8);
+  ASSERT_TRUE(candidates.ok()) << candidates.status();
+
+  for (const bool use_sparse : {true, false}) {
+    DpSearchOptions options;
+    options.use_sparse_dp = use_sparse;
+    const DpSearch search(&estimator, options);
+
+    // An immediately-true cancel stops the run before any real work.
+    std::function<bool()> now = [] { return true; };
+    auto cancelled = search.Run(model, 0, model.num_layers(), *candidates, 0,
+                                8, 1, 16 * kGB, -1, nullptr, nullptr, &now);
+    ASSERT_FALSE(cancelled.ok()) << "use_sparse=" << use_sparse;
+    EXPECT_TRUE(cancelled.status().IsCancelled())
+        << "use_sparse=" << use_sparse << ": " << cancelled.status();
+
+    // A cancel that trips after a few polls lands mid-table (between layer
+    // columns) and must still surface Cancelled, not a partial answer.
+    int polls = 0;
+    std::function<bool()> later = [&polls] { return ++polls > 3; };
+    auto mid = search.Run(model, 0, model.num_layers(), *candidates, 0, 8, 1,
+                          16 * kGB, -1, nullptr, nullptr, &later);
+    ASSERT_FALSE(mid.ok()) << "use_sparse=" << use_sparse;
+    EXPECT_TRUE(mid.status().IsCancelled())
+        << "use_sparse=" << use_sparse << ": " << mid.status();
+    EXPECT_GT(polls, 3) << "use_sparse=" << use_sparse;
+
+    // A never-true cancel is byte-identical to passing no cancel at all.
+    std::function<bool()> never = [] { return false; };
+    auto watched = search.Run(model, 0, model.num_layers(), *candidates, 0, 8,
+                              1, 16 * kGB, -1, nullptr, nullptr, &never);
+    auto plain = search.Run(model, 0, model.num_layers(), *candidates, 0, 8,
+                            1, 16 * kGB);
+    ASSERT_TRUE(watched.ok()) << watched.status();
+    ASSERT_TRUE(plain.ok()) << plain.status();
+    ExpectIdentical(*watched, *plain,
+                    use_sparse ? "sparse watched" : "dense watched");
   }
 }
 

@@ -8,11 +8,13 @@
 ///   galvatron_cli --model vit-huge-32 --mode sdp        # a pure baseline
 ///   galvatron_cli --list-models
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
 #include <string>
+#include <thread>
 
 #include "api/galvatron.h"
 #include "api/plan_io.h"
@@ -44,6 +46,7 @@ struct CliArgs {
   bool explain = false;      // print the attribution table
   std::string server;       // host:port of a galvatron_serve daemon
   double deadline_ms = 0;   // per-request server deadline (0 = none)
+  bool async_plan = false;  // submit async, then poll /v1/plan/<id>
   bool list_models = false;
   bool help = false;
 };
@@ -77,6 +80,8 @@ void PrintUsage() {
   --server HOST:PORT  don't search locally; POST the request to a running
                       galvatron_serve daemon and print its answer
   --deadline-ms X     per-request search deadline in server mode
+  --async             server mode: submit with "async": true, then poll
+                      GET /v1/plan/<id> until the plan is ready
   --list-models       print zoo models and exit
 )");
 }
@@ -164,6 +169,8 @@ Result<CliArgs> ParseArgs(int argc, char** argv) {
       if (args.deadline_ms <= 0) {
         return Status::InvalidArgument("--deadline-ms must be > 0");
       }
+    } else if (flag == "--async") {
+      args.async_plan = true;
     } else if (flag == "--list-models") {
       args.list_models = true;
     } else if (flag == "--help" || flag == "-h") {
@@ -230,11 +237,31 @@ Result<int> RunRemote(const CliArgs& args) {
     body += StrFormat(", \"deadline_ms\": %s",
                       JsonNumber(args.deadline_ms).c_str());
   }
+  if (args.async_plan) body += ", \"async\": true";
   body += "}";
 
   GALVATRON_ASSIGN_OR_RETURN(
       serve::HttpResponse response,
       serve::HttpFetch(host, port, "POST", "/v1/plan", body));
+  if (args.async_plan) {
+    if (response.status != 202) {
+      std::fprintf(stderr, "server answered HTTP %d: %s\n", response.status,
+                   response.body.c_str());
+      return 1;
+    }
+    GALVATRON_ASSIGN_OR_RETURN(JsonValue accepted, ParseJson(response.body));
+    GALVATRON_ASSIGN_OR_RETURN(const std::string poll,
+                               GetString(accepted, "poll"));
+    std::printf("accepted: polling %s\n", poll.c_str());
+    // Poll until the job resolves. The terminal response is byte-identical
+    // to what the synchronous request would have returned.
+    for (;;) {
+      GALVATRON_ASSIGN_OR_RETURN(response,
+                                 serve::HttpFetch(host, port, "GET", poll, ""));
+      if (response.status != 202) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
   if (response.status != 200) {
     std::fprintf(stderr, "server answered HTTP %d: %s\n", response.status,
                  response.body.c_str());

@@ -39,6 +39,9 @@ struct ServeArgs {
   int max_body_kb = 8192;
   int io_timeout_ms = 5000;
   double deadline_ms = 0.0;  // default per-request deadline; 0 = unlimited
+  int async_workers = 2;
+  int async_jobs = 128;
+  std::string plan_cache_file;  // persistent journal; empty = in-memory only
   bool help = false;
 };
 
@@ -61,8 +64,14 @@ void PrintUsage() {
                            get 408 (default 5000)
   --deadline-ms X          default per-request search deadline; an expired
                            sweep gets 504 (default 0 = unlimited)
+  --plan-cache-file PATH   persistent plan-cache journal, replayed on
+                           startup and compacted on drain (default off)
+  --async-workers N        threads executing "async": true plan requests
+                           (default 2)
+  --async-jobs N           async jobs retained for polling (default 128)
 
-Endpoints: POST /v1/plan, POST /v1/measure, GET /healthz, GET /metrics.
+Endpoints: POST /v1/plan, GET /v1/plan/<id>, POST /v1/measure, GET /healthz,
+GET /metrics.
 )");
 }
 
@@ -101,6 +110,12 @@ Result<ServeArgs> ParseArgs(int argc, char** argv) {
       GALVATRON_ASSIGN_OR_RETURN(args.max_body_kb, next_int(1));
     } else if (flag == "--io-timeout-ms") {
       GALVATRON_ASSIGN_OR_RETURN(args.io_timeout_ms, next_int(100));
+    } else if (flag == "--plan-cache-file") {
+      GALVATRON_ASSIGN_OR_RETURN(args.plan_cache_file, next());
+    } else if (flag == "--async-workers") {
+      GALVATRON_ASSIGN_OR_RETURN(args.async_workers, next_int(1));
+    } else if (flag == "--async-jobs") {
+      GALVATRON_ASSIGN_OR_RETURN(args.async_jobs, next_int(1));
     } else if (flag == "--deadline-ms") {
       GALVATRON_ASSIGN_OR_RETURN(std::string v, next());
       args.deadline_ms = std::atof(v.c_str());
@@ -143,6 +158,9 @@ Result<int> RunServe(const ServeArgs& args) {
   service_options.context_cache_entries =
       static_cast<size_t>(args.context_cache_entries);
   service_options.default_deadline_ms = args.deadline_ms;
+  service_options.plan_cache_journal = args.plan_cache_file;
+  service_options.async_workers = args.async_workers;
+  service_options.async_jobs = static_cast<size_t>(args.async_jobs);
   service_options.metrics = &metrics;
   PlanService service(service_options);
 
