@@ -159,6 +159,10 @@ void RecordOptimizeSearch(bench::BenchJson* out, const std::string& name,
               static_cast<double>(stats.dp_breakpoints_emitted));
   out->Record(name, "dp_options_pruned",
               static_cast<double>(stats.dp_options_pruned));
+  out->Record(name, "dp_allocations",
+              static_cast<double>(stats.dp_allocations));
+  out->Record(name, "sweep_allocations",
+              static_cast<double>(stats.sweep_allocations));
   const double lookups =
       static_cast<double>(stats.cost_cache_hits + stats.cost_cache_misses);
   out->Record(name, "cache_hit_rate",
@@ -178,15 +182,18 @@ void RecordDpKernel(bench::BenchJson* out, const std::string& name,
   auto candidates = EnumerateSingleLayerStrategies(8);
   GALVATRON_CHECK(candidates.ok());
   int64_t states = 0;
+  int64_t allocations = 0;
   const double best_ms = bench::BestOfMs(reps, [&] {
     auto result = search.Run(model, 0, model.num_layers(), *candidates, 0, 8,
                              1, 16 * kGB);
     GALVATRON_CHECK(result.ok());
     states = result->states_explored;
+    allocations = result->allocations;
   });
   out->Record(name, "wall_ms", best_ms);
   out->Record(name, "repetitions", reps);
   out->Record(name, "dp_states_explored", static_cast<double>(states));
+  out->Record(name, "dp_allocations", static_cast<double>(allocations));
   out->Record(name, "threads", 1);
 }
 

@@ -133,6 +133,10 @@ void RecordThreadSweep(bench::BenchJson* out, const std::string& base_name,
     out->Record(name, "configs_explored", stats.configs_explored);
     out->Record(name, "dp_states_explored",
                 static_cast<double>(stats.dp_states_explored));
+    out->Record(name, "dp_allocations",
+                static_cast<double>(stats.dp_allocations));
+    out->Record(name, "sweep_allocations",
+                static_cast<double>(stats.sweep_allocations));
     const double lookups =
         static_cast<double>(stats.cost_cache_hits + stats.cost_cache_misses);
     out->Record(name, "cache_hit_rate",

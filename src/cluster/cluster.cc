@@ -98,6 +98,12 @@ const LinkSpec& ClusterSpec::LinkBetween(int device_a, int device_b) const {
   return levels_.back().link;
 }
 
+const LinkSpec& ClusterSpec::GroupBottleneckLink(int first_device,
+                                                 int last_device) const {
+  GALVATRON_CHECK_LT(first_device, last_device);
+  return LinkBetween(first_device, last_device);
+}
+
 const LinkSpec& ClusterSpec::GroupBottleneckLink(
     const std::vector<int>& device_ids) const {
   GALVATRON_CHECK_GE(device_ids.size(), 2u);

@@ -106,6 +106,15 @@ class ClusterSpec {
   /// all of them (a ring over the group cannot beat its slowest hop).
   const LinkSpec& GroupBottleneckLink(const std::vector<int>& device_ids) const;
 
+  /// Bottleneck link of a group given only its extreme members. Topology
+  /// levels are contiguous id ranges, so a block containing `first_device`
+  /// and `last_device` contains everything between — equivalent to the
+  /// vector overload for any group whose ids lie in [first, last], without
+  /// materializing the ids (the cost model resolves links once per layer
+  /// analysis, under the allocation tripwires).
+  const LinkSpec& GroupBottleneckLink(int first_device,
+                                      int last_device) const;
+
   /// True if all ids fall inside one block of `levels()[level_index]`.
   bool SameBlock(int level_index, const std::vector<int>& device_ids) const;
 

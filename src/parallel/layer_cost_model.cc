@@ -114,12 +114,16 @@ Result<LayerExecution> LayerCostModel::Analyze(const LayerSpec& layer,
       exec.sdp_transient_bytes + exec.recompute_transient_bytes;
 
   // --- Communication ---------------------------------------------------
+  // The group containing the block's first device along `dim` is the
+  // arithmetic progression stage_first_device + i * stride (its zeroed
+  // coordinate puts it at the group base), so its bottleneck link is fixed
+  // by the first and last members alone — no need to materialize the ids.
   auto resolve_link = [&](ParallelDim dim) -> Result<LinkSpec> {
-    GALVATRON_ASSIGN_OR_RETURN(
-        std::vector<int> group,
-        strategy.GroupContaining(dim, stage_first_device, stage_first_device));
-    if (group.size() < 2) return LinkSpec{};
-    return cluster_->GroupBottleneckLink(group);
+    GALVATRON_ASSIGN_OR_RETURN(int stride, strategy.StrideOf(dim));
+    const int degree = strategy.DegreeOf(dim);
+    if (degree < 2) return LinkSpec{};
+    return cluster_->GroupBottleneckLink(
+        stage_first_device, stage_first_device + (degree - 1) * stride);
   };
 
   if (tp > 1) {

@@ -11,6 +11,7 @@
 #include "ir/layer.h"
 #include "parallel/strategy.h"
 #include "util/result.h"
+#include "util/small_vector.h"
 
 namespace galvatron {
 
@@ -45,8 +46,12 @@ struct CommTask {
 struct LayerExecution {
   double fwd_compute_sec = 0.0;
   double bwd_compute_sec = 0.0;  // 2x forward (matmul-dominated)
-  std::vector<CommTask> fwd_comms;
-  std::vector<CommTask> bwd_comms;
+  /// Inline storage covers every strategy: at most TP + SDP forward tasks
+  /// and TP + DP + 2xSDP backward tasks, so an Analyze call never touches
+  /// the allocator for its comm lists (it runs millions of times per
+  /// sweep, under the allocation tripwires).
+  SmallVector<CommTask, 2> fwd_comms;
+  SmallVector<CommTask, 4> bwd_comms;
 
   /// Adam model states (weight+grad+m+v) resident per device.
   int64_t state_memory_bytes = 0;

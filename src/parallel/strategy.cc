@@ -56,7 +56,7 @@ Result<HybridStrategy> HybridStrategy::Create(
     }
   }
   HybridStrategy strategy;
-  strategy.levels_ = std::move(levels);
+  strategy.levels_.assign(levels.begin(), levels.end());
   return strategy;
 }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "util/result.h"
+#include "util/small_vector.h"
 
 namespace galvatron {
 
@@ -46,6 +47,12 @@ struct ParallelComponent {
 /// a PP-free strategy set.
 class HybridStrategy {
  public:
+  /// Level storage: at most one level per non-PP ParallelDim can pass
+  /// Create's validation, so three inline slots cover every constructible
+  /// strategy — copying a strategy (the DP reconstruction and candidate
+  /// plumbing do it millions of times per sweep) never touches the heap.
+  using LevelList = SmallVector<ParallelComponent, 3>;
+
   /// An empty strategy: serial execution on a single device.
   HybridStrategy() = default;
 
@@ -57,7 +64,7 @@ class HybridStrategy {
   /// "tp2-dp4" (innermost first).
   static Result<HybridStrategy> Parse(const std::string& text);
 
-  const std::vector<ParallelComponent>& levels() const { return levels_; }
+  const LevelList& levels() const { return levels_; }
   int num_levels() const { return static_cast<int>(levels_.size()); }
 
   /// Product of all level degrees == size of the device group this strategy
@@ -99,7 +106,7 @@ class HybridStrategy {
   }
 
  private:
-  std::vector<ParallelComponent> levels_;
+  LevelList levels_;
 };
 
 }  // namespace galvatron

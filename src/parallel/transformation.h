@@ -36,6 +36,17 @@ struct TransformationCost {
 /// being re-laid-out is the activation the successor consumes
 /// (`next_layer.input_bytes()`), so R depends on BOTH boundary layers —
 /// caches must key on both signatures.
+///
+/// CONTRACT (load-bearing for SharedCostCache::TransformSeconds): the
+/// result depends on the strategies ONLY through TotalDegree() (the
+/// group-size validation and the bottleneck-link scan) and BatchSplit()
+/// (m_prev / m_next). Strategies agreeing on both are interchangeable
+/// here — the equal-strategy early-out is subsumed, since prev == next
+/// implies m_next >= m_prev, the zero-cost branch. The shared cost cache
+/// keys transformation entries by those two scalars instead of by full
+/// strategy identity, collapsing the O(S^2) strategy-pair matrix to the
+/// handful of distinct (degree, batch-split) classes; widening this
+/// function's strategy dependence requires widening that key in step.
 Result<TransformationCost> ComputeTransformationCost(
     const LayerSpec& prev_layer, const LayerSpec& next_layer,
     const HybridStrategy& prev, const HybridStrategy& next,

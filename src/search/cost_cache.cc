@@ -279,8 +279,8 @@ Result<double> SharedCostCache::TransformSeconds(
   TransformCostKey key;
   key.prev_sig = InternSignature(layer_index - 1);
   key.next_sig = InternSignature(layer_index);
-  key.prev_strategy = InternStrategy(prev_strategy);
-  key.next_strategy = InternStrategy(next_strategy);
+  key.prev_strategy = TransformClassOf(prev_strategy);
+  key.next_strategy = TransformClassOf(next_strategy);
   key.fingerprint = InternFingerprint(
       stage_first_device,
       prev_strategy.TotalDegree() > 0 ? prev_strategy.TotalDegree() : 1);

@@ -50,18 +50,29 @@ struct LayerCostKey {
 
 /// Interned key of a memoized transformation cost R(L, S_prev, S_next).
 /// Carries BOTH boundary layers' signatures — the predecessor alone aliases
-/// boundaries whose successor layers differ in input shape.
+/// boundaries whose successor layers differ in input shape. The strategies
+/// enter NOT by identity but as their transformation class
+/// (TotalDegree << 16) | BatchSplit — ComputeTransformationCost's
+/// documented contract is that R depends on nothing else of a strategy, so
+/// the S^2 strategy pairs of a candidate set collapse to the few distinct
+/// (degree, batch-split) class pairs and the estimator runs once per class.
 struct TransformCostKey {
   int32_t prev_sig = -1;
   int32_t next_sig = -1;
-  int32_t prev_strategy = -1;
-  int32_t next_strategy = -1;
+  int32_t prev_strategy = -1;  // transformation class of S_prev (see above)
+  int32_t next_strategy = -1;  // transformation class of S_next
   int32_t fingerprint = -1;
   int32_t mb_size = 0;
 
   friend bool operator==(const TransformCostKey&,
                          const TransformCostKey&) = default;
 };
+
+/// The transformation class word TransformCostKey stores per strategy.
+inline int32_t TransformClassOf(const HybridStrategy& s) {
+  const int32_t degree = s.TotalDegree() > 0 ? s.TotalDegree() : 1;
+  return (degree << 16) | static_cast<int32_t>(s.BatchSplit());
+}
 
 struct LayerCostKeyHash {
   size_t operator()(const LayerCostKey& k) const;

@@ -12,7 +12,9 @@
 #include <utility>
 #include <vector>
 
+#include "cluster/cluster.h"
 #include "parallel/transformation.h"
+#include "util/alloc_counter.h"
 #include "util/logging.h"
 #include "util/math_util.h"
 #include "util/string_util.h"
@@ -184,8 +186,13 @@ class RunCostCache {
         local_sig_[static_cast<size_t>(l - 1)])];
     key.next_sig =
         shared_sig_ids_[static_cast<size_t>(local_sig_[static_cast<size_t>(l)])];
-    key.prev_strategy = strategy_ids_[static_cast<size_t>(prev_strategy)];
-    key.next_strategy = strategy_ids_[static_cast<size_t>(strategy)];
+    // Keyed by transformation CLASS, not strategy identity: equal
+    // (degree, batch-split) pairs share one estimator call (the
+    // ComputeTransformationCost contract; see transformation.h).
+    key.prev_strategy =
+        TransformClassOf((*candidates_)[static_cast<size_t>(prev_strategy)]);
+    key.next_strategy =
+        TransformClassOf((*candidates_)[static_cast<size_t>(strategy)]);
     key.fingerprint = fp_ids_[static_cast<size_t>(prev_strategy)];
     key.mb_size = mb_size_;
     GALVATRON_ASSIGN_OR_RETURN(
@@ -226,34 +233,29 @@ class RunCostCache {
   std::vector<std::unique_ptr<Boundary>> boundaries_;
 };
 
-/// One per-layer option of the DP: a candidate strategy, possibly with
-/// activation checkpointing. Plain strategies come first in option order,
-/// checkpointed variants after — ties prefer the lower option index, so a
-/// recompute variant never displaces an equal-cost plain strategy.
-struct LayerOption {
-  int strategy_index = 0;
-  bool recompute = false;
-};
-
-std::vector<LayerOption> ExpandOptions(int num_strategies,
-                                       bool allow_recompute) {
-  std::vector<LayerOption> option_list;
-  for (int s = 0; s < num_strategies; ++s) {
-    option_list.push_back(LayerOption{s, false});
-  }
-  if (allow_recompute) {
-    for (int s = 0; s < num_strategies; ++s) {
-      option_list.push_back(LayerOption{s, true});
-    }
-  }
-  return option_list;
+/// The per-layer option space: every candidate strategy as-is, then
+/// (when allow_recompute) every strategy's checkpointed variant. The order
+/// is a convention, not a table — plain options occupy [0, num_strategies)
+/// and recompute variants [num_strategies, 2 * num_strategies), so ties
+/// preferring the lower option index never let a recompute variant
+/// displace an equal-cost plain strategy, and option decoding is two
+/// inlined expressions instead of an allocated LayerOption list.
+inline int ExpandedOptionCount(int num_strategies, bool allow_recompute) {
+  return allow_recompute ? 2 * num_strategies : num_strategies;
+}
+inline int OptionStrategy(int option, int num_strategies) {
+  return option < num_strategies ? option : option - num_strategies;
+}
+inline bool OptionRecompute(int option, int num_strategies) {
+  return option >= num_strategies;
 }
 
 /// Everything both kernels need, precomputed identically so they explore
-/// the same quantized feasible set.
+/// the same quantized feasible set. The per-(layer, option) cost tables
+/// are flat [layer * num_candidates + option] views into thread-local
+/// scratch (see DpScratch) — no nested vectors, no per-Run table
+/// allocations once a thread is warm.
 struct DpWork {
-  std::vector<LayerOption> option_list;
-  std::vector<int> strat_of_option;  // option index -> strategy index
   int num_candidates = 0;
   int num_strategies = 0;
   int num_layers = 0;
@@ -261,11 +263,11 @@ struct DpWork {
   int budget_units = 0;
   int64_t gran = 0;
   int micro_batches = 0;
-  // Per (layer, option): quantized resident memory and scalar cost;
+  // Quantized resident memory and scalar cost per (layer, option);
   // infeasible options (estimator errors other than OOM propagate) get
   // +inf seconds.
-  std::vector<std::vector<int>> units;
-  std::vector<std::vector<double>> seconds;
+  const int32_t* units = nullptr;
+  const double* seconds = nullptr;
 };
 
 /// Polled between layer columns: a serving deadline that expires mid-DP
@@ -274,9 +276,172 @@ bool CancelRequested(const std::function<bool()>* cancel) {
   return cancel != nullptr && *cancel && (*cancel)();
 }
 
+/// Reusable per-thread workspace of the sparse kernel. Every buffer keeps
+/// its capacity across Runs, so a warm thread's Run performs no heap
+/// allocations on the DP path: the cost tables, the merge slots, the
+/// touched list, the frontier arrays and the cache key all reuse prior
+/// capacity. DpSearch::Run is const and thread-safe; the scratch is
+/// thread-local, never shared.
+struct DpScratch {
+  // Flat cost tables [layer * num_candidates + option].
+  std::vector<int32_t> units;
+  std::vector<double> seconds;
+  // Merge slots, lazily reset via generation stamps (see
+  // BuildSparseFrontiers). slot_cost/slot_parent hold garbage from prior
+  // generations by design — reads are gated on slot_gen.
+  std::vector<double> slot_cost;
+  std::vector<int32_t> slot_parent;
+  std::vector<uint32_t> slot_gen;
+  uint32_t generation = 0;
+  std::vector<int32_t> touched;
+  // Frontier columns under construction, structure-of-arrays (the layout
+  // DpFrontierEntry stores — a cold publish is three flat copies).
+  std::vector<int32_t> bp_units;
+  std::vector<double> bp_cost;
+  std::vector<int32_t> bp_parent;
+  std::vector<DpColumnSpan> spans;
+  // Transformation-class grouping and the per-class combined frontiers of
+  // one boundary (see BuildSparseFrontiers): class_of maps a strategy to
+  // its class, class_rep holds one representative strategy per class, and
+  // the w_* arrays are the class frontiers' own arena, rebuilt per layer.
+  std::vector<int32_t> class_of;
+  std::vector<int32_t> class_words;
+  std::vector<int32_t> class_rep;
+  std::vector<uint8_t> class_used;
+  std::vector<DpColumnSpan> class_spans;
+  std::vector<int32_t> w_units;
+  std::vector<double> w_cost;
+  std::vector<int32_t> w_parent;
+  // Frontier-cache key scratch and the signature-id memo in front of
+  // DpFrontierCache::Intern, keyed by the cache's serial so meeting a
+  // different cache instance drops the stale ids.
+  DpFrontierKey key;
+  std::vector<int32_t> distinct_spans;
+  uint64_t intern_serial = 0;
+  std::unordered_map<std::string, int32_t> intern_ids;
+};
+
+DpScratch& ScratchForThisThread() {
+  thread_local DpScratch scratch;
+  return scratch;
+}
+
+int32_t InternSignature(DpFrontierCache* cache, DpScratch& scratch,
+                        const std::string& sig) {
+  if (scratch.intern_serial != cache->serial()) {
+    scratch.intern_ids.clear();
+    scratch.intern_serial = cache->serial();
+  }
+  auto it = scratch.intern_ids.find(sig);
+  if (it != scratch.intern_ids.end()) return it->second;
+  const int32_t id = cache->Intern(sig);
+  scratch.intern_ids.emplace(sig, id);
+  return id;
+}
+
+/// Builds the cache key of one sparse Run into scratch.key: everything that
+/// shapes the frontiers except the memory budget (model/cluster/estimator
+/// identity is the cache owner's contract — see DpFrontierCache).
+///
+/// Two deliberate generalizations over the raw Run arguments widen sharing
+/// without losing exactness:
+///
+/// - The layer range appends as a run-length encoding of layer-SIGNATURE
+///   ids, not as (first_layer, num_layers): per-layer and transformation
+///   costs are memoized by signature (the SharedCostCache contract), so two
+///   ranges with the same signature sequence build identical frontiers.
+///   Every pipeline stage of a uniform Transformer stack collapses to one
+///   encoding.
+/// - The stage's position appends as the block FINGERPRINT of each distinct
+///   candidate footprint (per topology level: -1 when
+///   [first_device, first_device + span) sits inside one level block, else
+///   first_device mod the level span), not as stage_first_device: all cost
+///   lookups depend on the device block only through this fingerprint
+///   (SharedCostCache::BlockFingerprint), so stages whose blocks see the
+///   same links at every group shape — e.g. all P stages of an even split
+///   across uniform islands — share one key and therefore one cold DP run
+///   per sweep.
+void BuildFrontierKey(DpScratch& scratch, DpFrontierCache* cache,
+                      const ModelSpec& model, const ClusterSpec& cluster,
+                      const std::vector<HybridStrategy>& candidates,
+                      int first_layer, int num_layers, int stage_first_device,
+                      int batch_per_group, int micro_batches,
+                      int resident_micro_batches, int64_t gran,
+                      bool allow_recompute) {
+  DpFrontierKey& key = scratch.key;
+  key.Clear();
+  key.Append(0);  // tag: structural (1 is reserved for string-packed keys)
+  key.Append(batch_per_group);
+  key.Append(micro_batches);
+  key.Append(resident_micro_batches);
+  key.Append(static_cast<int32_t>(gran & 0xffffffff));
+  key.Append(static_cast<int32_t>(gran >> 32));
+  key.Append(allow_recompute ? 1 : 0);
+  key.Append(num_layers);
+
+  // Layer signatures, run-length encoded; count first.
+  const size_t run_count_pos = key.words.size();
+  key.Append(0);
+  int32_t num_runs = 0;
+  int32_t run_sig = -1;
+  int32_t run_len = 0;
+  for (int l = 0; l < num_layers; ++l) {
+    const int32_t sig = InternSignature(
+        cache, scratch, model.layer(first_layer + l).signature());
+    if (sig == run_sig) {
+      ++run_len;
+      continue;
+    }
+    if (run_len > 0) {
+      key.Append(run_sig);
+      key.Append(run_len);
+      ++num_runs;
+    }
+    run_sig = sig;
+    run_len = 1;
+  }
+  if (run_len > 0) {
+    key.Append(run_sig);
+    key.Append(run_len);
+    ++num_runs;
+  }
+  key.words[run_count_pos] = num_runs;
+
+  // Candidates, structurally: equal level lists <=> equal cost behavior.
+  key.Append(static_cast<int32_t>(candidates.size()));
+  for (const HybridStrategy& s : candidates) {
+    key.Append(s.num_levels());
+    for (const ParallelComponent& level : s.levels()) {
+      key.Append((static_cast<int32_t>(level.dim) << 16) | level.degree);
+    }
+  }
+
+  // Block fingerprints of the distinct candidate footprints (ascending).
+  std::vector<int32_t>& spans = scratch.distinct_spans;
+  spans.clear();
+  for (const HybridStrategy& s : candidates) {
+    spans.push_back(s.TotalDegree() > 0 ? s.TotalDegree() : 1);
+  }
+  std::sort(spans.begin(), spans.end());
+  spans.erase(std::unique(spans.begin(), spans.end()), spans.end());
+  key.Append(static_cast<int32_t>(spans.size()));
+  key.Append(static_cast<int32_t>(cluster.levels().size()));
+  for (const int32_t span : spans) {
+    key.Append(span);
+    for (const TopologyLevel& level : cluster.levels()) {
+      const int offset = stage_first_device % level.span;
+      key.Append(offset + span <= level.span ? -1 : offset);
+    }
+  }
+  key.Finalize();
+}
+
 /// The dense reference kernel: sweeps every (budget granule, option) cell.
 /// dp[e][s]: min cost of the layers so far using <= e units, last layer on
-/// strategy s. parent[l][e][s]: the previous layer's option index.
+/// strategy s. parent[l][e][s]: the previous layer's option index. This is
+/// the executable specification — it always materializes per_layer with
+/// direct copying reconstruction, which the sparse kernel's index-based
+/// assembly is checked against byte-for-byte.
 Result<DpSearchResult> RunDenseKernel(const DpWork& w, RunCostCache& cache,
                                       const std::vector<HybridStrategy>&
                                           candidates,
@@ -296,14 +461,18 @@ Result<DpSearchResult> RunDenseKernel(const DpWork& w, RunCostCache& cache,
     return static_cast<size_t>(e) * static_cast<size_t>(num_candidates) +
            static_cast<size_t>(s);
   };
+  auto cell = [&](int l, int s) {
+    return static_cast<size_t>(l) * static_cast<size_t>(num_candidates) +
+           static_cast<size_t>(s);
+  };
 
   // Layer 0: no transformation, no predecessor. Options whose seconds are
   // +inf never seed a state (and are not counted) — matching the skip the
   // l>=1 loop applies.
   for (int s = 0; s < num_candidates; ++s) {
-    const double c = w.seconds[0][static_cast<size_t>(s)];
+    const double c = w.seconds[cell(0, s)];
     if (c == kInf) continue;
-    const int o = w.units[0][static_cast<size_t>(s)];
+    const int o = w.units[cell(0, s)];
     for (int e = o; e <= budget_units; ++e) {
       if (c < prev_dp[idx(e, s)]) {
         prev_dp[idx(e, s)] = c;
@@ -323,15 +492,19 @@ Result<DpSearchResult> RunDenseKernel(const DpWork& w, RunCostCache& cache,
     GALVATRON_ASSIGN_OR_RETURN(const std::vector<double>* transform,
                                cache.BoundaryMatrix(w.first_layer + l));
     for (int s = 0; s < num_candidates; ++s) {
-      const int o = w.units[static_cast<size_t>(l)][static_cast<size_t>(s)];
-      const double c =
-          w.seconds[static_cast<size_t>(l)][static_cast<size_t>(s)];
+      const int o = w.units[cell(l, s)];
+      const double c = w.seconds[cell(l, s)];
       if (c == kInf) continue;
-      const int cs = w.strat_of_option[static_cast<size_t>(s)];
+      const int cs = OptionStrategy(s, w.num_strategies);
       for (int e = o; e <= budget_units; ++e) {
         const int pe = e - o;
         double best = kInf;
         int best_sp = -1;
+        // The predecessor argmin compares prior + R; the layer's own cost
+        // c is added AFTER the winner is chosen. The sparse kernel's
+        // class-combined merge compares candidates at exactly this stage
+        // (before + c), so the two kernels agree bit-for-bit even where
+        // rounding of the final sum would collapse a strict ordering.
         // Strict < keeps the LOWEST predecessor option index on equal
         // cost: deterministic tie-breaking so the reconstructed plan is
         // byte-stable across runs and thread counts.
@@ -339,9 +512,9 @@ Result<DpSearchResult> RunDenseKernel(const DpWork& w, RunCostCache& cache,
           const double prior = prev_dp[idx(pe, sp)];
           if (prior == kInf) continue;
           const double candidate =
-              prior + c +
+              prior +
               (*transform)[static_cast<size_t>(
-                               w.strat_of_option[static_cast<size_t>(sp)]) *
+                               OptionStrategy(sp, w.num_strategies)) *
                                static_cast<size_t>(w.num_strategies) +
                            static_cast<size_t>(cs)];
           if (candidate < best) {
@@ -351,7 +524,7 @@ Result<DpSearchResult> RunDenseKernel(const DpWork& w, RunCostCache& cache,
         }
         ++result.states_explored;
         if (best < kInf) {
-          cur_dp[idx(e, s)] = best;
+          cur_dp[idx(e, s)] = best + c;
           parent[static_cast<size_t>(l) * row + idx(e, s)] =
               static_cast<int16_t>(best_sp);
         }
@@ -381,39 +554,30 @@ Result<DpSearchResult> RunDenseKernel(const DpWork& w, RunCostCache& cache,
   // chosen layer's units from the running budget.
   result.stage_seconds = best;
   result.per_layer.assign(static_cast<size_t>(num_layers), HybridStrategy());
+  result.per_layer_option.assign(static_cast<size_t>(num_layers), 0);
   result.per_layer_recompute.assign(static_cast<size_t>(num_layers), 0);
   int e = budget_units;
   int s = best_s;
   for (int l = num_layers - 1; l >= 0; --l) {
-    const LayerOption& option = w.option_list[static_cast<size_t>(s)];
+    const int strategy = OptionStrategy(s, w.num_strategies);
     result.per_layer[static_cast<size_t>(l)] =
-        candidates[static_cast<size_t>(option.strategy_index)];
+        candidates[static_cast<size_t>(strategy)];
+    result.per_layer_option[static_cast<size_t>(l)] = strategy;
     result.per_layer_recompute[static_cast<size_t>(l)] =
-        option.recompute ? 1 : 0;
+        OptionRecompute(s, w.num_strategies) ? 1 : 0;
     result.resident_memory_bytes +=
-        static_cast<int64_t>(
-            w.units[static_cast<size_t>(l)][static_cast<size_t>(s)]) *
-        w.gran;
+        static_cast<int64_t>(w.units[cell(l, s)]) * w.gran;
     if (l > 0) {
       const int sp = parent[static_cast<size_t>(l) * row + idx(e, s)];
       GALVATRON_CHECK_GE(sp, 0);
-      e -= w.units[static_cast<size_t>(l)][static_cast<size_t>(s)];
+      e -= w.units[cell(l, s)];
       s = sp;
     }
   }
   return result;
 }
 
-// Breakpoint/span types live in frontier_cache.h so completed frontiers
-// can be cached and replayed across Runs.
-using Breakpoint = DpBreakpoint;
-using Span = DpColumnSpan;
-
-/// The frontier columns of one sparse run, before any answer is extracted:
-/// exactly what DpFrontierCache stores.
-struct SparseFrontiers {
-  std::vector<Breakpoint> arena;
-  std::vector<Span> spans;
+struct SparseStats {
   int64_t breakpoints_emitted = 0;
   int64_t breakpoints_scanned = 0;
   int64_t options_pruned = 0;
@@ -421,69 +585,73 @@ struct SparseFrontiers {
 
 /// The sparse Pareto-frontier kernel's build phase. Exploits that dp[e][s]
 /// is a non-increasing step function of the budget e: each column keeps
-/// only its breakpoints, and layer l is computed by merging layer l-1's
-/// frontiers shifted by the option's units and biased by c(l, s) + R(sp,
-/// s). Work scales with the number of DISTINCT cost levels instead of the
-/// granule count. The produced columns yield plans byte-identical to
+/// only its breakpoints, and layer l is computed from layer l-1's
+/// frontiers combined per transformation class (bias R(sp, class)), then
+/// shifted by the option's units and biased by its layer cost c(l, s).
+/// Work scales with the number of DISTINCT cost levels instead of the
+/// granule count. The produced columns (written into scratch's
+/// structure-of-arrays buffers) yield plans byte-identical to
 /// RunDenseKernel — at w.budget_units AND at every smaller budget (the
 /// prefix property AnswerFromFrontiers and the frontier cache rely on).
-Result<SparseFrontiers> BuildSparseFrontiers(
+Result<SparseStats> BuildSparseFrontiers(
     const DpWork& w, RunCostCache& cache,
+    const std::vector<HybridStrategy>& candidates, DpScratch& scratch,
     const std::function<bool()>* cancel) {
   const int num_candidates = w.num_candidates;
   const int num_strategies = w.num_strategies;
   const int num_layers = w.num_layers;
   const int budget_units = w.budget_units;
-  SparseFrontiers result;
+  SparseStats stats;
 
   // A recompute variant dominated by its plain twin in BOTH quantized
   // units and seconds can never appear in an optimal assignment: the twin
   // has the same strategy index (so identical R rows and columns), a lower
   // option index (so it wins every exact tie), and a pointwise no-worse
   // column. Dropping the variant preserves byte-identical plans.
+  auto cell = [&](int l, int s) {
+    return static_cast<size_t>(l) * static_cast<size_t>(num_candidates) +
+           static_cast<size_t>(s);
+  };
   auto dominated = [&](int l, int s) {
     if (s < num_strategies) return false;  // plain options are never pruned
-    const int plain = s - num_strategies;
-    return w.units[static_cast<size_t>(l)][static_cast<size_t>(s)] >=
-               w.units[static_cast<size_t>(l)][static_cast<size_t>(plain)] &&
-           w.seconds[static_cast<size_t>(l)][static_cast<size_t>(s)] >=
-               w.seconds[static_cast<size_t>(l)][static_cast<size_t>(plain)];
+    const size_t plain = cell(l, s - num_strategies);
+    return w.units[cell(l, s)] >= w.units[plain] &&
+           w.seconds[cell(l, s)] >= w.seconds[plain];
   };
 
-  // Breakpoint columns live in one contiguous arena, addressed by
-  // (begin, size) spans per (layer, option): columns are built strictly
-  // one at a time, so appends are always at the arena's end, and the
-  // thousands of per-column vector allocations the nested-vector layout
-  // paid (plus their cache-hostile scatter) collapse into one
-  // geometrically-grown buffer that reads sequentially during merges.
-  std::vector<Breakpoint>& arena = result.arena;
-  arena.reserve(static_cast<size_t>(num_candidates) *
-                static_cast<size_t>(std::min(num_layers, 8)));
-  result.spans.assign(static_cast<size_t>(num_layers) *
-                          static_cast<size_t>(num_candidates),
-                      Span{});
-  std::vector<Span>& spans = result.spans;
-  auto span_of = [&](int l, int s) -> Span& {
-    return spans[static_cast<size_t>(l) * static_cast<size_t>(num_candidates) +
-                 static_cast<size_t>(s)];
+  // Breakpoint columns live in contiguous structure-of-arrays buffers,
+  // addressed by (begin, size) spans per (layer, option): columns are
+  // built strictly one at a time, so appends are always at the end, the
+  // merge streams each array with unit-stride loads, and warm threads
+  // reuse the buffers' capacity outright.
+  scratch.bp_units.clear();
+  scratch.bp_cost.clear();
+  scratch.bp_parent.clear();
+  scratch.spans.assign(static_cast<size_t>(num_layers) *
+                           static_cast<size_t>(num_candidates),
+                       DpColumnSpan{});
+  auto span_of = [&](int l, int s) -> DpColumnSpan& {
+    return scratch.spans[cell(l, s)];
   };
 
   // Layer 0: one breakpoint per feasible option — the cost is constant in
   // the budget, so the dense row [o, budget] collapses to a single step.
   for (int s = 0; s < num_candidates; ++s) {
-    const double c = w.seconds[0][static_cast<size_t>(s)];
+    const double c = w.seconds[cell(0, s)];
     if (c == kInf) continue;
     if (dominated(0, s)) {
-      ++result.options_pruned;
+      ++stats.options_pruned;
       continue;
     }
-    const int o = w.units[0][static_cast<size_t>(s)];
+    const int o = w.units[cell(0, s)];
     if (o > budget_units) continue;
-    Span& span = span_of(0, s);
-    span.begin = static_cast<int64_t>(arena.size());
+    DpColumnSpan& span = span_of(0, s);
+    span.begin = static_cast<int64_t>(scratch.bp_units.size());
     span.size = 1;
-    arena.push_back(Breakpoint{o, c, -1});
-    ++result.breakpoints_emitted;
+    scratch.bp_units.push_back(o);
+    scratch.bp_cost.push_back(c);
+    scratch.bp_parent.push_back(-1);
+    ++stats.breakpoints_emitted;
   }
 
   // Merge scratch, shared by every column: per-units best candidate,
@@ -492,12 +660,62 @@ Result<SparseFrontiers> BuildSparseFrontiers(
   // one it emits is the (cost, parent)-lexicographic minimum among that
   // units level's candidates — so bucketing candidates by units and
   // keeping the per-bucket minimum replaces a comparison sort of (units,
-  // cost, parent) structs with one integer sort of the touched units.
-  std::vector<double> slot_cost(static_cast<size_t>(budget_units) + 1);
-  std::vector<int32_t> slot_parent(static_cast<size_t>(budget_units) + 1);
-  std::vector<int32_t> slot_gen(static_cast<size_t>(budget_units) + 1, 0);
-  std::vector<int> touched;
-  int32_t generation = 0;
+  // cost, parent) structs with an ordering pass over the touched units.
+  const size_t num_slots = static_cast<size_t>(budget_units) + 1;
+  if (scratch.slot_gen.size() < num_slots) {
+    scratch.slot_cost.resize(num_slots);
+    scratch.slot_parent.resize(num_slots);
+    scratch.slot_gen.resize(num_slots, 0);
+    scratch.touched.resize(num_slots);
+  }
+  double* const slot_cost = scratch.slot_cost.data();
+  int32_t* const slot_parent = scratch.slot_parent.data();
+  uint32_t* const slot_gen = scratch.slot_gen.data();
+  int32_t* const touched = scratch.touched.data();
+
+  // Per layer, the merge runs in two phases instead of one merge per
+  // option. Phase 1 exploits that the bias R[sp][s] depends on s only
+  // through its transformation CLASS: the boundary matrix is filled from
+  // cache entries keyed by (class(sp), class(s)) (RunCostCache::
+  // FillElement), so strategies of equal TransformClassOf hold
+  // bitwise-equal matrix columns by construction — and by the
+  // ComputeTransformationCost contract (transformation.h) when no shared
+  // cache is attached. All predecessor columns are combined ONCE per
+  // class into a frontier of lex-minimal (prior + R, sp) pairs. Phase 2
+  // derives every option's column from its class frontier by shifting
+  // units by o and adding the layer cost c — V_s(e) = W_class(s)(e - o)
+  // + c holds exactly, so no second envelope pass is needed. This turns
+  // the S columns x S predecessors quadratic merge into K combines + S
+  // copies (K = distinct classes, typically the few distinct batch-split
+  // degrees).
+  //
+  // Bit-identity with the dense kernel: both kernels compare predecessor
+  // candidates as prior + R (the class frontier's stored cost) and add c
+  // only after the argmin, so ordering never depends on how the final sum
+  // rounds. The class frontier keeps an entry on equal cost with a lower
+  // sp as well — that reproduces the dense lowest-index tie-break at every
+  // budget, and duplicate-cost entries after + c are kept deliberately:
+  // they mark budgets where the dense parent changes while the value does
+  // not.
+  // The class grouping is a function of the candidate set alone, so it is
+  // computed once per Run, not per boundary.
+  scratch.class_of.assign(static_cast<size_t>(num_strategies), -1);
+  scratch.class_words.clear();
+  scratch.class_rep.clear();
+  int num_classes = 0;
+  for (int cs = 0; cs < num_strategies; ++cs) {
+    const int32_t word = TransformClassOf(candidates[static_cast<size_t>(cs)]);
+    int k = 0;
+    for (; k < num_classes; ++k) {
+      if (scratch.class_words[static_cast<size_t>(k)] == word) break;
+    }
+    if (k == num_classes) {
+      scratch.class_words.push_back(word);
+      scratch.class_rep.push_back(cs);
+      ++num_classes;
+    }
+    scratch.class_of[static_cast<size_t>(cs)] = k;
+  }
 
   for (int l = 1; l < num_layers; ++l) {
     if (CancelRequested(cancel)) {
@@ -505,79 +723,166 @@ Result<SparseFrontiers> BuildSparseFrontiers(
     }
     GALVATRON_ASSIGN_OR_RETURN(const std::vector<double>* transform,
                                cache.BoundaryMatrix(w.first_layer + l));
-    for (int s = 0; s < num_candidates; ++s) {
-      const double c =
-          w.seconds[static_cast<size_t>(l)][static_cast<size_t>(s)];
-      if (c == kInf) continue;
-      if (dominated(l, s)) {
-        ++result.options_pruned;
-        continue;
-      }
-      const int o = w.units[static_cast<size_t>(l)][static_cast<size_t>(s)];
-      if (o > budget_units) continue;
-      const int cs = w.strat_of_option[static_cast<size_t>(s)];
+    const double* const m = transform->data();
 
-      ++generation;
-      touched.clear();
+    // Only classes with at least one admissible option this layer are
+    // combined. The admissibility tests mirror phase 2 exactly, but the
+    // pruned counter is phase 2's — counting here would double it.
+    scratch.class_used.assign(static_cast<size_t>(num_classes), 0);
+    for (int s = 0; s < num_candidates; ++s) {
+      if (w.seconds[cell(l, s)] == kInf) continue;
+      if (dominated(l, s)) continue;
+      if (w.units[cell(l, s)] > budget_units) continue;
+      scratch.class_used[static_cast<size_t>(
+          scratch.class_of[static_cast<size_t>(
+              OptionStrategy(s, num_strategies))])] = 1;
+    }
+
+    // Phase 1: one combined frontier per used class, into the w_* arena
+    // (rebuilt per layer, capacity reused). The main arena is only
+    // appended to in phase 2, so raw pointers into it are stable here.
+    scratch.w_units.clear();
+    scratch.w_cost.clear();
+    scratch.w_parent.clear();
+    scratch.class_spans.assign(static_cast<size_t>(num_classes),
+                               DpColumnSpan{});
+    const int32_t* const arena_units = scratch.bp_units.data();
+    const double* const arena_cost = scratch.bp_cost.data();
+    for (int k = 0; k < num_classes; ++k) {
+      if (scratch.class_used[static_cast<size_t>(k)] == 0) continue;
+      const int rep = scratch.class_rep[static_cast<size_t>(k)];
+      if (scratch.generation == std::numeric_limits<uint32_t>::max()) {
+        std::fill(scratch.slot_gen.begin(), scratch.slot_gen.end(), 0);
+        scratch.generation = 0;
+      }
+      const uint32_t gen = ++scratch.generation;
+      int tc = 0;
+      int32_t min_u = std::numeric_limits<int32_t>::max();
+      int32_t max_u = -1;
       for (int sp = 0; sp < num_candidates; ++sp) {
-        const Span prev = span_of(l - 1, sp);
+        const DpColumnSpan prev = span_of(l - 1, sp);
         if (prev.size == 0) continue;
         const double r =
-            (*transform)[static_cast<size_t>(
-                             w.strat_of_option[static_cast<size_t>(sp)]) *
-                             static_cast<size_t>(num_strategies) +
-                         static_cast<size_t>(cs)];
-        // No appends happen during this scan phase, so raw pointers into
-        // the arena are stable here.
-        const Breakpoint* begin = arena.data() + prev.begin;
-        const Breakpoint* end = begin + prev.size;
-        for (const Breakpoint* bp = begin; bp != end; ++bp) {
-          const size_t u = static_cast<size_t>(bp->units + o);
-          if (bp->units + o > budget_units) break;  // units ascend in a frontier
-          // Same association as the dense kernel's prior + c + R, so the
-          // costs are bit-identical, not merely equal in exact arithmetic.
-          const double cost = (bp->cost + c) + r;
-          ++result.breakpoints_scanned;
-          if (slot_gen[u] != generation) {
-            slot_gen[u] = generation;
-            slot_cost[u] = cost;
-            slot_parent[u] = static_cast<int32_t>(sp);
-            touched.push_back(bp->units + o);
-          } else if (cost < slot_cost[u] ||
-                     (cost == slot_cost[u] &&
-                      sp < slot_parent[u])) {
-            slot_cost[u] = cost;
-            slot_parent[u] = static_cast<int32_t>(sp);
-          }
+            m[static_cast<size_t>(OptionStrategy(sp, num_strategies)) *
+                  static_cast<size_t>(num_strategies) +
+              static_cast<size_t>(rep)];
+        const int32_t* const pu = arena_units + prev.begin;
+        const double* const pc = arena_cost + prev.begin;
+        stats.breakpoints_scanned += prev.size;
+        // Branchless inner loop: no data-dependent branches, so the
+        // compiler can unroll/vectorize and the hard-to-predict
+        // cost-comparison branch the profile was dominated by is gone.
+        //
+        // Two invariants make the simplified update exact:
+        // - `fresh` forces `better`, so the stale slot_cost read (prior
+        //   generations' leftovers, gated off by slot_gen) never affects
+        //   the outcome;
+        // - sp strictly ascends and each u appears at most once per sp
+        //   (units are unique within a frontier), so an equal-cost
+        //   candidate can never carry a LOWER parent than the slot —
+        //   the dense tie-break needs no equality arm here.
+        for (int64_t i = 0; i < prev.size; ++i) {
+          const int32_t u = pu[i];
+          const double cost = pc[i] + r;
+          const bool fresh = slot_gen[u] != gen;
+          const bool better = fresh | (cost < slot_cost[u]);
+          slot_gen[u] = gen;
+          touched[tc] = u;
+          tc += fresh;
+          slot_cost[u] = better ? cost : slot_cost[u];
+          slot_parent[u] = better ? sp : slot_parent[u];
+          min_u = u < min_u ? u : min_u;
+          max_u = u > max_u ? u : max_u;
         }
       }
 
       // Lower envelope over ascending units: a units level extends the
-      // frontier iff its best candidate strictly improves the running best
-      // cost, or matches it through a lower predecessor option index — the
-      // latter reproduces the dense kernel's lowest-index tie-break at
-      // every budget, not just where the cost changes.
-      std::sort(touched.begin(), touched.end());
-      Span& out = span_of(l, s);
-      out.begin = static_cast<int64_t>(arena.size());
+      // class frontier iff its best candidate strictly improves the
+      // running best cost, or matches it through a lower predecessor
+      // option index — the latter reproduces the dense kernel's
+      // lowest-index tie-break at every budget, not just where the cost
+      // changes.
+      DpColumnSpan& out = scratch.class_spans[static_cast<size_t>(k)];
+      out.begin = static_cast<int64_t>(scratch.w_units.size());
       double best_cost = kInf;
       int32_t best_parent = std::numeric_limits<int32_t>::max();
-      for (const int u : touched) {
-        const double cost = slot_cost[static_cast<size_t>(u)];
-        const int32_t parent = slot_parent[static_cast<size_t>(u)];
+      auto emit = [&](int32_t u) {
+        const double cost = slot_cost[u];
+        const int32_t parent = slot_parent[u];
         if (cost < best_cost ||
             (cost == best_cost && parent < best_parent)) {
           best_cost = cost;
           best_parent = parent;
-          arena.push_back(Breakpoint{u, cost, parent});
+          scratch.w_units.push_back(u);
+          scratch.w_cost.push_back(cost);
+          scratch.w_parent.push_back(parent);
+        }
+      };
+      if (tc > 0) {
+        // Ascending order, two ways: when the touched units are dense in
+        // [min_u, max_u], sweeping the range and testing generation stamps
+        // is branch-friendlier and cheaper than sorting; a sparse spread
+        // falls back to sorting the touched list.
+        if (static_cast<int64_t>(max_u) - min_u <
+            static_cast<int64_t>(tc) * 4) {
+          for (int32_t u = min_u; u <= max_u; ++u) {
+            if (slot_gen[u] == gen) emit(u);
+          }
+        } else {
+          std::sort(touched, touched + tc);
+          for (int i = 0; i < tc; ++i) emit(touched[i]);
         }
       }
-      out.size = static_cast<int64_t>(arena.size()) - out.begin;
-      result.breakpoints_emitted += out.size;
+      out.size = static_cast<int64_t>(scratch.w_units.size()) - out.begin;
+    }
+
+    // Phase 2: every option's column is its class frontier, shifted by the
+    // option's units and biased by its layer cost. The over-budget tail is
+    // one upper_bound (units ascend strictly within a frontier).
+    for (int s = 0; s < num_candidates; ++s) {
+      const double c = w.seconds[cell(l, s)];
+      if (c == kInf) continue;
+      if (dominated(l, s)) {
+        ++stats.options_pruned;
+        continue;
+      }
+      const int o = w.units[cell(l, s)];
+      if (o > budget_units) continue;
+      const DpColumnSpan klass = scratch.class_spans[static_cast<size_t>(
+          scratch.class_of[static_cast<size_t>(
+              OptionStrategy(s, num_strategies))])];
+      const int32_t* const wu = scratch.w_units.data() + klass.begin;
+      const double* const wc = scratch.w_cost.data() + klass.begin;
+      const int32_t* const wp = scratch.w_parent.data() + klass.begin;
+      const int64_t cut =
+          std::upper_bound(wu, wu + klass.size, budget_units - o) - wu;
+      DpColumnSpan& out = span_of(l, s);
+      out.begin = static_cast<int64_t>(scratch.bp_units.size());
+      out.size = cut;
+      for (int64_t i = 0; i < cut; ++i) {
+        scratch.bp_units.push_back(wu[i] + o);
+        scratch.bp_cost.push_back(wc[i] + c);
+        scratch.bp_parent.push_back(wp[i]);
+      }
+      stats.breakpoints_emitted += cut;
     }
   }
-  return result;
+  return stats;
 }
+
+/// A read-only view over built frontier columns — either this thread's
+/// scratch (cold run) or a cached DpFrontierEntry (warm hit); both store
+/// the same structure-of-arrays layout.
+struct FrontierView {
+  const int32_t* bp_units = nullptr;
+  const double* bp_cost = nullptr;
+  const int32_t* bp_parent = nullptr;
+  const DpColumnSpan* spans = nullptr;
+  const int32_t* units = nullptr;  // flat [layer * num_candidates + option]
+  int num_layers = 0;
+  int num_strategies = 0;
+  int num_candidates = 0;
+};
 
 /// Extracts the optimal assignment at `budget_units` from built frontier
 /// columns. `budget_units` may be SMALLER than the budget the columns were
@@ -587,27 +892,26 @@ Result<SparseFrontiers> BuildSparseFrontiers(
 /// byte-identical to a cold run at `budget_units`. This one routine serves
 /// both the cold path (budget == build budget, where upper_bound lands on
 /// the last breakpoint) and frontier-cache warm hits at near-miss budgets.
-Result<DpSearchResult> AnswerFromFrontiers(
-    const std::vector<Breakpoint>& arena, const std::vector<Span>& spans,
-    int num_layers, int num_candidates,
-    const std::vector<std::vector<int>>& units,
-    const std::vector<int>& strat_of_option,
-    const std::vector<uint8_t>& recompute_of_option, int64_t gran,
-    const std::vector<HybridStrategy>& candidates, int budget_units,
-    int64_t memory_budget) {
-  auto span_of = [&](int l, int s) -> const Span& {
-    return spans[static_cast<size_t>(l) * static_cast<size_t>(num_candidates) +
-                 static_cast<size_t>(s)];
+///
+/// Assembly is index-based: the walk down the (breakpoint, parent) chain
+/// records candidate INDICES into per_layer_option; no HybridStrategy is
+/// copied here. MaterializeDpSearchResult turns the indices into the
+/// per_layer vector for the results a caller actually commits.
+Result<DpSearchResult> AnswerFromFrontiers(const FrontierView& v, int64_t gran,
+                                           int budget_units,
+                                           int64_t memory_budget) {
+  const int num_candidates = v.num_candidates;
+  const int num_layers = v.num_layers;
+  auto cell = [&](int l, int s) {
+    return static_cast<size_t>(l) * static_cast<size_t>(num_candidates) +
+           static_cast<size_t>(s);
   };
-  // Last breakpoint with units <= e, or nullptr when even the column's
-  // cheapest step is over budget.
-  auto active_breakpoint = [&](const Span& f, int e) -> const Breakpoint* {
-    const Breakpoint* begin = arena.data() + f.begin;
-    const Breakpoint* end = begin + f.size;
-    const Breakpoint* it = std::upper_bound(
-        begin, end, e,
-        [](int value, const Breakpoint& bp) { return value < bp.units; });
-    return it == begin ? nullptr : it - 1;
+  // Arena index of the last breakpoint with units <= e, or -1 when even
+  // the column's cheapest step is over budget.
+  auto active_breakpoint = [&](const DpColumnSpan& f, int e) -> int64_t {
+    const int32_t* begin = v.bp_units + f.begin;
+    const int32_t* it = std::upper_bound(begin, begin + f.size, e);
+    return it == begin ? -1 : f.begin + (it - begin) - 1;
   };
 
   // Answer: best final-layer column at the budget. Strict < keeps the
@@ -616,12 +920,12 @@ Result<DpSearchResult> AnswerFromFrontiers(
   double best = kInf;
   int best_s = -1;
   for (int s = 0; s < num_candidates; ++s) {
-    const Span f = span_of(num_layers - 1, s);
+    const DpColumnSpan f = v.spans[cell(num_layers - 1, s)];
     if (f.size == 0) continue;
-    const Breakpoint* bp = active_breakpoint(f, budget_units);
-    if (bp == nullptr) continue;
-    if (bp->cost < best) {
-      best = bp->cost;
+    const int64_t bp = active_breakpoint(f, budget_units);
+    if (bp < 0) continue;
+    if (v.bp_cost[bp] < best) {
+      best = v.bp_cost[bp];
       best_s = s;
     }
   }
@@ -635,69 +939,40 @@ Result<DpSearchResult> AnswerFromFrontiers(
   // budget names the predecessor option; subtracting the layer's units
   // recovers the exact budget the prefix ran under ("<= e" semantics).
   result.stage_seconds = best;
-  result.per_layer.assign(static_cast<size_t>(num_layers), HybridStrategy());
+  result.per_layer_option.assign(static_cast<size_t>(num_layers), 0);
   result.per_layer_recompute.assign(static_cast<size_t>(num_layers), 0);
   int e = budget_units;
   int s = best_s;
   for (int l = num_layers - 1; l >= 0; --l) {
-    result.per_layer[static_cast<size_t>(l)] =
-        candidates[static_cast<size_t>(strat_of_option[static_cast<size_t>(s)])];
+    result.per_layer_option[static_cast<size_t>(l)] =
+        OptionStrategy(s, v.num_strategies);
     result.per_layer_recompute[static_cast<size_t>(l)] =
-        recompute_of_option[static_cast<size_t>(s)];
+        OptionRecompute(s, v.num_strategies) ? 1 : 0;
     result.resident_memory_bytes +=
-        static_cast<int64_t>(
-            units[static_cast<size_t>(l)][static_cast<size_t>(s)]) *
-        gran;
+        static_cast<int64_t>(v.units[cell(l, s)]) * gran;
     if (l > 0) {
       // The chosen breakpoint was generated from a predecessor breakpoint
       // at exactly (units - this layer's units), so the walk never falls
       // off a column's front even at truncated budgets.
-      const Breakpoint* bp = active_breakpoint(span_of(l, s), e);
-      GALVATRON_CHECK(bp != nullptr);
-      e -= units[static_cast<size_t>(l)][static_cast<size_t>(s)];
-      s = bp->parent;
+      const int64_t bp = active_breakpoint(v.spans[cell(l, s)], e);
+      GALVATRON_CHECK_GE(bp, 0);
+      e -= v.units[cell(l, s)];
+      s = v.bp_parent[bp];
     }
   }
   return result;
 }
 
-/// The cache key of one sparse Run: everything that shapes the frontiers
-/// except the memory budget (model/cluster/estimator identity is the cache
-/// owner's contract — see DpFrontierCache).
-std::string FrontierKey(const std::vector<HybridStrategy>& candidates,
-                        int first_layer, int num_layers,
-                        int stage_first_device, int batch_per_group,
-                        int micro_batches, int resident_micro_batches,
-                        int64_t gran, bool allow_recompute) {
-  // Built by hand, not StrFormat: the key is remade on every Run, and on a
-  // fully warm sweep the vsnprintf round-trips outweighed the lookups they
-  // fed. Candidates append structurally for the same reason — their
-  // ToString() strings are equal iff the level lists are.
-  std::string key;
-  key.reserve(16 + 8 * candidates.size());
-  auto append_int = [&key](int64_t v) {
-    key += std::to_string(v);
-    key += '|';
-  };
-  append_int(first_layer);
-  append_int(num_layers);
-  append_int(stage_first_device);
-  append_int(batch_per_group);
-  append_int(micro_batches);
-  append_int(resident_micro_batches);
-  append_int(gran);
-  append_int(allow_recompute ? 1 : 0);
-  for (const HybridStrategy& s : candidates) {
-    for (const ParallelComponent& level : s.levels()) {
-      key += static_cast<char>('a' + static_cast<int>(level.dim));
-      key += std::to_string(level.degree);
-    }
-    key += ';';
-  }
-  return key;
-}
-
 }  // namespace
+
+void MaterializeDpSearchResult(const std::vector<HybridStrategy>& candidates,
+                               DpSearchResult* result) {
+  result->per_layer.resize(result->per_layer_option.size());
+  for (size_t l = 0; l < result->per_layer_option.size(); ++l) {
+    result->per_layer[l] =
+        candidates[static_cast<size_t>(result->per_layer_option[l])];
+  }
+}
 
 DpSearch::DpSearch(const CostEstimator* estimator, DpSearchOptions options)
     : estimator_(estimator), options_(options) {
@@ -712,6 +987,7 @@ Result<DpSearchResult> DpSearch::Run(
     int resident_micro_batches, SharedCostCache* shared_cache,
     DpFrontierCache* frontier_cache,
     const std::function<bool()>* cancel_check) const {
+  const int64_t alloc_start = CurrentThreadAllocCount();
   if (num_layers < 1 || first_layer < 0 ||
       first_layer + num_layers > model.num_layers()) {
     return Status::InvalidArgument("layer range out of bounds");
@@ -719,63 +995,64 @@ Result<DpSearchResult> DpSearch::Run(
   if (candidates.empty()) {
     return Status::InvalidArgument("no candidate strategies");
   }
-  DpWork w;
-  // Expand the per-layer option space: every strategy, and (optionally) its
-  // checkpointed variant.
-  w.option_list = ExpandOptions(static_cast<int>(candidates.size()),
-                                options_.allow_recompute);
-  w.num_candidates = static_cast<int>(w.option_list.size());
-  w.num_strategies = static_cast<int>(candidates.size());
+  const int num_strategies = static_cast<int>(candidates.size());
+  const int num_candidates =
+      ExpandedOptionCount(num_strategies, options_.allow_recompute);
   // The dense kernel's parent table stores int16 option indices; both
   // kernels share the limit so their feasibility envelopes stay identical.
-  if (w.num_candidates > std::numeric_limits<int16_t>::max()) {
+  if (num_candidates > std::numeric_limits<int16_t>::max()) {
     return Status::InvalidArgument(StrFormat(
         "%d expanded options exceed the DP parent table's int16 range (%d)",
-        w.num_candidates,
+        num_candidates,
         static_cast<int>(std::numeric_limits<int16_t>::max())));
   }
-  w.strat_of_option.reserve(static_cast<size_t>(w.num_candidates));
-  std::vector<uint8_t> recompute_of_option;
-  recompute_of_option.reserve(static_cast<size_t>(w.num_candidates));
-  for (const LayerOption& option : w.option_list) {
-    w.strat_of_option.push_back(option.strategy_index);
-    recompute_of_option.push_back(option.recompute ? 1 : 0);
-  }
-  w.num_layers = num_layers;
-  w.first_layer = first_layer;
-  w.gran = options_.memory_granularity;
-  w.micro_batches = micro_batches;
+  DpScratch& scratch = ScratchForThisThread();
 
   // Warm path: a cached frontier for this signature at a budget >= the
   // requested one answers without touching the estimator or the kernel —
   // the repeated-near-miss serving workload (identical request, different
-  // memory budget) skips the entire cold pipeline.
-  std::string frontier_key;
+  // memory budget) and the repeated identical pipeline stages of one sweep
+  // skip the entire cold pipeline.
   const bool cacheable = frontier_cache != nullptr && options_.use_sparse_dp;
   if (cacheable) {
-    frontier_key = FrontierKey(candidates, first_layer, num_layers,
-                               stage_first_device, batch_per_group,
-                               micro_batches, resident_micro_batches, w.gran,
-                               options_.allow_recompute);
+    BuildFrontierKey(scratch, frontier_cache, model, estimator_->cluster(),
+                     candidates, first_layer, num_layers, stage_first_device,
+                     batch_per_group, micro_batches, resident_micro_batches,
+                     options_.memory_granularity, options_.allow_recompute);
     std::shared_ptr<const DpFrontierEntry> entry =
-        frontier_cache->Lookup(frontier_key);
+        frontier_cache->Lookup(scratch.key);
     if (entry != nullptr) {
-      GALVATRON_CHECK_EQ(entry->num_candidates, w.num_candidates);
+      GALVATRON_CHECK_EQ(entry->num_candidates, num_candidates);
+      GALVATRON_CHECK_EQ(entry->num_strategies, num_strategies);
       const int64_t effective = memory_budget - entry->max_transient;
       const int budget_units =
-          effective > 0 ? static_cast<int>(CeilDiv(effective, w.gran)) : -1;
+          effective > 0
+              ? static_cast<int>(CeilDiv(effective, options_.memory_granularity))
+              : -1;
       if (budget_units < 0) {
         frontier_cache->CountHit();
         return Status::Infeasible("memory budget below transient headroom");
       }
       if (budget_units <= entry->budget_units) {
         frontier_cache->CountHit();
+        FrontierView view;
+        view.bp_units = entry->bp_units.data();
+        view.bp_cost = entry->bp_cost.data();
+        view.bp_parent = entry->bp_parent.data();
+        view.spans = entry->spans.data();
+        view.units = entry->units.data();
+        view.num_layers = entry->num_layers;
+        view.num_strategies = entry->num_strategies;
+        view.num_candidates = entry->num_candidates;
         Result<DpSearchResult> out = AnswerFromFrontiers(
-            entry->arena, entry->spans, entry->num_layers,
-            entry->num_candidates, entry->units, entry->option_strategy,
-            entry->option_recompute, w.gran, candidates, budget_units,
-            memory_budget);
-        if (out.ok()) out->frontier_hit = true;
+            view, options_.memory_granularity, budget_units, memory_budget);
+        if (out.ok()) {
+          out->frontier_hit = true;
+          if (options_.materialize_plans) {
+            MaterializeDpSearchResult(candidates, &*out);
+          }
+          out->allocations = CurrentThreadAllocCount() - alloc_start;
+        }
         return out;
       }
       // Budget grew past the cached frontier: fall through to a cold run,
@@ -792,26 +1069,28 @@ Result<DpSearchResult> DpSearch::Run(
   // candidate might need; the remaining budget is then purely additive in
   // per-layer resident memory, which is what the DP quantizes.
   int64_t max_transient = 0;
-  w.units.assign(static_cast<size_t>(num_layers),
-                 std::vector<int>(static_cast<size_t>(w.num_candidates), 0));
-  w.seconds.assign(
-      static_cast<size_t>(num_layers),
-      std::vector<double>(static_cast<size_t>(w.num_candidates), kInf));
+  const size_t table = static_cast<size_t>(num_layers) *
+                       static_cast<size_t>(num_candidates);
+  scratch.units.assign(table, 0);
+  scratch.seconds.assign(table, kInf);
   for (int l = 0; l < num_layers; ++l) {
     if (CancelRequested(cancel_check)) {
       return Status::Cancelled("per-stage search cancelled");
     }
-    for (int s = 0; s < w.num_candidates; ++s) {
-      const LayerOption& option = w.option_list[static_cast<size_t>(s)];
+    for (int s = 0; s < num_candidates; ++s) {
       GALVATRON_ASSIGN_OR_RETURN(
-          LayerCost cost, cache.Layer(first_layer + l, option.strategy_index,
-                                      option.recompute));
+          LayerCost cost,
+          cache.Layer(first_layer + l, OptionStrategy(s, num_strategies),
+                      OptionRecompute(s, num_strategies)));
       // x2: ZeRO-3 prefetch holds two layers' gathered weights.
       max_transient = std::max(max_transient, 2 * cost.transient_memory_bytes);
-      w.units[static_cast<size_t>(l)][static_cast<size_t>(s)] =
-          static_cast<int>((cost.resident_memory_bytes + w.gran / 2) /
-                           w.gran);
-      w.seconds[static_cast<size_t>(l)][static_cast<size_t>(s)] =
+      const size_t e = static_cast<size_t>(l) *
+                           static_cast<size_t>(num_candidates) +
+                       static_cast<size_t>(s);
+      scratch.units[e] = static_cast<int32_t>(
+          (cost.resident_memory_bytes + options_.memory_granularity / 2) /
+          options_.memory_granularity);
+      scratch.seconds[e] =
           cost.IterationSeconds(micro_batches, estimator_->options());
     }
   }
@@ -821,20 +1100,36 @@ Result<DpSearchResult> DpSearch::Run(
   // pessimism would shrink the search space below the baselines'.
   // BruteForceSearch applies the same CeilDiv so both searchers explore
   // the same feasible set at granule-straddling budgets.
-  w.budget_units =
+  const int budget_units =
       effective_budget > 0
-          ? static_cast<int>(CeilDiv(effective_budget, w.gran))
+          ? static_cast<int>(
+                CeilDiv(effective_budget, options_.memory_granularity))
           : -1;
-  if (w.budget_units < 0) {
+  if (budget_units < 0) {
     return Status::Infeasible("memory budget below transient headroom");
   }
 
+  DpWork w;
+  w.num_candidates = num_candidates;
+  w.num_strategies = num_strategies;
+  w.num_layers = num_layers;
+  w.first_layer = first_layer;
+  w.budget_units = budget_units;
+  w.gran = options_.memory_granularity;
+  w.micro_batches = micro_batches;
+  w.units = scratch.units.data();
+  w.seconds = scratch.seconds.data();
+
   if (!options_.use_sparse_dp) {
-    return RunDenseKernel(w, cache, candidates, memory_budget, cancel_check);
+    Result<DpSearchResult> out =
+        RunDenseKernel(w, cache, candidates, memory_budget, cancel_check);
+    if (out.ok()) out->allocations = CurrentThreadAllocCount() - alloc_start;
+    return out;
   }
 
-  GALVATRON_ASSIGN_OR_RETURN(SparseFrontiers frontiers,
-                             BuildSparseFrontiers(w, cache, cancel_check));
+  GALVATRON_ASSIGN_OR_RETURN(
+      SparseStats stats,
+      BuildSparseFrontiers(w, cache, candidates, scratch, cancel_check));
   if (cacheable) {
     // Publish even when the answer below is Infeasible: the frontiers are
     // valid for every budget up to w.budget_units, and a warm infeasible
@@ -843,24 +1138,36 @@ Result<DpSearchResult> DpSearch::Run(
     entry->budget_units = w.budget_units;
     entry->max_transient = max_transient;
     entry->num_layers = num_layers;
-    entry->num_candidates = w.num_candidates;
-    entry->option_strategy = w.strat_of_option;
-    entry->option_recompute = recompute_of_option;
-    entry->units = w.units;
-    entry->arena = frontiers.arena;
-    entry->spans = frontiers.spans;
-    entry->options_pruned = frontiers.options_pruned;
-    frontier_cache->Insert(frontier_key, std::move(entry));
+    entry->num_strategies = num_strategies;
+    entry->num_candidates = num_candidates;
+    entry->units = scratch.units;
+    entry->bp_units = scratch.bp_units;
+    entry->bp_cost = scratch.bp_cost;
+    entry->bp_parent = scratch.bp_parent;
+    entry->spans = scratch.spans;
+    entry->options_pruned = stats.options_pruned;
+    frontier_cache->Insert(scratch.key, std::move(entry));
   }
-  Result<DpSearchResult> out = AnswerFromFrontiers(
-      frontiers.arena, frontiers.spans, num_layers, w.num_candidates, w.units,
-      w.strat_of_option, recompute_of_option, w.gran, candidates,
-      w.budget_units, memory_budget);
+  FrontierView view;
+  view.bp_units = scratch.bp_units.data();
+  view.bp_cost = scratch.bp_cost.data();
+  view.bp_parent = scratch.bp_parent.data();
+  view.spans = scratch.spans.data();
+  view.units = scratch.units.data();
+  view.num_layers = num_layers;
+  view.num_strategies = num_strategies;
+  view.num_candidates = num_candidates;
+  Result<DpSearchResult> out =
+      AnswerFromFrontiers(view, w.gran, w.budget_units, memory_budget);
   if (out.ok()) {
-    out->states_explored = frontiers.breakpoints_emitted;
-    out->breakpoints_emitted = frontiers.breakpoints_emitted;
-    out->breakpoints_scanned = frontiers.breakpoints_scanned;
-    out->options_pruned = frontiers.options_pruned;
+    out->states_explored = stats.breakpoints_emitted;
+    out->breakpoints_emitted = stats.breakpoints_emitted;
+    out->breakpoints_scanned = stats.breakpoints_scanned;
+    out->options_pruned = stats.options_pruned;
+    if (options_.materialize_plans) {
+      MaterializeDpSearchResult(candidates, &*out);
+    }
+    out->allocations = CurrentThreadAllocCount() - alloc_start;
   }
   return out;
 }
@@ -882,9 +1189,9 @@ Result<DpSearchResult> BruteForceSearch(
   }
   // Same option expansion as DpSearch: strategies, then (optionally) their
   // checkpointed variants.
-  const std::vector<LayerOption> option_list = ExpandOptions(
-      static_cast<int>(candidates.size()), options.allow_recompute);
-  const int num_candidates = static_cast<int>(option_list.size());
+  const int num_strategies = static_cast<int>(candidates.size());
+  const int num_candidates =
+      ExpandedOptionCount(num_strategies, options.allow_recompute);
   // Matches DpSearch's quantized accounting exactly so tests can compare.
   const int64_t gran = options.memory_granularity;
 
@@ -892,23 +1199,25 @@ Result<DpSearchResult> BruteForceSearch(
                      stage_first_device, batch_per_group, micro_batches,
                      /*resident_micro_batches=*/-1, shared_cache);
   int64_t max_transient = 0;
-  std::vector<std::vector<int>> units(
-      static_cast<size_t>(num_layers),
-      std::vector<int>(static_cast<size_t>(num_candidates), 0));
-  std::vector<std::vector<double>> seconds(
-      static_cast<size_t>(num_layers),
-      std::vector<double>(static_cast<size_t>(num_candidates), kInf));
+  const size_t table = static_cast<size_t>(num_layers) *
+                       static_cast<size_t>(num_candidates);
+  std::vector<int32_t> units(table, 0);
+  std::vector<double> seconds(table, kInf);
+  auto cell = [&](int l, int s) {
+    return static_cast<size_t>(l) * static_cast<size_t>(num_candidates) +
+           static_cast<size_t>(s);
+  };
   for (int l = 0; l < num_layers; ++l) {
     for (int s = 0; s < num_candidates; ++s) {
-      const LayerOption& option = option_list[static_cast<size_t>(s)];
       GALVATRON_ASSIGN_OR_RETURN(
-          LayerCost cost, cache.Layer(first_layer + l, option.strategy_index,
-                                      option.recompute));
+          LayerCost cost,
+          cache.Layer(first_layer + l, OptionStrategy(s, num_strategies),
+                      OptionRecompute(s, num_strategies)));
       max_transient =
           std::max(max_transient, 2 * cost.transient_memory_bytes);
-      units[static_cast<size_t>(l)][static_cast<size_t>(s)] =
-          static_cast<int>((cost.resident_memory_bytes + gran / 2) / gran);
-      seconds[static_cast<size_t>(l)][static_cast<size_t>(s)] =
+      units[cell(l, s)] = static_cast<int32_t>(
+          (cost.resident_memory_bytes + gran / 2) / gran);
+      seconds[cell(l, s)] =
           cost.IterationSeconds(micro_batches, estimator.options());
     }
   }
@@ -940,15 +1249,14 @@ Result<DpSearchResult> BruteForceSearch(
       return Status::OK();
     }
     for (int s = 0; s < num_candidates; ++s) {
-      const int o = units[static_cast<size_t>(l)][static_cast<size_t>(s)];
+      const int o = units[cell(l, s)];
       if (used + o > budget_units) continue;
-      double step = seconds[static_cast<size_t>(l)][static_cast<size_t>(s)];
+      double step = seconds[cell(l, s)];
       if (l > 0) {
         const int prev_option = assignment[static_cast<size_t>(l) - 1];
         auto r = cache.TransformSeconds(
-            first_layer + l,
-            option_list[static_cast<size_t>(prev_option)].strategy_index,
-            option_list[static_cast<size_t>(s)].strategy_index);
+            first_layer + l, OptionStrategy(prev_option, num_strategies),
+            OptionStrategy(s, num_strategies));
         if (!r.ok()) return r.status();
         step += *r;
       }
@@ -964,14 +1272,13 @@ Result<DpSearchResult> BruteForceSearch(
   }
   for (int l = 0; l < num_layers; ++l) {
     const int s = best_assignment[static_cast<size_t>(l)];
-    const LayerOption& option = option_list[static_cast<size_t>(s)];
-    best.per_layer.push_back(
-        candidates[static_cast<size_t>(option.strategy_index)]);
-    best.per_layer_recompute.push_back(option.recompute ? 1 : 0);
+    const int strategy = OptionStrategy(s, num_strategies);
+    best.per_layer.push_back(candidates[static_cast<size_t>(strategy)]);
+    best.per_layer_option.push_back(strategy);
+    best.per_layer_recompute.push_back(
+        OptionRecompute(s, num_strategies) ? 1 : 0);
     best.resident_memory_bytes +=
-        static_cast<int64_t>(
-            units[static_cast<size_t>(l)][static_cast<size_t>(s)]) *
-        gran;
+        static_cast<int64_t>(units[cell(l, s)]) * gran;
   }
   return best;
 }

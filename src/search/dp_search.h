@@ -32,13 +32,31 @@ struct DpSearchOptions {
   /// 10-100x fewer states on realistic budgets. The dense path is kept as
   /// the executable specification.
   bool use_sparse_dp = true;
+  /// Fill DpSearchResult::per_layer with materialized HybridStrategy
+  /// copies (the historical behavior). Sweep callers that rank thousands
+  /// of results and commit one turn this off and call
+  /// MaterializeDpSearchResult on the winners only; per_layer_option is
+  /// always filled either way and identifies the plan completely. The
+  /// dense kernel ignores this and always materializes — it is the
+  /// copying-reconstruction executable specification the index path is
+  /// checked against.
+  bool materialize_plans = true;
 };
 
 /// Output of one per-stage search: the per-layer strategies minimizing the
 /// stage execution time under the memory budget.
 struct DpSearchResult {
   double stage_seconds = 0.0;  // sum of c(l, s) + transformation costs
+  /// Materialized per-layer strategies. Filled by the dense kernel and by
+  /// sparse runs with DpSearchOptions::materialize_plans (the default);
+  /// empty otherwise — per_layer_option carries the same information
+  /// without the copies, and MaterializeDpSearchResult fills this on
+  /// demand.
   std::vector<HybridStrategy> per_layer;
+  /// Per layer: the index into the Run's `candidates` of the chosen
+  /// strategy. Always filled (both kernels, warm and cold paths); together
+  /// with per_layer_recompute it identifies the plan completely.
+  std::vector<int32_t> per_layer_option;
   /// Per-layer checkpointing choice (empty unless allow_recompute).
   std::vector<uint8_t> per_layer_recompute;
   int64_t resident_memory_bytes = 0;
@@ -59,7 +77,22 @@ struct DpSearchResult {
   /// DpFrontierCache) instead of a fresh kernel run. Warm answers report
   /// zero new states/breakpoints: nothing was materialized.
   bool frontier_hit = false;
+  /// Heap allocations the Run performed on the calling thread (operator
+  /// new calls, counted by util/alloc_counter). Telemetry for the
+  /// allocation-budget tripwire: a warm sparse Run should stay within a
+  /// small fixed budget (the result's own vectors), independent of model
+  /// size or budget.
+  int64_t allocations = 0;
 };
+
+/// Fills `result->per_layer` from `result->per_layer_option`, copying out
+/// of the same `candidates` vector the producing Run was given. Sweep
+/// callers run with DpSearchOptions::materialize_plans off and call this
+/// only for the handful of results they commit; the output is byte-identical
+/// to what a materializing Run would have returned (the index chain IS the
+/// dense reconstruction, minus the copies).
+void MaterializeDpSearchResult(const std::vector<HybridStrategy>& candidates,
+                               DpSearchResult* result);
 
 /// The dynamic-programming search of Eq. (1):
 ///

@@ -2,8 +2,63 @@
 
 namespace galvatron {
 
+namespace {
+
+/// SplitMix64-style mixing of one more word into a running hash — the same
+/// scheme the shared cost cache uses, so both key families disperse alike.
+inline size_t HashCombine(size_t h, uint64_t v) {
+  v += 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  v = (v ^ (v >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  v = (v ^ (v >> 27)) * 0x94d049bb133111ebULL;
+  return static_cast<size_t>(v ^ (v >> 31)) ^ h;
+}
+
+uint64_t NextCacheSerial() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+void DpFrontierKey::Finalize() {
+  size_t h = HashCombine(0, words.size());
+  size_t i = 0;
+  for (; i + 1 < words.size(); i += 2) {
+    h = HashCombine(
+        h, (static_cast<uint64_t>(static_cast<uint32_t>(words[i])) << 32) |
+               static_cast<uint32_t>(words[i + 1]));
+  }
+  if (i < words.size()) {
+    h = HashCombine(h, static_cast<uint32_t>(words[i]));
+  }
+  hash = h;
+}
+
+DpFrontierKey DpFrontierKey::FromString(const std::string& text) {
+  DpFrontierKey key;
+  key.words.reserve(2 + text.size() / 4 + 1);
+  key.Append(1);  // tag: string-packed, disjoint from structural keys
+  key.Append(static_cast<int32_t>(text.size()));
+  uint32_t word = 0;
+  int filled = 0;
+  for (const char c : text) {
+    word = (word << 8) | static_cast<unsigned char>(c);
+    if (++filled == 4) {
+      key.Append(static_cast<int32_t>(word));
+      word = 0;
+      filled = 0;
+    }
+  }
+  if (filled > 0) key.Append(static_cast<int32_t>(word));
+  key.Finalize();
+  return key;
+}
+
+DpFrontierCache::DpFrontierCache(size_t capacity)
+    : serial_(NextCacheSerial()), capacity_(capacity) {}
+
 std::shared_ptr<const DpFrontierEntry> DpFrontierCache::Lookup(
-    const std::string& key) {
+    const DpFrontierKey& key) {
   if (capacity_ == 0) return nullptr;
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(key);
@@ -12,7 +67,7 @@ std::shared_ptr<const DpFrontierEntry> DpFrontierCache::Lookup(
   return it->second->second;
 }
 
-void DpFrontierCache::Insert(const std::string& key,
+void DpFrontierCache::Insert(const DpFrontierKey& key,
                              std::shared_ptr<const DpFrontierEntry> entry) {
   if (capacity_ == 0 || entry == nullptr) return;
   std::lock_guard<std::mutex> lock(mu_);
@@ -27,13 +82,30 @@ void DpFrontierCache::Insert(const std::string& key,
     return;
   }
   lru_.emplace_front(key, std::move(entry));
-  index_[key] = lru_.begin();
+  index_[lru_.front().first] = lru_.begin();
   ++insertions_;
   if (lru_.size() > capacity_) {
     index_.erase(lru_.back().first);
     lru_.pop_back();
     ++evictions_;
   }
+}
+
+std::shared_ptr<const DpFrontierEntry> DpFrontierCache::Lookup(
+    const std::string& key) {
+  return Lookup(DpFrontierKey::FromString(key));
+}
+
+void DpFrontierCache::Insert(const std::string& key,
+                             std::shared_ptr<const DpFrontierEntry> entry) {
+  Insert(DpFrontierKey::FromString(key), std::move(entry));
+}
+
+int32_t DpFrontierCache::Intern(const std::string& text) {
+  std::lock_guard<std::mutex> lock(intern_mu_);
+  auto [it, inserted] =
+      intern_ids_.emplace(text, static_cast<int32_t>(intern_ids_.size()));
+  return it->second;
 }
 
 DpFrontierCacheStats DpFrontierCache::stats() const {

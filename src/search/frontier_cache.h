@@ -2,6 +2,7 @@
 #define GALVATRON_SEARCH_FRONTIER_CACHE_H_
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <list>
 #include <memory>
@@ -13,20 +14,7 @@
 
 namespace galvatron {
 
-/// One step of a (layer, option) column's cost-vs-budget function: for
-/// budgets in [units, next breakpoint's units), the best achievable cost is
-/// `cost`, reached through predecessor option `parent` (-1 at layer 0).
-/// Within a frontier, units strictly increase and cost never increases;
-/// equal-cost entries record a handoff to a LOWER predecessor option index
-/// (the dense kernel's tie-break), so reconstruction at any budget returns
-/// exactly the dense parent.
-struct DpBreakpoint {
-  int units = 0;
-  double cost = 0.0;
-  int32_t parent = -1;
-};
-
-/// Addresses one (layer, option) column inside a shared breakpoint arena.
+/// Addresses one (layer, option) column inside the shared breakpoint arrays.
 struct DpColumnSpan {
   int64_t begin = 0;
   int64_t size = 0;
@@ -44,6 +32,17 @@ struct DpColumnSpan {
 /// the largest budget ever searched, serves every smaller budget with a
 /// byte-identical plan (the serving daemon's near-miss workload: identical
 /// requests except for the per-device memory budget).
+///
+/// Frontier columns are stored structure-of-arrays: entry i of column
+/// spans[layer * num_candidates + option] lives at arena index
+/// spans[...].begin + i across bp_units / bp_cost / bp_parent. Within a
+/// column, units strictly increase and cost never increases; for budgets in
+/// [bp_units[i], bp_units[i+1]) the best achievable cost is bp_cost[i],
+/// reached through predecessor option bp_parent[i] (-1 at layer 0).
+/// Equal-cost entries record a handoff to a LOWER predecessor option index
+/// (the dense kernel's tie-break), so reconstruction at any budget returns
+/// exactly the dense parent. The split layout lets the merge kernel stream
+/// each array with unit-stride loads instead of gathering 16-byte structs.
 struct DpFrontierEntry {
   /// Budget (in granules, after transient headroom) the frontiers were
   /// built at. Lookups at most this many units reconstruct exactly.
@@ -52,18 +51,55 @@ struct DpFrontierEntry {
   /// option needs); re-derives budget_units for a new memory budget.
   int64_t max_transient = 0;
   int num_layers = 0;
+  /// Candidate strategies before recompute expansion. The expanded option
+  /// list needs no table: option o maps to strategy o < num_strategies
+  /// ? o : o - num_strategies, with recompute set iff o >= num_strategies
+  /// (ExpandOptions' fixed order).
+  int num_strategies = 0;
   int num_candidates = 0;  // expanded options, recompute variants included
-  /// Per expanded option: the candidate strategy index and whether the
-  /// option checkpoints activations.
-  std::vector<int> option_strategy;
-  std::vector<uint8_t> option_recompute;
-  /// Per (layer, option): quantized resident memory granules.
-  std::vector<std::vector<int>> units;
-  /// All frontier columns, addressed by spans[layer * num_candidates + s].
-  std::vector<DpBreakpoint> arena;
+  /// Per (layer, option): quantized resident memory granules, flat
+  /// [layer * num_candidates + option].
+  std::vector<int32_t> units;
+  /// Frontier columns (see above).
+  std::vector<int32_t> bp_units;
+  std::vector<double> bp_cost;
+  std::vector<int32_t> bp_parent;
   std::vector<DpColumnSpan> spans;
   /// Telemetry carried over from the cold run that built the entry.
   int64_t options_pruned = 0;
+};
+
+/// A Run signature as a packed word sequence: everything that determines the
+/// frontiers EXCEPT the memory budget (see DpFrontierEntry). Built once into
+/// thread-local scratch by DpSearch::Run — no strings, no per-lookup heap.
+///
+/// words[0] is a format tag: 0 for the structural encoding Run emits,
+/// 1 for keys packed from a caller-supplied string (the test-facing string
+/// overloads), so the two namespaces can never collide.
+struct DpFrontierKey {
+  std::vector<int32_t> words;
+  size_t hash = 0;
+
+  void Clear() {
+    words.clear();
+    hash = 0;
+  }
+  void Append(int32_t w) { words.push_back(w); }
+  /// Computes the stored hash; call after the last Append and before any
+  /// Lookup/Insert. (SplitMix64-style mix per word, matching the cost-cache
+  /// keys' scheme.)
+  void Finalize();
+
+  /// Packs an arbitrary string under tag 1 (4 bytes per word, length first).
+  static DpFrontierKey FromString(const std::string& text);
+
+  friend bool operator==(const DpFrontierKey& a, const DpFrontierKey& b) {
+    return a.hash == b.hash && a.words == b.words;
+  }
+};
+
+struct DpFrontierKeyHash {
+  size_t operator()(const DpFrontierKey& key) const { return key.hash; }
 };
 
 struct DpFrontierCacheStats {
@@ -86,12 +122,17 @@ struct DpFrontierCacheStats {
 /// cluster topology and estimator agree — the same contract SharedCostCache
 /// documents. Only budget-like cluster differences (per-device memory) are
 /// safe to vary, because per-layer costs never depend on the budget.
+///
+/// The cache also interns the per-layer signature strings Run folds into its
+/// keys (Intern below): ids are stable for the lifetime of one cache, and
+/// serial() lets Run keep a thread-local id memo that self-invalidates when
+/// it meets a different cache instance.
 class DpFrontierCache {
  public:
   /// Default sized for a full Algorithm-1 sweep: one sweep issues a few
   /// hundred to ~2000 distinct Run signatures (per batch wave, PP degree,
   /// micro count and stage), and a near-miss request replays the same set.
-  explicit DpFrontierCache(size_t capacity = 4096) : capacity_(capacity) {}
+  explicit DpFrontierCache(size_t capacity = 4096);
 
   DpFrontierCache(const DpFrontierCache&) = delete;
   DpFrontierCache& operator=(const DpFrontierCache&) = delete;
@@ -99,12 +140,28 @@ class DpFrontierCache {
   /// Returns the entry for `key`, or nullptr. Does not count hit/miss —
   /// whether the entry is usable depends on the requested budget, which
   /// only the caller can check; it reports back via CountHit/CountMiss.
-  std::shared_ptr<const DpFrontierEntry> Lookup(const std::string& key);
+  std::shared_ptr<const DpFrontierEntry> Lookup(const DpFrontierKey& key);
 
   /// Publishes `entry` under `key`. Keeps whichever of the existing and the
   /// new entry covers the larger budget (frontiers only ever widen).
+  void Insert(const DpFrontierKey& key,
+              std::shared_ptr<const DpFrontierEntry> entry);
+
+  /// String-keyed conveniences for tests and tooling; they pack `key` with
+  /// DpFrontierKey::FromString, so they share the LRU with structural keys
+  /// but can never alias them.
+  std::shared_ptr<const DpFrontierEntry> Lookup(const std::string& key);
   void Insert(const std::string& key,
               std::shared_ptr<const DpFrontierEntry> entry);
+
+  /// Interns `text`, returning an id unique per distinct string within this
+  /// cache instance (dense, starting at 0). Ids from different cache
+  /// instances are incomparable — callers memoizing string->id must key the
+  /// memo on serial().
+  int32_t Intern(const std::string& text);
+
+  /// Process-unique id of this cache instance (never reused).
+  uint64_t serial() const { return serial_; }
 
   void CountHit() { hits_.fetch_add(1, std::memory_order_relaxed); }
   void CountMiss() { misses_.fetch_add(1, std::memory_order_relaxed); }
@@ -113,16 +170,22 @@ class DpFrontierCache {
 
  private:
   using Entry =
-      std::pair<std::string, std::shared_ptr<const DpFrontierEntry>>;
+      std::pair<DpFrontierKey, std::shared_ptr<const DpFrontierEntry>>;
 
+  const uint64_t serial_;
   mutable std::mutex mu_;
   size_t capacity_;
   std::list<Entry> lru_;  // front = most recently used
-  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  std::unordered_map<DpFrontierKey, std::list<Entry>::iterator,
+                     DpFrontierKeyHash>
+      index_;
   std::atomic<int64_t> hits_{0};
   std::atomic<int64_t> misses_{0};
   int64_t insertions_ = 0;
   int64_t evictions_ = 0;
+
+  std::mutex intern_mu_;
+  std::unordered_map<std::string, int32_t> intern_ids_;
 };
 
 }  // namespace galvatron

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "search/cost_cache.h"
+#include "util/alloc_counter.h"
 #include "util/logging.h"
 #include "util/math_util.h"
 #include "util/string_util.h"
@@ -33,16 +34,52 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
-/// A plan plus the bookkeeping that makes selection a total order.
+/// Everything the sweep needs per PP degree, enumerated once up front
+/// (B-independent): the candidate strategies, the pipeline partition, and
+/// pre-built uniform single-strategy plan templates.
+struct PerDegree {
+  int pp = 1;
+  std::vector<HybridStrategy> candidates;
+  std::vector<int> stage_sizes;
+  /// (candidate index, fully-built uniform plan) per structurally valid
+  /// candidate. Built once per degree; the per-configuration loop patches
+  /// the batch fields into a thread-local scratch copy instead of
+  /// re-allocating every stage's strategy vector for every configuration.
+  std::vector<std::pair<int, TrainingPlan>> uniform_templates;
+};
+
+/// One pipeline stage of a DP result, as indices into the owning
+/// PerDegree's candidate vector. Two ints per layer instead of a
+/// materialized HybridStrategy — the sweep ranks thousands of these and
+/// materializes only the single committed winner.
+struct StageDraft {
+  int first_layer = 0;
+  int num_layers = 0;
+  std::vector<int32_t> options;    // candidate strategy index per layer
+  std::vector<uint8_t> recompute;  // empty unless allow_recompute
+};
+
+/// A configuration's winning plan by reference: the degree it came from,
+/// the batch shape, the shared cost entry, and either a uniform-template
+/// index or a draft of candidate indices. No TrainingPlan is materialized
+/// until the sweep commits its single winner (and the per-degree
+/// alternates) — comparison needs only the cached cost and the ordinals.
 struct RankedPlan {
-  TrainingPlan plan;
-  PlanCost cost;
+  const PerDegree* degree = nullptr;
+  int batch = 1;
+  int micro = 1;
+  int pp = 1;
+  std::shared_ptr<const PlanCost> cost;
   /// Within one configuration: uniform single-strategy candidates get their
   /// enumeration index, the DP plan gets candidates.size() — matching the
   /// order the serial sweep considered them in.
   int candidate_rank = 0;
   /// Global enumeration ordinal of the (batch, degree, micro) configuration.
   int config_ordinal = 0;
+  /// >= 0: the winner is degree->uniform_templates[uniform_template] with
+  /// the batch fields patched; -1: the DP plan described by `stages`.
+  int uniform_template = -1;
+  std::vector<StageDraft> stages;
 };
 
 /// Total order over plans: higher estimated throughput wins; exact ties
@@ -51,13 +88,12 @@ struct RankedPlan {
 /// depends on evaluation timing, the merged winner is byte-identical
 /// whether configurations were evaluated serially or by racing workers.
 bool BetterPlan(const RankedPlan& a, const RankedPlan& b) {
-  if (a.cost.throughput_samples_per_sec != b.cost.throughput_samples_per_sec) {
-    return a.cost.throughput_samples_per_sec >
-           b.cost.throughput_samples_per_sec;
+  if (a.cost->throughput_samples_per_sec !=
+      b.cost->throughput_samples_per_sec) {
+    return a.cost->throughput_samples_per_sec >
+           b.cost->throughput_samples_per_sec;
   }
-  if (a.plan.pp_degree() != b.plan.pp_degree()) {
-    return a.plan.pp_degree() < b.plan.pp_degree();
-  }
+  if (a.pp != b.pp) return a.pp < b.pp;
   if (a.config_ordinal != b.config_ordinal) {
     return a.config_ordinal < b.config_ordinal;
   }
@@ -75,8 +111,48 @@ struct ConfigOutcome {
   int64_t dp_pruned = 0;
   int64_t dp_frontier_hits = 0;    // stage searches replayed from cache
   int64_t dp_frontier_misses = 0;  // stage searches that ran cold
+  int64_t dp_allocations = 0;      // heap allocations inside DpSearch::Run
+  int64_t sweep_allocations = 0;   // heap allocations of the whole evaluate
   Status error;  // non-OK only on fatal (non-OOM, non-infeasible) errors
 };
+
+/// Appends one stage's identity to a plan-cost memo key. Strategy levels
+/// encode structurally — NOT via InternStrategy: interning formats the
+/// strategy string first, and that formatting dominated the whole warm
+/// sweep when profiled. Consecutive layers with one (strategy, recompute)
+/// pair compress to a single run — uniform plans, the bulk of the sweep's
+/// evaluations, shrink from O(layers) to O(1) words. Maximal runs partition
+/// a stage's layers deterministically, so the encoding stays injective.
+///
+/// `layer(l)` returns (strategy pointer, recompute flag) for stage-local
+/// layer l; runs compare strategies by VALUE, so a key built from a
+/// StageDraft's candidate indices and one built from a materialized plan's
+/// layer_strategies are word-identical — the draft path and the plan path
+/// share one memo.
+template <typename LayerFn>
+void AppendStageKey(PlanCostKey& key, int first_device, int num_devices,
+                    int first_layer, int num_layers, const LayerFn& layer) {
+  key.words.push_back(first_device);
+  key.words.push_back(num_devices);
+  key.words.push_back(first_layer);
+  key.words.push_back(num_layers);
+  for (int l = 0; l < num_layers;) {
+    const auto [strat, recompute] = layer(l);
+    int run = l + 1;
+    while (run < num_layers) {
+      const auto [next, next_recompute] = layer(run);
+      if (!(*next == *strat) || next_recompute != recompute) break;
+      ++run;
+    }
+    key.words.push_back(run - l);
+    key.words.push_back((strat->num_levels() << 1) | recompute);
+    for (const ParallelComponent& level : strat->levels()) {
+      key.words.push_back((static_cast<int32_t>(level.dim) << 16) |
+                          level.degree);
+    }
+    l = run;
+  }
+}
 
 }  // namespace
 
@@ -125,6 +201,9 @@ Result<OptimizationResult> Optimizer::Optimize(
   dp_options.memory_granularity = options_.memory_granularity;
   dp_options.allow_recompute = options_.allow_recompute;
   dp_options.use_sparse_dp = options_.use_sparse_dp;
+  // The sweep ranks results by index chains and materializes only the
+  // committed winners (see MaterializeDpSearchResult calls below).
+  dp_options.materialize_plans = false;
   DpSearch search(&estimator_, dp_options);
 
   // Sweep-wide memo over the estimator: every stage search of every
@@ -138,17 +217,22 @@ Result<OptimizationResult> Optimizer::Optimize(
                                                    : &local_cache;
   const CostCacheStats cache_stats_before = cache->stats();
 
-  // Pre-enumerate candidates and partitions per PP degree (B-independent).
-  struct PerDegree {
-    int pp = 1;
-    std::vector<HybridStrategy> candidates;
-    std::vector<int> stage_sizes;
-    /// (candidate index, fully-built uniform plan) per structurally valid
-    /// candidate. Built once per degree; the per-configuration loop patches
-    /// the batch fields into a thread-local scratch copy instead of
-    /// re-allocating every stage's strategy vector for every configuration.
-    std::vector<std::pair<int, TrainingPlan>> uniform_templates;
-  };
+  // Run-local frontier sharing: even with no caller-provided cache, the
+  // sparse sweep keeps one for the duration of this run. Under GPipe every
+  // stage of a configuration holds the same resident micro-batch count, so
+  // the P stages of a P-deep pipeline share one Run signature per distinct
+  // layer block — one cold kernel run serves all of them, and repeated
+  // signatures across (batch, micro) configurations replay too (the
+  // frontier prefix property keeps the answers byte-identical; see
+  // frontier_cache.h). Warm replays report zero states/breakpoints, so the
+  // sparse-vs-dense telemetry invariants are unaffected.
+  std::unique_ptr<DpFrontierCache> local_frontier;
+  if (frontier_cache == nullptr && options_.use_sparse_dp) {
+    local_frontier = std::make_unique<DpFrontierCache>();
+  }
+  DpFrontierCache* fcache =
+      frontier_cache != nullptr ? frontier_cache : local_frontier.get();
+
   std::vector<PerDegree> degrees;
   // batch=1/micro=1 satisfies every batch-dependent Validate check, so a
   // template failure here is structural and holds for every configuration.
@@ -221,50 +305,75 @@ Result<OptimizationResult> Optimizer::Optimize(
   // with the check deferred, published to the (possibly cross-request)
   // cache, and the comparison re-applied here per call — with the same
   // stage order, short-circuiting, and error text as the checked call.
-  // Builds the memo key into a thread-local scratch (one sweep issues
-  // hundreds of lookups, mostly hits, which need no owned copy). Strategy
-  // levels encode structurally — NOT via InternStrategy: interning formats
-  // the strategy string first, and that formatting dominated the whole
-  // warm sweep when profiled. Consecutive layers with one (strategy,
-  // recompute) pair compress to a single run — uniform plans, the bulk of
-  // the sweep's evaluations, shrink from O(layers) to O(1) words. Maximal
-  // runs partition a stage's layers deterministically, so the encoding
-  // stays injective.
-  auto plan_cost_key =
-      [&](const TrainingPlan& plan) -> const PlanCostKey& {
+  // Keys are built into thread-local scratch (one sweep issues hundreds of
+  // lookups, mostly hits, which need no owned copy) via AppendStageKey,
+  // from a materialized plan or straight from a StageDraft's candidate
+  // indices — both spell identical keys.
+  auto plan_cost_key = [&](const TrainingPlan& plan) -> const PlanCostKey& {
     thread_local PlanCostKey key;
     key.words.clear();
     key.words.push_back(static_cast<int32_t>(plan.schedule));
     key.words.push_back(plan.global_batch);
     key.words.push_back(plan.num_micro_batches);
     for (const StagePlan& stage : plan.stages) {
-      key.words.push_back(stage.first_device);
-      key.words.push_back(stage.num_devices);
-      key.words.push_back(stage.first_layer);
-      key.words.push_back(stage.num_layers);
-      const size_t n = stage.layer_strategies.size();
-      for (size_t l = 0; l < n;) {
-        const HybridStrategy& strat = stage.layer_strategies[l];
-        const int32_t recompute =
-            !stage.recompute.empty() && stage.recompute[l] != 0 ? 1 : 0;
-        size_t run = l + 1;
-        while (run < n && stage.layer_strategies[run] == strat &&
-               (!stage.recompute.empty() && stage.recompute[run] != 0 ? 1
-                                                                      : 0) ==
-                   recompute) {
-          ++run;
-        }
-        key.words.push_back(static_cast<int32_t>(run - l));
-        key.words.push_back((strat.num_levels() << 1) | recompute);
-        for (const ParallelComponent& level : strat.levels()) {
-          key.words.push_back((static_cast<int32_t>(level.dim) << 16) |
-                              level.degree);
-        }
-        l = run;
-      }
+      AppendStageKey(
+          key, stage.first_device, stage.num_devices, stage.first_layer,
+          stage.num_layers, [&](int l) {
+            return std::pair<const HybridStrategy*, int32_t>(
+                &stage.layer_strategies[static_cast<size_t>(l)],
+                !stage.recompute.empty() &&
+                        stage.recompute[static_cast<size_t>(l)] != 0
+                    ? 1
+                    : 0);
+          });
     }
     key.Finalize();
     return key;
+  };
+  auto draft_cost_key = [&](const PerDegree& degree, int batch, int micro,
+                            const std::vector<StageDraft>& stages)
+      -> const PlanCostKey& {
+    thread_local PlanCostKey key;
+    key.words.clear();
+    key.words.push_back(static_cast<int32_t>(options_.schedule));
+    key.words.push_back(batch);
+    key.words.push_back(micro);
+    const int span = num_devices / degree.pp;
+    for (size_t s = 0; s < stages.size(); ++s) {
+      const StageDraft& d = stages[s];
+      AppendStageKey(
+          key, static_cast<int>(s) * span, span, d.first_layer, d.num_layers,
+          [&](int l) {
+            return std::pair<const HybridStrategy*, int32_t>(
+                &degree.candidates[static_cast<size_t>(
+                    d.options[static_cast<size_t>(l)])],
+                !d.recompute.empty() &&
+                        d.recompute[static_cast<size_t>(l)] != 0
+                    ? 1
+                    : 0);
+          });
+    }
+    key.Finalize();
+    return key;
+  };
+  auto lookup_or_estimate = [&](const PlanCostKey& key,
+                                const TrainingPlan& plan)
+      -> Result<std::shared_ptr<const PlanCost>> {
+    std::shared_ptr<const PlanCost> cost = cache->LookupPlan(key);
+    if (cost == nullptr) {
+      auto unchecked =
+          estimator_.EstimatePlan(model, plan, /*check_memory=*/false);
+      // Estimation errors stay uncached and are re-raised through the
+      // checked call, so failure semantics match the unmemoized path.
+      if (!unchecked.ok()) {
+        auto checked = estimator_.EstimatePlan(model, plan);
+        if (!checked.ok()) return checked.status();
+        return std::shared_ptr<const PlanCost>(
+            std::make_shared<PlanCost>(*std::move(checked)));
+      }
+      cost = cache->InsertPlan(key, *std::move(unchecked));
+    }
+    return cost;
   };
   auto check_plan_memory = [&](const TrainingPlan& plan,
                                const PlanCost& cost) -> Status {
@@ -282,31 +391,82 @@ Result<OptimizationResult> Optimizer::Optimize(
     }
     return Status::OK();
   };
-  auto estimate_plan =
-      [&](const TrainingPlan& plan)
+  auto estimate_plan = [&](const TrainingPlan& plan)
       -> Result<std::shared_ptr<const PlanCost>> {
-    const PlanCostKey& key = plan_cost_key(plan);
-    std::shared_ptr<const PlanCost> cost = cache->LookupPlan(key);
-    if (cost == nullptr) {
-      auto unchecked =
-          estimator_.EstimatePlan(model, plan, /*check_memory=*/false);
-      // Estimation errors stay uncached and are re-raised through the
-      // checked call, so failure semantics match the unmemoized path.
-      if (!unchecked.ok()) {
-        auto checked = estimator_.EstimatePlan(model, plan);
-        if (!checked.ok()) return checked.status();
-        return std::shared_ptr<const PlanCost>(
-            std::make_shared<PlanCost>(*std::move(checked)));
-      }
-      cost = cache->InsertPlan(key, *std::move(unchecked));
-    }
+    GALVATRON_ASSIGN_OR_RETURN(
+        std::shared_ptr<const PlanCost> cost,
+        lookup_or_estimate(plan_cost_key(plan), plan));
     GALVATRON_RETURN_IF_ERROR(check_plan_memory(plan, *cost));
     return cost;
   };
 
+  // Materializes a draft into `plan`, reusing its nested buffers — the
+  // only place full strategy vectors are built for DP plans, reached on a
+  // plan-memo miss and when the sweep commits a winner.
+  auto materialize_draft = [&](const PerDegree& degree, int batch, int micro,
+                               const std::vector<StageDraft>& stages,
+                               TrainingPlan& plan) {
+    plan.model_name = model.name();
+    plan.global_batch = batch;
+    plan.num_micro_batches = micro;
+    plan.schedule = options_.schedule;
+    const int span = num_devices / degree.pp;
+    plan.stages.resize(stages.size());
+    for (size_t s = 0; s < stages.size(); ++s) {
+      const StageDraft& d = stages[s];
+      StagePlan& stage = plan.stages[s];
+      stage.first_device = static_cast<int>(s) * span;
+      stage.num_devices = span;
+      stage.first_layer = d.first_layer;
+      stage.num_layers = d.num_layers;
+      stage.layer_strategies.clear();
+      stage.layer_strategies.reserve(d.options.size());
+      for (const int32_t o : d.options) {
+        stage.layer_strategies.push_back(
+            degree.candidates[static_cast<size_t>(o)]);
+      }
+      stage.recompute.assign(d.recompute.begin(), d.recompute.end());
+    }
+  };
+  // Estimates a DP draft without materializing it: the memo key comes
+  // straight from the candidate indices, so a sweep whose plan costs are
+  // already memoized never copies a strategy at all. Only a memo miss
+  // materializes the draft, into a thread-local scratch plan whose buffers
+  // are reused across configurations. The memory check reads each stage's
+  // leading strategy (its TotalDegree picks the budget row) and the cached
+  // per-stage peaks — same order, short-circuiting, and message as
+  // check_plan_memory.
+  auto estimate_draft = [&](const PerDegree& degree, int batch, int micro,
+                            const std::vector<StageDraft>& stages)
+      -> Result<std::shared_ptr<const PlanCost>> {
+    const PlanCostKey& key = draft_cost_key(degree, batch, micro, stages);
+    std::shared_ptr<const PlanCost> cost = cache->LookupPlan(key);
+    if (cost == nullptr) {
+      static thread_local TrainingPlan scratch;
+      materialize_draft(degree, batch, micro, stages, scratch);
+      GALVATRON_ASSIGN_OR_RETURN(cost, lookup_or_estimate(key, scratch));
+    }
+    const int span = num_devices / degree.pp;
+    for (size_t s = 0; s < stages.size(); ++s) {
+      const StageDraft& d = stages[s];
+      const int64_t budget = cluster_->MinMemoryInRange(
+          static_cast<int>(s) * span,
+          degree.candidates[static_cast<size_t>(d.options.front())]
+              .TotalDegree());
+      const int64_t peak = cost->stages[s].peak_memory_bytes;
+      if (peak > budget) {
+        return Status::OutOfMemory(StrFormat(
+            "stage needs %s but budget is %s",
+            HumanBytes(static_cast<double>(peak)).c_str(),
+            HumanBytes(static_cast<double>(budget)).c_str()));
+      }
+    }
+    return cost;
+  };
+
   // Evaluates one (batch, degree, micro) configuration. Pure function of
-  // its arguments plus the (thread-safe, const) estimator and shared cache
-  // — safe to run on any worker.
+  // its arguments plus the (thread-safe, const) estimator and shared
+  // caches — safe to run on any worker.
   auto evaluate = [&](const PerDegree& degree, int batch, int micro,
                       int config_ordinal) -> ConfigOutcome {
     ConfigOutcome out;
@@ -314,18 +474,27 @@ Result<OptimizationResult> Optimizer::Optimize(
       out.error = Status::Cancelled("strategy sweep cancelled");
       return out;
     }
-    // Best plan of THIS configuration, tracked without materializing a
-    // RankedPlan per feasible candidate: within one configuration the PP
-    // degree and ordinal are fixed, so BetterPlan reduces to strictly
-    // higher throughput (earlier candidates keep ties), and the shared
-    // cost entry is only deep-copied once on commit below.
-    TrainingPlan best_plan;
+    // Best plan of THIS configuration, tracked without materializing
+    // anything: a uniform-template index or a draft of candidate indices,
+    // plus the shared cost entry. Within one configuration the PP degree
+    // and ordinal are fixed, so BetterPlan reduces to strictly higher
+    // throughput (earlier candidates keep ties); nothing is deep-copied —
+    // the sweep materializes only its single committed winner.
     std::shared_ptr<const PlanCost> best_cost;
     int best_rank = 0;
+    int best_template = -1;
+    std::vector<StageDraft> draft;
     auto commit_best = [&] {
       if (best_cost == nullptr) return;
-      out.best = RankedPlan{std::move(best_plan), PlanCost(*best_cost),
-                            best_rank, config_ordinal};
+      out.best.degree = &degree;
+      out.best.batch = batch;
+      out.best.micro = micro;
+      out.best.pp = degree.pp;
+      out.best.cost = std::move(best_cost);
+      out.best.candidate_rank = best_rank;
+      out.best.config_ordinal = config_ordinal;
+      out.best.uniform_template = best_template;
+      if (best_template < 0) out.best.stages = std::move(draft);
       out.has_best = true;
     };
     // Uniform single-strategy plans first: they are points of the same
@@ -338,8 +507,8 @@ Result<OptimizationResult> Optimizer::Optimize(
     // batch-dependent Validate failures MakeUniformPlan would hit.
     if (batch >= 1 && micro >= 1 && micro <= batch) {
       static thread_local TrainingPlan uniform_scratch;
-      for (const auto& [c, tmpl] : degree.uniform_templates) {
-        uniform_scratch = tmpl;
+      for (size_t t = 0; t < degree.uniform_templates.size(); ++t) {
+        uniform_scratch = degree.uniform_templates[t].second;
         uniform_scratch.global_batch = batch;
         uniform_scratch.num_micro_batches = micro;
         auto uniform_cost = estimate_plan(uniform_scratch);
@@ -348,22 +517,25 @@ Result<OptimizationResult> Optimizer::Optimize(
         if (best_cost == nullptr ||
             (*uniform_cost)->throughput_samples_per_sec >
                 best_cost->throughput_samples_per_sec) {
-          best_plan = uniform_scratch;
           best_cost = *std::move(uniform_cost);
-          best_rank = c;
+          best_rank = degree.uniform_templates[t].first;
+          best_template = static_cast<int>(t);
         }
       }
     }
 
-    TrainingPlan plan;
-    plan.model_name = model.name();
-    plan.global_batch = batch;
-    plan.num_micro_batches = micro;
-    plan.schedule = options_.schedule;
+    // Per-stage DP, collected as a draft of candidate indices (the kernel
+    // runs with materialize_plans off and returns index chains only). The
+    // probe plan carries just the schedule shape InFlightForDegree reads.
+    TrainingPlan probe;
+    probe.global_batch = batch;
+    probe.num_micro_batches = micro;
+    probe.schedule = options_.schedule;
 
     bool oom = false;
     int first_layer = 0;
     const int devices_per_stage = num_devices / degree.pp;
+    draft.reserve(static_cast<size_t>(degree.pp));
     for (int s = 0; s < degree.pp && !oom; ++s) {
       if (cancelled()) {
         out.error = Status::Cancelled("strategy sweep cancelled");
@@ -375,9 +547,9 @@ Result<OptimizationResult> Optimizer::Optimize(
       auto result = search.Run(model, first_layer, stage_layers,
                                degree.candidates, s * devices_per_stage,
                                batch, micro, stage_budget,
-                               plan.InFlightForDegree(degree.pp, s),
-                               cache, frontier_cache, &cancel_check);
-      if (frontier_cache != nullptr) {
+                               probe.InFlightForDegree(degree.pp, s),
+                               cache, fcache, &cancel_check);
+      if (fcache != nullptr) {
         // Warm infeasible answers are invisible here (no DpSearchResult to
         // carry the flag) and count as misses; the cache's own stats()
         // still record them as hits.
@@ -399,16 +571,15 @@ Result<OptimizationResult> Optimizer::Optimize(
       out.dp_states += result->states_explored;
       out.dp_breakpoints += result->breakpoints_emitted;
       out.dp_pruned += result->options_pruned;
-      StagePlan stage;
-      stage.first_device = s * devices_per_stage;
-      stage.num_devices = devices_per_stage;
-      stage.first_layer = first_layer;
-      stage.num_layers = stage_layers;
-      stage.layer_strategies = std::move(result->per_layer);
+      out.dp_allocations += result->allocations;
+      StageDraft d;
+      d.first_layer = first_layer;
+      d.num_layers = stage_layers;
+      d.options = std::move(result->per_layer_option);
       if (options_.allow_recompute) {
-        stage.recompute = std::move(result->per_layer_recompute);
+        d.recompute = std::move(result->per_layer_recompute);
       }
-      plan.stages.push_back(std::move(stage));
+      draft.push_back(std::move(d));
       first_layer += stage_layers;
     }
     if (oom) {
@@ -416,7 +587,7 @@ Result<OptimizationResult> Optimizer::Optimize(
       return out;
     }
 
-    auto cost = estimate_plan(plan);
+    auto cost = estimate_draft(degree, batch, micro, draft);
     if (!cost.ok()) {
       if (!cost.status().IsOutOfMemory()) out.error = cost.status();
       commit_best();
@@ -428,12 +599,30 @@ Result<OptimizationResult> Optimizer::Optimize(
     if (best_cost == nullptr ||
         (*cost)->throughput_samples_per_sec >
             best_cost->throughput_samples_per_sec) {
-      best_plan = std::move(plan);
       best_cost = *std::move(cost);
       best_rank = static_cast<int>(degree.candidates.size());
+      best_template = -1;
     }
     commit_best();
     return out;
+  };
+
+  // Materializes a RankedPlan into a full TrainingPlan — called once for
+  // the winner and once per alternate, after the sweep has settled.
+  auto materialize_plan = [&](const RankedPlan& ranked) -> TrainingPlan {
+    TrainingPlan plan;
+    if (ranked.uniform_template >= 0) {
+      plan = ranked.degree
+                 ->uniform_templates[static_cast<size_t>(
+                     ranked.uniform_template)]
+                 .second;
+      plan.global_batch = ranked.batch;
+      plan.num_micro_batches = ranked.micro;
+      return plan;
+    }
+    materialize_draft(*ranked.degree, ranked.batch, ranked.micro,
+                      ranked.stages, plan);
+    return plan;
   };
 
   RankedPlan best;
@@ -492,8 +681,12 @@ Result<OptimizationResult> Optimizer::Optimize(
     ParallelFor(wave_inline ? nullptr : pool.get(),
                 static_cast<int>(tasks.size()), [&](int i) {
       const ConfigTask& task = tasks[static_cast<size_t>(i)];
-      outcomes[static_cast<size_t>(i)] =
-          evaluate(*task.degree, batch, task.micro, task.ordinal);
+      ConfigOutcome& out = outcomes[static_cast<size_t>(i)];
+      // Allocation telemetry: evaluate runs entirely on this worker, so a
+      // thread-local counter delta captures its heap traffic exactly.
+      const int64_t allocs_before = CurrentThreadAllocCount();
+      out = evaluate(*task.degree, batch, task.micro, task.ordinal);
+      out.sweep_allocations = CurrentThreadAllocCount() - allocs_before;
     });
     wave_inline = SecondsSince(wave_start) < kInlineWaveSeconds;
 
@@ -509,9 +702,11 @@ Result<OptimizationResult> Optimizer::Optimize(
       stats.dp_options_pruned += out.dp_pruned;
       stats.dp_frontier_hits += out.dp_frontier_hits;
       stats.dp_frontier_misses += out.dp_frontier_misses;
+      stats.dp_allocations += out.dp_allocations;
+      stats.sweep_allocations += out.sweep_allocations;
       any_feasible = any_feasible || out.feasible;
       if (!out.has_best) continue;
-      const int pp = out.best.plan.pp_degree();
+      const int pp = out.best.pp;
       auto it = best_per_degree.find(pp);
       if (it == best_per_degree.end() || BetterPlan(out.best, it->second)) {
         best_per_degree[pp] = out.best;
@@ -536,8 +731,8 @@ Result<OptimizationResult> Optimizer::Optimize(
   }
 
   OptimizationResult result;
-  result.plan = std::move(best.plan);
-  result.estimated = std::move(best.cost);
+  result.plan = materialize_plan(best);
+  result.estimated = PlanCost(*best.cost);
 
   // Co-optimization: feed the winning plan's measured per-layer times back
   // into the pipeline partitioner and re-search each stage.
@@ -595,12 +790,15 @@ Result<OptimizationResult> Optimizer::Optimize(
           search.Run(model, first_layer, stage_layers, *candidates,
                      s * devices_per_stage, refined.global_batch,
                      refined.num_micro_batches, stage_budget,
-                     refined.InFlightForDegree(pp, s), cache, frontier_cache,
+                     refined.InFlightForDegree(pp, s), cache, fcache,
                      &cancel_check);
       if (!stage_result.ok()) {
         oom = true;
         break;
       }
+      // The sweep-wide search runs with materialize_plans off; this stage
+      // is being committed, so fill per_layer from the index chain.
+      MaterializeDpSearchResult(*candidates, &*stage_result);
       StagePlan stage;
       stage.first_device = s * devices_per_stage;
       stage.num_devices = devices_per_stage;
@@ -624,9 +822,9 @@ Result<OptimizationResult> Optimizer::Optimize(
   }
   stats.co_optimize_seconds = SecondsSince(co_optimize_start);
 
-  for (auto& [pp, entry] : best_per_degree) {
+  for (const auto& [pp, entry] : best_per_degree) {
     if (pp != result.plan.pp_degree()) {
-      result.alternates.push_back(std::move(entry.plan));
+      result.alternates.push_back(materialize_plan(entry));
     }
   }
   const CostCacheStats cache_stats = cache->stats();

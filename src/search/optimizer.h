@@ -103,12 +103,25 @@ struct SearchStats {
   int64_t cost_cache_lifetime_hits = 0;
   int64_t cost_cache_lifetime_misses = 0;
 
-  /// DP frontier-cache counters for this run (zero without an external
-  /// frontier cache): per-stage searches answered by replaying a cached
-  /// Pareto frontier vs. searches that ran the cold kernel. A warm-start
-  /// serving request shows hits ~= the per-stage search count.
+  /// DP frontier-cache counters for this run: per-stage searches answered
+  /// by replaying a cached Pareto frontier vs. searches that ran the cold
+  /// kernel. With a caller-provided frontier cache these span requests (a
+  /// warm-start serving request shows hits ~= the per-stage search count);
+  /// without one, the sparse sweep still uses a run-local cache, so the
+  /// identical pipeline stages of one configuration — and repeated
+  /// signatures across configurations — run the cold kernel once and
+  /// replay everywhere else.
   int64_t dp_frontier_hits = 0;
   int64_t dp_frontier_misses = 0;
+
+  /// Allocation telemetry (counted by util/alloc_counter, per worker
+  /// thread, summed deterministically at the merge): heap allocations
+  /// performed inside DpSearch::Run across all per-stage searches, and
+  /// across entire configuration evaluations (DP + plan estimation +
+  /// bookkeeping). The perf tripwires bound these: a warm sweep's DP path
+  /// must stay allocation-free up to the returned result vectors.
+  int64_t dp_allocations = 0;
+  int64_t sweep_allocations = 0;
 
   /// True when the run reused a caller-provided SharedCostCache instead of
   /// building its own.

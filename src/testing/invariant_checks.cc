@@ -211,6 +211,46 @@ std::optional<CheckFailure> CheckSearchEquivalence(uint64_t seed,
                     instance.c_str(), dp_or->stage_seconds,
                     dense_or->stage_seconds));
     }
+    // Index-based assembly: with materialize_plans off the sparse kernel
+    // returns only the per_layer_option index chain; materializing it
+    // afterwards must reproduce the copying reconstruction byte for byte.
+    DpSearchOptions indexed_options = search_options;
+    indexed_options.materialize_plans = false;
+    const DpSearch indexed_dp(&estimator, indexed_options);
+    Result<DpSearchResult> indexed_or =
+        indexed_dp.Run(model, first_layer, num_layers, *candidates_or,
+                       first_device, batch, micro_batches, budget);
+    if (!indexed_or.ok()) {
+      return MakeFailure(
+          kCheck, seed,
+          StrFormat("index-assembly run infeasible on feasible %s: %s",
+                    instance.c_str(),
+                    indexed_or.status().ToString().c_str()));
+    }
+    if (!indexed_or->per_layer.empty()) {
+      return MakeFailure(
+          kCheck, seed,
+          StrFormat("materialize_plans=false still materialized on %s",
+                    instance.c_str()));
+    }
+    MaterializeDpSearchResult(*candidates_or, &*indexed_or);
+    const bool assembly_identical =
+        indexed_or->stage_seconds == dense_or->stage_seconds &&
+        indexed_or->per_layer_option == dp_or->per_layer_option &&
+        indexed_or->per_layer.size() == dense_or->per_layer.size() &&
+        std::equal(indexed_or->per_layer.begin(), indexed_or->per_layer.end(),
+                   dense_or->per_layer.begin(),
+                   [](const HybridStrategy& a, const HybridStrategy& b) {
+                     return a.ToString() == b.ToString();
+                   }) &&
+        indexed_or->per_layer_recompute == dense_or->per_layer_recompute;
+    if (!assembly_identical) {
+      return MakeFailure(
+          kCheck, seed,
+          StrFormat("index assembly diverges from copying reconstruction "
+                    "on %s",
+                    instance.c_str()));
+    }
   }
   if (dp_or.ok() != bf_or.ok()) {
     return MakeFailure(

@@ -1,0 +1,185 @@
+#ifndef GALVATRON_UTIL_SMALL_VECTOR_H_
+#define GALVATRON_UTIL_SMALL_VECTOR_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <initializer_list>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace galvatron {
+
+/// A vector with inline storage for its first N elements: values at or
+/// below the inline capacity live inside the object and never touch the
+/// allocator, larger sizes spill to a heap buffer with the usual geometric
+/// growth. Built for the search hot paths — strategy level lists,
+/// per-layer option chains, cache-key scratch — where the common case is a
+/// handful of elements copied millions of times per sweep and every heap
+/// round-trip shows up in the allocation tripwires.
+///
+/// Restricted to trivially copyable, trivially destructible element types:
+/// that covers every hot-path payload here (plain structs of ints/enums)
+/// and keeps relocation a memcpy, which is what makes the inline case as
+/// cheap as a plain array.
+template <typename T, size_t N>
+class SmallVector {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "SmallVector is for trivially copyable payloads");
+  static_assert(std::is_trivially_destructible_v<T>,
+                "SmallVector is for trivially destructible payloads");
+  static_assert(N >= 1, "inline capacity must be at least 1");
+
+ public:
+  using value_type = T;
+  using iterator = T*;
+  using const_iterator = const T*;
+
+  SmallVector() = default;
+
+  SmallVector(std::initializer_list<T> init) {
+    reserve(init.size());
+    for (const T& v : init) push_back(v);
+  }
+
+  SmallVector(const SmallVector& other) { assign_from(other); }
+
+  SmallVector(SmallVector&& other) noexcept { steal_from(other); }
+
+  SmallVector& operator=(const SmallVector& other) {
+    if (this != &other) {
+      clear();
+      assign_from(other);
+    }
+    return *this;
+  }
+
+  SmallVector& operator=(SmallVector&& other) noexcept {
+    if (this != &other) {
+      release();
+      steal_from(other);
+    }
+    return *this;
+  }
+
+  ~SmallVector() { release(); }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return capacity_; }
+
+  iterator begin() { return data_; }
+  iterator end() { return data_ + size_; }
+  const_iterator begin() const { return data_; }
+  const_iterator end() const { return data_ + size_; }
+
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  T& front() { return data_[0]; }
+  const T& front() const { return data_[0]; }
+  T& back() { return data_[size_ - 1]; }
+  const T& back() const { return data_[size_ - 1]; }
+
+  void clear() { size_ = 0; }
+
+  void reserve(size_t wanted) {
+    if (wanted > capacity_) grow(wanted);
+  }
+
+  void resize(size_t count, const T& fill = T()) {
+    reserve(count);
+    for (size_t i = size_; i < count; ++i) data_[i] = fill;
+    size_ = count;
+  }
+
+  void push_back(const T& value) {
+    if (size_ == capacity_) grow(size_ + 1);
+    data_[size_++] = value;
+  }
+
+  template <typename... Args>
+  T& emplace_back(Args&&... args) {
+    if (size_ == capacity_) grow(size_ + 1);
+    data_[size_] = T{std::forward<Args>(args)...};
+    return data_[size_++];
+  }
+
+  void pop_back() { --size_; }
+
+  template <typename It>
+  void assign(It first, It last) {
+    clear();
+    for (; first != last; ++first) push_back(*first);
+  }
+
+  friend bool operator==(const SmallVector& a, const SmallVector& b) {
+    return a.size_ == b.size_ &&
+           std::equal(a.begin(), a.end(), b.begin());
+  }
+  friend bool operator!=(const SmallVector& a, const SmallVector& b) {
+    return !(a == b);
+  }
+
+ private:
+  bool inline_storage() const {
+    return data_ == reinterpret_cast<const T*>(inline_);
+  }
+
+  void grow(size_t wanted) {
+    size_t next = capacity_ * 2;
+    if (next < wanted) next = wanted;
+    T* heap = static_cast<T*>(::operator new(next * sizeof(T)));
+    if (size_ > 0) std::memcpy(heap, data_, size_ * sizeof(T));
+    if (!inline_storage()) ::operator delete(data_);
+    data_ = heap;
+    capacity_ = next;
+  }
+
+  void release() {
+    if (!inline_storage()) ::operator delete(data_);
+    data_ = reinterpret_cast<T*>(inline_);
+    capacity_ = N;
+    size_ = 0;
+  }
+
+  void assign_from(const SmallVector& other) {
+    reserve(other.size_);
+    if (other.size_ > 0) {
+      std::memcpy(data_, other.data_, other.size_ * sizeof(T));
+    }
+    size_ = other.size_;
+  }
+
+  /// Takes `other`'s heap buffer when it has one, memcpys inline contents
+  /// otherwise; `other` is left empty either way. Assumes this object holds
+  /// no heap buffer (callers release() first).
+  void steal_from(SmallVector& other) {
+    if (other.inline_storage()) {
+      if (other.size_ > 0) {
+        std::memcpy(inline_, other.inline_, other.size_ * sizeof(T));
+      }
+      data_ = reinterpret_cast<T*>(inline_);
+      capacity_ = N;
+    } else {
+      data_ = other.data_;
+      capacity_ = other.capacity_;
+      other.data_ = reinterpret_cast<T*>(other.inline_);
+      other.capacity_ = N;
+    }
+    size_ = other.size_;
+    other.size_ = 0;
+  }
+
+  alignas(T) unsigned char inline_[N * sizeof(T)];
+  T* data_ = reinterpret_cast<T*>(inline_);
+  size_t size_ = 0;
+  size_t capacity_ = N;
+};
+
+}  // namespace galvatron
+
+#endif  // GALVATRON_UTIL_SMALL_VECTOR_H_

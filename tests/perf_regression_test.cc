@@ -4,7 +4,10 @@
 #include <string>
 
 #include "cluster/cluster.h"
+#include "estimator/cost_estimator.h"
 #include "ir/model_zoo.h"
+#include "search/cost_cache.h"
+#include "search/frontier_cache.h"
 #include "search/optimizer.h"
 #include "sim/simulator.h"
 
@@ -142,6 +145,50 @@ TEST(PerfRegressionTest, FourThreadSweepNotSlowerThanSerial) {
 /// same configuration count. The parallel merge is enumeration-ordered
 /// with total-order tie-breaking, so any divergence means a
 /// first-finished-wins bug crept back in.
+/// Timer-free allocation tripwire: with a warm cost cache and frontier
+/// cache (the serving daemon's steady state), a repeat Optimize replays
+/// cached frontiers and prices nothing, so its heap traffic collapses to
+/// result assembly — a small fraction of the cold sweep's. A regression
+/// that reintroduces per-state or per-lookup allocations (string keys,
+/// copied strategy vectors, per-column buffers) breaks the ratio long
+/// before it shows up on a wall clock. The warm count must also be exactly
+/// reproducible: the warm path is deterministic, so two warm runs that
+/// allocate differently mean nondeterministic work crept in.
+TEST(PerfRegressionTest, WarmOptimizeAllocationsStayCollapsed) {
+  BertConfig config;
+  config.num_layers = 8;
+  config.hidden = 1024;
+  config.heads = 16;
+  const ModelSpec model = BuildBert("perf-bert", config);
+  const ClusterSpec cluster = MakeTitanNode8(12 * kGB);
+  OptimizerOptions options;
+  options.search_threads = 1;
+  const Optimizer optimizer(&cluster, options);
+  const CostEstimator estimator(&cluster);
+  SharedCostCache cache(&estimator, &model);
+  DpFrontierCache frontier;
+
+  auto cold = optimizer.Optimize(model, &cache, &frontier);
+  ASSERT_TRUE(cold.ok()) << cold.status();
+  auto warm1 = optimizer.Optimize(model, &cache, &frontier);
+  ASSERT_TRUE(warm1.ok()) << warm1.status();
+  auto warm2 = optimizer.Optimize(model, &cache, &frontier);
+  ASSERT_TRUE(warm2.ok()) << warm2.status();
+
+  // Warm runs return the cold run's plan and allocate identically.
+  EXPECT_EQ(warm1->plan.ToString(), cold->plan.ToString());
+  EXPECT_EQ(warm1->stats.dp_allocations, warm2->stats.dp_allocations);
+  EXPECT_EQ(warm1->stats.sweep_allocations, warm2->stats.sweep_allocations);
+
+  // The tripwire: currently ~15x under the cold counts; 5x is the slack
+  // that survives legitimate bookkeeping drift but not a reintroduced
+  // per-state allocation.
+  EXPECT_GT(cold->stats.dp_allocations, 0);
+  EXPECT_LE(warm1->stats.dp_allocations, cold->stats.dp_allocations / 5);
+  EXPECT_LE(warm1->stats.sweep_allocations,
+            cold->stats.sweep_allocations / 5);
+}
+
 TEST(PerfRegressionTest, PlanBitIdenticalAcrossThreadCounts) {
   BertConfig config;
   config.num_layers = 8;

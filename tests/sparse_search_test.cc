@@ -53,14 +53,20 @@ bool CheckInstance(const CostEstimator& estimator, const ModelSpec& model,
                    const std::string& context) {
   options.use_sparse_dp = true;
   const DpSearch sparse(&estimator, options);
+  options.materialize_plans = false;
+  const DpSearch indexed(&estimator, options);
+  options.materialize_plans = true;
   options.use_sparse_dp = false;
   const DpSearch dense(&estimator, options);
   auto a = sparse.Run(model, first_layer, num_layers, candidates,
                       first_device, batch, micro_batches, budget);
   auto b = dense.Run(model, first_layer, num_layers, candidates, first_device,
                      batch, micro_batches, budget);
+  auto c = indexed.Run(model, first_layer, num_layers, candidates,
+                       first_device, batch, micro_batches, budget);
   EXPECT_EQ(a.ok(), b.ok()) << context << ": sparse=" << a.status()
                             << " dense=" << b.status();
+  EXPECT_EQ(a.ok(), c.ok()) << context << ": indexed=" << c.status();
   if (!a.ok() || !b.ok()) {
     if (!a.ok() && !b.ok()) {
       EXPECT_EQ(a.status().ToString(), b.status().ToString()) << context;
@@ -68,6 +74,15 @@ bool CheckInstance(const CostEstimator& estimator, const ModelSpec& model,
     return false;
   }
   ExpectIdentical(*a, *b, context);
+  // The index-based assembly: with materialize_plans off the kernel returns
+  // only index chains; materializing them afterwards must reproduce the
+  // copying reconstruction byte for byte.
+  if (c.ok()) {
+    EXPECT_TRUE(c->per_layer.empty()) << context;
+    EXPECT_EQ(c->per_layer_option, a->per_layer_option) << context;
+    MaterializeDpSearchResult(candidates, &*c);
+    ExpectIdentical(*c, *b, context + " (index assembly)");
+  }
   // The anti-regression bound: every sparse breakpoint is a distinct budget
   // level of one dense column, so the sparse kernel can never materialize
   // more states than the dense sweep on the same inputs.
