@@ -197,6 +197,37 @@ void RecordDpKernel(bench::BenchJson* out, const std::string& name,
   out->Record(name, "threads", 1);
 }
 
+/// Heterogeneous search cost: the full sweep (uneven-stage candidates
+/// included) on a mixed two-generation 16-GPU cluster — 8 A100-class
+/// devices alongside the paper's 8 TITANs. Tracks what topology-aware
+/// planning adds on top of the homogeneous search.
+void RecordHeteroOptimize(bench::BenchJson* out, const std::string& name,
+                          bool allow_uneven_stages, int reps) {
+  ClusterSpec cluster =
+      MakeTitanCluster16(16 * kGB)
+          .WithDeviceComputeRange(0, 8, 60e12, /*small_batch_half_life=*/0.5);
+  OptimizerOptions options;
+  options.search_threads = 1;
+  options.allow_uneven_stages = allow_uneven_stages;
+  Optimizer optimizer(&cluster, options);
+  ModelSpec model = BuildModel(ModelId::kBertHuge32);
+  SearchStats stats;
+  double throughput = 0;
+  const double best_ms = bench::BestOfMs(reps, [&] {
+    auto result = optimizer.Optimize(model);
+    GALVATRON_CHECK(result.ok());
+    stats = result->stats;
+    throughput = result->estimated.throughput_samples_per_sec;
+  });
+  out->Record(name, "wall_ms", best_ms);
+  out->Record(name, "repetitions", reps);
+  out->Record(name, "threads", stats.search_threads_used);
+  out->Record(name, "configs_explored", stats.configs_explored);
+  out->Record(name, "dp_states_explored",
+              static_cast<double>(stats.dp_states_explored));
+  out->Record(name, "estimated_throughput_samples_per_sec", throughput);
+}
+
 void WriteBenchJson() {
   bench::BenchJson out("BENCH_search.json");
   RecordOptimizeSearch(&out, "fig4_optimize_bert_huge_32_sparse",
@@ -207,6 +238,10 @@ void WriteBenchJson() {
                  /*use_sparse_dp=*/true, /*reps=*/5);
   RecordDpKernel(&out, "fig4_dp_run_bert32_16gb_dense",
                  /*use_sparse_dp=*/false, /*reps=*/5);
+  RecordHeteroOptimize(&out, "hetero_optimize_mixed16_uneven",
+                       /*allow_uneven_stages=*/true, /*reps=*/5);
+  RecordHeteroOptimize(&out, "hetero_optimize_mixed16_equal_only",
+                       /*allow_uneven_stages=*/false, /*reps=*/5);
   const auto& records = out.records();
   out.Record("fig4_sparse_over_dense", "optimize_speedup",
              records.at("fig4_optimize_bert_huge_32_dense").at("wall_ms") /

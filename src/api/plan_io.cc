@@ -1,6 +1,7 @@
 #include "api/plan_io.h"
 
 #include <cmath>
+#include <memory>
 #include <sstream>
 #include <utility>
 #include <vector>
@@ -240,18 +241,172 @@ Result<ModelSpec> ParseModelSpecJson(const std::string& json) {
 // ClusterSpec
 // ---------------------------------------------------------------------
 
+namespace {
+
+void AppendLinkJson(std::ostringstream& os, const LinkSpec& link) {
+  os << "{\"class\": \"" << LinkClassToString(link.cls)
+     << "\", \"bandwidth_bytes_per_sec\": "
+     << JsonNumber(link.bandwidth_bytes_per_sec)
+     << ", \"latency_sec\": " << JsonNumber(link.latency_sec) << "}";
+}
+
+Result<LinkSpec> LinkSpecFromJsonValue(const JsonValue& link_json,
+                                       const char* what) {
+  if (link_json.kind != JsonValue::Kind::kObject) {
+    return Status::InvalidArgument(StrFormat("%s must be an object", what));
+  }
+  LinkSpec link;
+  GALVATRON_ASSIGN_OR_RETURN(std::string cls_name,
+                             GetString(link_json, "class"));
+  GALVATRON_ASSIGN_OR_RETURN(link.cls, LinkClassFromString(cls_name));
+  GALVATRON_ASSIGN_OR_RETURN(link.bandwidth_bytes_per_sec,
+                             GetDouble(link_json, "bandwidth_bytes_per_sec"));
+  GALVATRON_ASSIGN_OR_RETURN(link.latency_sec,
+                             GetDouble(link_json, "latency_sec"));
+  return link;
+}
+
+}  // namespace
+
+std::string TopologyGraphToJson(const TopologyGraph& graph) {
+  std::ostringstream os;
+  os << "{\n    \"nodes\": [";
+  for (size_t i = 0; i < graph.nodes().size(); ++i) {
+    const TopologyNode& node = graph.nodes()[i];
+    if (i > 0) os << ",";
+    os << "\n      {\"name\": \"" << JsonEscape(node.name)
+       << "\", \"first_device\": " << node.first_device
+       << ", \"num_devices\": " << node.num_devices
+       << ", \"parent\": " << node.parent << ",\n       \"internal\": ";
+    AppendLinkJson(os, node.internal);
+    os << ",\n       \"uplink\": ";
+    AppendLinkJson(os, node.uplink);
+    os << "}";
+  }
+  os << "\n    ],\n    \"islands\": [";
+  for (size_t i = 0; i < graph.islands().size(); ++i) {
+    const DeviceIsland& island = graph.islands()[i];
+    if (i > 0) os << ",";
+    os << "\n      {\"name\": \"" << JsonEscape(island.name)
+       << "\", \"first_device\": " << island.first_device
+       << ", \"num_devices\": " << island.num_devices
+       << ",\n       \"sustained_flops\": "
+       << JsonNumber(island.sustained_flops)
+       << ", \"memory_bytes\": " << island.memory_bytes
+       << ", \"small_batch_half_life\": "
+       << JsonNumber(island.small_batch_half_life) << "}";
+  }
+  os << "\n    ]\n  }";
+  return os.str();
+}
+
+Result<TopologyGraph> TopologyGraphFromJsonValue(const JsonValue& root,
+                                                 int num_devices) {
+  if (root.kind != JsonValue::Kind::kObject) {
+    return Status::InvalidArgument("topology must be an object");
+  }
+  GALVATRON_ASSIGN_OR_RETURN(
+      const JsonValue* nodes_json,
+      GetMember(root, "nodes", JsonValue::Kind::kArray));
+  std::vector<TopologyNode> nodes;
+  for (const JsonValue& node_json : nodes_json->array) {
+    if (node_json.kind != JsonValue::Kind::kObject) {
+      return Status::InvalidArgument("topology node must be an object");
+    }
+    TopologyNode node;
+    GALVATRON_ASSIGN_OR_RETURN(node.name, GetString(node_json, "name"));
+    GALVATRON_ASSIGN_OR_RETURN(
+        node.first_device, GetInt(node_json, "first_device", /*min_value=*/0));
+    GALVATRON_ASSIGN_OR_RETURN(
+        node.num_devices, GetInt(node_json, "num_devices", /*min_value=*/1));
+    GALVATRON_ASSIGN_OR_RETURN(node.parent,
+                               GetInt(node_json, "parent", /*min_value=*/-1));
+    GALVATRON_ASSIGN_OR_RETURN(
+        const JsonValue* internal_json,
+        GetMember(node_json, "internal", JsonValue::Kind::kObject));
+    GALVATRON_ASSIGN_OR_RETURN(
+        node.internal, LinkSpecFromJsonValue(*internal_json, "node internal"));
+    // The root's uplink is unused, so hand-written files may omit it.
+    if (const JsonValue* uplink_json = FindMember(node_json, "uplink")) {
+      GALVATRON_ASSIGN_OR_RETURN(
+          node.uplink, LinkSpecFromJsonValue(*uplink_json, "node uplink"));
+    }
+    nodes.push_back(std::move(node));
+  }
+  GALVATRON_ASSIGN_OR_RETURN(
+      const JsonValue* islands_json,
+      GetMember(root, "islands", JsonValue::Kind::kArray));
+  std::vector<DeviceIsland> islands;
+  int island_devices = 0;
+  for (const JsonValue& island_json : islands_json->array) {
+    if (island_json.kind != JsonValue::Kind::kObject) {
+      return Status::InvalidArgument("device island must be an object");
+    }
+    DeviceIsland island;
+    GALVATRON_ASSIGN_OR_RETURN(island.name, GetString(island_json, "name"));
+    GALVATRON_ASSIGN_OR_RETURN(
+        island.first_device,
+        GetInt(island_json, "first_device", /*min_value=*/0));
+    GALVATRON_ASSIGN_OR_RETURN(
+        island.num_devices,
+        GetInt(island_json, "num_devices", /*min_value=*/1));
+    GALVATRON_ASSIGN_OR_RETURN(island.sustained_flops,
+                               GetDouble(island_json, "sustained_flops"));
+    GALVATRON_ASSIGN_OR_RETURN(
+        island.memory_bytes,
+        GetInt64(island_json, "memory_bytes", /*min_value=*/1));
+    if (const JsonValue* half_life =
+            FindMember(island_json, "small_batch_half_life")) {
+      GALVATRON_ASSIGN_OR_RETURN(
+          island.small_batch_half_life,
+          GetDouble(island_json, "small_batch_half_life"));
+      (void)half_life;
+    }
+    island_devices += island.num_devices;
+    islands.push_back(std::move(island));
+  }
+  // Structural validation (coverage, cycles, bandwidths) happens in Create.
+  const int n = num_devices > 0 ? num_devices : island_devices;
+  return TopologyGraph::Create(n, std::move(nodes), std::move(islands));
+}
+
 std::string ClusterSpecToJson(const ClusterSpec& cluster) {
   std::ostringstream os;
   os << "{\n";
   os << "  \"name\": \"" << JsonEscape(cluster.name()) << "\",\n";
-  os << "  \"sustained_flops\": " << JsonNumber(cluster.sustained_flops())
-     << ",\n";
+  os << "  \"sustained_flops\": "
+     << JsonNumber(cluster.device(0).sustained_flops) << ",\n";
   os << "  \"device_memory_bytes\": [";
   for (int d = 0; d < cluster.num_devices(); ++d) {
     if (d > 0) os << ", ";
     os << cluster.device(d).memory_bytes;
   }
   os << "],\n";
+  // Mixed-generation fields are additive: homogeneous clusters serialize
+  // exactly as before, so pre-topology documents stay byte-identical.
+  bool mixed_flops = false;
+  bool any_half_life = false;
+  for (int d = 0; d < cluster.num_devices(); ++d) {
+    mixed_flops |= cluster.device(d).sustained_flops !=
+                   cluster.device(0).sustained_flops;
+    any_half_life |= cluster.device(d).small_batch_half_life != 0;
+  }
+  if (mixed_flops) {
+    os << "  \"device_sustained_flops\": [";
+    for (int d = 0; d < cluster.num_devices(); ++d) {
+      if (d > 0) os << ", ";
+      os << JsonNumber(cluster.device(d).sustained_flops);
+    }
+    os << "],\n";
+  }
+  if (any_half_life) {
+    os << "  \"device_small_batch_half_life\": [";
+    for (int d = 0; d < cluster.num_devices(); ++d) {
+      if (d > 0) os << ", ";
+      os << JsonNumber(cluster.device(d).small_batch_half_life);
+    }
+    os << "],\n";
+  }
   os << "  \"levels\": [";
   for (size_t i = 0; i < cluster.levels().size(); ++i) {
     const TopologyLevel& level = cluster.levels()[i];
@@ -264,6 +419,10 @@ std::string ClusterSpecToJson(const ClusterSpec& cluster) {
        << "}}";
   }
   os << "\n  ],\n";
+  if (cluster.topology() != nullptr) {
+    os << "  \"topology\": " << TopologyGraphToJson(*cluster.topology())
+       << ",\n";
+  }
   os << "  \"kernel_launch_overhead_sec\": "
      << JsonNumber(cluster.kernel_launch_overhead_sec()) << ",\n";
   os << "  \"small_batch_half_life\": "
@@ -352,6 +511,79 @@ Result<ClusterSpec> ClusterSpecFromJsonValue(const JsonValue& root) {
     first = past;
   }
 
+  // Optional mixed-generation fields: per-device throughput and half-life
+  // arrays (absent on homogeneous documents). Applied as maximal runs of
+  // equal (flops, half_life), like the memory budgets above.
+  const size_t n = memory_bytes.size();
+  std::vector<double> device_flops(n, sustained_flops);
+  std::vector<double> device_half_life(n, 0.0);
+  bool any_compute_override = false;
+  if (const JsonValue* flops_json =
+          FindMember(root, "device_sustained_flops")) {
+    if (flops_json->kind != JsonValue::Kind::kArray ||
+        flops_json->array.size() != n) {
+      return Status::InvalidArgument(
+          "device_sustained_flops must be an array with one entry per "
+          "device");
+    }
+    for (size_t d = 0; d < n; ++d) {
+      if (flops_json->array[d].kind != JsonValue::Kind::kNumber ||
+          !(flops_json->array[d].number > 0)) {
+        return Status::InvalidArgument(
+            "device_sustained_flops entries must be positive numbers");
+      }
+      device_flops[d] = flops_json->array[d].number;
+    }
+    any_compute_override = true;
+  }
+  if (const JsonValue* half_json =
+          FindMember(root, "device_small_batch_half_life")) {
+    if (half_json->kind != JsonValue::Kind::kArray ||
+        half_json->array.size() != n) {
+      return Status::InvalidArgument(
+          "device_small_batch_half_life must be an array with one entry "
+          "per device");
+    }
+    for (size_t d = 0; d < n; ++d) {
+      if (half_json->array[d].kind != JsonValue::Kind::kNumber ||
+          half_json->array[d].number < 0) {
+        return Status::InvalidArgument(
+            "device_small_batch_half_life entries must be non-negative "
+            "numbers");
+      }
+      device_half_life[d] = half_json->array[d].number;
+    }
+    any_compute_override = true;
+  }
+  if (any_compute_override) {
+    for (size_t run = 0; run < n;) {
+      size_t past = run + 1;
+      while (past < n && device_flops[past] == device_flops[run] &&
+             device_half_life[past] == device_half_life[run]) {
+        ++past;
+      }
+      if (device_flops[run] != sustained_flops ||
+          device_half_life[run] != 0) {
+        cluster = cluster.WithDeviceComputeRange(
+            static_cast<int>(run), static_cast<int>(past - run),
+            device_flops[run], device_half_life[run]);
+      }
+      run = past;
+    }
+  }
+
+  // Optional interconnect graph: link pricing switches to the graph's
+  // crossed edges (ClusterSpec::WithTopology validates the device count).
+  if (const JsonValue* topology_json = FindMember(root, "topology")) {
+    GALVATRON_ASSIGN_OR_RETURN(
+        TopologyGraph graph,
+        TopologyGraphFromJsonValue(*topology_json,
+                                   static_cast<int>(n)));
+    GALVATRON_ASSIGN_OR_RETURN(
+        cluster, cluster.WithTopology(std::make_shared<const TopologyGraph>(
+                     std::move(graph))));
+  }
+
   GALVATRON_ASSIGN_OR_RETURN(
       double launch_overhead,
       GetDouble(root, "kernel_launch_overhead_sec"));
@@ -371,6 +603,54 @@ Result<ClusterSpec> ClusterSpecFromJsonValue(const JsonValue& root) {
 Result<ClusterSpec> ParseClusterSpecJson(const std::string& json) {
   GALVATRON_ASSIGN_OR_RETURN(JsonValue root, ParseJson(json));
   return ClusterSpecFromJsonValue(root);
+}
+
+Result<ClusterSpec> ParseTopologyClusterJson(const std::string& json) {
+  GALVATRON_ASSIGN_OR_RETURN(JsonValue root, ParseJson(json));
+  if (root.kind != JsonValue::Kind::kObject) {
+    return Status::InvalidArgument("topology file must be a JSON object");
+  }
+  GALVATRON_ASSIGN_OR_RETURN(std::string name, GetString(root, "name"));
+  GALVATRON_ASSIGN_OR_RETURN(
+      const JsonValue* topology_json,
+      GetMember(root, "topology", JsonValue::Kind::kObject));
+  GALVATRON_ASSIGN_OR_RETURN(
+      TopologyGraph graph,
+      TopologyGraphFromJsonValue(*topology_json, /*num_devices=*/-1));
+  GALVATRON_ASSIGN_OR_RETURN(
+      ClusterSpec cluster,
+      ClusterSpec::CreateFromTopology(
+          std::move(name),
+          std::make_shared<const TopologyGraph>(std::move(graph))));
+  // The calibration overheads are optional in topology files; absent
+  // fields keep the ClusterSpec defaults.
+  if (FindMember(root, "kernel_launch_overhead_sec") != nullptr) {
+    GALVATRON_ASSIGN_OR_RETURN(
+        double launch, GetDouble(root, "kernel_launch_overhead_sec"));
+    if (launch < 0) {
+      return Status::InvalidArgument(
+          "kernel_launch_overhead_sec must be >= 0");
+    }
+    cluster.set_kernel_launch_overhead_sec(launch);
+  }
+  if (FindMember(root, "small_batch_half_life") != nullptr) {
+    GALVATRON_ASSIGN_OR_RETURN(double half_life,
+                               GetDouble(root, "small_batch_half_life"));
+    if (half_life < 0) {
+      return Status::InvalidArgument("small_batch_half_life must be >= 0");
+    }
+    cluster.set_small_batch_half_life(half_life);
+  }
+  if (FindMember(root, "pipeline_rpc_overhead_sec") != nullptr) {
+    GALVATRON_ASSIGN_OR_RETURN(
+        double rpc, GetDouble(root, "pipeline_rpc_overhead_sec"));
+    if (rpc < 0) {
+      return Status::InvalidArgument(
+          "pipeline_rpc_overhead_sec must be >= 0");
+    }
+    cluster.set_pipeline_rpc_overhead_sec(rpc);
+  }
+  return cluster;
 }
 
 }  // namespace galvatron

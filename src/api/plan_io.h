@@ -63,11 +63,39 @@ Result<ModelSpec> ModelSpecFromJsonValue(const JsonValue& root);
 /// Serializes a cluster spec to JSON: name, per-device memory budgets
 /// (heterogeneous budgets survive), sustained FLOPs, the topology-level
 /// list with full link parameters, and the three calibration overheads.
-/// Round-trips bit-exactly through ParseClusterSpecJson.
+/// Heterogeneous clusters additionally carry "device_sustained_flops" /
+/// "device_small_batch_half_life" arrays (emitted only when non-uniform /
+/// non-zero, so homogeneous documents are unchanged) and graph-backed
+/// clusters a "topology" object (see TopologyGraphToJson). Round-trips
+/// bit-exactly through ParseClusterSpecJson.
 std::string ClusterSpecToJson(const ClusterSpec& cluster);
 
 Result<ClusterSpec> ParseClusterSpecJson(const std::string& json);
 Result<ClusterSpec> ClusterSpecFromJsonValue(const JsonValue& root);
+
+/// Serializes an interconnect graph as a JSON fragment:
+///   {"nodes": [{"name", "first_device", "num_devices", "parent",
+///               "internal": {link}, "uplink": {link}}, ...],
+///    "islands": [{"name", "first_device", "num_devices",
+///                 "sustained_flops", "memory_bytes",
+///                 "small_batch_half_life"}, ...]}
+/// Embedded under "topology" in cluster JSON and used standalone by
+/// topology files (see ParseTopologyClusterJson).
+std::string TopologyGraphToJson(const TopologyGraph& graph);
+
+/// Parses a topology fragment. `num_devices` > 0 pins the device count
+/// (embedded-in-cluster use); <= 0 derives it from the islands, which must
+/// tile [0, n). All structural validation — coverage, cycles, zero
+/// bandwidths — comes from TopologyGraph::Create and is rejected here.
+Result<TopologyGraph> TopologyGraphFromJsonValue(const JsonValue& root,
+                                                 int num_devices = -1);
+
+/// Parses a standalone topology file: {"name": ..., "topology": {...}} plus
+/// optionally the three calibration overheads of cluster JSON. Devices take
+/// memory/throughput/half-life from the graph's islands and links are
+/// priced over the graph (ClusterSpec::CreateFromTopology) — the
+/// `galvatron_cli --topology` input format.
+Result<ClusterSpec> ParseTopologyClusterJson(const std::string& json);
 
 }  // namespace galvatron
 

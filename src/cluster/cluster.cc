@@ -52,6 +52,49 @@ Result<ClusterSpec> ClusterSpec::Create(std::string name, int num_devices,
   return cluster;
 }
 
+Result<ClusterSpec> ClusterSpec::CreateFromTopology(
+    std::string name, std::shared_ptr<const TopologyGraph> graph) {
+  if (graph == nullptr) {
+    return Status::InvalidArgument("topology graph must not be null");
+  }
+  const TopologyNode& root =
+      graph->nodes()[static_cast<size_t>(graph->root())];
+  std::vector<TopologyLevel> levels;
+  levels.push_back(TopologyLevel{graph->num_devices(), root.internal});
+  GALVATRON_ASSIGN_OR_RETURN(
+      ClusterSpec cluster,
+      Create(std::move(name), graph->num_devices(),
+             graph->islands().front().memory_bytes,
+             graph->islands().front().sustained_flops, std::move(levels)));
+  for (const DeviceIsland& island : graph->islands()) {
+    for (int i = island.first_device;
+         i < island.first_device + island.num_devices; ++i) {
+      Device& d = cluster.devices_[static_cast<size_t>(i)];
+      d.memory_bytes = island.memory_bytes;
+      d.sustained_flops = island.sustained_flops;
+      d.small_batch_half_life = island.small_batch_half_life;
+    }
+  }
+  cluster.topology_ = std::move(graph);
+  cluster.maybe_mixed_compute_ = true;
+  return cluster;
+}
+
+Result<ClusterSpec> ClusterSpec::WithTopology(
+    std::shared_ptr<const TopologyGraph> graph) const {
+  if (graph == nullptr) {
+    return Status::InvalidArgument("topology graph must not be null");
+  }
+  if (graph->num_devices() != num_devices()) {
+    return Status::InvalidArgument(StrFormat(
+        "topology covers %d devices but cluster has %d",
+        graph->num_devices(), num_devices()));
+  }
+  ClusterSpec copy = *this;
+  copy.topology_ = std::move(graph);
+  return copy;
+}
+
 ClusterSpec ClusterSpec::WithMemoryBudget(int64_t memory_bytes) const {
   ClusterSpec copy = *this;
   for (Device& d : copy.devices_) d.memory_bytes = memory_bytes;
@@ -69,6 +112,37 @@ ClusterSpec ClusterSpec::WithDeviceMemoryRange(int first, int count,
   return copy;
 }
 
+ClusterSpec ClusterSpec::WithDeviceComputeRange(
+    int first, int count, double sustained_flops,
+    double small_batch_half_life) const {
+  GALVATRON_CHECK_GE(first, 0);
+  GALVATRON_CHECK_LE(first + count, num_devices());
+  GALVATRON_CHECK_GT(sustained_flops, 0);
+  GALVATRON_CHECK_GE(small_batch_half_life, 0);
+  ClusterSpec copy = *this;
+  for (int i = first; i < first + count; ++i) {
+    Device& d = copy.devices_[static_cast<size_t>(i)];
+    d.sustained_flops = sustained_flops;
+    d.small_batch_half_life = small_batch_half_life;
+  }
+  copy.maybe_mixed_compute_ = true;
+  return copy;
+}
+
+int64_t ClusterSpec::device_memory_bytes() const {
+  GALVATRON_CHECK(HasUniformMemory())
+      << "device_memory_bytes() on a mixed-memory cluster; use "
+         "MinMemoryInRange";
+  return devices_.front().memory_bytes;
+}
+
+double ClusterSpec::sustained_flops() const {
+  GALVATRON_CHECK(HasUniformCompute())
+      << "sustained_flops() on a mixed-generation cluster; use "
+         "MinSustainedFlopsInRange";
+  return devices_.front().sustained_flops;
+}
+
 int64_t ClusterSpec::MinMemoryInRange(int first, int count) const {
   GALVATRON_CHECK_GE(first, 0);
   GALVATRON_CHECK_GE(count, 1);
@@ -81,6 +155,30 @@ int64_t ClusterSpec::MinMemoryInRange(int first, int count) const {
   return min_memory;
 }
 
+double ClusterSpec::MinSustainedFlopsInRange(int first, int count) const {
+  GALVATRON_CHECK_GE(first, 0);
+  GALVATRON_CHECK_GE(count, 1);
+  GALVATRON_CHECK_LE(first + count, num_devices());
+  double min_flops = devices_[static_cast<size_t>(first)].sustained_flops;
+  for (int i = first + 1; i < first + count; ++i) {
+    min_flops = std::min(min_flops,
+                         devices_[static_cast<size_t>(i)].sustained_flops);
+  }
+  return min_flops;
+}
+
+double ClusterSpec::SmallBatchHalfLifeInRange(int first, int count) const {
+  GALVATRON_CHECK_GE(first, 0);
+  GALVATRON_CHECK_GE(count, 1);
+  GALVATRON_CHECK_LE(first + count, num_devices());
+  double worst = 0;
+  for (int i = first; i < first + count; ++i) {
+    const double h = devices_[static_cast<size_t>(i)].small_batch_half_life;
+    worst = std::max(worst, h != 0 ? h : small_batch_half_life_);
+  }
+  return worst;
+}
+
 bool ClusterSpec::HasUniformMemory() const {
   return MinMemoryInRange(0, num_devices()) ==
          devices_.front().memory_bytes &&
@@ -89,8 +187,49 @@ bool ClusterSpec::HasUniformMemory() const {
          });
 }
 
-const LinkSpec& ClusterSpec::LinkBetween(int device_a, int device_b) const {
+bool ClusterSpec::HasUniformCompute() const {
+  if (!maybe_mixed_compute_) return true;
+  const Device& front = devices_.front();
+  return std::all_of(devices_.begin(), devices_.end(), [&](const Device& d) {
+    return d.sustained_flops == front.sustained_flops &&
+           d.small_batch_half_life == front.small_batch_half_life;
+  });
+}
+
+std::vector<DeviceIsland> ClusterSpec::ComputeIslands() const {
+  if (topology_ != nullptr) return topology_->islands();
+  std::vector<DeviceIsland> islands;
+  for (int i = 0; i < num_devices();) {
+    const Device& d = devices_[static_cast<size_t>(i)];
+    int run = i + 1;
+    while (run < num_devices()) {
+      const Device& next = devices_[static_cast<size_t>(run)];
+      if (next.sustained_flops != d.sustained_flops ||
+          next.small_batch_half_life != d.small_batch_half_life ||
+          next.memory_bytes != d.memory_bytes) {
+        break;
+      }
+      ++run;
+    }
+    DeviceIsland island;
+    island.name = StrFormat("island-%d", static_cast<int>(islands.size()));
+    island.first_device = i;
+    island.num_devices = run - i;
+    island.sustained_flops = d.sustained_flops;
+    island.memory_bytes = d.memory_bytes;
+    island.small_batch_half_life = d.small_batch_half_life;
+    islands.push_back(std::move(island));
+    i = run;
+  }
+  return islands;
+}
+
+LinkSpec ClusterSpec::LinkBetween(int device_a, int device_b) const {
   GALVATRON_CHECK_NE(device_a, device_b);
+  if (topology_ != nullptr) {
+    return topology_->RangeBottleneck(std::min(device_a, device_b),
+                                      std::max(device_a, device_b));
+  }
   for (const TopologyLevel& level : levels_) {
     if (device_a / level.span == device_b / level.span) return level.link;
   }
@@ -98,15 +237,23 @@ const LinkSpec& ClusterSpec::LinkBetween(int device_a, int device_b) const {
   return levels_.back().link;
 }
 
-const LinkSpec& ClusterSpec::GroupBottleneckLink(int first_device,
-                                                 int last_device) const {
+LinkSpec ClusterSpec::GroupBottleneckLink(int first_device,
+                                          int last_device) const {
   GALVATRON_CHECK_LT(first_device, last_device);
+  if (topology_ != nullptr) {
+    return topology_->RangeBottleneck(first_device, last_device);
+  }
   return LinkBetween(first_device, last_device);
 }
 
-const LinkSpec& ClusterSpec::GroupBottleneckLink(
+LinkSpec ClusterSpec::GroupBottleneckLink(
     const std::vector<int>& device_ids) const {
   GALVATRON_CHECK_GE(device_ids.size(), 2u);
+  if (topology_ != nullptr) {
+    const auto [lo, hi] =
+        std::minmax_element(device_ids.begin(), device_ids.end());
+    return topology_->RangeBottleneck(*lo, *hi);
+  }
   for (const TopologyLevel& level : levels_) {
     if (SameBlock(/*level_index=*/static_cast<int>(&level - levels_.data()),
                   device_ids)) {
@@ -115,6 +262,17 @@ const LinkSpec& ClusterSpec::GroupBottleneckLink(
   }
   GALVATRON_CHECK(false) << "group outside cluster";
   return levels_.back().link;
+}
+
+LinkSpec ClusterSpec::CollectiveLink(int stage_first_device, int stride,
+                                     int degree, int stage_width) const {
+  if (degree < 2) return LinkSpec{};
+  if (topology_ != nullptr) {
+    return topology_->CollectiveBottleneck(stage_first_device, stride, degree,
+                                           stage_width);
+  }
+  return GroupBottleneckLink(stage_first_device,
+                             stage_first_device + (degree - 1) * stride);
 }
 
 bool ClusterSpec::SameBlock(int level_index,
@@ -127,15 +285,62 @@ bool ClusterSpec::SameBlock(int level_index,
 
 std::string ClusterSpec::ToString() const {
   std::ostringstream os;
-  os << name_ << ": " << num_devices() << " devices, "
-     << HumanBytes(static_cast<double>(device_memory_bytes())) << "/device, "
-     << StrFormat("%.1f", sustained_flops() / 1e12) << " TFLOP/s sustained;";
+  os << name_ << ": " << num_devices() << " devices, ";
+  if (HasUniformMemory() && HasUniformCompute()) {
+    os << HumanBytes(static_cast<double>(devices_.front().memory_bytes))
+       << "/device, "
+       << StrFormat("%.1f", devices_.front().sustained_flops / 1e12)
+       << " TFLOP/s sustained;";
+  } else {
+    os << "mixed:";
+    for (const DeviceIsland& island : ComputeIslands()) {
+      os << " (" << island.num_devices << "x "
+         << HumanBytes(static_cast<double>(island.memory_bytes)) << " "
+         << StrFormat("%.1f", island.sustained_flops / 1e12) << " TFLOP/s)";
+    }
+    os << ";";
+  }
   for (const TopologyLevel& level : levels_) {
     os << " [span " << level.span << ": " << LinkClassToString(level.link.cls)
        << " " << StrFormat("%.1f", level.link.bandwidth_bytes_per_sec / 1e9)
        << " GB/s]";
   }
+  if (topology_ != nullptr) {
+    os << " graph{" << topology_->ToString() << "}";
+  }
   return os.str();
+}
+
+Result<TopologyGraph> MakeMirrorTopology(const ClusterSpec& cluster) {
+  // Outermost level first so parents get smaller indices than children and
+  // min-bandwidth ties resolve to the enclosing fabric.
+  std::vector<TopologyNode> nodes;
+  const std::vector<TopologyLevel>& levels = cluster.levels();
+  const int n = cluster.num_devices();
+  std::vector<int> level_first_node(levels.size(), -1);
+  for (int li = static_cast<int>(levels.size()) - 1; li >= 0; --li) {
+    const TopologyLevel& level = levels[static_cast<size_t>(li)];
+    level_first_node[static_cast<size_t>(li)] =
+        static_cast<int>(nodes.size());
+    for (int block = 0; block * level.span < n; ++block) {
+      TopologyNode node;
+      node.name = StrFormat("L%d-%d", li, block);
+      node.first_device = block * level.span;
+      node.num_devices = std::min(level.span, n - node.first_device);
+      node.internal = level.link;
+      if (li + 1 < static_cast<int>(levels.size())) {
+        const TopologyLevel& outer = levels[static_cast<size_t>(li) + 1];
+        node.parent = level_first_node[static_cast<size_t>(li) + 1] +
+                      node.first_device / outer.span;
+        node.uplink = outer.link;
+      } else {
+        node.parent = -1;
+      }
+      nodes.push_back(std::move(node));
+    }
+  }
+  return TopologyGraph::Create(n, std::move(nodes),
+                               cluster.ComputeIslands());
 }
 
 namespace {

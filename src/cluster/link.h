@@ -28,6 +28,15 @@ struct LinkSpec {
   double latency_sec = 0.0;
 };
 
+inline bool operator==(const LinkSpec& a, const LinkSpec& b) {
+  return a.cls == b.cls &&
+         a.bandwidth_bytes_per_sec == b.bandwidth_bytes_per_sec &&
+         a.latency_sec == b.latency_sec;
+}
+inline bool operator!=(const LinkSpec& a, const LinkSpec& b) {
+  return !(a == b);
+}
+
 /// Default achievable bandwidth/latency for a link class, calibrated so
 /// end-to-end throughputs land near the paper's measurements (see
 /// EXPERIMENTS.md for the calibration notes).

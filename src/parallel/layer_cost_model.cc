@@ -55,9 +55,12 @@ Result<LayerExecution> LayerCostModel::Analyze(const LayerSpec& layer,
   const double launch = static_cast<double>(layer.ops().size()) *
                         cluster_->kernel_launch_overhead_sec();
   // Small local batches under-fill GEMM tiles: efficiency b / (b + h).
+  // Mixed-generation stages run at their slowest member's pace (lockstep
+  // collectives), so both knobs come from the worst device in the block.
+  const double half_life =
+      cluster_->SmallBatchHalfLifeInRange(stage_first_device, group_size);
   const double efficiency =
-      exec.local_batch /
-      (exec.local_batch + cluster_->small_batch_half_life());
+      exec.local_batch / (exec.local_batch + half_life);
   const ProfileTable::const_iterator profiled =
       profile_ != nullptr ? profile_->find(layer.signature())
                           : ProfileTable::const_iterator{};
@@ -74,8 +77,10 @@ Result<LayerExecution> LayerCostModel::Analyze(const LayerSpec& layer,
     exec.fwd_compute_sec =
         launch_part + slope_tp * (exec.local_batch + 1);
   } else {
+    const double sustained_flops =
+        cluster_->MinSustainedFlopsInRange(stage_first_device, group_size);
     exec.fwd_compute_sec = flops_per_sample * exec.local_batch /
-                               (cluster_->sustained_flops() * efficiency) +
+                               (sustained_flops * efficiency) +
                            launch;
   }
   // Backward is 2x forward; checkpointing re-runs the forward first.
@@ -122,8 +127,11 @@ Result<LayerExecution> LayerCostModel::Analyze(const LayerSpec& layer,
     GALVATRON_ASSIGN_OR_RETURN(int stride, strategy.StrideOf(dim));
     const int degree = strategy.DegreeOf(dim);
     if (degree < 2) return LinkSpec{};
-    return cluster_->GroupBottleneckLink(
-        stage_first_device, stage_first_device + (degree - 1) * stride);
+    // Level-priced clusters reduce to the old first/last bottleneck;
+    // graph-backed clusters also charge cross-tier uplink contention
+    // between the stage's sibling groups along this dim.
+    return cluster_->CollectiveLink(stage_first_device, stride, degree,
+                                    group_size);
   };
 
   if (tp > 1) {

@@ -134,6 +134,13 @@ std::string SharedCostCache::BlockFingerprint(const ClusterSpec& cluster,
       fp += StrFormat("o%d;", offset);
     }
   }
+  // Mixed-generation or graph-priced clusters: costs depend on the absolute
+  // device position (per-range throughput, graph contention), not just the
+  // level offsets — pin the fingerprint to the position so distinct blocks
+  // never alias. Homogeneous level-priced clusters keep sharing.
+  if (cluster.topology() != nullptr || !cluster.HasUniformCompute()) {
+    fp += StrFormat("@%d;", first_device);
+  }
   return fp;
 }
 

@@ -433,6 +433,15 @@ void BuildFrontierKey(DpScratch& scratch, DpFrontierCache* cache,
       key.Append(offset + span <= level.span ? -1 : offset);
     }
   }
+  // Heterogeneous or graph-priced clusters: the level fingerprint no longer
+  // determines the costs (device throughput and graph contention depend on
+  // the absolute position), so the stage position itself joins the key.
+  // Homogeneous level-priced clusters keep the positionless key — their
+  // cross-stage sharing is exactly why the fingerprint exists.
+  if (cluster.topology() != nullptr || !cluster.HasUniformCompute()) {
+    key.Append(-2);
+    key.Append(stage_first_device);
+  }
   key.Finalize();
 }
 

@@ -35,12 +35,25 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
 }
 
 /// Everything the sweep needs per PP degree, enumerated once up front
-/// (B-independent): the candidate strategies, the pipeline partition, and
-/// pre-built uniform single-strategy plan templates.
+/// (B-independent): the stage geometry, per-stage candidate strategies,
+/// the pipeline partition, and pre-built uniform single-strategy plan
+/// templates. Equal-split degrees share one candidate vector across all
+/// stages; uneven degrees (heterogeneous islands) carry one per width.
 struct PerDegree {
   int pp = 1;
-  std::vector<HybridStrategy> candidates;
+  /// Device block of each stage. Equal-split entries use {s*span, span};
+  /// island-proportional entries may differ per stage.
+  std::vector<StageGeometry> geometry;
+  /// Candidate strategies per stage, shared between stages of one width.
+  std::vector<std::shared_ptr<const std::vector<HybridStrategy>>>
+      stage_candidates;
   std::vector<int> stage_sizes;
+  /// Rank of the DP plan within a configuration: after every uniform
+  /// candidate (the widest stage's count on uneven entries).
+  int dp_rank = 0;
+  /// True when every stage is num_devices/pp wide — the only shape
+  /// MakeUniformPlan templates cover.
+  bool equal_split = true;
   /// (candidate index, fully-built uniform plan) per structurally valid
   /// candidate. Built once per degree; the per-configuration loop patches
   /// the batch fields into a thread-local scratch copy instead of
@@ -237,9 +250,11 @@ Result<OptimizationResult> Optimizer::Optimize(
   // batch=1/micro=1 satisfies every batch-dependent Validate check, so a
   // template failure here is structural and holds for every configuration.
   auto build_uniform_templates = [&](PerDegree& d) {
-    for (size_t c = 0; c < d.candidates.size(); ++c) {
+    if (!d.equal_split) return;  // templates require equal stage widths
+    const std::vector<HybridStrategy>& candidates = *d.stage_candidates.front();
+    for (size_t c = 0; c < candidates.size(); ++c) {
       auto uniform = MakeUniformPlan(model, num_devices, d.pp, d.stage_sizes,
-                                     d.candidates[c], /*global_batch=*/1,
+                                     candidates[c], /*global_batch=*/1,
                                      /*num_micro_batches=*/1);
       if (!uniform.ok()) continue;
       uniform->schedule = options_.schedule;
@@ -248,25 +263,47 @@ Result<OptimizationResult> Optimizer::Optimize(
     }
   };
   std::set<std::string> candidate_names;
+  // Candidate sets are pure functions of the stage width; uneven degrees
+  // revisit widths, so enumerate each width once.
+  std::map<int, std::shared_ptr<const std::vector<HybridStrategy>>>
+      width_candidates;
+  auto candidates_for_width = [&](int width)
+      -> Result<std::shared_ptr<const std::vector<HybridStrategy>>> {
+    auto it = width_candidates.find(width);
+    if (it != width_candidates.end()) return it->second;
+    GALVATRON_ASSIGN_OR_RETURN(
+        std::vector<HybridStrategy> enumerated,
+        EnumerateSingleLayerStrategies(width, options_.tree));
+    auto shared = std::make_shared<const std::vector<HybridStrategy>>(
+        std::move(enumerated));
+    for (const HybridStrategy& s : *shared) {
+      candidate_names.insert(s.ToString());
+    }
+    width_candidates.emplace(width, shared);
+    return shared;
+  };
   for (int pp : pp_degrees) {
     if (pp < 1 || num_devices % pp != 0 || pp > model.num_layers()) continue;
     PerDegree d;
     d.pp = pp;
+    const int span = num_devices / pp;
     GALVATRON_ASSIGN_OR_RETURN(
-        d.candidates,
-        EnumerateSingleLayerStrategies(num_devices / pp, options_.tree));
+        std::shared_ptr<const std::vector<HybridStrategy>> candidates,
+        candidates_for_width(span));
+    d.geometry.reserve(static_cast<size_t>(pp));
+    for (int s = 0; s < pp; ++s) {
+      d.geometry.push_back(StageGeometry{s * span, span});
+    }
+    d.stage_candidates.assign(static_cast<size_t>(pp), candidates);
+    d.dp_rank = static_cast<int>(candidates->size());
     GALVATRON_ASSIGN_OR_RETURN(
         d.stage_sizes,
         PartitionPipeline(model, pp, options_.partition_policy));
-    for (const HybridStrategy& s : d.candidates) {
-      candidate_names.insert(s.ToString());
-    }
     // Heterogeneous clusters: also try a capacity-aware partition that
     // hands roomier islands proportionally more layers.
     if (pp > 1 && !cluster_->HasUniformMemory()) {
       PerDegree hetero = d;
       std::vector<double> capacities;
-      const int span = num_devices / pp;
       for (int s = 0; s < pp; ++s) {
         capacities.push_back(static_cast<double>(
             cluster_->MinMemoryInRange(s * span, span)));
@@ -281,6 +318,69 @@ Result<OptimizationResult> Optimizer::Optimize(
     }
     build_uniform_templates(d);
     degrees.push_back(std::move(d));
+  }
+  // Mixed-generation (or graph-backed) clusters: island-proportional
+  // uneven stage splits, appended after the equal-split entries so
+  // homogeneous enumeration ordinals are untouched. Faster islands get
+  // more stages (and the layer partition then weighs stages by their
+  // block's throughput), which no equal split can express when islands
+  // differ in width or speed.
+  const bool graph_or_mixed =
+      cluster_->topology() != nullptr || !cluster_->HasUniformCompute();
+  if (options_.allow_uneven_stages && graph_or_mixed) {
+    const std::vector<DeviceIsland> islands = cluster_->ComputeIslands();
+    if (islands.size() > 1) {
+      std::set<int> uneven_pps(pp_degrees.begin(), pp_degrees.end());
+      uneven_pps.insert(static_cast<int>(islands.size()));
+      for (const int pp : uneven_pps) {
+        if (pp < 2 || pp > model.num_layers() || pp > num_devices) continue;
+        auto geo = ProportionalStageGeometry(islands, pp);
+        if (!geo.ok()) continue;
+        PerDegree d;
+        d.pp = pp;
+        d.geometry = *std::move(geo);
+        d.equal_split =
+            num_devices % pp == 0 &&
+            std::all_of(d.geometry.begin(), d.geometry.end(),
+                        [&](const StageGeometry& g) {
+                          return g.num_devices == num_devices / pp;
+                        });
+        bool enumerated_ok = true;
+        std::vector<double> capacities;
+        for (const StageGeometry& g : d.geometry) {
+          auto candidates = candidates_for_width(g.num_devices);
+          if (!candidates.ok()) {
+            enumerated_ok = false;
+            break;
+          }
+          d.stage_candidates.push_back(*std::move(candidates));
+          d.dp_rank = std::max(
+              d.dp_rank,
+              static_cast<int>(d.stage_candidates.back()->size()));
+          capacities.push_back(
+              g.num_devices *
+              cluster_->MinSustainedFlopsInRange(g.first_device,
+                                                 g.num_devices));
+        }
+        if (!enumerated_ok) continue;
+        auto sizes = PartitionPipelineHeterogeneous(
+            model, options_.partition_policy, capacities);
+        if (!sizes.ok()) {
+          sizes = PartitionPipeline(model, pp, options_.partition_policy);
+        }
+        if (!sizes.ok()) continue;
+        d.stage_sizes = *std::move(sizes);
+        const bool duplicate = std::any_of(
+            degrees.begin(), degrees.end(), [&](const PerDegree& existing) {
+              return existing.pp == d.pp &&
+                     existing.geometry == d.geometry &&
+                     existing.stage_sizes == d.stage_sizes;
+            });
+        if (duplicate) continue;
+        build_uniform_templates(d);
+        degrees.push_back(std::move(d));
+      }
+    }
   }
   if (degrees.empty()) {
     return Status::InvalidArgument("no valid pipeline degrees");
@@ -338,14 +438,16 @@ Result<OptimizationResult> Optimizer::Optimize(
     key.words.push_back(static_cast<int32_t>(options_.schedule));
     key.words.push_back(batch);
     key.words.push_back(micro);
-    const int span = num_devices / degree.pp;
     for (size_t s = 0; s < stages.size(); ++s) {
       const StageDraft& d = stages[s];
+      const StageGeometry& geom = degree.geometry[s];
+      const std::vector<HybridStrategy>& candidates =
+          *degree.stage_candidates[s];
       AppendStageKey(
-          key, static_cast<int>(s) * span, span, d.first_layer, d.num_layers,
-          [&](int l) {
+          key, geom.first_device, geom.num_devices, d.first_layer,
+          d.num_layers, [&](int l) {
             return std::pair<const HybridStrategy*, int32_t>(
-                &degree.candidates[static_cast<size_t>(
+                &candidates[static_cast<size_t>(
                     d.options[static_cast<size_t>(l)])],
                 !d.recompute.empty() &&
                         d.recompute[static_cast<size_t>(l)] != 0
@@ -410,20 +512,21 @@ Result<OptimizationResult> Optimizer::Optimize(
     plan.global_batch = batch;
     plan.num_micro_batches = micro;
     plan.schedule = options_.schedule;
-    const int span = num_devices / degree.pp;
     plan.stages.resize(stages.size());
     for (size_t s = 0; s < stages.size(); ++s) {
       const StageDraft& d = stages[s];
       StagePlan& stage = plan.stages[s];
-      stage.first_device = static_cast<int>(s) * span;
-      stage.num_devices = span;
+      const StageGeometry& geom = degree.geometry[s];
+      const std::vector<HybridStrategy>& candidates =
+          *degree.stage_candidates[s];
+      stage.first_device = geom.first_device;
+      stage.num_devices = geom.num_devices;
       stage.first_layer = d.first_layer;
       stage.num_layers = d.num_layers;
       stage.layer_strategies.clear();
       stage.layer_strategies.reserve(d.options.size());
       for (const int32_t o : d.options) {
-        stage.layer_strategies.push_back(
-            degree.candidates[static_cast<size_t>(o)]);
+        stage.layer_strategies.push_back(candidates[static_cast<size_t>(o)]);
       }
       stage.recompute.assign(d.recompute.begin(), d.recompute.end());
     }
@@ -446,12 +549,12 @@ Result<OptimizationResult> Optimizer::Optimize(
       materialize_draft(degree, batch, micro, stages, scratch);
       GALVATRON_ASSIGN_OR_RETURN(cost, lookup_or_estimate(key, scratch));
     }
-    const int span = num_devices / degree.pp;
     for (size_t s = 0; s < stages.size(); ++s) {
       const StageDraft& d = stages[s];
       const int64_t budget = cluster_->MinMemoryInRange(
-          static_cast<int>(s) * span,
-          degree.candidates[static_cast<size_t>(d.options.front())]
+          degree.geometry[s].first_device,
+          (*degree.stage_candidates[s])[static_cast<size_t>(
+                                            d.options.front())]
               .TotalDegree());
       const int64_t peak = cost->stages[s].peak_memory_bytes;
       if (peak > budget) {
@@ -534,7 +637,6 @@ Result<OptimizationResult> Optimizer::Optimize(
 
     bool oom = false;
     int first_layer = 0;
-    const int devices_per_stage = num_devices / degree.pp;
     draft.reserve(static_cast<size_t>(degree.pp));
     for (int s = 0; s < degree.pp && !oom; ++s) {
       if (cancelled()) {
@@ -542,10 +644,12 @@ Result<OptimizationResult> Optimizer::Optimize(
         return out;
       }
       const int stage_layers = degree.stage_sizes[static_cast<size_t>(s)];
-      const int64_t stage_budget = cluster_->MinMemoryInRange(
-          s * devices_per_stage, devices_per_stage);
+      const StageGeometry& geom = degree.geometry[static_cast<size_t>(s)];
+      const int64_t stage_budget =
+          cluster_->MinMemoryInRange(geom.first_device, geom.num_devices);
       auto result = search.Run(model, first_layer, stage_layers,
-                               degree.candidates, s * devices_per_stage,
+                               *degree.stage_candidates[static_cast<size_t>(s)],
+                               geom.first_device,
                                batch, micro, stage_budget,
                                probe.InFlightForDegree(degree.pp, s),
                                cache, fcache, &cancel_check);
@@ -600,7 +704,7 @@ Result<OptimizationResult> Optimizer::Optimize(
         (*cost)->throughput_samples_per_sec >
             best_cost->throughput_samples_per_sec) {
       best_cost = *std::move(cost);
-      best_rank = static_cast<int>(degree.candidates.size());
+      best_rank = degree.dp_rank;
       best_template = -1;
     }
     commit_best();
@@ -726,7 +830,8 @@ Result<OptimizationResult> Optimizer::Optimize(
     return Status::Infeasible(StrFormat(
         "%s does not fit %d devices with %s each", model.name().c_str(),
         num_devices,
-        HumanBytes(static_cast<double>(cluster_->device_memory_bytes()))
+        HumanBytes(static_cast<double>(
+                       cluster_->MinMemoryInRange(0, num_devices)))
             .c_str()));
   }
 
@@ -742,7 +847,6 @@ Result<OptimizationResult> Optimizer::Optimize(
        !cancelled();
        ++round) {
     const int pp = result.plan.pp_degree();
-    const int devices_per_stage = num_devices / pp;
     std::vector<double> layer_seconds;
     bool measured = true;
     for (const StagePlan& stage : result.plan.stages) {
@@ -761,7 +865,28 @@ Result<OptimizationResult> Optimizer::Optimize(
                            cost->per_layer_seconds.end());
     }
     if (!measured) break;
-    auto sizes = PartitionByWeights(layer_seconds, pp);
+    Result<std::vector<int>> sizes = Status::Internal("unset");
+    if (!graph_or_mixed) {
+      sizes = PartitionByWeights(layer_seconds, pp);
+    } else {
+      // Mixed compute: weigh each layer by the throughput of the stage it
+      // ran on (seconds x FLOP/s = flop-equivalents) and partition against
+      // per-stage block throughput, so faster blocks absorb more layers.
+      std::vector<double> capacities;
+      std::vector<double> weights = layer_seconds;
+      size_t l = 0;
+      for (const StagePlan& stage : result.plan.stages) {
+        const double throughput =
+            stage.num_devices *
+            cluster_->MinSustainedFlopsInRange(stage.first_device,
+                                               stage.num_devices);
+        capacities.push_back(throughput);
+        for (int i = 0; i < stage.num_layers; ++i) {
+          weights[l++] *= throughput;
+        }
+      }
+      sizes = PartitionByWeightsWithCapacities(weights, capacities);
+    }
     if (!sizes.ok()) break;
     bool same = true;
     for (int s = 0; s < pp; ++s) {
@@ -772,9 +897,6 @@ Result<OptimizationResult> Optimizer::Optimize(
     }
     if (same) break;
 
-    auto candidates = EnumerateSingleLayerStrategies(devices_per_stage,
-                                                     options_.tree);
-    if (!candidates.ok()) break;
     TrainingPlan refined;
     refined.model_name = model.name();
     refined.global_batch = result.plan.global_batch;
@@ -783,12 +905,20 @@ Result<OptimizationResult> Optimizer::Optimize(
     int first_layer = 0;
     bool oom = false;
     for (int s = 0; s < pp && !oom; ++s) {
+      // Device blocks come from the winning plan itself — uneven splits
+      // keep their geometry across co-optimization rounds.
+      const StagePlan& block = result.plan.stages[static_cast<size_t>(s)];
+      auto candidates = candidates_for_width(block.num_devices);
+      if (!candidates.ok()) {
+        oom = true;
+        break;
+      }
       const int stage_layers = (*sizes)[static_cast<size_t>(s)];
       const int64_t stage_budget = cluster_->MinMemoryInRange(
-          s * devices_per_stage, devices_per_stage);
+          block.first_device, block.num_devices);
       auto stage_result =
-          search.Run(model, first_layer, stage_layers, *candidates,
-                     s * devices_per_stage, refined.global_batch,
+          search.Run(model, first_layer, stage_layers, **candidates,
+                     block.first_device, refined.global_batch,
                      refined.num_micro_batches, stage_budget,
                      refined.InFlightForDegree(pp, s), cache, fcache,
                      &cancel_check);
@@ -798,10 +928,10 @@ Result<OptimizationResult> Optimizer::Optimize(
       }
       // The sweep-wide search runs with materialize_plans off; this stage
       // is being committed, so fill per_layer from the index chain.
-      MaterializeDpSearchResult(*candidates, &*stage_result);
+      MaterializeDpSearchResult(**candidates, &*stage_result);
       StagePlan stage;
-      stage.first_device = s * devices_per_stage;
-      stage.num_devices = devices_per_stage;
+      stage.first_device = block.first_device;
+      stage.num_devices = block.num_devices;
       stage.first_layer = first_layer;
       stage.num_layers = stage_layers;
       stage.layer_strategies = std::move(stage_result->per_layer);

@@ -47,6 +47,13 @@ struct OptimizerOptions {
   /// (doubles the option space; off to match the paper's setup).
   bool allow_recompute = false;
 
+  /// On heterogeneous clusters (mixed device generations or an attached
+  /// TopologyGraph), additionally sweep island-proportional uneven stage
+  /// splits: stage device counts track each island's aggregate throughput
+  /// instead of forcing num_devices/pp everywhere. No effect on uniform
+  /// clusters — the equal-split enumeration is untouched either way.
+  bool allow_uneven_stages = true;
+
   /// Per-stage DP kernel selection (see DpSearchOptions::use_sparse_dp):
   /// sparse Pareto-frontier kernel by default, dense table sweep when
   /// false. Plans are byte-identical either way.

@@ -306,6 +306,26 @@ std::string NormalizedClusterKey(const JsonValue& cluster_value) {
       entry.number_token = "0";
     }
   }
+  // Graph-backed clusters carry the budgets a second time, inside the
+  // topology's islands — zero those too, or budget variants of a
+  // heterogeneous cluster would stop sharing a context.
+  auto topology = normalized.object.find("topology");
+  if (topology != normalized.object.end() &&
+      topology->second.kind == JsonValue::Kind::kObject) {
+    auto islands = topology->second.object.find("islands");
+    if (islands != topology->second.object.end() &&
+        islands->second.kind == JsonValue::Kind::kArray) {
+      for (JsonValue& island : islands->second.array) {
+        if (island.kind != JsonValue::Kind::kObject) continue;
+        auto memory = island.object.find("memory_bytes");
+        if (memory != island.object.end() &&
+            memory->second.kind == JsonValue::Kind::kNumber) {
+          memory->second.number = 0;
+          memory->second.number_token = "0";
+        }
+      }
+    }
+  }
   return WriteJson(normalized);
 }
 

@@ -85,6 +85,33 @@ const std::vector<CorpusEntry>& SeedCorpus() {
           {FuzzCheck::kTraceConservation, 0x61ULL, "pinning seed"},
           {FuzzCheck::kTraceConservation, 0x62ULL, "pinning seed"},
           {FuzzCheck::kTraceConservation, 0x63ULL, "pinning seed"},
+          // Heterogeneous pins: seeds verified to generate mixed-generation,
+          // graph-backed (and some heterogeneous-memory) clusters, so every
+          // check keeps fixed coverage of the topology-aware paths — graph
+          // collective pricing, per-range throughput, island-aware caching,
+          // and the topology JSON round-trip.
+          {FuzzCheck::kPlanValidity, 0x2dd268fb94a4eb2fULL,
+           "8 GPUs, mixed generations + mirror graph + squeezed memory"},
+          {FuzzCheck::kSearchEquivalence, 0x33bd0e2ce4d7b693ULL,
+           "DP == brute force on a mixed-generation graph-backed cluster"},
+          {FuzzCheck::kMemoryModel, 0xe71a2d2744572ab0ULL,
+           "estimator vs simulator peaks on a mixed-generation cluster"},
+          {FuzzCheck::kSpecJsonRoundTrip, 0x5db9df1f42a391e1ULL,
+           "topology + device-generation arrays through the serializers"},
+          {FuzzCheck::kTraceConservation, 0x697fd7bb73061b98ULL,
+           "traced run on a mixed-generation graph-backed cluster"},
+          {FuzzCheck::kTopologyIdentity, 0xf1398b8613733828ULL,
+           "8-GPU mixed cluster: graph pricing collapses to level pricing"},
+          {FuzzCheck::kTopologyIdentity, 0xdf52c8bbc961610aULL,
+           "4-GPU mixed cluster with squeezed memory"},
+          // 1F1B in-flight band: interior stages whose downstream returns
+          // backwards fast enough that the stage never stacks a second
+          // micro-batch — the simulated peak sits at the one-micro-batch
+          // floor, below the estimator's min(m, P-s) bound.
+          {FuzzCheck::kMemoryModel, 0x503ca367df272103ULL,
+           "1F1B stage holding one micro-batch on a graph-backed cluster"},
+          {FuzzCheck::kMemoryModel, 0x94ce0def8cfad5e5ULL,
+           "1F1B stage holding one micro-batch under the in-flight bound"},
       };
   return *kCorpus;
 }

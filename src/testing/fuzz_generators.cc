@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -155,6 +156,26 @@ ClusterSpec GenerateCluster(Rng* rng, const GeneratorOptions& options) {
     const int64_t squeezed =
         static_cast<int64_t>(memory * rng->NextDouble(0.5, 1.0));
     cluster = cluster.WithDeviceMemoryRange(first, count, squeezed);
+  }
+  if (options.mixed_generation && num_devices > 1 && rng->NextBelow(4) == 0) {
+    // Flip a contiguous block to the other generation so per-range
+    // throughput queries and island derivation get exercised.
+    const int count = 1 + NextIntBelow(rng, num_devices - 1);
+    const int first = NextIntBelow(rng, num_devices - count + 1);
+    const double other_flops = flops == 14e12 ? 60e12 : 14e12;
+    const double half_life = rng->NextBelow(2) == 0 ? 0.0 : 2.0;
+    cluster =
+        cluster.WithDeviceComputeRange(first, count, other_flops, half_life);
+  }
+  if (options.topology_graphs && rng->NextBelow(4) == 0) {
+    // Attach the mirror graph: link queries switch to graph pricing, which
+    // the topology-identity check compares against the level answers.
+    auto mirror = MakeMirrorTopology(cluster);
+    if (mirror.ok()) {
+      auto graph_backed = cluster.WithTopology(
+          std::make_shared<const TopologyGraph>(*std::move(mirror)));
+      if (graph_backed.ok()) cluster = *std::move(graph_backed);
+    }
   }
   return cluster;
 }

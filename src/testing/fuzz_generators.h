@@ -31,6 +31,13 @@ struct GeneratorOptions {
   /// With probability 1/4, squeeze a contiguous device range's budget so
   /// heterogeneous-memory paths (MinMemoryInRange) get exercised.
   bool heterogeneous_memory = true;
+  /// With probability 1/4, flip a contiguous device range to the other
+  /// throughput generation (sometimes with a distinct small-batch
+  /// half-life), so MinSustainedFlopsInRange / island paths get exercised.
+  bool mixed_generation = true;
+  /// With probability 1/4, attach the cluster's mirror TopologyGraph so
+  /// graph-priced link queries run against the level-priced baseline.
+  bool topology_graphs = true;
 };
 
 /// A random identifier. With `hostile` it is salted with JSON-significant

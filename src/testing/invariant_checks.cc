@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <memory>
 #include <sstream>
 #include <utility>
 
@@ -341,6 +342,7 @@ std::optional<CheckFailure> CheckMemoryModel(uint64_t seed,
 
   bool est_oom = false;
   bool verdict_ambiguous = false;
+  const bool is_1f1b = plan.schedule == PipelineSchedule::k1F1B;
   for (size_t s = 0; s < plan.stages.size(); ++s) {
     const StagePlan& stage = plan.stages[s];
     const int64_t est_peak = cost_or->stages[s].peak_memory_bytes;
@@ -348,7 +350,15 @@ std::optional<CheckFailure> CheckMemoryModel(uint64_t seed,
         metrics_or->stage_peak_memory_bytes[s];
 
     // The structural slack: 2x the largest layer transient in the stage.
+    // For 1F1B we also price the stage at one resident micro-batch: the
+    // estimator charges the schedule's in-flight *bound* (min(m, P-s)
+    // micro-batches), but the simulator measures actual holdings, and a
+    // stage whose downstream returns backwards quickly may never stack a
+    // second micro-batch. The simulated peak must then land in
+    // [one-micro-batch floor, in-flight bound]; under GPipe every
+    // micro-batch is provably held, so the check stays exactly two-sided.
     int64_t max_transient = 0;
+    int64_t floor_resident = 0;
     for (int l = 0; l < stage.num_layers; ++l) {
       Result<LayerCost> layer_or = estimator.EstimateLayer(
           model.layer(stage.first_layer + l),
@@ -363,19 +373,37 @@ std::optional<CheckFailure> CheckMemoryModel(uint64_t seed,
       }
       max_transient =
           std::max(max_transient, layer_or->transient_memory_bytes);
+      if (is_1f1b) {
+        Result<LayerCost> floor_or = estimator.EstimateLayer(
+            model.layer(stage.first_layer + l),
+            stage.layer_strategies[static_cast<size_t>(l)],
+            stage.first_device, plan.global_batch, plan.num_micro_batches,
+            stage.RecomputeAt(l), /*in_flight_micro_batches=*/1);
+        if (!floor_or.ok()) {
+          return MakeFailure(kCheck, seed,
+                             StrFormat("per-layer floor estimate failed: %s",
+                                       floor_or.status().ToString().c_str()),
+                             &plan);
+        }
+        floor_resident += floor_or->resident_memory_bytes;
+      }
     }
     const int64_t tolerance =
         static_cast<int64_t>(options.memory_rel_tolerance *
                              static_cast<double>(est_peak)) +
         2 * max_transient;
-    if (std::llabs(est_peak - sim_peak) > tolerance) {
+    const bool in_1f1b_band = is_1f1b &&
+                              sim_peak >= floor_resident - tolerance &&
+                              sim_peak <= est_peak + tolerance;
+    if (std::llabs(est_peak - sim_peak) > tolerance && !in_1f1b_band) {
       return MakeFailure(
           kCheck, seed,
           StrFormat("stage %d peak diverges: estimator %lld vs simulator "
-                    "%lld (tolerance %lld)",
+                    "%lld (tolerance %lld%s)",
                     static_cast<int>(s), static_cast<long long>(est_peak),
                     static_cast<long long>(sim_peak),
-                    static_cast<long long>(tolerance)),
+                    static_cast<long long>(tolerance),
+                    is_1f1b ? ", outside the 1F1B in-flight band" : ""),
           &plan);
     }
 
@@ -383,7 +411,11 @@ std::optional<CheckFailure> CheckMemoryModel(uint64_t seed,
         cluster.MinMemoryInRange(stage.first_device, stage.num_devices);
     if (est_peak > budget) est_oom = true;
     if (std::llabs(est_peak - budget) <= tolerance ||
-        std::llabs(sim_peak - budget) <= tolerance) {
+        std::llabs(sim_peak - budget) <= tolerance ||
+        // A budget between the simulator's actual 1F1B peak and the
+        // estimator's in-flight bound legitimately splits the verdicts.
+        (is_1f1b && budget >= std::min(sim_peak, est_peak) - tolerance &&
+         budget <= std::max(sim_peak, est_peak) + tolerance)) {
       verdict_ambiguous = true;
     }
   }
@@ -574,7 +606,6 @@ std::optional<CheckFailure> CheckSpecJsonRoundTrip(uint64_t seed,
   const ClusterSpec& parsed_cluster = *cluster_or;
   if (parsed_cluster.name() != cluster.name() ||
       parsed_cluster.num_devices() != cluster.num_devices() ||
-      parsed_cluster.sustained_flops() != cluster.sustained_flops() ||
       parsed_cluster.kernel_launch_overhead_sec() !=
           cluster.kernel_launch_overhead_sec() ||
       parsed_cluster.small_batch_half_life() !=
@@ -593,6 +624,23 @@ std::optional<CheckFailure> CheckSpecJsonRoundTrip(uint64_t seed,
                     "(heterogeneous-memory path)",
                     d));
     }
+    if (parsed_cluster.device(d).sustained_flops !=
+            cluster.device(d).sustained_flops ||
+        parsed_cluster.device(d).small_batch_half_life !=
+            cluster.device(d).small_batch_half_life) {
+      return MakeFailure(
+          kCheck, seed,
+          StrFormat("cluster round-trip changed device %d's generation "
+                    "(mixed-generation path)",
+                    d));
+    }
+  }
+  const bool had_graph = cluster.topology() != nullptr;
+  const bool got_graph = parsed_cluster.topology() != nullptr;
+  if (had_graph != got_graph ||
+      (had_graph && !(*parsed_cluster.topology() == *cluster.topology()))) {
+    return MakeFailure(kCheck, seed,
+                       "cluster round-trip changed the attached topology");
   }
   if (parsed_cluster.levels().size() != cluster.levels().size()) {
     return MakeFailure(kCheck, seed,
@@ -735,6 +783,217 @@ std::optional<CheckFailure> CheckTraceConservation(uint64_t seed,
   return std::nullopt;
 }
 
+/// Check (g): the heterogeneous machinery is a strict generalization — on
+/// homogeneous inputs it must collapse, bit for bit, to the legacy answers.
+/// Four identities:
+///   1. On a level-priced cluster, CollectiveLink(first, stride, degree,
+///      width) == GroupBottleneckLink(first, first + (degree-1)*stride) for
+///      every power-of-two group shape that fits.
+///   2. MinSustainedFlopsInRange / SmallBatchHalfLifeInRange match a direct
+///      device-table scan on arbitrary ranges, and the whole-cluster
+///      sustained_flops() accessor agrees on uniform clusters.
+///   3. The mirror TopologyGraph prices every pair and every contiguous
+///      group exactly like the levels — whenever the level links are
+///      outward-monotone (bandwidth non-increasing, latency non-decreasing;
+///      non-monotone hierarchies are exactly where graph pricing is
+///      *supposed* to diverge, toward the physically-true bottleneck).
+///   4. When additionally no collective shape inside any stage sees uplink
+///      contention, a whole-plan estimate on the mirror-backed cluster is
+///      byte-identical to the legacy estimate.
+std::optional<CheckFailure> CheckTopologyIdentity(uint64_t seed,
+                                                  const CheckOptions& options) {
+  const FuzzCheck kCheck = FuzzCheck::kTopologyIdentity;
+  Rng rng(seed);
+  GeneratorOptions gen = options.generator;
+  gen.topology_graphs = false;  // this check attaches the mirror itself
+  const ModelSpec model = GenerateModel(&rng, gen);
+  const ClusterSpec cluster = GenerateCluster(&rng, gen);
+  const int n = cluster.num_devices();
+
+  // (1) Collective pricing on level clusters reduces to the old two-endpoint
+  // bottleneck.
+  for (int stride = 1; stride < n; stride *= 2) {
+    for (int degree = 2; stride * degree <= n; degree *= 2) {
+      for (int width = stride * degree; width <= n; width *= 2) {
+        for (int first = 0; first + width <= n; first += width) {
+          const LinkSpec got =
+              cluster.CollectiveLink(first, stride, degree, width);
+          const LinkSpec want = cluster.GroupBottleneckLink(
+              first, first + (degree - 1) * stride);
+          if (got != want) {
+            return MakeFailure(
+                kCheck, seed,
+                StrFormat("CollectiveLink(%d, stride %d, degree %d, width "
+                          "%d) diverges from the legacy group bottleneck: "
+                          "%.17g B/s vs %.17g B/s",
+                          first, stride, degree, width,
+                          got.bandwidth_bytes_per_sec,
+                          want.bandwidth_bytes_per_sec));
+          }
+        }
+      }
+    }
+  }
+
+  // (2) Range queries against a direct device-table scan.
+  for (int trial = 0; trial < 8; ++trial) {
+    const int count =
+        1 + static_cast<int>(rng.NextBelow(static_cast<uint64_t>(n)));
+    const int first = static_cast<int>(
+        rng.NextBelow(static_cast<uint64_t>(n - count + 1)));
+    double scan_flops = cluster.device(first).sustained_flops;
+    double scan_half = 0.0;
+    for (int d = first; d < first + count; ++d) {
+      scan_flops = std::min(scan_flops, cluster.device(d).sustained_flops);
+      const double half = cluster.device(d).small_batch_half_life == 0.0
+                              ? cluster.small_batch_half_life()
+                              : cluster.device(d).small_batch_half_life;
+      scan_half = std::max(scan_half, half);
+    }
+    if (cluster.MinSustainedFlopsInRange(first, count) != scan_flops) {
+      return MakeFailure(
+          kCheck, seed,
+          StrFormat("MinSustainedFlopsInRange(%d, %d) = %.17g but the "
+                    "device table says %.17g",
+                    first, count,
+                    cluster.MinSustainedFlopsInRange(first, count),
+                    scan_flops));
+    }
+    if (cluster.SmallBatchHalfLifeInRange(first, count) != scan_half) {
+      return MakeFailure(
+          kCheck, seed,
+          StrFormat("SmallBatchHalfLifeInRange(%d, %d) = %.17g but the "
+                    "device table says %.17g",
+                    first, count,
+                    cluster.SmallBatchHalfLifeInRange(first, count),
+                    scan_half));
+    }
+  }
+  if (cluster.HasUniformCompute() &&
+      cluster.sustained_flops() != cluster.device(0).sustained_flops) {
+    return MakeFailure(kCheck, seed,
+                       "sustained_flops() diverges from device 0 on a "
+                       "uniform cluster");
+  }
+
+  // (3) Mirror-graph pricing vs level pricing, gated on outward-monotone
+  // levels (equal adjacent links also qualify).
+  Result<TopologyGraph> mirror_or = MakeMirrorTopology(cluster);
+  if (!mirror_or.ok()) {
+    return MakeFailure(kCheck, seed,
+                       StrFormat("MakeMirrorTopology failed: %s",
+                                 mirror_or.status().ToString().c_str()));
+  }
+  auto graph = std::make_shared<const TopologyGraph>(*std::move(mirror_or));
+  Result<ClusterSpec> mirrored_or = cluster.WithTopology(graph);
+  if (!mirrored_or.ok()) {
+    return MakeFailure(kCheck, seed,
+                       StrFormat("WithTopology rejected the mirror: %s",
+                                 mirrored_or.status().ToString().c_str()));
+  }
+  const ClusterSpec& mirrored = *mirrored_or;
+  bool monotone = true;
+  for (size_t i = 1; i < cluster.levels().size(); ++i) {
+    const LinkSpec& inner = cluster.levels()[i - 1].link;
+    const LinkSpec& outer = cluster.levels()[i].link;
+    const bool ordered =
+        outer.bandwidth_bytes_per_sec < inner.bandwidth_bytes_per_sec &&
+        outer.latency_sec >= inner.latency_sec;
+    if (!ordered && !(outer == inner)) monotone = false;
+  }
+  if (monotone) {
+    for (int a = 0; a < n; ++a) {
+      for (int b = a + 1; b < n; ++b) {
+        if (mirrored.LinkBetween(a, b) != cluster.LinkBetween(a, b)) {
+          return MakeFailure(
+              kCheck, seed,
+              StrFormat("mirror graph prices pair (%d, %d) differently on "
+                        "a monotone hierarchy",
+                        a, b));
+        }
+        if (mirrored.GroupBottleneckLink(a, b) !=
+            cluster.GroupBottleneckLink(a, b)) {
+          return MakeFailure(
+              kCheck, seed,
+              StrFormat("mirror graph prices group [%d, %d] differently on "
+                        "a monotone hierarchy",
+                        a, b));
+        }
+      }
+    }
+  }
+
+  // (4) Whole-plan estimate identity when no collective shape can see
+  // contention (checked over every power-of-two shape each stage admits).
+  Result<TrainingPlan> plan_or = GeneratePlan(&rng, model, cluster);
+  if (!plan_or.ok()) {
+    return MakeFailure(kCheck, seed,
+                       StrFormat("generator emitted an invalid plan: %s",
+                                 plan_or.status().ToString().c_str()));
+  }
+  const TrainingPlan& plan = *plan_or;
+  bool contention_free = monotone;
+  for (const StagePlan& stage : plan.stages) {
+    for (int stride = 1; contention_free && stride <= stage.num_devices;
+         stride *= 2) {
+      for (int degree = 2; stride * degree <= stage.num_devices;
+           degree *= 2) {
+        if (graph->CollectiveContention(stage.first_device, stride, degree,
+                                        stage.num_devices) != 1) {
+          contention_free = false;
+          break;
+        }
+      }
+    }
+  }
+  if (contention_free) {
+    // A 32 PiB budget keeps both sides clear of OOM verdicts; the memory
+    // model is identical by construction either way.
+    const ClusterSpec big = cluster.WithMemoryBudget(int64_t{1} << 55);
+    Result<ClusterSpec> big_mirrored_or = big.WithTopology(graph);
+    if (!big_mirrored_or.ok()) {
+      return MakeFailure(
+          kCheck, seed,
+          StrFormat("WithTopology rejected the mirror after a budget "
+                    "sweep: %s",
+                    big_mirrored_or.status().ToString().c_str()));
+    }
+    const CostEstimator legacy(&big);
+    const CostEstimator graphed(&*big_mirrored_or);
+    Result<PlanCost> legacy_cost = legacy.EstimatePlan(model, plan);
+    Result<PlanCost> graphed_cost = graphed.EstimatePlan(model, plan);
+    if (legacy_cost.ok() != graphed_cost.ok()) {
+      return MakeFailure(
+          kCheck, seed,
+          StrFormat("estimate verdicts diverge legacy-vs-mirror: %s vs %s",
+                    legacy_cost.ok()
+                        ? "ok"
+                        : legacy_cost.status().ToString().c_str(),
+                    graphed_cost.ok()
+                        ? "ok"
+                        : graphed_cost.status().ToString().c_str()),
+          &plan);
+    }
+    if (legacy_cost.ok()) {
+      const bool identical =
+          legacy_cost->iteration_seconds == graphed_cost->iteration_seconds &&
+          legacy_cost->throughput_samples_per_sec ==
+              graphed_cost->throughput_samples_per_sec &&
+          legacy_cost->peak_memory_bytes == graphed_cost->peak_memory_bytes;
+      if (!identical) {
+        return MakeFailure(
+            kCheck, seed,
+            StrFormat("contention-free plan estimates diverge "
+                      "legacy-vs-mirror: %.17g s vs %.17g s",
+                      legacy_cost->iteration_seconds,
+                      graphed_cost->iteration_seconds),
+            &plan);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
 }  // namespace
 
 std::string_view FuzzCheckToString(FuzzCheck check) {
@@ -751,6 +1010,8 @@ std::string_view FuzzCheckToString(FuzzCheck check) {
       return "spec-json-roundtrip";
     case FuzzCheck::kTraceConservation:
       return "trace-conservation";
+    case FuzzCheck::kTopologyIdentity:
+      return "topology-identity";
   }
   return "unknown";
 }
@@ -762,10 +1023,12 @@ Result<FuzzCheck> FuzzCheckFromString(const std::string& text) {
   if (text == "json-roundtrip") return FuzzCheck::kJsonRoundTrip;
   if (text == "spec-json-roundtrip") return FuzzCheck::kSpecJsonRoundTrip;
   if (text == "trace-conservation") return FuzzCheck::kTraceConservation;
+  if (text == "topology-identity") return FuzzCheck::kTopologyIdentity;
   return Status::InvalidArgument(
       StrFormat("unknown check '%s' (expected plan-validity, "
                 "search-equivalence, memory-model, json-roundtrip, "
-                "spec-json-roundtrip or trace-conservation)",
+                "spec-json-roundtrip, trace-conservation or "
+                "topology-identity)",
                 text.c_str()));
 }
 
@@ -793,6 +1056,8 @@ std::optional<CheckFailure> RunCheck(FuzzCheck check, uint64_t seed,
       return CheckSpecJsonRoundTrip(seed, options);
     case FuzzCheck::kTraceConservation:
       return CheckTraceConservation(seed, options);
+    case FuzzCheck::kTopologyIdentity:
+      return CheckTopologyIdentity(seed, options);
   }
   return MakeFailure(check, seed, "unknown check");
 }
@@ -801,7 +1066,8 @@ FuzzReport RunFuzz(const FuzzOptions& options) {
   static const FuzzCheck kAll[] = {
       FuzzCheck::kPlanValidity,      FuzzCheck::kSearchEquivalence,
       FuzzCheck::kMemoryModel,       FuzzCheck::kJsonRoundTrip,
-      FuzzCheck::kSpecJsonRoundTrip, FuzzCheck::kTraceConservation};
+      FuzzCheck::kSpecJsonRoundTrip, FuzzCheck::kTraceConservation,
+      FuzzCheck::kTopologyIdentity};
   std::vector<FuzzCheck> checks = options.checks;
   if (checks.empty()) checks.assign(kAll, kAll + kNumFuzzChecks);
 

@@ -12,7 +12,7 @@
 
 namespace galvatron {
 
-/// The six differential checks (see docs/fuzzing.md):
+/// The seven differential checks (see docs/fuzzing.md):
 ///   kPlanValidity      — generated plans Validate, render, and their
 ///                        strategies parse back (generator + plan layer).
 ///   kSearchEquivalence — DP search == brute force on small instances:
@@ -34,6 +34,16 @@ namespace galvatron {
 ///                        [0, makespan] exactly; and recording the trace
 ///                        leaves SimMetrics byte-identical to the untraced
 ///                        run.
+///   kTopologyIdentity  — the heterogeneous machinery collapses exactly on
+///                        homogeneous inputs: CollectiveLink equals the old
+///                        two-endpoint bottleneck on level-priced clusters,
+///                        per-range throughput queries match a device-table
+///                        scan, the mirror TopologyGraph prices ranges
+///                        identically to the levels whenever bandwidths are
+///                        outward non-increasing (and latencies
+///                        non-decreasing), and whole-plan estimates are
+///                        byte-identical legacy-vs-mirror when no
+///                        collective sees uplink contention.
 enum class FuzzCheck {
   kPlanValidity,
   kSearchEquivalence,
@@ -41,9 +51,10 @@ enum class FuzzCheck {
   kJsonRoundTrip,
   kSpecJsonRoundTrip,
   kTraceConservation,
+  kTopologyIdentity,
 };
 
-inline constexpr int kNumFuzzChecks = 6;
+inline constexpr int kNumFuzzChecks = 7;
 
 std::string_view FuzzCheckToString(FuzzCheck check);
 Result<FuzzCheck> FuzzCheckFromString(const std::string& text);
@@ -88,7 +99,7 @@ std::optional<CheckFailure> RunCheck(FuzzCheck check, uint64_t seed,
 struct FuzzOptions {
   uint64_t seed = 1;
   int iterations = 100;
-  /// Empty = all six checks.
+  /// Empty = all seven checks.
   std::vector<FuzzCheck> checks;
   /// Stop collecting per check after this many failures (the campaign
   /// still finishes the other checks).

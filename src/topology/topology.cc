@@ -1,0 +1,493 @@
+#include "topology/topology.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace galvatron {
+
+namespace {
+
+// Local name map: galvatron_topology sits below galvatron_cluster, so it
+// cannot use link.cc's LinkClassToString.
+const char* ClassName(LinkClass cls) {
+  switch (cls) {
+    case LinkClass::kNvLink: return "NVLink";
+    case LinkClass::kPcie3: return "PCIe3";
+    case LinkClass::kInfiniBand100: return "IB-100Gb";
+    case LinkClass::kEthernet10: return "Eth-10Gb";
+  }
+  return "?";
+}
+
+bool Intersects(int f, int l, int nf, int nl) { return f <= nl && nf <= l; }
+bool Contains(int nf, int nl, int f, int l) { return nf <= f && l <= nl; }
+
+/// Running bottleneck over crossed edges: minimum effective bandwidth
+/// (first edge wins ties — node order is deterministic), maximum latency.
+struct EdgeAgg {
+  bool any = false;
+  LinkClass cls = LinkClass::kPcie3;
+  double bandwidth = 0.0;
+  double latency = 0.0;
+
+  void Consider(const LinkSpec& link, int bandwidth_divisor) {
+    const double eff = link.bandwidth_bytes_per_sec /
+                       static_cast<double>(bandwidth_divisor);
+    if (!any || eff < bandwidth) {
+      bandwidth = eff;
+      cls = link.cls;
+    }
+    latency = std::max(latency, link.latency_sec);
+    any = true;
+  }
+
+  LinkSpec Result() const {
+    LinkSpec out;
+    out.cls = cls;
+    out.bandwidth_bytes_per_sec = bandwidth;
+    out.latency_sec = latency;
+    return out;
+  }
+};
+
+}  // namespace
+
+Result<TopologyGraph> TopologyGraph::Create(int num_devices,
+                                            std::vector<TopologyNode> nodes,
+                                            std::vector<DeviceIsland> islands) {
+  if (num_devices < 1) {
+    return Status::InvalidArgument("topology needs at least one device");
+  }
+  if (nodes.empty()) {
+    return Status::InvalidArgument("topology needs at least one node");
+  }
+  const int n = static_cast<int>(nodes.size());
+  int root = -1;
+  for (int i = 0; i < n; ++i) {
+    const TopologyNode& node = nodes[static_cast<size_t>(i)];
+    if (node.num_devices < 1 || node.first_device < 0 ||
+        node.first_device + node.num_devices > num_devices) {
+      return Status::InvalidArgument(StrFormat(
+          "node '%s' covers devices [%d, %d) outside [0, %d)",
+          node.name.c_str(), node.first_device,
+          node.first_device + node.num_devices, num_devices));
+    }
+    if (node.internal.bandwidth_bytes_per_sec <= 0) {
+      return Status::InvalidArgument(StrFormat(
+          "node '%s' has non-positive internal bandwidth", node.name.c_str()));
+    }
+    if (node.internal.latency_sec < 0 || node.uplink.latency_sec < 0) {
+      return Status::InvalidArgument(
+          StrFormat("node '%s' has negative latency", node.name.c_str()));
+    }
+    if (node.parent < 0) {
+      if (root >= 0) {
+        return Status::InvalidArgument(StrFormat(
+            "multiple roots: '%s' and '%s'",
+            nodes[static_cast<size_t>(root)].name.c_str(), node.name.c_str()));
+      }
+      root = i;
+      continue;
+    }
+    if (node.parent >= n || node.parent == i) {
+      return Status::InvalidArgument(
+          StrFormat("node '%s' has invalid parent %d", node.name.c_str(),
+                    node.parent));
+    }
+    if (node.uplink.bandwidth_bytes_per_sec <= 0) {
+      return Status::InvalidArgument(StrFormat(
+          "node '%s' has non-positive uplink bandwidth", node.name.c_str()));
+    }
+  }
+  if (root < 0) {
+    return Status::InvalidArgument("topology has no root node");
+  }
+  const TopologyNode& root_node = nodes[static_cast<size_t>(root)];
+  if (root_node.first_device != 0 || root_node.num_devices != num_devices) {
+    return Status::InvalidArgument(StrFormat(
+        "root '%s' must cover all %d devices", root_node.name.c_str(),
+        num_devices));
+  }
+  // Parent-chain walk: every node must reach the root within n steps, so a
+  // parent cycle off to the side of the root is caught even though each
+  // pointer individually looks valid.
+  for (int i = 0; i < n; ++i) {
+    int at = i;
+    int steps = 0;
+    while (nodes[static_cast<size_t>(at)].parent >= 0) {
+      at = nodes[static_cast<size_t>(at)].parent;
+      if (++steps > n) {
+        return Status::InvalidArgument(StrFormat(
+            "parent cycle through node '%s'",
+            nodes[static_cast<size_t>(i)].name.c_str()));
+      }
+    }
+    if (at != root) {
+      return Status::InvalidArgument(StrFormat(
+          "node '%s' is not connected to the root",
+          nodes[static_cast<size_t>(i)].name.c_str()));
+    }
+  }
+  std::vector<std::vector<int>> children(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const TopologyNode& node = nodes[static_cast<size_t>(i)];
+    if (node.parent < 0) continue;
+    const TopologyNode& parent = nodes[static_cast<size_t>(node.parent)];
+    if (!Contains(parent.first_device,
+                  parent.first_device + parent.num_devices - 1,
+                  node.first_device,
+                  node.first_device + node.num_devices - 1)) {
+      return Status::InvalidArgument(StrFormat(
+          "node '%s' extends outside its parent '%s'", node.name.c_str(),
+          parent.name.c_str()));
+    }
+    children[static_cast<size_t>(node.parent)].push_back(i);
+  }
+  for (int p = 0; p < n; ++p) {
+    const std::vector<int>& kids = children[static_cast<size_t>(p)];
+    for (size_t a = 0; a < kids.size(); ++a) {
+      for (size_t b = a + 1; b < kids.size(); ++b) {
+        const TopologyNode& na = nodes[static_cast<size_t>(kids[a])];
+        const TopologyNode& nb = nodes[static_cast<size_t>(kids[b])];
+        if (Intersects(na.first_device,
+                       na.first_device + na.num_devices - 1, nb.first_device,
+                       nb.first_device + nb.num_devices - 1)) {
+          return Status::InvalidArgument(StrFormat(
+              "sibling nodes '%s' and '%s' overlap", na.name.c_str(),
+              nb.name.c_str()));
+        }
+      }
+    }
+  }
+
+  if (islands.empty()) {
+    return Status::InvalidArgument("topology needs at least one island");
+  }
+  std::vector<DeviceIsland> sorted = islands;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const DeviceIsland& a, const DeviceIsland& b) {
+              return a.first_device < b.first_device;
+            });
+  int next = 0;
+  for (const DeviceIsland& island : sorted) {
+    if (island.num_devices < 1) {
+      return Status::InvalidArgument(StrFormat(
+          "island '%s' must have at least one device", island.name.c_str()));
+    }
+    if (island.first_device != next) {
+      return Status::InvalidArgument(StrFormat(
+          "islands must tile [0, %d) exactly: expected device %d next, "
+          "island '%s' starts at %d",
+          num_devices, next, island.name.c_str(), island.first_device));
+    }
+    if (island.sustained_flops <= 0) {
+      return Status::InvalidArgument(StrFormat(
+          "island '%s' needs positive sustained_flops", island.name.c_str()));
+    }
+    if (island.memory_bytes <= 0) {
+      return Status::InvalidArgument(StrFormat(
+          "island '%s' needs positive memory_bytes", island.name.c_str()));
+    }
+    if (island.small_batch_half_life < 0) {
+      return Status::InvalidArgument(StrFormat(
+          "island '%s' has negative small_batch_half_life",
+          island.name.c_str()));
+    }
+    next = island.first_device + island.num_devices;
+  }
+  if (next != num_devices) {
+    return Status::InvalidArgument(StrFormat(
+        "islands cover only [0, %d) of [0, %d)", next, num_devices));
+  }
+
+  TopologyGraph graph;
+  graph.num_devices_ = num_devices;
+  graph.root_ = root;
+  graph.nodes_ = std::move(nodes);
+  graph.islands_ = std::move(sorted);
+  graph.children_ = std::move(children);
+  return graph;
+}
+
+LinkSpec TopologyGraph::RangeBottleneck(int first_device,
+                                        int last_device) const {
+  GALVATRON_CHECK_LT(first_device, last_device);
+  GALVATRON_CHECK_GE(first_device, 0);
+  GALVATRON_CHECK_LT(last_device, num_devices_);
+  EdgeAgg agg;
+  for (int i = 0; i < static_cast<int>(nodes_.size()); ++i) {
+    const TopologyNode& node = nodes_[static_cast<size_t>(i)];
+    const int nf = node.first_device;
+    const int nl = node.first_device + node.num_devices - 1;
+    if (!Intersects(first_device, last_device, nf, nl)) continue;
+    // Uplink: the ring leaves this node.
+    if (node.parent >= 0 &&
+        !Contains(nf, nl, first_device, last_device)) {
+      agg.Consider(node.uplink, /*bandwidth_divisor=*/1);
+    }
+    // Internal fabric: at least two members of the range live here and the
+    // traffic between them is not already accounted to a single child.
+    const int cf = std::max(first_device, nf);
+    const int cl = std::min(last_device, nl);
+    if (cl > cf) {
+      bool inside_one_child = false;
+      for (const int c : children_[static_cast<size_t>(i)]) {
+        const TopologyNode& child = nodes_[static_cast<size_t>(c)];
+        if (Contains(child.first_device,
+                     child.first_device + child.num_devices - 1, cf, cl)) {
+          inside_one_child = true;
+          break;
+        }
+      }
+      if (!inside_one_child) {
+        agg.Consider(node.internal, /*bandwidth_divisor=*/1);
+      }
+    }
+  }
+  GALVATRON_CHECK(agg.any) << "no edge crossed pricing ["
+                           << first_device << ", " << last_device << "]";
+  return agg.Result();
+}
+
+LinkSpec TopologyGraph::CollectiveBottleneck(int stage_first_device,
+                                             int stride, int degree,
+                                             int stage_width) const {
+  if (degree < 2) return LinkSpec{};
+  GALVATRON_CHECK_GE(stride, 1);
+  const int group_span = (degree - 1) * stride;
+  const int last = stage_first_device + group_span;
+  GALVATRON_CHECK_LT(last, num_devices_);
+  // Sibling groups: hybrid strategies tile the stage into
+  // stage_width / (stride * degree) x stride translated copies of the
+  // primary group; when the shape does not tile (a hand-written plan),
+  // contention degrades to 1 and this is plain range pricing.
+  const int tile = stride * degree;
+  const bool tiles =
+      stage_width >= tile && stage_width % tile == 0 &&
+      stage_first_device + stage_width <= num_devices_;
+  EdgeAgg agg;
+  for (int i = 0; i < static_cast<int>(nodes_.size()); ++i) {
+    const TopologyNode& node = nodes_[static_cast<size_t>(i)];
+    const int nf = node.first_device;
+    const int nl = node.first_device + node.num_devices - 1;
+    if (!Intersects(stage_first_device, last, nf, nl)) continue;
+    if (node.parent >= 0 && !Contains(nf, nl, stage_first_device, last)) {
+      int crossing_groups = 1;
+      if (tiles) {
+        crossing_groups = 0;
+        for (int q = 0; q < stage_width / tile; ++q) {
+          for (int r = 0; r < stride; ++r) {
+            const int base = stage_first_device + q * tile + r;
+            const int group_last = base + group_span;
+            if (Intersects(base, group_last, nf, nl) &&
+                !Contains(nf, nl, base, group_last)) {
+              ++crossing_groups;
+            }
+          }
+        }
+        if (crossing_groups < 1) crossing_groups = 1;
+      }
+      agg.Consider(node.uplink, crossing_groups);
+    }
+    const int cf = std::max(stage_first_device, nf);
+    const int cl = std::min(last, nl);
+    if (cl > cf) {
+      bool inside_one_child = false;
+      for (const int c : children_[static_cast<size_t>(i)]) {
+        const TopologyNode& child = nodes_[static_cast<size_t>(c)];
+        if (Contains(child.first_device,
+                     child.first_device + child.num_devices - 1, cf, cl)) {
+          inside_one_child = true;
+          break;
+        }
+      }
+      if (!inside_one_child) {
+        agg.Consider(node.internal, /*bandwidth_divisor=*/1);
+      }
+    }
+  }
+  GALVATRON_CHECK(agg.any);
+  return agg.Result();
+}
+
+int TopologyGraph::CollectiveContention(int stage_first_device, int stride,
+                                        int degree, int stage_width) const {
+  if (degree < 2) return 1;
+  const int group_span = (degree - 1) * stride;
+  const int last = stage_first_device + group_span;
+  const int tile = stride * degree;
+  if (stage_width < tile || stage_width % tile != 0 ||
+      stage_first_device + stage_width > num_devices_) {
+    return 1;
+  }
+  int max_crossing = 1;
+  for (int i = 0; i < static_cast<int>(nodes_.size()); ++i) {
+    const TopologyNode& node = nodes_[static_cast<size_t>(i)];
+    if (node.parent < 0) continue;
+    const int nf = node.first_device;
+    const int nl = node.first_device + node.num_devices - 1;
+    if (!Intersects(stage_first_device, last, nf, nl) ||
+        Contains(nf, nl, stage_first_device, last)) {
+      continue;
+    }
+    int crossing_groups = 0;
+    for (int q = 0; q < stage_width / tile; ++q) {
+      for (int r = 0; r < stride; ++r) {
+        const int base = stage_first_device + q * tile + r;
+        const int group_last = base + group_span;
+        if (Intersects(base, group_last, nf, nl) &&
+            !Contains(nf, nl, base, group_last)) {
+          ++crossing_groups;
+        }
+      }
+    }
+    max_crossing = std::max(max_crossing, crossing_groups);
+  }
+  return max_crossing;
+}
+
+std::string TopologyGraph::ToString() const {
+  std::ostringstream os;
+  os << num_devices_ << " devices;";
+  for (const DeviceIsland& island : islands_) {
+    os << " [" << island.name << ": " << island.num_devices << "x "
+       << StrFormat("%.1f", island.sustained_flops / 1e12) << " TFLOP/s]";
+  }
+  for (const TopologyNode& node : nodes_) {
+    os << " {" << node.name << " [" << node.first_device << ","
+       << node.first_device + node.num_devices << ") "
+       << ClassName(node.internal.cls) << " "
+       << StrFormat("%.1f", node.internal.bandwidth_bytes_per_sec / 1e9)
+       << " GB/s";
+    if (node.parent >= 0) {
+      os << " ^" << ClassName(node.uplink.cls) << " "
+         << StrFormat("%.1f", node.uplink.bandwidth_bytes_per_sec / 1e9)
+         << " GB/s";
+    }
+    os << "}";
+  }
+  return os.str();
+}
+
+Result<std::vector<StageGeometry>> ProportionalStageGeometry(
+    const std::vector<DeviceIsland>& islands, int pp) {
+  if (pp < 1) return Status::InvalidArgument("pp must be >= 1");
+  if (islands.empty()) {
+    return Status::InvalidArgument("need at least one island");
+  }
+  const int k = static_cast<int>(islands.size());
+  int total_devices = 0;
+  for (const DeviceIsland& island : islands) {
+    if (island.num_devices < 1 || island.sustained_flops <= 0) {
+      return Status::InvalidArgument("islands need devices and throughput");
+    }
+    total_devices += island.num_devices;
+  }
+  if (pp > total_devices) {
+    return Status::InvalidArgument(StrFormat(
+        "cannot cut %d stages from %d devices", pp, total_devices));
+  }
+
+  std::vector<StageGeometry> stages;
+  stages.reserve(static_cast<size_t>(pp));
+
+  if (pp < k) {
+    // Group whole islands into pp contiguous runs balancing summed
+    // throughput: exact interval DP minimizing the maximum run weight
+    // (k is tiny — one entry per hardware generation boundary).
+    std::vector<double> prefix(static_cast<size_t>(k) + 1, 0.0);
+    for (int i = 0; i < k; ++i) {
+      prefix[static_cast<size_t>(i) + 1] =
+          prefix[static_cast<size_t>(i)] +
+          islands[static_cast<size_t>(i)].num_devices *
+              islands[static_cast<size_t>(i)].sustained_flops;
+    }
+    const double inf = std::numeric_limits<double>::infinity();
+    // best[s][i]: minimal max-run-weight splitting the first i islands
+    // into s runs; cut[s][i]: the start island of the last run.
+    std::vector<std::vector<double>> best(
+        static_cast<size_t>(pp) + 1,
+        std::vector<double>(static_cast<size_t>(k) + 1, inf));
+    std::vector<std::vector<int>> cut(
+        static_cast<size_t>(pp) + 1,
+        std::vector<int>(static_cast<size_t>(k) + 1, 0));
+    best[0][0] = 0.0;
+    for (int s = 1; s <= pp; ++s) {
+      for (int i = s; i <= k; ++i) {
+        for (int j = s - 1; j < i; ++j) {
+          const double w = std::max(best[static_cast<size_t>(s) - 1]
+                                        [static_cast<size_t>(j)],
+                                    prefix[static_cast<size_t>(i)] -
+                                        prefix[static_cast<size_t>(j)]);
+          if (w < best[static_cast<size_t>(s)][static_cast<size_t>(i)]) {
+            best[static_cast<size_t>(s)][static_cast<size_t>(i)] = w;
+            cut[static_cast<size_t>(s)][static_cast<size_t>(i)] = j;
+          }
+        }
+      }
+    }
+    std::vector<int> bounds(static_cast<size_t>(pp) + 1, 0);
+    bounds[static_cast<size_t>(pp)] = k;
+    for (int s = pp; s >= 1; --s) {
+      bounds[static_cast<size_t>(s) - 1] =
+          cut[static_cast<size_t>(s)][static_cast<size_t>(bounds
+              [static_cast<size_t>(s)])];
+    }
+    for (int s = 0; s < pp; ++s) {
+      const DeviceIsland& lo = islands[static_cast<size_t>(
+          bounds[static_cast<size_t>(s)])];
+      int width = 0;
+      for (int i = bounds[static_cast<size_t>(s)];
+           i < bounds[static_cast<size_t>(s) + 1]; ++i) {
+        width += islands[static_cast<size_t>(i)].num_devices;
+      }
+      stages.push_back(StageGeometry{lo.first_device, width});
+    }
+    return stages;
+  }
+
+  // pp >= islands: apportion stage counts by island throughput with the
+  // highest-quotient (D'Hondt) method — deterministic, monotone in the
+  // weights, lowest index wins ties — capped at the island's device count.
+  std::vector<int> counts(static_cast<size_t>(k), 1);
+  int assigned = k;
+  while (assigned < pp) {
+    int pick = -1;
+    double pick_quotient = -1.0;
+    for (int i = 0; i < k; ++i) {
+      const DeviceIsland& island = islands[static_cast<size_t>(i)];
+      if (counts[static_cast<size_t>(i)] >= island.num_devices) continue;
+      const double quotient =
+          island.num_devices * island.sustained_flops /
+          (counts[static_cast<size_t>(i)] + 1);
+      if (quotient > pick_quotient) {
+        pick_quotient = quotient;
+        pick = i;
+      }
+    }
+    if (pick < 0) break;  // every island saturated (pp == total_devices)
+    ++counts[static_cast<size_t>(pick)];
+    ++assigned;
+  }
+  if (assigned < pp) {
+    return Status::InvalidArgument(StrFormat(
+        "cannot place %d stages on %d devices", pp, total_devices));
+  }
+  for (int i = 0; i < k; ++i) {
+    const DeviceIsland& island = islands[static_cast<size_t>(i)];
+    const int c = counts[static_cast<size_t>(i)];
+    int offset = island.first_device;
+    for (int s = 0; s < c; ++s) {
+      const int width = island.num_devices / c + (s < island.num_devices % c);
+      stages.push_back(StageGeometry{offset, width});
+      offset += width;
+    }
+  }
+  return stages;
+}
+
+}  // namespace galvatron

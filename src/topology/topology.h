@@ -1,0 +1,149 @@
+#ifndef GALVATRON_TOPOLOGY_TOPOLOGY_H_
+#define GALVATRON_TOPOLOGY_TOPOLOGY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/link.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace galvatron {
+
+/// One vertex of the interconnect hierarchy: a contiguous device range
+/// joined by an `internal` fabric (NVLink mesh, PCIe switch, rail-optimized
+/// leaf switch, ...) and attached to its parent's fabric through an
+/// `uplink` edge (host PCIe bridge, NIC, spine port). The root describes
+/// the whole cluster; its uplink is unused.
+///
+/// Nested nodes refine the picture: a node whose range equals its parent's
+/// models a tier change on the same devices (e.g. a PCIe switch under a
+/// NUMA complex). Siblings under one parent must cover disjoint ranges.
+struct TopologyNode {
+  std::string name;
+  int first_device = 0;
+  int num_devices = 0;
+  /// Index of the enclosing node, -1 for the root.
+  int parent = -1;
+  /// Edge toward the parent fabric (bandwidth must be positive on
+  /// non-root nodes; shared by every collective that leaves this node).
+  LinkSpec uplink;
+  /// Fabric joining this node's members (bandwidth must be positive).
+  LinkSpec internal;
+};
+
+/// A contiguous run of identical accelerators: mixed-generation clusters
+/// are unions of islands, each with its own sustained throughput, memory,
+/// and small-batch efficiency knee. `small_batch_half_life` 0 inherits the
+/// cluster-wide default.
+struct DeviceIsland {
+  std::string name;
+  int first_device = 0;
+  int num_devices = 0;
+  double sustained_flops = 0.0;
+  int64_t memory_bytes = 0;
+  double small_batch_half_life = 0.0;
+};
+
+/// A device block assigned to one pipeline stage.
+struct StageGeometry {
+  int first_device = 0;
+  int num_devices = 0;
+};
+
+inline bool operator==(const StageGeometry& a, const StageGeometry& b) {
+  return a.first_device == b.first_device && a.num_devices == b.num_devices;
+}
+inline bool operator!=(const StageGeometry& a, const StageGeometry& b) {
+  return !(a == b);
+}
+
+/// An explicit interconnect hierarchy over devices 0..n-1, replacing the
+/// flat contiguous-`TopologyLevel` picture with a tree of fabrics. Pricing
+/// walks the edges a collective actually crosses: the bottleneck of a
+/// device range is the minimum bandwidth (and maximum latency) over every
+/// crossed uplink and every partially-covered internal fabric — so a
+/// cross-node ring on PCIe hosts is priced at PCIe speed even when the
+/// inter-node NIC is faster, which a single innermost-level class cannot
+/// express.
+class TopologyGraph {
+ public:
+  /// Validates the forest shape: exactly one root covering [0, n), parents
+  /// enclosing children, disjoint siblings, no parent cycles, positive
+  /// bandwidths (zero-bandwidth edges are configuration bugs, not free
+  /// links), and islands that tile [0, n) exactly.
+  static Result<TopologyGraph> Create(int num_devices,
+                                      std::vector<TopologyNode> nodes,
+                                      std::vector<DeviceIsland> islands);
+
+  int num_devices() const { return num_devices_; }
+  const std::vector<TopologyNode>& nodes() const { return nodes_; }
+  const std::vector<DeviceIsland>& islands() const { return islands_; }
+  int root() const { return root_; }
+
+  /// Bottleneck of a ring over the contiguous range [first, last]: the
+  /// slowest crossed edge. Requires first < last.
+  LinkSpec RangeBottleneck(int first_device, int last_device) const;
+
+  /// Bottleneck of the collective group {base + i*stride} rooted at the
+  /// stage's first device, with cross-tier contention: sibling groups of
+  /// the same stage (the stage is `stage_width` devices wide and tiles
+  /// into stage_width/(stride*degree) x stride translated groups) that
+  /// cross the same uplink share its bandwidth, so each crossed uplink is
+  /// priced at bandwidth / (number of groups crossing it). Internal
+  /// fabrics are switched and not shared across sibling groups.
+  LinkSpec CollectiveBottleneck(int stage_first_device, int stride,
+                                int degree, int stage_width) const;
+
+  /// The largest bandwidth divisor CollectiveBottleneck applies for this
+  /// group shape (1 when no uplink is crossed or the group tiling does not
+  /// divide the stage).
+  int CollectiveContention(int stage_first_device, int stride, int degree,
+                           int stage_width) const;
+
+  std::string ToString() const;
+
+ private:
+  TopologyGraph() = default;
+
+  int num_devices_ = 0;
+  int root_ = 0;
+  std::vector<TopologyNode> nodes_;
+  std::vector<DeviceIsland> islands_;
+  std::vector<std::vector<int>> children_;
+};
+
+inline bool operator==(const TopologyNode& a, const TopologyNode& b) {
+  return a.name == b.name && a.first_device == b.first_device &&
+         a.num_devices == b.num_devices && a.parent == b.parent &&
+         a.uplink == b.uplink && a.internal == b.internal;
+}
+
+inline bool operator==(const DeviceIsland& a, const DeviceIsland& b) {
+  return a.name == b.name && a.first_device == b.first_device &&
+         a.num_devices == b.num_devices &&
+         a.sustained_flops == b.sustained_flops &&
+         a.memory_bytes == b.memory_bytes &&
+         a.small_batch_half_life == b.small_batch_half_life;
+}
+
+inline bool operator==(const TopologyGraph& a, const TopologyGraph& b) {
+  return a.num_devices() == b.num_devices() && a.nodes() == b.nodes() &&
+         a.islands() == b.islands();
+}
+
+/// Splits a `pp`-deep pipeline across unequal islands: stage counts are
+/// apportioned to islands proportionally to island throughput
+/// (num_devices x sustained_flops, highest-quotient rounding, at least one
+/// stage per island when pp >= islands), and each island's devices split
+/// as evenly as possible among its stages. With pp < islands, contiguous
+/// runs of whole islands are grouped to balance summed throughput.
+/// Stages are contiguous, cover every device, and never mix islands when
+/// pp >= islands — each stage's budget is then simply its island's memory.
+Result<std::vector<StageGeometry>> ProportionalStageGeometry(
+    const std::vector<DeviceIsland>& islands, int pp);
+
+}  // namespace galvatron
+
+#endif  // GALVATRON_TOPOLOGY_TOPOLOGY_H_

@@ -121,6 +121,41 @@ TEST(CollectiveTest, LatencyTermMatters) {
   EXPECT_GE(t, RingSteps(CollectiveKind::kAllReduce, 8) * link.latency_sec);
 }
 
+TEST(ClusterTest, CollectiveLinkMatchesLegacyPricingWithoutAGraph) {
+  // On level-priced clusters the stage-aware collective query is defined
+  // to be exactly the old two-endpoint group bottleneck, whatever the
+  // stride/degree/stage shape.
+  const ClusterSpec cluster = MakeTitanCluster16(16 * kGB);
+  for (int stride : {1, 2, 4, 8}) {
+    for (int degree : {2, 4, 8}) {
+      const int span = (degree - 1) * stride;
+      for (int first = 0; first + span < cluster.num_devices(); ++first) {
+        const int width = stride * degree;
+        if (first % width != 0 || first + width > cluster.num_devices()) {
+          continue;
+        }
+        EXPECT_EQ(cluster.CollectiveLink(first, stride, degree, width),
+                  cluster.GroupBottleneckLink(first, first + span))
+            << "first=" << first << " stride=" << stride
+            << " degree=" << degree;
+      }
+    }
+  }
+}
+
+TEST(ClusterTest, WholeClusterAccessorsRequireUniformity) {
+  const ClusterSpec uniform = MakeTitanNode8(16 * kGB);
+  EXPECT_EQ(uniform.device_memory_bytes(), 16 * kGB);
+  EXPECT_DOUBLE_EQ(uniform.sustained_flops(),
+                   uniform.device(0).sustained_flops);
+  const ClusterSpec mixed_memory =
+      uniform.WithDeviceMemoryRange(0, 4, 8 * kGB);
+  EXPECT_DEATH(mixed_memory.device_memory_bytes(), "MinMemoryInRange");
+  const ClusterSpec mixed_compute =
+      uniform.WithDeviceComputeRange(0, 4, 60e12);
+  EXPECT_DEATH(mixed_compute.sustained_flops(), "MinSustainedFlopsInRange");
+}
+
 TEST(GroupPoolTest, DeduplicatesGroups) {
   CommGroupPool pool;
   auto g1 = pool.GetOrCreate({3, 1, 2});

@@ -50,8 +50,8 @@ TEST(FuzzGenerators, DeterministicAcrossRuns) {
     const ClusterSpec cluster_a = GenerateCluster(&rng_a);
     const ClusterSpec cluster_b = GenerateCluster(&rng_b);
     EXPECT_EQ(cluster_a.num_devices(), cluster_b.num_devices());
-    EXPECT_EQ(cluster_a.device_memory_bytes(),
-              cluster_b.device_memory_bytes());
+    EXPECT_EQ(cluster_a.device(0).memory_bytes,
+              cluster_b.device(0).memory_bytes);
     const Result<TrainingPlan> plan_a =
         GeneratePlan(&rng_a, model_a, cluster_a);
     const Result<TrainingPlan> plan_b =

@@ -1,11 +1,21 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <utility>
+
 #include "api/galvatron.h"
 #include "parallel/pipeline_partition.h"
 #include "util/math_util.h"
 
 namespace galvatron {
 namespace {
+
+/// The ISSUE's mixed testbed: 8 A100-class GPUs alongside the 8 TITANs of
+/// the paper's 16-GPU cluster.
+ClusterSpec MakeMixedCluster16() {
+  return MakeTitanCluster16(16 * kGB)
+      .WithDeviceComputeRange(0, 8, 60e12, /*small_batch_half_life=*/0.5);
+}
 
 TEST(HeterogeneousClusterTest, MemoryRangeHelpers) {
   ClusterSpec cluster =
@@ -98,6 +108,76 @@ TEST(CapacityPartitionTest, UnitCapacitiesMatchUniformPartition) {
 TEST(CapacityPartitionTest, RejectsNonPositiveCapacity) {
   EXPECT_FALSE(
       PartitionByWeightsWithCapacities({1.0, 1.0}, {1.0, 0.0}).ok());
+}
+
+TEST(HeterogeneousClusterTest, UnevenStagesBeatEqualSplitOnMixedGenerations) {
+  // Acceptance gate: on a mixed-generation cluster, the island-proportional
+  // sweep (uneven geometry + throughput-weighted layer partition) must beat
+  // the best plan restricted to equal splits, in *simulated* throughput.
+  ModelSpec model = BuildModel(ModelId::kBertHuge32);
+  ClusterSpec cluster = MakeMixedCluster16();
+  OptimizerOptions uneven_options;
+  uneven_options.pp_degrees = {2};
+  OptimizerOptions equal_options = uneven_options;
+  equal_options.allow_uneven_stages = false;
+  auto uneven = Optimizer(&cluster, uneven_options).Optimize(model);
+  auto equal = Optimizer(&cluster, equal_options).Optimize(model);
+  ASSERT_TRUE(uneven.ok()) << uneven.status();
+  ASSERT_TRUE(equal.ok()) << equal.status();
+  auto uneven_metrics = Galvatron::Measure(model, uneven->plan, cluster);
+  auto equal_metrics = Galvatron::Measure(model, equal->plan, cluster);
+  ASSERT_TRUE(uneven_metrics.ok());
+  ASSERT_TRUE(equal_metrics.ok());
+  EXPECT_FALSE(uneven_metrics->oom);
+  EXPECT_GT(uneven_metrics->throughput_samples_per_sec,
+            equal_metrics->throughput_samples_per_sec);
+}
+
+TEST(HeterogeneousClusterTest, UnevenSweepIsANoOpOnUniformClusters) {
+  // Homogeneous clusters must be untouched by the flag: same plan, same
+  // estimate, byte for byte.
+  ModelSpec model = BuildModel(ModelId::kBertHuge32);
+  ClusterSpec cluster = MakeTitanCluster16(16 * kGB);
+  OptimizerOptions on;
+  on.pp_degrees = {2, 4};
+  OptimizerOptions off = on;
+  off.allow_uneven_stages = false;
+  auto a = Optimizer(&cluster, on).Optimize(model);
+  auto b = Optimizer(&cluster, off).Optimize(model);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->plan.ToString(), b->plan.ToString());
+  EXPECT_EQ(a->estimated.iteration_seconds, b->estimated.iteration_seconds);
+}
+
+TEST(HeterogeneousClusterTest, OptimizesTopologyBackedCluster) {
+  // End-to-end over CreateFromTopology: mixed islands behind PCIe uplinks,
+  // searched, estimated, and simulated without OOM.
+  const LinkSpec nv{LinkClass::kNvLink, 150e9, 6e-6};
+  const LinkSpec pcie{LinkClass::kPcie3, 5.8e9, 12e-6};
+  const LinkSpec ib{LinkClass::kInfiniBand100, 9.5e9, 20e-6};
+  std::vector<TopologyNode> nodes(3);
+  nodes[0] = {"spine", 0, 16, -1, LinkSpec{}, ib};
+  nodes[1] = {"a100-node", 0, 8, 0, pcie, nv};
+  nodes[2] = {"titan-node", 8, 8, 0, pcie, pcie};
+  std::vector<DeviceIsland> islands(2);
+  islands[0] = {"a100", 0, 8, 60e12, 16 * kGB, 0.5};
+  islands[1] = {"titan", 8, 8, 14e12, 16 * kGB, 0.0};
+  auto graph = TopologyGraph::Create(16, std::move(nodes),
+                                     std::move(islands));
+  ASSERT_TRUE(graph.ok()) << graph.status();
+  auto cluster = ClusterSpec::CreateFromTopology(
+      "mixed-16", std::make_shared<const TopologyGraph>(*std::move(graph)));
+  ASSERT_TRUE(cluster.ok()) << cluster.status();
+  ModelSpec model = BuildModel(ModelId::kBertHuge32);
+  OptimizerOptions options;
+  options.pp_degrees = {2};
+  auto result = Optimizer(&*cluster, options).Optimize(model);
+  ASSERT_TRUE(result.ok()) << result.status();
+  auto metrics = Galvatron::Measure(model, result->plan, *cluster);
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_FALSE(metrics->oom);
+  EXPECT_GT(metrics->throughput_samples_per_sec, 0.0);
 }
 
 TEST(CapacityPartitionTest, OptimizerShiftsLayersTowardRoomyIsland) {

@@ -189,6 +189,41 @@ TEST(PerfRegressionTest, WarmOptimizeAllocationsStayCollapsed) {
             cold->stats.sweep_allocations / 5);
 }
 
+/// Timer-free heterogeneity tripwire: on a *uniform* cluster the
+/// uneven-stage sweep (on by default) must add zero work — the island
+/// machinery is gated on mixed compute or an attached topology graph, so
+/// homogeneous searches must explore exactly the same configurations,
+/// materialize the same DP states, and return the identical plan whether
+/// the flag is on or off. A nonzero delta means the heterogeneous
+/// candidates leaked into the homogeneous path and its search cost
+/// regressed.
+TEST(PerfRegressionTest, UnevenStageSweepAddsNoHomogeneousWork) {
+  BertConfig config;
+  config.num_layers = 8;
+  config.hidden = 1024;
+  config.heads = 16;
+  const ModelSpec model = BuildBert("perf-bert", config);
+  const ClusterSpec cluster = MakeTitanCluster16(12 * kGB);
+
+  OptimizerOptions on;
+  on.allow_uneven_stages = true;
+  OptimizerOptions off = on;
+  off.allow_uneven_stages = false;
+
+  auto with_flag = Optimizer(&cluster, on).Optimize(model);
+  auto without_flag = Optimizer(&cluster, off).Optimize(model);
+  ASSERT_TRUE(with_flag.ok()) << with_flag.status();
+  ASSERT_TRUE(without_flag.ok()) << without_flag.status();
+
+  EXPECT_EQ(with_flag->plan.ToString(), without_flag->plan.ToString());
+  EXPECT_EQ(with_flag->estimated.throughput_samples_per_sec,
+            without_flag->estimated.throughput_samples_per_sec);
+  EXPECT_EQ(with_flag->stats.configs_explored,
+            without_flag->stats.configs_explored);
+  EXPECT_EQ(with_flag->stats.dp_states_explored,
+            without_flag->stats.dp_states_explored);
+}
+
 TEST(PerfRegressionTest, PlanBitIdenticalAcrossThreadCounts) {
   BertConfig config;
   config.num_layers = 8;

@@ -2,6 +2,9 @@
 
 #include "api/galvatron.h"
 #include <algorithm>
+#include <memory>
+#include <utility>
+#include <vector>
 
 #include "api/plan_io.h"
 #include "api/plan_render.h"
@@ -273,6 +276,157 @@ TEST_F(PlanIoTest, HostileGeneratedSpecsRoundTrip) {
     EXPECT_EQ(ClusterSpecToJson(*parsed_cluster), cluster_json)
         << "seed " << seed;
   }
+}
+
+TEST_F(PlanIoTest, TopologyBackedClusterRoundTripsBitExactly) {
+  // A mixed-generation graph-backed cluster: the topology block, the
+  // per-device generation arrays, and the heterogeneous budgets must all
+  // survive ClusterSpecToJson -> ParseClusterSpecJson -> ClusterSpecToJson
+  // unchanged.
+  const LinkSpec nv{LinkClass::kNvLink, 150e9, 6e-6};
+  const LinkSpec pcie{LinkClass::kPcie3, 5.8e9, 12e-6};
+  const LinkSpec ib{LinkClass::kInfiniBand100, 9.5e9, 20e-6};
+  std::vector<TopologyNode> nodes(3);
+  nodes[0] = {"spine", 0, 16, -1, LinkSpec{}, ib};
+  nodes[1] = {"a100-node", 0, 8, 0, pcie, nv};
+  nodes[2] = {"titan-node", 8, 8, 0, pcie, pcie};
+  std::vector<DeviceIsland> islands(2);
+  islands[0] = {"a100", 0, 8, 60e12, 40 * kGB, 0.5};
+  islands[1] = {"titan", 8, 8, 14e12, 24 * kGB, 0.0};
+  auto graph =
+      TopologyGraph::Create(16, std::move(nodes), std::move(islands));
+  ASSERT_TRUE(graph.ok()) << graph.status();
+  auto cluster = ClusterSpec::CreateFromTopology(
+      "mixed-16", std::make_shared<const TopologyGraph>(*std::move(graph)));
+  ASSERT_TRUE(cluster.ok()) << cluster.status();
+
+  const std::string json = ClusterSpecToJson(*cluster);
+  auto parsed = ParseClusterSpecJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  ASSERT_NE(parsed->topology(), nullptr);
+  EXPECT_TRUE(*parsed->topology() == *cluster->topology());
+  for (int d = 0; d < 16; ++d) {
+    EXPECT_EQ(parsed->device(d).memory_bytes,
+              cluster->device(d).memory_bytes);
+    EXPECT_EQ(parsed->device(d).sustained_flops,
+              cluster->device(d).sustained_flops);
+    EXPECT_EQ(parsed->device(d).small_batch_half_life,
+              cluster->device(d).small_batch_half_life);
+  }
+  EXPECT_EQ(ClusterSpecToJson(*parsed), json);
+  // Graph pricing survives the round-trip: cross-node rings stay
+  // PCIe-bound on the parsed copy too.
+  EXPECT_EQ(parsed->LinkBetween(0, 15), cluster->LinkBetween(0, 15));
+}
+
+TEST_F(PlanIoTest, LegacyClusterJsonHasNoTopologyFields) {
+  // Uniform level-priced clusters must serialize exactly as before the
+  // topology subsystem existed: no additive fields appear.
+  const std::string json = ClusterSpecToJson(cluster_);
+  EXPECT_EQ(json.find("topology"), std::string::npos);
+  EXPECT_EQ(json.find("device_sustained_flops"), std::string::npos);
+  EXPECT_EQ(json.find("device_small_batch_half_life"), std::string::npos);
+  auto parsed = ParseClusterSpecJson(json);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->topology(), nullptr);
+}
+
+TEST_F(PlanIoTest, ParsesStandaloneTopologyFile) {
+  const std::string json = R"({
+    "name": "mixed-pod",
+    "pipeline_rpc_overhead_sec": 0.002,
+    "topology": {
+      "nodes": [
+        {"name": "spine", "first_device": 0, "num_devices": 4, "parent": -1,
+         "internal": {"class": "IB-100Gb", "bandwidth_bytes_per_sec": 9.5e9,
+                      "latency_sec": 2e-5}},
+        {"name": "n0", "first_device": 0, "num_devices": 2, "parent": 0,
+         "internal": {"class": "NVLink", "bandwidth_bytes_per_sec": 1.5e11,
+                      "latency_sec": 6e-6},
+         "uplink": {"class": "PCIe3", "bandwidth_bytes_per_sec": 5.8e9,
+                    "latency_sec": 1.2e-5}},
+        {"name": "n1", "first_device": 2, "num_devices": 2, "parent": 0,
+         "internal": {"class": "PCIe3", "bandwidth_bytes_per_sec": 5.8e9,
+                      "latency_sec": 1.2e-5},
+         "uplink": {"class": "PCIe3", "bandwidth_bytes_per_sec": 5.8e9,
+                    "latency_sec": 1.2e-5}}
+      ],
+      "islands": [
+        {"name": "fast", "first_device": 0, "num_devices": 2,
+         "sustained_flops": 6e13, "memory_bytes": 40000000000},
+        {"name": "slow", "first_device": 2, "num_devices": 2,
+         "sustained_flops": 1.4e13, "memory_bytes": 24000000000,
+         "small_batch_half_life": 2.0}
+      ]
+    }
+  })";
+  auto cluster = ParseTopologyClusterJson(json);
+  ASSERT_TRUE(cluster.ok()) << cluster.status();
+  EXPECT_EQ(cluster->name(), "mixed-pod");
+  EXPECT_EQ(cluster->num_devices(), 4);
+  ASSERT_NE(cluster->topology(), nullptr);
+  EXPECT_DOUBLE_EQ(cluster->pipeline_rpc_overhead_sec(), 0.002);
+  EXPECT_DOUBLE_EQ(cluster->device(0).sustained_flops, 6e13);
+  EXPECT_DOUBLE_EQ(cluster->device(3).sustained_flops, 1.4e13);
+  EXPECT_EQ(cluster->device(3).memory_bytes, int64_t{24000000000});
+  EXPECT_DOUBLE_EQ(cluster->device(3).small_batch_half_life, 2.0);
+}
+
+TEST_F(PlanIoTest, RejectsMalformedTopologyDocuments) {
+  auto doc = [](const std::string& nodes, const std::string& islands) {
+    return std::string("{\"name\": \"t\", \"topology\": {\"nodes\": [") +
+           nodes + "], \"islands\": [" + islands + "]}}";
+  };
+  const std::string root_node =
+      "{\"name\": \"r\", \"first_device\": 0, \"num_devices\": 4, "
+      "\"parent\": -1, \"internal\": {\"class\": \"IB-100Gb\", "
+      "\"bandwidth_bytes_per_sec\": 9.5e9, \"latency_sec\": 2e-5}}";
+  const std::string good_islands =
+      "{\"name\": \"a\", \"first_device\": 0, \"num_devices\": 4, "
+      "\"sustained_flops\": 6e13, \"memory_bytes\": 1000000}";
+  ASSERT_TRUE(ParseTopologyClusterJson(doc(root_node, good_islands)).ok());
+
+  // Non-covering islands: a gap at device 3.
+  EXPECT_FALSE(
+      ParseTopologyClusterJson(
+          doc(root_node,
+              "{\"name\": \"a\", \"first_device\": 0, \"num_devices\": 3, "
+              "\"sustained_flops\": 6e13, \"memory_bytes\": 1000000}"))
+          .ok());
+  // Cyclic graph: two non-root nodes pointing at each other.
+  EXPECT_FALSE(
+      ParseTopologyClusterJson(
+          doc(root_node +
+                  ", {\"name\": \"x\", \"first_device\": 0, "
+                  "\"num_devices\": 2, \"parent\": 2, \"internal\": "
+                  "{\"class\": \"NVLink\", \"bandwidth_bytes_per_sec\": "
+                  "1e11, \"latency_sec\": 0}, \"uplink\": {\"class\": "
+                  "\"PCIe3\", \"bandwidth_bytes_per_sec\": 5.8e9, "
+                  "\"latency_sec\": 0}}, {\"name\": \"y\", "
+                  "\"first_device\": 2, \"num_devices\": 2, \"parent\": 1, "
+                  "\"internal\": {\"class\": \"NVLink\", "
+                  "\"bandwidth_bytes_per_sec\": 1e11, \"latency_sec\": 0}, "
+                  "\"uplink\": {\"class\": \"PCIe3\", "
+                  "\"bandwidth_bytes_per_sec\": 5.8e9, \"latency_sec\": 0}}",
+              good_islands))
+          .ok());
+  // Zero-bandwidth uplink.
+  EXPECT_FALSE(
+      ParseTopologyClusterJson(
+          doc(root_node +
+                  ", {\"name\": \"x\", \"first_device\": 0, "
+                  "\"num_devices\": 2, \"parent\": 0, \"internal\": "
+                  "{\"class\": \"NVLink\", \"bandwidth_bytes_per_sec\": "
+                  "1e11, \"latency_sec\": 0}, \"uplink\": {\"class\": "
+                  "\"PCIe3\", \"bandwidth_bytes_per_sec\": 0, "
+                  "\"latency_sec\": 0}}",
+              good_islands))
+          .ok());
+  // Structural rejections: missing topology, missing islands, bad kinds.
+  EXPECT_FALSE(ParseTopologyClusterJson("{\"name\": \"t\"}").ok());
+  EXPECT_FALSE(ParseTopologyClusterJson(doc(root_node, "")).ok());
+  EXPECT_FALSE(
+      ParseTopologyClusterJson("{\"name\": \"t\", \"topology\": 42}").ok());
 }
 
 TEST_F(PlanIoTest, TraceExportIsWellFormedJson) {

@@ -1,0 +1,324 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "topology/topology.h"
+
+namespace galvatron {
+namespace {
+
+LinkSpec Link(LinkClass cls, double bandwidth, double latency) {
+  LinkSpec link;
+  link.cls = cls;
+  link.bandwidth_bytes_per_sec = bandwidth;
+  link.latency_sec = latency;
+  return link;
+}
+
+TopologyNode Node(const char* name, int first, int count, int parent,
+                  LinkSpec uplink, LinkSpec internal) {
+  TopologyNode node;
+  node.name = name;
+  node.first_device = first;
+  node.num_devices = count;
+  node.parent = parent;
+  node.uplink = uplink;
+  node.internal = internal;
+  return node;
+}
+
+DeviceIsland Island(const char* name, int first, int count, double flops,
+                    int64_t memory, double half_life = 0.0) {
+  DeviceIsland island;
+  island.name = name;
+  island.first_device = first;
+  island.num_devices = count;
+  island.sustained_flops = flops;
+  island.memory_bytes = memory;
+  island.small_batch_half_life = half_life;
+  return island;
+}
+
+const LinkSpec kNv = Link(LinkClass::kNvLink, 150e9, 6e-6);
+const LinkSpec kPcie = Link(LinkClass::kPcie3, 5.8e9, 12e-6);
+const LinkSpec kIb = Link(LinkClass::kInfiniBand100, 9.5e9, 20e-6);
+
+/// Two 4-GPU NVLink nodes joined by InfiniBand; each node reaches the
+/// spine through a PCIe-limited NIC path.
+std::vector<TopologyNode> TwoNodeNodes() {
+  return {Node("spine", 0, 8, -1, LinkSpec{}, kIb),
+          Node("node0", 0, 4, 0, kPcie, kNv),
+          Node("node1", 4, 4, 0, kPcie, kNv)};
+}
+
+std::vector<DeviceIsland> UniformIslands(int n, int64_t memory = 16
+                                                              * kGiB) {
+  return {Island("all", 0, n, 60e12, memory)};
+}
+
+TEST(TopologyGraphTest, CreateAcceptsTwoNodeCluster) {
+  auto graph = TopologyGraph::Create(8, TwoNodeNodes(), UniformIslands(8));
+  ASSERT_TRUE(graph.ok()) << graph.status();
+  EXPECT_EQ(graph->num_devices(), 8);
+  EXPECT_EQ(graph->nodes().size(), 3u);
+  EXPECT_EQ(graph->islands().size(), 1u);
+  EXPECT_FALSE(graph->ToString().empty());
+}
+
+TEST(TopologyGraphTest, RejectsMissingOrDuplicateRoot) {
+  // Every node claims a parent: no root.
+  std::vector<TopologyNode> orphan = {Node("a", 0, 2, 1, kPcie, kNv),
+                                      Node("b", 0, 2, 0, kPcie, kNv)};
+  EXPECT_FALSE(TopologyGraph::Create(2, orphan, UniformIslands(2)).ok());
+  // Two roots.
+  std::vector<TopologyNode> twin = {Node("a", 0, 2, -1, LinkSpec{}, kNv),
+                                    Node("b", 0, 2, -1, LinkSpec{}, kNv)};
+  EXPECT_FALSE(TopologyGraph::Create(2, twin, UniformIslands(2)).ok());
+  // Root does not span every device.
+  std::vector<TopologyNode> narrow = {Node("a", 0, 2, -1, LinkSpec{}, kNv)};
+  EXPECT_FALSE(TopologyGraph::Create(4, narrow, UniformIslands(4)).ok());
+}
+
+TEST(TopologyGraphTest, RejectsParentCycles) {
+  // a <-> b cycle hanging off to the side of a valid root.
+  std::vector<TopologyNode> nodes = {Node("root", 0, 4, -1, LinkSpec{}, kIb),
+                                     Node("a", 0, 2, 2, kPcie, kNv),
+                                     Node("b", 2, 2, 1, kPcie, kNv)};
+  EXPECT_FALSE(TopologyGraph::Create(4, nodes, UniformIslands(4)).ok());
+  // Self-parent.
+  std::vector<TopologyNode> self = {Node("root", 0, 2, -1, LinkSpec{}, kIb),
+                                    Node("a", 0, 2, 1, kPcie, kNv)};
+  EXPECT_FALSE(TopologyGraph::Create(2, self, UniformIslands(2)).ok());
+}
+
+TEST(TopologyGraphTest, RejectsZeroBandwidthEdges) {
+  std::vector<TopologyNode> dead_uplink = {
+      Node("root", 0, 4, -1, LinkSpec{}, kIb),
+      Node("a", 0, 4, 0, Link(LinkClass::kPcie3, 0.0, 1e-6), kNv)};
+  EXPECT_FALSE(
+      TopologyGraph::Create(4, dead_uplink, UniformIslands(4)).ok());
+  std::vector<TopologyNode> dead_fabric = {
+      Node("root", 0, 4, -1, LinkSpec{}, Link(LinkClass::kNvLink, 0.0, 0))};
+  EXPECT_FALSE(
+      TopologyGraph::Create(4, dead_fabric, UniformIslands(4)).ok());
+}
+
+TEST(TopologyGraphTest, RejectsOverlappingSiblingsAndStrayChildren) {
+  std::vector<TopologyNode> overlap = {
+      Node("root", 0, 8, -1, LinkSpec{}, kIb),
+      Node("a", 0, 5, 0, kPcie, kNv), Node("b", 4, 4, 0, kPcie, kNv)};
+  EXPECT_FALSE(TopologyGraph::Create(8, overlap, UniformIslands(8)).ok());
+  // Child range escaping its parent.
+  std::vector<TopologyNode> escape = {
+      Node("root", 0, 8, -1, LinkSpec{}, kIb),
+      Node("a", 0, 4, 0, kPcie, kNv), Node("a0", 2, 4, 1, kPcie, kNv)};
+  EXPECT_FALSE(TopologyGraph::Create(8, escape, UniformIslands(8)).ok());
+}
+
+TEST(TopologyGraphTest, RejectsBadIslandTilings) {
+  const std::vector<TopologyNode> nodes = TwoNodeNodes();
+  // Gap: [0, 4) + [6, 8).
+  EXPECT_FALSE(TopologyGraph::Create(
+                   8, nodes,
+                   {Island("a", 0, 4, 60e12, kGiB),
+                    Island("b", 6, 2, 14e12, kGiB)})
+                   .ok());
+  // Overlap.
+  EXPECT_FALSE(TopologyGraph::Create(
+                   8, nodes,
+                   {Island("a", 0, 6, 60e12, kGiB),
+                    Island("b", 4, 4, 14e12, kGiB)})
+                   .ok());
+  // Short: covers only [0, 6).
+  EXPECT_FALSE(TopologyGraph::Create(
+                   8, nodes, {Island("a", 0, 6, 60e12, kGiB)}).ok());
+  // Non-positive throughput / memory.
+  EXPECT_FALSE(TopologyGraph::Create(
+                   8, nodes, {Island("a", 0, 8, 0.0, kGiB)}).ok());
+  EXPECT_FALSE(TopologyGraph::Create(
+                   8, nodes, {Island("a", 0, 8, 60e12, 0)}).ok());
+  EXPECT_TRUE(TopologyGraph::Create(
+                  8, nodes,
+                  {Island("a", 0, 4, 60e12, kGiB),
+                   Island("b", 4, 4, 14e12, kGiB)})
+                  .ok());
+}
+
+TEST(TopologyGraphTest, RangeBottleneckWalksCrossedEdges) {
+  auto graph = TopologyGraph::Create(8, TwoNodeNodes(), UniformIslands(8));
+  ASSERT_TRUE(graph.ok());
+  // Inside one node: the NVLink fabric.
+  EXPECT_EQ(graph->RangeBottleneck(0, 3), kNv);
+  EXPECT_EQ(graph->RangeBottleneck(5, 7), kNv);
+  // Crossing nodes: both PCIe uplinks (5.8 GB/s) beat the IB spine
+  // (9.5 GB/s) to the bottleneck — the single-level picture would price
+  // this IB. Latency is the worst hop (IB's 20 us).
+  const LinkSpec cross = graph->RangeBottleneck(2, 6);
+  EXPECT_EQ(cross.cls, LinkClass::kPcie3);
+  EXPECT_DOUBLE_EQ(cross.bandwidth_bytes_per_sec, 5.8e9);
+  EXPECT_DOUBLE_EQ(cross.latency_sec, 20e-6);
+}
+
+TEST(TopologyGraphTest, CollectiveContentionCountsSiblingGroups) {
+  auto graph = TopologyGraph::Create(8, TwoNodeNodes(), UniformIslands(8));
+  ASSERT_TRUE(graph.ok());
+  // One 8-wide ring: a single group crosses each uplink.
+  EXPECT_EQ(graph->CollectiveContention(0, 1, 8, 8), 1);
+  // Stride-4 pairs {i, i+4}: four translated groups all cross the same
+  // two uplinks, so each uplink carries 4 rings at once.
+  EXPECT_EQ(graph->CollectiveContention(0, 4, 2, 8), 4);
+  const LinkSpec shared = graph->CollectiveBottleneck(0, 4, 2, 8);
+  EXPECT_DOUBLE_EQ(shared.bandwidth_bytes_per_sec, 5.8e9 / 4);
+  // Groups inside one node see no uplink: full fabric speed, no sharing.
+  EXPECT_EQ(graph->CollectiveContention(0, 1, 4, 4), 1);
+  EXPECT_EQ(graph->CollectiveBottleneck(0, 1, 4, 4), kNv);
+  // A shape that does not tile the stage degrades to plain range pricing.
+  EXPECT_EQ(graph->CollectiveContention(0, 1, 3, 8), 1);
+}
+
+TEST(ProportionalStageGeometryTest, OneStagePerIslandWhenCountsMatch) {
+  const std::vector<DeviceIsland> islands = {
+      Island("fast", 0, 8, 17e12, 16 * kGiB),
+      Island("slow", 8, 8, 6.5e12, 24 * kGiB)};
+  auto stages = ProportionalStageGeometry(islands, 2);
+  ASSERT_TRUE(stages.ok());
+  ASSERT_EQ(stages->size(), 2u);
+  EXPECT_EQ((*stages)[0], (StageGeometry{0, 8}));
+  EXPECT_EQ((*stages)[1], (StageGeometry{8, 8}));
+}
+
+TEST(ProportionalStageGeometryTest, ApportionsStagesByThroughput) {
+  // Weights 136 vs 52 TFLOP/s: D'Hondt gives the fast island 3 of 4
+  // stages; its 8 devices split 3/3/2, the slow island keeps one 8-wide
+  // stage.
+  const std::vector<DeviceIsland> islands = {
+      Island("fast", 0, 8, 17e12, 16 * kGiB),
+      Island("slow", 8, 8, 6.5e12, 24 * kGiB)};
+  auto stages = ProportionalStageGeometry(islands, 4);
+  ASSERT_TRUE(stages.ok());
+  ASSERT_EQ(stages->size(), 4u);
+  EXPECT_EQ((*stages)[0], (StageGeometry{0, 3}));
+  EXPECT_EQ((*stages)[1], (StageGeometry{3, 3}));
+  EXPECT_EQ((*stages)[2], (StageGeometry{6, 2}));
+  EXPECT_EQ((*stages)[3], (StageGeometry{8, 8}));
+}
+
+TEST(ProportionalStageGeometryTest, GroupsWholeIslandsWhenPipelineIsShort) {
+  // Three islands, two stages: the balanced grouping joins the two light
+  // islands rather than splitting one.
+  const std::vector<DeviceIsland> islands = {
+      Island("a", 0, 8, 10e12, kGiB), Island("b", 8, 4, 5e12, kGiB),
+      Island("c", 12, 4, 5e12, kGiB)};
+  auto stages = ProportionalStageGeometry(islands, 2);
+  ASSERT_TRUE(stages.ok());
+  ASSERT_EQ(stages->size(), 2u);
+  EXPECT_EQ((*stages)[0], (StageGeometry{0, 8}));
+  EXPECT_EQ((*stages)[1], (StageGeometry{8, 8}));
+}
+
+TEST(ProportionalStageGeometryTest, CoversEveryDeviceContiguously) {
+  const std::vector<DeviceIsland> islands = {
+      Island("fast", 0, 12, 17e12, kGiB),
+      Island("slow", 12, 4, 6.5e12, kGiB)};
+  for (int pp = 1; pp <= 16; ++pp) {
+    auto stages = ProportionalStageGeometry(islands, pp);
+    ASSERT_TRUE(stages.ok()) << "pp=" << pp;
+    ASSERT_EQ(stages->size(), static_cast<size_t>(pp));
+    int next = 0;
+    for (const StageGeometry& stage : *stages) {
+      EXPECT_EQ(stage.first_device, next);
+      EXPECT_GE(stage.num_devices, 1);
+      next += stage.num_devices;
+    }
+    EXPECT_EQ(next, 16);
+  }
+  EXPECT_FALSE(ProportionalStageGeometry(islands, 17).ok());
+  EXPECT_FALSE(ProportionalStageGeometry(islands, 0).ok());
+  EXPECT_FALSE(ProportionalStageGeometry({}, 1).ok());
+}
+
+TEST(ClusterTopologyTest, CreateFromTopologyAdoptsIslandHardware) {
+  auto graph = TopologyGraph::Create(
+      8, TwoNodeNodes(),
+      {Island("a100", 0, 4, 60e12, int64_t{40} * kGB, 0.5),
+       Island("titan", 4, 4, 14e12, int64_t{24} * kGB)});
+  ASSERT_TRUE(graph.ok()) << graph.status();
+  auto cluster = ClusterSpec::CreateFromTopology(
+      "hetero", std::make_shared<const TopologyGraph>(*std::move(graph)));
+  ASSERT_TRUE(cluster.ok()) << cluster.status();
+  EXPECT_EQ(cluster->num_devices(), 8);
+  ASSERT_NE(cluster->topology(), nullptr);
+  EXPECT_FALSE(cluster->HasUniformCompute());
+  EXPECT_FALSE(cluster->HasUniformMemory());
+  EXPECT_DOUBLE_EQ(cluster->device(0).sustained_flops, 60e12);
+  EXPECT_DOUBLE_EQ(cluster->device(7).sustained_flops, 14e12);
+  EXPECT_EQ(cluster->device(2).memory_bytes, int64_t{40} * kGB);
+  EXPECT_EQ(cluster->device(5).memory_bytes, int64_t{24} * kGB);
+  EXPECT_DOUBLE_EQ(cluster->device(1).small_batch_half_life, 0.5);
+  EXPECT_DOUBLE_EQ(cluster->MinSustainedFlopsInRange(0, 8), 14e12);
+  EXPECT_DOUBLE_EQ(cluster->MinSustainedFlopsInRange(0, 4), 60e12);
+  EXPECT_EQ(cluster->MinMemoryInRange(0, 8), int64_t{24} * kGB);
+  // Link queries price over the graph: the cross-node ring is PCIe-bound.
+  EXPECT_EQ(cluster->LinkBetween(0, 7).cls, LinkClass::kPcie3);
+  // Islands surface back out with their names.
+  const std::vector<DeviceIsland> islands = cluster->ComputeIslands();
+  ASSERT_EQ(islands.size(), 2u);
+  EXPECT_EQ(islands[0].name, "a100");
+  EXPECT_EQ(islands[1].name, "titan");
+}
+
+TEST(ClusterTopologyTest, MirrorTopologyMatchesMonotoneLevels) {
+  // NVLink inside, IB outside: bandwidths shrink outward, so graph pricing
+  // must reproduce the level answers exactly.
+  const ClusterSpec legacy = MakeA100Cluster64(16 * kGB);
+  auto mirror = MakeMirrorTopology(legacy);
+  ASSERT_TRUE(mirror.ok()) << mirror.status();
+  auto backed = legacy.WithTopology(
+      std::make_shared<const TopologyGraph>(*std::move(mirror)));
+  ASSERT_TRUE(backed.ok()) << backed.status();
+  for (int a = 0; a < legacy.num_devices(); a += 3) {
+    for (int b = a + 1; b < legacy.num_devices(); b += 5) {
+      EXPECT_EQ(backed->LinkBetween(a, b), legacy.LinkBetween(a, b))
+          << a << "," << b;
+      EXPECT_EQ(backed->GroupBottleneckLink(a, b),
+                legacy.GroupBottleneckLink(a, b))
+          << a << "," << b;
+    }
+  }
+}
+
+TEST(ClusterTopologyTest, MirrorTopologyExposesPcieBoundCrossNodeRings) {
+  // The TITAN testbed is the non-monotone case: PCIe 5.8 GB/s inside,
+  // IB 9.5 GB/s outside. Levels price a cross-node ring at the IB class;
+  // the graph knows the ring still funnels through PCIe hosts.
+  const ClusterSpec legacy = MakeTitanCluster16(16 * kGB);
+  EXPECT_EQ(legacy.LinkBetween(0, 15).cls, LinkClass::kInfiniBand100);
+  auto mirror = MakeMirrorTopology(legacy);
+  ASSERT_TRUE(mirror.ok());
+  auto backed = legacy.WithTopology(
+      std::make_shared<const TopologyGraph>(*std::move(mirror)));
+  ASSERT_TRUE(backed.ok());
+  const LinkSpec cross = backed->LinkBetween(0, 15);
+  EXPECT_EQ(cross.cls, LinkClass::kPcie3);
+  EXPECT_LT(cross.bandwidth_bytes_per_sec,
+            legacy.LinkBetween(0, 15).bandwidth_bytes_per_sec);
+  // Latency is still the worst hop: the IB spine.
+  EXPECT_DOUBLE_EQ(cross.latency_sec,
+                   legacy.LinkBetween(0, 15).latency_sec);
+}
+
+TEST(ClusterTopologyTest, WithTopologyRejectsWrongDeviceCount) {
+  auto graph = TopologyGraph::Create(8, TwoNodeNodes(), UniformIslands(8));
+  ASSERT_TRUE(graph.ok());
+  const ClusterSpec cluster = MakeTitanCluster16(16 * kGB);
+  EXPECT_FALSE(
+      cluster
+          .WithTopology(std::make_shared<const TopologyGraph>(*std::move(graph)))
+          .ok());
+}
+
+}  // namespace
+}  // namespace galvatron

@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <map>
 #include <string>
 #include <thread>
@@ -35,6 +36,7 @@ struct CliArgs {
   double memory_gb = 16;
   std::string intra_link = "pcie";
   std::string inter_link = "ib";
+  std::string topology_file;  // heterogeneous cluster spec (JSON)
   std::string mode = "galvatron";
   std::string schedule = "gpipe";
   bool recompute = false;
@@ -60,6 +62,10 @@ void PrintUsage() {
   --memory-gb G       per-GPU memory budget in decimal GB (default 16)
   --intra-link L      pcie | nvlink        (default pcie)
   --inter-link L      ib | ethernet        (default ib)
+  --topology FILE     plan on a heterogeneous cluster loaded from a
+                      topology JSON file ({"name", "topology": {"nodes",
+                      "islands"}}, see docs/topology.md); replaces
+                      --nodes/--gpus/--memory-gb/--*-link
   --mode M            galvatron | dp | tp | pp | sdp | 3d | dp+tp | dp+pp
   --schedule S        gpipe | 1f1b         (default gpipe)
   --recompute         allow per-layer activation checkpointing
@@ -139,6 +145,8 @@ Result<CliArgs> ParseArgs(int argc, char** argv) {
       GALVATRON_ASSIGN_OR_RETURN(args.intra_link, next());
     } else if (flag == "--inter-link") {
       GALVATRON_ASSIGN_OR_RETURN(args.inter_link, next());
+    } else if (flag == "--topology") {
+      GALVATRON_ASSIGN_OR_RETURN(args.topology_file, next());
     } else if (flag == "--mode") {
       GALVATRON_ASSIGN_OR_RETURN(args.mode, next());
     } else if (flag == "--schedule") {
@@ -195,6 +203,25 @@ ClusterSpec BuildCliCluster(const CliArgs& args) {
       inter);
 }
 
+/// The planning cluster: a homogeneous one from the shape flags, or a
+/// (possibly heterogeneous, graph-priced) one loaded from --topology.
+Result<ClusterSpec> LoadCliCluster(const CliArgs& args) {
+  if (args.topology_file.empty()) {
+    if (args.nodes < 1 || args.gpus_per_node < 1 || args.memory_gb <= 0) {
+      return Status::InvalidArgument("bad cluster shape");
+    }
+    return BuildCliCluster(args);
+  }
+  std::ifstream in(args.topology_file);
+  if (!in) {
+    return Status::NotFound("cannot read topology file " +
+                            args.topology_file);
+  }
+  std::string json((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return ParseTopologyClusterJson(json);
+}
+
 /// --server mode: ship the same planning request to a galvatron_serve
 /// daemon over HTTP and render its answer like a local run would be.
 Result<int> RunRemote(const CliArgs& args) {
@@ -219,10 +246,8 @@ Result<int> RunRemote(const CliArgs& args) {
   }
 
   GALVATRON_ASSIGN_OR_RETURN(ModelId model_id, FindModel(args.model));
-  if (args.nodes < 1 || args.gpus_per_node < 1 || args.memory_gb <= 0) {
-    return Status::InvalidArgument("bad cluster shape");
-  }
-  const ClusterSpec cluster = BuildCliCluster(args);
+  GALVATRON_ASSIGN_OR_RETURN(const ClusterSpec cluster,
+                             LoadCliCluster(args));
 
   std::string body = StrFormat(
       "{\"model\": \"%s\", \"cluster\": %s, \"options\": "
@@ -322,10 +347,7 @@ Result<int> RunCli(const CliArgs& args) {
   GALVATRON_ASSIGN_OR_RETURN(ModelId model_id, FindModel(args.model));
   GALVATRON_ASSIGN_OR_RETURN(BaselineKind mode, FindMode(args.mode));
 
-  if (args.nodes < 1 || args.gpus_per_node < 1 || args.memory_gb <= 0) {
-    return Status::InvalidArgument("bad cluster shape");
-  }
-  ClusterSpec cluster = BuildCliCluster(args);
+  GALVATRON_ASSIGN_OR_RETURN(ClusterSpec cluster, LoadCliCluster(args));
 
   ModelSpec model = BuildModel(model_id);
   std::printf("model:   %s (%.0fM params)\n", model.name().c_str(),

@@ -1,7 +1,7 @@
 // galvatron_fuzz: deterministic differential-fuzzing driver over the
 // search / estimator / simulator / plan-I/O stack (see docs/fuzzing.md).
 //
-//   galvatron_fuzz                         # 100 iterations of all 5 checks
+//   galvatron_fuzz                         # 100 iterations of all checks
 //   galvatron_fuzz --seed=7 --iterations=1000
 //   galvatron_fuzz --checks=memory-model,json-roundtrip
 //   galvatron_fuzz --corpus                # the pinned regression corpus
@@ -45,7 +45,8 @@ void PrintUsage(std::FILE* out) {
                "usage: galvatron_fuzz [options]\n"
                "  --seed=N            base seed of the campaign (default 1)\n"
                "  --iterations=N      iterations per check (default 100)\n"
-               "  --checks=a,b,...    subset of checks (default: all six)\n"
+               "  --checks=a,b,...    subset of checks (default: all "
+               "seven)\n"
                "  --corpus            run the pinned seed/JSON corpus only\n"
                "  --repro=CHECK:SEED  replay one reported iteration\n"
                "  --dump-dir=PATH     where failure repros are written "
