@@ -11,13 +11,23 @@
 /// scheduled, measured = the traced wall time (jitter + contention
 /// stretch included). The per-category relative errors land in
 /// BENCH_search.json so the estimator's blind spots are tracked per PR.
+///
+/// A third pass closes the calibration loop (src/calibrate/): every traced
+/// comm task becomes a fit observation, the fitted profile re-prices the
+/// communication predictions, and the post-calibration comm error lands
+/// next to the analytic one. Tripwire: the bench exits non-zero if
+/// calibration makes the comm error WORSE — the auto-calibration loop must
+/// never regress the estimator it corrects.
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <vector>
 
 #include "bench/bench_common.h"
 #include "bench/bench_json.h"
+#include "calibrate/fit.h"
+#include "calibrate/profile.h"
 #include "trace/trace.h"
 #include "util/math_util.h"
 #include "util/table_printer.h"
@@ -47,7 +57,7 @@ int CategoryBucket(TaskCategory category) {
   return -1;
 }
 
-void Run() {
+int Run() {
   const ClusterSpec cluster = MakeTitanNode8(16 * kGB);
   CostEstimator with(&cluster, {.model_overlap_slowdown = true});
   CostEstimator without(&cluster, {.model_overlap_slowdown = false});
@@ -63,6 +73,9 @@ void Run() {
   // measured plan: nominal scheduled work vs traced wall time.
   double predicted_sec[3] = {0, 0, 0};
   double measured_sec[3] = {0, 0, 0};
+  // Calibration corpus: every traced comm task across every measured plan.
+  std::vector<calibrate::CommObservation> observations;
+  double overlap_estimate = 0.0;
   for (ModelId id : {ModelId::kBertHuge32, ModelId::kViTHuge32,
                      ModelId::kT5Large32, ModelId::kSwinHuge32}) {
     ModelSpec model = BuildModel(id);
@@ -84,6 +97,12 @@ void Run() {
       ++plans;
       auto exec = trace::RecordTrace(sim_trace);
       if (!exec.ok()) continue;
+      std::vector<calibrate::CommObservation> plan_observations =
+          calibrate::ExtractObservations(*exec);
+      observations.insert(observations.end(), plan_observations.begin(),
+                          plan_observations.end());
+      overlap_estimate = std::max(overlap_estimate,
+                                  calibrate::EstimateOverlapSlowdown(*exec));
       for (const trace::TraceEvent& event : exec->events) {
         const int bucket = CategoryBucket(event.category);
         if (bucket < 0) continue;
@@ -129,13 +148,57 @@ void Run() {
   std::printf("Per-category split (traced): nominal scheduled work vs "
               "simulated wall time\n\n%s\n",
               split.ToString().c_str());
+
+  // Calibration pass: fit a profile from the traced comm tasks, then
+  // re-price every observation through CommScale. Pre/post errors are
+  // computed over the same observation set so the comparison is exact.
+  int exit_code = 0;
+  auto profile = calibrate::FitCalibrationProfile(observations,
+                                                  overlap_estimate);
+  if (!profile.ok()) {
+    std::printf("calibration fit failed: %s\n",
+                profile.status().message().c_str());
+    exit_code = 1;
+  } else {
+    double raw_predicted = 0, calibrated_predicted = 0, comm_measured = 0;
+    for (const calibrate::CommObservation& obs : observations) {
+      raw_predicted += obs.predicted_sec;
+      calibrated_predicted +=
+          profile->CommScale(obs.link_class, obs.kind, obs.bytes) *
+          obs.predicted_sec;
+      comm_measured += obs.measured_sec;
+    }
+    const double pre_err = RelativeError(raw_predicted, comm_measured);
+    const double post_err = RelativeError(calibrated_predicted, comm_measured);
+    TablePrinter cal({"comm error", "predicted (s)", "measured (s)", "error"});
+    cal.AddRow({"analytic", StrFormat("%.4f", raw_predicted),
+                StrFormat("%.4f", comm_measured),
+                StrFormat("%.1f%%", 100 * pre_err)});
+    cal.AddRow({"calibrated", StrFormat("%.4f", calibrated_predicted),
+                StrFormat("%.4f", comm_measured),
+                StrFormat("%.1f%%", 100 * post_err)});
+    std::printf("Trace-driven calibration (%d groups, %lld comm tasks, "
+                "overlap %.2f)\n\n%s\n",
+                static_cast<int>(profile->groups.size()),
+                static_cast<long long>(profile->fitted_events),
+                profile->overlap_slowdown, cal.ToString().c_str());
+    out.Record("fig3_category_error", "comm_rel_err_analytic", pre_err);
+    out.Record("fig3_category_error", "comm_rel_err_calibrated", post_err);
+    out.Record("fig3_category_error", "calibration_groups",
+               static_cast<double>(profile->groups.size()));
+    // Tripwire: calibration fitted on these very traces must not make the
+    // comm prediction worse (1e-9 slack for float accumulation order).
+    if (post_err > pre_err + 1e-9) {
+      std::printf("REGRESSION: calibrated comm error %.4f%% > analytic "
+                  "%.4f%%\n", 100 * post_err, 100 * pre_err);
+      exit_code = 1;
+    }
+  }
   if (out.Save()) std::printf("wrote BENCH_search.json\n");
+  return exit_code;
 }
 
 }  // namespace
 }  // namespace galvatron
 
-int main() {
-  galvatron::Run();
-  return 0;
-}
+int main() { return galvatron::Run(); }

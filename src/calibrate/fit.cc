@@ -1,0 +1,191 @@
+#include "calibrate/fit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <tuple>
+
+#include "util/json.h"
+#include "util/string_util.h"
+
+namespace galvatron {
+namespace calibrate {
+
+namespace {
+
+using GroupKey = std::tuple<int, int, int>;  // (link class, kind, bucket)
+
+GroupKey KeyOf(const CommObservation& obs) {
+  return {static_cast<int>(obs.link_class), static_cast<int>(obs.kind),
+          SizeBucket(obs.bytes)};
+}
+
+}  // namespace
+
+std::vector<CommObservation> ExtractObservations(
+    const trace::ExecutionTrace& trace) {
+  std::vector<CommObservation> observations;
+  for (const trace::TraceEvent& event : trace.events) {
+    if (event.comm_group_size < 2) continue;
+    if (!(event.analytic_sec > 0.0)) continue;
+    CommObservation obs;
+    obs.link_class = event.comm_link;
+    obs.kind = event.comm_kind;
+    obs.bytes = event.comm_bytes;
+    obs.group_size = event.comm_group_size;
+    obs.predicted_sec = event.analytic_sec;
+    obs.measured_sec = event.elapsed_sec();
+    observations.push_back(obs);
+  }
+  return observations;
+}
+
+double EstimateOverlapSlowdown(const trace::ExecutionTrace& trace) {
+  double best = 0.0;
+  for (const trace::TraceEvent& event : trace.events) {
+    if (event.comm_group_size < 2) continue;
+    if (!(event.work_sec > 0.0) || !(event.lost_sec > 0.0)) continue;
+    best = std::max(best, 1.0 + event.lost_sec / event.work_sec);
+  }
+  if (best == 0.0) return 0.0;
+  return std::clamp(best, kMinOverlapSlowdown, kMaxOverlapSlowdown);
+}
+
+Result<CalibrationProfile> FitCalibrationProfile(
+    const std::vector<CommObservation>& observations,
+    double overlap_slowdown_estimate, const FitOptions& options) {
+  std::map<GroupKey, std::vector<const CommObservation*>> grouped;
+  for (const CommObservation& obs : observations) {
+    if (!(obs.predicted_sec > 0.0) || !std::isfinite(obs.predicted_sec) ||
+        !(obs.measured_sec >= 0.0) || !std::isfinite(obs.measured_sec)) {
+      continue;
+    }
+    grouped[KeyOf(obs)].push_back(&obs);
+  }
+
+  CalibrationProfile profile;
+  profile.overlap_slowdown = overlap_slowdown_estimate;
+  for (const auto& [key, samples] : grouped) {
+    if (static_cast<int>(samples.size()) <
+        std::max(1, options.min_group_samples)) {
+      continue;
+    }
+    // Weighted ratio fit: scale = sum w*p*m / sum w*p^2 minimizes
+    // sum w*(m - scale*p)^2. Start unweighted, then Huber-reweight on the
+    // relative residual so one outlier sample cannot steer the group.
+    std::vector<double> weights(samples.size(), 1.0);
+    double scale = 1.0;
+    for (int pass = 0; pass <= options.huber_iterations; ++pass) {
+      double num = 0.0;
+      double den = 0.0;
+      for (size_t i = 0; i < samples.size(); ++i) {
+        const double p = samples[i]->predicted_sec;
+        num += weights[i] * p * samples[i]->measured_sec;
+        den += weights[i] * p * p;
+      }
+      if (!(den > 0.0)) break;
+      scale = num / den;
+      if (!(scale > 0.0)) break;
+      if (pass == options.huber_iterations) break;
+      for (size_t i = 0; i < samples.size(); ++i) {
+        const double rel = std::abs(
+            samples[i]->measured_sec / (scale * samples[i]->predicted_sec) -
+            1.0);
+        weights[i] =
+            rel <= options.huber_delta ? 1.0 : options.huber_delta / rel;
+      }
+    }
+    if (!std::isfinite(scale) || !(scale > 0.0)) continue;
+    scale = std::clamp(scale, kMinCalibrationScale, kMaxCalibrationScale);
+
+    CalibrationGroup group;
+    group.link_class = static_cast<LinkClass>(std::get<0>(key));
+    group.kind = static_cast<CollectiveKind>(std::get<1>(key));
+    group.bucket = std::get<2>(key);
+    group.scale = scale;
+    group.sample_count = static_cast<int64_t>(samples.size());
+    double residual_sum = 0.0;
+    for (const CommObservation* obs : samples) {
+      residual_sum +=
+          std::abs(obs->measured_sec / (scale * obs->predicted_sec) - 1.0);
+    }
+    group.rel_residual = residual_sum / static_cast<double>(samples.size());
+    profile.groups.push_back(group);
+    profile.fitted_events += group.sample_count;
+  }
+  if (profile.groups.empty()) {
+    return Status::Infeasible(StrFormat(
+        "no calibration group reached %d samples (%d observations)",
+        options.min_group_samples, static_cast<int>(observations.size())));
+  }
+  GALVATRON_RETURN_IF_ERROR(profile.Validate());
+  return profile;
+}
+
+Result<CalibrationProfile> CalibrateFromTraces(
+    const std::vector<trace::ExecutionTrace>& traces,
+    const FitOptions& options) {
+  std::vector<CommObservation> observations;
+  double overlap = 0.0;
+  for (const trace::ExecutionTrace& trace : traces) {
+    std::vector<CommObservation> extracted = ExtractObservations(trace);
+    observations.insert(observations.end(), extracted.begin(),
+                        extracted.end());
+    overlap = std::max(overlap, EstimateOverlapSlowdown(trace));
+  }
+  return FitCalibrationProfile(observations, overlap, options);
+}
+
+Result<AttributionSamples> ParseAttributionSamples(const std::string& json) {
+  GALVATRON_ASSIGN_OR_RETURN(JsonValue root, ParseJson(json));
+  if (root.kind != JsonValue::Kind::kObject) {
+    return Status::InvalidArgument("attribution report must be an object");
+  }
+  const JsonValue* samples = FindMember(root, "comm_samples");
+  if (samples == nullptr || samples->kind != JsonValue::Kind::kArray) {
+    return Status::InvalidArgument(
+        "attribution report has no comm_samples array — re-record the "
+        "trace with a calibration-aware build");
+  }
+  AttributionSamples out;
+  if (FindMember(root, "overlap_slowdown_estimate") != nullptr) {
+    GALVATRON_ASSIGN_OR_RETURN(
+        out.overlap_slowdown_estimate,
+        GetDouble(root, "overlap_slowdown_estimate"));
+    if (out.overlap_slowdown_estimate != 0.0 &&
+        (out.overlap_slowdown_estimate < kMinOverlapSlowdown ||
+         out.overlap_slowdown_estimate > kMaxOverlapSlowdown)) {
+      return Status::InvalidArgument(StrFormat(
+          "overlap_slowdown_estimate %g outside [%g, %g]",
+          out.overlap_slowdown_estimate, kMinOverlapSlowdown,
+          kMaxOverlapSlowdown));
+    }
+  }
+  for (const JsonValue& entry : samples->array) {
+    if (entry.kind != JsonValue::Kind::kObject) {
+      return Status::InvalidArgument("comm_samples entry must be an object");
+    }
+    CommObservation obs;
+    GALVATRON_ASSIGN_OR_RETURN(std::string link, GetString(entry, "link"));
+    GALVATRON_ASSIGN_OR_RETURN(obs.link_class, LinkClassFromString(link));
+    GALVATRON_ASSIGN_OR_RETURN(std::string kind, GetString(entry, "kind"));
+    GALVATRON_ASSIGN_OR_RETURN(obs.kind, CollectiveKindFromString(kind));
+    GALVATRON_ASSIGN_OR_RETURN(obs.bytes,
+                               GetInt64(entry, "bytes", /*min_value=*/0));
+    GALVATRON_ASSIGN_OR_RETURN(
+        obs.group_size, GetInt(entry, "group_size", /*min_value=*/2));
+    GALVATRON_ASSIGN_OR_RETURN(obs.predicted_sec,
+                               GetDouble(entry, "predicted_sec"));
+    GALVATRON_ASSIGN_OR_RETURN(obs.measured_sec,
+                               GetDouble(entry, "measured_sec"));
+    if (obs.predicted_sec < 0.0 || obs.measured_sec < 0.0) {
+      return Status::InvalidArgument(
+          "comm_samples entry has a negative duration");
+    }
+    out.observations.push_back(obs);
+  }
+  return out;
+}
+
+}  // namespace calibrate
+}  // namespace galvatron

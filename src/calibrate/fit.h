@@ -1,0 +1,86 @@
+#ifndef GALVATRON_CALIBRATE_FIT_H_
+#define GALVATRON_CALIBRATE_FIT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "calibrate/profile.h"
+#include "trace/trace.h"
+#include "util/result.h"
+
+namespace galvatron {
+namespace calibrate {
+
+/// One observed collective: the estimator-side analytic prediction paired
+/// with the wall time the trace measured (jitter + contention included),
+/// keyed the same way the estimator keys its comm tasks.
+struct CommObservation {
+  LinkClass link_class = LinkClass::kPcie3;
+  CollectiveKind kind = CollectiveKind::kAllReduce;
+  int64_t bytes = 0;
+  int group_size = 0;
+  double predicted_sec = 0.0;  // pre-jitter analytic duration
+  double measured_sec = 0.0;   // observed wall time
+};
+
+/// Pulls every comm task out of a recorded trace as a fit observation
+/// (events with comm_group_size == 0 — compute, transformation, init — are
+/// skipped, as are degenerate samples with a non-positive prediction).
+std::vector<CommObservation> ExtractObservations(
+    const trace::ExecutionTrace& trace);
+
+/// Estimates the compute/comm contention slowdown k from a trace: a task
+/// fully contended for its duration satisfies lost = (k - 1) * work, and
+/// partial contention only lowers the ratio, so the max of
+/// 1 + lost_sec / work_sec over comm tasks is a tight-from-below estimate.
+/// Returns 0 (unset) when no comm task shows contention. The result is
+/// clamped to [kMinOverlapSlowdown, kMaxOverlapSlowdown].
+double EstimateOverlapSlowdown(const trace::ExecutionTrace& trace);
+
+struct FitOptions {
+  /// IRLS (iteratively reweighted least squares) refinements after the
+  /// initial unweighted ratio fit. Each pass recomputes Huber weights from
+  /// relative residuals, shrinking the pull of outlier samples (a collective
+  /// that straddled a pipeline stall).
+  int huber_iterations = 4;
+  /// Relative residual at which a sample stops counting quadratically.
+  double huber_delta = 0.25;
+  /// Groups with fewer samples than this are dropped — one noisy
+  /// observation should not steer a coefficient.
+  int min_group_samples = 2;
+};
+
+/// Robust per-group ratio fit: for each (link class, collective kind, size
+/// bucket) group, the scale minimizing sum w * (measured - scale *
+/// predicted)^2 with Huber reweighting, clamped to the profile's accepted
+/// range. `overlap_slowdown_estimate` (0 = unset, e.g. from
+/// EstimateOverlapSlowdown) is validated and recorded on the profile.
+/// Errors when no group survives min_group_samples.
+Result<CalibrationProfile> FitCalibrationProfile(
+    const std::vector<CommObservation>& observations,
+    double overlap_slowdown_estimate = 0.0, const FitOptions& options = {});
+
+/// Convenience: extract + estimate + fit from recorded traces.
+Result<CalibrationProfile> CalibrateFromTraces(
+    const std::vector<trace::ExecutionTrace>& traces,
+    const FitOptions& options = {});
+
+/// Parsed "comm_samples" section of an attribution report (see
+/// docs/tracing.md): the offline ingestion path of `galvatron_cli
+/// --calibrate <reports...>`.
+struct AttributionSamples {
+  std::vector<CommObservation> observations;
+  /// The report's "overlap_slowdown_estimate", 0 when absent.
+  double overlap_slowdown_estimate = 0.0;
+};
+
+/// Reads the comm samples out of an attribution JSON document produced by
+/// trace::ToAttributionJson. Reports without a "comm_samples" member are
+/// InvalidArgument (they predate calibration — re-record the trace).
+Result<AttributionSamples> ParseAttributionSamples(const std::string& json);
+
+}  // namespace calibrate
+}  // namespace galvatron
+
+#endif  // GALVATRON_CALIBRATE_FIT_H_

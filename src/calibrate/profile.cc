@@ -1,0 +1,213 @@
+#include "calibrate/profile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <tuple>
+
+#include "util/string_util.h"
+
+namespace galvatron {
+namespace calibrate {
+
+namespace {
+
+constexpr char kFormatTag[] = "galvatron-calibration";
+
+std::tuple<int, int, int> GroupKey(const CalibrationGroup& g) {
+  return {static_cast<int>(g.link_class), static_cast<int>(g.kind), g.bucket};
+}
+
+}  // namespace
+
+int SizeBucket(int64_t bytes) {
+  if (bytes <= 1) return 0;
+  int bucket = 0;
+  uint64_t v = static_cast<uint64_t>(bytes);
+  while (v > 1 && bucket < 62) {
+    v >>= 1;
+    ++bucket;
+  }
+  return bucket;
+}
+
+const CalibrationGroup* CalibrationProfile::Find(LinkClass cls,
+                                                 CollectiveKind kind,
+                                                 int bucket) const {
+  for (const CalibrationGroup& group : groups) {
+    if (group.link_class == cls && group.kind == kind &&
+        group.bucket == bucket) {
+      return &group;
+    }
+  }
+  return nullptr;
+}
+
+double CalibrationProfile::CommScale(LinkClass cls, CollectiveKind kind,
+                                     int64_t bytes) const {
+  const int bucket = SizeBucket(bytes);
+  const CalibrationGroup* best = nullptr;
+  int best_distance = 0;
+  for (const CalibrationGroup& group : groups) {
+    if (group.link_class != cls || group.kind != kind) continue;
+    const int distance = std::abs(group.bucket - bucket);
+    if (distance == 0) return group.scale;
+    // Nearest fitted bucket; ties resolve to the smaller bucket (groups are
+    // sorted by bucket, so the first of a tied pair wins).
+    if (best == nullptr || distance < best_distance) {
+      best = &group;
+      best_distance = distance;
+    }
+  }
+  return best != nullptr ? best->scale : 1.0;
+}
+
+Status CalibrationProfile::Validate() {
+  if (version != 1) {
+    return Status::InvalidArgument(
+        StrFormat("unsupported calibration profile version %d", version));
+  }
+  if (fitted_events < 0) {
+    return Status::InvalidArgument("fitted_events must be >= 0");
+  }
+  if (overlap_slowdown != 0.0 &&
+      (!std::isfinite(overlap_slowdown) ||
+       overlap_slowdown < kMinOverlapSlowdown ||
+       overlap_slowdown > kMaxOverlapSlowdown)) {
+    return Status::InvalidArgument(StrFormat(
+        "overlap_slowdown %g outside [%g, %g] (or 0 for unset)",
+        overlap_slowdown, kMinOverlapSlowdown, kMaxOverlapSlowdown));
+  }
+  for (const CalibrationGroup& group : groups) {
+    if (group.bucket < 0 || group.bucket > 62) {
+      return Status::InvalidArgument(
+          StrFormat("group bucket %d outside [0, 62]", group.bucket));
+    }
+    if (!std::isfinite(group.scale) || group.scale < kMinCalibrationScale ||
+        group.scale > kMaxCalibrationScale) {
+      return Status::InvalidArgument(StrFormat(
+          "group scale %g outside [%g, %g]", group.scale,
+          kMinCalibrationScale, kMaxCalibrationScale));
+    }
+    if (group.sample_count < 0) {
+      return Status::InvalidArgument("group sample count must be >= 0");
+    }
+    if (!std::isfinite(group.rel_residual) || group.rel_residual < 0.0) {
+      return Status::InvalidArgument(
+          StrFormat("group rel_residual %g must be finite and >= 0",
+                    group.rel_residual));
+    }
+  }
+  std::sort(groups.begin(), groups.end(),
+            [](const CalibrationGroup& a, const CalibrationGroup& b) {
+              return GroupKey(a) < GroupKey(b);
+            });
+  for (size_t i = 1; i < groups.size(); ++i) {
+    if (GroupKey(groups[i - 1]) == GroupKey(groups[i])) {
+      return Status::InvalidArgument(StrFormat(
+          "duplicate calibration group (%s, %s, bucket %d)",
+          std::string(LinkClassToString(groups[i].link_class)).c_str(),
+          std::string(CollectiveKindToString(groups[i].kind)).c_str(),
+          groups[i].bucket));
+    }
+  }
+  return Status::OK();
+}
+
+std::string CalibrationProfileToJson(const CalibrationProfile& profile) {
+  // Build a util/json document so the output is canonical (sorted keys) and
+  // every number round-trips through ParseJson bit-exactly.
+  JsonValue root;
+  root.kind = JsonValue::Kind::kObject;
+  auto set_string = [](JsonValue& obj, const std::string& key,
+                       const std::string& value) {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kString;
+    v.string = value;
+    obj.object.emplace(key, std::move(v));
+  };
+  auto set_number = [](JsonValue& obj, const std::string& key, double value) {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    v.number = value;
+    obj.object.emplace(key, std::move(v));
+  };
+  auto set_int64 = [](JsonValue& obj, const std::string& key, int64_t value) {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    v.number = static_cast<double>(value);
+    v.number_token = StrFormat("%lld", static_cast<long long>(value));
+    obj.object.emplace(key, std::move(v));
+  };
+  set_string(root, "format", kFormatTag);
+  set_int64(root, "version", profile.version);
+  set_int64(root, "fitted_events", profile.fitted_events);
+  set_number(root, "overlap_slowdown", profile.overlap_slowdown);
+  JsonValue groups;
+  groups.kind = JsonValue::Kind::kArray;
+  for (const CalibrationGroup& group : profile.groups) {
+    JsonValue g;
+    g.kind = JsonValue::Kind::kObject;
+    set_string(g, "link", std::string(LinkClassToString(group.link_class)));
+    set_string(g, "kind", std::string(CollectiveKindToString(group.kind)));
+    set_int64(g, "bucket", group.bucket);
+    set_number(g, "scale", group.scale);
+    set_int64(g, "samples", group.sample_count);
+    set_number(g, "rel_residual", group.rel_residual);
+    groups.array.push_back(std::move(g));
+  }
+  root.object.emplace("groups", std::move(groups));
+  return WriteJson(root);
+}
+
+Result<CalibrationProfile> CalibrationProfileFromJsonValue(
+    const JsonValue& root) {
+  if (root.kind != JsonValue::Kind::kObject) {
+    return Status::InvalidArgument("calibration profile must be an object");
+  }
+  GALVATRON_ASSIGN_OR_RETURN(std::string format, GetString(root, "format"));
+  if (format != kFormatTag) {
+    return Status::InvalidArgument(
+        StrFormat("not a calibration profile (format '%s')", format.c_str()));
+  }
+  CalibrationProfile profile;
+  GALVATRON_ASSIGN_OR_RETURN(profile.version,
+                             GetInt(root, "version", /*min_value=*/1));
+  GALVATRON_ASSIGN_OR_RETURN(
+      profile.fitted_events,
+      GetInt64(root, "fitted_events", /*min_value=*/0));
+  GALVATRON_ASSIGN_OR_RETURN(profile.overlap_slowdown,
+                             GetDouble(root, "overlap_slowdown"));
+  GALVATRON_ASSIGN_OR_RETURN(const JsonValue* groups,
+                             GetMember(root, "groups",
+                                       JsonValue::Kind::kArray));
+  for (const JsonValue& entry : groups->array) {
+    if (entry.kind != JsonValue::Kind::kObject) {
+      return Status::InvalidArgument("calibration group must be an object");
+    }
+    CalibrationGroup group;
+    GALVATRON_ASSIGN_OR_RETURN(std::string link, GetString(entry, "link"));
+    GALVATRON_ASSIGN_OR_RETURN(group.link_class, LinkClassFromString(link));
+    GALVATRON_ASSIGN_OR_RETURN(std::string kind, GetString(entry, "kind"));
+    GALVATRON_ASSIGN_OR_RETURN(group.kind, CollectiveKindFromString(kind));
+    GALVATRON_ASSIGN_OR_RETURN(group.bucket,
+                               GetInt(entry, "bucket", /*min_value=*/0));
+    GALVATRON_ASSIGN_OR_RETURN(group.scale, GetDouble(entry, "scale"));
+    GALVATRON_ASSIGN_OR_RETURN(group.sample_count,
+                               GetInt64(entry, "samples", /*min_value=*/0));
+    GALVATRON_ASSIGN_OR_RETURN(group.rel_residual,
+                               GetDouble(entry, "rel_residual"));
+    profile.groups.push_back(group);
+  }
+  GALVATRON_RETURN_IF_ERROR(profile.Validate());
+  return profile;
+}
+
+Result<CalibrationProfile> ParseCalibrationProfileJson(
+    const std::string& json) {
+  GALVATRON_ASSIGN_OR_RETURN(JsonValue root, ParseJson(json));
+  return CalibrationProfileFromJsonValue(root);
+}
+
+}  // namespace calibrate
+}  // namespace galvatron

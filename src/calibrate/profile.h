@@ -1,0 +1,107 @@
+#ifndef GALVATRON_CALIBRATE_PROFILE_H_
+#define GALVATRON_CALIBRATE_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/link.h"
+#include "comm/collective.h"
+#include "util/json.h"
+#include "util/result.h"
+
+namespace galvatron {
+namespace calibrate {
+
+/// One fitted correction group: every observed collective of `kind` over a
+/// bottleneck link of class `link_class` whose payload falls in the log2
+/// size bucket. `scale` multiplies the estimator's analytic time for
+/// matching comm tasks (measured / predicted, robustly fitted);
+/// `sample_count` and `rel_residual` (mean |measured/(scale*predicted) - 1|
+/// after the fit) record fit quality for observability.
+struct CalibrationGroup {
+  LinkClass link_class = LinkClass::kPcie3;
+  CollectiveKind kind = CollectiveKind::kAllReduce;
+  int bucket = 0;  // SizeBucket(payload bytes)
+  double scale = 1.0;
+  int64_t sample_count = 0;
+  double rel_residual = 0.0;
+};
+
+/// Fitted scales outside this range are rejected at parse time (and clamped
+/// by the fitter): a >16x correction means the analytic model or the trace
+/// is broken, not miscalibrated, and silently applying it would corrupt
+/// every search that keys on the profile.
+inline constexpr double kMinCalibrationScale = 1.0 / 16.0;
+inline constexpr double kMaxCalibrationScale = 16.0;
+
+/// Accepted range for a fitted overlap slowdown (1 = no contention; the
+/// paper measures ~1.3; beyond 8x the trace is attributing something other
+/// than SM contention).
+inline constexpr double kMinOverlapSlowdown = 1.0;
+inline constexpr double kMaxOverlapSlowdown = 8.0;
+
+/// The log2 message-size bucket of a payload: floor(log2(bytes)) clamped to
+/// [0, 62]. Bandwidth efficiency on real links varies with message size
+/// (latency-bound small messages vs streaming large ones), so coefficients
+/// are fitted per bucket rather than per link.
+int SizeBucket(int64_t bytes);
+
+/// A versioned, trace-fitted override layer for the cost estimator's
+/// communication model (see docs/calibration.md). An empty profile — or no
+/// profile at all — leaves every estimate byte-identical to the analytic
+/// model (fuzz-enforced, FuzzCheck::kCalibrationIdentity).
+struct CalibrationProfile {
+  /// Format version; 1 is the only accepted value.
+  int version = 1;
+  /// Total observations behind the fit (provenance, not used in lookups).
+  int64_t fitted_events = 0;
+  /// Fitted compute/comm contention slowdown for the estimator's backward
+  /// overlap combine; 0 keeps the estimator's configured value.
+  double overlap_slowdown = 0.0;
+  /// Sorted by (link_class, kind, bucket); unique keys.
+  std::vector<CalibrationGroup> groups;
+
+  bool empty() const { return groups.empty() && overlap_slowdown == 0.0; }
+
+  /// The group matching (cls, kind, bucket) exactly, or nullptr.
+  const CalibrationGroup* Find(LinkClass cls, CollectiveKind kind,
+                               int bucket) const;
+
+  /// Comm-time multiplier for a collective of `kind` over a `cls`-class
+  /// link moving `bytes`: the exact bucket's scale, else the nearest fitted
+  /// bucket of the same (cls, kind) — bandwidth efficiency varies smoothly
+  /// in log-size, so the neighbour generalizes — else exactly 1.0.
+  double CommScale(LinkClass cls, CollectiveKind kind, int64_t bytes) const;
+
+  /// Canonicalizes group order and returns an error on invalid contents
+  /// (bad version, non-finite or out-of-range coefficients, duplicate
+  /// keys). Serializers call this on both directions.
+  Status Validate();
+};
+
+/// Serializes a profile to canonical JSON (sorted keys, %.17g numbers):
+///
+///   {"format": "galvatron-calibration", "version": 1,
+///    "fitted_events": 1234, "overlap_slowdown": 1.29,
+///    "groups": [{"link": "PCIe3", "kind": "AllReduce", "bucket": 24,
+///                "scale": 1.31, "samples": 96, "rel_residual": 0.04}, ...]}
+///
+/// Round-trips bit-exactly through ParseCalibrationProfileJson.
+std::string CalibrationProfileToJson(const CalibrationProfile& profile);
+
+/// Parses and validates a profile document. Strict: malformed JSON, wrong
+/// format tag or version, NaN/infinite/out-of-range coefficients and
+/// duplicate group keys are InvalidArgument errors.
+Result<CalibrationProfile> ParseCalibrationProfileJson(
+    const std::string& json);
+
+/// Same, from an already-parsed document — for embedding profiles inside
+/// larger messages (the /v1/calibrate response carries one).
+Result<CalibrationProfile> CalibrationProfileFromJsonValue(
+    const JsonValue& root);
+
+}  // namespace calibrate
+}  // namespace galvatron
+
+#endif  // GALVATRON_CALIBRATE_PROFILE_H_

@@ -1,5 +1,7 @@
 #include "comm/collective.h"
 
+#include <string>
+
 #include "util/logging.h"
 
 namespace galvatron {
@@ -18,6 +20,16 @@ std::string_view CollectiveKindToString(CollectiveKind kind) {
       return "P2P";
   }
   return "?";
+}
+
+Result<CollectiveKind> CollectiveKindFromString(std::string_view name) {
+  if (name == "AllReduce") return CollectiveKind::kAllReduce;
+  if (name == "AllGather") return CollectiveKind::kAllGather;
+  if (name == "ReduceScatter") return CollectiveKind::kReduceScatter;
+  if (name == "Broadcast") return CollectiveKind::kBroadcast;
+  if (name == "P2P") return CollectiveKind::kPointToPoint;
+  return Status::InvalidArgument("unknown collective kind '" +
+                                 std::string(name) + "'");
 }
 
 double RingTrafficFactor(CollectiveKind kind, int group_size) {

@@ -22,6 +22,11 @@ enum class CollectiveKind {
 
 std::string_view CollectiveKindToString(CollectiveKind kind);
 
+/// Inverse of CollectiveKindToString ("AllReduce", "AllGather",
+/// "ReduceScatter", "Broadcast", "P2P"); unknown names are InvalidArgument.
+/// Calibration profiles key their fitted groups on these names.
+Result<CollectiveKind> CollectiveKindFromString(std::string_view name);
+
 /// Bus-traffic multiplier of a ring implementation: an n-rank ring
 /// all-reduce moves 2(n-1)/n of the payload over the bottleneck link,
 /// all-gather and reduce-scatter move (n-1)/n, a pipelined broadcast ~1,

@@ -26,17 +26,36 @@ double LayerCost::IterationSeconds(int micro_batches,
 
 CostEstimator::CostEstimator(const ClusterSpec* cluster,
                              EstimatorOptions options)
-    : cluster_(cluster), layer_model_(cluster), options_(options) {
+    : cluster_(cluster), layer_model_(cluster), options_(options),
+      effective_options_(options) {
   GALVATRON_CHECK(cluster != nullptr);
+  set_calibration(options.calibration);
+}
+
+void CostEstimator::set_calibration(
+    const calibrate::CalibrationProfile* calibration) {
+  calibration_ = calibration;
+  effective_options_ = options_;
+  if (calibration_ != nullptr && calibration_->overlap_slowdown > 0.0) {
+    effective_options_.overlap_slowdown = calibration_->overlap_slowdown;
+  }
+}
+
+double CostEstimator::CommTaskSeconds(const CommTask& task) const {
+  const double analytic = task.Time();
+  if (calibration_ == nullptr) return analytic;
+  return analytic *
+         calibration_->CommScale(task.link.cls, task.kind, task.bytes);
 }
 
 double CostEstimator::CombineOverlap(double compute_sec,
                                      double comm_sec) const {
-  if (!options_.model_overlap_slowdown) {
+  if (!effective_options_.model_overlap_slowdown) {
     return std::max(compute_sec, comm_sec);
   }
   return std::max(compute_sec, comm_sec) +
-         (options_.overlap_slowdown - 1.0) * std::min(compute_sec, comm_sec);
+         (effective_options_.overlap_slowdown - 1.0) *
+             std::min(compute_sec, comm_sec);
 }
 
 Result<LayerCost> CostEstimator::EstimateLayer(
@@ -70,16 +89,16 @@ Result<LayerCost> CostEstimator::EstimateLayer(
   LayerCost cost;
   cost.fwd_mb_sec = mb.fwd_compute_sec;
   for (const CommTask& task : mb.fwd_comms) {
-    cost.fwd_mb_sec += task.Time();  // forward comms all block
+    cost.fwd_mb_sec += CommTaskSeconds(task);  // forward comms all block
   }
   cost.bwd_compute_mb_sec = mb.bwd_compute_sec;
   for (const CommTask& task : mb.bwd_comms) {
     if (!task.overlappable) {
-      cost.bwd_blocking_mb_sec += task.Time();
+      cost.bwd_blocking_mb_sec += CommTaskSeconds(task);
     } else if (task.frequency == CommFrequency::kPerMicroBatch) {
-      cost.ovl_mb_sec += task.Time();
+      cost.ovl_mb_sec += CommTaskSeconds(task);
     } else {
-      cost.iter_comm_sec += task.Time();
+      cost.iter_comm_sec += CommTaskSeconds(task);
     }
   }
   cost.resident_memory_bytes =
@@ -121,7 +140,8 @@ Result<StageCost> CostEstimator::EstimateStage(
         EstimateLayer(layer, strategies[static_cast<size_t>(i)],
                       stage_first_device, batch_per_group, micro_batches,
                       recompute, resident_micro_batches));
-    const double seconds = cost.IterationSeconds(micro_batches, options_);
+    const double seconds =
+        cost.IterationSeconds(micro_batches, effective_options_);
     stage.per_layer_seconds.push_back(seconds);
     stage.seconds += seconds;
     resident += cost.resident_memory_bytes;
@@ -188,10 +208,14 @@ Result<PlanCost> CostEstimator::EstimatePlan(const ModelSpec& model,
           prev.first_device + prev.num_devices - 1, stage.first_device);
       const int64_t bytes =
           model.layer(stage.first_layer).input_bytes() * mb_size;
-      const double p2p =
-          2.0 * plan.num_micro_batches *
-          (CollectiveTime(CollectiveKind::kPointToPoint, bytes, 2, link) +
-           cluster_->pipeline_rpc_overhead_sec());
+      double once =
+          CollectiveTime(CollectiveKind::kPointToPoint, bytes, 2, link) +
+          cluster_->pipeline_rpc_overhead_sec();
+      if (calibration_ != nullptr) {
+        once *= calibration_->CommScale(
+            link.cls, CollectiveKind::kPointToPoint, bytes);
+      }
+      const double p2p = 2.0 * plan.num_micro_batches * once;
       // The transfer occupies both neighbours' comm streams.
       cost.seconds += p2p;
       total.stages.back().seconds += p2p;

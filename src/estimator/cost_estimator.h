@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "calibrate/profile.h"
 #include "cluster/cluster.h"
 #include "ir/model.h"
 #include "parallel/layer_cost_model.h"
@@ -24,6 +25,14 @@ struct EstimatorOptions {
   /// Megatron-LM sequence parallelism for every TP region: same
   /// communication volume, activations fully sharded across the TP group.
   bool tp_sequence_parallel = false;
+  /// Optional trace-fitted correction layer (src/calibrate/). When set,
+  /// each communication term is multiplied by the profile's fitted scale
+  /// for its (link class, collective kind, size bucket), and a non-zero
+  /// fitted overlap slowdown overrides `overlap_slowdown`. Must outlive
+  /// the estimator. nullptr (the default) leaves every estimate
+  /// byte-identical to the uncalibrated analytic model — enforced by the
+  /// CalibrationIdentity fuzz invariant.
+  const calibrate::CalibrationProfile* calibration = nullptr;
 };
 
 /// Time/memory estimate of one layer under one strategy, at micro-batch
@@ -89,6 +98,13 @@ class CostEstimator {
   CostEstimator(const ClusterSpec* cluster, EstimatorOptions options = {});
 
   const EstimatorOptions& options() const { return options_; }
+  /// options() with the calibration profile's fitted overlap slowdown
+  /// substituted in; identical to options() when no profile is installed.
+  /// Pass this (not options()) to LayerCost::IterationSeconds so recombined
+  /// layer costs match EstimateStage/EstimatePlan under calibration.
+  const EstimatorOptions& effective_options() const {
+    return effective_options_;
+  }
   const ClusterSpec& cluster() const { return *cluster_; }
 
   /// Feeds measured per-layer timings into the underlying cost model (the
@@ -96,6 +112,15 @@ class CostEstimator {
   /// `profile` must outlive this estimator; nullptr reverts to analytic.
   void set_profile(const ProfileTable* profile) {
     layer_model_.set_profile(profile);
+  }
+
+  /// Installs (or clears) the trace-fitted calibration profile. Same
+  /// lifetime and thread-safety contract as set_profile: configure before
+  /// searching. With nullptr every estimate is byte-identical to the
+  /// uncalibrated estimator.
+  void set_calibration(const calibrate::CalibrationProfile* calibration);
+  const calibrate::CalibrationProfile* calibration() const {
+    return calibration_;
   }
 
   /// Overlap(comp, comm) as defined above.
@@ -140,9 +165,19 @@ class CostEstimator {
                                 bool check_memory = true) const;
 
  private:
+  /// task.Time() with the calibration scale applied; exactly task.Time()
+  /// when no profile is installed (no multiply happens, so the result is
+  /// bit-identical, not merely equal).
+  double CommTaskSeconds(const CommTask& task) const;
+
   const ClusterSpec* cluster_;
   LayerCostModel layer_model_;
   EstimatorOptions options_;
+  const calibrate::CalibrationProfile* calibration_ = nullptr;
+  /// options_ with the profile's fitted overlap slowdown substituted in
+  /// (a verbatim copy when calibration_ is nullptr or its slowdown unset);
+  /// the copy used by CombineOverlap and IterationSeconds.
+  EstimatorOptions effective_options_;
 };
 
 }  // namespace galvatron

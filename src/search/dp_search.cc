@@ -1100,7 +1100,7 @@ Result<DpSearchResult> DpSearch::Run(
           (cost.resident_memory_bytes + options_.memory_granularity / 2) /
           options_.memory_granularity);
       scratch.seconds[e] =
-          cost.IterationSeconds(micro_batches, estimator_->options());
+          cost.IterationSeconds(micro_batches, estimator_->effective_options());
     }
   }
   const int64_t effective_budget = memory_budget - max_transient;
@@ -1227,7 +1227,7 @@ Result<DpSearchResult> BruteForceSearch(
       units[cell(l, s)] = static_cast<int32_t>(
           (cost.resident_memory_bytes + gran / 2) / gran);
       seconds[cell(l, s)] =
-          cost.IterationSeconds(micro_batches, estimator.options());
+          cost.IterationSeconds(micro_batches, estimator.effective_options());
     }
   }
   const int64_t effective_budget = memory_budget - max_transient;

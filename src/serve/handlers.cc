@@ -334,7 +334,8 @@ std::string NormalizedClusterKey(const JsonValue& cluster_value) {
 PlanService::PlanService(PlanServiceOptions options)
     : options_(options),
       plan_cache_(PlanCacheOptions{options.plan_cache_entries,
-                                   options.plan_cache_journal}) {
+                                   options.plan_cache_journal,
+                                   options.plan_cache_journal_max_bytes}) {
   if (options_.context_cache_entries == 0) options_.context_cache_entries = 1;
   if (options_.async_workers < 1) options_.async_workers = 1;
   if (options_.async_jobs < 1) options_.async_jobs = 1;
@@ -390,29 +391,47 @@ HttpResponse PlanService::Handle(const HttpRequest& request) {
     }
     return HandleMeasure(request);
   }
+  if (route == "/v1/calibrate") {
+    if (!is_post) {
+      return MakeJsonErrorResponse(
+          Status::InvalidArgument("/v1/calibrate only answers POST"), 405);
+    }
+    return HandleCalibrate(request);
+  }
   return MakeJsonErrorResponse(
       Status::NotFound(StrFormat("no route '%s'", route.c_str())));
 }
 
 std::shared_ptr<PlanningContext> PlanService::GetOrCreateContext(
     const std::string& key, const ModelSpec& model, const ClusterSpec& cluster,
-    const EstimatorOptions& estimator_options) {
+    const EstimatorOptions& estimator_options,
+    std::shared_ptr<const calibrate::CalibrationProfile> calibration) {
   std::lock_guard<std::mutex> lock(contexts_mu_);
   auto it = contexts_index_.find(key);
   if (it != contexts_index_.end()) {
     contexts_.splice(contexts_.begin(), contexts_, it->second);
-    return it->second->second;
+    return it->second->second.context;
   }
   auto context =
       std::make_shared<PlanningContext>(model, cluster, estimator_options);
-  contexts_.emplace_front(key, context);
+  contexts_.emplace_front(key,
+                          WarmContext{context, std::move(calibration)});
   contexts_index_[key] = contexts_.begin();
   if (contexts_.size() > options_.context_cache_entries) {
-    // Requests running on the evicted context keep it alive via shared_ptr.
+    // Requests running on the evicted context keep it alive via shared_ptr
+    // (the WarmContext's profile reference rides along in the same entry,
+    // and the caller holds its own snapshot for the request's lifetime).
     contexts_index_.erase(contexts_.back().first);
     contexts_.pop_back();
   }
   return context;
+}
+
+std::shared_ptr<const calibrate::CalibrationProfile>
+PlanService::ActiveCalibration(int64_t* version) const {
+  std::lock_guard<std::mutex> lock(calibration_mu_);
+  if (version != nullptr) *version = calibration_version_;
+  return calibration_;
 }
 
 HttpResponse PlanService::HandlePlan(const HttpRequest& request) {
@@ -475,8 +494,17 @@ HttpResponse PlanService::HandlePlan(const HttpRequest& request) {
         "'model' must be a zoo model name or a model-spec object"));
   }
   const std::string cluster_canonical = WriteJson(**cluster_value);
+  // The active calibration profile changes which result the search produces,
+  // so its version is part of the key: a POST /v1/calibrate swap makes every
+  // cached pre-swap answer unreachable instead of stale. The snapshot taken
+  // here rides through to ComputePlan so the cached response is priced by
+  // exactly the profile its key names, even if a swap lands mid-request.
+  int64_t calibration_version = 0;
+  std::shared_ptr<const calibrate::CalibrationProfile> calibration =
+      ActiveCalibration(&calibration_version);
   const std::string cache_key =
-      model_canonical + "\n" + cluster_canonical + "\n" + options_signature;
+      model_canonical + "\n" + cluster_canonical + "\n" + options_signature +
+      StrFormat("\ncal=%lld", static_cast<long long>(calibration_version));
 
   const auto wait_deadline =
       std::chrono::steady_clock::now() +
@@ -513,7 +541,8 @@ HttpResponse PlanService::HandlePlan(const HttpRequest& request) {
     if (leader) {
       HttpResponse response =
           ComputePlan(*root, *model_value, **cluster_value, model_canonical,
-                      cache_key, deadline_ms);
+                      cache_key, deadline_ms, calibration,
+                      calibration_version);
       {
         // Unpublish BEFORE waking followers: a new request must either see
         // the plan-cache entry (filled inside ComputePlan on success) or
@@ -553,12 +582,12 @@ HttpResponse PlanService::HandlePlan(const HttpRequest& request) {
   }
 }
 
-HttpResponse PlanService::ComputePlan(const JsonValue& root,
-                                      const JsonValue& model_value,
-                                      const JsonValue& cluster_value,
-                                      const std::string& model_canonical,
-                                      const std::string& cache_key,
-                                      double deadline_ms) {
+HttpResponse PlanService::ComputePlan(
+    const JsonValue& root, const JsonValue& model_value,
+    const JsonValue& cluster_value, const std::string& model_canonical,
+    const std::string& cache_key, double deadline_ms,
+    std::shared_ptr<const calibrate::CalibrationProfile> calibration,
+    int64_t calibration_version) {
   OptimizerOptions options;
   std::string options_signature;  // already validated by HandlePlan
   Status options_status = ParseOptimizerOptions(FindMember(root, "options"),
@@ -571,16 +600,22 @@ HttpResponse PlanService::ComputePlan(const JsonValue& root,
   Result<ClusterSpec> cluster = ClusterSpecFromJsonValue(cluster_value);
   if (!cluster.ok()) return MakeJsonErrorResponse(cluster.status());
 
+  // The warm context's caches hold calibrated costs, so the profile version
+  // joins the estimator-options part of the key: a swap starts a fresh
+  // context instead of replaying frontiers priced by the old profile.
+  options.estimator.calibration = calibration.get();
+
   // Budget-normalized context key: budget-only cluster variants share one
   // context (one cost cache + one frontier cache); see NormalizedClusterKey.
   const std::string context_key =
       model_canonical + "\n" + NormalizedClusterKey(cluster_value) + "\n" +
-      StrFormat("est=%d:%s:%d",
+      StrFormat("est=%d:%s:%d:cal=%lld",
                 options.estimator.model_overlap_slowdown ? 1 : 0,
                 JsonNumber(options.estimator.overlap_slowdown).c_str(),
-                options.estimator.tp_sequence_parallel ? 1 : 0);
-  std::shared_ptr<PlanningContext> context =
-      GetOrCreateContext(context_key, *model, *cluster, options.estimator);
+                options.estimator.tp_sequence_parallel ? 1 : 0,
+                static_cast<long long>(calibration_version));
+  std::shared_ptr<PlanningContext> context = GetOrCreateContext(
+      context_key, *model, *cluster, options.estimator, calibration);
 
   std::function<bool()> cancel_check;
   if (deadline_ms > 0.0) {
@@ -767,6 +802,35 @@ HttpResponse PlanService::HandleMeasure(const HttpRequest& request) {
     attribution =
         trace::ToAttributionJson(*exec_trace, *report, attribution_options);
     if (options_.metrics != nullptr) options_.metrics->RecordExplain();
+
+    // Feed the calibration buffer: every traced comm task becomes a
+    // (predicted, measured) observation for the next POST /v1/calibrate.
+    // Bounded — when full, the oldest observations fall off.
+    if (options_.calibration_sample_capacity > 0) {
+      std::vector<calibrate::CommObservation> observations =
+          calibrate::ExtractObservations(*exec_trace);
+      const double overlap = calibrate::EstimateOverlapSlowdown(*exec_trace);
+      if (!observations.empty()) {
+        std::lock_guard<std::mutex> lock(calibration_mu_);
+        calibration_samples_.insert(
+            calibration_samples_.end(),
+            std::make_move_iterator(observations.begin()),
+            std::make_move_iterator(observations.end()));
+        if (calibration_samples_.size() >
+            options_.calibration_sample_capacity) {
+          calibration_samples_.erase(
+              calibration_samples_.begin(),
+              calibration_samples_.end() -
+                  options_.calibration_sample_capacity);
+        }
+        if (overlap > calibration_overlap_estimate_) {
+          calibration_overlap_estimate_ = overlap;
+        }
+        if (options_.metrics != nullptr) {
+          options_.metrics->RecordCalibrationSamples();
+        }
+      }
+    }
   }
 
   std::string stages;
@@ -803,6 +867,121 @@ HttpResponse PlanService::HandleMeasure(const HttpRequest& request) {
     response.body += ", \"attribution\": " + attribution;
   }
   response.body += "}\n";
+  return response;
+}
+
+HttpResponse PlanService::HandleCalibrate(const HttpRequest& request) {
+  // An empty body means "fit with defaults" — strict JSON parsing would
+  // reject "" outright.
+  JsonValue root;
+  root.kind = JsonValue::Kind::kObject;
+  bool body_blank = true;
+  for (char c : request.body) {
+    if (c != ' ' && c != '\t' && c != '\n' && c != '\r') {
+      body_blank = false;
+      break;
+    }
+  }
+  if (!body_blank) {
+    Result<JsonValue> parsed = ParseJson(request.body);
+    if (!parsed.ok()) return MakeJsonErrorResponse(parsed.status());
+    if (parsed->kind != JsonValue::Kind::kObject) {
+      return MakeJsonErrorResponse(
+          Status::InvalidArgument("request body must be a JSON object"));
+    }
+    root = std::move(*parsed);
+  }
+  Status keys =
+      CheckKeys(root, {"min_group_samples", "reset"}, "the request");
+  if (!keys.ok()) return MakeJsonErrorResponse(keys);
+
+  if (const JsonValue* reset_value = FindMember(root, "reset")) {
+    if (reset_value->kind != JsonValue::Kind::kBool) {
+      return MakeJsonErrorResponse(
+          Status::InvalidArgument("'reset' must be a boolean"));
+    }
+    if (reset_value->boolean) {
+      int64_t version;
+      {
+        std::lock_guard<std::mutex> lock(calibration_mu_);
+        calibration_.reset();
+        calibration_samples_.clear();
+        calibration_overlap_estimate_ = 0.0;
+        // The version still advances: cached plans priced by the dropped
+        // profile must not answer post-reset requests.
+        version = ++calibration_version_;
+      }
+      HttpResponse response;
+      response.body = StrFormat(
+          "{\"applied\": false, \"reset\": true, \"version\": %lld}\n",
+          static_cast<long long>(version));
+      return response;
+    }
+    // "reset": false falls through to a normal fit.
+  }
+
+  calibrate::FitOptions fit_options;
+  if (FindMember(root, "min_group_samples") != nullptr) {
+    Result<int64_t> min_samples = GetInt64(root, "min_group_samples", 1);
+    if (!min_samples.ok()) return MakeJsonErrorResponse(min_samples.status());
+    if (*min_samples > 1 << 20) {
+      return MakeJsonErrorResponse(Status::InvalidArgument(
+          "'min_group_samples' must be in [1, 1048576]"));
+    }
+    fit_options.min_group_samples = static_cast<int>(*min_samples);
+  }
+
+  if (options_.calibration_sample_capacity == 0) {
+    return MakeJsonErrorResponse(Status::FailedPrecondition(
+        "calibration sample capture is disabled "
+        "(calibration_sample_capacity = 0)"));
+  }
+
+  // Fit outside the lock on a copy: a fit over a full buffer is O(n) work
+  // that must not stall concurrent /v1/measure capture.
+  std::vector<calibrate::CommObservation> observations;
+  double overlap_estimate;
+  {
+    std::lock_guard<std::mutex> lock(calibration_mu_);
+    observations = calibration_samples_;
+    overlap_estimate = calibration_overlap_estimate_;
+  }
+  if (observations.empty()) {
+    if (options_.metrics != nullptr) {
+      options_.metrics->RecordCalibration(false);
+    }
+    return MakeJsonErrorResponse(Status::FailedPrecondition(
+        "no calibration samples: run POST /v1/measure with "
+        "\"explain\": true first"));
+  }
+
+  Result<calibrate::CalibrationProfile> fitted =
+      calibrate::FitCalibrationProfile(observations, overlap_estimate,
+                                       fit_options);
+  if (!fitted.ok()) {
+    if (options_.metrics != nullptr) {
+      options_.metrics->RecordCalibration(false);
+    }
+    return MakeJsonErrorResponse(fitted.status());
+  }
+
+  const std::string profile_json = CalibrationProfileToJson(*fitted);
+  auto profile = std::make_shared<const calibrate::CalibrationProfile>(
+      std::move(*fitted));
+  int64_t version;
+  {
+    std::lock_guard<std::mutex> lock(calibration_mu_);
+    calibration_ = profile;
+    version = ++calibration_version_;
+  }
+  if (options_.metrics != nullptr) options_.metrics->RecordCalibration(true);
+
+  HttpResponse response;
+  response.body = StrFormat(
+      "{\"applied\": true, \"samples\": %lld, \"version\": %lld, "
+      "\"profile\": %s}\n",
+      static_cast<long long>(observations.size()),
+      static_cast<long long>(version), profile_json.c_str());
   return response;
 }
 
@@ -843,6 +1022,17 @@ HttpResponse PlanService::HandleMetrics() const {
       "galvatron_serve_plan_cache_journal_restored %lld\n",
       static_cast<long long>(stats.journal_enabled ? stats.size : 0),
       static_cast<long long>(stats.journal_restored));
+  response.body += StrFormat(
+      "# HELP galvatron_serve_plan_cache_journal_bytes Current size of the "
+      "plan-cache journal file.\n"
+      "# TYPE galvatron_serve_plan_cache_journal_bytes gauge\n"
+      "galvatron_serve_plan_cache_journal_bytes %lld\n"
+      "# HELP galvatron_serve_plan_cache_journal_compactions_total "
+      "Size-triggered journal compactions.\n"
+      "# TYPE galvatron_serve_plan_cache_journal_compactions_total counter\n"
+      "galvatron_serve_plan_cache_journal_compactions_total %lld\n",
+      static_cast<long long>(stats.journal_bytes),
+      static_cast<long long>(stats.journal_compactions));
   return response;
 }
 

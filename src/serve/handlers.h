@@ -12,6 +12,8 @@
 #include <utility>
 
 #include "api/galvatron.h"
+#include "calibrate/fit.h"
+#include "calibrate/profile.h"
 #include "serve/http.h"
 #include "serve/metrics.h"
 #include "serve/plan_cache.h"
@@ -37,6 +39,14 @@ struct PlanServiceOptions {
   std::string plan_cache_journal;
   /// Worker threads executing async ("async": true) plan requests.
   int async_workers = 2;
+  /// Calibration samples retained from traced /v1/measure runs (the newest
+  /// are kept; POST /v1/calibrate fits from this buffer). 0 disables
+  /// capture, and /v1/calibrate then answers FailedPrecondition.
+  size_t calibration_sample_capacity = 65536;
+  /// When the journal file exceeds this many bytes, the next Put compacts
+  /// it down to a snapshot of the live cache (see PlanCacheOptions);
+  /// 0 = never compact on size.
+  int64_t plan_cache_journal_max_bytes = 0;
   /// Completed/pending async jobs retained for polling. When full and no
   /// completed job can be evicted, new submissions are rejected with 429.
   size_t async_jobs = 128;
@@ -64,6 +74,22 @@ struct PlanServiceOptions {
 ///   POST /v1/measure  {"model": ..., "cluster": ..., "plan": {...},
 ///                      "sim": {...simulator knobs...}}        (optional)
 ///     -> {"metrics": {...SimMetrics...}}
+///     With "explain": true the traced run's comm samples are also retained
+///     in a bounded buffer as calibration observations.
+///
+///   POST /v1/calibrate {"min_group_samples": 2}               (optional)
+///     Fits a calibration profile (src/calibrate/) from the retained
+///     /v1/measure samples and atomically swaps it in: subsequent /v1/plan
+///     searches price communication with the fitted scales. The profile
+///     version is folded into both the plan-cache key and the warm-context
+///     key, so stale cached answers are never replayed across a swap.
+///     -> {"applied": true, "version": 3, "profile": {...}}
+///     {"reset": true} instead drops the active profile and clears the
+///     sample buffer. Rejected fits (no samples, out-of-range
+///     coefficients) leave the active profile untouched
+///     (galvatron_serve_calibration_{applied,rejected}_total;
+///     galvatron_serve_calibration_staleness_measures gauges how many
+///     traced measures arrived since the active fit).
 ///
 ///   GET /healthz      -> {"status": "ok", "version": "..."}
 ///   GET /metrics      -> Prometheus text exposition
@@ -123,21 +149,39 @@ class PlanService {
     HttpResponse response;
   };
 
+  /// A warm context plus the calibration profile its estimator points at
+  /// (the shared_ptr keeps EstimatorOptions::calibration alive for as long
+  /// as the context can price anything).
+  struct WarmContext {
+    std::shared_ptr<PlanningContext> context;
+    std::shared_ptr<const calibrate::CalibrationProfile> calibration;
+  };
+
   std::shared_ptr<PlanningContext> GetOrCreateContext(
       const std::string& key, const ModelSpec& model,
-      const ClusterSpec& cluster, const EstimatorOptions& estimator_options);
+      const ClusterSpec& cluster, const EstimatorOptions& estimator_options,
+      std::shared_ptr<const calibrate::CalibrationProfile> calibration);
+
+  /// The active profile and its version under calibration_mu_.
+  std::shared_ptr<const calibrate::CalibrationProfile> ActiveCalibration(
+      int64_t* version) const;
 
   HttpResponse HandlePlan(const HttpRequest& request);
   /// The post-singleflight search path: parse specs, find the warm
   /// context, run the optimizer, serialize, fill the plan cache.
-  HttpResponse ComputePlan(const JsonValue& root,
-                           const JsonValue& model_value,
-                           const JsonValue& cluster_value,
-                           const std::string& model_canonical,
-                           const std::string& cache_key, double deadline_ms);
+  /// `calibration` is the profile snapshot whose version HandlePlan folded
+  /// into `cache_key` — passed through (not re-read) so the cached response
+  /// is always priced by exactly the profile its key names.
+  HttpResponse ComputePlan(
+      const JsonValue& root, const JsonValue& model_value,
+      const JsonValue& cluster_value, const std::string& model_canonical,
+      const std::string& cache_key, double deadline_ms,
+      std::shared_ptr<const calibrate::CalibrationProfile> calibration,
+      int64_t calibration_version);
   HttpResponse SubmitAsyncPlan(const JsonValue& root);
   HttpResponse HandlePlanPoll(const std::string& id);
   HttpResponse HandleMeasure(const HttpRequest& request);
+  HttpResponse HandleCalibrate(const HttpRequest& request);
   HttpResponse HandleHealthz() const;
   HttpResponse HandleMetrics() const;
 
@@ -146,10 +190,18 @@ class PlanService {
 
   // Tiny LRU of warm PlanningContexts (front = most recently used).
   mutable std::mutex contexts_mu_;
-  std::list<std::pair<std::string, std::shared_ptr<PlanningContext>>>
-      contexts_;
+  std::list<std::pair<std::string, WarmContext>> contexts_;
   std::unordered_map<std::string, decltype(contexts_)::iterator>
       contexts_index_;
+
+  // Calibration: the active trace-fitted profile, swapped whole by POST
+  // /v1/calibrate (readers copy the shared_ptr under the mutex, then price
+  // lock-free), plus the bounded sample buffer /v1/measure feeds.
+  mutable std::mutex calibration_mu_;
+  std::shared_ptr<const calibrate::CalibrationProfile> calibration_;
+  int64_t calibration_version_ = 0;
+  std::vector<calibrate::CommObservation> calibration_samples_;
+  double calibration_overlap_estimate_ = 0.0;
 
   // Singleflight table: cache key -> the in-flight computation.
   std::mutex inflight_mu_;

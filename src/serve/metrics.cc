@@ -146,6 +146,25 @@ std::string ServeMetrics::Render() const {
       static_cast<long long>(warm_start_.load(std::memory_order_relaxed)),
       static_cast<long long>(
           async_submitted_.load(std::memory_order_relaxed)));
+  out += StrFormat(
+      "# HELP galvatron_serve_calibration_applied_total Calibration "
+      "profiles fitted by POST /v1/calibrate and swapped in.\n"
+      "# TYPE galvatron_serve_calibration_applied_total counter\n"
+      "galvatron_serve_calibration_applied_total %lld\n"
+      "# HELP galvatron_serve_calibration_rejected_total POST /v1/calibrate "
+      "requests whose fit failed validation or had no samples.\n"
+      "# TYPE galvatron_serve_calibration_rejected_total counter\n"
+      "galvatron_serve_calibration_rejected_total %lld\n"
+      "# HELP galvatron_serve_calibration_staleness_measures Traced "
+      "/v1/measure runs captured since the active profile was fitted.\n"
+      "# TYPE galvatron_serve_calibration_staleness_measures gauge\n"
+      "galvatron_serve_calibration_staleness_measures %lld\n",
+      static_cast<long long>(
+          calibration_applied_.load(std::memory_order_relaxed)),
+      static_cast<long long>(
+          calibration_rejected_.load(std::memory_order_relaxed)),
+      static_cast<long long>(
+          measures_since_calibration_.load(std::memory_order_relaxed)));
   return out;
 }
 

@@ -52,6 +52,25 @@ class ServeMetrics {
     async_submitted_.fetch_add(1, std::memory_order_relaxed);
   }
 
+  /// Outcome of one POST /v1/calibrate: `applied` when the fitted profile
+  /// validated and was swapped in. Applying resets the staleness gauge.
+  void RecordCalibration(bool applied) {
+    if (applied) {
+      calibration_applied_.fetch_add(1, std::memory_order_relaxed);
+      measures_since_calibration_.store(0, std::memory_order_relaxed);
+    } else {
+      calibration_rejected_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// One /v1/measure that captured calibration samples; drives the
+  /// staleness gauge (traced measures seen since the active profile was
+  /// fitted — a large value means the profile no longer reflects recent
+  /// observations).
+  void RecordCalibrationSamples() {
+    measures_since_calibration_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   /// Adds one request's cost-cache lookup deltas (SearchStats'
   /// cost_cache_hits/misses). Deltas, not lifetime counters, so the totals
   /// aggregate correctly across many PlanningContexts, each with its own
@@ -73,6 +92,12 @@ class ServeMetrics {
   }
   int64_t warm_start() const {
     return warm_start_.load(std::memory_order_relaxed);
+  }
+  int64_t calibration_applied() const {
+    return calibration_applied_.load(std::memory_order_relaxed);
+  }
+  int64_t calibration_rejected() const {
+    return calibration_rejected_.load(std::memory_order_relaxed);
   }
 
   /// Prometheus text exposition (version 0.0.4) of every metric:
@@ -101,6 +126,9 @@ class ServeMetrics {
   std::atomic<int64_t> coalesced_{0};
   std::atomic<int64_t> warm_start_{0};
   std::atomic<int64_t> async_submitted_{0};
+  std::atomic<int64_t> calibration_applied_{0};
+  std::atomic<int64_t> calibration_rejected_{0};
+  std::atomic<int64_t> measures_since_calibration_{0};
 };
 
 }  // namespace serve

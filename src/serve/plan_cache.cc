@@ -39,7 +39,9 @@ bool ValidHeader(const std::string& line) {
 }  // namespace
 
 PlanCache::PlanCache(const PlanCacheOptions& options)
-    : capacity_(options.capacity), journal_path_(options.journal_path) {
+    : capacity_(options.capacity),
+      journal_path_(options.journal_path),
+      journal_max_bytes_(options.journal_max_bytes) {
   if (!journal_path_.empty() && capacity_ > 0) {
     journal_enabled_ = true;
     LoadJournal();
@@ -84,21 +86,37 @@ void PlanCache::Put(const std::string& key, std::string value) {
     std::lock_guard<std::mutex> lock(mu_);
     PutLocked(key, shared);
   }
-  std::lock_guard<std::mutex> journal_lock(journal_mu_);
-  if (journal_enabled_) AppendLocked(key, *shared);
+  bool compact = false;
+  {
+    std::lock_guard<std::mutex> journal_lock(journal_mu_);
+    if (journal_enabled_) {
+      AppendLocked(key, *shared);
+      // Size trigger checked AFTER the append so the entry is durable even
+      // if the rewrite below fails; Compact itself reruns outside
+      // journal_mu_ (it snapshots under mu_ first — the two locks are
+      // never nested).
+      compact = journal_enabled_ && journal_max_bytes_ > 0 &&
+                journal_bytes_ > journal_max_bytes_;
+      if (compact) ++journal_compactions_;
+    }
+  }
+  if (compact) Compact();
 }
 
 void PlanCache::AppendLocked(const std::string& key,
                              const std::string& value) {
+  const std::string line = EntryLine(key, value);
   std::ofstream out(journal_path_, std::ios::app | std::ios::binary);
-  out << EntryLine(key, value);
+  out << line;
   out.flush();
   if (!out) {
     GALVATRON_LOG(kWarning)
         << "plan-cache journal " << journal_path_
         << " is not writable; persistence disabled";
     journal_enabled_ = false;
+    return;
   }
+  journal_bytes_ += static_cast<int64_t>(line.size());
 }
 
 void PlanCache::LoadJournal() {
@@ -170,10 +188,17 @@ void PlanCache::Compact() {
   std::lock_guard<std::mutex> journal_lock(journal_mu_);
   if (!journal_enabled_) return;
   const std::string tmp_path = journal_path_ + ".tmp";
+  int64_t written = 0;
   {
     std::ofstream out(tmp_path, std::ios::trunc | std::ios::binary);
-    out << HeaderLine();
-    for (const auto& [key, value] : entries) out << EntryLine(key, value);
+    const std::string header = HeaderLine();
+    out << header;
+    written += static_cast<int64_t>(header.size());
+    for (const auto& [key, value] : entries) {
+      const std::string line = EntryLine(key, value);
+      out << line;
+      written += static_cast<int64_t>(line.size());
+    }
     out.flush();
     if (!out) {
       GALVATRON_LOG(kWarning)
@@ -190,7 +215,9 @@ void PlanCache::Compact() {
         << " failed; persistence disabled";
     journal_enabled_ = false;
     std::remove(tmp_path.c_str());
+    return;
   }
+  journal_bytes_ = written;
 }
 
 PlanCache::Stats PlanCache::stats() const {
@@ -206,6 +233,8 @@ PlanCache::Stats PlanCache::stats() const {
   }
   std::lock_guard<std::mutex> journal_lock(journal_mu_);
   s.journal_enabled = journal_enabled_;
+  s.journal_bytes = journal_bytes_;
+  s.journal_compactions = journal_compactions_;
   return s;
 }
 

@@ -25,6 +25,14 @@ struct PlanCacheOptions {
   /// serves a partially-restored journal. An unwritable path disables
   /// persistence with one warning.
   std::string journal_path;
+  /// Size-triggered compaction: when an append pushes the journal file past
+  /// this many bytes, the cache rewrites it down to a snapshot of the live
+  /// entries (see Compact), bounding on-disk growth for a long-lived daemon
+  /// whose appends keep superseding each other. 0 = never compact on size
+  /// (the journal still compacts at shutdown). Replay identity holds either
+  /// way: a journal compacted mid-run restores the same cache a
+  /// never-compacted one would.
+  int64_t journal_max_bytes = 0;
 };
 
 /// Thread-safe LRU cache from a canonical request signature to the
@@ -45,9 +53,12 @@ class PlanCache {
     size_t size = 0;
     size_t capacity = 0;
     /// Persistence telemetry: whether a journal is attached and still
-    /// writable, and how many entries the startup replay restored.
+    /// writable, how many entries the startup replay restored, the file's
+    /// current size, and how many size-triggered compactions have run.
     bool journal_enabled = false;
     int64_t journal_restored = 0;
+    int64_t journal_bytes = 0;
+    int64_t journal_compactions = 0;
   };
 
   /// In-memory-only cache; `capacity` == 0 disables caching.
@@ -110,6 +121,9 @@ class PlanCache {
   // file under journal_mu_.
   mutable std::mutex journal_mu_;
   std::string journal_path_;
+  int64_t journal_max_bytes_ = 0;
+  int64_t journal_bytes_ = 0;        // bytes written since the last rewrite
+  int64_t journal_compactions_ = 0;  // size-triggered, not shutdown
   bool journal_enabled_ = false;
 };
 

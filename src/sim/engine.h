@@ -6,6 +6,8 @@
 #include <string_view>
 #include <vector>
 
+#include "cluster/link.h"
+#include "comm/collective.h"
 #include "util/result.h"
 
 namespace galvatron {
@@ -68,6 +70,18 @@ struct SimTask {
   int stage = -1;
   int micro_batch = -1;
   int layer = -1;
+
+  /// Communication metadata (ignored by the engine; consumed by the trace
+  /// recorder and src/calibrate/). Set only on collective tasks —
+  /// comm_group_size == 0 marks a non-communication task. `comm_bytes` is
+  /// the full payload the task moves (merged TP all-reduces accumulate);
+  /// `work_sec` is the matching analytic prediction, so (work_sec,
+  /// observed elapsed) pairs keyed by (comm_link, comm_kind, comm_bytes)
+  /// are exactly the samples the calibration fit consumes.
+  CollectiveKind comm_kind = CollectiveKind::kAllReduce;
+  LinkClass comm_link = LinkClass::kPcie3;
+  int64_t comm_bytes = 0;
+  int comm_group_size = 0;
 };
 
 /// Completed-run timing for one task.

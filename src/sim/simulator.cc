@@ -32,6 +32,22 @@ struct LayerTasks {
   int64_t state_bytes = 0;
   int64_t sdp_transient_bytes = 0;    // gathered ZeRO-3 weights
   int64_t recompute_transient_bytes = 0;  // rebuilt activations (ckpt)
+
+  /// Comm metadata mirrored onto the emitted SimTasks so the trace carries
+  /// (link class, collective kind, payload) per comm task — the calibration
+  /// subsystem's sample key. TP all-reduce payloads accumulate across the
+  /// merged per-op collectives; a group size of 0 means the dimension is
+  /// inactive for this layer.
+  int64_t tp_fwd_bytes = 0;
+  int64_t tp_bwd_bytes = 0;
+  int tp_group = 0;
+  LinkClass tp_link = LinkClass::kPcie3;
+  int64_t sdp_bytes = 0;
+  int sdp_group = 0;
+  LinkClass sdp_link = LinkClass::kPcie3;
+  int64_t dp_bytes = 0;
+  int dp_group = 0;
+  LinkClass dp_link = LinkClass::kPcie3;
 };
 
 /// One schedule slot: the forward or backward pass of (stage, micro-batch).
@@ -158,18 +174,33 @@ Result<SimMetrics> Simulator::RunInternal(
       for (const CommTask& comm : exec.fwd_comms) {
         if (comm.dim == ParallelDim::kTensor) {
           tasks.tp_ar_fwd += comm.Time() * scale;  // activation payloads
+          tasks.tp_fwd_bytes += comm.bytes;
+          tasks.tp_group = comm.group_size;
+          tasks.tp_link = comm.link.cls;
         } else if (comm.dim == ParallelDim::kShardedData) {
           tasks.sdp_gather = comm.Time();  // weights: shape-independent
+          tasks.sdp_bytes = comm.bytes;
+          tasks.sdp_group = comm.group_size;
+          tasks.sdp_link = comm.link.cls;
         }
       }
       for (const CommTask& comm : exec.bwd_comms) {
         if (comm.dim == ParallelDim::kTensor) {
           tasks.tp_ar_bwd += comm.Time() * scale;
+          tasks.tp_bwd_bytes += comm.bytes;
+          tasks.tp_group = comm.group_size;
+          tasks.tp_link = comm.link.cls;
         } else if (comm.dim == ParallelDim::kData) {
           tasks.dp_allreduce = comm.Time();
+          tasks.dp_bytes = comm.bytes;
+          tasks.dp_group = comm.group_size;
+          tasks.dp_link = comm.link.cls;
         } else if (comm.dim == ParallelDim::kShardedData &&
                    comm.kind == CollectiveKind::kReduceScatter) {
           tasks.sdp_scatter = comm.Time();
+          tasks.sdp_bytes = comm.bytes;
+          tasks.sdp_group = comm.group_size;
+          tasks.sdp_link = comm.link.cls;
         }
       }
       stage_layers[static_cast<size_t>(s)].push_back(tasks);
@@ -249,17 +280,19 @@ Result<SimMetrics> Simulator::RunInternal(
         p2p.label = StrFormat("p2p_fwd.s%d.mb%d", s, k);
         p2p.streams = {comm_stream[static_cast<size_t>(s) - 1],
                        comm_stream[static_cast<size_t>(s)]};
+        p2p.comm_bytes = model.layer(stage.first_layer).input_bytes() * mb_size;
         p2p.work_sec =
-            CollectiveTime(
-                CollectiveKind::kPointToPoint,
-                model.layer(stage.first_layer).input_bytes() * mb_size, 2,
-                link) +
+            CollectiveTime(CollectiveKind::kPointToPoint, p2p.comm_bytes, 2,
+                           link) +
             cluster_->pipeline_rpc_overhead_sec();
         p2p.deps = {
             fwd_exit[static_cast<size_t>(s) - 1][static_cast<size_t>(k)]};
         p2p.category = TaskCategory::kP2P;
         p2p.stage = s;
         p2p.micro_batch = k;
+        p2p.comm_kind = CollectiveKind::kPointToPoint;
+        p2p.comm_link = link.cls;
+        p2p.comm_group_size = 2;
         GALVATRON_ASSIGN_OR_RETURN(entry_dep, add(std::move(p2p)));
       }
       // 1F1B in-flight cap: this forward waits for the backward that frees
@@ -311,6 +344,10 @@ Result<SimMetrics> Simulator::RunInternal(
           gather.stage = s;
           gather.micro_batch = k;
           gather.layer = stage.first_layer + l;
+          gather.comm_kind = CollectiveKind::kAllGather;
+          gather.comm_link = layer.sdp_link;
+          gather.comm_bytes = layer.sdp_bytes;
+          gather.comm_group_size = layer.sdp_group;
           GALVATRON_ASSIGN_OR_RETURN(chain, add(std::move(gather)));
         }
 
@@ -350,6 +387,10 @@ Result<SimMetrics> Simulator::RunInternal(
           ar.stage = s;
           ar.micro_batch = k;
           ar.layer = stage.first_layer + l;
+          ar.comm_kind = CollectiveKind::kAllReduce;
+          ar.comm_link = layer.tp_link;
+          ar.comm_bytes = layer.tp_fwd_bytes;
+          ar.comm_group_size = layer.tp_group;
           GALVATRON_ASSIGN_OR_RETURN(chain, add(std::move(ar)));
         }
       }
@@ -369,17 +410,19 @@ Result<SimMetrics> Simulator::RunInternal(
       p2p.label = StrFormat("p2p_bwd.s%d.mb%d", s, k);
       p2p.streams = {comm_stream[static_cast<size_t>(s)],
                      comm_stream[static_cast<size_t>(s) + 1]};
+      p2p.comm_bytes = model.layer(next.first_layer).input_bytes() * mb_size;
       p2p.work_sec =
-          CollectiveTime(
-              CollectiveKind::kPointToPoint,
-              model.layer(next.first_layer).input_bytes() * mb_size, 2,
-              link) +
+          CollectiveTime(CollectiveKind::kPointToPoint, p2p.comm_bytes, 2,
+                         link) +
           cluster_->pipeline_rpc_overhead_sec();
       p2p.deps = {
           bwd_exit[static_cast<size_t>(s) + 1][static_cast<size_t>(k)]};
       p2p.category = TaskCategory::kP2P;
       p2p.stage = s;
       p2p.micro_batch = k;
+      p2p.comm_kind = CollectiveKind::kPointToPoint;
+      p2p.comm_link = link.cls;
+      p2p.comm_group_size = 2;
       GALVATRON_ASSIGN_OR_RETURN(entry_dep, add(std::move(p2p)));
     }
 
@@ -432,6 +475,10 @@ Result<SimMetrics> Simulator::RunInternal(
         gather.stage = s;
         gather.micro_batch = k;
         gather.layer = stage.first_layer + l;
+        gather.comm_kind = CollectiveKind::kAllGather;
+        gather.comm_link = layer.sdp_link;
+        gather.comm_bytes = layer.sdp_bytes;
+        gather.comm_group_size = layer.sdp_group;
         GALVATRON_ASSIGN_OR_RETURN(gather_id, add(std::move(gather)));
       }
 
@@ -480,6 +527,10 @@ Result<SimMetrics> Simulator::RunInternal(
         ar.stage = s;
         ar.micro_batch = k;
         ar.layer = stage.first_layer + l;
+        ar.comm_kind = CollectiveKind::kAllReduce;
+        ar.comm_link = layer.tp_link;
+        ar.comm_bytes = layer.tp_bwd_bytes;
+        ar.comm_group_size = layer.tp_group;
         GALVATRON_ASSIGN_OR_RETURN(chain, add(std::move(ar)));
       }
 
@@ -496,6 +547,10 @@ Result<SimMetrics> Simulator::RunInternal(
           ar.category = TaskCategory::kDpAllReduce;
           ar.stage = s;
           ar.layer = stage.first_layer + l;
+          ar.comm_kind = CollectiveKind::kAllReduce;
+          ar.comm_link = layer.dp_link;
+          ar.comm_bytes = layer.dp_bytes;
+          ar.comm_group_size = layer.dp_group;
           GALVATRON_RETURN_IF_ERROR(add(std::move(ar)).status());
         }
         if (layer.sdp_scatter > 0) {
@@ -507,6 +562,10 @@ Result<SimMetrics> Simulator::RunInternal(
           rs.category = TaskCategory::kSdpReduceScatter;
           rs.stage = s;
           rs.layer = stage.first_layer + l;
+          rs.comm_kind = CollectiveKind::kReduceScatter;
+          rs.comm_link = layer.sdp_link;
+          rs.comm_bytes = layer.sdp_bytes;
+          rs.comm_group_size = layer.sdp_group;
           GALVATRON_RETURN_IF_ERROR(add(std::move(rs)).status());
         }
       }

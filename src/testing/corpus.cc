@@ -104,6 +104,13 @@ const std::vector<CorpusEntry>& SeedCorpus() {
            "8-GPU mixed cluster: graph pricing collapses to level pricing"},
           {FuzzCheck::kTopologyIdentity, 0xdf52c8bbc961610aULL,
            "4-GPU mixed cluster with squeezed memory"},
+          // Calibration-identity pins: the no-profile/empty/identity
+          // byte-identity contract, hostile-float profile round-trips and
+          // the mirror-vs-level application identity keep fixed-seed
+          // coverage in tier-1.
+          {FuzzCheck::kCalibrationIdentity, 0x71ULL, "pinning seed"},
+          {FuzzCheck::kCalibrationIdentity, 0x72ULL, "pinning seed"},
+          {FuzzCheck::kCalibrationIdentity, 0x73ULL, "pinning seed"},
           // 1F1B in-flight band: interior stages whose downstream returns
           // backwards fast enough that the stage never stacks a second
           // micro-batch — the simulated peak sits at the one-micro-batch

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <sstream>
 #include <utility>
 
 #include "api/plan_io.h"
+#include "calibrate/profile.h"
 #include "estimator/cost_estimator.h"
 #include "parallel/decision_tree.h"
 #include "search/dp_search.h"
@@ -994,6 +996,260 @@ std::optional<CheckFailure> CheckTopologyIdentity(uint64_t seed,
   return std::nullopt;
 }
 
+/// True when the two plan costs are byte-identical in every field the
+/// estimator reports (summary scalars and per-stage seconds).
+bool PlanCostsIdentical(const PlanCost& a, const PlanCost& b) {
+  if (a.iteration_seconds != b.iteration_seconds ||
+      a.throughput_samples_per_sec != b.throughput_samples_per_sec ||
+      a.peak_memory_bytes != b.peak_memory_bytes ||
+      a.stages.size() != b.stages.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < a.stages.size(); ++i) {
+    if (a.stages[i].seconds != b.stages[i].seconds ||
+        a.stages[i].peak_memory_bytes != b.stages[i].peak_memory_bytes) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// A random valid CalibrationProfile with hostile coefficients: boundary
+/// and full-mantissa scales, subnormal / max-magnitude / negative-zero
+/// residuals, boundary overlap slowdowns. Always passes Validate.
+calibrate::CalibrationProfile GenerateCalibrationProfile(Rng* rng,
+                                                         bool identity) {
+  using calibrate::kMaxCalibrationScale;
+  using calibrate::kMinCalibrationScale;
+  calibrate::CalibrationProfile profile;
+  const double hostile_scales[] = {
+      kMinCalibrationScale,
+      kMaxCalibrationScale,
+      std::nextafter(kMinCalibrationScale, 1.0),
+      std::nextafter(kMaxCalibrationScale, 1.0),
+      1.0,
+      std::nextafter(1.0, 2.0),
+  };
+  const double hostile_residuals[] = {
+      0.0,
+      -0.0,
+      std::numeric_limits<double>::denorm_min(),
+      std::numeric_limits<double>::max(),
+      std::numeric_limits<double>::min(),
+      0.1,
+  };
+  const int num_groups = 1 + static_cast<int>(rng->NextBelow(6));
+  for (int g = 0; g < num_groups; ++g) {
+    calibrate::CalibrationGroup group;
+    group.link_class = static_cast<LinkClass>(rng->NextBelow(4));
+    group.kind = static_cast<CollectiveKind>(rng->NextBelow(5));
+    group.bucket = static_cast<int>(rng->NextBelow(63));
+    if (identity) {
+      group.scale = 1.0;
+    } else if (rng->NextBelow(2) == 0) {
+      group.scale = hostile_scales[rng->NextBelow(6)];
+    } else {
+      // Log-uniform with a full random mantissa.
+      group.scale = std::exp2(rng->NextDouble(-4.0, 4.0));
+    }
+    group.sample_count = static_cast<int64_t>(rng->NextBelow(1 << 20));
+    group.rel_residual =
+        identity ? 0.0 : hostile_residuals[rng->NextBelow(6)];
+    // Validate rejects duplicate keys; skip collisions instead.
+    bool duplicate = false;
+    for (const calibrate::CalibrationGroup& seen : profile.groups) {
+      if (seen.link_class == group.link_class && seen.kind == group.kind &&
+          seen.bucket == group.bucket) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) profile.groups.push_back(group);
+  }
+  profile.fitted_events = static_cast<int64_t>(rng->NextBelow(1 << 24));
+  if (identity) {
+    profile.overlap_slowdown = 0.0;
+  } else {
+    const double hostile_overlaps[] = {0.0, 1.0, 8.0,
+                                       std::nextafter(1.0, 2.0), 1.3};
+    profile.overlap_slowdown = rng->NextBelow(2) == 0
+                                   ? hostile_overlaps[rng->NextBelow(5)]
+                                   : rng->NextDouble(1.0, 8.0);
+  }
+  return profile;
+}
+
+/// Check (h): the calibration override layer. (1) Estimates are
+/// byte-identical with no profile, an empty profile and an all-ones
+/// identity profile — the "absent calibration changes nothing" contract the
+/// serving swap and the CLI rely on. (2) Random valid profiles with hostile
+/// float coefficients round-trip through JSON bit-exactly. (3) On monotone
+/// contention-free hierarchies a profile applies identically whether the
+/// cluster is level-priced or mirror-graph-priced: CollectiveLink preserves
+/// the bottleneck's link class either way, so the fitted scales key
+/// identically (the staleness bug class this check pins down).
+std::optional<CheckFailure> CheckCalibrationIdentity(
+    uint64_t seed, const CheckOptions& options) {
+  const FuzzCheck kCheck = FuzzCheck::kCalibrationIdentity;
+  Rng rng(seed);
+  GeneratorOptions gen = options.generator;
+  gen.topology_graphs = false;  // part (3) attaches the mirror itself
+  const ModelSpec model = GenerateModel(&rng, gen);
+  const ClusterSpec cluster = GenerateCluster(&rng, gen);
+  Result<TrainingPlan> plan_or = GeneratePlan(&rng, model, cluster);
+  if (!plan_or.ok()) {
+    return MakeFailure(kCheck, seed,
+                       StrFormat("generator emitted an invalid plan: %s",
+                                 plan_or.status().ToString().c_str()));
+  }
+  const TrainingPlan& plan = *plan_or;
+
+  // (1) No profile vs empty profile vs identity profile: byte-identical.
+  // Memory checks off so OOM verdicts don't mask the comparison (the memory
+  // model never touches calibration anyway).
+  const CostEstimator baseline(&cluster);
+  const Result<PlanCost> base_or =
+      baseline.EstimatePlan(model, plan, /*check_memory=*/false);
+  calibrate::CalibrationProfile empty;
+  calibrate::CalibrationProfile identity =
+      GenerateCalibrationProfile(&rng, /*identity=*/true);
+  const calibrate::CalibrationProfile* variants[] = {&empty, &identity};
+  for (const calibrate::CalibrationProfile* profile : variants) {
+    EstimatorOptions opts;
+    opts.calibration = profile;
+    const CostEstimator calibrated(&cluster, opts);
+    const Result<PlanCost> got_or =
+        calibrated.EstimatePlan(model, plan, /*check_memory=*/false);
+    if (base_or.ok() != got_or.ok()) {
+      return MakeFailure(
+          kCheck, seed,
+          StrFormat("estimate verdicts diverge with a %s profile: %s vs %s",
+                    profile == &empty ? "empty" : "identity",
+                    base_or.ok() ? "ok" : base_or.status().ToString().c_str(),
+                    got_or.ok() ? "ok" : got_or.status().ToString().c_str()),
+          &plan);
+    }
+    if (base_or.ok() && !PlanCostsIdentical(*base_or, *got_or)) {
+      return MakeFailure(
+          kCheck, seed,
+          StrFormat("a %s calibration profile changed the estimate: "
+                    "%.17g s vs %.17g s",
+                    profile == &empty ? "empty" : "identity",
+                    base_or->iteration_seconds, got_or->iteration_seconds),
+          &plan);
+    }
+  }
+
+  // (2) Hostile-float JSON round-trip: serialize -> parse -> serialize is
+  // bit-exact (string equality implies bit-exact fields: %.17g is injective
+  // on finite doubles, including the -0.0 sign).
+  calibrate::CalibrationProfile hostile =
+      GenerateCalibrationProfile(&rng, /*identity=*/false);
+  const Status hostile_valid = hostile.Validate();
+  if (!hostile_valid.ok()) {
+    return MakeFailure(kCheck, seed,
+                       StrFormat("generated profile fails Validate: %s",
+                                 hostile_valid.ToString().c_str()));
+  }
+  const std::string json = calibrate::CalibrationProfileToJson(hostile);
+  Result<calibrate::CalibrationProfile> reparsed_or =
+      calibrate::ParseCalibrationProfileJson(json);
+  if (!reparsed_or.ok()) {
+    return MakeFailure(
+        kCheck, seed,
+        StrFormat("profile JSON does not parse back: %s (json: %s)",
+                  reparsed_or.status().ToString().c_str(), json.c_str()));
+  }
+  const std::string json2 = calibrate::CalibrationProfileToJson(*reparsed_or);
+  if (json != json2) {
+    return MakeFailure(
+        kCheck, seed,
+        StrFormat("profile JSON round-trip not bit-exact:\n  %s\nvs\n  %s",
+                  json.c_str(), json2.c_str()));
+  }
+  if (reparsed_or->groups.size() != hostile.groups.size()) {
+    return MakeFailure(kCheck, seed,
+                       "profile round-trip changed the group count");
+  }
+
+  // (3) Profile application is pricing-path independent: on a monotone
+  // hierarchy with no collective contention, the mirror-graph cluster and
+  // the level-priced cluster resolve every collective to the same LinkSpec
+  // (class included), so a calibrated estimate is byte-identical on both.
+  bool monotone = true;
+  for (size_t i = 1; i < cluster.levels().size(); ++i) {
+    const LinkSpec& inner = cluster.levels()[i - 1].link;
+    const LinkSpec& outer = cluster.levels()[i].link;
+    const bool ordered =
+        outer.bandwidth_bytes_per_sec < inner.bandwidth_bytes_per_sec &&
+        outer.latency_sec >= inner.latency_sec;
+    if (!ordered && !(outer == inner)) monotone = false;
+  }
+  if (monotone) {
+    Result<TopologyGraph> mirror_or = MakeMirrorTopology(cluster);
+    if (!mirror_or.ok()) {
+      return MakeFailure(kCheck, seed,
+                         StrFormat("MakeMirrorTopology failed: %s",
+                                   mirror_or.status().ToString().c_str()));
+    }
+    auto graph =
+        std::make_shared<const TopologyGraph>(*std::move(mirror_or));
+    bool contention_free = true;
+    for (const StagePlan& stage : plan.stages) {
+      for (int stride = 1; contention_free && stride <= stage.num_devices;
+           stride *= 2) {
+        for (int degree = 2; stride * degree <= stage.num_devices;
+             degree *= 2) {
+          if (graph->CollectiveContention(stage.first_device, stride, degree,
+                                          stage.num_devices) != 1) {
+            contention_free = false;
+            break;
+          }
+        }
+      }
+    }
+    if (contention_free) {
+      const ClusterSpec big = cluster.WithMemoryBudget(int64_t{1} << 55);
+      Result<ClusterSpec> big_mirrored_or = big.WithTopology(graph);
+      if (!big_mirrored_or.ok()) {
+        return MakeFailure(
+            kCheck, seed,
+            StrFormat("WithTopology rejected the mirror: %s",
+                      big_mirrored_or.status().ToString().c_str()));
+      }
+      EstimatorOptions opts;
+      opts.calibration = &hostile;
+      const CostEstimator legacy(&big, opts);
+      const CostEstimator graphed(&*big_mirrored_or, opts);
+      const Result<PlanCost> legacy_or = legacy.EstimatePlan(model, plan);
+      const Result<PlanCost> graphed_or = graphed.EstimatePlan(model, plan);
+      if (legacy_or.ok() != graphed_or.ok()) {
+        return MakeFailure(
+            kCheck, seed,
+            StrFormat("calibrated verdicts diverge legacy-vs-mirror: %s "
+                      "vs %s",
+                      legacy_or.ok()
+                          ? "ok"
+                          : legacy_or.status().ToString().c_str(),
+                      graphed_or.ok()
+                          ? "ok"
+                          : graphed_or.status().ToString().c_str()),
+            &plan);
+      }
+      if (legacy_or.ok() && !PlanCostsIdentical(*legacy_or, *graphed_or)) {
+        return MakeFailure(
+            kCheck, seed,
+            StrFormat("calibrated estimates diverge legacy-vs-mirror: "
+                      "%.17g s vs %.17g s",
+                      legacy_or->iteration_seconds,
+                      graphed_or->iteration_seconds),
+            &plan);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
 }  // namespace
 
 std::string_view FuzzCheckToString(FuzzCheck check) {
@@ -1012,6 +1268,8 @@ std::string_view FuzzCheckToString(FuzzCheck check) {
       return "trace-conservation";
     case FuzzCheck::kTopologyIdentity:
       return "topology-identity";
+    case FuzzCheck::kCalibrationIdentity:
+      return "calibration-identity";
   }
   return "unknown";
 }
@@ -1024,11 +1282,12 @@ Result<FuzzCheck> FuzzCheckFromString(const std::string& text) {
   if (text == "spec-json-roundtrip") return FuzzCheck::kSpecJsonRoundTrip;
   if (text == "trace-conservation") return FuzzCheck::kTraceConservation;
   if (text == "topology-identity") return FuzzCheck::kTopologyIdentity;
+  if (text == "calibration-identity") return FuzzCheck::kCalibrationIdentity;
   return Status::InvalidArgument(
       StrFormat("unknown check '%s' (expected plan-validity, "
                 "search-equivalence, memory-model, json-roundtrip, "
-                "spec-json-roundtrip, trace-conservation or "
-                "topology-identity)",
+                "spec-json-roundtrip, trace-conservation, "
+                "topology-identity or calibration-identity)",
                 text.c_str()));
 }
 
@@ -1058,6 +1317,8 @@ std::optional<CheckFailure> RunCheck(FuzzCheck check, uint64_t seed,
       return CheckTraceConservation(seed, options);
     case FuzzCheck::kTopologyIdentity:
       return CheckTopologyIdentity(seed, options);
+    case FuzzCheck::kCalibrationIdentity:
+      return CheckCalibrationIdentity(seed, options);
   }
   return MakeFailure(check, seed, "unknown check");
 }
@@ -1067,7 +1328,7 @@ FuzzReport RunFuzz(const FuzzOptions& options) {
       FuzzCheck::kPlanValidity,      FuzzCheck::kSearchEquivalence,
       FuzzCheck::kMemoryModel,       FuzzCheck::kJsonRoundTrip,
       FuzzCheck::kSpecJsonRoundTrip, FuzzCheck::kTraceConservation,
-      FuzzCheck::kTopologyIdentity};
+      FuzzCheck::kTopologyIdentity,   FuzzCheck::kCalibrationIdentity};
   std::vector<FuzzCheck> checks = options.checks;
   if (checks.empty()) checks.assign(kAll, kAll + kNumFuzzChecks);
 

@@ -12,7 +12,7 @@
 
 namespace galvatron {
 
-/// The seven differential checks (see docs/fuzzing.md):
+/// The eight differential checks (see docs/fuzzing.md):
 ///   kPlanValidity      — generated plans Validate, render, and their
 ///                        strategies parse back (generator + plan layer).
 ///   kSearchEquivalence — DP search == brute force on small instances:
@@ -44,6 +44,16 @@ namespace galvatron {
 ///                        non-decreasing), and whole-plan estimates are
 ///                        byte-identical legacy-vs-mirror when no
 ///                        collective sees uplink contention.
+///   kCalibrationIdentity — the calibration layer (src/calibrate/) is
+///                        invisible until a profile says otherwise: plan
+///                        estimates are byte-identical with no profile, an
+///                        empty profile and an all-ones identity profile;
+///                        randomly generated valid profiles (hostile-float
+///                        coefficients included) survive
+///                        CalibrationProfileToJson -> Parse -> ToJson
+///                        bit-exactly; and on monotone contention-free
+///                        hierarchies a profile applies identically to the
+///                        level-priced cluster and its mirror-graph twin.
 enum class FuzzCheck {
   kPlanValidity,
   kSearchEquivalence,
@@ -52,9 +62,10 @@ enum class FuzzCheck {
   kSpecJsonRoundTrip,
   kTraceConservation,
   kTopologyIdentity,
+  kCalibrationIdentity,
 };
 
-inline constexpr int kNumFuzzChecks = 7;
+inline constexpr int kNumFuzzChecks = 8;
 
 std::string_view FuzzCheckToString(FuzzCheck check);
 Result<FuzzCheck> FuzzCheckFromString(const std::string& text);
@@ -99,7 +110,7 @@ std::optional<CheckFailure> RunCheck(FuzzCheck check, uint64_t seed,
 struct FuzzOptions {
   uint64_t seed = 1;
   int iterations = 100;
-  /// Empty = all seven checks.
+  /// Empty = all eight checks.
   std::vector<FuzzCheck> checks;
   /// Stop collecting per check after this many failures (the campaign
   /// still finishes the other checks).

@@ -227,6 +227,37 @@ std::string ToAttributionJson(const ExecutionTrace& trace,
   utilization.object["comm"] = std::move(comm_util);
   doc.object["device_utilization"] = std::move(utilization);
 
+  // Calibration inputs (src/calibrate/): one sample per communication task,
+  // pairing the estimator's analytic prediction (recorded pre-jitter in
+  // analytic_sec) with the wall time the simulation observed.
+  // overlap_slowdown_estimate mirrors calibrate::EstimateOverlapSlowdown —
+  // max over comm tasks of 1 + lost/work, capped at the profile's accepted
+  // maximum, 0 when no comm task showed contention — recomputed inline so
+  // the trace library stays independent of src/calibrate/.
+  JsonValue samples = JsonArray();
+  double overlap_estimate = 0.0;
+  for (const TraceEvent& event : trace.events) {
+    if (event.comm_group_size < 2) continue;
+    if (event.work_sec > 0.0 && event.lost_sec > 0.0) {
+      overlap_estimate =
+          std::max(overlap_estimate, 1.0 + event.lost_sec / event.work_sec);
+    }
+    if (!(event.analytic_sec > 0.0)) continue;
+    JsonValue sample = JsonObject();
+    sample.object["link"] =
+        JsonOf(std::string(LinkClassToString(event.comm_link)));
+    sample.object["kind"] =
+        JsonOf(std::string(CollectiveKindToString(event.comm_kind)));
+    sample.object["bytes"] = JsonOf(event.comm_bytes);
+    sample.object["group_size"] = JsonOf(event.comm_group_size);
+    sample.object["predicted_sec"] = JsonOf(event.analytic_sec);
+    sample.object["measured_sec"] = JsonOf(event.elapsed_sec());
+    samples.array.push_back(std::move(sample));
+  }
+  doc.object["comm_samples"] = std::move(samples);
+  doc.object["overlap_slowdown_estimate"] =
+      JsonOf(std::min(overlap_estimate, 8.0));
+
   JsonValue conservation = JsonObject();
   conservation.object["max_stream_error_sec"] =
       JsonOf(report.max_stream_conservation_error_sec);

@@ -65,6 +65,11 @@ Result<ExecutionTrace> RecordTrace(const SimTrace& sim_trace) {
     event.finish_sec = timing.finish;
     event.work_sec = timeline.task_work_sec[t];
     event.lost_sec = timeline.task_lost_sec[t];
+    event.comm_kind = task.comm_kind;
+    event.comm_link = task.comm_link;
+    event.comm_bytes = task.comm_bytes;
+    event.comm_group_size = task.comm_group_size;
+    event.analytic_sec = task.work_sec;
     for (int s : task.streams) {
       if (s < 0 || s >= static_cast<int>(trace.stream_events.size())) {
         return Status::InvalidArgument(

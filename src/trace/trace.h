@@ -36,6 +36,19 @@ struct TraceEvent {
   double work_sec = 0.0;
   double lost_sec = 0.0;
 
+  /// Communication metadata for the calibration subsystem (src/calibrate/):
+  /// the (link class, collective kind, payload) key of the collective plus
+  /// the simulator's pre-jitter analytic duration (`SimTask::work_sec` —
+  /// NOT this event's jitter-scaled `work_sec`). comm_group_size == 0 marks
+  /// a non-communication task; `analytic_sec` is still filled for every
+  /// task (it is the estimator-side prediction the Fig-3 bench compares
+  /// against).
+  CollectiveKind comm_kind = CollectiveKind::kAllReduce;
+  LinkClass comm_link = LinkClass::kPcie3;
+  int64_t comm_bytes = 0;
+  int comm_group_size = 0;
+  double analytic_sec = 0.0;
+
   double elapsed_sec() const { return finish_sec - start_sec; }
 };
 

@@ -266,6 +266,160 @@ TEST_F(ServeTest, MeasureExplainReturnsAttributionAndCountsInMetrics) {
       << exposition.body;
 }
 
+TEST_F(ServeTest, CalibrateFitsFromMeasuredTracesAndInvalidatesCaches) {
+  ServeMetrics metrics;
+  PlanServiceOptions options;
+  options.metrics = &metrics;
+  PlanService service(options);
+
+  // Nothing measured yet: the fit is rejected, not fabricated.
+  const HttpResponse premature = service.Handle(Post("/v1/calibrate", ""));
+  EXPECT_EQ(premature.status, 422) << premature.body;
+  EXPECT_EQ(metrics.calibration_rejected(), 1);
+  EXPECT_EQ(metrics.calibration_applied(), 0);
+
+  // Cold plan, then a byte-identical cache hit — the pre-calibration world.
+  const HttpResponse cold = service.Handle(Post("/v1/plan", PlanRequestBody()));
+  ASSERT_EQ(cold.status, 200) << cold.body;
+  auto cold_json = ParseJson(cold.body);
+  ASSERT_TRUE(cold_json.ok());
+  {
+    const HttpResponse hit = service.Handle(Post("/v1/plan", PlanRequestBody()));
+    ASSERT_EQ(hit.status, 200);
+    auto hit_json = ParseJson(hit.body);
+    ASSERT_TRUE(hit_json.ok());
+    EXPECT_TRUE(*GetBool(*hit_json, "plan_cache_hit"));
+  }
+
+  // A traced measure fills the calibration sample buffer.
+  auto direct = Galvatron::Plan(model_, cluster_);
+  ASSERT_TRUE(direct.ok());
+  const std::string measure_body =
+      "{\"model\": \"BERT-Huge-32\", \"cluster\": " +
+      ClusterSpecToJson(cluster_) + ", \"plan\": " + PlanToJson(direct->plan) +
+      ", \"explain\": true}";
+  ASSERT_EQ(service.Handle(Post("/v1/measure", measure_body)).status, 200);
+  {
+    const HttpResponse exposition = service.Handle(Get("/metrics"));
+    EXPECT_NE(exposition.body.find(
+                  "galvatron_serve_calibration_staleness_measures 1"),
+              std::string::npos)
+        << exposition.body;
+  }
+
+  // The fit applies (empty body = defaults) and returns the full profile.
+  const HttpResponse applied = service.Handle(Post("/v1/calibrate", ""));
+  ASSERT_EQ(applied.status, 200) << applied.body;
+  auto applied_json = ParseJson(applied.body);
+  ASSERT_TRUE(applied_json.ok()) << applied_json.status();
+  EXPECT_TRUE(*GetBool(*applied_json, "applied"));
+  auto version = GetInt64(*applied_json, "version", 0);
+  ASSERT_TRUE(version.ok());
+  EXPECT_EQ(*version, 1);
+  const JsonValue* profile_value = FindMember(*applied_json, "profile");
+  ASSERT_NE(profile_value, nullptr);
+  auto profile = calibrate::CalibrationProfileFromJsonValue(*profile_value);
+  ASSERT_TRUE(profile.ok()) << profile.status();
+  EXPECT_FALSE(profile->groups.empty());
+  EXPECT_EQ(metrics.calibration_applied(), 1);
+
+  // The swap invalidated the plan cache: the same request misses, searches
+  // under the fitted profile, and only THEN becomes a hit again.
+  const HttpResponse recal = service.Handle(Post("/v1/plan", PlanRequestBody()));
+  ASSERT_EQ(recal.status, 200) << recal.body;
+  auto recal_json = ParseJson(recal.body);
+  ASSERT_TRUE(recal_json.ok());
+  EXPECT_FALSE(*GetBool(*recal_json, "plan_cache_hit"));
+  // Calibrated pricing genuinely moved the estimate (the simulator's jitter
+  // guarantees fitted scales != 1).
+  const JsonValue* cold_estimated = FindMember(*cold_json, "estimated");
+  const JsonValue* recal_estimated = FindMember(*recal_json, "estimated");
+  ASSERT_NE(cold_estimated, nullptr);
+  ASSERT_NE(recal_estimated, nullptr);
+  EXPECT_NE(WriteJson(*recal_estimated), WriteJson(*cold_estimated));
+  {
+    const HttpResponse hit = service.Handle(Post("/v1/plan", PlanRequestBody()));
+    auto hit_json = ParseJson(hit.body);
+    ASSERT_TRUE(hit_json.ok());
+    EXPECT_TRUE(*GetBool(*hit_json, "plan_cache_hit"));
+  }
+  {
+    const HttpResponse exposition = service.Handle(Get("/metrics"));
+    EXPECT_NE(exposition.body.find(
+                  "galvatron_serve_calibration_applied_total 1"),
+              std::string::npos);
+    EXPECT_NE(exposition.body.find(
+                  "galvatron_serve_calibration_rejected_total 1"),
+              std::string::npos);
+    EXPECT_NE(exposition.body.find(
+                  "galvatron_serve_calibration_staleness_measures 0"),
+              std::string::npos)
+        << "applying the fit must reset the staleness gauge";
+  }
+
+  // Reset drops the profile AND advances the version; the next search runs
+  // uncalibrated and reproduces the original cold fragments byte-for-byte.
+  const HttpResponse reset =
+      service.Handle(Post("/v1/calibrate", "{\"reset\": true}"));
+  ASSERT_EQ(reset.status, 200) << reset.body;
+  auto reset_json = ParseJson(reset.body);
+  ASSERT_TRUE(reset_json.ok());
+  EXPECT_FALSE(*GetBool(*reset_json, "applied"));
+  EXPECT_TRUE(*GetBool(*reset_json, "reset"));
+  const HttpResponse post_reset =
+      service.Handle(Post("/v1/plan", PlanRequestBody()));
+  ASSERT_EQ(post_reset.status, 200);
+  auto post_reset_json = ParseJson(post_reset.body);
+  ASSERT_TRUE(post_reset_json.ok());
+  EXPECT_FALSE(*GetBool(*post_reset_json, "plan_cache_hit"));
+  // search_stats is excluded: it embeds wall-clock search_seconds, which a
+  // fresh (if identical) search cannot reproduce.
+  for (const char* field : {"plan", "estimated"}) {
+    const JsonValue* before = FindMember(*cold_json, field);
+    const JsonValue* after = FindMember(*post_reset_json, field);
+    ASSERT_NE(before, nullptr) << field;
+    ASSERT_NE(after, nullptr) << field;
+    EXPECT_EQ(WriteJson(*after), WriteJson(*before)) << field;
+  }
+  // Resetting also cleared the sample buffer.
+  EXPECT_EQ(service.Handle(Post("/v1/calibrate", "")).status, 422);
+}
+
+TEST_F(ServeTest, CalibrateRejectsHostileRequests) {
+  PlanService service;
+  EXPECT_EQ(service.Handle(Get("/v1/calibrate")).status, 405);
+  EXPECT_EQ(service.Handle(Post("/v1/calibrate", "not json")).status, 400);
+  EXPECT_EQ(service.Handle(Post("/v1/calibrate", "[]")).status, 400);
+  EXPECT_EQ(
+      service.Handle(Post("/v1/calibrate", "{\"bogus_key\": 1}")).status, 400);
+  EXPECT_EQ(
+      service.Handle(Post("/v1/calibrate", "{\"reset\": \"yes\"}")).status,
+      400);
+  EXPECT_EQ(service
+                .Handle(Post("/v1/calibrate",
+                             "{\"min_group_samples\": 0}"))
+                .status,
+            400);
+  EXPECT_EQ(service
+                .Handle(Post("/v1/calibrate",
+                             "{\"min_group_samples\": 10000000}"))
+                .status,
+            400);
+
+  // Capture disabled: /v1/calibrate is a structured 422, never a crash.
+  PlanServiceOptions no_capture;
+  no_capture.calibration_sample_capacity = 0;
+  PlanService disabled(no_capture);
+  auto direct = Galvatron::Plan(model_, cluster_);
+  ASSERT_TRUE(direct.ok());
+  const std::string measure_body =
+      "{\"model\": \"BERT-Huge-32\", \"cluster\": " +
+      ClusterSpecToJson(cluster_) + ", \"plan\": " + PlanToJson(direct->plan) +
+      ", \"explain\": true}";
+  ASSERT_EQ(disabled.Handle(Post("/v1/measure", measure_body)).status, 200);
+  EXPECT_EQ(disabled.Handle(Post("/v1/calibrate", "")).status, 422);
+}
+
 TEST_F(ServeTest, MetricsExpositionCountsRequestsAndCacheOutcomes) {
   ServeMetrics metrics;
   PlanServiceOptions options;

@@ -8,6 +8,7 @@
 ///   galvatron_cli --model vit-huge-32 --mode sdp        # a pure baseline
 ///   galvatron_cli --list-models
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -16,9 +17,12 @@
 #include <map>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "api/galvatron.h"
 #include "api/plan_io.h"
+#include "calibrate/fit.h"
+#include "calibrate/profile.h"
 #include "serve/http.h"
 #include "trace/analyzer.h"
 #include "trace/export.h"
@@ -46,6 +50,11 @@ struct CliArgs {
   std::string trace_out;
   std::string explain_json;  // attribution report as JSON
   bool explain = false;      // print the attribution table
+  /// Attribution reports to fit a calibration profile from (--calibrate,
+  /// repeatable / comma-separated). Non-empty switches the CLI into
+  /// fit-and-exit mode; the profile is written to `calibration_file`.
+  std::vector<std::string> calibrate_inputs;
+  std::string calibration_file;  // profile to write (fit) or apply (plan)
   std::string server;       // host:port of a galvatron_serve daemon
   double deadline_ms = 0;   // per-request server deadline (0 = none)
   bool async_plan = false;  // submit async, then poll /v1/plan/<id>
@@ -83,6 +92,16 @@ void PrintUsage() {
                       critical-path breakdown, busy and contention-lost
                       seconds (rows sum to the iteration time)
   --explain-json FILE write the machine-readable attribution report
+                      (--attribution is an alias); includes the
+                      comm_samples the calibration fitter ingests
+  --calibrate FILES   fit a calibration profile from one or more
+                      attribution reports (comma-separated, flag
+                      repeatable) and write it to the --calibration path,
+                      then exit. See docs/calibration.md
+  --calibration FILE  with --calibrate: where to write the fitted profile.
+                      Alone: load the profile and apply it to the
+                      estimator while planning (absent profile keeps the
+                      analytic estimates byte-identical)
   --server HOST:PORT  don't search locally; POST the request to a running
                       galvatron_serve daemon and print its answer
   --deadline-ms X     per-request search deadline in server mode
@@ -167,8 +186,26 @@ Result<CliArgs> ParseArgs(int argc, char** argv) {
       GALVATRON_ASSIGN_OR_RETURN(args.trace_out, next());
     } else if (flag == "--explain") {
       args.explain = true;
-    } else if (flag == "--explain-json") {
+    } else if (flag == "--explain-json" || flag == "--attribution") {
       GALVATRON_ASSIGN_OR_RETURN(args.explain_json, next());
+    } else if (flag == "--calibrate") {
+      GALVATRON_ASSIGN_OR_RETURN(std::string v, next());
+      size_t start = 0;
+      while (start <= v.size()) {
+        const size_t comma = v.find(',', start);
+        const std::string part =
+            v.substr(start, comma == std::string::npos ? std::string::npos
+                                                       : comma - start);
+        if (!part.empty()) args.calibrate_inputs.push_back(part);
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+      if (args.calibrate_inputs.empty()) {
+        return Status::InvalidArgument(
+            "--calibrate needs at least one attribution report");
+      }
+    } else if (flag == "--calibration") {
+      GALVATRON_ASSIGN_OR_RETURN(args.calibration_file, next());
     } else if (flag == "--server") {
       GALVATRON_ASSIGN_OR_RETURN(args.server, next());
     } else if (flag == "--deadline-ms") {
@@ -222,6 +259,60 @@ Result<ClusterSpec> LoadCliCluster(const CliArgs& args) {
   return ParseTopologyClusterJson(json);
 }
 
+/// --calibrate mode: ingest attribution reports (galvatron_cli
+/// --attribution, or /v1/measure with "explain"), fit per-(link class,
+/// collective kind, size bucket) comm scales plus the overlap slowdown, and
+/// write the profile to the --calibration path.
+Result<int> RunCalibrate(const CliArgs& args) {
+  if (args.calibration_file.empty()) {
+    return Status::InvalidArgument(
+        "--calibrate needs --calibration FILE naming the output profile");
+  }
+  std::vector<calibrate::CommObservation> observations;
+  double overlap = 0.0;
+  for (const std::string& path : args.calibrate_inputs) {
+    std::ifstream in(path);
+    if (!in) {
+      return Status::NotFound("cannot read attribution report " + path);
+    }
+    std::string json((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    GALVATRON_ASSIGN_OR_RETURN(calibrate::AttributionSamples samples,
+                               calibrate::ParseAttributionSamples(json));
+    observations.insert(observations.end(), samples.observations.begin(),
+                        samples.observations.end());
+    overlap = std::max(overlap, samples.overlap_slowdown_estimate);
+    std::printf("ingested %s: %d comm samples\n", path.c_str(),
+                static_cast<int>(samples.observations.size()));
+  }
+  GALVATRON_ASSIGN_OR_RETURN(
+      calibrate::CalibrationProfile profile,
+      calibrate::FitCalibrationProfile(observations, overlap));
+  std::ofstream out(args.calibration_file);
+  if (!out) return Status::Internal("cannot write " + args.calibration_file);
+  out << calibrate::CalibrationProfileToJson(profile) << "\n";
+  std::printf(
+      "fitted %d calibration groups from %lld samples (overlap slowdown "
+      "%s)\nprofile written to %s\n",
+      static_cast<int>(profile.groups.size()),
+      static_cast<long long>(profile.fitted_events),
+      profile.overlap_slowdown > 0.0
+          ? StrFormat("%.3f", profile.overlap_slowdown).c_str()
+          : "unset",
+      args.calibration_file.c_str());
+  return 0;
+}
+
+/// --calibration (planning mode): load and validate a fitted profile.
+Result<calibrate::CalibrationProfile> LoadCalibration(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot read calibration profile " + path);
+  std::string json((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return calibrate::ParseCalibrationProfileJson(json);
+}
+
 /// --server mode: ship the same planning request to a galvatron_serve
 /// daemon over HTTP and render its answer like a local run would be.
 Result<int> RunRemote(const CliArgs& args) {
@@ -234,6 +325,11 @@ Result<int> RunRemote(const CliArgs& args) {
     return Status::InvalidArgument(
         "--trace/--explain are local-only (POST /v1/measure with "
         "\"explain\": true for a served attribution summary)");
+  }
+  if (!args.calibration_file.empty()) {
+    return Status::InvalidArgument(
+        "--calibration is local-only (POST /v1/calibrate fits and applies "
+        "a profile on the daemon)");
   }
   const size_t colon = args.server.rfind(':');
   if (colon == std::string::npos) {
@@ -342,6 +438,14 @@ Result<int> RunCli(const CliArgs& args) {
     return 0;
   }
 
+  if (!args.calibrate_inputs.empty()) {
+    if (!args.server.empty()) {
+      return Status::InvalidArgument(
+          "--calibrate runs locally (POST /v1/calibrate fits on the "
+          "daemon)");
+    }
+    return RunCalibrate(args);
+  }
   if (!args.server.empty()) return RunRemote(args);
 
   GALVATRON_ASSIGN_OR_RETURN(ModelId model_id, FindModel(args.model));
@@ -349,14 +453,31 @@ Result<int> RunCli(const CliArgs& args) {
 
   GALVATRON_ASSIGN_OR_RETURN(ClusterSpec cluster, LoadCliCluster(args));
 
+  // Loaded up front so the profile outlives every estimator built below.
+  calibrate::CalibrationProfile calibration;
+  bool have_calibration = false;
+  if (!args.calibration_file.empty()) {
+    GALVATRON_ASSIGN_OR_RETURN(calibration,
+                               LoadCalibration(args.calibration_file));
+    have_calibration = true;
+  }
+
   ModelSpec model = BuildModel(model_id);
   std::printf("model:   %s (%.0fM params)\n", model.name().c_str(),
               model.TotalParams() / 1e6);
-  std::printf("cluster: %s\n\n", cluster.ToString().c_str());
+  std::printf("cluster: %s\n", cluster.ToString().c_str());
+  if (have_calibration) {
+    std::printf("calibration: %d groups from %lld samples (%s)\n",
+                static_cast<int>(calibration.groups.size()),
+                static_cast<long long>(calibration.fitted_events),
+                args.calibration_file.c_str());
+  }
+  std::printf("\n");
 
   BaselineOptions options;
   options.search_threads = args.search_threads;
   options.use_sparse_dp = !args.dense_dp;
+  if (have_calibration) options.estimator.calibration = &calibration;
   auto result = RunBaseline(mode, model, cluster, options);
   if (!result.ok()) {
     if (result.status().IsInfeasible()) {
@@ -372,6 +493,7 @@ Result<int> RunCli(const CliArgs& args) {
     opt.allow_recompute = args.recompute;
     opt.search_threads = args.search_threads;
     opt.use_sparse_dp = !args.dense_dp;
+    if (have_calibration) opt.estimator.calibration = &calibration;
     opt.schedule = args.schedule == "1f1b" ? PipelineSchedule::k1F1B
                                            : PipelineSchedule::kGPipe;
     GALVATRON_ASSIGN_OR_RETURN(OptimizationResult tuned,

@@ -42,6 +42,8 @@ struct ServeArgs {
   int async_workers = 2;
   int async_jobs = 128;
   std::string plan_cache_file;  // persistent journal; empty = in-memory only
+  int plan_cache_journal_max_kb = 0;  // size-triggered compaction; 0 = off
+  int calibration_samples = 65536;    // /v1/measure observations retained
   bool help = false;
 };
 
@@ -66,12 +68,17 @@ void PrintUsage() {
                            sweep gets 504 (default 0 = unlimited)
   --plan-cache-file PATH   persistent plan-cache journal, replayed on
                            startup and compacted on drain (default off)
+  --plan-cache-journal-max-kb N  compact the journal whenever it grows past
+                           N KiB (default 0 = only compact on drain)
+  --calibration-samples N  traced /v1/measure comm observations retained for
+                           POST /v1/calibrate; 0 disables capture
+                           (default 65536)
   --async-workers N        threads executing "async": true plan requests
                            (default 2)
   --async-jobs N           async jobs retained for polling (default 128)
 
-Endpoints: POST /v1/plan, GET /v1/plan/<id>, POST /v1/measure, GET /healthz,
-GET /metrics.
+Endpoints: POST /v1/plan, GET /v1/plan/<id>, POST /v1/measure,
+POST /v1/calibrate, GET /healthz, GET /metrics.
 )");
 }
 
@@ -112,6 +119,10 @@ Result<ServeArgs> ParseArgs(int argc, char** argv) {
       GALVATRON_ASSIGN_OR_RETURN(args.io_timeout_ms, next_int(100));
     } else if (flag == "--plan-cache-file") {
       GALVATRON_ASSIGN_OR_RETURN(args.plan_cache_file, next());
+    } else if (flag == "--plan-cache-journal-max-kb") {
+      GALVATRON_ASSIGN_OR_RETURN(args.plan_cache_journal_max_kb, next_int(0));
+    } else if (flag == "--calibration-samples") {
+      GALVATRON_ASSIGN_OR_RETURN(args.calibration_samples, next_int(0));
     } else if (flag == "--async-workers") {
       GALVATRON_ASSIGN_OR_RETURN(args.async_workers, next_int(1));
     } else if (flag == "--async-jobs") {
@@ -159,6 +170,10 @@ Result<int> RunServe(const ServeArgs& args) {
       static_cast<size_t>(args.context_cache_entries);
   service_options.default_deadline_ms = args.deadline_ms;
   service_options.plan_cache_journal = args.plan_cache_file;
+  service_options.plan_cache_journal_max_bytes =
+      static_cast<int64_t>(args.plan_cache_journal_max_kb) * 1024;
+  service_options.calibration_sample_capacity =
+      static_cast<size_t>(args.calibration_samples);
   service_options.async_workers = args.async_workers;
   service_options.async_jobs = static_cast<size_t>(args.async_jobs);
   service_options.metrics = &metrics;
